@@ -1,0 +1,224 @@
+//! CPU binding, NUMA domains, and accelerator affinity.
+//!
+//! §V-C of the paper: "the critical impact of correct CPU binding,
+//! optimal number of threads, and GPU affinity on performance for each
+//! system was carefully studied. It was found that a GPU-centric approach
+//! to affinity is useful, creating one Slurm task per GPU and
+//! distributing them to CPU cores with affinity to respective GPUs. At
+//! the same time, it is important to create CPU masks that are open
+//! enough for NCCL to place its helper thread." JURECA A100 nodes
+//! "feature EPYC processors in which not all CPU chiplets have GPU
+//! affinity", needing explicit `--cpu-bind` to the proper NUMA domains.
+//!
+//! This module models those effects so the suite can run the binding
+//! ablation studies the paper performs with JUBE: each policy carries an
+//! efficiency multiplier on host-side work (data staging, launch
+//! overhead), derived from the locality of the resulting task placement.
+
+use crate::systems::{NodeConfig, SystemId};
+use serde::{Deserialize, Serialize};
+
+/// A CPU binding policy for the per-accelerator tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BindingPolicy {
+    /// No binding: the OS scheduler migrates tasks freely.
+    None,
+    /// All tasks packed onto socket 0 (worst case: cross-socket traffic
+    /// to every accelerator attached elsewhere).
+    Compact,
+    /// Tasks spread round-robin over sockets, ignoring device affinity.
+    Spread,
+    /// One task per accelerator, bound to the NUMA domain with affinity
+    /// to that device, with a mask wide enough for the NCCL helper
+    /// thread — the paper's recommended approach.
+    GpuCentric,
+    /// GPU-centric but with a minimal mask (exactly the task's cores):
+    /// the NCCL helper thread contends with the workers.
+    GpuCentricTightMask,
+}
+
+impl BindingPolicy {
+    /// All policies, for sweep definitions.
+    pub fn all() -> [BindingPolicy; 5] {
+        [
+            BindingPolicy::None,
+            BindingPolicy::Compact,
+            BindingPolicy::Spread,
+            BindingPolicy::GpuCentric,
+            BindingPolicy::GpuCentricTightMask,
+        ]
+    }
+
+    /// The Slurm-style flag the policy corresponds to (documentation
+    /// value, mirroring the examples in §V-C).
+    pub fn slurm_hint(&self) -> &'static str {
+        match self {
+            BindingPolicy::None => "--cpu-bind=none",
+            BindingPolicy::Compact => "--cpu-bind=rank",
+            BindingPolicy::Spread => "--distribution=cyclic",
+            BindingPolicy::GpuCentric => "--ntasks-per-node=<gpus> --gpus-per-task=1 --cpu-bind=verbose,map_cpu",
+            BindingPolicy::GpuCentricTightMask => "--cpu-bind=mask_cpu:<minimal>",
+        }
+    }
+}
+
+/// The NUMA structure of a node, as relevant to binding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NumaTopology {
+    /// NUMA domains in the node.
+    pub domains: u32,
+    /// How many of those domains have direct accelerator affinity.
+    pub domains_with_accel: u32,
+    /// Whether accelerators and CPU are fused (GH200: binding barely
+    /// matters because every core is local to its GPU).
+    pub fused_package: bool,
+}
+
+impl NumaTopology {
+    /// Derive the topology of a Table I system.
+    pub fn for_system(id: SystemId) -> NumaTopology {
+        let node = NodeConfig::for_system(id);
+        match id {
+            SystemId::Jedi | SystemId::Gh200Jrdc => NumaTopology {
+                domains: node.devices_per_node,
+                domains_with_accel: node.devices_per_node,
+                fused_package: true,
+            },
+            // EPYC Rome/Milan: 4 NUMA domains per socket (NPS4), only
+            // some chiplets wired to accelerators — the paper's A100
+            // example.
+            SystemId::A100 | SystemId::Mi250 | SystemId::Gc200 => NumaTopology {
+                domains: node.cpu.sockets * 4,
+                domains_with_accel: node.devices_per_node.min(node.cpu.sockets * 2),
+                fused_package: false,
+            },
+            // Xeon: one domain per socket, devices split across both.
+            SystemId::H100Jrdc | SystemId::WaiH100 => NumaTopology {
+                domains: node.cpu.sockets,
+                domains_with_accel: node.cpu.sockets,
+                fused_package: false,
+            },
+        }
+    }
+
+    /// Fraction of NUMA domains with direct accelerator affinity — the
+    /// probability an unbound task lands on a "good" domain.
+    pub fn affinity_fraction(&self) -> f64 {
+        f64::from(self.domains_with_accel) / f64::from(self.domains.max(1))
+    }
+
+    /// Host-side efficiency multiplier of a binding policy on this
+    /// topology (applied to staging rates; 1.0 = ideal placement).
+    pub fn efficiency(&self, policy: BindingPolicy) -> f64 {
+        if self.fused_package {
+            // Grace-Hopper: CPU memory is attached per superchip; any
+            // same-package placement is local. Only pathological packing
+            // costs anything.
+            return match policy {
+                BindingPolicy::Compact => 0.90,
+                BindingPolicy::GpuCentricTightMask => 0.97,
+                _ => 1.0,
+            };
+        }
+        match policy {
+            // Unbound tasks hit remote domains proportionally to the
+            // fraction of domains without device affinity, with a 12 %
+            // remote-access penalty.
+            BindingPolicy::None => 1.0 - 0.12 * (1.0 - self.affinity_fraction()),
+            // Everything on socket 0: roughly half the devices are
+            // cross-socket.
+            BindingPolicy::Compact => 0.82,
+            // Spread balances sockets but ignores which chiplet has the
+            // device.
+            BindingPolicy::Spread => 1.0 - 0.06 * (1.0 - self.affinity_fraction()),
+            BindingPolicy::GpuCentric => 1.0,
+            // "CPU masks open enough for NCCL to place its helper
+            // thread": a tight mask costs ~8 % in communication-adjacent
+            // host work.
+            BindingPolicy::GpuCentricTightMask => 0.92,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_centric_is_never_worse() {
+        for id in SystemId::all() {
+            let topo = NumaTopology::for_system(id);
+            let best = topo.efficiency(BindingPolicy::GpuCentric);
+            for policy in BindingPolicy::all() {
+                assert!(
+                    topo.efficiency(policy) <= best,
+                    "{id:?}: {policy:?} beats GpuCentric"
+                );
+            }
+            assert_eq!(best, 1.0);
+        }
+    }
+
+    #[test]
+    fn epyc_a100_penalises_unbound_more_than_xeon() {
+        // "JURECA A100 nodes ... feature EPYC processors in which not all
+        // CPU chiplets have GPU affinity."
+        let a100 = NumaTopology::for_system(SystemId::A100);
+        let h100 = NumaTopology::for_system(SystemId::H100Jrdc);
+        assert!(a100.affinity_fraction() < h100.affinity_fraction());
+        assert!(
+            a100.efficiency(BindingPolicy::None) < h100.efficiency(BindingPolicy::None),
+            "EPYC must suffer more from unbound tasks"
+        );
+    }
+
+    #[test]
+    fn gh200_is_insensitive_to_binding() {
+        // Fused package: one Slurm task per superchip is naturally local
+        // ("--ntasks=4 --cpus-per-task=72 --gpus-per-task=1").
+        let jedi = NumaTopology::for_system(SystemId::Jedi);
+        assert!(jedi.fused_package);
+        assert_eq!(jedi.efficiency(BindingPolicy::None), 1.0);
+        assert_eq!(jedi.efficiency(BindingPolicy::Spread), 1.0);
+    }
+
+    #[test]
+    fn tight_mask_costs_nccl_room() {
+        for id in [SystemId::A100, SystemId::WaiH100, SystemId::Mi250] {
+            let topo = NumaTopology::for_system(id);
+            assert!(
+                topo.efficiency(BindingPolicy::GpuCentricTightMask)
+                    < topo.efficiency(BindingPolicy::GpuCentric)
+            );
+        }
+    }
+
+    #[test]
+    fn compact_is_worst_on_discrete_systems() {
+        for id in [SystemId::A100, SystemId::H100Jrdc, SystemId::Mi250] {
+            let topo = NumaTopology::for_system(id);
+            for policy in BindingPolicy::all() {
+                assert!(topo.efficiency(BindingPolicy::Compact) <= topo.efficiency(policy));
+            }
+        }
+    }
+
+    #[test]
+    fn efficiencies_are_sane_fractions() {
+        for id in SystemId::all() {
+            let topo = NumaTopology::for_system(id);
+            for policy in BindingPolicy::all() {
+                let e = topo.efficiency(policy);
+                assert!((0.5..=1.0).contains(&e), "{id:?}/{policy:?}: {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn slurm_hints_exist() {
+        for policy in BindingPolicy::all() {
+            assert!(!policy.slurm_hint().is_empty());
+        }
+        assert!(BindingPolicy::GpuCentric.slurm_hint().contains("--gpus-per-task=1"));
+    }
+}

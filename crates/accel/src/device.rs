@@ -1,0 +1,309 @@
+//! Simulated devices and nodes.
+//!
+//! [`SimDevice`] bundles one accelerator's spec, memory pool, power model
+//! and pollable power register. [`SimNode`] groups the devices of one
+//! system node (Table I) around a shared [`VirtualClock`] and drives them
+//! through timed *phases* (compute, communication, host staging, idle),
+//! each with its own utilization level — which is what produces the power
+//! traces that the `jpwr` crate measures.
+
+use crate::clock::VirtualClock;
+use crate::error::AccelError;
+use crate::memory::{AllocId, MemoryPool};
+use crate::power::{PowerModel, PowerRegister};
+use crate::roofline::RooflineModel;
+use crate::spec::{DeviceSpec, Workload};
+use crate::systems::NodeConfig;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// One simulated accelerator.
+#[derive(Debug, Clone)]
+pub struct SimDevice {
+    spec: DeviceSpec,
+    index: u32,
+    memory: Arc<Mutex<MemoryPool>>,
+    register: PowerRegister,
+    power_model: PowerModel,
+}
+
+impl SimDevice {
+    /// Create device `index` of a node, optionally with a Table I TDP
+    /// override.
+    pub fn new(spec: DeviceSpec, index: u32, tdp_override_w: Option<f64>) -> Self {
+        let memory = MemoryPool::new(
+            format!("{} #{index}", spec.name),
+            spec.mem_bytes,
+        );
+        let power_model = PowerModel::for_device(&spec, tdp_override_w);
+        SimDevice {
+            spec,
+            index,
+            memory: Arc::new(Mutex::new(memory)),
+            register: PowerRegister::new(),
+            power_model,
+        }
+    }
+
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+
+    /// The pollable power register ("hardware counter") of this device.
+    pub fn power_register(&self) -> &PowerRegister {
+        &self.register
+    }
+
+    pub fn power_model(&self) -> &PowerModel {
+        &self.power_model
+    }
+
+    /// Roofline model for a workload on this device.
+    pub fn roofline(&self, workload: Workload) -> RooflineModel {
+        RooflineModel::for_device(&self.spec, workload)
+    }
+
+    /// Allocate device memory.
+    pub fn alloc(&self, label: impl Into<String>, bytes: u64) -> Result<AllocId, AccelError> {
+        self.memory.lock().alloc(label, bytes)
+    }
+
+    /// Free device memory.
+    pub fn free(&self, id: AllocId) -> Result<u64, AccelError> {
+        self.memory.lock().free(id)
+    }
+
+    /// Bytes currently allocated.
+    pub fn mem_used(&self) -> u64 {
+        self.memory.lock().used()
+    }
+
+    /// Check a hypothetical footprint against the remaining capacity.
+    pub fn would_fit(&self, bytes: u64) -> bool {
+        self.memory.lock().would_fit(bytes)
+    }
+
+    /// Release all allocations (end of a benchmark run).
+    pub fn reset_memory(&self) {
+        self.memory.lock().reset();
+    }
+
+    /// Record that the device entered a phase with utilization `u` at
+    /// virtual time `t`, drawing power according to the workload's
+    /// sustained level.
+    pub fn set_utilization(&self, t: f64, u: f64, sustained_w: f64) {
+        let p = self.power_model.power_w(u, sustained_w);
+        self.register.set_w(t, p);
+    }
+
+    /// Record that the device went idle at virtual time `t`.
+    pub fn set_idle(&self, t: f64) {
+        self.register.set_w(t, self.power_model.idle_w);
+    }
+}
+
+/// A full node of a Table I system: `devices_per_node` accelerators around
+/// one virtual clock.
+#[derive(Debug, Clone)]
+pub struct SimNode {
+    config: NodeConfig,
+    devices: Vec<SimDevice>,
+    clock: VirtualClock,
+}
+
+impl SimNode {
+    /// Instantiate a node for a system configuration.
+    pub fn new(config: NodeConfig) -> Self {
+        let devices = (0..config.devices_per_node)
+            .map(|i| SimDevice::new(config.device.clone(), i, config.tdp_override_w))
+            .collect();
+        SimNode {
+            config,
+            devices,
+            clock: VirtualClock::new(),
+        }
+    }
+
+    /// Instantiate a node sharing an existing clock (multi-node runs).
+    pub fn with_clock(config: NodeConfig, clock: VirtualClock) -> Self {
+        let mut node = Self::new(config);
+        node.clock = clock;
+        node
+    }
+
+    pub fn config(&self) -> &NodeConfig {
+        &self.config
+    }
+
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    pub fn devices(&self) -> &[SimDevice] {
+        &self.devices
+    }
+
+    pub fn device(&self, i: usize) -> &SimDevice {
+        &self.devices[i]
+    }
+
+    /// Drive the first `active` devices through a phase of `dt` seconds at
+    /// utilization `u`; the rest stay idle. Advances the shared clock.
+    pub fn run_phase(
+        &self,
+        active: usize,
+        dt: f64,
+        u: f64,
+        sustained_w: f64,
+    ) -> Result<f64, AccelError> {
+        let t = self.clock.now();
+        for (i, dev) in self.devices.iter().enumerate() {
+            if i < active {
+                dev.set_utilization(t, u, sustained_w);
+            } else {
+                dev.set_idle(t);
+            }
+        }
+        self.clock.advance(dt)
+    }
+
+    /// All devices idle for `dt` seconds.
+    pub fn idle_phase(&self, dt: f64) -> Result<f64, AccelError> {
+        let t = self.clock.now();
+        for dev in &self.devices {
+            dev.set_idle(t);
+        }
+        self.clock.advance(dt)
+    }
+
+    /// Energy in Wh consumed by device `i` over a virtual-time window.
+    pub fn device_energy_wh(&self, i: usize, t0: f64, t1: f64) -> f64 {
+        self.devices[i].power_register().energy_wh(t0, t1)
+    }
+
+    /// Total node energy over a window (sum over devices).
+    pub fn node_energy_wh(&self, t0: f64, t1: f64) -> f64 {
+        (0..self.devices.len())
+            .map(|i| self.device_energy_wh(i, t0, t1))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::systems::SystemId;
+
+    fn a100_node() -> SimNode {
+        SimNode::new(NodeConfig::for_system(SystemId::A100))
+    }
+
+    #[test]
+    fn node_has_table1_device_count() {
+        assert_eq!(a100_node().devices().len(), 4);
+        let mi = SimNode::new(NodeConfig::for_system(SystemId::Mi250));
+        assert_eq!(mi.devices().len(), 8);
+    }
+
+    #[test]
+    fn device_memory_isolated_per_device() {
+        let node = a100_node();
+        node.device(0).alloc("w", 1 << 30).unwrap();
+        assert_eq!(node.device(0).mem_used(), 1 << 30);
+        assert_eq!(node.device(1).mem_used(), 0);
+    }
+
+    #[test]
+    fn oom_on_a100_40gb() {
+        let node = a100_node();
+        let cap = node.device(0).spec().mem_bytes;
+        assert!(node.device(0).alloc("too big", cap + 1).is_err());
+        assert!(node.device(0).alloc("fits", cap).is_ok());
+    }
+
+    #[test]
+    fn run_phase_sets_power_and_advances_clock() {
+        let node = a100_node();
+        node.run_phase(4, 10.0, 1.0, 330.0).unwrap();
+        assert_eq!(node.clock().now(), 10.0);
+        // All four devices at sustained power.
+        for d in node.devices() {
+            assert!((d.power_register().read_w() - 330.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn partial_activation_idles_remaining_devices() {
+        let node = a100_node();
+        node.run_phase(2, 5.0, 1.0, 330.0).unwrap();
+        assert!(node.device(0).power_register().read_w() > 300.0);
+        assert_eq!(
+            node.device(3).power_register().read_w(),
+            node.device(3).power_model().idle_w
+        );
+    }
+
+    #[test]
+    fn energy_accumulates_over_phases() {
+        let node = a100_node();
+        node.run_phase(1, 3600.0, 1.0, 330.0).unwrap(); // 1 h at 330 W
+        node.idle_phase(3600.0).unwrap(); // 1 h idle
+        let idle_w = node.device(0).power_model().idle_w;
+        let e = node.device_energy_wh(0, 0.0, 7200.0);
+        assert!((e - (330.0 + idle_w)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn node_energy_sums_devices() {
+        let node = a100_node();
+        node.run_phase(4, 3600.0, 1.0, 330.0).unwrap();
+        node.idle_phase(0.0).unwrap();
+        let total = node.node_energy_wh(0.0, 3600.0);
+        assert!((total - 4.0 * 330.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tdp_override_applies() {
+        let node = SimNode::new(NodeConfig::for_system(SystemId::Jedi));
+        assert_eq!(node.device(0).power_model().tdp_w, 680.0);
+        // Sustained 700 W is clamped to the 680 W package TDP.
+        node.run_phase(1, 1.0, 1.0, 700.0).unwrap();
+        assert!(node.device(0).power_register().read_w() <= 680.0);
+    }
+
+    #[test]
+    fn shared_clock_for_multinode() {
+        let clock = VirtualClock::new();
+        let n1 = SimNode::with_clock(NodeConfig::for_system(SystemId::A100), clock.clone());
+        let n2 = SimNode::with_clock(NodeConfig::for_system(SystemId::A100), clock.clone());
+        n1.run_phase(4, 7.0, 1.0, 330.0).unwrap();
+        assert_eq!(n2.clock().now(), 7.0);
+    }
+
+    #[test]
+    fn roofline_accessor_matches_spec() {
+        let node = a100_node();
+        let rl = node.device(0).roofline(Workload::Llm);
+        assert!((rl.mfu(1e12) - node.device(0).spec().llm.mfu_max).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reset_memory_clears_allocations() {
+        let node = a100_node();
+        node.device(0).alloc("x", 123).unwrap();
+        node.device(0).reset_memory();
+        assert_eq!(node.device(0).mem_used(), 0);
+    }
+
+    #[test]
+    fn would_fit_screening() {
+        let node = a100_node();
+        let cap = node.device(0).spec().mem_bytes;
+        assert!(node.device(0).would_fit(cap));
+        assert!(!node.device(0).would_fit(cap + 1));
+    }
+}

@@ -1,0 +1,193 @@
+//! Interconnect links and transfer-time modelling.
+//!
+//! Table I of the paper lists three classes of links per system: the
+//! CPU↔accelerator connection (NVLink-C2C, PCIe Gen4/5), the intra-node
+//! accelerator↔accelerator fabric (NVLink3/4, Infinity Fabric, IPU-Link),
+//! and the inter-node InfiniBand interconnect. All are modelled with the
+//! classic alpha–beta (latency–bandwidth) cost model used by collective
+//! communication literature.
+
+use serde::{Deserialize, Serialize};
+
+/// The physical link technologies appearing in Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// NVLink chip-to-chip (Grace↔Hopper), 900 GB/s.
+    NvLinkC2c,
+    /// NVLink 4th generation (Hopper SXM), 900 GB/s per device.
+    NvLink4,
+    /// NVLink 4 bridge (H100 PCIe pairs), 600 GB/s within a pair.
+    NvLink4Bridge,
+    /// NVLink 3rd generation (Ampere), 600 GB/s.
+    NvLink3,
+    /// PCI Express Gen 5 ×16, 128 GB/s bidirectional.
+    PcieGen5,
+    /// PCI Express Gen 4 ×16, 64 GB/s bidirectional.
+    PcieGen4,
+    /// AMD Infinity Fabric between MI250 devices, 500 GB/s.
+    InfinityFabric,
+    /// Graphcore IPU-Link, 256 GB/s accumulated per IPU.
+    IpuLink,
+    /// InfiniBand NDR (400 Gbit/s per port class).
+    InfiniBandNdr,
+    /// InfiniBand HDR (200 Gbit/s per port class).
+    InfiniBandHdr,
+}
+
+impl LinkKind {
+    /// True for links that leave the node.
+    pub fn is_internode(&self) -> bool {
+        matches!(self, LinkKind::InfiniBandNdr | LinkKind::InfiniBandHdr)
+    }
+}
+
+/// A latency–bandwidth link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    pub kind: LinkKind,
+    /// Bidirectional bandwidth in GB/s (per device, as in Table I).
+    pub bandwidth_gbps: f64,
+    /// Per-message latency in seconds.
+    pub latency_s: f64,
+}
+
+impl Link {
+    /// Construct a link. `bandwidth_gbps` is GB/s, `latency_s` seconds.
+    pub fn new(kind: LinkKind, bandwidth_gbps: f64, latency_s: f64) -> Self {
+        Link {
+            kind,
+            bandwidth_gbps,
+            latency_s,
+        }
+    }
+
+    /// Bandwidth in bytes per second.
+    pub fn bandwidth_bytes_per_s(&self) -> f64 {
+        self.bandwidth_gbps * 1e9
+    }
+
+    /// Time to move `bytes` point-to-point over this link
+    /// (alpha–beta model: `latency + bytes / bandwidth`).
+    pub fn transfer_time_s(&self, bytes: u64) -> f64 {
+        self.latency_s + bytes as f64 / self.bandwidth_bytes_per_s()
+    }
+
+    /// Effective bandwidth achieved for a transfer of `bytes`, accounting
+    /// for the latency term (approaches the nominal bandwidth for large
+    /// messages).
+    pub fn effective_bandwidth_gbps(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        bytes as f64 / self.transfer_time_s(bytes) / 1e9
+    }
+}
+
+/// A two-level communication topology: a fast intra-node fabric and an
+/// optional slower inter-node interconnect. Collectives spanning nodes are
+/// bottlenecked by the inter-node link (hierarchical ring assumption).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    pub intra: Option<Link>,
+    pub inter: Option<Link>,
+    /// Devices per node.
+    pub node_width: u32,
+}
+
+impl Topology {
+    /// The slowest link a collective over `devices` devices must traverse,
+    /// or `None` for a single device (no communication).
+    pub fn bottleneck_for(&self, devices: u32) -> Option<Link> {
+        if devices <= 1 {
+            None
+        } else if devices <= self.node_width {
+            self.intra
+        } else {
+            // Spanning nodes: the inter-node link dominates.
+            self.inter.or(self.intra)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nvlink() -> Link {
+        Link::new(LinkKind::NvLink4, 900.0, 2.0e-6)
+    }
+
+    #[test]
+    fn transfer_time_has_latency_floor() {
+        let l = nvlink();
+        assert!(l.transfer_time_s(0) >= 2.0e-6);
+        assert!(l.transfer_time_s(1) > l.transfer_time_s(0));
+    }
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let l = nvlink();
+        let t1 = l.transfer_time_s(900_000_000_000); // 900 GB at 900 GB/s ≈ 1 s
+        assert!((t1 - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn effective_bandwidth_approaches_nominal() {
+        let l = nvlink();
+        assert!(l.effective_bandwidth_gbps(1_000_000_000_000) > 899.0);
+        assert!(l.effective_bandwidth_gbps(1024) < 900.0);
+        assert_eq!(l.effective_bandwidth_gbps(0), 0.0);
+    }
+
+    #[test]
+    fn small_messages_are_latency_bound() {
+        let l = nvlink();
+        // A 1 KiB message at 2 µs latency achieves well under 1 GB/s.
+        assert!(l.effective_bandwidth_gbps(1024) < 1.0);
+    }
+
+    #[test]
+    fn internode_classification() {
+        assert!(LinkKind::InfiniBandNdr.is_internode());
+        assert!(LinkKind::InfiniBandHdr.is_internode());
+        assert!(!LinkKind::NvLink4.is_internode());
+        assert!(!LinkKind::IpuLink.is_internode());
+        assert!(!LinkKind::PcieGen5.is_internode());
+    }
+
+    #[test]
+    fn topology_bottleneck_selection() {
+        let topo = Topology {
+            intra: Some(Link::new(LinkKind::NvLink4, 900.0, 2.0e-6)),
+            inter: Some(Link::new(LinkKind::InfiniBandNdr, 100.0, 3.0e-6)),
+            node_width: 4,
+        };
+        assert_eq!(topo.bottleneck_for(1), None);
+        assert_eq!(topo.bottleneck_for(4).unwrap().kind, LinkKind::NvLink4);
+        assert_eq!(
+            topo.bottleneck_for(5).unwrap().kind,
+            LinkKind::InfiniBandNdr
+        );
+        assert_eq!(
+            topo.bottleneck_for(8).unwrap().kind,
+            LinkKind::InfiniBandNdr
+        );
+    }
+
+    #[test]
+    fn topology_without_internode_falls_back_to_intra() {
+        let topo = Topology {
+            intra: Some(Link::new(LinkKind::IpuLink, 256.0, 2.0e-6)),
+            inter: None,
+            node_width: 4,
+        };
+        assert_eq!(topo.bottleneck_for(8).unwrap().kind, LinkKind::IpuLink);
+    }
+
+    #[test]
+    fn pcie_slower_than_nvlink() {
+        let pcie = Link::new(LinkKind::PcieGen5, 128.0, 2.0e-6);
+        let bytes = 1_600_000_000; // 1.6 GB of gradients (800M params fp16)
+        assert!(pcie.transfer_time_s(bytes) > nvlink().transfer_time_s(bytes));
+    }
+}

@@ -1,0 +1,326 @@
+//! Graphcore GC200 IPU execution model.
+//!
+//! The IPU follows a fundamentally different execution strategy from GPUs
+//! (§II-C and §IV of the paper): a MIMD dataflow architecture with 900 MB
+//! of on-chip SRAM distributed over 1472 tiles, fed from chip-external
+//! DRAM. Three consequences shape the paper's IPU results:
+//!
+//! 1. **Graph compilation** — the Poplar graph compiler takes close to an
+//!    hour for ResNet50; the paper excludes it from timings, and so do we
+//!    ([`GRAPH_COMPILE_S`]).
+//! 2. **Pipeline parallelism for the 117M GPT** (Table II) — the model's
+//!    layers are split across 4 IPUs, introducing a pipeline fill bubble
+//!    per iteration. Iteration time is
+//!    `t = (stages − 1) · fill + tokens · per_token`, which reproduces the
+//!    saturating tokens/s column of Table II.
+//! 3. **Micro-batch cap for ResNet50** (Table III) — the on-chip SRAM
+//!    limits the micro-batch to 16 images, so throughput is flat in the
+//!    global batch size apart from a small per-iteration host-sync term.
+//!
+//! All constants below are calibrated so that the simulated Tables II and
+//! III match the paper's published values (within ≈1 %; the paper's
+//! batch-64 energy row is a known outlier, see EXPERIMENTS.md).
+
+use serde::{Deserialize, Serialize};
+
+/// Poplar graph compilation time in seconds ("close to an hour" in the
+/// paper); excluded from benchmark timings, as in the paper.
+pub const GRAPH_COMPILE_S: f64 = 3300.0;
+
+/// Power drawn per IPU while the host compiles/loads the graph, watts.
+pub const GRAPH_COMPILE_W: f64 = 42.0;
+
+/// Number of IPUs in the evaluated IPU-M2000 POD4.
+pub const POD4_IPUS: u32 = 4;
+
+/// Pipeline-parallel GPT-117M model timing on an IPU POD4 (Table II).
+///
+/// ```
+/// use caraml_accel::ipu::IpuGptModel;
+/// let m = IpuGptModel::default();
+/// // Table II, batch 64: 64.99 tokens/s.
+/// assert!((m.tokens_per_s(64) - 64.99).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IpuGptModel {
+    /// Pipeline stages (model layers split over this many IPUs, including
+    /// the embedding layer).
+    pub stages: u32,
+    /// Pipeline fill latency contributed per extra stage, seconds.
+    pub fill_s: f64,
+    /// Steady-state compute time per token, seconds.
+    pub per_token_s: f64,
+    /// Fixed setup window per epoch run (graph load, host I/O, pipeline
+    /// priming), seconds.
+    pub setup_s: f64,
+    /// Per-IPU power during the setup window, watts.
+    pub setup_w: f64,
+    /// Host→IPU data streaming time per token (chip-external DRAM
+    /// fetches), seconds.
+    pub stream_per_token_s: f64,
+    /// Per-IPU power during streaming, watts.
+    pub stream_w: f64,
+    /// Per-IPU power during pipeline execution, watts.
+    pub exec_w: f64,
+}
+
+impl Default for IpuGptModel {
+    fn default() -> Self {
+        IpuGptModel {
+            stages: 4,
+            fill_s: 0.21863,
+            per_token_s: 0.0051393,
+            setup_s: 362.6,
+            setup_w: 180.0,
+            stream_per_token_s: 0.0249,
+            stream_w: 100.0,
+            exec_w: 160.0,
+        }
+    }
+}
+
+impl IpuGptModel {
+    /// Compute time of one training iteration over `batch_tokens` tokens
+    /// (the quantity behind the paper's `elapsed_time_per_iteration`).
+    pub fn iter_compute_s(&self, batch_tokens: u64) -> f64 {
+        f64::from(self.stages - 1) * self.fill_s + batch_tokens as f64 * self.per_token_s
+    }
+
+    /// Tokens/second figure of merit: `global_batch_size` (in tokens,
+    /// §III-A1) divided by the iteration time.
+    pub fn tokens_per_s(&self, batch_tokens: u64) -> f64 {
+        batch_tokens as f64 / self.iter_compute_s(batch_tokens)
+    }
+
+    /// Host-streaming time of one epoch run.
+    pub fn stream_s(&self, batch_tokens: u64) -> f64 {
+        batch_tokens as f64 * self.stream_per_token_s
+    }
+
+    /// Asymptotic tokens/s as the batch grows (pipeline bubble amortized).
+    pub fn saturated_tokens_per_s(&self) -> f64 {
+        1.0 / self.per_token_s
+    }
+}
+
+/// Maximum ResNet50 micro-batch that fits the GC200's on-chip SRAM.
+pub const IPU_RESNET_MAX_MICRO_BATCH: u64 = 16;
+
+/// ResNet50 model timing on a single GC200 IPU (Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IpuResnetModel {
+    /// Steady-state compute time per image, seconds.
+    pub per_image_s: f64,
+    /// Fixed host-synchronisation time per iteration, seconds.
+    pub sync_s: f64,
+    /// Per-IPU power during compute, watts.
+    pub compute_w: f64,
+    /// Per-IPU power during host sync, watts.
+    pub sync_w: f64,
+}
+
+impl Default for IpuResnetModel {
+    fn default() -> Self {
+        IpuResnetModel {
+            per_image_s: 1.0 / 1891.5,
+            sync_s: 2.85e-4,
+            compute_w: 168.0,
+            sync_w: 100.0,
+        }
+    }
+}
+
+impl IpuResnetModel {
+    /// Time of one iteration over `batch` images on a single replica.
+    pub fn iter_s(&self, batch: u64) -> f64 {
+        batch as f64 * self.per_image_s + self.sync_s
+    }
+
+    /// Single-replica throughput in images/s at a global batch size.
+    pub fn images_per_s(&self, batch: u64) -> f64 {
+        batch as f64 / self.iter_s(batch)
+    }
+
+    /// Whether a per-replica batch avoids chip-external DRAM round trips
+    /// entirely (it fits the SRAM-resident micro-batch).
+    pub fn fits_sram(&self, per_replica_batch: u64) -> bool {
+        per_replica_batch <= IPU_RESNET_MAX_MICRO_BATCH
+    }
+
+    /// Data-parallel replica scaling efficiency over IPU-Links.
+    ///
+    /// Intra-node, an IPU connects to one partner with 4 links but to the
+    /// other two IPUs with only 2 links each (Table I footnote 3), so a
+    /// 2-replica ring rides the fat 4-link pair while a 4-replica ring is
+    /// squeezed onto the thin links — the reason the paper's Fig. 4g peaks
+    /// at 2 IPUs × batch 16.
+    pub fn replica_efficiency(&self, replicas: u32) -> f64 {
+        match replicas {
+            0 | 1 => 1.0,
+            2 => 0.95,
+            _ => 0.40,
+        }
+    }
+
+    /// Throughput bonus when the whole *global* batch is SRAM-resident
+    /// ("the batch size fitting into the on-chip RAM, and using fewer IPU
+    /// links for data transfer", §IV-B): no weight-update traffic has to
+    /// round-trip through chip-external memory at all.
+    pub fn sram_bonus(&self, global_batch: u64) -> f64 {
+        if self.fits_sram(global_batch) {
+            1.15
+        } else {
+            1.0
+        }
+    }
+
+    /// Aggregate data-parallel throughput over `replicas` IPUs at a global
+    /// batch size (used for the Fig. 4g heatmap).
+    pub fn scaled_images_per_s(&self, replicas: u32, global_batch: u64) -> f64 {
+        if replicas == 0 || global_batch == 0 {
+            return 0.0;
+        }
+        let per_replica = (global_batch / u64::from(replicas)).max(1);
+        f64::from(replicas)
+            * self.images_per_s(per_replica)
+            * self.replica_efficiency(replicas)
+            * self.sram_bonus(global_batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpt_table2_tokens_per_s() {
+        // Paper Table II, tokens/time column.
+        let m = IpuGptModel::default();
+        let expect = [
+            (64u64, 64.99),
+            (128, 97.21),
+            (256, 129.96),
+            (512, 155.72),
+            (1024, 172.94),
+            (2048, 183.37),
+            (4096, 188.88),
+            (8192, 191.86),
+            (16384, 193.41),
+        ];
+        for (batch, tok_s) in expect {
+            let got = m.tokens_per_s(batch);
+            let rel = (got - tok_s).abs() / tok_s;
+            assert!(
+                rel < 0.01,
+                "batch {batch}: got {got:.2} tokens/s, paper {tok_s} (rel {rel:.3})"
+            );
+        }
+    }
+
+    #[test]
+    fn gpt_throughput_saturates() {
+        let m = IpuGptModel::default();
+        let sat = m.saturated_tokens_per_s();
+        assert!(m.tokens_per_s(16384) < sat);
+        assert!(m.tokens_per_s(1 << 22) > 0.999 * sat);
+        assert!((sat - 194.58).abs() < 0.1);
+    }
+
+    #[test]
+    fn gpt_throughput_monotone_in_batch() {
+        let m = IpuGptModel::default();
+        let mut prev = 0.0;
+        for b in [64u64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384] {
+            let t = m.tokens_per_s(b);
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn gpt_pipeline_bubble_is_fill_times_stages_minus_one() {
+        let m = IpuGptModel::default();
+        let bubble = m.iter_compute_s(0);
+        assert!((bubble - 3.0 * m.fill_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resnet_table3_images_per_s() {
+        // Paper Table III, images/time column.
+        let m = IpuResnetModel::default();
+        let expect = [
+            (16u64, 1827.72),
+            (32, 1857.90),
+            (64, 1879.29),
+            (128, 1888.11),
+            (256, 1887.23),
+            (512, 1891.74),
+            (1024, 1893.07),
+            (2048, 1889.87),
+            (4096, 1891.58),
+        ];
+        for (batch, img_s) in expect {
+            let got = m.images_per_s(batch);
+            let rel = (got - img_s).abs() / img_s;
+            assert!(
+                rel < 0.005,
+                "batch {batch}: got {got:.2} images/s, paper {img_s} (rel {rel:.4})"
+            );
+        }
+    }
+
+    #[test]
+    fn resnet_flat_at_large_batch() {
+        let m = IpuResnetModel::default();
+        let t512 = m.images_per_s(512);
+        let t4096 = m.images_per_s(4096);
+        assert!((t4096 - t512).abs() / t512 < 0.01, "IPU curve must be flat");
+    }
+
+    #[test]
+    fn resnet_sram_boundary() {
+        let m = IpuResnetModel::default();
+        assert!(m.fits_sram(16));
+        assert!(!m.fits_sram(17));
+        assert_eq!(m.sram_bonus(16), 1.15);
+        assert_eq!(m.sram_bonus(32), 1.0);
+    }
+
+    #[test]
+    fn fig4g_peak_is_two_ipus_batch_16() {
+        let m = IpuResnetModel::default();
+        let peak = m.scaled_images_per_s(2, 16);
+        for replicas in [1u32, 2, 4] {
+            for batch in [16u64, 32, 64, 128, 256, 512, 1024, 2048] {
+                if (replicas, batch) == (2, 16) {
+                    continue;
+                }
+                let t = m.scaled_images_per_s(replicas, batch);
+                assert!(
+                    t <= peak,
+                    "({replicas} IPUs, batch {batch}) = {t:.0} exceeds peak {peak:.0}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn replica_efficiency_decreases() {
+        let m = IpuResnetModel::default();
+        assert_eq!(m.replica_efficiency(1), 1.0);
+        assert!(m.replica_efficiency(2) < m.replica_efficiency(1));
+        assert!(m.replica_efficiency(4) < m.replica_efficiency(2));
+    }
+
+    #[test]
+    fn zero_inputs_are_safe() {
+        let m = IpuResnetModel::default();
+        assert_eq!(m.scaled_images_per_s(0, 128), 0.0);
+        assert_eq!(m.scaled_images_per_s(2, 0), 0.0);
+    }
+
+    #[test]
+    fn compile_time_is_about_an_hour() {
+        assert!(GRAPH_COMPILE_S > 3000.0 && GRAPH_COMPILE_S < 3600.0);
+    }
+}

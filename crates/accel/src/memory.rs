@@ -1,0 +1,236 @@
+//! Device memory accounting.
+//!
+//! The simulator tracks every logical allocation (parameters, gradients,
+//! optimizer states, activations, workspace) against the device capacity.
+//! Exceeding the capacity produces [`AccelError::OutOfMemory`] — the
+//! condition rendered as `OOM` cells in Fig. 4 of the paper.
+
+use crate::error::AccelError;
+use std::collections::HashMap;
+
+/// Opaque handle to a live allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AllocId(u64);
+
+/// A simple tracking allocator for one device's memory.
+#[derive(Debug, Clone)]
+pub struct MemoryPool {
+    device: String,
+    capacity: u64,
+    used: u64,
+    peak: u64,
+    next_id: u64,
+    live: HashMap<u64, (String, u64)>,
+}
+
+impl MemoryPool {
+    /// Create a pool with `capacity` bytes belonging to `device`.
+    pub fn new(device: impl Into<String>, capacity: u64) -> Self {
+        MemoryPool {
+            device: device.into(),
+            capacity,
+            used: 0,
+            peak: 0,
+            next_id: 0,
+            live: HashMap::new(),
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes still available.
+    pub fn available(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    /// High-water mark of `used` over the pool's lifetime.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Current utilization as a fraction of capacity in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.used as f64 / self.capacity as f64
+        }
+    }
+
+    /// Number of live allocations.
+    pub fn live_allocations(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Allocate `bytes` under a human-readable `label`.
+    pub fn alloc(&mut self, label: impl Into<String>, bytes: u64) -> Result<AllocId, AccelError> {
+        if bytes > self.available() {
+            return Err(AccelError::OutOfMemory {
+                device: self.device.clone(),
+                requested: bytes,
+                available: self.available(),
+                capacity: self.capacity,
+            });
+        }
+        self.used += bytes;
+        self.peak = self.peak.max(self.used);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.live.insert(id, (label.into(), bytes));
+        Ok(AllocId(id))
+    }
+
+    /// Release an allocation. Unknown ids are reported as
+    /// [`AccelError::UnknownEntity`].
+    pub fn free(&mut self, id: AllocId) -> Result<u64, AccelError> {
+        match self.live.remove(&id.0) {
+            Some((_, bytes)) => {
+                self.used -= bytes;
+                Ok(bytes)
+            }
+            None => Err(AccelError::UnknownEntity(format!(
+                "allocation {:?} on {}",
+                id, self.device
+            ))),
+        }
+    }
+
+    /// Check whether a hypothetical set of allocations fits without
+    /// mutating the pool. Used by the benchmarks for fast OOM screening
+    /// across a batch-size sweep.
+    pub fn would_fit(&self, bytes: u64) -> bool {
+        bytes <= self.available()
+    }
+
+    /// Release everything (end of a benchmark run).
+    pub fn reset(&mut self) {
+        self.live.clear();
+        self.used = 0;
+    }
+
+    /// Iterate over live allocations as `(label, bytes)`.
+    pub fn iter_live(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.live.values().map(|(l, b)| (l.as_str(), *b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_free_balance() {
+        let mut pool = MemoryPool::new("dev", 1000);
+        let a = pool.alloc("weights", 400).unwrap();
+        let b = pool.alloc("activations", 500).unwrap();
+        assert_eq!(pool.used(), 900);
+        assert_eq!(pool.available(), 100);
+        assert_eq!(pool.live_allocations(), 2);
+        assert_eq!(pool.free(a).unwrap(), 400);
+        assert_eq!(pool.used(), 500);
+        pool.free(b).unwrap();
+        assert_eq!(pool.used(), 0);
+    }
+
+    #[test]
+    fn oom_reports_details() {
+        let mut pool = MemoryPool::new("A100", 100);
+        pool.alloc("weights", 60).unwrap();
+        let err = pool.alloc("activations", 50).unwrap_err();
+        match err {
+            AccelError::OutOfMemory {
+                device,
+                requested,
+                available,
+                capacity,
+            } => {
+                assert_eq!(device, "A100");
+                assert_eq!(requested, 50);
+                assert_eq!(available, 40);
+                assert_eq!(capacity, 100);
+            }
+            other => panic!("expected OOM, got {other:?}"),
+        }
+        // Failed allocation must not leak accounting.
+        assert_eq!(pool.used(), 60);
+    }
+
+    #[test]
+    fn exact_fit_is_allowed() {
+        let mut pool = MemoryPool::new("dev", 100);
+        pool.alloc("all", 100).unwrap();
+        assert_eq!(pool.available(), 0);
+        assert!(pool.alloc("one more byte", 1).is_err());
+    }
+
+    #[test]
+    fn zero_sized_alloc_ok() {
+        let mut pool = MemoryPool::new("dev", 0);
+        let id = pool.alloc("empty", 0).unwrap();
+        assert_eq!(pool.free(id).unwrap(), 0);
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut pool = MemoryPool::new("dev", 1000);
+        let a = pool.alloc("a", 700).unwrap();
+        pool.free(a).unwrap();
+        pool.alloc("b", 300).unwrap();
+        assert_eq!(pool.peak(), 700);
+        assert_eq!(pool.used(), 300);
+    }
+
+    #[test]
+    fn double_free_is_an_error() {
+        let mut pool = MemoryPool::new("dev", 10);
+        let a = pool.alloc("a", 5).unwrap();
+        pool.free(a).unwrap();
+        assert!(pool.free(a).is_err());
+    }
+
+    #[test]
+    fn utilization_fraction() {
+        let mut pool = MemoryPool::new("dev", 200);
+        pool.alloc("half", 100).unwrap();
+        assert!((pool.utilization() - 0.5).abs() < 1e-12);
+        assert_eq!(MemoryPool::new("z", 0).utilization(), 0.0);
+    }
+
+    #[test]
+    fn would_fit_does_not_mutate() {
+        let pool = MemoryPool::new("dev", 100);
+        assert!(pool.would_fit(100));
+        assert!(!pool.would_fit(101));
+        assert_eq!(pool.used(), 0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut pool = MemoryPool::new("dev", 100);
+        pool.alloc("x", 40).unwrap();
+        pool.alloc("y", 40).unwrap();
+        pool.reset();
+        assert_eq!(pool.used(), 0);
+        assert_eq!(pool.live_allocations(), 0);
+        // Peak survives reset: it documents the run.
+        assert_eq!(pool.peak(), 80);
+    }
+
+    #[test]
+    fn iter_live_lists_labels() {
+        let mut pool = MemoryPool::new("dev", 100);
+        pool.alloc("weights", 10).unwrap();
+        pool.alloc("grads", 20).unwrap();
+        let mut labels: Vec<_> = pool.iter_live().map(|(l, _)| l.to_string()).collect();
+        labels.sort();
+        assert_eq!(labels, vec!["grads", "weights"]);
+    }
+}

@@ -1,0 +1,320 @@
+//! Roofline execution-time model.
+//!
+//! The simulator charges each kernel (or fused group of kernels) a time of
+//!
+//! ```text
+//! t = max( flops / (peak · mfu),  bytes / mem_bw ) + overhead
+//! ```
+//!
+//! i.e. the classic roofline: compute-bound kernels are limited by the
+//! achievable fraction of peak FLOP/s (the *model FLOPs utilization*, MFU,
+//! which saturates with per-device batch size per
+//! [`crate::spec::WorkloadCalib`]), memory-bound kernels by the HBM/SRAM
+//! bandwidth, plus a fixed launch/host-synchronisation overhead per
+//! iteration.
+
+use crate::spec::{DeviceSpec, Workload};
+use serde::{Deserialize, Serialize};
+
+/// Aggregate cost of one kernel or one training iteration on one device.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct KernelProfile {
+    /// Floating-point operations (FP16-equivalent).
+    pub flops: f64,
+    /// Bytes moved to/from device memory.
+    pub bytes: f64,
+}
+
+impl KernelProfile {
+    pub fn new(flops: f64, bytes: f64) -> Self {
+        KernelProfile { flops, bytes }
+    }
+
+    /// Arithmetic intensity in FLOP/byte (`None` when no bytes move).
+    pub fn arithmetic_intensity(&self) -> Option<f64> {
+        if self.bytes > 0.0 {
+            Some(self.flops / self.bytes)
+        } else {
+            None
+        }
+    }
+
+    /// Element-wise sum of two profiles (kernel fusion / accumulation).
+    pub fn combine(&self, other: &KernelProfile) -> KernelProfile {
+        KernelProfile {
+            flops: self.flops + other.flops,
+            bytes: self.bytes + other.bytes,
+        }
+    }
+
+    /// Scale both components, e.g. by a batch size.
+    pub fn scale(&self, k: f64) -> KernelProfile {
+        KernelProfile {
+            flops: self.flops * k,
+            bytes: self.bytes * k,
+        }
+    }
+}
+
+/// Outcome of a roofline evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RooflineEstimate {
+    /// Total time in seconds including overhead.
+    pub time_s: f64,
+    /// Pure compute time (FLOPs / achieved FLOP rate).
+    pub compute_s: f64,
+    /// Pure memory-traffic time.
+    pub memory_s: f64,
+    /// Fixed overhead charged.
+    pub overhead_s: f64,
+    /// Whether the kernel was compute-bound (vs. memory-bound).
+    pub compute_bound: bool,
+    /// Achieved MFU used for the estimate.
+    pub mfu: f64,
+}
+
+impl RooflineEstimate {
+    /// Fraction of the total time spent doing useful work (not overhead).
+    pub fn busy_fraction(&self) -> f64 {
+        if self.time_s <= 0.0 {
+            0.0
+        } else {
+            (self.time_s - self.overhead_s) / self.time_s
+        }
+    }
+}
+
+/// Roofline model bound to one device and one workload class.
+#[derive(Debug, Clone)]
+pub struct RooflineModel {
+    peak_flops: f64,
+    mem_bw: f64,
+    mfu_max: f64,
+    batch_half: f64,
+    overhead_s: f64,
+}
+
+impl RooflineModel {
+    /// Build the model from a device spec and workload calibration.
+    pub fn for_device(spec: &DeviceSpec, workload: Workload) -> Self {
+        let calib = spec.calib(workload);
+        RooflineModel {
+            peak_flops: spec.peak_fp16_flops(),
+            mem_bw: spec.mem_bw_bytes_per_s(),
+            mfu_max: calib.mfu_max,
+            batch_half: calib.batch_half,
+            overhead_s: calib.overhead_s,
+        }
+    }
+
+    /// Build a fully explicit model (used by ablation benches).
+    pub fn from_parts(
+        peak_flops: f64,
+        mem_bw: f64,
+        mfu_max: f64,
+        batch_half: f64,
+        overhead_s: f64,
+    ) -> Self {
+        RooflineModel {
+            peak_flops,
+            mem_bw,
+            mfu_max,
+            batch_half,
+            overhead_s,
+        }
+    }
+
+    /// MFU achieved at per-device batch size `b`.
+    pub fn mfu(&self, per_device_batch: f64) -> f64 {
+        if per_device_batch <= 0.0 {
+            0.0
+        } else {
+            self.mfu_max * per_device_batch / (per_device_batch + self.batch_half)
+        }
+    }
+
+    /// Fixed per-iteration overhead in seconds.
+    pub fn overhead_s(&self) -> f64 {
+        self.overhead_s
+    }
+
+    /// Estimate the execution time of `profile` at a given per-device batch.
+    pub fn estimate(&self, profile: &KernelProfile, per_device_batch: f64) -> RooflineEstimate {
+        let mfu = self.mfu(per_device_batch);
+        let compute_s = if mfu > 0.0 {
+            profile.flops / (self.peak_flops * mfu)
+        } else {
+            0.0
+        };
+        let memory_s = profile.bytes / self.mem_bw;
+        let busy = compute_s.max(memory_s);
+        RooflineEstimate {
+            time_s: busy + self.overhead_s,
+            compute_s,
+            memory_s,
+            overhead_s: self.overhead_s,
+            compute_bound: compute_s >= memory_s,
+            mfu,
+        }
+    }
+
+    /// The arithmetic intensity (FLOP/byte) at which a kernel switches
+    /// from memory- to compute-bound (the roofline "ridge point") for a
+    /// given batch.
+    pub fn ridge_point(&self, per_device_batch: f64) -> f64 {
+        self.peak_flops * self.mfu(per_device_batch) / self.mem_bw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> RooflineModel {
+        // 100 TFLOP/s peak, 1 TB/s, 50 % max MFU, saturates fast, 1 ms OH.
+        RooflineModel::from_parts(100e12, 1e12, 0.5, 4.0, 1e-3)
+    }
+
+    #[test]
+    fn compute_bound_kernel() {
+        let m = model();
+        // High intensity: 1e12 FLOPs over 1e6 bytes.
+        let est = m.estimate(&KernelProfile::new(1e12, 1e6), 1e9);
+        assert!(est.compute_bound);
+        // ~0.5 MFU at huge batch: 1e12 / (100e12*0.5) = 0.02 s.
+        assert!((est.compute_s - 0.02).abs() / 0.02 < 1e-6);
+        assert!((est.time_s - (est.compute_s + 1e-3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_bound_kernel() {
+        let m = model();
+        // Low intensity: 1e9 FLOPs over 1e12 bytes → 1 s of memory traffic.
+        let est = m.estimate(&KernelProfile::new(1e9, 1e12), 1e9);
+        assert!(!est.compute_bound);
+        assert!((est.memory_s - 1.0).abs() < 1e-9);
+        assert!(est.time_s > 1.0);
+    }
+
+    #[test]
+    fn mfu_saturation_reduces_time() {
+        let m = model();
+        let k = KernelProfile::new(1e12, 0.0);
+        let slow = m.estimate(&k, 1.0); // mfu = 0.5 * 1/5 = 0.1
+        let fast = m.estimate(&k, 1e9); // mfu ≈ 0.5
+        assert!(slow.time_s > fast.time_s);
+        assert!((slow.mfu - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_batch_yields_zero_mfu() {
+        let m = model();
+        assert_eq!(m.mfu(0.0), 0.0);
+        assert_eq!(m.mfu(-1.0), 0.0);
+    }
+
+    #[test]
+    fn ridge_point_scales_with_mfu() {
+        let m = model();
+        // At saturation: 100e12*0.5/1e12 = 50 FLOP/byte.
+        assert!((m.ridge_point(1e12) - 50.0).abs() < 1e-3);
+        assert!(m.ridge_point(1.0) < m.ridge_point(100.0));
+    }
+
+    #[test]
+    fn profile_combine_and_scale() {
+        let a = KernelProfile::new(10.0, 2.0);
+        let b = KernelProfile::new(5.0, 3.0);
+        let c = a.combine(&b);
+        assert_eq!(c.flops, 15.0);
+        assert_eq!(c.bytes, 5.0);
+        let d = c.scale(2.0);
+        assert_eq!(d.flops, 30.0);
+        assert_eq!(d.bytes, 10.0);
+    }
+
+    #[test]
+    fn arithmetic_intensity() {
+        assert_eq!(
+            KernelProfile::new(100.0, 50.0).arithmetic_intensity(),
+            Some(2.0)
+        );
+        assert_eq!(KernelProfile::new(100.0, 0.0).arithmetic_intensity(), None);
+    }
+
+    #[test]
+    fn busy_fraction_excludes_overhead() {
+        let m = model();
+        let est = m.estimate(&KernelProfile::new(1e12, 0.0), 1e9);
+        // busy = compute/(compute+overhead)
+        let expect = est.compute_s / (est.compute_s + est.overhead_s);
+        assert!((est.busy_fraction() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn for_device_uses_workload_calibration() {
+        use crate::spec::{DeviceSpec, Workload};
+        let spec = DeviceSpec::a100_sxm4();
+        let llm = RooflineModel::for_device(&spec, Workload::Llm);
+        let cv = RooflineModel::for_device(&spec, Workload::Cv);
+        assert!((llm.mfu(1e12) - spec.llm.mfu_max).abs() < 1e-6);
+        assert!((cv.mfu(1e12) - spec.cv.mfu_max).abs() < 1e-6);
+    }
+
+    #[test]
+    fn estimate_monotone_in_flops() {
+        let m = model();
+        let t1 = m.estimate(&KernelProfile::new(1e12, 1e9), 64.0).time_s;
+        let t2 = m.estimate(&KernelProfile::new(2e12, 1e9), 64.0).time_s;
+        assert!(t2 > t1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Roofline time is monotone non-decreasing in both FLOPs and bytes.
+        #[test]
+        fn monotone_in_work(f1 in 1e6..1e15f64, f2 in 1e6..1e15f64,
+                            b in 1e3..1e12f64, batch in 1.0..4096.0f64) {
+            let m = RooflineModel::from_parts(100e12, 1e12, 0.4, 8.0, 1e-3);
+            let (lo, hi) = if f1 < f2 { (f1, f2) } else { (f2, f1) };
+            let t_lo = m.estimate(&KernelProfile::new(lo, b), batch).time_s;
+            let t_hi = m.estimate(&KernelProfile::new(hi, b), batch).time_s;
+            prop_assert!(t_hi >= t_lo);
+        }
+
+        /// MFU is bounded by mfu_max and strictly positive for positive batch.
+        #[test]
+        fn mfu_bounds(batch in 1e-3..1e9f64) {
+            let m = RooflineModel::from_parts(100e12, 1e12, 0.4, 8.0, 1e-3);
+            let mfu = m.mfu(batch);
+            prop_assert!(mfu > 0.0);
+            prop_assert!(mfu < 0.4);
+        }
+
+        /// Time is always at least the overhead and at least the pure
+        /// memory-traffic time.
+        #[test]
+        fn time_lower_bounds(f in 0.0..1e15f64, b in 0.0..1e12f64,
+                             batch in 1.0..4096.0f64) {
+            let m = RooflineModel::from_parts(100e12, 1e12, 0.4, 8.0, 1e-3);
+            let est = m.estimate(&KernelProfile::new(f, b), batch);
+            prop_assert!(est.time_s >= est.overhead_s);
+            prop_assert!(est.time_s >= est.memory_s);
+            prop_assert!(est.time_s >= est.compute_s);
+        }
+
+        /// Larger per-device batches never slow a fixed kernel down.
+        #[test]
+        fn batch_speedup(b1 in 1.0..4096.0f64, b2 in 1.0..4096.0f64) {
+            let m = RooflineModel::from_parts(100e12, 1e12, 0.4, 8.0, 1e-3);
+            let k = KernelProfile::new(1e13, 1e9);
+            let (lo, hi) = if b1 < b2 { (b1, b2) } else { (b2, b1) };
+            prop_assert!(m.estimate(&k, hi).time_s <= m.estimate(&k, lo).time_s);
+        }
+    }
+}

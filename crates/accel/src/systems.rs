@@ -1,0 +1,429 @@
+//! Node configurations — Table I of the paper.
+//!
+//! A [`NodeConfig`] describes one of the seven systems analysed with CARAML:
+//! the accelerator model and count, the host CPU, host memory, the
+//! CPU↔accelerator link, the accelerator↔accelerator intra-node link, and
+//! (where present) the InfiniBand inter-node interconnect.
+//!
+//! The `host staging` rates model the data-loading path: on nodes whose host
+//! memory per device cannot page-cache the full training dataset (e.g. JEDI
+//! with 120 GB LPDDR5X per GH200, versus 480 GB on the JURECA GH200 node),
+//! input staging becomes the bottleneck at large batch sizes. This is the
+//! mechanism behind the paper's observation that the single-device GH200
+//! node outperforms a JEDI device by ~20 %, "especially for larger batch
+//! sizes, which can likely benefit from 4× as much available CPU memory per
+//! GPU, allowing for faster data loading".
+
+use crate::interconnect::{Link, LinkKind};
+use crate::spec::DeviceSpec;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an evaluated system; `Display` yields the JUBE tag used in
+/// the paper's appendix (`A100`, `H100`, `WAIH100`, `GH200`, `JEDI`,
+/// `MI250`, `GC200`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SystemId {
+    /// JEDI (JUPITER enablement platform): 4× GH200-120GB per node.
+    Jedi,
+    /// JURECA evaluation platform GH200 node: 1× GH200-480GB.
+    Gh200Jrdc,
+    /// JURECA evaluation platform H100 node: 4× H100 PCIe.
+    H100Jrdc,
+    /// WestAI cluster: 4× H100 SXM5.
+    WaiH100,
+    /// JURECA evaluation platform MI200 node: 4× MI250 (8 GCDs).
+    Mi250,
+    /// JURECA IPU-M2000 POD4: 4× GC200 IPU.
+    Gc200,
+    /// JURECA-DC A100 node: 4× A100 SXM4.
+    A100,
+}
+
+impl SystemId {
+    /// All systems, in the column order of Table I.
+    pub fn all() -> [SystemId; 7] {
+        [
+            SystemId::Jedi,
+            SystemId::Gh200Jrdc,
+            SystemId::H100Jrdc,
+            SystemId::WaiH100,
+            SystemId::Mi250,
+            SystemId::Gc200,
+            SystemId::A100,
+        ]
+    }
+
+    /// The JUBE tag string used by the paper's automation.
+    pub fn jube_tag(&self) -> &'static str {
+        match self {
+            SystemId::Jedi => "JEDI",
+            SystemId::Gh200Jrdc => "GH200",
+            SystemId::H100Jrdc => "H100",
+            SystemId::WaiH100 => "WAIH100",
+            SystemId::Mi250 => "MI250",
+            SystemId::Gc200 => "GC200",
+            SystemId::A100 => "A100",
+        }
+    }
+
+    /// Parse a JUBE tag (case-insensitive) back into a system id.
+    pub fn from_jube_tag(tag: &str) -> Option<SystemId> {
+        let t = tag.to_ascii_uppercase();
+        SystemId::all()
+            .into_iter()
+            .find(|s| s.jube_tag() == t)
+    }
+}
+
+impl std::fmt::Display for SystemId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.jube_tag())
+    }
+}
+
+/// Host CPU description (Table I, "CPU" row).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuSpec {
+    /// Model string, e.g. `"Intel Xeon Platinum 8452Y"`.
+    pub model: String,
+    /// Number of sockets in the node.
+    pub sockets: u32,
+    /// Cores per socket.
+    pub cores_per_socket: u32,
+}
+
+impl CpuSpec {
+    /// Total CPU core count of the node.
+    pub fn total_cores(&self) -> u32 {
+        self.sockets * self.cores_per_socket
+    }
+}
+
+/// Full node configuration of one evaluated system (one column of Table I).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeConfig {
+    pub id: SystemId,
+    /// Human-readable platform name, e.g. `"GH200 (JEDI)"`.
+    pub platform: String,
+    /// Accelerator device model.
+    pub device: DeviceSpec,
+    /// Accelerators per node as seen by the OS (8 for the MI250 node, since
+    /// each MI250 exposes two GCDs as separate GPUs).
+    pub devices_per_node: u32,
+    pub cpu: CpuSpec,
+    /// Host memory in GiB.
+    pub host_mem_gib: u32,
+    /// CPU ↔ accelerator link.
+    pub cpu_accel: Link,
+    /// Accelerator ↔ accelerator intra-node link (None for the
+    /// single-device GH200 JURECA node).
+    pub accel_accel: Option<Link>,
+    /// Inter-node interconnect (None where Table I lists none).
+    pub internode: Option<Link>,
+    /// Per-device TDP override where Table I differs from the device
+    /// data sheet (e.g. 680 W for JEDI's GH200-120GB package).
+    pub tdp_override_w: Option<f64>,
+    /// Sustained host data-staging rate for image workloads, images/s per
+    /// device (page-cache / storage model, see module docs).
+    pub staging_images_per_s: f64,
+    /// Sustained host data-staging rate for token workloads, tokens/s per
+    /// device.
+    pub staging_tokens_per_s: f64,
+    /// Maximum number of such nodes available for the multi-node scaling
+    /// experiments of Fig. 4 (1 where Table I lists no interconnect).
+    pub max_nodes: u32,
+}
+
+impl NodeConfig {
+    /// Look up the configuration of a system by id.
+    pub fn for_system(id: SystemId) -> NodeConfig {
+        match id {
+            SystemId::Jedi => NodeConfig {
+                id,
+                platform: "GH200 (JEDI)".into(),
+                device: DeviceSpec::gh200(),
+                devices_per_node: 4,
+                cpu: CpuSpec {
+                    model: "NVIDIA Grace (Arm Neoverse-V2)".into(),
+                    sockets: 4,
+                    cores_per_socket: 72,
+                },
+                host_mem_gib: 4 * 120,
+                cpu_accel: Link::new(LinkKind::NvLinkC2c, 900.0, 1.0e-6),
+                accel_accel: Some(Link::new(LinkKind::NvLink4, 900.0, 2.0e-6)),
+                internode: Some(Link::new(LinkKind::InfiniBandNdr, 4.0 * 25.0, 3.0e-6)),
+                tdp_override_w: Some(680.0),
+                // 120 GB LPDDR5X per device cannot cache ImageNet (~150 GB):
+                // staging limited by storage read-through.
+                staging_images_per_s: 5850.0,
+                staging_tokens_per_s: 39800.0,
+                max_nodes: 16,
+            },
+            SystemId::Gh200Jrdc => NodeConfig {
+                id,
+                platform: "GH200 (JRDC)".into(),
+                device: DeviceSpec::gh200(),
+                devices_per_node: 1,
+                cpu: CpuSpec {
+                    model: "NVIDIA Grace (Arm Neoverse-V2)".into(),
+                    sockets: 1,
+                    cores_per_socket: 72,
+                },
+                host_mem_gib: 480,
+                cpu_accel: Link::new(LinkKind::NvLinkC2c, 900.0, 1.0e-6),
+                accel_accel: None,
+                internode: None,
+                tdp_override_w: None,
+                // 480 GB LPDDR5X caches the full dataset: staging is fast.
+                staging_images_per_s: 23000.0,
+                staging_tokens_per_s: 320000.0,
+                max_nodes: 1,
+            },
+            SystemId::H100Jrdc => NodeConfig {
+                id,
+                platform: "H100 (JRDC)".into(),
+                device: DeviceSpec::h100_pcie(),
+                devices_per_node: 4,
+                cpu: CpuSpec {
+                    model: "Intel Xeon Platinum 8452Y".into(),
+                    sockets: 2,
+                    cores_per_socket: 36,
+                },
+                host_mem_gib: 512,
+                cpu_accel: Link::new(LinkKind::PcieGen5, 128.0, 2.0e-6),
+                // NVLink bridges pair GPU0–GPU1 and GPU2–GPU3 (12 links of
+                // 25 GB/s); traffic between pairs falls back to PCIe.
+                accel_accel: Some(Link::new(LinkKind::NvLink4Bridge, 600.0, 2.5e-6)),
+                internode: None,
+                tdp_override_w: None,
+                staging_images_per_s: 16000.0,
+                staging_tokens_per_s: 220000.0,
+                max_nodes: 1,
+            },
+            SystemId::WaiH100 => NodeConfig {
+                id,
+                platform: "H100 (WestAI)".into(),
+                device: DeviceSpec::h100_sxm5(),
+                devices_per_node: 4,
+                cpu: CpuSpec {
+                    model: "Intel Xeon Platinum 8462Y".into(),
+                    sockets: 2,
+                    cores_per_socket: 32,
+                },
+                host_mem_gib: 512,
+                cpu_accel: Link::new(LinkKind::PcieGen5, 128.0, 2.0e-6),
+                accel_accel: Some(Link::new(LinkKind::NvLink4, 900.0, 2.0e-6)),
+                internode: Some(Link::new(LinkKind::InfiniBandNdr, 2.0 * 50.0, 3.0e-6)),
+                tdp_override_w: None,
+                staging_images_per_s: 16000.0,
+                staging_tokens_per_s: 220000.0,
+                max_nodes: 8,
+            },
+            SystemId::Mi250 => NodeConfig {
+                id,
+                platform: "MI200 (JRDC)".into(),
+                device: DeviceSpec::mi250_gcd(),
+                devices_per_node: 8,
+                cpu: CpuSpec {
+                    model: "AMD EPYC 7443".into(),
+                    sockets: 2,
+                    cores_per_socket: 24,
+                },
+                host_mem_gib: 512,
+                cpu_accel: Link::new(LinkKind::PcieGen4, 64.0, 2.0e-6),
+                accel_accel: Some(Link::new(LinkKind::InfinityFabric, 500.0, 2.5e-6)),
+                internode: Some(Link::new(LinkKind::InfiniBandHdr, 2.0 * 25.0, 3.0e-6)),
+                tdp_override_w: None,
+                staging_images_per_s: 11000.0,
+                staging_tokens_per_s: 160000.0,
+                max_nodes: 4,
+            },
+            SystemId::Gc200 => NodeConfig {
+                id,
+                platform: "IPU-M2000 (JRDC)".into(),
+                device: DeviceSpec::gc200_ipu(),
+                devices_per_node: 4,
+                cpu: CpuSpec {
+                    model: "AMD EPYC 7413".into(),
+                    sockets: 2,
+                    cores_per_socket: 24,
+                },
+                host_mem_gib: 512,
+                cpu_accel: Link::new(LinkKind::PcieGen4, 64.0, 2.0e-6),
+                // 10 IPU-Links per IPU at 32 GB/s bidirectional: 256 GB/s
+                // accumulated intra-node bandwidth per device.
+                accel_accel: Some(Link::new(LinkKind::IpuLink, 256.0, 2.0e-6)),
+                internode: None,
+                tdp_override_w: None,
+                staging_images_per_s: 9000.0,
+                staging_tokens_per_s: 120000.0,
+                max_nodes: 1,
+            },
+            SystemId::A100 => NodeConfig {
+                id,
+                platform: "A100 (JRDC)".into(),
+                device: DeviceSpec::a100_sxm4(),
+                devices_per_node: 4,
+                cpu: CpuSpec {
+                    model: "AMD EPYC 7742".into(),
+                    sockets: 2,
+                    cores_per_socket: 64,
+                },
+                host_mem_gib: 512,
+                cpu_accel: Link::new(LinkKind::PcieGen4, 64.0, 2.0e-6),
+                accel_accel: Some(Link::new(LinkKind::NvLink3, 600.0, 2.0e-6)),
+                internode: Some(Link::new(LinkKind::InfiniBandHdr, 2.0 * 25.0, 3.0e-6)),
+                tdp_override_w: None,
+                staging_images_per_s: 11000.0,
+                staging_tokens_per_s: 160000.0,
+                max_nodes: 8,
+            },
+        }
+    }
+
+    /// All node configurations, in Table I column order.
+    pub fn all() -> Vec<NodeConfig> {
+        SystemId::all().into_iter().map(Self::for_system).collect()
+    }
+
+    /// Per-device TDP in watts (Table I "TDP / device" row).
+    pub fn tdp_per_device_w(&self) -> f64 {
+        self.tdp_override_w.unwrap_or(self.device.tdp_w)
+    }
+
+    /// Host memory available per accelerator device in GiB.
+    pub fn host_mem_per_device_gib(&self) -> f64 {
+        f64::from(self.host_mem_gib) / f64::from(self.devices_per_node)
+    }
+
+    /// Maximum number of devices usable in a scaling experiment.
+    pub fn max_devices(&self) -> u32 {
+        self.devices_per_node * self.max_nodes
+    }
+
+    /// Whether a device-count uses more than one node (and therefore the
+    /// inter-node interconnect).
+    pub fn spans_nodes(&self, devices: u32) -> bool {
+        devices > self.devices_per_node
+    }
+
+    /// Number of nodes needed for `devices` accelerators.
+    pub fn nodes_for(&self, devices: u32) -> u32 {
+        devices.div_ceil(self.devices_per_node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_systems() {
+        assert_eq!(NodeConfig::all().len(), 7);
+        assert_eq!(SystemId::all().len(), 7);
+    }
+
+    #[test]
+    fn jube_tags_round_trip() {
+        for id in SystemId::all() {
+            assert_eq!(SystemId::from_jube_tag(id.jube_tag()), Some(id));
+            assert_eq!(
+                SystemId::from_jube_tag(&id.jube_tag().to_lowercase()),
+                Some(id)
+            );
+        }
+        assert_eq!(SystemId::from_jube_tag("NOPE"), None);
+    }
+
+    #[test]
+    fn table1_device_counts() {
+        assert_eq!(NodeConfig::for_system(SystemId::Jedi).devices_per_node, 4);
+        assert_eq!(
+            NodeConfig::for_system(SystemId::Gh200Jrdc).devices_per_node,
+            1
+        );
+        // The MI250 node exposes 8 GCDs to the OS.
+        assert_eq!(NodeConfig::for_system(SystemId::Mi250).devices_per_node, 8);
+        assert_eq!(NodeConfig::for_system(SystemId::Gc200).devices_per_node, 4);
+    }
+
+    #[test]
+    fn table1_tdp_per_device() {
+        assert_eq!(
+            NodeConfig::for_system(SystemId::Jedi).tdp_per_device_w(),
+            680.0
+        );
+        assert_eq!(
+            NodeConfig::for_system(SystemId::Gh200Jrdc).tdp_per_device_w(),
+            700.0
+        );
+        assert_eq!(
+            NodeConfig::for_system(SystemId::H100Jrdc).tdp_per_device_w(),
+            350.0
+        );
+        assert_eq!(
+            NodeConfig::for_system(SystemId::WaiH100).tdp_per_device_w(),
+            700.0
+        );
+        assert_eq!(
+            NodeConfig::for_system(SystemId::A100).tdp_per_device_w(),
+            400.0
+        );
+        assert_eq!(
+            NodeConfig::for_system(SystemId::Gc200).tdp_per_device_w(),
+            300.0
+        );
+    }
+
+    #[test]
+    fn cpu_core_counts_match_table1() {
+        // Grace: 72 cores per superchip.
+        let jedi = NodeConfig::for_system(SystemId::Jedi);
+        assert_eq!(jedi.cpu.cores_per_socket, 72);
+        // 2×72c Xeon 8452Y on the H100 JURECA node.
+        let h100 = NodeConfig::for_system(SystemId::H100Jrdc);
+        assert_eq!(h100.cpu.total_cores(), 72);
+        // 2×64c EPYC 7742 on A100.
+        let a100 = NodeConfig::for_system(SystemId::A100);
+        assert_eq!(a100.cpu.total_cores(), 128);
+    }
+
+    #[test]
+    fn gh200_host_memory_per_device_differs_4x() {
+        let jedi = NodeConfig::for_system(SystemId::Jedi);
+        let jrdc = NodeConfig::for_system(SystemId::Gh200Jrdc);
+        assert_eq!(jedi.host_mem_per_device_gib(), 120.0);
+        assert_eq!(jrdc.host_mem_per_device_gib(), 480.0);
+        assert!(jrdc.staging_images_per_s > jedi.staging_images_per_s);
+    }
+
+    #[test]
+    fn internode_presence_matches_table1() {
+        assert!(NodeConfig::for_system(SystemId::Jedi).internode.is_some());
+        assert!(NodeConfig::for_system(SystemId::WaiH100).internode.is_some());
+        assert!(NodeConfig::for_system(SystemId::Mi250).internode.is_some());
+        assert!(NodeConfig::for_system(SystemId::A100).internode.is_some());
+        assert!(NodeConfig::for_system(SystemId::H100Jrdc).internode.is_none());
+        assert!(NodeConfig::for_system(SystemId::Gh200Jrdc).internode.is_none());
+        assert!(NodeConfig::for_system(SystemId::Gc200).internode.is_none());
+    }
+
+    #[test]
+    fn node_math() {
+        let jedi = NodeConfig::for_system(SystemId::Jedi);
+        assert!(!jedi.spans_nodes(4));
+        assert!(jedi.spans_nodes(5));
+        assert_eq!(jedi.nodes_for(4), 1);
+        assert_eq!(jedi.nodes_for(5), 2);
+        assert_eq!(jedi.nodes_for(8), 2);
+        assert_eq!(jedi.max_devices(), 64);
+    }
+
+    #[test]
+    fn jedi_interconnect_is_4x_ndr200() {
+        let jedi = NodeConfig::for_system(SystemId::Jedi);
+        let ib = jedi.internode.unwrap();
+        // 4× IB NDR200 = 4 × 200 Gbit/s = 100 GB/s.
+        assert_eq!(ib.bandwidth_gbps, 100.0);
+    }
+}

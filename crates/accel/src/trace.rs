@@ -1,0 +1,243 @@
+//! Execution timeline tracing.
+//!
+//! The benchmarks drive devices through named phases (compute, host
+//! staging, collectives, pipeline fill, graph compilation). This module
+//! records those phases per device on the virtual timeline and exports
+//! them in the Chrome trace-event format (`chrome://tracing` /
+//! Perfetto), giving the reproduction the kind of execution-timeline
+//! introspection the original suite gets from framework profilers.
+
+use serde::Serialize;
+
+/// Phase categories used by the benchmark drivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[serde(rename_all = "lowercase")]
+pub enum PhaseKind {
+    Compute,
+    Communication,
+    Staging,
+    Setup,
+    Idle,
+}
+
+impl PhaseKind {
+    /// Stable category string for trace viewers.
+    pub fn category(&self) -> &'static str {
+        match self {
+            PhaseKind::Compute => "compute",
+            PhaseKind::Communication => "communication",
+            PhaseKind::Staging => "staging",
+            PhaseKind::Setup => "setup",
+            PhaseKind::Idle => "idle",
+        }
+    }
+}
+
+/// One recorded phase on one device's timeline.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PhaseEvent {
+    /// Device index ("tid" in the trace viewer).
+    pub device: u32,
+    pub kind: PhaseKind,
+    /// Label shown in the viewer (e.g. `"iter 42: fwd+bwd"`).
+    pub name: String,
+    /// Start, virtual seconds.
+    pub start_s: f64,
+    /// Duration, virtual seconds.
+    pub duration_s: f64,
+}
+
+/// A per-run collection of phase events.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    events: Vec<PhaseEvent>,
+}
+
+impl Timeline {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a phase. Zero/negative durations are dropped (they would
+    /// confuse trace viewers).
+    pub fn record(
+        &mut self,
+        device: u32,
+        kind: PhaseKind,
+        name: impl Into<String>,
+        start_s: f64,
+        duration_s: f64,
+    ) {
+        if duration_s <= 0.0 || !duration_s.is_finite() {
+            return;
+        }
+        self.events.push(PhaseEvent {
+            device,
+            kind,
+            name: name.into(),
+            start_s,
+            duration_s,
+        });
+    }
+
+    pub fn events(&self) -> &[PhaseEvent] {
+        &self.events
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total time attributed to a phase kind across all devices.
+    pub fn total_s(&self, kind: PhaseKind) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| e.kind == kind)
+            .map(|e| e.duration_s)
+            .sum()
+    }
+
+    /// End of the last event on any device (the makespan).
+    pub fn makespan_s(&self) -> f64 {
+        self.events
+            .iter()
+            .map(|e| e.start_s + e.duration_s)
+            .fold(0.0, f64::max)
+    }
+
+    /// Fraction of device `device`'s timeline spent in `kind`, relative
+    /// to that device's recorded span.
+    pub fn fraction(&self, device: u32, kind: PhaseKind) -> f64 {
+        let dev_events: Vec<&PhaseEvent> =
+            self.events.iter().filter(|e| e.device == device).collect();
+        let total: f64 = dev_events.iter().map(|e| e.duration_s).sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        dev_events
+            .iter()
+            .filter(|e| e.kind == kind)
+            .map(|e| e.duration_s)
+            .sum::<f64>()
+            / total
+    }
+
+    /// Export as Chrome trace-event JSON (complete "X" events, one row
+    /// per device). Virtual seconds are mapped to microseconds, the
+    /// viewer's native unit.
+    pub fn to_chrome_trace(&self) -> String {
+        #[derive(Serialize)]
+        struct ChromeEvent<'a> {
+            name: &'a str,
+            cat: &'static str,
+            ph: &'static str,
+            ts: f64,
+            dur: f64,
+            pid: u32,
+            tid: u32,
+        }
+        let events: Vec<ChromeEvent> = self
+            .events
+            .iter()
+            .map(|e| ChromeEvent {
+                name: &e.name,
+                cat: e.kind.category(),
+                ph: "X",
+                ts: e.start_s * 1e6,
+                dur: e.duration_s * 1e6,
+                pid: 0,
+                tid: e.device,
+            })
+            .collect();
+        serde_json::to_string_pretty(&events).expect("trace serializes")
+    }
+
+    /// A compact per-kind utilization summary, e.g. for log output.
+    pub fn summary(&self) -> String {
+        let makespan = self.makespan_s();
+        let mut out = format!("makespan: {makespan:.3} s\n");
+        for kind in [
+            PhaseKind::Compute,
+            PhaseKind::Communication,
+            PhaseKind::Staging,
+            PhaseKind::Setup,
+            PhaseKind::Idle,
+        ] {
+            let t = self.total_s(kind);
+            if t > 0.0 {
+                out.push_str(&format!("  {:<14} {t:>12.3} s\n", kind.category()));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Timeline {
+        let mut t = Timeline::new();
+        t.record(0, PhaseKind::Compute, "iter 0", 0.0, 2.0);
+        t.record(0, PhaseKind::Communication, "allreduce", 2.0, 0.5);
+        t.record(1, PhaseKind::Compute, "iter 0", 0.0, 2.0);
+        t.record(1, PhaseKind::Staging, "load", 2.0, 1.0);
+        t
+    }
+
+    #[test]
+    fn totals_and_makespan() {
+        let t = sample();
+        assert_eq!(t.total_s(PhaseKind::Compute), 4.0);
+        assert_eq!(t.total_s(PhaseKind::Communication), 0.5);
+        assert_eq!(t.total_s(PhaseKind::Idle), 0.0);
+        assert_eq!(t.makespan_s(), 3.0);
+    }
+
+    #[test]
+    fn per_device_fractions() {
+        let t = sample();
+        assert!((t.fraction(0, PhaseKind::Compute) - 2.0 / 2.5).abs() < 1e-12);
+        assert!((t.fraction(1, PhaseKind::Staging) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(t.fraction(9, PhaseKind::Compute), 0.0);
+    }
+
+    #[test]
+    fn degenerate_durations_dropped() {
+        let mut t = Timeline::new();
+        t.record(0, PhaseKind::Compute, "zero", 0.0, 0.0);
+        t.record(0, PhaseKind::Compute, "neg", 0.0, -1.0);
+        t.record(0, PhaseKind::Compute, "nan", 0.0, f64::NAN);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let json = sample().to_chrome_trace();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let arr = v.as_array().unwrap();
+        assert_eq!(arr.len(), 4);
+        assert_eq!(arr[0]["ph"], "X");
+        assert_eq!(arr[0]["cat"], "compute");
+        // 2 s → 2e6 µs.
+        assert_eq!(arr[0]["dur"], 2e6);
+        assert_eq!(arr[1]["tid"], 0);
+        assert_eq!(arr[3]["tid"], 1);
+    }
+
+    #[test]
+    fn summary_lists_nonzero_kinds() {
+        let s = sample().summary();
+        assert!(s.contains("compute"));
+        assert!(s.contains("staging"));
+        assert!(!s.contains("idle"));
+        assert!(s.contains("makespan"));
+    }
+
+    #[test]
+    fn empty_timeline_is_safe() {
+        let t = Timeline::new();
+        assert_eq!(t.makespan_s(), 0.0);
+        assert_eq!(t.to_chrome_trace(), "[]");
+    }
+}

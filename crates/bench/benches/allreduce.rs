@@ -1,0 +1,33 @@
+//! Criterion benchmarks of the real threaded ring all-reduce (the
+//! Horovod analogue behind the data-parallel benchmarks).
+
+use caraml_parallel::ring_allreduce;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ring_allreduce");
+    for &ranks in &[2usize, 4, 8] {
+        for &len in &[1_000usize, 100_000] {
+            g.throughput(Throughput::Bytes((ranks * len * 4) as u64));
+            g.bench_with_input(
+                BenchmarkId::new(format!("{ranks}ranks"), len),
+                &len,
+                |b, &len| {
+                    b.iter(|| {
+                        let bufs: Vec<Vec<f32>> =
+                            (0..ranks).map(|r| vec![r as f32; len]).collect();
+                        ring_allreduce(bufs)
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_allreduce
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benchmarks of full real training steps (forward + backward
+//! + optimizer) for tiny GPT and ResNet models on CPU.
+
+use caraml_data::SyntheticImages;
+use caraml_models::{GptConfig, GptModel, ResnetConfig, ResnetModel};
+use caraml_tensor::optim::{Adam, Optimizer, Sgd};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_gpt_step(c: &mut Criterion) {
+    let model = GptModel::new(GptConfig::tiny(64, 16), 0);
+    let params = model.parameters();
+    let mut opt = Adam::new(1e-3);
+    let tokens = vec![vec![1u32; 16], vec![2u32; 16]];
+    let targets = vec![vec![2u32; 16], vec![3u32; 16]];
+    c.bench_function("gpt_tiny_train_step", |b| {
+        b.iter(|| {
+            let loss = model.loss(&tokens, &targets);
+            loss.backward();
+            opt.step(&params);
+        })
+    });
+    c.bench_function("gpt_tiny_forward_only", |b| {
+        b.iter(|| model.forward(&tokens).value().sum())
+    });
+}
+
+fn bench_resnet_step(c: &mut Criterion) {
+    let model = ResnetModel::new(ResnetConfig::tiny(4, 16), 0);
+    let params = model.parameters();
+    let mut opt = Sgd::with_momentum(0.05, 0.9);
+    let src = SyntheticImages::new(0, 4, 3, 16, 16);
+    let (batch, labels) = src.batch(0, 4);
+    c.bench_function("resnet_tiny_train_step", |b| {
+        b.iter(|| {
+            let loss = model.loss(&batch, &labels);
+            loss.backward();
+            opt.step(&params);
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_gpt_step, bench_resnet_step
+}
+criterion_main!(benches);

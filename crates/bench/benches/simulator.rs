@@ -1,0 +1,33 @@
+//! Criterion benchmarks of the simulator-backed benchmark paths: one
+//! Fig. 2 point, one Table II row, one Table III row, and a full Fig. 4
+//! heatmap — demonstrating that regenerating the paper's evaluation is
+//! cheap (seconds, not GPU-hours).
+
+use caraml::llm::LlmBenchmark;
+use caraml::resnet::{ResnetBenchmark, FIG4_BATCHES};
+use caraml_accel::SystemId;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_simulator(c: &mut Criterion) {
+    c.bench_function("fig2_point_gh200_batch4096", |b| {
+        let mut bench = LlmBenchmark::fig2(SystemId::Gh200Jrdc);
+        bench.duration_s = 600.0;
+        b.iter(|| bench.run(4096).unwrap().fom.tokens_per_s_per_device)
+    });
+    c.bench_function("table2_row_batch1024", |b| {
+        b.iter(|| LlmBenchmark::run_ipu(1024, 1.0).unwrap().fom.energy_wh_per_device)
+    });
+    c.bench_function("table3_row_batch512", |b| {
+        b.iter(|| ResnetBenchmark::run_ipu(512, 1.0).unwrap().fom.images_per_wh)
+    });
+    c.bench_function("fig4_heatmap_a100", |b| {
+        b.iter(|| ResnetBenchmark::heatmap(SystemId::A100, &[1, 2, 4, 8], &FIG4_BATCHES))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_simulator
+}
+criterion_main!(benches);

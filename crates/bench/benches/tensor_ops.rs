@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks of the real tensor kernels: the matrix
+//! multiplications and convolutions the paper calls "the fundamental
+//! building block" of both workloads.
+
+use caraml_tensor::conv::{conv2d, Conv2dCfg};
+use caraml_tensor::matmul::{bmm, matmul, matmul_naive};
+use caraml_tensor::Tensor;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn seeded(n: usize) -> Tensor {
+    Tensor::from_vec(
+        (0..n).map(|i| ((i as u64 * 2654435761) % 97) as f32 / 97.0 - 0.5).collect(),
+        [n],
+    )
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul");
+    for &n in &[64usize, 128, 256] {
+        let a = seeded(n * n).reshape([n, n]).unwrap();
+        let b = seeded(n * n).reshape([n, n]).unwrap();
+        g.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        g.bench_with_input(BenchmarkId::new("blocked_parallel", n), &n, |bench, _| {
+            bench.iter(|| matmul(&a, &b).unwrap());
+        });
+        if n <= 128 {
+            g.bench_with_input(BenchmarkId::new("naive", n), &n, |bench, _| {
+                bench.iter(|| matmul_naive(&a, &b).unwrap());
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_bmm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bmm_attention_shape");
+    // 8 heads of 64x64 scores x values — a tiny attention pattern.
+    let a = seeded(8 * 64 * 64).reshape([8, 64, 64]).unwrap();
+    let b = seeded(8 * 64 * 64).reshape([8, 64, 64]).unwrap();
+    g.bench_function("bmm_8x64x64", |bench| bench.iter(|| bmm(&a, &b).unwrap()));
+    g.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("conv2d");
+    let x = seeded(4 * 16 * 32 * 32).reshape([4, 16, 32, 32]).unwrap();
+    let w = seeded(32 * 16 * 3 * 3).reshape([32, 16, 3, 3]).unwrap();
+    g.bench_function("conv3x3_16to32_32x32", |bench| {
+        bench.iter(|| conv2d(&x, &w, Conv2dCfg::new(1, 1)).unwrap());
+    });
+    let w1 = seeded(((64 * 16))).reshape([64, 16, 1, 1]).unwrap();
+    g.bench_function("conv1x1_16to64_32x32", |bench| {
+        bench.iter(|| conv2d(&x, &w1, Conv2dCfg::default()).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_bmm, bench_conv
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion benchmarks of the GPT-2-style BPE preprocessing path.
+
+use caraml_data::{BpeTokenizer, SyntheticCorpus};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_tokenizer(c: &mut Criterion) {
+    let corpus = SyntheticCorpus::new(42, 120);
+    let train_text = corpus.text(20, 300);
+    let encode_text = corpus.text(5, 400);
+
+    c.bench_function("bpe_train_512", |b| {
+        b.iter(|| BpeTokenizer::train(&train_text, 512))
+    });
+
+    let tok = BpeTokenizer::train(&train_text, 512);
+    let mut g = c.benchmark_group("bpe_encode");
+    g.throughput(Throughput::Bytes(encode_text.len() as u64));
+    g.bench_function("encode", |b| b.iter(|| tok.encode(&encode_text)));
+    let ids = tok.encode(&encode_text);
+    g.bench_function("decode", |b| b.iter(|| tok.decode(&ids)));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tokenizer
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Regenerate Table I: the systems analysed with CARAML.
+
+use caraml_accel::NodeConfig;
+use jube::ResultTable;
+
+fn main() {
+    let mut table = ResultTable::new(
+        ["Platform", "Accelerator", "CPU", "Host mem (GiB)", "Acc-Acc link", "Internode", "TDP/device (W)", "JUBE tag"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    );
+    for node in NodeConfig::all() {
+        table.push_row(vec![
+            node.platform.clone(),
+            format!("{}x {}", node.devices_per_node, node.device.name),
+            format!("{}x {}c {}", node.cpu.sockets, node.cpu.cores_per_socket, node.cpu.model),
+            node.host_mem_gib.to_string(),
+            node.accel_accel
+                .map(|l| format!("{:?} {} GB/s", l.kind, l.bandwidth_gbps))
+                .unwrap_or_else(|| "-".into()),
+            node.internode
+                .map(|l| format!("{:?} {} GB/s", l.kind, l.bandwidth_gbps))
+                .unwrap_or_else(|| "-".into()),
+            format!("{:.0}", node.tdp_per_device_w()),
+            node.id.jube_tag().to_string(),
+        ]);
+    }
+    println!("TABLE I — Systems analyzed with CARAML");
+    println!("{}", table.to_ascii());
+}

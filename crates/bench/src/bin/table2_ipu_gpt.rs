@@ -1,0 +1,47 @@
+//! Regenerate Table II: GPT-117M training on the IPU GC200 POD4.
+//!
+//! Paper columns: Batch Size | Tokens/Time (1/s) | Energy/Epoch/IPU (Wh)
+//! | Tokens/Energy (1/Wh). The paper's batch-64 energy row is a known
+//! outlier (see EXPERIMENTS.md); all other rows match within ~3 %.
+
+use caraml::llm::{LlmBenchmark, TABLE2_BATCHES};
+use jube::ResultTable;
+
+const PAPER: [(u64, f64, f64, f64); 9] = [
+    (64, 64.99, 15.68, 4.08),
+    (128, 97.21, 18.20, 7.03),
+    (256, 129.96, 18.37, 13.93),
+    (512, 155.72, 18.56, 27.60),
+    (1024, 172.94, 19.07, 53.71),
+    (2048, 183.37, 20.05, 102.13),
+    (4096, 188.88, 21.88, 187.22),
+    (8192, 191.86, 25.47, 321.34),
+    (16384, 193.41, 33.00, 496.43),
+];
+
+fn main() {
+    let mut table = ResultTable::new(
+        ["Batch Size", "Tokens/Time 1/s", "(paper)", "Energy/Epoch/IPU Wh", "(paper)", "Tokens/Energy 1/Wh", "(paper)"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    );
+    for (&batch, paper) in TABLE2_BATCHES.iter().zip(PAPER.iter()) {
+        let run = LlmBenchmark::run_ipu(batch, 1.0).expect("ipu run");
+        table.push_row(vec![
+            batch.to_string(),
+            format!("{:.2}", run.fom.tokens_per_s_per_device),
+            format!("{:.2}", paper.1),
+            format!("{:.2}", run.fom.energy_wh_per_device),
+            format!("{:.2}", paper.2),
+            format!("{:.2}", run.fom.tokens_per_wh),
+            format!("{:.2}", paper.3),
+        ]);
+    }
+    println!(
+        "TABLE II — 117M GPT, one epoch on IPU GC200 in M2000 POD4\n\
+         (pipeline parallelism over 4 IPUs, synthetic data)\n"
+    );
+    println!("{}", table.to_ascii());
+    println!("note: the paper's batch-64 energy row (15.68 Wh) is inconsistent with its\nown neighbouring rows; see EXPERIMENTS.md.");
+}

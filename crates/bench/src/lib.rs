@@ -1,0 +1,101 @@
+//! Shared helpers for the table/figure regeneration binaries.
+//!
+//! One binary exists per table and figure of the paper's evaluation
+//! (§IV): `table1_systems`, `fig2_llm`, `table2_ipu_gpt`, `fig3_resnet`,
+//! `table3_ipu_resnet`, `fig4_heatmaps`. Each prints the same rows/series
+//! the paper reports, plus the headline comparison ratios with their
+//! deviation from the paper's claims.
+
+use caraml::llm::LlmBenchmark;
+use caraml::report::Series;
+use caraml::resnet::ResnetBenchmark;
+use caraml_accel::SystemId;
+
+/// The seven Fig. 2 system variants in presentation order.
+pub fn fig2_variants() -> Vec<(String, LlmBenchmark)> {
+    let mut out = Vec::new();
+    for sys in [
+        SystemId::A100,
+        SystemId::H100Jrdc,
+        SystemId::WaiH100,
+        SystemId::Gh200Jrdc,
+        SystemId::Jedi,
+    ] {
+        let b = LlmBenchmark::fig2(sys);
+        out.push((b.label(), b));
+    }
+    let gcd = LlmBenchmark::fig2_mi250_gcd();
+    out.push((gcd.label(), gcd));
+    let gpu = LlmBenchmark::fig2(SystemId::Mi250);
+    out.push((gpu.label(), gpu));
+    out
+}
+
+/// The Fig. 3 system variants (single device, plus the MI250 2-GCD run).
+pub fn fig3_variants() -> Vec<(String, ResnetBenchmark)> {
+    let mut out = Vec::new();
+    for sys in [
+        SystemId::A100,
+        SystemId::H100Jrdc,
+        SystemId::WaiH100,
+        SystemId::Gh200Jrdc,
+        SystemId::Jedi,
+        SystemId::Mi250,
+    ] {
+        let b = ResnetBenchmark::fig3(sys);
+        out.push((b.label(), b));
+    }
+    let gpu = ResnetBenchmark::fig3_mi250_gpu();
+    out.push((gpu.label(), gpu));
+    out
+}
+
+/// Collect three metric series (one per Fig. 2/3 panel) from a sweep.
+pub struct PanelSeries {
+    pub throughput: Series,
+    pub energy: Series,
+    pub efficiency: Series,
+}
+
+impl PanelSeries {
+    pub fn new(name: &str) -> Self {
+        PanelSeries {
+            throughput: Series::new(name),
+            energy: Series::new(name),
+            efficiency: Series::new(name),
+        }
+    }
+
+    pub fn push(&mut self, batch: u64, point: Option<(f64, f64, f64)>) {
+        match point {
+            Some((t, e, eff)) => {
+                self.throughput.push(batch, Some(t));
+                self.energy.push(batch, Some(e));
+                self.efficiency.push(batch, Some(eff));
+            }
+            None => {
+                self.throughput.push(batch, None);
+                self.energy.push(batch, None);
+                self.efficiency.push(batch, None);
+            }
+        }
+    }
+}
+
+/// Extract the peak throughput of a named series (for headline ratios).
+pub fn peak(series: &[PanelSeries], name: &str) -> f64 {
+    series
+        .iter()
+        .find(|s| s.throughput.name == name)
+        .and_then(|s| s.throughput.peak())
+        .unwrap_or(f64::NAN)
+}
+
+/// Peak efficiency of a named series.
+pub fn peak_efficiency(series: &[PanelSeries], name: &str) -> f64 {
+    series
+        .iter()
+        .find(|s| s.efficiency.name == name)
+        .and_then(|s| s.efficiency.peak())
+        .unwrap_or(f64::NAN)
+}

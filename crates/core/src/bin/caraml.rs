@@ -1,0 +1,251 @@
+//! The `caraml` command-line entry point — the Rust counterpart of the
+//! paper's `jube run … --tag <SYSTEM> <MODEL>` / `jube result` commands.
+//!
+//! ```text
+//! caraml systems                      # Table I
+//! caraml run llm --tag GH200          # Fig. 2 sweep on one system
+//! caraml run llm --tag MI250 GCD
+//! caraml run llm --tag GC200          # Table II (IPU path)
+//! caraml run resnet50 --tag A100      # Fig. 3 sweep (incl. OOM rows)
+//! caraml heatmap WAIH100              # one Fig. 4 panel
+//! caraml inference H100               # extension: inference sweep
+//! caraml baseline record out.json --tag GH200
+//! caraml baseline compare out.json --tag GH200 [--tolerance 0.05]
+//! ```
+
+use caraml::continuous::Baseline;
+use caraml::inference::InferenceBenchmark;
+use caraml::report::render_heatmap;
+use caraml::resnet::{ResnetBenchmark, FIG3_BATCHES, FIG4_BATCHES};
+use caraml::suite::{llm_benchmark_ipu, llm_benchmark_nvidia_amd, resnet50_benchmark};
+use caraml_accel::{NodeConfig, SystemId};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  caraml systems\n  caraml run <llm|resnet50> --tag <TAG...>\n  \
+         caraml heatmap <TAG>\n  caraml inference <TAG>\n  \
+         caraml baseline <record|compare> <file.json> --tag <TAG> [--tolerance F]"
+    );
+    ExitCode::from(2)
+}
+
+fn split_tags(args: &[String]) -> (Vec<String>, Vec<String>) {
+    match args.iter().position(|a| a == "--tag") {
+        Some(i) => (args[..i].to_vec(), args[i + 1..].to_vec()),
+        None => (args.to_vec(), Vec::new()),
+    }
+}
+
+fn run_suite(which: &str, tags: &[String]) -> ExitCode {
+    let is_ipu = tags.iter().any(|t| t.eq_ignore_ascii_case("GC200"));
+    let (benchmark, columns): (jube::Benchmark, Vec<&str>) = match (which, is_ipu) {
+        ("llm", false) => (
+            llm_benchmark_nvidia_amd(),
+            vec![
+                "platform",
+                "global_batch",
+                "tokens_per_s_per_gpu",
+                "energy_wh_per_gpu",
+                "tokens_per_wh",
+                "error",
+            ],
+        ),
+        ("llm", true) => (
+            llm_benchmark_ipu(),
+            vec![
+                "platform",
+                "global_batch_tokens",
+                "tokens_per_s",
+                "energy_wh_per_ipu",
+                "tokens_per_wh",
+                "error",
+            ],
+        ),
+        ("resnet50", _) => (
+            resnet50_benchmark(),
+            vec![
+                "platform",
+                "global_batch",
+                "images_per_s",
+                "energy_wh_per_epoch",
+                "images_per_wh",
+                "error",
+            ],
+        ),
+        _ => return usage(),
+    };
+    println!("caraml run {which} --tag {}\n", tags.join(" "));
+    match benchmark.run(tags) {
+        Ok(result) => {
+            let mut table = result.table(&columns);
+            table.sort_by_column(columns[1]);
+            println!("{}", table.to_ascii());
+            if result.failures() > 0 {
+                println!("{} workpackage(s) failed (see error column)", result.failures());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("caraml: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_heatmap(tag: &str) -> ExitCode {
+    let Some(sys) = SystemId::from_jube_tag(tag) else {
+        eprintln!("caraml: unknown system tag '{tag}'");
+        return ExitCode::from(2);
+    };
+    let node = NodeConfig::for_system(sys);
+    let max_dev = (node.devices_per_node * node.max_nodes.min(2)).max(1);
+    let mut devices = Vec::new();
+    let mut d = 1u32;
+    while d <= max_dev {
+        devices.push(d);
+        d *= 2;
+    }
+    let grid = ResnetBenchmark::heatmap(sys, &devices, &FIG4_BATCHES);
+    println!(
+        "{}",
+        render_heatmap(
+            &format!("ResNet50 images/s on {}", node.platform),
+            &devices,
+            &FIG4_BATCHES,
+            &grid
+        )
+    );
+    ExitCode::SUCCESS
+}
+
+fn run_inference(tag: &str) -> ExitCode {
+    let Some(sys) = SystemId::from_jube_tag(tag) else {
+        eprintln!("caraml: unknown system tag '{tag}'");
+        return ExitCode::from(2);
+    };
+    let bench = InferenceBenchmark::new(sys);
+    println!("LLM inference on {} (800M GPT):", NodeConfig::for_system(sys).platform);
+    for batch in [1u32, 4, 16, 64] {
+        match bench.run(batch) {
+            Ok(fom) => println!(
+                "  batch {batch:>3}: TTFT {:>7.1} ms | decode {:>8.0} tok/s ({}) | {:.4} Wh/ktoken",
+                fom.ttft_s * 1e3,
+                fom.decode_tokens_per_s,
+                if fom.decode_memory_bound { "memory-bound" } else { "compute-bound" },
+                fom.energy_wh_per_ktoken
+            ),
+            Err(e) => println!("  batch {batch:>3}: {e}"),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Run a quick ResNet sweep on one system and return the FOM baseline.
+fn measure_baseline(tag: &str) -> Result<Baseline, String> {
+    let sys = SystemId::from_jube_tag(tag).ok_or_else(|| format!("unknown tag {tag}"))?;
+    let mut baseline = Baseline::new(format!("caraml/{tag}"));
+    if sys == SystemId::Gc200 {
+        for batch in [64u64, 1024] {
+            let run = ResnetBenchmark::run_ipu(batch, 1.0).map_err(|e| e.to_string())?;
+            baseline.record_cv(&format!("resnet50/{tag}/b{batch}"), &run.fom);
+        }
+    } else {
+        let bench = ResnetBenchmark::fig3(sys);
+        for &batch in FIG3_BATCHES.iter().step_by(3) {
+            match bench.run(batch) {
+                Ok(run) => baseline.record_cv(&format!("resnet50/{tag}/b{batch}"), &run.fom),
+                Err(e) if e.is_oom() => {}
+                Err(e) => return Err(e.to_string()),
+            }
+        }
+    }
+    Ok(baseline)
+}
+
+fn run_baseline(args: &[String]) -> ExitCode {
+    let (pos, rest) = split_tags(args);
+    if pos.len() < 2 {
+        return usage();
+    }
+    let (action, file) = (pos[0].as_str(), pos[1].as_str());
+    let tag = rest.first().map(String::as_str).unwrap_or("A100");
+    let tolerance = pos
+        .iter()
+        .position(|a| a == "--tolerance")
+        .and_then(|i| pos.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.05);
+    let measured = match measure_baseline(tag) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("caraml: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match action {
+        "record" => match measured.save(std::path::Path::new(file)) {
+            Ok(()) => {
+                println!("recorded {} metrics to {file}", measured.metrics.len());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("caraml: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "compare" => match Baseline::load(std::path::Path::new(file)) {
+            Ok(base) => {
+                let report = base.compare(&measured, tolerance);
+                print!("{}", report.summary());
+                if report.passed() {
+                    println!("PASS (tolerance ±{:.1}%)", tolerance * 100.0);
+                    ExitCode::SUCCESS
+                } else {
+                    println!("FAIL: {} regression(s)", report.regressions().len());
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("caraml: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => usage(),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("systems") => {
+            let mut table = jube::ResultTable::new(
+                ["Platform", "Accelerator", "TDP/device (W)", "JUBE tag"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+            );
+            for node in NodeConfig::all() {
+                table.push_row(vec![
+                    node.platform.clone(),
+                    format!("{}x {}", node.devices_per_node, node.device.name),
+                    format!("{:.0}", node.tdp_per_device_w()),
+                    node.id.jube_tag().to_string(),
+                ]);
+            }
+            println!("{}", table.to_ascii());
+            ExitCode::SUCCESS
+        }
+        Some("run") => {
+            if args.len() < 2 {
+                return usage();
+            }
+            let (_, tags) = split_tags(&args[2..]);
+            run_suite(&args[1], &tags)
+        }
+        Some("heatmap") if args.len() >= 2 => run_heatmap(&args[1]),
+        Some("inference") if args.len() >= 2 => run_inference(&args[1]),
+        Some("baseline") => run_baseline(&args[1..]),
+        _ => usage(),
+    }
+}

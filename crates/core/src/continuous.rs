@@ -1,0 +1,294 @@
+//! Continuous benchmarking — an implemented "future work" item.
+//!
+//! §VI: "we plan to further develop CARAML by incorporating continuous
+//! benchmarking capabilities". This module adds the regression-tracking
+//! layer: figures of merit from a run are persisted as a JSON *baseline*;
+//! subsequent runs are compared against it with a relative tolerance, and
+//! each metric is classified as stable, improved, regressed, new, or
+//! missing — ready to gate a CI pipeline.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// A persisted set of benchmark metrics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Baseline {
+    /// Schema/description, e.g. the suite git revision.
+    pub label: String,
+    /// metric key (e.g. `"llm/GH200/batch4096/tokens_per_s"`) → value.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+impl Baseline {
+    pub fn new(label: impl Into<String>) -> Self {
+        Baseline {
+            label: label.into(),
+            metrics: BTreeMap::new(),
+        }
+    }
+
+    /// Record one metric (replacing any previous value).
+    pub fn record(&mut self, key: impl Into<String>, value: f64) {
+        self.metrics.insert(key.into(), value);
+    }
+
+    /// Record all figures of merit of an LLM run under a prefix.
+    pub fn record_llm(&mut self, prefix: &str, fom: &crate::fom::LlmFom) {
+        self.record(format!("{prefix}/tokens_per_s"), fom.tokens_per_s_per_device);
+        self.record(format!("{prefix}/energy_wh"), fom.energy_wh_per_device);
+        self.record(format!("{prefix}/tokens_per_wh"), fom.tokens_per_wh);
+    }
+
+    /// Record all figures of merit of a CV run under a prefix.
+    pub fn record_cv(&mut self, prefix: &str, fom: &crate::fom::CvFom) {
+        self.record(format!("{prefix}/images_per_s"), fom.images_per_s);
+        self.record(format!("{prefix}/energy_wh"), fom.energy_wh_per_epoch);
+        self.record(format!("{prefix}/images_per_wh"), fom.images_per_wh);
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("baseline serializes")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(text: &str) -> Result<Baseline, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+
+    /// Persist to a file.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Load from a file.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        Self::from_json(&text)
+    }
+
+    /// Compare a new measurement set against this baseline. `tolerance`
+    /// is the relative band treated as noise (e.g. 0.05 = ±5 %);
+    /// `higher_is_better` applies to every metric (throughput/efficiency
+    /// suites; invert values for latency metrics).
+    pub fn compare(&self, current: &Baseline, tolerance: f64) -> RegressionReport {
+        assert!(tolerance >= 0.0);
+        let mut findings = Vec::new();
+        for (key, &base) in &self.metrics {
+            match current.metrics.get(key) {
+                None => findings.push(Finding {
+                    key: key.clone(),
+                    baseline: Some(base),
+                    current: None,
+                    change: Verdict::Missing,
+                    rel_delta: 0.0,
+                }),
+                Some(&now) => {
+                    let rel = if base != 0.0 { (now - base) / base } else { 0.0 };
+                    let change = if rel < -tolerance {
+                        Verdict::Regressed
+                    } else if rel > tolerance {
+                        Verdict::Improved
+                    } else {
+                        Verdict::Stable
+                    };
+                    findings.push(Finding {
+                        key: key.clone(),
+                        baseline: Some(base),
+                        current: Some(now),
+                        change,
+                        rel_delta: rel,
+                    });
+                }
+            }
+        }
+        for (key, &now) in &current.metrics {
+            if !self.metrics.contains_key(key) {
+                findings.push(Finding {
+                    key: key.clone(),
+                    baseline: None,
+                    current: Some(now),
+                    change: Verdict::New,
+                    rel_delta: 0.0,
+                });
+            }
+        }
+        RegressionReport { findings }
+    }
+}
+
+/// Classification of one metric's movement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    Stable,
+    Improved,
+    Regressed,
+    /// Present in the baseline but not measured now.
+    Missing,
+    /// Measured now but absent from the baseline.
+    New,
+}
+
+/// One compared metric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Finding {
+    pub key: String,
+    pub baseline: Option<f64>,
+    pub current: Option<f64>,
+    pub change: Verdict,
+    /// Relative delta (current − baseline) / baseline.
+    pub rel_delta: f64,
+}
+
+/// The outcome of a baseline comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionReport {
+    pub findings: Vec<Finding>,
+}
+
+impl RegressionReport {
+    /// Metrics that regressed beyond tolerance.
+    pub fn regressions(&self) -> Vec<&Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.change == Verdict::Regressed)
+            .collect()
+    }
+
+    /// True when no metric regressed or went missing (the CI gate).
+    pub fn passed(&self) -> bool {
+        !self
+            .findings
+            .iter()
+            .any(|f| matches!(f.change, Verdict::Regressed | Verdict::Missing))
+    }
+
+    /// Render a compact summary.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{:<10} {:<50} {:>+7.2}%\n",
+                format!("{:?}", f.change),
+                f.key,
+                f.rel_delta * 100.0
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caraml_accel::SystemId;
+
+    fn baseline_with(pairs: &[(&str, f64)]) -> Baseline {
+        let mut b = Baseline::new("test");
+        for (k, v) in pairs {
+            b.record(*k, *v);
+        }
+        b
+    }
+
+    #[test]
+    fn stable_within_tolerance() {
+        let base = baseline_with(&[("x", 100.0)]);
+        let now = baseline_with(&[("x", 103.0)]);
+        let report = base.compare(&now, 0.05);
+        assert!(report.passed());
+        assert_eq!(report.findings[0].change, Verdict::Stable);
+    }
+
+    #[test]
+    fn regression_detected_beyond_tolerance() {
+        let base = baseline_with(&[("x", 100.0)]);
+        let now = baseline_with(&[("x", 90.0)]);
+        let report = base.compare(&now, 0.05);
+        assert!(!report.passed());
+        assert_eq!(report.regressions().len(), 1);
+        assert!((report.findings[0].rel_delta + 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn improvement_and_new_metrics_pass() {
+        let base = baseline_with(&[("x", 100.0)]);
+        let now = baseline_with(&[("x", 120.0), ("y", 1.0)]);
+        let report = base.compare(&now, 0.05);
+        assert!(report.passed());
+        let verdicts: Vec<Verdict> = report.findings.iter().map(|f| f.change).collect();
+        assert!(verdicts.contains(&Verdict::Improved));
+        assert!(verdicts.contains(&Verdict::New));
+    }
+
+    #[test]
+    fn missing_metric_fails_the_gate() {
+        let base = baseline_with(&[("x", 100.0), ("y", 5.0)]);
+        let now = baseline_with(&[("x", 100.0)]);
+        let report = base.compare(&now, 0.05);
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn json_round_trip_and_file_persistence() {
+        let mut b = Baseline::new("rev-abc");
+        b.record("llm/GH200/tokens_per_s", 47505.0);
+        let parsed = Baseline::from_json(&b.to_json()).unwrap();
+        assert_eq!(parsed, b);
+
+        let path = std::env::temp_dir()
+            .join(format!("caraml_baseline_{}", std::process::id()))
+            .join("baseline.json");
+        b.save(&path).unwrap();
+        let loaded = Baseline::load(&path).unwrap();
+        assert_eq!(loaded, b);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn end_to_end_gate_on_simulated_runs() {
+        // Record a baseline from an actual benchmark run, then re-run:
+        // the simulator is deterministic, so the gate must pass at any
+        // tolerance.
+        let mut bench = crate::llm::LlmBenchmark::fig2(SystemId::A100);
+        bench.duration_s = 120.0;
+        let mut base = Baseline::new("run1");
+        base.record_llm("llm/A100/b512", &bench.run(512).unwrap().fom);
+        let mut now = Baseline::new("run2");
+        now.record_llm("llm/A100/b512", &bench.run(512).unwrap().fom);
+        let report = base.compare(&now, 0.001);
+        assert!(report.passed(), "{}", report.summary());
+        assert_eq!(report.findings.len(), 3);
+    }
+
+    #[test]
+    fn detects_an_injected_performance_regression() {
+        // Simulate a "code change" that slows the device: compare A100
+        // against a deliberately slower measurement.
+        let mut bench = crate::llm::LlmBenchmark::fig2(SystemId::A100);
+        bench.duration_s = 120.0;
+        let good = bench.run(512).unwrap().fom;
+        let mut base = Baseline::new("good");
+        base.record_llm("llm/A100/b512", &good);
+        let mut bad_fom = good.clone();
+        bad_fom.tokens_per_s_per_device *= 0.8; // injected 20 % regression
+        bad_fom.tokens_per_wh *= 0.8;
+        let mut now = Baseline::new("bad");
+        now.record_llm("llm/A100/b512", &bad_fom);
+        let report = base.compare(&now, 0.05);
+        assert!(!report.passed());
+        assert_eq!(report.regressions().len(), 2);
+        assert!(report.summary().contains("Regressed"));
+    }
+
+    #[test]
+    fn zero_baseline_is_stable() {
+        let base = baseline_with(&[("z", 0.0)]);
+        let now = baseline_with(&[("z", 5.0)]);
+        assert!(base.compare(&now, 0.05).passed());
+    }
+}

@@ -1,0 +1,114 @@
+//! Figures of merit.
+//!
+//! CARAML reports throughput-based figures of merit — tokens/second and
+//! images/second — "allowing for quick evaluation without the need to
+//! perform full training runs" (§II-D), plus the energy metrics layered
+//! on top: Wh per device and tokens/Wh resp. images/Wh.
+
+use serde::{Deserialize, Serialize};
+
+/// Figures of merit of one LLM-training measurement point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LlmFom {
+    /// System label (Table I platform + variant, e.g. `"AMD MI250:GCD"`).
+    pub system: String,
+    /// Global batch size; samples on GPUs, tokens on the IPU (§III-A1).
+    pub global_batch: u64,
+    /// Devices participating.
+    pub devices: u32,
+    /// Throughput per device, tokens/s (Fig. 2 top panel).
+    pub tokens_per_s_per_device: f64,
+    /// Energy per device over the measurement window, Wh (Fig. 2 middle
+    /// panel: one hour of training; Table II: one epoch).
+    pub energy_wh_per_device: f64,
+    /// Efficiency, tokens/Wh (Fig. 2 bottom panel / Table II last column).
+    pub tokens_per_wh: f64,
+    /// Mean device power over the window, W.
+    pub mean_power_w: f64,
+}
+
+/// Figures of merit of one ResNet50-training measurement point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CvFom {
+    pub system: String,
+    pub global_batch: u64,
+    pub devices: u32,
+    /// Aggregate throughput, images/s.
+    pub images_per_s: f64,
+    /// Energy per device for one full epoch (1 281 167 images), Wh.
+    pub energy_wh_per_epoch: f64,
+    /// Efficiency, images/Wh.
+    pub images_per_wh: f64,
+    /// Mean device power over the epoch, W.
+    pub mean_power_w: f64,
+}
+
+/// A heatmap cell of Fig. 4: either a throughput or an out-of-memory
+/// marker.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum HeatmapCell {
+    /// Aggregate images/s.
+    Throughput(f64),
+    /// "OOM stands for Out of Memory, i.e. the batch size is too large
+    /// for the memory of the device."
+    Oom,
+    /// Configuration not executable (e.g. batch not divisible).
+    Invalid,
+}
+
+impl HeatmapCell {
+    pub fn value(&self) -> Option<f64> {
+        match self {
+            HeatmapCell::Throughput(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn is_oom(&self) -> bool {
+        matches!(self, HeatmapCell::Oom)
+    }
+}
+
+impl std::fmt::Display for HeatmapCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HeatmapCell::Throughput(v) => write!(f, "{v:.0}"),
+            HeatmapCell::Oom => write!(f, "OOM"),
+            HeatmapCell::Invalid => write!(f, "-"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heatmap_cell_accessors() {
+        let t = HeatmapCell::Throughput(1234.6);
+        assert_eq!(t.value(), Some(1234.6));
+        assert!(!t.is_oom());
+        assert_eq!(t.to_string(), "1235");
+        let o = HeatmapCell::Oom;
+        assert_eq!(o.value(), None);
+        assert!(o.is_oom());
+        assert_eq!(o.to_string(), "OOM");
+        assert_eq!(HeatmapCell::Invalid.to_string(), "-");
+    }
+
+    #[test]
+    fn fom_types_serialize() {
+        let fom = LlmFom {
+            system: "A100".into(),
+            global_batch: 4096,
+            devices: 4,
+            tokens_per_s_per_device: 19000.0,
+            energy_wh_per_device: 330.0,
+            tokens_per_wh: 207000.0,
+            mean_power_w: 330.0,
+        };
+        let json = serde_json::to_string(&fom).unwrap();
+        let back: LlmFom = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, fom);
+    }
+}

@@ -1,0 +1,284 @@
+//! LLM inference benchmark — an implemented "future work" item.
+//!
+//! §VI: "We also aim to expand the suite by including additional AI
+//! training and inference benchmarks." This module adds the natural LLM
+//! inference counterpart to the training benchmark, exercising the part
+//! of the roofline the training path never reaches: autoregressive
+//! *decode* is memory-bandwidth-bound (every generated token re-reads all
+//! weights plus the KV cache), while *prefill* is compute-bound like
+//! training. Batching requests raises decode's arithmetic intensity until
+//! it crosses the ridge point — the classic inference throughput/latency
+//! trade-off.
+
+use caraml_accel::spec::Workload;
+use caraml_accel::{AccelError, NodeConfig, SimNode, SystemId};
+use caraml_models::gpt::cost::GptCost;
+use caraml_models::GptConfig;
+use jpwr::measure::{sample_virtual, virtual_sources};
+use serde::{Deserialize, Serialize};
+
+/// Per-step launch overhead during inference, seconds. Decode loops are
+/// CUDA-graph-captured in production inference stacks, so the per-token
+/// overhead is far below the training path's kernel-by-kernel launches.
+const INFERENCE_LAUNCH_OVERHEAD_S: f64 = 5e-5;
+
+/// Figures of merit of one inference measurement point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferenceFom {
+    pub system: String,
+    /// Concurrent requests served (batch size).
+    pub batch: u32,
+    /// Prompt length in tokens.
+    pub prompt_tokens: u64,
+    /// Tokens generated per request.
+    pub generated_tokens: u64,
+    /// Time to first token (prefill latency), seconds.
+    pub ttft_s: f64,
+    /// Aggregate decode throughput, tokens/s.
+    pub decode_tokens_per_s: f64,
+    /// Prefill throughput, tokens/s.
+    pub prefill_tokens_per_s: f64,
+    /// Whether decode was memory-bandwidth-bound.
+    pub decode_memory_bound: bool,
+    /// Energy per 1000 generated tokens, Wh.
+    pub energy_wh_per_ktoken: f64,
+}
+
+/// A single-device LLM inference benchmark.
+#[derive(Debug, Clone)]
+pub struct InferenceBenchmark {
+    pub system: SystemId,
+    pub model: GptConfig,
+    pub prompt_tokens: u64,
+    pub generated_tokens: u64,
+}
+
+impl InferenceBenchmark {
+    /// Default setup: 800M GPT, 512-token prompts, 128 generated tokens.
+    pub fn new(system: SystemId) -> Self {
+        InferenceBenchmark {
+            system,
+            model: GptConfig::gpt_800m(),
+            prompt_tokens: 512,
+            generated_tokens: 128,
+        }
+    }
+
+    /// Bytes of KV cache per sequence position (fp16 K and V across all
+    /// layers).
+    fn kv_bytes_per_token(&self) -> f64 {
+        2.0 * 2.0 * self.model.layers as f64 * self.model.hidden as f64
+    }
+
+    /// Run with `batch` concurrent requests on one device.
+    pub fn run(&self, batch: u32) -> Result<InferenceFom, AccelError> {
+        if batch == 0 {
+            return Err(AccelError::InvalidConfig("batch must be positive".into()));
+        }
+        if self.system == SystemId::Gc200 {
+            return Err(AccelError::InvalidConfig(
+                "inference path models the GPU systems".into(),
+            ));
+        }
+        let node_cfg = NodeConfig::for_system(self.system);
+        let node = SimNode::new(node_cfg.clone());
+        let dev = node.device(0);
+        let spec = dev.spec().clone();
+        let cost = GptCost::new(self.model.clone());
+
+        // Weights (fp16) + KV cache must fit.
+        let weight_bytes = cost.total_params() * 2;
+        let kv_total = (self.kv_bytes_per_token()
+            * (self.prompt_tokens + self.generated_tokens) as f64
+            * f64::from(batch)) as u64;
+        if weight_bytes + kv_total > spec.mem_bytes {
+            return Err(AccelError::OutOfMemory {
+                device: spec.name.clone(),
+                requested: weight_bytes + kv_total,
+                available: spec.mem_bytes,
+                capacity: spec.mem_bytes,
+            });
+        }
+
+        let calib = spec.calib(Workload::Llm);
+        let roofline = caraml_accel::RooflineModel::from_parts(
+            spec.peak_fp16_flops(),
+            spec.mem_bw_bytes_per_s(),
+            calib.mfu_max,
+            calib.batch_half,
+            INFERENCE_LAUNCH_OVERHEAD_S,
+        );
+        let fwd_flops = cost.forward_flops_per_token();
+
+        // --- prefill: all prompt tokens of all requests, compute-bound
+        // like a training forward pass. ---
+        let prefill_tokens = self.prompt_tokens * u64::from(batch);
+        let prefill_profile = caraml_accel::KernelProfile::new(
+            fwd_flops * prefill_tokens as f64,
+            weight_bytes as f64 * 2.0,
+        );
+        // Prefill sees a full sequence at once: batch for the MFU curve
+        // is the token parallelism available.
+        let prefill_est = roofline.estimate(&prefill_profile, prefill_tokens as f64);
+        let ttft = prefill_est.time_s;
+
+        // --- decode: one token per request per step; every step re-reads
+        // all weights plus each request's KV cache. ---
+        let steps = self.generated_tokens;
+        let kv_read_per_step = self.kv_bytes_per_token()
+            * (self.prompt_tokens + self.generated_tokens / 2) as f64
+            * f64::from(batch);
+        let decode_step_profile = caraml_accel::KernelProfile::new(
+            fwd_flops * f64::from(batch),
+            weight_bytes as f64 + kv_read_per_step,
+        );
+        let step_est = roofline.estimate(&decode_step_profile, f64::from(batch));
+        let t_decode = step_est.time_s * steps as f64;
+        let decode_tokens_per_s = (steps * u64::from(batch)) as f64 / t_decode;
+
+        // --- drive the power phases and measure energy with jpwr ---
+        let u_prefill = (prefill_est.mfu / spec.llm.mfu_max).clamp(0.0, 1.0);
+        // Memory-bound decode keeps compute units underutilised.
+        let u_decode = if step_est.compute_bound {
+            (step_est.mfu / spec.llm.mfu_max).clamp(0.0, 1.0)
+        } else {
+            (step_est.compute_s / step_est.time_s).clamp(0.05, 1.0) * 0.7 + 0.2
+        };
+        node.run_phase(1, ttft, u_prefill, spec.llm.sustained_w)?;
+        node.run_phase(1, t_decode, u_decode, spec.llm.sustained_w)?;
+        node.idle_phase(0.0)?;
+
+        let total = ttft + t_decode;
+        let sources = virtual_sources(&node.devices()[..1], "dev", "pynvml");
+        let m = sample_virtual(&sources, (total / 500.0).max(1e-4), 0.0, total);
+        let energy_wh = m.df.energy_wh(0);
+        let generated = (steps * u64::from(batch)) as f64;
+
+        Ok(InferenceFom {
+            system: node_cfg.platform.clone(),
+            batch,
+            prompt_tokens: self.prompt_tokens,
+            generated_tokens: self.generated_tokens,
+            ttft_s: ttft,
+            decode_tokens_per_s,
+            prefill_tokens_per_s: prefill_tokens as f64 / ttft,
+            decode_memory_bound: !step_est.compute_bound,
+            energy_wh_per_ktoken: energy_wh * 1000.0 / generated,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench(system: SystemId) -> InferenceBenchmark {
+        InferenceBenchmark::new(system)
+    }
+
+    #[test]
+    fn decode_is_memory_bound_at_batch_1() {
+        for sys in [
+            SystemId::A100,
+            SystemId::H100Jrdc,
+            SystemId::WaiH100,
+            SystemId::Gh200Jrdc,
+            SystemId::Mi250,
+        ] {
+            let fom = bench(sys).run(1).unwrap();
+            assert!(
+                fom.decode_memory_bound,
+                "{sys:?}: single-stream decode must be bandwidth-bound"
+            );
+        }
+    }
+
+    #[test]
+    fn prefill_is_compute_bound() {
+        let fom = bench(SystemId::A100).run(1).unwrap();
+        // Prefill throughput is orders of magnitude above decode.
+        assert!(fom.prefill_tokens_per_s > 20.0 * fom.decode_tokens_per_s);
+    }
+
+    #[test]
+    fn decode_throughput_tracks_memory_bandwidth() {
+        // Single-stream decode ≈ bw / bytes-per-token, so the GH200/A100
+        // ratio must approach their HBM bandwidth ratio (4000/1555).
+        let gh = bench(SystemId::Gh200Jrdc).run(1).unwrap();
+        let a100 = bench(SystemId::A100).run(1).unwrap();
+        let ratio = gh.decode_tokens_per_s / a100.decode_tokens_per_s;
+        let bw_ratio = 4000.0 / 1555.0;
+        assert!(
+            (ratio - bw_ratio).abs() / bw_ratio < 0.15,
+            "decode ratio {ratio:.2} vs bandwidth ratio {bw_ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn batching_raises_decode_throughput_sublinearly() {
+        let b = bench(SystemId::H100Jrdc);
+        let t1 = b.run(1).unwrap().decode_tokens_per_s;
+        let t8 = b.run(8).unwrap().decode_tokens_per_s;
+        let t64 = b.run(64).unwrap().decode_tokens_per_s;
+        assert!(t8 > 4.0 * t1, "batching amortizes weight reads");
+        assert!(t64 > t8);
+        assert!(t64 < 64.0 * t1, "KV reads keep scaling with batch");
+    }
+
+    #[test]
+    fn large_batches_cross_into_compute_bound() {
+        let b = bench(SystemId::A100);
+        // Somewhere before batch 512 the A100 decode becomes
+        // compute-bound (or OOMs on KV cache — also acceptable evidence
+        // of the crossover region).
+        let mut crossed = false;
+        for batch in [1u32, 8, 32, 128, 256, 512] {
+            match b.run(batch) {
+                Ok(fom) if !fom.decode_memory_bound => {
+                    crossed = true;
+                    break;
+                }
+                Err(e) if e.is_oom() => {
+                    crossed = true;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        assert!(crossed, "decode never left the bandwidth roof");
+    }
+
+    #[test]
+    fn ttft_grows_with_prompt_length() {
+        let mut b = bench(SystemId::A100);
+        let short = b.run(4).unwrap().ttft_s;
+        b.prompt_tokens = 2048;
+        let long = b.run(4).unwrap().ttft_s;
+        assert!(long > 2.0 * short);
+    }
+
+    #[test]
+    fn kv_cache_oom_on_extreme_batch() {
+        let mut b = bench(SystemId::A100);
+        b.prompt_tokens = 2048;
+        b.generated_tokens = 2048;
+        // 800M KV cache: 2·2·16·2048 B/token ≈ 131 KB/token · 4096
+        // tokens · batch — a batch of 16k blows 40 GB.
+        let err = b.run(16384).unwrap_err();
+        assert!(err.is_oom());
+    }
+
+    #[test]
+    fn energy_per_token_improves_with_batching() {
+        let b = bench(SystemId::Gh200Jrdc);
+        let e1 = b.run(1).unwrap().energy_wh_per_ktoken;
+        let e32 = b.run(32).unwrap().energy_wh_per_ktoken;
+        assert!(e32 < e1, "batching must amortize idle+weight energy");
+    }
+
+    #[test]
+    fn ipu_rejected_and_zero_batch_rejected() {
+        assert!(bench(SystemId::Gc200).run(1).is_err());
+        assert!(bench(SystemId::A100).run(0).is_err());
+    }
+}

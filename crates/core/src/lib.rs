@@ -1,0 +1,44 @@
+//! # caraml — the CARAML benchmark suite
+//!
+//! The paper's primary contribution: "a compact, automated, reproducible
+//! assessment of machine-learning workloads on novel accelerators",
+//! consisting of an LLM-training benchmark (GPT via Megatron-LM) and a
+//! computer-vision benchmark (ResNet50 via tf_cnn_benchmarks), driven by
+//! JUBE with energy measurement through jpwr.
+//!
+//! This crate wires the reproduction together:
+//!
+//! * [`llm`] — the LLM training benchmark (Fig. 2 and Table II):
+//!   throughput in tokens/s, energy in Wh per device, efficiency in
+//!   tokens/Wh, across the seven Table I systems and batch sizes 16–4096
+//!   (64–16384 in tokens on the IPU);
+//! * [`resnet`] — the ResNet50 benchmark (Fig. 3, Fig. 4, Table III):
+//!   images/s, Wh per epoch over the 1 281 167 ImageNet training images,
+//!   images/Wh, including the device-count × batch-size scaling heatmaps
+//!   with OOM detection;
+//! * [`suite`] — JUBE benchmark definitions equivalent to the paper's
+//!   `llm_benchmark_nvidia_amd.yaml`, `llm_benchmark_ipu.yaml` and
+//!   `resnet50_benchmark.xml`, tag-selected per system;
+//! * [`report`] — figure/table renderers (series plots as aligned text,
+//!   heatmaps with OOM cells).
+//!
+//! Execution happens on the `caraml-accel` simulator: every benchmark
+//! drives a [`caraml_accel::SimNode`] through timed phases on a virtual
+//! clock and measures energy by replaying jpwr's sampling loop over the
+//! recorded power registers.
+
+pub mod continuous;
+pub mod fom;
+pub mod inference;
+pub mod llm;
+pub mod llm_large;
+pub mod report;
+pub mod resnet;
+pub mod suite;
+
+pub use continuous::{Baseline, RegressionReport};
+pub use fom::{CvFom, LlmFom};
+pub use inference::{InferenceBenchmark, InferenceFom};
+pub use llm::{LlmBenchmark, LlmRun};
+pub use llm_large::{LargeModelBenchmark, LargeModelRun};
+pub use resnet::{ResnetBenchmark, ResnetRun};

@@ -1,0 +1,154 @@
+//! Text renderers for the paper's figures and tables.
+//!
+//! The regeneration binaries in `caraml-bench` print each figure as data
+//! series (one row per batch size, one column per system) and each
+//! heatmap as an aligned grid with `OOM` cells, matching the structure of
+//! Fig. 2, Fig. 3 and Fig. 4.
+
+use crate::fom::HeatmapCell;
+use jube::ResultTable;
+
+/// A named data series over batch sizes (one line in a Fig. 2/3 panel).
+#[derive(Debug, Clone)]
+pub struct Series {
+    pub name: String,
+    /// `(global_batch, value)` points; `None` marks a failed point (OOM
+    /// or invalid configuration).
+    pub points: Vec<(u64, Option<f64>)>,
+}
+
+impl Series {
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, batch: u64, value: Option<f64>) {
+        self.points.push((batch, value));
+    }
+
+    /// Largest finite value in the series.
+    pub fn peak(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .filter_map(|(_, v)| *v)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+}
+
+/// Render one figure panel: rows = batch sizes, columns = systems.
+pub fn render_panel(title: &str, batches: &[u64], series: &[Series]) -> String {
+    let mut columns = vec!["global_batch".to_string()];
+    columns.extend(series.iter().map(|s| s.name.clone()));
+    let mut table = ResultTable::new(columns);
+    for (i, &batch) in batches.iter().enumerate() {
+        let mut row = vec![batch.to_string()];
+        for s in series {
+            let cell = s
+                .points
+                .get(i)
+                .and_then(|(b, v)| (*b == batch).then_some(*v))
+                .flatten();
+            row.push(match cell {
+                Some(v) if v >= 1000.0 => format!("{v:.0}"),
+                Some(v) => format!("{v:.2}"),
+                // Failed point: OOM or invalid configuration (e.g. the
+                // paper's "batch 16 not divisible by dp 8" MI250 case).
+                None => "-".to_string(),
+            });
+        }
+        table.push_row(row);
+    }
+    format!("{title}\n{}", table.to_ascii())
+}
+
+/// Render a Fig. 4 heatmap for one system.
+pub fn render_heatmap(
+    title: &str,
+    device_counts: &[u32],
+    batches: &[u64],
+    grid: &[Vec<HeatmapCell>],
+) -> String {
+    let mut columns = vec!["devices \\ batch".to_string()];
+    columns.extend(batches.iter().map(u64::to_string));
+    let mut table = ResultTable::new(columns);
+    for (r, &d) in device_counts.iter().enumerate() {
+        let mut row = vec![d.to_string()];
+        row.extend(grid[r].iter().map(HeatmapCell::to_string));
+        table.push_row(row);
+    }
+    format!("{title}\n{}", table.to_ascii())
+}
+
+/// Compact `a × / b ×` style comparison line used by the bench binaries
+/// to echo the paper's headline claims.
+pub fn ratio_line(label: &str, numerator: f64, denominator: f64, paper: f64) -> String {
+    let ratio = numerator / denominator;
+    format!(
+        "{label}: measured {ratio:.2}x (paper: {paper:.2}x, deviation {:+.1}%)",
+        (ratio / paper - 1.0) * 100.0
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_peak() {
+        let mut s = Series::new("A100");
+        s.push(16, Some(10.0));
+        s.push(32, Some(30.0));
+        s.push(64, None);
+        assert_eq!(s.peak(), Some(30.0));
+        assert_eq!(Series::new("empty").peak(), None);
+    }
+
+    #[test]
+    fn panel_renders_systems_and_oom() {
+        let mut a = Series::new("A100");
+        a.push(16, Some(1000.0));
+        a.push(32, None);
+        let mut b = Series::new("GH200");
+        b.push(16, Some(2450.0));
+        b.push(32, Some(4900.0));
+        let out = render_panel("Fig 2 (top)", &[16, 32], &[a, b]);
+        assert!(out.contains("Fig 2 (top)"));
+        assert!(out.contains("A100"));
+        assert!(out.contains("GH200"));
+        assert!(out.contains(" - "));
+        assert!(out.contains("4900"));
+    }
+
+    #[test]
+    fn heatmap_renders_grid() {
+        let grid = vec![
+            vec![HeatmapCell::Throughput(100.0), HeatmapCell::Oom],
+            vec![HeatmapCell::Throughput(200.0), HeatmapCell::Throughput(300.0)],
+        ];
+        let out = render_heatmap("Fig 4a", &[1, 2], &[16, 2048], &grid);
+        assert!(out.contains("Fig 4a"));
+        assert!(out.contains("OOM"));
+        assert!(out.contains("300"));
+        assert!(out.contains("2048"));
+    }
+
+    #[test]
+    fn ratio_line_reports_deviation() {
+        let line = ratio_line("GH200/A100", 245.0, 100.0, 2.45);
+        assert!(line.contains("2.45x"));
+        assert!(line.contains("+0.0%"));
+        let line2 = ratio_line("x", 300.0, 100.0, 2.0);
+        assert!(line2.contains("+50.0%"));
+    }
+
+    #[test]
+    fn panel_misaligned_points_render_as_oom() {
+        let mut s = Series::new("sys");
+        s.push(999, Some(1.0)); // batch mismatch
+        let out = render_panel("t", &[16], &[s]);
+        assert!(out.contains(" - "));
+    }
+}

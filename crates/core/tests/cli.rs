@@ -1,0 +1,101 @@
+//! Integration tests of the `caraml` CLI — the Rust counterpart of the
+//! paper's `jube run` / `jube result` commands.
+
+use std::process::Command;
+
+fn caraml() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_caraml"))
+}
+
+#[test]
+fn systems_prints_table1() {
+    let out = caraml().arg("systems").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for tag in ["JEDI", "GH200", "H100", "WAIH100", "MI250", "GC200", "A100"] {
+        assert!(stdout.contains(tag), "missing {tag}");
+    }
+}
+
+#[test]
+fn run_llm_ipu_reproduces_table2_headline() {
+    let out = caraml().args(["run", "llm", "--tag", "GC200"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("64.99"), "Table II batch-64 row missing");
+    assert!(stdout.contains("tokens_per_wh"));
+}
+
+#[test]
+fn run_resnet_reports_oom_rows() {
+    let out = caraml().args(["run", "resnet50", "--tag", "A100"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("out of memory"));
+    assert!(stdout.contains("1 workpackage(s) failed"));
+}
+
+#[test]
+fn heatmap_renders_grid() {
+    let out = caraml().args(["heatmap", "WAIH100"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("devices \\ batch"));
+    assert!(stdout.contains("2048"));
+}
+
+#[test]
+fn heatmap_unknown_tag_fails() {
+    let out = caraml().args(["heatmap", "NOPE"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn baseline_record_then_compare_passes() {
+    let file = std::env::temp_dir().join(format!("caraml_cli_base_{}.json", std::process::id()));
+    let out = caraml()
+        .args(["baseline", "record", file.to_str().unwrap(), "--tag", "H100"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = caraml()
+        .args(["baseline", "compare", file.to_str().unwrap(), "--tag", "H100"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("PASS"));
+    std::fs::remove_file(&file).ok();
+}
+
+#[test]
+fn baseline_compare_against_other_system_fails_gate() {
+    let file = std::env::temp_dir().join(format!("caraml_cli_xsys_{}.json", std::process::id()));
+    caraml()
+        .args(["baseline", "record", file.to_str().unwrap(), "--tag", "GH200"])
+        .status()
+        .unwrap();
+    // Comparing A100 measurements against the GH200 baseline must fail
+    // (keys differ → missing metrics).
+    let out = caraml()
+        .args(["baseline", "compare", file.to_str().unwrap(), "--tag", "A100"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    std::fs::remove_file(&file).ok();
+}
+
+#[test]
+fn inference_subcommand_runs() {
+    let out = caraml().args(["inference", "GH200"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("memory-bound"));
+    assert!(stdout.contains("TTFT"));
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = caraml().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}

@@ -1,0 +1,308 @@
+//! Byte-level byte-pair encoding, GPT-2 style.
+//!
+//! The paper preprocesses its OSCAR subset "using GPT-2 tokenizers". This
+//! is a from-scratch reimplementation of that preprocessing stage: byte-
+//! level BPE trained on a word-frequency table, greedy merge application
+//! at encode time, exact round-trip decode. Token ids 0–255 are the raw
+//! bytes; merged tokens follow in training order.
+
+use std::collections::HashMap;
+
+/// A trainable byte-level BPE tokenizer.
+///
+/// ```
+/// use caraml_data::BpeTokenizer;
+/// let tok = BpeTokenizer::train("the cat the hat the cat the hat ", 300);
+/// let ids = tok.encode("the cat");
+/// assert_eq!(tok.decode(&ids), "the cat");
+/// assert!(ids.len() < "the cat".len()); // merges learned
+/// ```
+#[derive(Debug, Clone)]
+pub struct BpeTokenizer {
+    /// Learned merges in priority order: (left, right) -> new token id.
+    merges: Vec<(u32, u32)>,
+    /// Merge lookup: (left, right) -> rank (index into `merges`).
+    ranks: HashMap<(u32, u32), usize>,
+    /// Byte expansion of every token id.
+    token_bytes: Vec<Vec<u8>>,
+}
+
+impl BpeTokenizer {
+    /// Train on `text` until the vocabulary reaches `vocab_size` tokens
+    /// (minimum 256: the raw bytes) or no pair repeats.
+    pub fn train(text: &str, vocab_size: usize) -> Self {
+        assert!(vocab_size >= 256, "vocabulary must cover all bytes");
+        // Word-frequency table; words keep a leading space (GPT-2 style
+        // whitespace handling) except the first in a sequence.
+        let mut word_freq: HashMap<Vec<u32>, u64> = HashMap::new();
+        for (i, w) in text.split_inclusive(char::is_whitespace).enumerate() {
+            if w.is_empty() {
+                continue;
+            }
+            let ids: Vec<u32> = w.bytes().map(u32::from).collect();
+            *word_freq.entry(ids).or_default() += 1;
+            let _ = i;
+        }
+
+        let mut token_bytes: Vec<Vec<u8>> = (0..=255u8).map(|b| vec![b]).collect();
+        let mut merges = Vec::new();
+        let mut ranks = HashMap::new();
+
+        while token_bytes.len() < vocab_size {
+            // Count adjacent pairs weighted by word frequency.
+            let mut pair_counts: HashMap<(u32, u32), u64> = HashMap::new();
+            for (word, freq) in &word_freq {
+                for pair in word.windows(2) {
+                    *pair_counts.entry((pair[0], pair[1])).or_default() += freq;
+                }
+            }
+            // Deterministic tie-break: highest count, then smallest pair.
+            let Some((&best_pair, &count)) = pair_counts
+                .iter()
+                .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+            else {
+                break;
+            };
+            if count < 2 {
+                break; // no repeating pair left: further merges are useless
+            }
+            let new_id = token_bytes.len() as u32;
+            let mut bytes = token_bytes[best_pair.0 as usize].clone();
+            bytes.extend_from_slice(&token_bytes[best_pair.1 as usize]);
+            token_bytes.push(bytes);
+            ranks.insert(best_pair, merges.len());
+            merges.push(best_pair);
+
+            // Apply the merge to every word in the table.
+            let mut next: HashMap<Vec<u32>, u64> = HashMap::with_capacity(word_freq.len());
+            for (word, freq) in word_freq {
+                let merged = merge_word(&word, best_pair, new_id);
+                *next.entry(merged).or_default() += freq;
+            }
+            word_freq = next;
+        }
+
+        BpeTokenizer {
+            merges,
+            ranks,
+            token_bytes,
+        }
+    }
+
+    /// Total vocabulary size (256 bytes + learned merges).
+    pub fn vocab_size(&self) -> usize {
+        self.token_bytes.len()
+    }
+
+    /// Number of learned merges.
+    pub fn num_merges(&self) -> usize {
+        self.merges.len()
+    }
+
+    /// Encode text into token ids by applying merges in rank order within
+    /// each whitespace-delimited word.
+    pub fn encode(&self, text: &str) -> Vec<u32> {
+        let mut out = Vec::new();
+        for w in text.split_inclusive(char::is_whitespace) {
+            if w.is_empty() {
+                continue;
+            }
+            let mut ids: Vec<u32> = w.bytes().map(u32::from).collect();
+            loop {
+                // Find the lowest-rank applicable merge.
+                let mut best: Option<(usize, usize)> = None; // (rank, pos)
+                for (pos, pair) in ids.windows(2).enumerate() {
+                    if let Some(&rank) = self.ranks.get(&(pair[0], pair[1])) {
+                        if best.is_none_or(|(r, _)| rank < r) {
+                            best = Some((rank, pos));
+                        }
+                    }
+                }
+                let Some((rank, _)) = best else { break };
+                let pair = self.merges[rank];
+                let new_id = 256 + rank as u32;
+                ids = merge_word(&ids, pair, new_id);
+            }
+            out.extend_from_slice(&ids);
+        }
+        out
+    }
+
+    /// Decode token ids back into text (exact inverse of `encode` for any
+    /// valid UTF-8 input).
+    pub fn decode(&self, ids: &[u32]) -> String {
+        let mut bytes = Vec::new();
+        for &id in ids {
+            bytes.extend_from_slice(&self.token_bytes[id as usize]);
+        }
+        String::from_utf8_lossy(&bytes).into_owned()
+    }
+
+    /// Bytes-per-token compression ratio achieved on `text`.
+    pub fn compression_ratio(&self, text: &str) -> f64 {
+        let tokens = self.encode(text).len();
+        if tokens == 0 {
+            return 0.0;
+        }
+        text.len() as f64 / tokens as f64
+    }
+}
+
+/// Replace every adjacent occurrence of `pair` in `word` with `new_id`.
+fn merge_word(word: &[u32], pair: (u32, u32), new_id: u32) -> Vec<u32> {
+    let mut out = Vec::with_capacity(word.len());
+    let mut i = 0;
+    while i < word.len() {
+        if i + 1 < word.len() && word[i] == pair.0 && word[i + 1] == pair.1 {
+            out.push(new_id);
+            i += 2;
+        } else {
+            out.push(word[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::SyntheticCorpus;
+
+    fn sample_text() -> String {
+        SyntheticCorpus::new(42, 80).text(10, 200)
+    }
+
+    #[test]
+    fn untrained_vocab_is_raw_bytes() {
+        let tok = BpeTokenizer::train("", 256);
+        assert_eq!(tok.vocab_size(), 256);
+        assert_eq!(tok.num_merges(), 0);
+        let ids = tok.encode("ab c");
+        assert_eq!(ids, vec![97, 98, 32, 99]);
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let text = sample_text();
+        let tok = BpeTokenizer::train(&text, 512);
+        let ids = tok.encode(&text);
+        assert_eq!(tok.decode(&ids), text);
+    }
+
+    #[test]
+    fn round_trip_on_unseen_text() {
+        let tok = BpeTokenizer::train(&sample_text(), 512);
+        let unseen = "Completely unseen tokens! 12345 αβγ \u{1F600}";
+        let ids = tok.encode(unseen);
+        assert_eq!(tok.decode(&ids), unseen);
+    }
+
+    #[test]
+    fn merges_compress_text() {
+        let text = sample_text();
+        let tok = BpeTokenizer::train(&text, 1024);
+        let ratio = tok.compression_ratio(&text);
+        assert!(
+            ratio > 2.0,
+            "expected >2 bytes/token after training, got {ratio:.2}"
+        );
+        // A raw-bytes tokenizer has ratio exactly 1.
+        let raw = BpeTokenizer::train("", 256);
+        assert!((raw.compression_ratio(&text) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn larger_vocab_compresses_at_least_as_well() {
+        let text = sample_text();
+        let small = BpeTokenizer::train(&text, 300);
+        let large = BpeTokenizer::train(&text, 1000);
+        assert!(large.compression_ratio(&text) >= small.compression_ratio(&text));
+    }
+
+    #[test]
+    fn vocab_size_cap_respected() {
+        let text = sample_text();
+        let tok = BpeTokenizer::train(&text, 300);
+        assert!(tok.vocab_size() <= 300);
+        assert!(tok.vocab_size() > 256, "some merges must be learned");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let text = sample_text();
+        let a = BpeTokenizer::train(&text, 400);
+        let b = BpeTokenizer::train(&text, 400);
+        assert_eq!(a.encode(&text), b.encode(&text));
+    }
+
+    #[test]
+    fn frequent_words_become_single_tokens() {
+        // "the " repeated must merge into one token.
+        let text = "the the the the the the the the the the ".repeat(50);
+        let tok = BpeTokenizer::train(&text, 300);
+        let ids = tok.encode("the ");
+        assert_eq!(ids.len(), 1, "'the ' should be one token, got {ids:?}");
+    }
+
+    #[test]
+    fn merge_word_replaces_all_occurrences() {
+        let w = vec![1, 2, 1, 2, 3, 1, 2];
+        assert_eq!(merge_word(&w, (1, 2), 9), vec![9, 9, 3, 9]);
+        // Overlapping pairs are consumed left to right.
+        let w = vec![1, 1, 1];
+        assert_eq!(merge_word(&w, (1, 1), 9), vec![9, 1]);
+    }
+
+    #[test]
+    fn all_token_ids_are_decodable() {
+        let text = sample_text();
+        let tok = BpeTokenizer::train(&text, 400);
+        for id in 0..tok.vocab_size() as u32 {
+            let s = tok.decode(&[id]);
+            assert!(!s.is_empty() || !tok.token_bytes[id as usize].is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "vocabulary must cover all bytes")]
+    fn rejects_tiny_vocab() {
+        BpeTokenizer::train("abc", 100);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Encode/decode round-trips arbitrary ASCII-ish text.
+        #[test]
+        fn round_trip(text in "[a-zA-Z0-9 .,!?]{0,200}") {
+            let train = crate::corpus::SyntheticCorpus::new(1, 60).text(5, 100);
+            let tok = BpeTokenizer::train(&train, 384);
+            prop_assert_eq!(tok.decode(&tok.encode(&text)), text);
+        }
+
+        /// Token ids are always within the vocabulary.
+        #[test]
+        fn ids_in_range(text in "\\PC{0,100}") {
+            let train = crate::corpus::SyntheticCorpus::new(2, 60).text(3, 80);
+            let tok = BpeTokenizer::train(&train, 320);
+            for id in tok.encode(&text) {
+                prop_assert!((id as usize) < tok.vocab_size());
+            }
+        }
+
+        /// Token count never exceeds byte count.
+        #[test]
+        fn never_expands(text in "[a-z ]{0,200}") {
+            let train = crate::corpus::SyntheticCorpus::new(3, 60).text(3, 80);
+            let tok = BpeTokenizer::train(&train, 320);
+            prop_assert!(tok.encode(&text).len() <= text.len());
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Synthetic OSCAR-like text corpus.
+//!
+//! OSCAR is a large multilingual web-crawl corpus; the paper tokenizes a
+//! subset of it with GPT-2 tokenizers. This module generates a
+//! deterministic stand-in with the statistical properties that matter for
+//! the preprocessing path: a Zipf-distributed word frequency spectrum,
+//! order-1 Markov transitions (so byte-pair statistics are non-trivial),
+//! punctuation, casing, and document structure.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Core word stems combined into a synthetic vocabulary.
+const STEMS: &[&str] = &[
+    "data", "model", "train", "graph", "core", "node", "batch", "token", "layer", "power",
+    "bench", "mark", "comp", "ute", "accel", "erat", "ener", "gy", "metric", "tensor", "flow",
+    "torch", "scale", "link", "net", "work", "mem", "ory", "band", "width", "chip", "proc",
+    "time", "step", "loss", "grad", "atten", "tion", "seq", "uence", "vec", "tor", "sys", "tem",
+];
+
+/// Deterministic synthetic text corpus.
+#[derive(Debug, Clone)]
+pub struct SyntheticCorpus {
+    vocabulary: Vec<String>,
+    seed: u64,
+}
+
+impl SyntheticCorpus {
+    /// Build a corpus generator with `vocab_words` distinct words.
+    pub fn new(seed: u64, vocab_words: usize) -> Self {
+        assert!(vocab_words >= 2, "need at least two words");
+        let mut vocabulary = Vec::with_capacity(vocab_words);
+        let mut i = 0usize;
+        while vocabulary.len() < vocab_words {
+            let a = STEMS[i % STEMS.len()];
+            let b = STEMS[(i / STEMS.len() + i) % STEMS.len()];
+            let w = if i < STEMS.len() {
+                a.to_string()
+            } else {
+                format!("{a}{b}")
+            };
+            if !vocabulary.contains(&w) {
+                vocabulary.push(w);
+            }
+            i += 1;
+        }
+        SyntheticCorpus { vocabulary, seed }
+    }
+
+    /// The word list (rank order: index 0 is the most frequent word).
+    pub fn vocabulary(&self) -> &[String] {
+        &self.vocabulary
+    }
+
+    /// Sample a word rank from a Zipf(s=1.1) distribution by inverse CDF.
+    fn sample_rank(&self, rng: &mut impl Rng) -> usize {
+        let n = self.vocabulary.len();
+        let s = 1.1f64;
+        // Precomputing the normalisation each call is fine at this scale.
+        let h: f64 = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).sum();
+        let target = rng.gen_range(0.0..h);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            if acc >= target {
+                return k - 1;
+            }
+        }
+        n - 1
+    }
+
+    /// Generate one document of roughly `words` words.
+    pub fn document(&self, doc_index: u64, words: usize) -> String {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ doc_index.wrapping_mul(0x9E37_79B9));
+        let mut out = String::new();
+        let mut sentence_len = 0usize;
+        let mut prev_rank = 0usize;
+        for w in 0..words {
+            let rank = if rng.gen_bool(0.3) {
+                // Markov persistence: stay near the previous word's rank.
+                (prev_rank + rng.gen_range(0..3)) % self.vocabulary.len()
+            } else {
+                self.sample_rank(&mut rng)
+            };
+            prev_rank = rank;
+            let mut word = self.vocabulary[rank].clone();
+            if sentence_len == 0 {
+                // Capitalise sentence starts.
+                let mut chars = word.chars();
+                if let Some(c) = chars.next() {
+                    word = c.to_uppercase().collect::<String>() + chars.as_str();
+                }
+            } else {
+                out.push(' ');
+            }
+            out.push_str(&word);
+            sentence_len += 1;
+            let end_sentence = sentence_len >= 4 && (rng.gen_bool(0.18) || w == words - 1);
+            if end_sentence {
+                out.push_str(if rng.gen_bool(0.9) { "." } else { "!" });
+                out.push(' ');
+                sentence_len = 0;
+            }
+        }
+        out.trim_end().to_string()
+    }
+
+    /// Concatenate `docs` documents of `words_per_doc` words into one
+    /// training text (documents separated by blank lines, like OSCAR
+    /// dumps).
+    pub fn text(&self, docs: u64, words_per_doc: usize) -> String {
+        let mut out = String::new();
+        for d in 0..docs {
+            out.push_str(&self.document(d, words_per_doc));
+            out.push_str("\n\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn deterministic_per_seed_and_doc() {
+        let c = SyntheticCorpus::new(7, 100);
+        assert_eq!(c.document(0, 50), c.document(0, 50));
+        assert_ne!(c.document(0, 50), c.document(1, 50));
+        let c2 = SyntheticCorpus::new(8, 100);
+        assert_ne!(c.document(0, 50), c2.document(0, 50));
+    }
+
+    #[test]
+    fn vocabulary_size_respected() {
+        let c = SyntheticCorpus::new(0, 250);
+        assert_eq!(c.vocabulary().len(), 250);
+        // All distinct.
+        let set: std::collections::HashSet<_> = c.vocabulary().iter().collect();
+        assert_eq!(set.len(), 250);
+    }
+
+    #[test]
+    fn documents_have_roughly_requested_length() {
+        let c = SyntheticCorpus::new(1, 100);
+        let doc = c.document(0, 200);
+        let words = doc.split_whitespace().count();
+        assert!((150..=250).contains(&words), "got {words} words");
+    }
+
+    #[test]
+    fn word_frequencies_are_zipf_like() {
+        let c = SyntheticCorpus::new(2, 50);
+        let text = c.text(20, 300);
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for w in text
+            .split_whitespace()
+            .map(|w| w.trim_matches(|ch: char| !ch.is_alphanumeric()).to_lowercase())
+        {
+            if !w.is_empty() {
+                *counts.entry(w).or_default() += 1;
+            }
+        }
+        let mut freqs: Vec<usize> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        // Head must dominate the tail (Zipf): top word at least 5× the
+        // 20th word.
+        assert!(freqs.len() > 20);
+        assert!(freqs[0] >= 5 * freqs[19], "head {} tail {}", freqs[0], freqs[19]);
+    }
+
+    #[test]
+    fn sentences_are_punctuated_and_capitalised() {
+        let c = SyntheticCorpus::new(3, 80);
+        let doc = c.document(0, 100);
+        assert!(doc.contains('.'));
+        assert!(doc.chars().next().unwrap().is_uppercase());
+    }
+
+    #[test]
+    fn text_separates_documents() {
+        let c = SyntheticCorpus::new(4, 60);
+        let t = c.text(3, 40);
+        assert_eq!(t.matches("\n\n").count(), 3);
+    }
+}

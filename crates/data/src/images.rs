@@ -1,0 +1,204 @@
+//! Procedural ImageNet-like labelled images.
+//!
+//! The TensorFlow CNN benchmark the paper curates supports synthetic data
+//! "generated either on the host CPU ... or directly on the IPU"; we take
+//! the same route. Images are deterministic functions of `(seed, index)`,
+//! carry a class label in `0..classes`, and embed class-dependent spatial
+//! structure (oriented gratings + per-class colour cast) so that a model
+//! can genuinely learn to classify them — the tiny-ResNet training tests
+//! rely on this.
+
+use caraml_tensor::Tensor;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A deterministic synthetic labelled image source.
+#[derive(Debug, Clone)]
+pub struct SyntheticImages {
+    seed: u64,
+    classes: usize,
+    channels: usize,
+    height: usize,
+    width: usize,
+}
+
+impl SyntheticImages {
+    /// Create a source of `classes`-way labelled `[channels, h, w]` images.
+    pub fn new(seed: u64, classes: usize, channels: usize, height: usize, width: usize) -> Self {
+        assert!(classes >= 2);
+        assert!(channels >= 1 && height >= 2 && width >= 2);
+        SyntheticImages {
+            seed,
+            classes,
+            channels,
+            height,
+            width,
+        }
+    }
+
+    /// ImageNet-shaped source: 1000 classes, 3×224×224.
+    pub fn imagenet_like(seed: u64) -> Self {
+        Self::new(seed, crate::IMAGENET_CLASSES, 3, 224, 224)
+    }
+
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// `(channels, height, width)` of produced images.
+    pub fn image_shape(&self) -> (usize, usize, usize) {
+        (self.channels, self.height, self.width)
+    }
+
+    /// Bytes per image in fp32 (used by the staging model).
+    pub fn bytes_per_image(&self) -> u64 {
+        (self.channels * self.height * self.width * 4) as u64
+    }
+
+    /// Label of image `index`.
+    pub fn label(&self, index: u64) -> usize {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ index.wrapping_mul(0xA24B_AED4));
+        rng.gen_range(0..self.classes)
+    }
+
+    /// Generate image `index` as a `[channels, h, w]` tensor with values
+    /// roughly standard-normalised.
+    pub fn image(&self, index: u64) -> (Tensor, usize) {
+        let label = self.label(index);
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(self.seed ^ index.wrapping_mul(0xA24B_AED4) ^ 0xFFFF);
+        // Class-dependent grating parameters.
+        let angle = (label % 17) as f32 / 17.0 * std::f32::consts::PI;
+        let freq = 0.15 + (label % 7) as f32 * 0.08;
+        let (sa, ca) = angle.sin_cos();
+        let phase: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
+        let mut data = Vec::with_capacity(self.channels * self.height * self.width);
+        for c in 0..self.channels {
+            // Per-class colour cast.
+            let cast = ((label * 31 + c * 7) % 13) as f32 / 13.0 - 0.5;
+            for y in 0..self.height {
+                for x in 0..self.width {
+                    let u = x as f32 * ca + y as f32 * sa;
+                    let signal = (u * freq + phase).sin();
+                    let noise: f32 = rng.gen_range(-0.35..0.35);
+                    data.push(signal * 0.8 + cast + noise);
+                }
+            }
+        }
+        (
+            Tensor::from_vec(data, [self.channels, self.height, self.width]),
+            label,
+        )
+    }
+
+    /// Generate a `[n, c, h, w]` batch starting at image `start`.
+    pub fn batch(&self, start: u64, n: usize) -> (Tensor, Vec<usize>) {
+        let chw = self.channels * self.height * self.width;
+        let mut data = Vec::with_capacity(n * chw);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let (img, label) = self.image(start + i as u64);
+            data.extend_from_slice(img.data());
+            labels.push(label);
+        }
+        (
+            Tensor::from_vec(data, [n, self.channels, self.height, self.width]),
+            labels,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SyntheticImages {
+        SyntheticImages::new(9, 4, 3, 16, 16)
+    }
+
+    #[test]
+    fn deterministic() {
+        let s = small();
+        let (a, la) = s.image(5);
+        let (b, lb) = s.image(5);
+        assert!(a.allclose(&b, 0.0));
+        assert_eq!(la, lb);
+        let (c, _) = s.image(6);
+        assert!(!a.allclose(&c, 1e-6));
+    }
+
+    #[test]
+    fn labels_cover_all_classes() {
+        let s = small();
+        let mut seen = [false; 4];
+        for i in 0..100 {
+            seen[s.label(i)] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn label_matches_image_generation() {
+        let s = small();
+        for i in 0..10 {
+            assert_eq!(s.label(i), s.image(i).1);
+        }
+    }
+
+    #[test]
+    fn batch_stacks_images() {
+        let s = small();
+        let (batch, labels) = s.batch(0, 4);
+        assert_eq!(batch.dims(), &[4, 3, 16, 16]);
+        assert_eq!(labels.len(), 4);
+        let (img2, l2) = s.image(2);
+        assert_eq!(labels[2], l2);
+        let chw = 3 * 16 * 16;
+        let slice = Tensor::from_vec(batch.data()[2 * chw..3 * chw].to_vec(), [3, 16, 16]);
+        assert!(slice.allclose(&img2, 0.0));
+    }
+
+    #[test]
+    fn values_are_bounded_and_centered() {
+        let s = small();
+        let (img, _) = s.image(0);
+        assert!(img.max_value() < 2.5);
+        assert!(img.min_value() > -2.5);
+        // Low-frequency gratings need not average to zero over a 16×16
+        // window, but the mean must stay well inside the value range.
+        assert!(img.mean().abs() < 1.2);
+    }
+
+    #[test]
+    fn different_classes_are_statistically_distinct() {
+        let s = SyntheticImages::new(3, 2, 1, 32, 32);
+        // Average several images of each class; gratings should differ.
+        let mut means = [0.0f32; 2];
+        let mut counts = [0usize; 2];
+        let mut per_class: [Option<Tensor>; 2] = [None, None];
+        for i in 0..40 {
+            let (img, label) = s.image(i);
+            means[label] += img.mean();
+            counts[label] += 1;
+            if per_class[label].is_none() {
+                per_class[label] = Some(img);
+            }
+        }
+        assert!(counts[0] > 0 && counts[1] > 0);
+        let a = per_class[0].take().unwrap();
+        let b = per_class[1].take().unwrap();
+        // Different gratings correlate weakly: normalized dot far from 1.
+        let dot: f32 = a.data().iter().zip(b.data()).map(|(x, y)| x * y).sum();
+        let corr = dot / (a.sq_norm().sqrt() * b.sq_norm().sqrt());
+        assert!(corr.abs() < 0.9, "classes look identical (corr={corr})");
+    }
+
+    #[test]
+    fn imagenet_like_shape() {
+        let s = SyntheticImages::imagenet_like(0);
+        assert_eq!(s.classes(), 1000);
+        assert_eq!(s.image_shape(), (3, 224, 224));
+        assert_eq!(s.bytes_per_image(), 3 * 224 * 224 * 4);
+    }
+}

@@ -1,0 +1,35 @@
+//! # caraml-data — datasets and preprocessing
+//!
+//! The paper's LLM benchmark trains on "a subset of the OSCAR data that is
+//! preprocessed using GPT-2 tokenizers", and its ResNet50 benchmark on
+//! ImageNet — with synthetic data supported as a first-class option
+//! (`--tag synthetic`). Neither dataset is redistributable here, so this
+//! crate provides the synthetic equivalents the suite trains on, plus a
+//! *real* from-scratch byte-level BPE tokenizer so the preprocessing path
+//! is genuinely exercised:
+//!
+//! * [`corpus`] — a deterministic OSCAR-like text corpus
+//!   (Zipf-distributed vocabulary, order-1 Markov sentence structure);
+//! * [`bpe`] — trainable byte-level byte-pair encoding (GPT-2 style);
+//! * [`images`] — procedural ImageNet-like labelled images;
+//! * [`loader`] — shuffled, seeded batch iterators for both workloads.
+
+pub mod bpe;
+pub mod corpus;
+pub mod images;
+pub mod loader;
+
+pub use bpe::BpeTokenizer;
+pub use corpus::SyntheticCorpus;
+pub use images::SyntheticImages;
+pub use loader::{ImageBatcher, TokenBatcher};
+
+/// Number of images in the ImageNet-1k training split, as used for the
+/// paper's epoch-energy numbers (Fig. 3, Table III).
+pub const IMAGENET_TRAIN_IMAGES: u64 = 1_281_167;
+
+/// Number of ImageNet classes.
+pub const IMAGENET_CLASSES: usize = 1000;
+
+/// GPT-2 vocabulary size (the tokenizer the paper preprocesses OSCAR with).
+pub const GPT2_VOCAB_SIZE: usize = 50_257;

@@ -1,0 +1,236 @@
+//! Seeded batch iterators for both workloads.
+//!
+//! [`TokenBatcher`] chunks a tokenized corpus into `(input, target)`
+//! next-token-prediction sequences; [`ImageBatcher`] shuffles a synthetic
+//! image dataset into `[n, c, h, w]` batches. Both are deterministic given
+//! a seed, which is what makes every training test in the workspace
+//! reproducible.
+
+use crate::images::SyntheticImages;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Batches of next-token-prediction training sequences.
+#[derive(Debug, Clone)]
+pub struct TokenBatcher {
+    tokens: Vec<u32>,
+    seq_len: usize,
+    batch_size: usize,
+    order: Vec<usize>,
+    cursor: usize,
+}
+
+impl TokenBatcher {
+    /// Build from a token stream. Sequences are non-overlapping windows of
+    /// `seq_len + 1` tokens (input plus shifted target), shuffled with
+    /// `seed`.
+    pub fn new(tokens: Vec<u32>, seq_len: usize, batch_size: usize, seed: u64) -> Self {
+        assert!(seq_len >= 1 && batch_size >= 1);
+        let n_seqs = tokens.len().saturating_sub(1) / seq_len;
+        let mut order: Vec<usize> = (0..n_seqs).collect();
+        order.shuffle(&mut ChaCha8Rng::seed_from_u64(seed));
+        TokenBatcher {
+            tokens,
+            seq_len,
+            batch_size,
+            order,
+            cursor: 0,
+        }
+    }
+
+    /// Number of full batches per epoch.
+    pub fn batches_per_epoch(&self) -> usize {
+        self.order.len() / self.batch_size
+    }
+
+    /// Total number of sequences available.
+    pub fn num_sequences(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Next batch as `(inputs, targets)`: both `batch_size` rows of
+    /// `seq_len` token ids; targets are inputs shifted by one. Wraps
+    /// around (reshuffling is the caller's choice via `reset`).
+    pub fn next_batch(&mut self) -> (Vec<Vec<u32>>, Vec<Vec<u32>>) {
+        assert!(
+            self.order.len() >= self.batch_size,
+            "not enough sequences ({}) for batch size {}",
+            self.order.len(),
+            self.batch_size
+        );
+        let mut inputs = Vec::with_capacity(self.batch_size);
+        let mut targets = Vec::with_capacity(self.batch_size);
+        for _ in 0..self.batch_size {
+            if self.cursor >= self.order.len() {
+                self.cursor = 0;
+            }
+            let s = self.order[self.cursor];
+            self.cursor += 1;
+            let start = s * self.seq_len;
+            inputs.push(self.tokens[start..start + self.seq_len].to_vec());
+            targets.push(self.tokens[start + 1..start + self.seq_len + 1].to_vec());
+        }
+        (inputs, targets)
+    }
+
+    /// Restart the epoch with a new shuffle.
+    pub fn reset(&mut self, seed: u64) {
+        self.order.shuffle(&mut ChaCha8Rng::seed_from_u64(seed));
+        self.cursor = 0;
+    }
+}
+
+/// Batches of labelled synthetic images.
+#[derive(Debug, Clone)]
+pub struct ImageBatcher {
+    source: SyntheticImages,
+    dataset_size: u64,
+    batch_size: usize,
+    order: Vec<u64>,
+    cursor: usize,
+}
+
+impl ImageBatcher {
+    pub fn new(source: SyntheticImages, dataset_size: u64, batch_size: usize, seed: u64) -> Self {
+        assert!(batch_size as u64 <= dataset_size);
+        let mut order: Vec<u64> = (0..dataset_size).collect();
+        order.shuffle(&mut ChaCha8Rng::seed_from_u64(seed));
+        ImageBatcher {
+            source,
+            dataset_size,
+            batch_size,
+            order,
+            cursor: 0,
+        }
+    }
+
+    pub fn batches_per_epoch(&self) -> usize {
+        (self.dataset_size / self.batch_size as u64) as usize
+    }
+
+    /// Next `[n, c, h, w]` batch with labels; wraps at the epoch end.
+    pub fn next_batch(&mut self) -> (caraml_tensor::Tensor, Vec<usize>) {
+        let (c, h, w) = self.source.image_shape();
+        let chw = c * h * w;
+        let mut data = Vec::with_capacity(self.batch_size * chw);
+        let mut labels = Vec::with_capacity(self.batch_size);
+        for _ in 0..self.batch_size {
+            if self.cursor >= self.order.len() {
+                self.cursor = 0;
+            }
+            let idx = self.order[self.cursor];
+            self.cursor += 1;
+            let (img, label) = self.source.image(idx);
+            data.extend_from_slice(img.data());
+            labels.push(label);
+        }
+        (
+            caraml_tensor::Tensor::from_vec(data, [self.batch_size, c, h, w]),
+            labels,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tokens(n: usize) -> Vec<u32> {
+        (0..n as u32).collect()
+    }
+
+    #[test]
+    fn token_batches_have_shifted_targets() {
+        let mut b = TokenBatcher::new(tokens(101), 10, 2, 0);
+        let (inp, tgt) = b.next_batch();
+        assert_eq!(inp.len(), 2);
+        for (i, t) in inp.iter().zip(&tgt) {
+            assert_eq!(i.len(), 10);
+            assert_eq!(t.len(), 10);
+            // Target is input shifted by one (tokens are 0..n here).
+            for k in 0..10 {
+                assert_eq!(t[k], i[k] + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_math() {
+        let b = TokenBatcher::new(tokens(101), 10, 2, 0);
+        assert_eq!(b.num_sequences(), 10);
+        assert_eq!(b.batches_per_epoch(), 5);
+    }
+
+    #[test]
+    fn shuffle_is_seeded() {
+        let mut a = TokenBatcher::new(tokens(1001), 10, 4, 7);
+        let mut b = TokenBatcher::new(tokens(1001), 10, 4, 7);
+        assert_eq!(a.next_batch(), b.next_batch());
+        let mut c = TokenBatcher::new(tokens(1001), 10, 4, 8);
+        assert_ne!(a.next_batch(), c.next_batch());
+    }
+
+    #[test]
+    fn epoch_covers_all_sequences_once() {
+        let mut b = TokenBatcher::new(tokens(101), 10, 2, 3);
+        let mut starts = std::collections::HashSet::new();
+        for _ in 0..b.batches_per_epoch() {
+            let (inp, _) = b.next_batch();
+            for row in inp {
+                starts.insert(row[0]);
+            }
+        }
+        assert_eq!(starts.len(), 10);
+    }
+
+    #[test]
+    fn wraps_after_epoch() {
+        let mut b = TokenBatcher::new(tokens(21), 10, 2, 0);
+        let first = b.next_batch();
+        let second = b.next_batch(); // wraps: only 2 sequences exist
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn reset_reshuffles() {
+        let mut a = TokenBatcher::new(tokens(1001), 10, 4, 0);
+        let b1 = a.next_batch();
+        a.reset(99);
+        let b2 = a.next_batch();
+        assert_ne!(b1, b2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not enough sequences")]
+    fn batch_larger_than_dataset_panics() {
+        let mut b = TokenBatcher::new(tokens(11), 10, 2, 0);
+        b.next_batch();
+    }
+
+    #[test]
+    fn image_batches_shapes_and_labels() {
+        let src = SyntheticImages::new(0, 3, 1, 8, 8);
+        let mut b = ImageBatcher::new(src, 20, 4, 0);
+        let (batch, labels) = b.next_batch();
+        assert_eq!(batch.dims(), &[4, 1, 8, 8]);
+        assert_eq!(labels.len(), 4);
+        assert!(labels.iter().all(|&l| l < 3));
+        assert_eq!(b.batches_per_epoch(), 5);
+    }
+
+    #[test]
+    fn image_epoch_is_a_permutation() {
+        let src = SyntheticImages::new(0, 3, 1, 4, 4);
+        let mut b = ImageBatcher::new(src.clone(), 12, 3, 1);
+        let mut all_labels = Vec::new();
+        for _ in 0..4 {
+            let (_, labels) = b.next_batch();
+            all_labels.extend(labels);
+        }
+        let mut expect: Vec<usize> = (0..12).map(|i| src.label(i)).collect();
+        all_labels.sort_unstable();
+        expect.sort_unstable();
+        assert_eq!(all_labels, expect);
+    }
+}

@@ -1,0 +1,330 @@
+//! A minimal DataFrame for power traces and energy summaries.
+//!
+//! The Python jpwr stores measurements as Pandas DataFrames and exports
+//! them as CSV or HDF5. Here a small column-oriented frame supports the
+//! same flows with CSV and JSON output, including the `%q{VAR}`
+//! environment-variable suffix expansion the original uses to avoid
+//! per-node file-name races in Slurm jobs.
+
+use serde::Serialize;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Export file formats (`--df-filetype`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileType {
+    Csv,
+    Json,
+}
+
+impl FileType {
+    pub fn extension(&self) -> &'static str {
+        match self {
+            FileType::Csv => "csv",
+            FileType::Json => "json",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<FileType> {
+        match name.to_ascii_lowercase().as_str() {
+            "csv" => Some(FileType::Csv),
+            "json" => Some(FileType::Json),
+            _ => None,
+        }
+    }
+}
+
+/// A column-oriented frame: one `time_s` column plus one `f64` column per
+/// device.
+///
+/// ```
+/// use jpwr::DataFrame;
+/// let mut df = DataFrame::new(vec!["gpu0".into()]);
+/// df.push_row(0.0, &[200.0]);
+/// df.push_row(18.0, &[200.0]); // 200 W for 18 s = 1 Wh
+/// assert!((df.energy_wh(0) - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct DataFrame {
+    pub columns: Vec<String>,
+    pub time_s: Vec<f64>,
+    /// `values[c][r]`: column `c`, row `r`.
+    pub values: Vec<Vec<f64>>,
+}
+
+impl DataFrame {
+    pub fn new(columns: Vec<String>) -> Self {
+        let n = columns.len();
+        DataFrame {
+            columns,
+            time_s: Vec::new(),
+            values: vec![Vec::new(); n],
+        }
+    }
+
+    /// Append one sampling row.
+    pub fn push_row(&mut self, time_s: f64, row: &[f64]) {
+        assert_eq!(row.len(), self.columns.len(), "row width mismatch");
+        self.time_s.push(time_s);
+        for (col, v) in self.values.iter_mut().zip(row) {
+            col.push(*v);
+        }
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.time_s.len()
+    }
+
+    pub fn num_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column index by name.
+    pub fn col(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// Trapezoidal integral of column `c` over the time axis, converted
+    /// from watt-seconds to watt-hours — jpwr's energy calculation.
+    pub fn energy_wh(&self, c: usize) -> f64 {
+        let col = &self.values[c];
+        let mut joules = 0.0;
+        for i in 1..col.len() {
+            let dt = self.time_s[i] - self.time_s[i - 1];
+            joules += 0.5 * (col[i] + col[i - 1]) * dt;
+        }
+        joules / 3600.0
+    }
+
+    /// Energy for every column, in column order.
+    pub fn energy_all_wh(&self) -> Vec<f64> {
+        (0..self.num_cols()).map(|c| self.energy_wh(c)).collect()
+    }
+
+    /// Mean of column `c`.
+    pub fn mean(&self, c: usize) -> f64 {
+        let col = &self.values[c];
+        if col.is_empty() {
+            0.0
+        } else {
+            col.iter().sum::<f64>() / col.len() as f64
+        }
+    }
+
+    /// Maximum of column `c`.
+    pub fn max(&self, c: usize) -> f64 {
+        self.values[c].iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Serialize as CSV (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time_s");
+        for c in &self.columns {
+            out.push(',');
+            out.push_str(c);
+        }
+        out.push('\n');
+        for r in 0..self.num_rows() {
+            out.push_str(&format!("{:.6}", self.time_s[r]));
+            for c in 0..self.num_cols() {
+                out.push_str(&format!(",{:.6}", self.values[c][r]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serialize as JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("DataFrame serializes")
+    }
+
+    /// Parse back from CSV (inverse of [`Self::to_csv`]).
+    pub fn from_csv(text: &str) -> Result<DataFrame, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty csv")?;
+        let mut cols = header.split(',');
+        if cols.next() != Some("time_s") {
+            return Err("first column must be time_s".into());
+        }
+        let columns: Vec<String> = cols.map(str::to_string).collect();
+        let mut df = DataFrame::new(columns);
+        for (i, line) in lines.enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut parts = line.split(',');
+            let t: f64 = parts
+                .next()
+                .ok_or_else(|| format!("row {i}: missing time"))?
+                .parse()
+                .map_err(|e| format!("row {i}: {e}"))?;
+            let row: Result<Vec<f64>, _> = parts.map(str::parse).collect();
+            let row = row.map_err(|e| format!("row {i}: {e}"))?;
+            if row.len() != df.num_cols() {
+                return Err(format!("row {i}: width {} != {}", row.len(), df.num_cols()));
+            }
+            df.push_row(t, &row);
+        }
+        Ok(df)
+    }
+
+    /// Write to `dir/name{suffix}.{ext}`; the suffix undergoes `%q{VAR}`
+    /// expansion. Returns the written path.
+    pub fn write(
+        &self,
+        dir: &Path,
+        name: &str,
+        suffix: &str,
+        filetype: FileType,
+    ) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let suffix = expand_suffix(suffix);
+        let path = dir.join(format!("{name}{suffix}.{}", filetype.extension()));
+        let mut f = std::fs::File::create(&path)?;
+        match filetype {
+            FileType::Csv => f.write_all(self.to_csv().as_bytes())?,
+            FileType::Json => f.write_all(self.to_json().as_bytes())?,
+        }
+        Ok(path)
+    }
+}
+
+/// Expand `%q{VARIABLE}` occurrences from the environment — the mechanism
+/// jpwr uses so that e.g. `--df-suffix "%q{SLURM_PROCID}"` adds the MPI
+/// rank to result file names. Unset variables expand to the empty string.
+pub fn expand_suffix(suffix: &str) -> String {
+    let mut out = String::new();
+    let mut rest = suffix;
+    while let Some(start) = rest.find("%q{") {
+        out.push_str(&rest[..start]);
+        let after = &rest[start + 3..];
+        match after.find('}') {
+            Some(end) => {
+                let var = &after[..end];
+                if let Ok(v) = std::env::var(var) {
+                    out.push_str(&v);
+                }
+                rest = &after[end + 1..];
+            }
+            None => {
+                // Unterminated: emit literally.
+                out.push_str(&rest[start..]);
+                rest = "";
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DataFrame {
+        let mut df = DataFrame::new(vec!["gpu0".into(), "gpu1".into()]);
+        df.push_row(0.0, &[100.0, 200.0]);
+        df.push_row(1.0, &[110.0, 210.0]);
+        df.push_row(2.0, &[120.0, 220.0]);
+        df
+    }
+
+    #[test]
+    fn push_and_dims() {
+        let df = sample();
+        assert_eq!(df.num_rows(), 3);
+        assert_eq!(df.num_cols(), 2);
+        assert_eq!(df.col("gpu1"), Some(1));
+        assert_eq!(df.col("nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut df = DataFrame::new(vec!["a".into()]);
+        df.push_row(0.0, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn trapezoid_energy() {
+        let df = sample();
+        // gpu0: ∫ = 0.5(100+110)·1 + 0.5(110+120)·1 = 105 + 115 = 220 J.
+        assert!((df.energy_wh(0) - 220.0 / 3600.0).abs() < 1e-12);
+        let all = df.energy_all_wh();
+        assert_eq!(all.len(), 2);
+        assert!(all[1] > all[0]);
+    }
+
+    #[test]
+    fn stats() {
+        let df = sample();
+        assert!((df.mean(0) - 110.0).abs() < 1e-12);
+        assert_eq!(df.max(1), 220.0);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let df = sample();
+        let parsed = DataFrame::from_csv(&df.to_csv()).unwrap();
+        assert_eq!(parsed.columns, df.columns);
+        assert_eq!(parsed.num_rows(), 3);
+        assert!((parsed.values[1][2] - 220.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn csv_parse_errors() {
+        assert!(DataFrame::from_csv("").is_err());
+        assert!(DataFrame::from_csv("wrong,gpu0\n").is_err());
+        assert!(DataFrame::from_csv("time_s,gpu0\n1.0,abc\n").is_err());
+        assert!(DataFrame::from_csv("time_s,gpu0\n1.0,1.0,2.0\n").is_err());
+    }
+
+    #[test]
+    fn json_contains_columns() {
+        let j = sample().to_json();
+        assert!(j.contains("gpu0"));
+        assert!(j.contains("time_s"));
+        let v: serde_json::Value = serde_json::from_str(&j).unwrap();
+        assert_eq!(v["columns"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn suffix_expansion() {
+        std::env::set_var("JPWR_TEST_RANK", "7");
+        assert_eq!(expand_suffix("_rank%q{JPWR_TEST_RANK}"), "_rank7");
+        assert_eq!(expand_suffix("%q{JPWR_TEST_RANK}%q{JPWR_TEST_RANK}"), "77");
+        assert_eq!(expand_suffix("plain"), "plain");
+        assert_eq!(expand_suffix("_x%q{JPWR_UNSET_VAR_XYZ}"), "_x");
+        // Unterminated pattern stays literal.
+        assert_eq!(expand_suffix("a%q{oops"), "a%q{oops");
+    }
+
+    #[test]
+    fn write_and_read_back() {
+        let dir = std::env::temp_dir().join(format!("jpwr_test_{}", std::process::id()));
+        std::env::set_var("JPWR_WRITE_RANK", "3");
+        let path = sample()
+            .write(&dir, "energy", "_%q{JPWR_WRITE_RANK}", FileType::Csv)
+            .unwrap();
+        assert!(path.ends_with("energy_3.csv"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let df = DataFrame::from_csv(&text).unwrap();
+        assert_eq!(df.num_rows(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn filetype_parsing() {
+        assert_eq!(FileType::from_name("csv"), Some(FileType::Csv));
+        assert_eq!(FileType::from_name("JSON"), Some(FileType::Json));
+        assert_eq!(FileType::from_name("h5"), None);
+    }
+
+    #[test]
+    fn empty_frame_energy_is_zero() {
+        let df = DataFrame::new(vec!["x".into()]);
+        assert_eq!(df.energy_wh(0), 0.0);
+        assert_eq!(df.mean(0), 0.0);
+    }
+}

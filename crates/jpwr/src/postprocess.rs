@@ -1,0 +1,176 @@
+//! Result postprocessing — the paper's `jube continue` step: "To combine
+//! the energy data into a single CSV file and postprocess results".
+//!
+//! Multi-node jobs write one DataFrame per rank (suffixes via
+//! `--df-suffix "%q{SLURM_PROCID}"`); this module merges them into one
+//! wide frame (columns namespaced by source file) and derives the energy
+//! summary used by the final result tables.
+
+use crate::df::DataFrame;
+use std::path::{Path, PathBuf};
+
+/// Combine several per-rank power CSVs into one wide DataFrame. Columns
+/// are namespaced `"{stem}/{column}"`; rows are matched by sample index
+/// (ranks sample on the same schedule), keeping the shortest file's row
+/// count. The time axis comes from the first file.
+pub fn combine(paths: &[PathBuf]) -> Result<DataFrame, String> {
+    if paths.is_empty() {
+        return Err("no input files".into());
+    }
+    let mut frames = Vec::new();
+    for p in paths {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()))?;
+        let df = DataFrame::from_csv(&text).map_err(|e| format!("{}: {e}", p.display()))?;
+        let stem = p
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("frame")
+            .to_string();
+        frames.push((stem, df));
+    }
+    let rows = frames.iter().map(|(_, f)| f.num_rows()).min().unwrap_or(0);
+    let mut columns = Vec::new();
+    for (stem, df) in &frames {
+        for c in &df.columns {
+            columns.push(format!("{stem}/{c}"));
+        }
+    }
+    let mut out = DataFrame::new(columns);
+    for r in 0..rows {
+        let t = frames[0].1.time_s[r];
+        let mut row = Vec::new();
+        for (_, df) in &frames {
+            for c in 0..df.num_cols() {
+                row.push(df.values[c][r]);
+            }
+        }
+        out.push_row(t, &row);
+    }
+    Ok(out)
+}
+
+/// Find all `{prefix}*.csv` files in a directory (sorted for
+/// determinism).
+pub fn find_rank_files(dir: &Path, prefix: &str) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if name.starts_with(prefix) && name.ends_with(".csv") {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Per-column summary statistics of a (combined) power frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnSummary {
+    pub column: String,
+    pub energy_wh: f64,
+    pub mean_w: f64,
+    pub max_w: f64,
+}
+
+/// Derive the energy/power summary the final result tables report.
+pub fn summarize(df: &DataFrame) -> Vec<ColumnSummary> {
+    (0..df.num_cols())
+        .map(|c| ColumnSummary {
+            column: df.columns[c].clone(),
+            energy_wh: df.energy_wh(c),
+            mean_w: df.mean(c),
+            max_w: df.max(c),
+        })
+        .collect()
+}
+
+/// Total energy across all columns of a combined frame, Wh.
+pub fn total_energy_wh(df: &DataFrame) -> f64 {
+    df.energy_all_wh().iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::df::FileType;
+
+    fn write_rank_file(dir: &Path, rank: u32, watts: f64, rows: usize) -> PathBuf {
+        let mut df = DataFrame::new(vec!["gpu0".to_string()]);
+        for r in 0..rows {
+            df.push_row(r as f64, &[watts]);
+        }
+        df.write(dir, "power", &format!("_{rank}"), FileType::Csv)
+            .unwrap()
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("jpwr_pp_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn combines_per_rank_files() {
+        let dir = temp_dir("combine");
+        write_rank_file(&dir, 0, 100.0, 5);
+        write_rank_file(&dir, 1, 200.0, 5);
+        let files = find_rank_files(&dir, "power").unwrap();
+        assert_eq!(files.len(), 2);
+        let combined = combine(&files).unwrap();
+        assert_eq!(combined.num_cols(), 2);
+        assert_eq!(combined.num_rows(), 5);
+        assert_eq!(combined.columns, vec!["power_0/gpu0", "power_1/gpu0"]);
+        assert_eq!(combined.mean(0), 100.0);
+        assert_eq!(combined.mean(1), 200.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shortest_file_bounds_rows() {
+        let dir = temp_dir("short");
+        write_rank_file(&dir, 0, 100.0, 10);
+        write_rank_file(&dir, 1, 200.0, 6);
+        let combined = combine(&find_rank_files(&dir, "power").unwrap()).unwrap();
+        assert_eq!(combined.num_rows(), 6);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let dir = temp_dir("summary");
+        write_rank_file(&dir, 0, 150.0, 5); // 4 s at 150 W
+        let combined = combine(&find_rank_files(&dir, "power").unwrap()).unwrap();
+        let summary = summarize(&combined);
+        assert_eq!(summary.len(), 1);
+        assert_eq!(summary[0].mean_w, 150.0);
+        assert_eq!(summary[0].max_w, 150.0);
+        assert!((summary[0].energy_wh - 150.0 * 4.0 / 3600.0).abs() < 1e-9);
+        assert!((total_energy_wh(&combined) - summary[0].energy_wh).abs() < 1e-12);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(combine(&[]).is_err());
+    }
+
+    #[test]
+    fn missing_file_reports_path() {
+        let err = combine(&[PathBuf::from("/definitely/not/here.csv")]).unwrap_err();
+        assert!(err.contains("not/here.csv"));
+    }
+
+    #[test]
+    fn find_filters_by_prefix_and_extension() {
+        let dir = temp_dir("filter");
+        write_rank_file(&dir, 0, 1.0, 2);
+        std::fs::write(dir.join("energy_0.csv"), "time_s,x\n0,1\n").unwrap();
+        std::fs::write(dir.join("power_readme.txt"), "not csv").unwrap();
+        let files = find_rank_files(&dir, "power").unwrap();
+        assert_eq!(files.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,243 @@
+//! Tagged parameter sets.
+//!
+//! A JUBE script declares parameter sets whose members may carry *tags*;
+//! running `jube run script --tag A100 800M` activates exactly the
+//! parameters tagged for that system and model size (untagged parameters
+//! are always active). Multi-valued parameters trigger the cartesian
+//! workpackage expansion in [`crate::benchmark`].
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One parameter: a name, one or more candidate values, and an optional
+/// activation tag.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Parameter {
+    pub name: String,
+    pub values: Vec<String>,
+    /// Active only when this tag is selected (None = always active).
+    pub tag: Option<String>,
+}
+
+impl Parameter {
+    /// A single-valued, untagged parameter.
+    pub fn single(name: impl Into<String>, value: impl ToString) -> Self {
+        Parameter {
+            name: name.into(),
+            values: vec![value.to_string()],
+            tag: None,
+        }
+    }
+
+    /// A multi-valued (sweep) parameter.
+    pub fn sweep<T: ToString>(name: impl Into<String>, values: impl IntoIterator<Item = T>) -> Self {
+        Parameter {
+            name: name.into(),
+            values: values.into_iter().map(|v| v.to_string()).collect(),
+            tag: None,
+        }
+    }
+
+    /// Restrict to a tag.
+    pub fn tagged(mut self, tag: impl Into<String>) -> Self {
+        self.tag = Some(tag.into());
+        self
+    }
+
+    /// Whether this parameter is active under the selected tags.
+    pub fn active(&self, tags: &[String]) -> bool {
+        match &self.tag {
+            None => true,
+            Some(t) => tags.iter().any(|s| s == t),
+        }
+    }
+}
+
+/// A named group of parameters.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParameterSet {
+    pub name: String,
+    pub parameters: Vec<Parameter>,
+}
+
+impl ParameterSet {
+    pub fn new(name: impl Into<String>) -> Self {
+        ParameterSet {
+            name: name.into(),
+            parameters: Vec::new(),
+        }
+    }
+
+    pub fn with(mut self, p: Parameter) -> Self {
+        self.parameters.push(p);
+        self
+    }
+
+    /// Resolve the active parameters under `tags`. Later parameters with
+    /// the same name override earlier ones (tag-specific values override
+    /// defaults, as in JUBE).
+    pub fn resolve(&self, tags: &[String]) -> BTreeMap<String, Vec<String>> {
+        let mut out = BTreeMap::new();
+        for p in &self.parameters {
+            if p.active(tags) {
+                out.insert(p.name.clone(), p.values.clone());
+            }
+        }
+        out
+    }
+}
+
+/// Merge the resolved maps of several parameter sets (later sets win).
+pub fn merge_resolved(
+    sets: &[ParameterSet],
+    tags: &[String],
+) -> BTreeMap<String, Vec<String>> {
+    let mut out = BTreeMap::new();
+    for s in sets {
+        out.extend(s.resolve(tags));
+    }
+    out
+}
+
+/// Cartesian expansion of a resolved parameter map into concrete
+/// assignments — JUBE's workpackage generation. Deterministic order:
+/// parameters iterate alphabetically, values in declaration order.
+pub fn expand(resolved: &BTreeMap<String, Vec<String>>) -> Vec<BTreeMap<String, String>> {
+    let mut out = vec![BTreeMap::new()];
+    for (name, values) in resolved {
+        let mut next = Vec::with_capacity(out.len() * values.len());
+        for assignment in &out {
+            for v in values {
+                let mut a = assignment.clone();
+                a.insert(name.clone(), v.clone());
+                next.push(a);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tags(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn untagged_always_active() {
+        let p = Parameter::single("batch", 16);
+        assert!(p.active(&[]));
+        assert!(p.active(&tags(&["A100"])));
+    }
+
+    #[test]
+    fn tagged_requires_tag() {
+        let p = Parameter::single("gpus", 4).tagged("A100");
+        assert!(!p.active(&[]));
+        assert!(p.active(&tags(&["A100"])));
+        assert!(!p.active(&tags(&["H100"])));
+        assert!(p.active(&tags(&["H100", "A100"])));
+    }
+
+    #[test]
+    fn resolve_applies_overrides_in_order() {
+        let set = ParameterSet::new("system")
+            .with(Parameter::single("tdp", 400))
+            .with(Parameter::single("tdp", 700).tagged("GH200"));
+        let plain = set.resolve(&[]);
+        assert_eq!(plain["tdp"], vec!["400"]);
+        let gh = set.resolve(&tags(&["GH200"]));
+        assert_eq!(gh["tdp"], vec!["700"]);
+    }
+
+    #[test]
+    fn sweep_keeps_all_values() {
+        let set =
+            ParameterSet::new("model").with(Parameter::sweep("batch", [16, 32, 64]));
+        assert_eq!(set.resolve(&[])["batch"], vec!["16", "32", "64"]);
+    }
+
+    #[test]
+    fn merge_later_sets_win() {
+        let a = ParameterSet::new("a").with(Parameter::single("x", 1));
+        let b = ParameterSet::new("b").with(Parameter::single("x", 2));
+        let merged = merge_resolved(&[a, b], &[]);
+        assert_eq!(merged["x"], vec!["2"]);
+    }
+
+    #[test]
+    fn expansion_cardinality_is_product() {
+        let set = ParameterSet::new("s")
+            .with(Parameter::sweep("batch", [16, 32, 64]))
+            .with(Parameter::sweep("gpus", [1, 2]))
+            .with(Parameter::single("model", "resnet50"));
+        let wps = expand(&set.resolve(&[]));
+        assert_eq!(wps.len(), 6);
+        // Every combination appears exactly once.
+        let mut seen = std::collections::HashSet::new();
+        for wp in &wps {
+            assert_eq!(wp["model"], "resnet50");
+            seen.insert((wp["batch"].clone(), wp["gpus"].clone()));
+        }
+        assert_eq!(seen.len(), 6);
+    }
+
+    #[test]
+    fn expansion_of_empty_map_is_single_empty_assignment() {
+        let wps = expand(&BTreeMap::new());
+        assert_eq!(wps.len(), 1);
+        assert!(wps[0].is_empty());
+    }
+
+    #[test]
+    fn expansion_is_deterministic() {
+        let set = ParameterSet::new("s")
+            .with(Parameter::sweep("b", ["x", "y"]))
+            .with(Parameter::sweep("a", ["1", "2"]));
+        let w1 = expand(&set.resolve(&[]));
+        let w2 = expand(&set.resolve(&[]));
+        assert_eq!(w1, w2);
+        // Alphabetical outer order: 'a' varies slowest.
+        assert_eq!(w1[0]["a"], "1");
+        assert_eq!(w1[1]["a"], "1");
+        assert_eq!(w1[2]["a"], "2");
+    }
+
+    #[test]
+    fn inactive_parameters_disappear() {
+        let set = ParameterSet::new("s")
+            .with(Parameter::single("only_ipu", 1).tagged("GC200"));
+        assert!(set.resolve(&[]).is_empty());
+        assert_eq!(set.resolve(&tags(&["GC200"])).len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Expansion cardinality equals the product of value counts.
+        #[test]
+        fn cardinality(counts in prop::collection::vec(1usize..4, 0..5)) {
+            let mut set = ParameterSet::new("s");
+            for (i, c) in counts.iter().enumerate() {
+                set = set.with(Parameter::sweep(
+                    format!("p{i}"),
+                    (0..*c).map(|v| v.to_string()),
+                ));
+            }
+            let wps = expand(&set.resolve(&[]));
+            let expect: usize = counts.iter().product();
+            prop_assert_eq!(wps.len(), expect.max(1));
+            // All assignments are distinct.
+            let set: std::collections::HashSet<_> =
+                wps.iter().map(|w| format!("{w:?}")).collect();
+            prop_assert_eq!(set.len(), wps.len());
+        }
+    }
+}

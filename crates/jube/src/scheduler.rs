@@ -1,0 +1,284 @@
+//! A Slurm-like batch scheduler over a thread pool.
+//!
+//! "The JUBE runtime interprets the script, resolves dependencies and
+//! submits jobs to the Slurm batch system" (§III-A3). This module plays
+//! the Slurm role for workpackage execution: jobs are submitted with a
+//! node requirement, wait in a queue while the simulated partition is
+//! full, run on a rayon thread pool, and end in `Completed` or `Failed`
+//! with accounting of queue and run times.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Lifecycle of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    Pending,
+    Running,
+    Completed,
+    Failed,
+}
+
+/// Accounting record of one job.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    pub id: u64,
+    pub name: String,
+    pub nodes: u32,
+    pub state: JobState,
+    pub queue_s: f64,
+    pub run_s: f64,
+    pub error: Option<String>,
+}
+
+struct SchedState {
+    free_nodes: u32,
+    records: BTreeMap<u64, JobRecord>,
+    active: usize,
+}
+
+/// The simulated batch system.
+pub struct SlurmSim {
+    total_nodes: u32,
+    state: Arc<(Mutex<SchedState>, Condvar)>,
+    next_id: Mutex<u64>,
+}
+
+impl SlurmSim {
+    /// A partition with `nodes` nodes.
+    pub fn new(nodes: u32) -> Arc<Self> {
+        assert!(nodes >= 1);
+        Arc::new(SlurmSim {
+            total_nodes: nodes,
+            state: Arc::new((
+                Mutex::new(SchedState {
+                    free_nodes: nodes,
+                    records: BTreeMap::new(),
+                    active: 0,
+                }),
+                Condvar::new(),
+            )),
+            next_id: Mutex::new(1),
+        })
+    }
+
+    pub fn total_nodes(&self) -> u32 {
+        self.total_nodes
+    }
+
+    /// Submit a job requiring `nodes` nodes; `work` runs on its own
+    /// thread once resources are free. Returns the job id immediately
+    /// (`sbatch` semantics).
+    pub fn submit<F>(self: &Arc<Self>, name: impl Into<String>, nodes: u32, work: F) -> u64
+    where
+        F: FnOnce() -> Result<(), String> + Send + 'static,
+    {
+        assert!(
+            nodes >= 1 && nodes <= self.total_nodes,
+            "job needs {nodes} nodes, partition has {}",
+            self.total_nodes
+        );
+        let id = {
+            let mut g = self.next_id.lock();
+            let id = *g;
+            *g += 1;
+            id
+        };
+        let name = name.into();
+        {
+            let (lock, _) = &*self.state;
+            let mut st = lock.lock();
+            st.records.insert(
+                id,
+                JobRecord {
+                    id,
+                    name: name.clone(),
+                    nodes,
+                    state: JobState::Pending,
+                    queue_s: 0.0,
+                    run_s: 0.0,
+                    error: None,
+                },
+            );
+            st.active += 1;
+        }
+        let me = Arc::clone(self);
+        std::thread::spawn(move || {
+            let submitted = Instant::now();
+            // Wait for nodes.
+            {
+                let (lock, cvar) = &*me.state;
+                let mut st = lock.lock();
+                while st.free_nodes < nodes {
+                    cvar.wait(&mut st);
+                }
+                st.free_nodes -= nodes;
+                let rec = st.records.get_mut(&id).expect("record exists");
+                rec.state = JobState::Running;
+                rec.queue_s = submitted.elapsed().as_secs_f64();
+            }
+            let started = Instant::now();
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(work));
+            let (lock, cvar) = &*me.state;
+            let mut st = lock.lock();
+            st.free_nodes += nodes;
+            st.active -= 1;
+            let rec = st.records.get_mut(&id).expect("record exists");
+            rec.run_s = started.elapsed().as_secs_f64();
+            match result {
+                Ok(Ok(())) => rec.state = JobState::Completed,
+                Ok(Err(e)) => {
+                    rec.state = JobState::Failed;
+                    rec.error = Some(e);
+                }
+                Err(_) => {
+                    rec.state = JobState::Failed;
+                    rec.error = Some("job panicked".into());
+                }
+            }
+            cvar.notify_all();
+        });
+        id
+    }
+
+    /// Current state of a job (`squeue`/`sacct`).
+    pub fn state_of(&self, id: u64) -> Option<JobState> {
+        let (lock, _) = &*self.state;
+        lock.lock().records.get(&id).map(|r| r.state)
+    }
+
+    /// Block until every submitted job finished; returns all records.
+    pub fn wait_all(&self) -> Vec<JobRecord> {
+        let (lock, cvar) = &*self.state;
+        let mut st = lock.lock();
+        while st.active > 0 {
+            cvar.wait(&mut st);
+        }
+        st.records.values().cloned().collect()
+    }
+
+    /// Records of completed/failed jobs so far.
+    pub fn records(&self) -> Vec<JobRecord> {
+        let (lock, _) = &*self.state;
+        lock.lock().records.values().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn jobs_run_and_complete() {
+        let slurm = SlurmSim::new(2);
+        let counter = Arc::new(AtomicU32::new(0));
+        for i in 0..5 {
+            let c = Arc::clone(&counter);
+            slurm.submit(format!("job{i}"), 1, move || {
+                c.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            });
+        }
+        let records = slurm.wait_all();
+        assert_eq!(records.len(), 5);
+        assert!(records.iter().all(|r| r.state == JobState::Completed));
+        assert_eq!(counter.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn failures_are_recorded() {
+        let slurm = SlurmSim::new(1);
+        let ok = slurm.submit("good", 1, || Ok(()));
+        let bad = slurm.submit("bad", 1, || Err("boom".into()));
+        let records = slurm.wait_all();
+        let get = |id: u64| records.iter().find(|r| r.id == id).unwrap().clone();
+        assert_eq!(get(ok).state, JobState::Completed);
+        let b = get(bad);
+        assert_eq!(b.state, JobState::Failed);
+        assert_eq!(b.error.as_deref(), Some("boom"));
+    }
+
+    #[test]
+    fn panics_become_failures() {
+        let slurm = SlurmSim::new(1);
+        slurm.submit("panicky", 1, || panic!("unexpected"));
+        let records = slurm.wait_all();
+        assert_eq!(records[0].state, JobState::Failed);
+        assert!(records[0].error.as_deref().unwrap().contains("panicked"));
+    }
+
+    #[test]
+    fn node_limit_bounds_concurrency() {
+        let slurm = SlurmSim::new(2);
+        let running = Arc::new(AtomicU32::new(0));
+        let peak = Arc::new(AtomicU32::new(0));
+        for _ in 0..8 {
+            let running = Arc::clone(&running);
+            let peak = Arc::clone(&peak);
+            slurm.submit("j", 1, move || {
+                let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                running.fetch_sub(1, Ordering::SeqCst);
+                Ok(())
+            });
+        }
+        slurm.wait_all();
+        assert!(peak.load(Ordering::SeqCst) <= 2, "concurrency exceeded nodes");
+    }
+
+    #[test]
+    fn multi_node_job_takes_whole_partition() {
+        let slurm = SlurmSim::new(4);
+        let running = Arc::new(AtomicU32::new(0));
+        let overlap = Arc::new(AtomicU32::new(0));
+        for _ in 0..3 {
+            let running = Arc::clone(&running);
+            let overlap = Arc::clone(&overlap);
+            slurm.submit("wide", 4, move || {
+                let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                overlap.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                running.fetch_sub(1, Ordering::SeqCst);
+                Ok(())
+            });
+        }
+        slurm.wait_all();
+        assert_eq!(overlap.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition has")]
+    fn oversized_job_rejected() {
+        let slurm = SlurmSim::new(2);
+        slurm.submit("huge", 3, || Ok(()));
+    }
+
+    #[test]
+    fn state_transitions_observable() {
+        let slurm = SlurmSim::new(1);
+        let id = slurm.submit("slow", 1, || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            Ok(())
+        });
+        // Eventually completes.
+        slurm.wait_all();
+        assert_eq!(slurm.state_of(id), Some(JobState::Completed));
+        assert_eq!(slurm.state_of(9999), None);
+    }
+
+    #[test]
+    fn accounting_times_are_positive() {
+        let slurm = SlurmSim::new(1);
+        slurm.submit("a", 1, || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            Ok(())
+        });
+        let records = slurm.wait_all();
+        assert!(records[0].run_s >= 0.009);
+        assert!(records[0].queue_s >= 0.0);
+    }
+}

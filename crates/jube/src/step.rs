@@ -1,0 +1,251 @@
+//! Execution steps.
+//!
+//! A JUBE benchmark consists of named steps — "downloads, compilation,
+//! training, and verification" in CARAML's case — with dependencies
+//! between them and tag-based activation. The original executes shell
+//! templates; here a step's payload is a Rust closure receiving the
+//! resolved workpackage parameters plus the results of its dependencies,
+//! and returning named result values (throughput, energy, …).
+
+use crate::JubeError;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// What a step sees when it runs.
+#[derive(Debug, Clone, Default)]
+pub struct StepContext {
+    /// Fully substituted workpackage parameters.
+    pub params: BTreeMap<String, String>,
+    /// Result values produced by dependency steps (merged).
+    pub inputs: BTreeMap<String, String>,
+}
+
+impl StepContext {
+    /// Fetch a parameter, erroring with context when missing.
+    pub fn param(&self, name: &str) -> Result<&str, JubeError> {
+        self.params
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| JubeError::UnknownParameter(name.to_string()))
+    }
+
+    /// Fetch and parse a parameter.
+    pub fn parse<T: std::str::FromStr>(&self, name: &str) -> Result<T, JubeError> {
+        self.param(name)?.parse().map_err(|_| {
+            JubeError::StepFailed {
+                step: "<parse>".into(),
+                message: format!("parameter {name} is not a valid value"),
+            }
+        })
+    }
+
+    /// Fetch a dependency result.
+    pub fn input(&self, name: &str) -> Result<&str, JubeError> {
+        self.inputs
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| JubeError::UnknownParameter(name.to_string()))
+    }
+}
+
+/// The payload closure type: parameters in, named results out.
+pub type StepFn =
+    Arc<dyn Fn(&StepContext) -> Result<BTreeMap<String, String>, String> + Send + Sync>;
+
+/// A named step with dependencies and optional tag gating.
+#[derive(Clone)]
+pub struct Step {
+    pub name: String,
+    pub depends: Vec<String>,
+    pub tag: Option<String>,
+    pub work: StepFn,
+}
+
+impl std::fmt::Debug for Step {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Step({}, depends={:?}, tag={:?})",
+            self.name, self.depends, self.tag
+        )
+    }
+}
+
+impl Step {
+    /// Create a step from a closure.
+    pub fn new(
+        name: impl Into<String>,
+        work: impl Fn(&StepContext) -> Result<BTreeMap<String, String>, String>
+            + Send
+            + Sync
+            + 'static,
+    ) -> Self {
+        Step {
+            name: name.into(),
+            depends: Vec::new(),
+            tag: None,
+            work: Arc::new(work),
+        }
+    }
+
+    /// Declare a dependency on another step.
+    pub fn after(mut self, dep: impl Into<String>) -> Self {
+        self.depends.push(dep.into());
+        self
+    }
+
+    /// Gate on a tag.
+    pub fn tagged(mut self, tag: impl Into<String>) -> Self {
+        self.tag = Some(tag.into());
+        self
+    }
+
+    /// Whether the step runs under the selected tags.
+    pub fn active(&self, tags: &[String]) -> bool {
+        match &self.tag {
+            None => true,
+            Some(t) => tags.iter().any(|s| s == t),
+        }
+    }
+}
+
+/// Topologically order `steps` by their dependencies. Errors on unknown
+/// or cyclic dependencies.
+pub fn topo_order(steps: &[Step]) -> Result<Vec<usize>, JubeError> {
+    let index: BTreeMap<&str, usize> = steps
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.name.as_str(), i))
+        .collect();
+    let mut order = Vec::with_capacity(steps.len());
+    // 0 = unvisited, 1 = in progress, 2 = done
+    let mut state = vec![0u8; steps.len()];
+
+    fn visit(
+        i: usize,
+        steps: &[Step],
+        index: &BTreeMap<&str, usize>,
+        state: &mut [u8],
+        order: &mut Vec<usize>,
+    ) -> Result<(), JubeError> {
+        match state[i] {
+            2 => return Ok(()),
+            1 => return Err(JubeError::BadDependency(format!(
+                "cycle through step '{}'",
+                steps[i].name
+            ))),
+            _ => {}
+        }
+        state[i] = 1;
+        for dep in &steps[i].depends {
+            let Some(&j) = index.get(dep.as_str()) else {
+                return Err(JubeError::BadDependency(format!(
+                    "step '{}' depends on unknown step '{dep}'",
+                    steps[i].name
+                )));
+            };
+            visit(j, steps, index, state, order)?;
+        }
+        state[i] = 2;
+        order.push(i);
+        Ok(())
+    }
+
+    for i in 0..steps.len() {
+        visit(i, steps, &index, &mut state, &mut order)?;
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noop(name: &str) -> Step {
+        Step::new(name, |_| Ok(BTreeMap::new()))
+    }
+
+    #[test]
+    fn topo_orders_dependencies_first() {
+        let steps = vec![
+            noop("train").after("download").after("compile"),
+            noop("compile").after("download"),
+            noop("download"),
+        ];
+        let order = topo_order(&steps).unwrap();
+        let pos = |name: &str| {
+            order
+                .iter()
+                .position(|&i| steps[i].name == name)
+                .unwrap()
+        };
+        assert!(pos("download") < pos("compile"));
+        assert!(pos("compile") < pos("train"));
+    }
+
+    #[test]
+    fn topo_detects_cycles() {
+        let steps = vec![noop("a").after("b"), noop("b").after("a")];
+        assert!(matches!(
+            topo_order(&steps),
+            Err(JubeError::BadDependency(_))
+        ));
+    }
+
+    #[test]
+    fn topo_detects_unknown_dependency() {
+        let steps = vec![noop("a").after("ghost")];
+        let err = topo_order(&steps).unwrap_err();
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn topo_is_stable_without_dependencies() {
+        let steps = vec![noop("x"), noop("y"), noop("z")];
+        assert_eq!(topo_order(&steps).unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn step_tag_gating() {
+        let s = noop("ipu_only").tagged("GC200");
+        assert!(!s.active(&[]));
+        assert!(s.active(&["GC200".to_string()]));
+    }
+
+    #[test]
+    fn context_accessors() {
+        let mut ctx = StepContext::default();
+        ctx.params.insert("batch".into(), "64".into());
+        ctx.inputs.insert("tokens_per_s".into(), "123.5".into());
+        assert_eq!(ctx.param("batch").unwrap(), "64");
+        assert_eq!(ctx.parse::<u64>("batch").unwrap(), 64);
+        assert_eq!(ctx.input("tokens_per_s").unwrap(), "123.5");
+        assert!(ctx.param("nope").is_err());
+        assert!(ctx.parse::<u64>("nope").is_err());
+        assert!(ctx.input("nope").is_err());
+    }
+
+    #[test]
+    fn parse_failure_is_step_error() {
+        let mut ctx = StepContext::default();
+        ctx.params.insert("batch".into(), "abc".into());
+        assert!(matches!(
+            ctx.parse::<u64>("batch"),
+            Err(JubeError::StepFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn step_work_runs() {
+        let s = Step::new("produce", |ctx| {
+            let b: u64 = ctx.param("batch").unwrap().parse().unwrap();
+            let mut out = BTreeMap::new();
+            out.insert("double".into(), (2 * b).to_string());
+            Ok(out)
+        });
+        let mut ctx = StepContext::default();
+        ctx.params.insert("batch".into(), "21".into());
+        let out = (s.work)(&ctx).unwrap();
+        assert_eq!(out["double"], "42");
+    }
+}

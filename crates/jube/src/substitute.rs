@@ -1,0 +1,201 @@
+//! `${name}` template substitution.
+//!
+//! JUBE scripts reference parameters as `${batch_size}` inside command
+//! templates and other parameter values; resolution is transitive
+//! (parameters may reference parameters) and must terminate.
+
+use crate::JubeError;
+use std::collections::BTreeMap;
+
+/// Maximum resolution depth before declaring a cycle.
+const MAX_DEPTH: usize = 32;
+
+/// Substitute every `${name}` in `template` from `values`, transitively.
+pub fn substitute(
+    template: &str,
+    values: &BTreeMap<String, String>,
+) -> Result<String, JubeError> {
+    let mut current = template.to_string();
+    for _ in 0..MAX_DEPTH {
+        let (next, replaced) = substitute_once(&current, values)?;
+        if !replaced {
+            return Ok(next);
+        }
+        current = next;
+    }
+    Err(JubeError::CyclicSubstitution(template.to_string()))
+}
+
+/// One pass of substitution; returns whether anything was replaced.
+fn substitute_once(
+    template: &str,
+    values: &BTreeMap<String, String>,
+) -> Result<(String, bool), JubeError> {
+    let mut out = String::with_capacity(template.len());
+    let mut rest = template;
+    let mut replaced = false;
+    while let Some(start) = rest.find("${") {
+        out.push_str(&rest[..start]);
+        let after = &rest[start + 2..];
+        let Some(end) = after.find('}') else {
+            // Unterminated reference: keep literally.
+            out.push_str(&rest[start..]);
+            return Ok((out, replaced));
+        };
+        let name = &after[..end];
+        match values.get(name) {
+            Some(v) => {
+                out.push_str(v);
+                replaced = true;
+            }
+            None => return Err(JubeError::UnknownParameter(name.to_string())),
+        }
+        rest = &after[end + 1..];
+    }
+    out.push_str(rest);
+    Ok((out, replaced))
+}
+
+/// Resolve an entire parameter map: every value may reference other
+/// parameters. Returns the fully substituted map.
+pub fn resolve_all(
+    values: &BTreeMap<String, String>,
+) -> Result<BTreeMap<String, String>, JubeError> {
+    let mut out = BTreeMap::new();
+    for (k, v) in values {
+        out.insert(k.clone(), substitute(v, values)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(pairs: &[(&str, &str)]) -> BTreeMap<String, String> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn simple_substitution() {
+        let vals = map(&[("batch", "64"), ("gpus", "4")]);
+        assert_eq!(
+            substitute("train --batch ${batch} --gpus ${gpus}", &vals).unwrap(),
+            "train --batch 64 --gpus 4"
+        );
+    }
+
+    #[test]
+    fn no_references_passthrough() {
+        let vals = map(&[]);
+        assert_eq!(substitute("plain text", &vals).unwrap(), "plain text");
+    }
+
+    #[test]
+    fn transitive_resolution() {
+        let vals = map(&[
+            ("cmd", "run ${args}"),
+            ("args", "--n ${n}"),
+            ("n", "8"),
+        ]);
+        assert_eq!(substitute("${cmd}", &vals).unwrap(), "run --n 8");
+    }
+
+    #[test]
+    fn unknown_parameter_is_error() {
+        let vals = map(&[("a", "1")]);
+        match substitute("${missing}", &vals) {
+            Err(JubeError::UnknownParameter(p)) => assert_eq!(p, "missing"),
+            other => panic!("expected UnknownParameter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let vals = map(&[("a", "${b}"), ("b", "${a}")]);
+        assert!(matches!(
+            substitute("${a}", &vals),
+            Err(JubeError::CyclicSubstitution(_))
+        ));
+    }
+
+    #[test]
+    fn self_reference_detected() {
+        let vals = map(&[("a", "x${a}")]);
+        assert!(substitute("${a}", &vals).is_err());
+    }
+
+    #[test]
+    fn unterminated_reference_kept_literal() {
+        let vals = map(&[("a", "1")]);
+        assert_eq!(substitute("${a} ${oops", &vals).unwrap(), "1 ${oops");
+    }
+
+    #[test]
+    fn adjacent_references() {
+        let vals = map(&[("a", "X"), ("b", "Y")]);
+        assert_eq!(substitute("${a}${b}${a}", &vals).unwrap(), "XYX");
+    }
+
+    #[test]
+    fn resolve_all_map() {
+        let vals = map(&[("base", "8"), ("double", "${base}${base}")]);
+        let r = resolve_all(&vals).unwrap();
+        assert_eq!(r["double"], "88");
+        assert_eq!(r["base"], "8");
+    }
+
+    #[test]
+    fn empty_name_is_unknown() {
+        let vals = map(&[("a", "1")]);
+        assert!(substitute("${}", &vals).is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Text without `${` is always returned verbatim.
+        #[test]
+        fn passthrough(text in "[a-zA-Z0-9 _.-]{0,100}") {
+            let vals = BTreeMap::new();
+            prop_assert_eq!(substitute(&text, &vals).unwrap(), text);
+        }
+
+        /// Substituting a reference-free map is idempotent.
+        #[test]
+        fn resolve_all_idempotent(
+            pairs in prop::collection::btree_map("[a-z]{1,8}", "[A-Z0-9]{0,8}", 0..6)
+        ) {
+            let once = resolve_all(&pairs).unwrap();
+            let twice = resolve_all(&once).unwrap();
+            prop_assert_eq!(once, twice);
+        }
+
+        /// Every defined reference is fully expanded: no `${name}` of a
+        /// known parameter survives substitution.
+        #[test]
+        fn no_known_refs_survive(
+            names in prop::collection::vec("[a-z]{1,6}", 1..4),
+            values in prop::collection::vec("[A-Z]{1,4}", 1..4),
+        ) {
+            let vals: BTreeMap<String, String> = names
+                .iter()
+                .zip(values.iter().cycle())
+                .map(|(n, v)| (n.clone(), v.clone()))
+                .collect();
+            let template: String = vals.keys().map(|n| format!("${{{n}}} ")).collect();
+            let out = substitute(&template, &vals).unwrap();
+            for n in vals.keys() {
+                let needle = format!("${{{}}}", n);
+                prop_assert!(!out.contains(&needle));
+            }
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Result tables — the output of `jube result ... -i last`.
+//!
+//! "JUBE presents the benchmark results, including a throughput
+//! figure-of-merit (images/second and tokens/second) along with energy
+//! consumed per device in Watt hour (Wh) during the course of the model
+//! training in the benchmark, in compact tabular form after execution."
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// A rectangular result table with named columns.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct ResultTable {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ResultTable {
+    pub fn new(columns: Vec<String>) -> Self {
+        ResultTable {
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row by looking up each column in a value map (missing
+    /// columns render as `-`).
+    pub fn push_from(&mut self, values: &BTreeMap<String, String>) {
+        let row = self
+            .columns
+            .iter()
+            .map(|c| values.get(c).cloned().unwrap_or_else(|| "-".into()))
+            .collect();
+        self.rows.push(row);
+    }
+
+    /// Append a raw row (must match the column count).
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Sort rows by a column, numerically when possible.
+    pub fn sort_by_column(&mut self, column: &str) {
+        let Some(c) = self.columns.iter().position(|x| x == column) else {
+            return;
+        };
+        self.rows.sort_by(|a, b| {
+            match (a[c].parse::<f64>(), b[c].parse::<f64>()) {
+                (Ok(x), Ok(y)) => x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal),
+                _ => a[c].cmp(&b[c]),
+            }
+        });
+    }
+
+    /// Render as an aligned ASCII table (the `jube result` look).
+    pub fn to_ascii(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let sep = |out: &mut String| {
+            for w in &widths {
+                out.push('+');
+                out.push_str(&"-".repeat(w + 2));
+            }
+            out.push_str("+\n");
+        };
+        sep(&mut out);
+        out.push('|');
+        for (c, w) in self.columns.iter().zip(&widths) {
+            out.push_str(&format!(" {c:<w$} |"));
+        }
+        out.push('\n');
+        sep(&mut out);
+        for row in &self.rows {
+            out.push('|');
+            for (cell, w) in row.iter().zip(&widths) {
+                out.push_str(&format!(" {cell:>w$} |"));
+            }
+            out.push('\n');
+        }
+        sep(&mut out);
+        out
+    }
+
+    /// Render as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = self.columns.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Extract a numeric column.
+    pub fn numeric_column(&self, column: &str) -> Option<Vec<f64>> {
+        let c = self.columns.iter().position(|x| x == column)?;
+        self.rows
+            .iter()
+            .map(|r| r[c].parse::<f64>().ok())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> ResultTable {
+        let mut t = ResultTable::new(vec!["batch".into(), "tokens_per_s".into()]);
+        t.push_row(vec!["64".into(), "64.99".into()]);
+        t.push_row(vec!["128".into(), "97.21".into()]);
+        t
+    }
+
+    #[test]
+    fn ascii_contains_headers_and_values() {
+        let s = table().to_ascii();
+        assert!(s.contains("batch"));
+        assert!(s.contains("tokens_per_s"));
+        assert!(s.contains("64.99"));
+        // Box drawing present.
+        assert!(s.contains("+---"));
+        assert!(s.lines().count() >= 6);
+    }
+
+    #[test]
+    fn csv_round_shape() {
+        let csv = table().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "batch,tokens_per_s");
+        assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    fn push_from_map_fills_missing_with_dash() {
+        let mut t = ResultTable::new(vec!["a".into(), "b".into()]);
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), "1".to_string());
+        t.push_from(&m);
+        assert_eq!(t.rows[0], vec!["1", "-"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn push_row_checks_width() {
+        let mut t = ResultTable::new(vec!["a".into()]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn numeric_sort() {
+        let mut t = ResultTable::new(vec!["batch".into()]);
+        for b in ["512", "16", "2048", "64"] {
+            t.push_row(vec![b.into()]);
+        }
+        t.sort_by_column("batch");
+        let col = t.numeric_column("batch").unwrap();
+        assert_eq!(col, vec![16.0, 64.0, 512.0, 2048.0]);
+    }
+
+    #[test]
+    fn sort_by_unknown_column_is_noop() {
+        let mut t = table();
+        let before = t.rows.clone();
+        t.sort_by_column("ghost");
+        assert_eq!(t.rows, before);
+    }
+
+    #[test]
+    fn numeric_column_fails_on_text() {
+        let mut t = ResultTable::new(vec!["x".into()]);
+        t.push_row(vec!["abc".into()]);
+        assert!(t.numeric_column("x").is_none());
+        assert!(t.numeric_column("ghost").is_none());
+    }
+
+    #[test]
+    fn alignment_pads_cells() {
+        let mut t = ResultTable::new(vec!["name".into()]);
+        t.push_row(vec!["x".into()]);
+        t.push_row(vec!["longer-name".into()]);
+        let s = t.to_ascii();
+        // Every body line has the same width.
+        let widths: std::collections::HashSet<usize> =
+            s.lines().map(str::len).collect();
+        assert_eq!(widths.len(), 1);
+    }
+}

@@ -1,0 +1,171 @@
+//! GPT architecture configurations.
+//!
+//! The paper trains an 800M-parameter GPT decoder on NVIDIA and AMD
+//! systems, a 117M model on the Graphcore IPU-POD4 (memory constraints,
+//! §III-A1), and ships JUBE configurations for 13B and 175B models that
+//! "can be executed when necessary resources are available". All four are
+//! encoded here, plus a tiny config for the real-training tests.
+
+use serde::{Deserialize, Serialize};
+
+/// A decoder-only transformer configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GptConfig {
+    /// Human-readable size label used in JUBE tags ("800M", "13B", …).
+    pub name: String,
+    pub layers: usize,
+    pub hidden: usize,
+    pub heads: usize,
+    pub seq_len: usize,
+    pub vocab: usize,
+}
+
+impl GptConfig {
+    /// The 800M-parameter model trained on all NVIDIA/AMD systems (Fig. 2).
+    /// Head dimension 128 keeps it runnable by ROCm's flash-attention,
+    /// which the paper notes "supports head dimensions only up to 128".
+    pub fn gpt_800m() -> Self {
+        GptConfig {
+            name: "800M".into(),
+            layers: 16,
+            hidden: 2048,
+            heads: 16,
+            seq_len: 2048,
+            vocab: 50_257,
+        }
+    }
+
+    /// The 117M-parameter model trained on the IPU-POD4 (Table II).
+    pub fn gpt_117m() -> Self {
+        GptConfig {
+            name: "117M".into(),
+            layers: 12,
+            hidden: 768,
+            heads: 12,
+            seq_len: 1024,
+            vocab: 50_257,
+        }
+    }
+
+    /// The 13B configuration shipped with the suite (tested on GH200).
+    pub fn gpt_13b() -> Self {
+        GptConfig {
+            name: "13B".into(),
+            layers: 40,
+            hidden: 5120,
+            heads: 40,
+            seq_len: 2048,
+            vocab: 50_257,
+        }
+    }
+
+    /// The 175B configuration shipped with the suite.
+    pub fn gpt_175b() -> Self {
+        GptConfig {
+            name: "175B".into(),
+            layers: 96,
+            hidden: 12_288,
+            heads: 96,
+            seq_len: 2048,
+            vocab: 50_257,
+        }
+    }
+
+    /// A tiny config for real CPU training in tests and examples.
+    pub fn tiny(vocab: usize, seq_len: usize) -> Self {
+        GptConfig {
+            name: "tiny".into(),
+            layers: 2,
+            hidden: 64,
+            heads: 4,
+            seq_len,
+            vocab,
+        }
+    }
+
+    /// Look up a preset by its JUBE tag.
+    pub fn from_tag(tag: &str) -> Option<GptConfig> {
+        match tag {
+            "800M" => Some(Self::gpt_800m()),
+            "117M" => Some(Self::gpt_117m()),
+            "13B" => Some(Self::gpt_13b()),
+            "175B" => Some(Self::gpt_175b()),
+            _ => None,
+        }
+    }
+
+    /// Dimension of each attention head.
+    pub fn head_dim(&self) -> usize {
+        self.hidden / self.heads
+    }
+
+    /// Validate internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.hidden.is_multiple_of(self.heads) {
+            return Err(format!(
+                "hidden {} not divisible by heads {}",
+                self.hidden, self.heads
+            ));
+        }
+        if !self.head_dim().is_multiple_of(2) {
+            return Err("head dim must be even for rotary embeddings".into());
+        }
+        if self.layers == 0 || self.vocab == 0 || self.seq_len == 0 {
+            return Err("degenerate configuration".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        for cfg in [
+            GptConfig::gpt_800m(),
+            GptConfig::gpt_117m(),
+            GptConfig::gpt_13b(),
+            GptConfig::gpt_175b(),
+            GptConfig::tiny(100, 16),
+        ] {
+            cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+        }
+    }
+
+    #[test]
+    fn head_dims_respect_rocm_flash_attention_limit() {
+        // §V-A: ROCm flash-attention supports head dims only up to 128.
+        assert!(GptConfig::gpt_800m().head_dim() <= 128);
+        assert!(GptConfig::gpt_13b().head_dim() <= 128);
+        assert!(GptConfig::gpt_175b().head_dim() <= 128);
+    }
+
+    #[test]
+    fn tag_lookup() {
+        assert_eq!(GptConfig::from_tag("800M").unwrap().layers, 16);
+        assert_eq!(GptConfig::from_tag("13B").unwrap().hidden, 5120);
+        assert!(GptConfig::from_tag("999B").is_none());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut cfg = GptConfig::tiny(10, 8);
+        cfg.heads = 3; // 64 % 3 != 0
+        assert!(cfg.validate().is_err());
+        let mut cfg = GptConfig::tiny(10, 8);
+        cfg.layers = 0;
+        assert!(cfg.validate().is_err());
+        // Odd head dim breaks RoPE.
+        let cfg = GptConfig {
+            name: "odd".into(),
+            layers: 1,
+            hidden: 6,
+            heads: 2,
+            seq_len: 4,
+            vocab: 10,
+        };
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,357 @@
+//! Analytic cost model for GPT training (Megatron-LM formulas).
+//!
+//! These are the quantities the simulator needs to reproduce Fig. 2: the
+//! parameter count, training FLOPs per token, per-device memory footprint
+//! under the paper's parallel layout (data parallelism for 800M; tensor +
+//! pipeline + sequence parallelism for 13B/175B), and the per-iteration
+//! kernel profile handed to the roofline model.
+
+use super::config::GptConfig;
+use serde::{Deserialize, Serialize};
+
+/// Activation recomputation strategy (§II-A mentions activation
+/// recomputation among the Megatron-LM optimizations CARAML enables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Recompute {
+    /// Store all activations.
+    None,
+    /// Selective recomputation (attention only) — the Megatron default the
+    /// paper's benchmark uses.
+    Selective,
+    /// Full recomputation of every layer.
+    Full,
+}
+
+impl Recompute {
+    /// Multiplier on forward FLOPs for one training step
+    /// (forward + backward [+ recomputation]).
+    pub fn train_flops_factor(&self) -> f64 {
+        match self {
+            Recompute::None => 3.0,
+            Recompute::Selective => 3.35,
+            Recompute::Full => 4.0,
+        }
+    }
+
+    /// Bytes of stored activation per layer per token (fp16), following
+    /// the Megatron-LM activation-memory analysis (≈34·s·b·h for full
+    /// storage; selective recomputation drops the attention maps).
+    pub fn activation_bytes_per_layer_token(&self, _hidden: usize) -> f64 {
+        match self {
+            Recompute::None => 34.0,
+            Recompute::Selective => 24.0,
+            Recompute::Full => 2.0,
+        }
+    }
+}
+
+/// Analytic GPT cost model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GptCost {
+    pub config: GptConfig,
+    pub recompute: Recompute,
+}
+
+impl GptCost {
+    pub fn new(config: GptConfig) -> Self {
+        GptCost {
+            config,
+            recompute: Recompute::Selective,
+        }
+    }
+
+    pub fn with_recompute(mut self, r: Recompute) -> Self {
+        self.recompute = r;
+        self
+    }
+
+    /// Transformer-block parameters (the count behind the "800M" label):
+    /// `12·L·h²` plus biases and LayerNorm parameters (`13·L·h`).
+    pub fn transformer_params(&self) -> u64 {
+        let (l, h) = (self.config.layers as u64, self.config.hidden as u64);
+        12 * l * h * h + 13 * l * h
+    }
+
+    /// Embedding parameters (`V·h`, tied with the output projection).
+    pub fn embedding_params(&self) -> u64 {
+        self.config.vocab as u64 * self.config.hidden as u64
+    }
+
+    /// Total trainable parameters (transformer + embedding + final LN).
+    pub fn total_params(&self) -> u64 {
+        self.transformer_params() + self.embedding_params() + 2 * self.config.hidden as u64
+    }
+
+    /// Forward FLOPs per token:
+    /// `L·(24h² + 4·s·h) + 2·V·h` (dense matmuls + attention + logits).
+    pub fn forward_flops_per_token(&self) -> f64 {
+        let l = self.config.layers as f64;
+        let h = self.config.hidden as f64;
+        let s = self.config.seq_len as f64;
+        let v = self.config.vocab as f64;
+        l * (24.0 * h * h + 4.0 * s * h) + 2.0 * v * h
+    }
+
+    /// Training (fwd + bwd [+ recompute]) FLOPs per token.
+    pub fn train_flops_per_token(&self) -> f64 {
+        self.forward_flops_per_token() * self.recompute.train_flops_factor()
+    }
+
+    /// Bytes of parameter/gradient/optimizer state per device under
+    /// mixed-precision Adam, with tensor (`tp`) and pipeline (`pp`)
+    /// sharding of parameters and, when `distributed_optimizer` is on
+    /// (the paper enables it), optimizer state sharded over the
+    /// data-parallel width `dp` as well.
+    pub fn state_bytes_per_device(
+        &self,
+        tp: u32,
+        pp: u32,
+        dp: u32,
+        distributed_optimizer: bool,
+    ) -> u64 {
+        assert!(tp >= 1 && pp >= 1 && dp >= 1);
+        let shard = self.total_params() as f64 / f64::from(tp) / f64::from(pp);
+        // fp16 params (2 B) + fp16 grads (2 B).
+        let resident = shard * 4.0;
+        // fp32 master params (4) + Adam moments (8) = 12 B/param.
+        let optim = shard * 12.0 / if distributed_optimizer { f64::from(dp) } else { 1.0 };
+        (resident + optim) as u64
+    }
+
+    /// Bytes of stored activations per device for one micro-batch.
+    pub fn activation_bytes_per_device(&self, micro_batch: u32, tp: u32, pp: u32) -> u64 {
+        let per_layer_token = self
+            .recompute
+            .activation_bytes_per_layer_token(self.config.hidden);
+        let tokens = f64::from(micro_batch) * self.config.seq_len as f64;
+        let layers_per_stage = (self.config.layers as f64 / f64::from(pp)).ceil();
+        (tokens * self.config.hidden as f64 * per_layer_token * layers_per_stage
+            / f64::from(tp)) as u64
+    }
+
+    /// Total device memory needed for training with the given layout.
+    pub fn memory_bytes_per_device(
+        &self,
+        micro_batch: u32,
+        tp: u32,
+        pp: u32,
+        dp: u32,
+        distributed_optimizer: bool,
+    ) -> u64 {
+        // ~1 GiB of workspace (CUDA context, NCCL buffers, fragmentation).
+        const WORKSPACE: u64 = 1 << 30;
+        self.state_bytes_per_device(tp, pp, dp, distributed_optimizer)
+            + self.activation_bytes_per_device(micro_batch, tp, pp)
+            + WORKSPACE
+    }
+
+    /// Gradient bytes all-reduced per optimizer step under data
+    /// parallelism (fp16 gradients of the local shard).
+    pub fn gradient_bytes(&self, tp: u32, pp: u32) -> u64 {
+        (self.total_params() as f64 / f64::from(tp) / f64::from(pp) * 2.0) as u64
+    }
+
+    /// Roofline kernel profile of one device processing `tokens` tokens:
+    /// training FLOPs plus approximate HBM traffic (three weight passes
+    /// and two activation passes).
+    pub fn iteration_profile(&self, tokens: u64) -> caraml_accel::KernelProfile {
+        let flops = self.train_flops_per_token() * tokens as f64;
+        let weight_bytes = self.total_params() as f64 * 2.0 * 3.0;
+        let act_bytes = tokens as f64
+            * self.config.hidden as f64
+            * self.config.layers as f64
+            * self
+                .recompute
+                .activation_bytes_per_layer_token(self.config.hidden)
+            * 2.0;
+        caraml_accel::KernelProfile::new(flops, weight_bytes + act_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpt_800m_parameter_count_matches_label() {
+        let cost = GptCost::new(GptConfig::gpt_800m());
+        let millions = cost.transformer_params() as f64 / 1e6;
+        assert!(
+            (millions - 800.0).abs() < 15.0,
+            "800M label vs {millions:.0}M transformer params"
+        );
+    }
+
+    #[test]
+    fn gpt_117m_total_matches_gpt2_small() {
+        // The classic GPT-2 "117M/124M" architecture.
+        let cost = GptCost::new(GptConfig::gpt_117m());
+        let millions = cost.total_params() as f64 / 1e6;
+        assert!(
+            (millions - 124.0).abs() < 5.0,
+            "117M GPT-2 small vs {millions:.0}M"
+        );
+    }
+
+    #[test]
+    fn gpt_13b_and_175b_counts() {
+        let c13 = GptCost::new(GptConfig::gpt_13b());
+        assert!((c13.transformer_params() as f64 / 1e9 - 12.6).abs() < 0.5);
+        let c175 = GptCost::new(GptConfig::gpt_175b());
+        assert!((c175.transformer_params() as f64 / 1e9 - 174.0).abs() < 3.0);
+    }
+
+    #[test]
+    fn flops_per_token_scales_with_size() {
+        let small = GptCost::new(GptConfig::gpt_117m());
+        let big = GptCost::new(GptConfig::gpt_800m());
+        assert!(big.train_flops_per_token() > 5.0 * small.train_flops_per_token());
+        // ≈ 6·N rule of thumb for fwd+bwd.
+        let six_n = 6.0 * big.total_params() as f64;
+        let with_no_recompute = GptCost::new(GptConfig::gpt_800m())
+            .with_recompute(Recompute::None)
+            .train_flops_per_token();
+        assert!(
+            (with_no_recompute / six_n - 1.0).abs() < 0.25,
+            "6N rule: {with_no_recompute:.2e} vs {six_n:.2e}"
+        );
+    }
+
+    #[test]
+    fn recompute_factor_ordering() {
+        let base = GptCost::new(GptConfig::gpt_800m());
+        let none = base.clone().with_recompute(Recompute::None);
+        let sel = base.clone().with_recompute(Recompute::Selective);
+        let full = base.with_recompute(Recompute::Full);
+        assert!(none.train_flops_per_token() < sel.train_flops_per_token());
+        assert!(sel.train_flops_per_token() < full.train_flops_per_token());
+        // But full recompute stores far fewer activations.
+        assert!(
+            full.activation_bytes_per_device(4, 1, 1) < none.activation_bytes_per_device(4, 1, 1)
+        );
+    }
+
+    #[test]
+    fn state_memory_800m_fits_a100_without_sharding() {
+        let cost = GptCost::new(GptConfig::gpt_800m());
+        let bytes = cost.memory_bytes_per_device(4, 1, 1, 1, false);
+        // "the 800M model fits on a single device" (§IV-A): must be under
+        // the A100's 40 GB.
+        assert!(
+            bytes < 40 * (1 << 30),
+            "800M footprint {:.1} GiB",
+            bytes as f64 / (1 << 30) as f64
+        );
+    }
+
+    #[test]
+    fn gpt_175b_needs_model_parallelism() {
+        let cost = GptCost::new(GptConfig::gpt_175b());
+        // Unsharded it cannot fit any device…
+        assert!(cost.memory_bytes_per_device(1, 1, 1, 1, false) > 96 * (1 << 30));
+        // …but with tp=8, pp=16 and a wide distributed optimizer it fits
+        // a GH200.
+        assert!(cost.memory_bytes_per_device(1, 8, 16, 8, true) < 96 * (1 << 30));
+    }
+
+    #[test]
+    fn distributed_optimizer_shards_state() {
+        let cost = GptCost::new(GptConfig::gpt_800m());
+        let dense = cost.state_bytes_per_device(1, 1, 4, false);
+        let sharded = cost.state_bytes_per_device(1, 1, 4, true);
+        assert!(sharded < dense);
+        // Sharding touches only the 12 B/param optimizer slice.
+        let params = cost.total_params() as f64;
+        let expect = params * 4.0 + params * 12.0 / 4.0;
+        assert!((sharded as f64 - expect).abs() / expect < 1e-6);
+    }
+
+    #[test]
+    fn activation_memory_scales_with_micro_batch_not_global_batch() {
+        let cost = GptCost::new(GptConfig::gpt_800m());
+        let m4 = cost.activation_bytes_per_device(4, 1, 1);
+        let m8 = cost.activation_bytes_per_device(8, 1, 1);
+        assert_eq!(m8, m4 * 2);
+    }
+
+    #[test]
+    fn tensor_parallelism_divides_activations_and_state() {
+        let cost = GptCost::new(GptConfig::gpt_13b());
+        assert!(
+            cost.activation_bytes_per_device(1, 4, 1)
+                < cost.activation_bytes_per_device(1, 1, 1)
+        );
+        assert!(cost.state_bytes_per_device(4, 1, 1, false) < cost.state_bytes_per_device(1, 1, 1, false));
+    }
+
+    #[test]
+    fn gradient_bytes_are_fp16_params() {
+        let cost = GptCost::new(GptConfig::gpt_800m());
+        assert_eq!(cost.gradient_bytes(1, 1), cost.total_params() * 2);
+        assert!(cost.gradient_bytes(2, 2) < cost.gradient_bytes(1, 1));
+    }
+
+    #[test]
+    fn iteration_profile_scales_linearly_in_tokens() {
+        let cost = GptCost::new(GptConfig::gpt_800m());
+        let p1 = cost.iteration_profile(1000);
+        let p2 = cost.iteration_profile(2000);
+        assert!((p2.flops / p1.flops - 2.0).abs() < 1e-9);
+        assert!(p2.bytes > p1.bytes);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_config() -> impl Strategy<Value = GptConfig> {
+        (1usize..48, 1usize..32, 0usize..5, 7usize..12).prop_map(|(l, h64, heads_pow, seq_pow)| {
+            let heads = 1usize << heads_pow;
+            // hidden is a multiple of heads·64, keeping head_dim even.
+            let hidden = h64 * heads * 64;
+            GptConfig {
+                name: "arb".into(),
+                layers: l,
+                hidden,
+                heads,
+                seq_len: 1 << seq_pow,
+                vocab: 32_000,
+            }
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// More sharding never increases the per-device footprint.
+        #[test]
+        fn sharding_monotone(cfg in arb_config(), tp in 1u32..8, pp in 1u32..8, dp in 1u32..8) {
+            let cost = GptCost::new(cfg);
+            let base = cost.memory_bytes_per_device(2, 1, 1, 1, false);
+            let sharded = cost.memory_bytes_per_device(2, tp, pp, dp, true);
+            prop_assert!(sharded <= base);
+        }
+
+        /// Training FLOPs always exceed forward FLOPs, which always
+        /// exceed the 2·N matmul floor.
+        #[test]
+        fn flops_ordering(cfg in arb_config()) {
+            let cost = GptCost::new(cfg);
+            let fwd = cost.forward_flops_per_token();
+            prop_assert!(cost.train_flops_per_token() > fwd);
+            prop_assert!(fwd > 2.0 * cost.transformer_params() as f64 * 0.9);
+        }
+
+        /// Gradient bytes shrink proportionally with model sharding.
+        #[test]
+        fn gradient_bytes_shard(cfg in arb_config(), tp in 1u32..8) {
+            let cost = GptCost::new(cfg);
+            let full = cost.gradient_bytes(1, 1);
+            let shard = cost.gradient_bytes(tp, 1);
+            prop_assert!(shard <= full);
+            prop_assert!(shard >= full / u64::from(tp) - 8);
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! GPT decoder models (the paper's LLM training workload).
+
+pub mod config;
+pub mod cost;
+pub mod model;
+
+pub use config::GptConfig;
+pub use cost::GptCost;
+pub use model::GptModel;

@@ -1,0 +1,324 @@
+//! A real, trainable GPT decoder over `caraml-tensor`.
+//!
+//! The architecture mirrors what the paper's Megatron-LM benchmark trains:
+//! token embedding (weight-tied with the output head), pre-LayerNorm
+//! transformer blocks with causal multi-head self-attention, rotary
+//! positional embeddings, a GELU MLP with 4× expansion, residual
+//! connections, and a mean cross-entropy next-token loss. At tiny
+//! configurations it genuinely trains on CPU — the correctness tests
+//! demand a falling loss — while the data-center-scale behaviour comes
+//! from the analytic [`super::GptCost`] model.
+
+use super::config::GptConfig;
+use caraml_tensor::init;
+use caraml_tensor::{Tensor, Var};
+use rand_chacha::ChaCha8Rng;
+
+/// One transformer block's parameters.
+struct Block {
+    ln1_g: Var,
+    ln1_b: Var,
+    wq: Var,
+    wk: Var,
+    wv: Var,
+    wo: Var,
+    ln2_g: Var,
+    ln2_b: Var,
+    w_fc1: Var,
+    b_fc1: Var,
+    w_fc2: Var,
+    b_fc2: Var,
+}
+
+/// A trainable GPT decoder.
+pub struct GptModel {
+    config: GptConfig,
+    embedding: Var,
+    blocks: Vec<Block>,
+    lnf_g: Var,
+    lnf_b: Var,
+}
+
+impl GptModel {
+    /// Construct with GPT-2-style initialization from a seed.
+    pub fn new(config: GptConfig, seed: u64) -> Self {
+        config.validate().expect("invalid GPT configuration");
+        let mut rng: ChaCha8Rng = init::rng(seed);
+        let h = config.hidden;
+        let embedding = Var::param(init::gpt2_init(&mut rng, [config.vocab, h], 0));
+        let blocks = (0..config.layers)
+            .map(|_| Block {
+                ln1_g: Var::param(Tensor::ones([h])),
+                ln1_b: Var::param(Tensor::zeros([h])),
+                wq: Var::param(init::gpt2_init(&mut rng, [h, h], 0)),
+                wk: Var::param(init::gpt2_init(&mut rng, [h, h], 0)),
+                wv: Var::param(init::gpt2_init(&mut rng, [h, h], 0)),
+                wo: Var::param(init::gpt2_init(&mut rng, [h, h], config.layers)),
+                ln2_g: Var::param(Tensor::ones([h])),
+                ln2_b: Var::param(Tensor::zeros([h])),
+                w_fc1: Var::param(init::gpt2_init(&mut rng, [4 * h, h], 0)),
+                b_fc1: Var::param(Tensor::zeros([4 * h])),
+                w_fc2: Var::param(init::gpt2_init(&mut rng, [h, 4 * h], config.layers)),
+                b_fc2: Var::param(Tensor::zeros([h])),
+            })
+            .collect();
+        GptModel {
+            config,
+            embedding,
+            blocks,
+            lnf_g: Var::param(Tensor::ones([h])),
+            lnf_b: Var::param(Tensor::zeros([h])),
+        }
+    }
+
+    pub fn config(&self) -> &GptConfig {
+        &self.config
+    }
+
+    /// All trainable parameters (for optimizers and all-reduce).
+    pub fn parameters(&self) -> Vec<Var> {
+        let mut out = vec![self.embedding.clone()];
+        for b in &self.blocks {
+            out.extend_from_slice(&[
+                b.ln1_g.clone(),
+                b.ln1_b.clone(),
+                b.wq.clone(),
+                b.wk.clone(),
+                b.wv.clone(),
+                b.wo.clone(),
+                b.ln2_g.clone(),
+                b.ln2_b.clone(),
+                b.w_fc1.clone(),
+                b.b_fc1.clone(),
+                b.w_fc2.clone(),
+                b.b_fc2.clone(),
+            ]);
+        }
+        out.push(self.lnf_g.clone());
+        out.push(self.lnf_b.clone());
+        out
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_params(&self) -> usize {
+        self.parameters()
+            .iter()
+            .map(|p| p.value().numel())
+            .sum()
+    }
+
+    /// Causal attention mask `[s, s]`: 0 on/below the diagonal, −1e9 above.
+    fn causal_mask(s: usize) -> Tensor {
+        let mut m = vec![0.0f32; s * s];
+        for i in 0..s {
+            for j in i + 1..s {
+                m[i * s + j] = -1e9;
+            }
+        }
+        Tensor::from_vec(m, [s, s])
+    }
+
+    /// Forward pass: `tokens` is `batch` rows of `seq_len` ids. Returns
+    /// `[batch·seq_len, vocab]` logits.
+    pub fn forward(&self, tokens: &[Vec<u32>]) -> Var {
+        let b = tokens.len();
+        let s = self.config.seq_len;
+        let h = self.config.hidden;
+        let heads = self.config.heads;
+        let hd = self.config.head_dim();
+        assert!(tokens.iter().all(|row| row.len() == s), "bad sequence length");
+        let flat_ids: Vec<usize> = tokens
+            .iter()
+            .flat_map(|row| row.iter().map(|&t| t as usize))
+            .collect();
+
+        let mut x = self.embedding.embedding(&flat_ids); // [b·s, h]
+        let mask = Var::input(Self::causal_mask(s));
+        let scale = 1.0 / (hd as f32).sqrt();
+
+        for block in &self.blocks {
+            // --- attention ---
+            let a_in = x.layernorm(&block.ln1_g, &block.ln1_b, 1e-5);
+            let split = |v: &Var| -> Var {
+                // [b·s, h] -> [b·heads, s, hd]
+                v.reshape([b, s, heads, hd])
+                    .permute(&[0, 2, 1, 3])
+                    .reshape([b * heads, s, hd])
+            };
+            let q = split(&a_in.linear(&block.wq, None)).rope();
+            let k = split(&a_in.linear(&block.wk, None)).rope();
+            let v = split(&a_in.linear(&block.wv, None));
+            // scores [b·heads, s, s]
+            let scores = q.bmm(&k.transpose()).scale(scale).add(&mask);
+            let attn = scores.softmax().bmm(&v); // [b·heads, s, hd]
+            let merged = attn
+                .reshape([b, heads, s, hd])
+                .permute(&[0, 2, 1, 3])
+                .reshape([b * s, h]);
+            let proj = merged.linear(&block.wo, None);
+            x = x.add(&proj);
+
+            // --- MLP ---
+            let m_in = x.layernorm(&block.ln2_g, &block.ln2_b, 1e-5);
+            let ff = m_in
+                .linear(&block.w_fc1, Some(&block.b_fc1))
+                .gelu()
+                .linear(&block.w_fc2, Some(&block.b_fc2));
+            x = x.add(&ff);
+        }
+        let x = x.layernorm(&self.lnf_g, &self.lnf_b, 1e-5);
+        // Weight-tied output head: logits = x · Eᵀ.
+        x.linear(&self.embedding, None)
+    }
+
+    /// Mean next-token cross-entropy loss over a batch.
+    pub fn loss(&self, tokens: &[Vec<u32>], targets: &[Vec<u32>]) -> Var {
+        let flat_targets: Vec<usize> = targets
+            .iter()
+            .flat_map(|row| row.iter().map(|&t| t as usize))
+            .collect();
+        self.forward(tokens).cross_entropy(&flat_targets)
+    }
+
+    /// Greedy generation from a prompt (for the examples).
+    pub fn generate(&self, prompt: &[u32], new_tokens: usize) -> Vec<u32> {
+        let s = self.config.seq_len;
+        let mut ids: Vec<u32> = prompt.to_vec();
+        for _ in 0..new_tokens {
+            // Right-pad / truncate the context to seq_len.
+            let mut ctx = ids.clone();
+            if ctx.len() > s {
+                ctx = ctx[ctx.len() - s..].to_vec();
+            }
+            let pos = ctx.len() - 1;
+            while ctx.len() < s {
+                ctx.push(0);
+            }
+            let logits = self.forward(&[ctx]).value();
+            let v = self.config.vocab;
+            let row = Tensor::from_vec(
+                logits.data()[pos * v..(pos + 1) * v].to_vec(),
+                [v],
+            );
+            ids.push(row.argmax() as u32);
+        }
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caraml_tensor::optim::{Adam, Optimizer};
+
+    fn tiny() -> GptModel {
+        GptModel::new(GptConfig::tiny(50, 8), 0)
+    }
+
+    #[test]
+    fn forward_shape() {
+        let m = tiny();
+        let tokens = vec![vec![1u32; 8], vec![2u32; 8]];
+        let logits = m.forward(&tokens);
+        assert_eq!(logits.dims(), vec![16, 50]);
+    }
+
+    #[test]
+    fn loss_starts_near_uniform() {
+        let m = tiny();
+        let tokens = vec![vec![3u32; 8]];
+        let targets = vec![vec![4u32; 8]];
+        let loss = m.loss(&tokens, &targets).value().item();
+        let uniform = (50f32).ln();
+        assert!(
+            (loss - uniform).abs() < 0.5,
+            "initial loss {loss} vs ln(V) {uniform}"
+        );
+    }
+
+    #[test]
+    fn param_count_matches_cost_model() {
+        let cfg = GptConfig::tiny(50, 8);
+        let m = GptModel::new(cfg.clone(), 0);
+        let analytic = super::super::cost::GptCost::new(cfg).total_params();
+        let real = m.num_params() as u64;
+        let rel = (real as f64 - analytic as f64).abs() / analytic as f64;
+        assert!(
+            rel < 0.02,
+            "analytic {analytic} vs real {real} params (rel {rel:.3})"
+        );
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        // Learn a deterministic cyclic sequence.
+        let m = GptModel::new(GptConfig::tiny(10, 8), 1);
+        let params = m.parameters();
+        let mut opt = Adam::new(3e-3);
+        let tokens: Vec<u32> = (0..9).map(|i| (i % 10) as u32).collect();
+        let input = vec![tokens[..8].to_vec()];
+        let target = vec![tokens[1..9].to_vec()];
+        let first = m.loss(&input, &target).value().item();
+        let mut last = first;
+        for _ in 0..30 {
+            let loss = m.loss(&input, &target);
+            last = loss.value().item();
+            loss.backward();
+            opt.step(&params);
+        }
+        assert!(
+            last < first * 0.5,
+            "loss did not halve: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn causality_future_tokens_do_not_affect_past_logits() {
+        let m = tiny();
+        let a = vec![vec![1, 2, 3, 4, 5, 6, 7, 8u32]];
+        let b = vec![vec![1, 2, 3, 4, 9, 9, 9, 9u32]]; // differs after pos 3
+        let la = m.forward(&a).value();
+        let lb = m.forward(&b).value();
+        // Logits at positions 0..=3 must be identical.
+        let v = 50;
+        for pos in 0..4 {
+            let ra = Tensor::from_vec(la.data()[pos * v..(pos + 1) * v].to_vec(), [v]);
+            let rb = Tensor::from_vec(lb.data()[pos * v..(pos + 1) * v].to_vec(), [v]);
+            assert!(
+                ra.allclose(&rb, 1e-4),
+                "position {pos} leaked future information"
+            );
+        }
+        // And positions ≥ 4 must differ.
+        let ra = Tensor::from_vec(la.data()[7 * v..8 * v].to_vec(), [v]);
+        let rb = Tensor::from_vec(lb.data()[7 * v..8 * v].to_vec(), [v]);
+        assert!(!ra.allclose(&rb, 1e-4));
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let a = GptModel::new(GptConfig::tiny(20, 8), 5);
+        let b = GptModel::new(GptConfig::tiny(20, 8), 5);
+        let t = vec![vec![1u32; 8]];
+        assert!(a.forward(&t).value().allclose(&b.forward(&t).value(), 0.0));
+    }
+
+    #[test]
+    fn generate_extends_prompt() {
+        let m = tiny();
+        let out = m.generate(&[1, 2, 3], 5);
+        assert_eq!(out.len(), 8);
+        assert_eq!(&out[..3], &[1, 2, 3]);
+        assert!(out.iter().all(|&t| (t as usize) < 50));
+    }
+
+    #[test]
+    fn gradients_flow_to_all_parameters() {
+        let m = tiny();
+        let loss = m.loss(&[vec![1u32; 8]], &[vec![2u32; 8]]);
+        loss.backward();
+        for (i, p) in m.parameters().iter().enumerate() {
+            assert!(p.grad().is_some(), "parameter {i} received no gradient");
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! # caraml-models — the paper's two workload models
+//!
+//! CARAML trains (1) a GPT decoder LLM with Megatron-LM and (2) a ResNet50
+//! with the TensorFlow CNN benchmark. This crate implements both twice:
+//!
+//! * **Real** modules over `caraml-tensor` ([`gpt::GptModel`],
+//!   [`resnet::ResnetModel`]) that genuinely train at laptop scale — used
+//!   by the examples and the correctness tests (loss must decrease);
+//! * **Analytic cost descriptors** ([`gpt::GptCost`],
+//!   [`resnet::ResnetCost`]) producing parameter counts, FLOPs per
+//!   token/image and memory footprints — the quantities the
+//!   `caraml-accel` simulator scales to the paper's data-center sizes.
+//!
+//! Model presets mirror the paper: 800M / 13B / 175B GPT configurations
+//! for NVIDIA and AMD, a 117M GPT for the Graphcore IPU-POD4, ResNet50
+//! (plus ResNet18/34, which the paper mentions as configurable).
+
+pub mod gpt;
+pub mod resnet;
+
+pub use gpt::{GptConfig, GptCost, GptModel};
+pub use resnet::{ResnetConfig, ResnetCost, ResnetModel, ResnetVariant};

@@ -1,0 +1,198 @@
+//! ResNet architecture configurations.
+//!
+//! The paper's CV benchmark trains ResNet50 from scratch; "other models
+//! like inception3, vgg16, and alexnet can also be utilized" on GPUs and
+//! "ResNet18 and ResNet34 ... with modified configuration files" on the
+//! IPU. The ResNet family is encoded structurally here so both the real
+//! model and the analytic cost derive from the same description.
+
+use serde::{Deserialize, Serialize};
+
+/// Which residual block a variant uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResnetVariant {
+    /// Two 3×3 convs (ResNet-18/34).
+    Basic,
+    /// 1×1 → 3×3 → 1×1 with 4× channel expansion (ResNet-50+).
+    Bottleneck,
+}
+
+impl ResnetVariant {
+    /// Output-channel expansion factor of a block.
+    pub fn expansion(&self) -> usize {
+        match self {
+            ResnetVariant::Basic => 1,
+            ResnetVariant::Bottleneck => 4,
+        }
+    }
+}
+
+/// A ResNet configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResnetConfig {
+    /// Label, e.g. `"resnet50"`.
+    pub name: String,
+    pub variant: ResnetVariant,
+    /// Residual blocks per stage (4 stages in the ImageNet family).
+    pub blocks: Vec<usize>,
+    /// Base channel width of the first stage (64 for the standard family).
+    pub base_channels: usize,
+    /// Square input resolution (224 for ImageNet).
+    pub input_size: usize,
+    /// Input channels (3 for RGB).
+    pub input_channels: usize,
+    pub num_classes: usize,
+    /// ImageNet stem (7×7/2 conv + 3×3/2 maxpool) vs small-input stem
+    /// (3×3/1 conv, no pool) used by the tiny training tests.
+    pub imagenet_stem: bool,
+}
+
+impl ResnetConfig {
+    /// The paper's primary CV workload.
+    pub fn resnet50() -> Self {
+        ResnetConfig {
+            name: "resnet50".into(),
+            variant: ResnetVariant::Bottleneck,
+            blocks: vec![3, 4, 6, 3],
+            base_channels: 64,
+            input_size: 224,
+            input_channels: 3,
+            num_classes: 1000,
+            imagenet_stem: true,
+        }
+    }
+
+    /// ResNet-18 (IPU alternative configuration).
+    pub fn resnet18() -> Self {
+        ResnetConfig {
+            name: "resnet18".into(),
+            variant: ResnetVariant::Basic,
+            blocks: vec![2, 2, 2, 2],
+            base_channels: 64,
+            input_size: 224,
+            input_channels: 3,
+            num_classes: 1000,
+            imagenet_stem: true,
+        }
+    }
+
+    /// ResNet-34 (IPU alternative configuration).
+    pub fn resnet34() -> Self {
+        ResnetConfig {
+            name: "resnet34".into(),
+            variant: ResnetVariant::Basic,
+            blocks: vec![3, 4, 6, 3],
+            base_channels: 64,
+            input_size: 224,
+            input_channels: 3,
+            num_classes: 1000,
+            imagenet_stem: true,
+        }
+    }
+
+    /// A tiny trainable config for the CPU correctness tests.
+    pub fn tiny(classes: usize, input_size: usize) -> Self {
+        ResnetConfig {
+            name: "tiny-resnet".into(),
+            variant: ResnetVariant::Basic,
+            blocks: vec![1, 1],
+            base_channels: 8,
+            input_size,
+            input_channels: 3,
+            num_classes: classes,
+            imagenet_stem: false,
+        }
+    }
+
+    /// Look up by benchmark model name.
+    pub fn from_name(name: &str) -> Option<ResnetConfig> {
+        match name {
+            "resnet50" => Some(Self::resnet50()),
+            "resnet34" => Some(Self::resnet34()),
+            "resnet18" => Some(Self::resnet18()),
+            _ => None,
+        }
+    }
+
+    /// Number of weighted layers (convs + fc) — the "50" in ResNet-50.
+    pub fn weighted_layers(&self) -> usize {
+        let convs_per_block = match self.variant {
+            ResnetVariant::Basic => 2,
+            ResnetVariant::Bottleneck => 3,
+        };
+        // stem conv + block convs + final fc (projection shortcuts are
+        // conventionally not counted).
+        1 + convs_per_block * self.blocks.iter().sum::<usize>() + 1
+    }
+
+    /// Validate internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.blocks.is_empty() {
+            return Err("need at least one stage".into());
+        }
+        if self.base_channels == 0 || self.num_classes < 2 {
+            return Err("degenerate configuration".into());
+        }
+        let min = if self.imagenet_stem { 32 } else { 8 };
+        if self.input_size < min {
+            return Err(format!("input {} too small for stem", self.input_size));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet50_has_50_weighted_layers() {
+        assert_eq!(ResnetConfig::resnet50().weighted_layers(), 50);
+    }
+
+    #[test]
+    fn resnet18_and_34_layer_counts() {
+        assert_eq!(ResnetConfig::resnet18().weighted_layers(), 18);
+        assert_eq!(ResnetConfig::resnet34().weighted_layers(), 34);
+    }
+
+    #[test]
+    fn presets_validate() {
+        for cfg in [
+            ResnetConfig::resnet50(),
+            ResnetConfig::resnet34(),
+            ResnetConfig::resnet18(),
+            ResnetConfig::tiny(4, 16),
+        ] {
+            cfg.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn name_lookup() {
+        assert_eq!(
+            ResnetConfig::from_name("resnet50").unwrap().variant,
+            ResnetVariant::Bottleneck
+        );
+        assert!(ResnetConfig::from_name("vgg16").is_none());
+    }
+
+    #[test]
+    fn expansion_factors() {
+        assert_eq!(ResnetVariant::Basic.expansion(), 1);
+        assert_eq!(ResnetVariant::Bottleneck.expansion(), 4);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut cfg = ResnetConfig::tiny(4, 16);
+        cfg.blocks.clear();
+        assert!(cfg.validate().is_err());
+        let mut cfg = ResnetConfig::resnet50();
+        cfg.input_size = 16; // too small for the ImageNet stem
+        assert!(cfg.validate().is_err());
+        let mut cfg = ResnetConfig::tiny(1, 16);
+        cfg.num_classes = 1;
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,336 @@
+//! Analytic cost model for ResNet training.
+//!
+//! The layer table is derived structurally from [`ResnetConfig`], so
+//! parameter counts and FLOPs come from the same architecture description
+//! the real model is built from. For the canonical ResNet-50 at 224², the
+//! derived numbers match the literature (≈25.6 M parameters, ≈4.1 GMACs
+//! per forward image).
+
+use super::config::{ResnetConfig, ResnetVariant};
+use serde::{Deserialize, Serialize};
+
+/// One convolution (or FC) layer's geometry in the unrolled network.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerGeom {
+    pub name: String,
+    pub in_c: usize,
+    pub out_c: usize,
+    pub kernel: usize,
+    pub stride: usize,
+    /// Output spatial size (1 for the FC layer).
+    pub out_hw: usize,
+}
+
+impl LayerGeom {
+    /// Multiply–accumulate operations for one image.
+    pub fn macs(&self) -> u64 {
+        (self.out_c * self.out_hw * self.out_hw * self.in_c * self.kernel * self.kernel) as u64
+    }
+
+    /// Weight parameters (BatchNorm scale/shift counted separately).
+    pub fn params(&self) -> u64 {
+        (self.in_c * self.out_c * self.kernel * self.kernel) as u64
+    }
+
+    /// Output activation elements for one image.
+    pub fn out_elems(&self) -> u64 {
+        (self.out_c * self.out_hw * self.out_hw) as u64
+    }
+}
+
+/// Analytic ResNet cost model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResnetCost {
+    pub config: ResnetConfig,
+    layers: Vec<LayerGeom>,
+}
+
+impl ResnetCost {
+    /// Unroll the architecture into its layer table.
+    pub fn new(config: ResnetConfig) -> Self {
+        config.validate().expect("invalid ResNet configuration");
+        let mut layers = Vec::new();
+        let mut hw = config.input_size;
+        let mut in_c = config.input_channels;
+
+        // Stem.
+        if config.imagenet_stem {
+            hw = hw.div_ceil(2); // 7×7 stride-2 conv with padding 3
+            layers.push(LayerGeom {
+                name: "stem.conv7x7".into(),
+                in_c,
+                out_c: config.base_channels,
+                kernel: 7,
+                stride: 2,
+                out_hw: hw,
+            });
+            hw = hw.div_ceil(2); // 3×3 stride-2 maxpool
+        } else {
+            layers.push(LayerGeom {
+                name: "stem.conv3x3".into(),
+                in_c,
+                out_c: config.base_channels,
+                kernel: 3,
+                stride: 1,
+                out_hw: hw,
+            });
+        }
+        in_c = config.base_channels;
+
+        let expansion = config.variant.expansion();
+        for (stage, &nblocks) in config.blocks.iter().enumerate() {
+            let width = config.base_channels << stage;
+            let out_c = width * expansion;
+            for b in 0..nblocks {
+                let stride = if stage > 0 && b == 0 { 2 } else { 1 };
+                if stride == 2 {
+                    hw = hw.div_ceil(2);
+                }
+                let prefix = format!("stage{}.block{}", stage + 1, b);
+                match config.variant {
+                    ResnetVariant::Basic => {
+                        layers.push(LayerGeom {
+                            name: format!("{prefix}.conv1"),
+                            in_c,
+                            out_c: width,
+                            kernel: 3,
+                            stride,
+                            out_hw: hw,
+                        });
+                        layers.push(LayerGeom {
+                            name: format!("{prefix}.conv2"),
+                            in_c: width,
+                            out_c,
+                            kernel: 3,
+                            stride: 1,
+                            out_hw: hw,
+                        });
+                    }
+                    ResnetVariant::Bottleneck => {
+                        layers.push(LayerGeom {
+                            name: format!("{prefix}.conv1x1a"),
+                            in_c,
+                            out_c: width,
+                            kernel: 1,
+                            stride: 1,
+                            out_hw: if stride == 2 { hw * 2 } else { hw },
+                        });
+                        layers.push(LayerGeom {
+                            name: format!("{prefix}.conv3x3"),
+                            in_c: width,
+                            out_c: width,
+                            kernel: 3,
+                            stride,
+                            out_hw: hw,
+                        });
+                        layers.push(LayerGeom {
+                            name: format!("{prefix}.conv1x1b"),
+                            in_c: width,
+                            out_c,
+                            kernel: 1,
+                            stride: 1,
+                            out_hw: hw,
+                        });
+                    }
+                }
+                // Projection shortcut where shape changes.
+                if b == 0 && (in_c != out_c || stride == 2) {
+                    layers.push(LayerGeom {
+                        name: format!("{prefix}.shortcut"),
+                        in_c,
+                        out_c,
+                        kernel: 1,
+                        stride,
+                        out_hw: hw,
+                    });
+                }
+                in_c = out_c;
+            }
+        }
+        // Classifier.
+        layers.push(LayerGeom {
+            name: "fc".into(),
+            in_c,
+            out_c: config.num_classes,
+            kernel: 1,
+            stride: 1,
+            out_hw: 1,
+        });
+
+        ResnetCost { config, layers }
+    }
+
+    /// The unrolled layer table.
+    pub fn layers(&self) -> &[LayerGeom] {
+        &self.layers
+    }
+
+    /// Total trainable parameters (conv/fc weights + 2 BN params per
+    /// conv output channel).
+    pub fn total_params(&self) -> u64 {
+        let weights: u64 = self.layers.iter().map(LayerGeom::params).sum();
+        let bn: u64 = self
+            .layers
+            .iter()
+            .filter(|l| l.name != "fc")
+            .map(|l| 2 * l.out_c as u64)
+            .sum();
+        let fc_bias = self.config.num_classes as u64;
+        weights + bn + fc_bias
+    }
+
+    /// Forward MACs per image.
+    pub fn forward_macs_per_image(&self) -> u64 {
+        self.layers.iter().map(LayerGeom::macs).sum()
+    }
+
+    /// Forward FLOPs per image (2 FLOPs per MAC).
+    pub fn forward_flops_per_image(&self) -> f64 {
+        2.0 * self.forward_macs_per_image() as f64
+    }
+
+    /// Training FLOPs per image (forward + input/weight backward ≈ 3×).
+    pub fn train_flops_per_image(&self) -> f64 {
+        3.0 * self.forward_flops_per_image()
+    }
+
+    /// Stored activation bytes per image during training (fp16 with
+    /// XLA-style fusion keeping only layer outputs).
+    pub fn activation_bytes_per_image(&self) -> u64 {
+        let elems: u64 = self.layers.iter().map(LayerGeom::out_elems).sum();
+        // fp16 output plus ~0.7 B/element of fused BN/ReLU intermediates:
+        // ≈30 MB per ImageNet image, which reproduces the Fig. 4 OOM
+        // boundary (A100-40GB fails at a 2048-image per-device batch but
+        // holds 1024; H100-80GB holds 2048).
+        elems * 27 / 10
+    }
+
+    /// Per-device memory for training at a per-device batch size
+    /// (fp32 master weights + momentum + fp16 weights/grads + activations
+    /// + workspace).
+    pub fn memory_bytes_per_device(&self, per_device_batch: u64) -> u64 {
+        const WORKSPACE: u64 = 1 << 30;
+        let p = self.total_params();
+        let state = p * (4 + 4 + 2 + 2);
+        state + per_device_batch * self.activation_bytes_per_image() + WORKSPACE
+    }
+
+    /// Gradient bytes exchanged per step under data parallelism (fp16).
+    pub fn gradient_bytes(&self) -> u64 {
+        self.total_params() * 2
+    }
+
+    /// Roofline profile of one device processing `images` images.
+    pub fn iteration_profile(&self, images: u64) -> caraml_accel::KernelProfile {
+        let flops = self.train_flops_per_image() * images as f64;
+        let bytes = images as f64 * self.activation_bytes_per_image() as f64 * 3.0
+            + self.total_params() as f64 * 2.0 * 3.0;
+        caraml_accel::KernelProfile::new(flops, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet50_params_match_literature() {
+        let cost = ResnetCost::new(ResnetConfig::resnet50());
+        let millions = cost.total_params() as f64 / 1e6;
+        assert!(
+            (millions - 25.6).abs() < 0.6,
+            "ResNet-50 ≈25.6M params, derived {millions:.2}M"
+        );
+    }
+
+    #[test]
+    fn resnet50_macs_match_literature() {
+        let cost = ResnetCost::new(ResnetConfig::resnet50());
+        let gmacs = cost.forward_macs_per_image() as f64 / 1e9;
+        assert!(
+            (gmacs - 4.1).abs() < 0.3,
+            "ResNet-50 ≈4.1 GMACs, derived {gmacs:.2}"
+        );
+    }
+
+    #[test]
+    fn resnet18_params_match_literature() {
+        let cost = ResnetCost::new(ResnetConfig::resnet18());
+        let millions = cost.total_params() as f64 / 1e6;
+        assert!(
+            (millions - 11.7).abs() < 0.5,
+            "ResNet-18 ≈11.7M params, derived {millions:.2}M"
+        );
+    }
+
+    #[test]
+    fn resnet34_heavier_than_18_lighter_than_50_in_macs() {
+        let m18 = ResnetCost::new(ResnetConfig::resnet18()).forward_macs_per_image();
+        let m34 = ResnetCost::new(ResnetConfig::resnet34()).forward_macs_per_image();
+        let m50 = ResnetCost::new(ResnetConfig::resnet50()).forward_macs_per_image();
+        assert!(m18 < m34);
+        assert!(m34 < m50);
+    }
+
+    #[test]
+    fn spatial_sizes_collapse_to_7() {
+        let cost = ResnetCost::new(ResnetConfig::resnet50());
+        // The last conv layer of ImageNet ResNets operates at 7×7.
+        let last_conv = cost
+            .layers()
+            .iter()
+            .rev()
+            .find(|l| l.name != "fc")
+            .unwrap();
+        assert_eq!(last_conv.out_hw, 7);
+    }
+
+    #[test]
+    fn layer_count_matches_architecture() {
+        let cost = ResnetCost::new(ResnetConfig::resnet50());
+        // 1 stem + 16 blocks × 3 convs + 4 projection shortcuts + 1 fc.
+        assert_eq!(cost.layers().len(), 1 + 48 + 4 + 1);
+    }
+
+    #[test]
+    fn activation_memory_reasonable_for_imagenet() {
+        let cost = ResnetCost::new(ResnetConfig::resnet50());
+        let mb = cost.activation_bytes_per_image() as f64 / 1e6;
+        // Tens of MB per image in fp16.
+        assert!(mb > 10.0 && mb < 80.0, "activations {mb:.1} MB/image");
+    }
+
+    #[test]
+    fn a100_ooms_at_global_batch_2048_on_one_device() {
+        // The OOM cells of Fig. 4a (A100, 40 GB).
+        let cost = ResnetCost::new(ResnetConfig::resnet50());
+        let a100 = 40u64 << 30;
+        assert!(cost.memory_bytes_per_device(2048) > a100);
+        assert!(cost.memory_bytes_per_device(256) < a100);
+    }
+
+    #[test]
+    fn train_flops_are_3x_forward() {
+        let cost = ResnetCost::new(ResnetConfig::resnet50());
+        assert!(
+            (cost.train_flops_per_image() / cost.forward_flops_per_image() - 3.0).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn iteration_profile_linear_in_images() {
+        let cost = ResnetCost::new(ResnetConfig::resnet50());
+        let p1 = cost.iteration_profile(32);
+        let p2 = cost.iteration_profile(64);
+        assert!((p2.flops / p1.flops - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiny_config_unrolls() {
+        let cost = ResnetCost::new(ResnetConfig::tiny(4, 16));
+        assert!(cost.total_params() > 0);
+        assert!(cost.forward_macs_per_image() > 0);
+        // Small stem keeps resolution.
+        assert_eq!(cost.layers()[0].out_hw, 16);
+    }
+}

@@ -1,0 +1,9 @@
+//! ResNet models (the paper's computer-vision training workload).
+
+pub mod config;
+pub mod cost;
+pub mod model;
+
+pub use config::{ResnetConfig, ResnetVariant};
+pub use cost::ResnetCost;
+pub use model::ResnetModel;

@@ -1,0 +1,327 @@
+//! A real shared-memory ring-style all-reduce across worker threads.
+//!
+//! This is the Horovod analogue of the reproduction: data-parallel
+//! training runs one model replica per OS thread, and after every backward
+//! pass all replicas call [`ThreadComm::allreduce_mean`] in lockstep to
+//! average their gradients. The implementation is the classic
+//! reduce-scatter + all-gather decomposition (each rank owns one chunk of
+//! the buffer, reduces it across all deposits, then gathers every chunk) —
+//! the same dataflow as NCCL's ring, realised over shared memory with
+//! barriers. Reduction order is fixed by rank, so results are
+//! deterministic.
+
+use caraml_tensor::Var;
+use parking_lot::Mutex;
+use std::sync::{Arc, Barrier};
+
+/// A communicator shared by `n` worker threads.
+pub struct ThreadComm {
+    n: usize,
+    barrier: Barrier,
+    /// Per-rank deposited input buffers.
+    deposits: Vec<Mutex<Vec<f32>>>,
+    /// Per-chunk reduced results (chunk `r` owned by rank `r`).
+    reduced: Vec<Mutex<Vec<f32>>>,
+}
+
+impl ThreadComm {
+    /// Create a communicator for `n` ranks.
+    pub fn new(n: usize) -> Arc<Self> {
+        assert!(n >= 1);
+        Arc::new(ThreadComm {
+            n,
+            barrier: Barrier::new(n),
+            deposits: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+            reduced: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+        })
+    }
+
+    /// Number of ranks.
+    pub fn world_size(&self) -> usize {
+        self.n
+    }
+
+    /// Chunk range owned by `rank` for a buffer of `len` elements.
+    fn chunk_range(&self, rank: usize, len: usize) -> std::ops::Range<usize> {
+        let base = len / self.n;
+        let rem = len % self.n;
+        let start = rank * base + rank.min(rem);
+        let size = base + usize::from(rank < rem);
+        start..start + size
+    }
+
+    /// All-reduce (sum) `buf` across all ranks. Every rank must call this
+    /// with a buffer of identical length; each call site is a collective.
+    pub fn allreduce_sum(&self, rank: usize, buf: &mut [f32]) {
+        assert!(rank < self.n, "rank {rank} out of range {}", self.n);
+        if self.n == 1 {
+            return;
+        }
+        // Phase 1: deposit.
+        {
+            let mut slot = self.deposits[rank].lock();
+            slot.clear();
+            slot.extend_from_slice(buf);
+        }
+        self.barrier.wait();
+        // Phase 2: reduce-scatter — rank r reduces chunk r over all
+        // deposits in rank order (deterministic float summation).
+        let range = self.chunk_range(rank, buf.len());
+        {
+            let mut acc = vec![0.0f32; range.len()];
+            for d in &self.deposits {
+                let dep = d.lock();
+                debug_assert_eq!(dep.len(), buf.len(), "mismatched collective lengths");
+                for (a, v) in acc.iter_mut().zip(&dep[range.clone()]) {
+                    *a += v;
+                }
+            }
+            *self.reduced[rank].lock() = acc;
+        }
+        self.barrier.wait();
+        // Phase 3: all-gather — read every chunk back.
+        for r in 0..self.n {
+            let range = self.chunk_range(r, buf.len());
+            let chunk = self.reduced[r].lock();
+            buf[range].copy_from_slice(&chunk);
+        }
+        // Phase 4: make sure nobody re-deposits before all reads finish.
+        self.barrier.wait();
+    }
+
+    /// All-reduce and divide by the world size (gradient averaging).
+    pub fn allreduce_mean(&self, rank: usize, buf: &mut [f32]) {
+        self.allreduce_sum(rank, buf);
+        let inv = 1.0 / self.n as f32;
+        for v in buf.iter_mut() {
+            *v *= inv;
+        }
+    }
+
+    /// Average the gradients of a replica's parameters across all ranks —
+    /// the Horovod gradient hook. All ranks must hold structurally
+    /// identical parameter lists and call this in lockstep.
+    pub fn allreduce_gradients(&self, rank: usize, params: &[Var]) {
+        for p in params {
+            let Some(mut g) = p.grad() else {
+                // Collectives must stay in lockstep even for a missing
+                // gradient: contribute zeros.
+                let mut zeros = vec![0.0f32; p.dims().iter().product()];
+                self.allreduce_mean(rank, &mut zeros);
+                continue;
+            };
+            self.allreduce_mean(rank, g.data_mut());
+            p.zero_grad();
+            p.accumulate_external(g);
+        }
+    }
+}
+
+/// Convenience: all-reduce `buffers` (one per simulated rank) on real
+/// threads and return the reduced results. Used by tests and benches.
+///
+/// ```
+/// let out = caraml_parallel::ring_allreduce(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+/// assert_eq!(out[0], vec![4.0, 6.0]);
+/// assert_eq!(out[1], out[0]);
+/// ```
+pub fn ring_allreduce(buffers: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
+    let n = buffers.len();
+    let comm = ThreadComm::new(n);
+    let handles: Vec<_> = buffers
+        .into_iter()
+        .enumerate()
+        .map(|(rank, mut buf)| {
+            let comm = Arc::clone(&comm);
+            std::thread::spawn(move || {
+                comm.allreduce_sum(rank, &mut buf);
+                buf
+            })
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join().unwrap()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_across_ranks() {
+        let out = ring_allreduce(vec![vec![1.0, 2.0, 3.0], vec![10.0, 20.0, 30.0]]);
+        assert_eq!(out[0], vec![11.0, 22.0, 33.0]);
+        assert_eq!(out[1], out[0]);
+    }
+
+    #[test]
+    fn single_rank_is_identity() {
+        let out = ring_allreduce(vec![vec![5.0, 6.0]]);
+        assert_eq!(out[0], vec![5.0, 6.0]);
+    }
+
+    #[test]
+    fn handles_lengths_not_divisible_by_ranks() {
+        // 7 elements over 3 ranks: chunks of 3/2/2.
+        let bufs: Vec<Vec<f32>> = (0..3).map(|r| vec![(r + 1) as f32; 7]).collect();
+        let out = ring_allreduce(bufs);
+        for o in &out {
+            assert_eq!(o, &vec![6.0; 7]);
+        }
+    }
+
+    #[test]
+    fn empty_buffers_are_fine() {
+        let out = ring_allreduce(vec![vec![], vec![]]);
+        assert!(out[0].is_empty());
+    }
+
+    #[test]
+    fn many_ranks_many_elements() {
+        let n = 8;
+        let len = 1000;
+        let bufs: Vec<Vec<f32>> = (0..n)
+            .map(|r| (0..len).map(|i| (r * len + i) as f32 * 0.001).collect())
+            .collect();
+        let expect: Vec<f32> = (0..len)
+            .map(|i| (0..n).map(|r| (r * len + i) as f32 * 0.001).sum())
+            .collect();
+        let out = ring_allreduce(bufs);
+        for o in out {
+            for (a, b) in o.iter().zip(&expect) {
+                assert!((a - b).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_collectives_reuse_communicator() {
+        let comm = ThreadComm::new(4);
+        let handles: Vec<_> = (0..4)
+            .map(|rank| {
+                let comm = Arc::clone(&comm);
+                std::thread::spawn(move || {
+                    let mut results = Vec::new();
+                    for step in 0..10 {
+                        let mut buf = vec![(rank + step) as f32; 16];
+                        comm.allreduce_sum(rank, &mut buf);
+                        results.push(buf[0]);
+                    }
+                    results
+                })
+            })
+            .collect();
+        let results: Vec<Vec<f32>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for step in 0..10 {
+            let expect = (0..4).map(|r| (r + step) as f32).sum::<f32>();
+            for r in &results {
+                assert_eq!(r[step], expect);
+            }
+        }
+    }
+
+    #[test]
+    fn mean_divides_by_world_size() {
+        let comm = ThreadComm::new(2);
+        let handles: Vec<_> = (0..2)
+            .map(|rank| {
+                let comm = Arc::clone(&comm);
+                std::thread::spawn(move || {
+                    let mut buf = vec![4.0f32, 8.0];
+                    comm.allreduce_mean(rank, &mut buf);
+                    buf
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), vec![4.0, 8.0]);
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let make = || {
+            (0..4)
+                .map(|r| (0..101).map(|i| ((r * 37 + i) % 13) as f32 * 0.1).collect())
+                .collect::<Vec<Vec<f32>>>()
+        };
+        let a = ring_allreduce(make());
+        let b = ring_allreduce(make());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chunk_ranges_partition_buffer() {
+        let comm = ThreadComm::new(3);
+        let len = 11;
+        let mut covered = vec![false; len];
+        for r in 0..3 {
+            for i in comm.chunk_range(r, len) {
+                assert!(!covered[i], "overlap at {i}");
+                covered[i] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The threaded all-reduce equals an elementwise sequential sum
+        /// for arbitrary rank counts and buffer lengths.
+        #[test]
+        fn matches_sequential_sum(
+            ranks in 1usize..6,
+            len in 0usize..200,
+            seed in 0u64..1000,
+        ) {
+            let bufs: Vec<Vec<f32>> = (0..ranks)
+                .map(|r| {
+                    (0..len)
+                        .map(|i| {
+                            let x = (seed ^ (r as u64 * 7919) ^ (i as u64 * 104729)) % 1000;
+                            x as f32 * 0.01 - 5.0
+                        })
+                        .collect()
+                })
+                .collect();
+            let expect: Vec<f32> = (0..len)
+                .map(|i| bufs.iter().map(|b| b[i]).sum())
+                .collect();
+            let out = ring_allreduce(bufs);
+            for o in out {
+                for (a, b) in o.iter().zip(&expect) {
+                    prop_assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+                }
+            }
+        }
+
+        /// allreduce_mean of identical buffers is the identity.
+        #[test]
+        fn mean_of_identical_is_identity(ranks in 1usize..5, len in 1usize..64) {
+            let template: Vec<f32> = (0..len).map(|i| i as f32 * 0.5 - 3.0).collect();
+            let comm = ThreadComm::new(ranks);
+            let handles: Vec<_> = (0..ranks)
+                .map(|rank| {
+                    let comm = Arc::clone(&comm);
+                    let mut buf = template.clone();
+                    std::thread::spawn(move || {
+                        comm.allreduce_mean(rank, &mut buf);
+                        buf
+                    })
+                })
+                .collect();
+            for h in handles {
+                let out = h.join().unwrap();
+                for (a, b) in out.iter().zip(&template) {
+                    prop_assert!((a - b).abs() < 1e-5);
+                }
+            }
+        }
+    }
+}

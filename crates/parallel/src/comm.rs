@@ -1,0 +1,174 @@
+//! Alpha–beta cost models for the collectives behind the benchmarks.
+//!
+//! Data-parallel training all-reduces gradients every step (NCCL/RCCL ring
+//! algorithms on the systems of Table I); tensor parallelism all-reduces
+//! activations twice per layer; pipeline parallelism sends activations
+//! point-to-point between stages. The standard cost formulas are used:
+//!
+//! * ring all-reduce: `t = 2·(n−1)/n · bytes/bw + 2·(n−1)·α`
+//! * tree all-reduce: `t = 2·log2(n) · (bytes/bw + α)`
+//! * reduce-scatter / all-gather: `t = (n−1)/n · bytes/bw + (n−1)·α`
+
+use caraml_accel::Link;
+use serde::{Deserialize, Serialize};
+
+/// Which all-reduce algorithm to charge (ring is the NCCL default for
+/// large messages; tree wins for small ones — an ablation the bench suite
+/// explores).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllReduceAlgo {
+    Ring,
+    Tree,
+}
+
+/// Collective cost model over one bottleneck link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CollectiveModel {
+    pub link: Link,
+    pub algo: AllReduceAlgo,
+}
+
+impl CollectiveModel {
+    pub fn new(link: Link) -> Self {
+        CollectiveModel {
+            link,
+            algo: AllReduceAlgo::Ring,
+        }
+    }
+
+    pub fn with_algo(mut self, algo: AllReduceAlgo) -> Self {
+        self.algo = algo;
+        self
+    }
+
+    /// Time for an all-reduce of `bytes` over `n` participants.
+    pub fn allreduce_s(&self, bytes: u64, n: u32) -> f64 {
+        if n <= 1 {
+            return 0.0;
+        }
+        let nf = f64::from(n);
+        let bw = self.link.bandwidth_bytes_per_s();
+        match self.algo {
+            AllReduceAlgo::Ring => {
+                2.0 * (nf - 1.0) / nf * bytes as f64 / bw + 2.0 * (nf - 1.0) * self.link.latency_s
+            }
+            AllReduceAlgo::Tree => {
+                let hops = nf.log2().ceil();
+                2.0 * hops * (bytes as f64 / bw + self.link.latency_s)
+            }
+        }
+    }
+
+    /// Time for a reduce-scatter of `bytes` over `n` participants.
+    pub fn reduce_scatter_s(&self, bytes: u64, n: u32) -> f64 {
+        if n <= 1 {
+            return 0.0;
+        }
+        let nf = f64::from(n);
+        (nf - 1.0) / nf * bytes as f64 / self.link.bandwidth_bytes_per_s()
+            + (nf - 1.0) * self.link.latency_s
+    }
+
+    /// Time for an all-gather of `bytes` over `n` participants.
+    pub fn all_gather_s(&self, bytes: u64, n: u32) -> f64 {
+        // Symmetric to reduce-scatter in the alpha–beta model.
+        self.reduce_scatter_s(bytes, n)
+    }
+
+    /// Point-to-point transfer (pipeline stage boundary).
+    pub fn p2p_s(&self, bytes: u64) -> f64 {
+        self.link.transfer_time_s(bytes)
+    }
+
+    /// Effective all-reduce bus bandwidth (bytes/s of payload progress),
+    /// the figure NCCL reports as "busbw".
+    pub fn allreduce_busbw(&self, bytes: u64, n: u32) -> f64 {
+        let t = self.allreduce_s(bytes, n);
+        if t <= 0.0 {
+            return 0.0;
+        }
+        bytes as f64 / t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caraml_accel::LinkKind;
+
+    fn nvlink() -> Link {
+        Link::new(LinkKind::NvLink4, 900.0, 2.0e-6)
+    }
+
+    fn ib() -> Link {
+        Link::new(LinkKind::InfiniBandNdr, 100.0, 3.0e-6)
+    }
+
+    #[test]
+    fn single_participant_is_free() {
+        let m = CollectiveModel::new(nvlink());
+        assert_eq!(m.allreduce_s(1 << 30, 1), 0.0);
+        assert_eq!(m.reduce_scatter_s(1 << 30, 1), 0.0);
+    }
+
+    #[test]
+    fn ring_allreduce_formula() {
+        let m = CollectiveModel::new(nvlink());
+        // 1.6 GB of 800M fp16 gradients over 4 devices.
+        let bytes = 1_600_000_000u64;
+        let t = m.allreduce_s(bytes, 4);
+        let expect = 2.0 * 0.75 * bytes as f64 / 900e9 + 6.0 * 2.0e-6;
+        assert!((t - expect).abs() < 1e-12);
+        // About 2.7 ms — small relative to an 800M training step.
+        assert!(t > 2.0e-3 && t < 4.0e-3);
+    }
+
+    #[test]
+    fn allreduce_grows_with_participants() {
+        let m = CollectiveModel::new(nvlink());
+        let bytes = 1 << 30;
+        assert!(m.allreduce_s(bytes, 8) > m.allreduce_s(bytes, 2));
+    }
+
+    #[test]
+    fn internode_slower_than_nvlink() {
+        let bytes = 1 << 30;
+        let fast = CollectiveModel::new(nvlink()).allreduce_s(bytes, 8);
+        let slow = CollectiveModel::new(ib()).allreduce_s(bytes, 8);
+        assert!(slow > 5.0 * fast);
+    }
+
+    #[test]
+    fn tree_beats_ring_for_tiny_messages_and_many_ranks() {
+        let link = ib();
+        let ring = CollectiveModel::new(link);
+        let tree = ring.with_algo(AllReduceAlgo::Tree);
+        // 1 KiB over 64 ranks: latency-dominated, tree wins.
+        assert!(tree.allreduce_s(1024, 64) < ring.allreduce_s(1024, 64));
+        // 1 GiB over 8 ranks: bandwidth-dominated, ring wins.
+        assert!(ring.allreduce_s(1 << 30, 8) < tree.allreduce_s(1 << 30, 8));
+    }
+
+    #[test]
+    fn reduce_scatter_plus_all_gather_equals_ring_allreduce() {
+        let m = CollectiveModel::new(nvlink());
+        let bytes = 1 << 26;
+        let composed = m.reduce_scatter_s(bytes, 4) + m.all_gather_s(bytes, 4);
+        let direct = m.allreduce_s(bytes, 4);
+        assert!((composed - direct).abs() / direct < 1e-9);
+    }
+
+    #[test]
+    fn busbw_saturates_below_link_bandwidth() {
+        let m = CollectiveModel::new(nvlink());
+        let busbw = m.allreduce_busbw(1 << 32, 4);
+        assert!(busbw < 900e9);
+        assert!(busbw > 500e9);
+    }
+
+    #[test]
+    fn p2p_matches_link_transfer() {
+        let m = CollectiveModel::new(nvlink());
+        assert_eq!(m.p2p_s(12345), nvlink().transfer_time_s(12345));
+    }
+}

@@ -1,0 +1,234 @@
+//! 3D-parallel layout planning (data × tensor × pipeline).
+//!
+//! The paper's layout policy (§III-A1): "For models with 800M parameters,
+//! which fit within a single device ..., only data parallelism is
+//! utilized. For the larger model configurations with 13B and 175B
+//! parameters, tensor, pipeline, and sequence parallelism are also
+//! enabled." [`ParallelLayout::plan`] reproduces that policy against a
+//! device memory budget.
+
+use serde::{Deserialize, Serialize};
+
+/// A concrete parallelization layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParallelLayout {
+    /// Data-parallel replicas.
+    pub dp: u32,
+    /// Tensor-parallel ways (within a node; high-bandwidth domain).
+    pub tp: u32,
+    /// Pipeline stages.
+    pub pp: u32,
+    /// Sequence parallelism enabled (rides on the tp group).
+    pub sequence_parallel: bool,
+    /// Micro-batch size in samples.
+    pub micro_batch: u32,
+}
+
+impl ParallelLayout {
+    /// Pure data parallelism over `devices` accelerators.
+    pub fn data_parallel(devices: u32, micro_batch: u32) -> Self {
+        ParallelLayout {
+            dp: devices.max(1),
+            tp: 1,
+            pp: 1,
+            sequence_parallel: false,
+            micro_batch,
+        }
+    }
+
+    /// Total devices consumed.
+    pub fn devices(&self) -> u32 {
+        self.dp * self.tp * self.pp
+    }
+
+    /// Validate against a device count and a global batch size in samples.
+    pub fn validate(&self, devices: u32, global_batch: u64) -> Result<(), String> {
+        if self.dp == 0 || self.tp == 0 || self.pp == 0 || self.micro_batch == 0 {
+            return Err("layout dimensions must be positive".into());
+        }
+        if self.devices() != devices {
+            return Err(format!(
+                "layout uses {} devices but {} are allocated",
+                self.devices(),
+                devices
+            ));
+        }
+        let samples_per_replica = global_batch % u64::from(self.dp);
+        if samples_per_replica != 0 {
+            return Err(format!(
+                "global batch {global_batch} not divisible by dp {}",
+                self.dp
+            ));
+        }
+        let per_replica = global_batch / u64::from(self.dp);
+        if !per_replica.is_multiple_of(u64::from(self.micro_batch)) {
+            return Err(format!(
+                "per-replica batch {per_replica} not divisible by micro-batch {}",
+                self.micro_batch
+            ));
+        }
+        if self.sequence_parallel && self.tp == 1 {
+            return Err("sequence parallelism requires tensor parallelism".into());
+        }
+        Ok(())
+    }
+
+    /// Gradient-accumulation micro-batches per replica per step.
+    pub fn num_micro_batches(&self, global_batch: u64) -> u64 {
+        global_batch / u64::from(self.dp) / u64::from(self.micro_batch)
+    }
+
+    /// Per-device batch (samples handled by one accelerator per step).
+    pub fn per_device_batch(&self, global_batch: u64) -> f64 {
+        global_batch as f64 / f64::from(self.devices())
+    }
+
+    /// Plan a layout for a model of `state_bytes(tp, pp, dp)` memory
+    /// footprint on `devices` accelerators with `mem_per_device` bytes:
+    /// prefer pure data parallelism (the 800M case); grow tensor
+    /// parallelism up to `max_tp` (the node width), then pipeline stages,
+    /// until the model fits — enabling sequence parallelism whenever
+    /// tp > 1, as the paper does for 13B/175B.
+    pub fn plan(
+        devices: u32,
+        mem_per_device: u64,
+        max_tp: u32,
+        micro_batch: u32,
+        footprint: impl Fn(u32, u32, u32) -> u64,
+    ) -> Option<ParallelLayout> {
+        // Prefer the fewest pipeline stages, and within that the fewest
+        // tensor-parallel ways — i.e. grow tp (cheap, high-bandwidth
+        // intra-node collectives) before adding pipeline stages (bubble),
+        // exactly the Megatron-LM guidance the paper's configs follow.
+        let mut pp = 1u32;
+        while pp <= devices {
+            let mut tp = 1u32;
+            while tp <= max_tp && tp * pp <= devices {
+                if devices.is_multiple_of(tp * pp) {
+                    let dp = devices / (tp * pp);
+                    if footprint(tp, pp, dp) <= mem_per_device {
+                        return Some(ParallelLayout {
+                            dp,
+                            tp,
+                            pp,
+                            sequence_parallel: tp > 1,
+                            micro_batch,
+                        });
+                    }
+                }
+                tp *= 2;
+            }
+            pp *= 2;
+        }
+        None
+    }
+}
+
+impl std::fmt::Display for ParallelLayout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "dp={} tp={} pp={}{} mbs={}",
+            self.dp,
+            self.tp,
+            self.pp,
+            if self.sequence_parallel { " sp" } else { "" },
+            self.micro_batch
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caraml_models::gpt::cost::GptCost;
+    use caraml_models::GptConfig;
+
+    #[test]
+    fn data_parallel_constructor() {
+        let l = ParallelLayout::data_parallel(4, 4);
+        assert_eq!(l.devices(), 4);
+        assert_eq!((l.dp, l.tp, l.pp), (4, 1, 1));
+    }
+
+    #[test]
+    fn validation_catches_mismatches() {
+        let l = ParallelLayout::data_parallel(4, 4);
+        assert!(l.validate(4, 256).is_ok());
+        assert!(l.validate(8, 256).is_err()); // wrong device count
+        assert!(l.validate(4, 18).is_err()); // 18 % 4 != 0
+        assert!(l.validate(4, 4).is_err()); // per-replica 1 < micro 4
+    }
+
+    #[test]
+    fn paper_case_batch16_not_divisible_by_dp8() {
+        // §IV-A: "When using data parallelism of 8 the global batch size
+        // of 16 is not possible since it is not divisible by
+        // micro-batch-size times data parallel."
+        let l = ParallelLayout::data_parallel(8, 4);
+        assert!(l.validate(8, 16).is_err());
+        assert!(l.validate(8, 32).is_ok());
+    }
+
+    #[test]
+    fn micro_batch_accounting() {
+        let l = ParallelLayout::data_parallel(4, 4);
+        // Global 4096 over dp=4 → 1024/replica → 256 micro-batches of 4.
+        assert_eq!(l.num_micro_batches(4096), 256);
+        assert_eq!(l.per_device_batch(4096), 1024.0);
+    }
+
+    #[test]
+    fn sequence_parallel_needs_tensor_parallel() {
+        let mut l = ParallelLayout::data_parallel(4, 4);
+        l.sequence_parallel = true;
+        assert!(l.validate(4, 64).is_err());
+        l.tp = 2;
+        l.dp = 2;
+        assert!(l.validate(4, 64).is_ok());
+    }
+
+    #[test]
+    fn plan_chooses_pure_dp_for_800m() {
+        // The paper's 800M policy on a 4×H100 (80 GB) node.
+        let cost = GptCost::new(GptConfig::gpt_800m());
+        let layout = ParallelLayout::plan(4, 80 << 30, 4, 4, |tp, pp, dp| {
+            cost.memory_bytes_per_device(4, tp, pp, dp, true)
+        })
+        .expect("800M must fit");
+        assert_eq!((layout.dp, layout.tp, layout.pp), (4, 1, 1));
+        assert!(!layout.sequence_parallel);
+    }
+
+    #[test]
+    fn plan_enables_model_parallelism_for_13b() {
+        // 13B on a 4×H100-PCIe (80 GB) node needs tensor/pipeline
+        // sharding: the fp16+Adam state alone is ~90 GB per replica.
+        let cost = GptCost::new(GptConfig::gpt_13b());
+        let layout = ParallelLayout::plan(4, 80 << 30, 4, 1, |tp, pp, dp| {
+            cost.memory_bytes_per_device(1, tp, pp, dp, true)
+        })
+        .expect("13B must fit with sharding");
+        assert!(layout.tp > 1 || layout.pp > 1);
+        assert!(layout.sequence_parallel || layout.tp == 1);
+    }
+
+    #[test]
+    fn plan_gives_up_when_nothing_fits() {
+        let cost = GptCost::new(GptConfig::gpt_175b());
+        // 175B on a single 40 GB device can never fit.
+        let layout = ParallelLayout::plan(1, 40 << 30, 1, 1, |tp, pp, dp| {
+            cost.memory_bytes_per_device(1, tp, pp, dp, true)
+        });
+        assert!(layout.is_none());
+    }
+
+    #[test]
+    fn display_format() {
+        let mut l = ParallelLayout::data_parallel(2, 4);
+        assert_eq!(l.to_string(), "dp=2 tp=1 pp=1 mbs=4");
+        l.tp = 2;
+        l.sequence_parallel = true;
+        assert_eq!(l.to_string(), "dp=2 tp=2 pp=1 sp mbs=4");
+    }
+}

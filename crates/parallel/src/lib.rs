@@ -1,0 +1,26 @@
+//! # caraml-parallel — the parallelization substrate
+//!
+//! The paper's benchmarks lean on "various parallelization strategies such
+//! as data, tensor, pipeline, and sequence parallelism" (Megatron-LM) and
+//! on Horovod-style data parallelism (TensorFlow CNN benchmark). This
+//! crate supplies both the *analytic* communication/schedule models the
+//! simulator uses and a *real* multi-threaded ring all-reduce:
+//!
+//! * [`comm`] — alpha–beta cost models for ring/tree all-reduce,
+//!   reduce-scatter, all-gather and point-to-point transfers;
+//! * [`allreduce`] — a real ring all-reduce across worker threads
+//!   (bitwise-equivalent to a sequential reduction up to float rounding);
+//! * [`layout`] — 3D parallel layout (dp × tp × pp) planning and
+//!   validation, mirroring the paper's per-model choices;
+//! * [`pipeline`] — the Megatron pipeline-bubble model that explains the
+//!   IPU's Table II throughput curve.
+
+pub mod allreduce;
+pub mod comm;
+pub mod layout;
+pub mod pipeline;
+
+pub use allreduce::{ring_allreduce, ThreadComm};
+pub use comm::CollectiveModel;
+pub use layout::ParallelLayout;
+pub use pipeline::PipelineSchedule;

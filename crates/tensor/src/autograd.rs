@@ -1,0 +1,943 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! [`Var`] wraps a [`Tensor`] in a define-by-run computation graph
+//! (PyTorch style): every op records its parents and a closure computing
+//! the parent gradients from the output gradient. Calling
+//! [`Var::backward`] on a scalar loss topologically sorts the graph and
+//! accumulates gradients into every parameter ([`Var::param`]) it reaches.
+//!
+//! Graphs are intentionally single-threaded (`Rc`/`RefCell`); data-parallel
+//! training in `caraml-parallel` runs one replica — and hence one graph —
+//! per worker thread and all-reduces the resulting gradients, exactly like
+//! Horovod does for the paper's benchmarks.
+
+use crate::conv::{
+    conv2d, conv2d_backward, global_avgpool, global_avgpool_backward, maxpool2d,
+    maxpool2d_backward, Conv2dCfg,
+};
+use crate::matmul::{bmm, matmul, matmul_at, matmul_bt};
+use crate::nn;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use std::cell::{Cell, RefCell};
+use std::collections::HashSet;
+use std::rc::Rc;
+
+thread_local! {
+    static NEXT_ID: Cell<u64> = const { Cell::new(0) };
+}
+
+fn fresh_id() -> u64 {
+    NEXT_ID.with(|c| {
+        let id = c.get();
+        c.set(id + 1);
+        id
+    })
+}
+
+type BackwardFn = Box<dyn Fn(&Tensor) -> Vec<Option<Tensor>>>;
+
+struct Node {
+    id: u64,
+    value: RefCell<Tensor>,
+    grad: RefCell<Option<Tensor>>,
+    requires_grad: bool,
+    parents: Vec<Var>,
+    backward_fn: Option<BackwardFn>,
+}
+
+/// A differentiable variable in the computation graph.
+///
+/// ```
+/// use caraml_tensor::{Tensor, Var};
+/// // d/dw sum(w·x) = x
+/// let w = Var::param(Tensor::from_vec(vec![1.0, 2.0], [2]));
+/// let x = Var::input(Tensor::from_vec(vec![3.0, 5.0], [2]));
+/// w.mul(&x).sum().backward();
+/// assert_eq!(w.grad().unwrap().data(), &[3.0, 5.0]);
+/// ```
+#[derive(Clone)]
+pub struct Var {
+    node: Rc<Node>,
+}
+
+impl std::fmt::Debug for Var {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Var(id={}, shape={}, requires_grad={})",
+            self.node.id,
+            self.value().shape(),
+            self.node.requires_grad
+        )
+    }
+}
+
+impl Var {
+    fn from_node(node: Node) -> Var {
+        Var {
+            node: Rc::new(node),
+        }
+    }
+
+    /// A trainable parameter (receives gradients).
+    pub fn param(value: Tensor) -> Var {
+        Var::from_node(Node {
+            id: fresh_id(),
+            value: RefCell::new(value),
+            grad: RefCell::new(None),
+            requires_grad: true,
+            parents: Vec::new(),
+            backward_fn: None,
+        })
+    }
+
+    /// A non-trainable input (no gradient is stored).
+    pub fn input(value: Tensor) -> Var {
+        Var::from_node(Node {
+            id: fresh_id(),
+            value: RefCell::new(value),
+            grad: RefCell::new(None),
+            requires_grad: false,
+            parents: Vec::new(),
+            backward_fn: None,
+        })
+    }
+
+    fn op(value: Tensor, parents: Vec<Var>, backward_fn: BackwardFn) -> Var {
+        let requires_grad = parents.iter().any(|p| p.node.requires_grad);
+        Var::from_node(Node {
+            id: fresh_id(),
+            value: RefCell::new(value),
+            grad: RefCell::new(None),
+            requires_grad,
+            parents,
+            backward_fn: if requires_grad {
+                Some(backward_fn)
+            } else {
+                None
+            },
+        })
+    }
+
+    /// Current value (cheap `Arc` clone).
+    pub fn value(&self) -> Tensor {
+        self.node.value.borrow().clone()
+    }
+
+    /// Replace the value in place (optimizer updates).
+    pub fn set_value(&self, t: Tensor) {
+        *self.node.value.borrow_mut() = t;
+    }
+
+    /// Accumulated gradient, if any.
+    pub fn grad(&self) -> Option<Tensor> {
+        self.node.grad.borrow().clone()
+    }
+
+    /// Clear the stored gradient.
+    pub fn zero_grad(&self) {
+        *self.node.grad.borrow_mut() = None;
+    }
+
+    /// Unique id of this variable (stable for a parameter's lifetime).
+    pub fn id(&self) -> u64 {
+        self.node.id
+    }
+
+    pub fn requires_grad(&self) -> bool {
+        self.node.requires_grad
+    }
+
+    pub fn dims(&self) -> Vec<usize> {
+        self.node.value.borrow().dims().to_vec()
+    }
+
+    /// Store an externally produced gradient, adding to any existing one.
+    /// Used by gradient clipping and by the data-parallel all-reduce in
+    /// `caraml-parallel` (which replaces local gradients with averaged
+    /// ones, exactly like Horovod's hook into the optimizer).
+    pub fn accumulate_external(&self, g: Tensor) {
+        debug_assert_eq!(g.dims(), self.dims().as_slice());
+        self.accumulate(g);
+    }
+
+    fn accumulate(&self, g: Tensor) {
+        if !self.node.requires_grad {
+            return;
+        }
+        let mut slot = self.node.grad.borrow_mut();
+        match slot.as_mut() {
+            Some(acc) => acc.axpy_inplace(1.0, &g),
+            None => *slot = Some(g),
+        }
+    }
+
+    /// Run reverse-mode differentiation from this (scalar) variable.
+    /// Gradients accumulate into every reachable `param`.
+    pub fn backward(&self) {
+        assert_eq!(
+            self.value().numel(),
+            1,
+            "backward() must start from a scalar loss"
+        );
+        // Topological order via iterative post-order DFS.
+        let mut order: Vec<Var> = Vec::new();
+        let mut visited: HashSet<u64> = HashSet::new();
+        let mut stack: Vec<(Var, bool)> = vec![(self.clone(), false)];
+        while let Some((v, expanded)) = stack.pop() {
+            if expanded {
+                order.push(v);
+                continue;
+            }
+            if !visited.insert(v.node.id) {
+                continue;
+            }
+            stack.push((v.clone(), true));
+            for p in &v.node.parents {
+                if !visited.contains(&p.node.id) {
+                    stack.push((p.clone(), false));
+                }
+            }
+        }
+        self.accumulate(Tensor::ones(self.value().dims().to_vec()));
+        for v in order.iter().rev() {
+            let Some(backward_fn) = v.node.backward_fn.as_ref() else {
+                continue;
+            };
+            let grad_out = match v.node.grad.borrow().clone() {
+                Some(g) => g,
+                None => continue,
+            };
+            let parent_grads = backward_fn(&grad_out);
+            debug_assert_eq!(parent_grads.len(), v.node.parents.len());
+            for (p, g) in v.node.parents.iter().zip(parent_grads) {
+                if let Some(g) = g {
+                    p.accumulate(g);
+                }
+            }
+        }
+    }
+
+    // ---------- elementwise / broadcast ----------
+
+    /// Broadcasting addition.
+    pub fn add(&self, other: &Var) -> Var {
+        let a = self.value();
+        let b = other.value();
+        let out = a.add(&b).expect("add: incompatible shapes");
+        let (sa, sb) = (a.shape().clone(), b.shape().clone());
+        Var::op(
+            out,
+            vec![self.clone(), other.clone()],
+            Box::new(move |dy| {
+                vec![
+                    Some(reduce_to_shape(dy, &sa)),
+                    Some(reduce_to_shape(dy, &sb)),
+                ]
+            }),
+        )
+    }
+
+    /// Broadcasting subtraction.
+    pub fn sub(&self, other: &Var) -> Var {
+        let a = self.value();
+        let b = other.value();
+        let out = a.sub(&b).expect("sub: incompatible shapes");
+        let (sa, sb) = (a.shape().clone(), b.shape().clone());
+        Var::op(
+            out,
+            vec![self.clone(), other.clone()],
+            Box::new(move |dy| {
+                vec![
+                    Some(reduce_to_shape(dy, &sa)),
+                    Some(reduce_to_shape(&dy.neg(), &sb)),
+                ]
+            }),
+        )
+    }
+
+    /// Broadcasting elementwise product.
+    pub fn mul(&self, other: &Var) -> Var {
+        let a = self.value();
+        let b = other.value();
+        let out = a.mul(&b).expect("mul: incompatible shapes");
+        let (sa, sb) = (a.shape().clone(), b.shape().clone());
+        Var::op(
+            out,
+            vec![self.clone(), other.clone()],
+            Box::new(move |dy| {
+                let da = dy.mul(&b).expect("mul backward");
+                let db = dy.mul(&a).expect("mul backward");
+                vec![
+                    Some(reduce_to_shape(&da, &sa)),
+                    Some(reduce_to_shape(&db, &sb)),
+                ]
+            }),
+        )
+    }
+
+    /// Multiply by a constant.
+    pub fn scale(&self, k: f32) -> Var {
+        let out = self.value().scale(k);
+        Var::op(
+            out,
+            vec![self.clone()],
+            Box::new(move |dy| vec![Some(dy.scale(k))]),
+        )
+    }
+
+    // ---------- shape ----------
+
+    /// Reshape (element count preserved).
+    pub fn reshape(&self, dims: impl Into<Shape>) -> Var {
+        let from = self.value().shape().clone();
+        let out = self.value().reshape(dims).expect("reshape");
+        Var::op(
+            out,
+            vec![self.clone()],
+            Box::new(move |dy| {
+                vec![Some(
+                    dy.reshape(from.dims().to_vec()).expect("reshape backward"),
+                )]
+            }),
+        )
+    }
+
+    /// Permute axes (NumPy `transpose` semantics); the backward applies
+    /// the inverse permutation.
+    pub fn permute(&self, order: &[usize]) -> Var {
+        let out = self.value().permute_axes(order);
+        let mut inverse = vec![0usize; order.len()];
+        for (i, &o) in order.iter().enumerate() {
+            inverse[o] = i;
+        }
+        Var::op(
+            out,
+            vec![self.clone()],
+            Box::new(move |dy| vec![Some(dy.permute_axes(&inverse))]),
+        )
+    }
+
+    /// Transpose the last two axes.
+    pub fn transpose(&self) -> Var {
+        let out = self.value().transpose();
+        Var::op(
+            out,
+            vec![self.clone()],
+            Box::new(move |dy| vec![Some(dy.transpose())]),
+        )
+    }
+
+    // ---------- linear algebra ----------
+
+    /// 2-D matrix product.
+    pub fn matmul(&self, other: &Var) -> Var {
+        let a = self.value();
+        let b = other.value();
+        let out = matmul(&a, &b).expect("matmul shapes");
+        Var::op(
+            out,
+            vec![self.clone(), other.clone()],
+            Box::new(move |dy| {
+                // dA = dY·Bᵀ ; dB = Aᵀ·dY
+                let da = matmul_bt(dy, &b).expect("matmul backward dA");
+                let db = matmul_at(&a, dy).expect("matmul backward dB");
+                vec![Some(da), Some(db)]
+            }),
+        )
+    }
+
+    /// Fused linear layer: `y = x · Wᵀ + b`, with `x [n, in]`,
+    /// `W [out, in]`, `b [out]`.
+    pub fn linear(&self, weight: &Var, bias: Option<&Var>) -> Var {
+        let x = self.value();
+        let w = weight.value();
+        let mut out = matmul_bt(&x, &w).expect("linear shapes");
+        if let Some(b) = bias {
+            out = out.add(&b.value()).expect("linear bias");
+        }
+        let mut parents = vec![self.clone(), weight.clone()];
+        if let Some(b) = bias {
+            parents.push(b.clone());
+        }
+        let has_bias = bias.is_some();
+        Var::op(
+            out,
+            parents,
+            Box::new(move |dy| {
+                // dx = dy·W ; dW = dyᵀ·x ; db = Σ_rows dy
+                let dx = matmul(dy, &w).expect("linear backward dx");
+                let dw = matmul_at(dy, &x).expect("linear backward dW");
+                let mut grads = vec![Some(dx), Some(dw)];
+                if has_bias {
+                    grads.push(Some(dy.sum_axis0()));
+                }
+                grads
+            }),
+        )
+    }
+
+    /// Batched matmul `[b, m, k]·[b, k, n]`.
+    pub fn bmm(&self, other: &Var) -> Var {
+        let a = self.value();
+        let b = other.value();
+        let out = bmm(&a, &b).expect("bmm shapes");
+        Var::op(
+            out,
+            vec![self.clone(), other.clone()],
+            Box::new(move |dy| {
+                let da = bmm(dy, &b.transpose()).expect("bmm backward dA");
+                let db = bmm(&a.transpose(), dy).expect("bmm backward dB");
+                vec![Some(da), Some(db)]
+            }),
+        )
+    }
+
+    // ---------- activations & norms ----------
+
+    pub fn relu(&self) -> Var {
+        let x = self.value();
+        let out = nn::relu(&x);
+        Var::op(
+            out,
+            vec![self.clone()],
+            Box::new(move |dy| vec![Some(nn::relu_backward(&x, dy))]),
+        )
+    }
+
+    pub fn gelu(&self) -> Var {
+        let x = self.value();
+        let out = nn::gelu(&x);
+        Var::op(
+            out,
+            vec![self.clone()],
+            Box::new(move |dy| vec![Some(nn::gelu_backward(&x, dy))]),
+        )
+    }
+
+    /// Softmax over the last axis.
+    pub fn softmax(&self) -> Var {
+        let y = nn::softmax_last(&self.value());
+        let y2 = y.clone();
+        Var::op(
+            y,
+            vec![self.clone()],
+            Box::new(move |dy| vec![Some(nn::softmax_last_backward(&y2, dy))]),
+        )
+    }
+
+    /// LayerNorm over the last axis with learnable gamma/beta.
+    pub fn layernorm(&self, gamma: &Var, beta: &Var, eps: f32) -> Var {
+        let (y, cache) = nn::layernorm(&self.value(), &gamma.value(), &beta.value(), eps);
+        let g = gamma.value();
+        Var::op(
+            y,
+            vec![self.clone(), gamma.clone(), beta.clone()],
+            Box::new(move |dy| {
+                let (dx, dgamma, dbeta) = nn::layernorm_backward(&cache, &g, dy);
+                vec![Some(dx), Some(dgamma), Some(dbeta)]
+            }),
+        )
+    }
+
+    /// BatchNorm over NCHW with learnable per-channel gamma/beta.
+    pub fn batchnorm2d(&self, gamma: &Var, beta: &Var, eps: f32) -> Var {
+        let (y, cache) = nn::batchnorm2d(&self.value(), &gamma.value(), &beta.value(), eps);
+        let g = gamma.value();
+        Var::op(
+            y,
+            vec![self.clone(), gamma.clone(), beta.clone()],
+            Box::new(move |dy| {
+                let (dx, dgamma, dbeta) = nn::batchnorm2d_backward(&cache, &g, dy);
+                vec![Some(dx), Some(dgamma), Some(dbeta)]
+            }),
+        )
+    }
+
+    // ---------- embeddings / position ----------
+
+    /// Embedding lookup (`self` is the `[vocab, d]` table).
+    pub fn embedding(&self, ids: &[usize]) -> Var {
+        let table = self.value();
+        let vocab = table.dims()[0];
+        let out = nn::embedding(&table, ids);
+        let ids = ids.to_vec();
+        Var::op(
+            out,
+            vec![self.clone()],
+            Box::new(move |dy| vec![Some(nn::embedding_backward(dy, &ids, vocab))]),
+        )
+    }
+
+    /// Rotary positional embedding over `[heads, seq, head_dim]`.
+    pub fn rope(&self) -> Var {
+        let out = nn::rope(&self.value(), false);
+        Var::op(
+            out,
+            vec![self.clone()],
+            // The adjoint of a rotation is the inverse rotation.
+            Box::new(move |dy| vec![Some(nn::rope(dy, true))]),
+        )
+    }
+
+    // ---------- convolutional ----------
+
+    /// 2-D convolution (`self` is NCHW input, `weight` is [oc, ic, kh, kw]).
+    pub fn conv2d(&self, weight: &Var, cfg: Conv2dCfg) -> Var {
+        let x = self.value();
+        let w = weight.value();
+        let out = conv2d(&x, &w, cfg).expect("conv2d shapes");
+        Var::op(
+            out,
+            vec![self.clone(), weight.clone()],
+            Box::new(move |dy| {
+                let (dx, dw) = conv2d_backward(&x, &w, dy, cfg).expect("conv2d backward");
+                vec![Some(dx), Some(dw)]
+            }),
+        )
+    }
+
+    /// Max pooling with square kernel `k` and stride.
+    pub fn maxpool2d(&self, k: usize, stride: usize) -> Var {
+        let x = self.value();
+        let in_shape = x.dims().to_vec();
+        let (out, arg) = maxpool2d(&x, k, stride);
+        Var::op(
+            out,
+            vec![self.clone()],
+            Box::new(move |dy| vec![Some(maxpool2d_backward(dy, &arg, &in_shape))]),
+        )
+    }
+
+    /// Global average pooling `[n, c, h, w] -> [n, c]`.
+    pub fn global_avgpool(&self) -> Var {
+        let x = self.value();
+        let in_shape = x.dims().to_vec();
+        let out = global_avgpool(&x);
+        Var::op(
+            out,
+            vec![self.clone()],
+            Box::new(move |dy| vec![Some(global_avgpool_backward(dy, &in_shape))]),
+        )
+    }
+
+    // ---------- reductions / losses ----------
+
+    /// Sum of all elements (scalar output).
+    pub fn sum(&self) -> Var {
+        let x = self.value();
+        let dims = x.dims().to_vec();
+        let out = Tensor::scalar(x.sum());
+        Var::op(
+            out,
+            vec![self.clone()],
+            Box::new(move |dy| {
+                let g = dy.item();
+                vec![Some(Tensor::full(dims.clone(), g))]
+            }),
+        )
+    }
+
+    /// Mean of all elements (scalar output).
+    pub fn mean(&self) -> Var {
+        let n = self.value().numel() as f32;
+        self.sum().scale(1.0 / n)
+    }
+
+    /// Mean softmax-cross-entropy against integer targets (`self` holds
+    /// `[n, vocab]` logits). The backward is fused and exact.
+    pub fn cross_entropy(&self, targets: &[usize]) -> Var {
+        let logits = self.value();
+        let (loss, dlogits) = nn::cross_entropy_logits(&logits, targets);
+        Var::op(
+            Tensor::scalar(loss),
+            vec![self.clone()],
+            Box::new(move |dy| vec![Some(dlogits.scale(dy.item()))]),
+        )
+    }
+}
+
+/// Reduce a broadcasted gradient back to the original operand shape:
+/// sum over prepended axes and over axes that were stretched from 1.
+pub fn reduce_to_shape(grad: &Tensor, target: &Shape) -> Tensor {
+    if grad.shape() == target {
+        return grad.clone();
+    }
+    let gdims = grad.dims().to_vec();
+    let tdims = target.dims();
+    let offset = gdims.len() - tdims.len();
+    // Sum over leading extra axes by folding the flat buffer.
+    let lead: usize = gdims[..offset].iter().product::<usize>().max(1);
+    let inner: usize = gdims[offset..].iter().product::<usize>().max(1);
+    let mut buf = vec![0.0f32; inner];
+    for l in 0..lead {
+        for i in 0..inner {
+            buf[i] += grad.data()[l * inner + i];
+        }
+    }
+    // Now reduce stretched axes (target dim == 1, grad dim > 1).
+    let mut cur_dims = gdims[offset..].to_vec();
+    if cur_dims.is_empty() {
+        return Tensor::from_vec(buf, target.clone());
+    }
+    for axis in 0..tdims.len() {
+        if tdims[axis] == 1 && cur_dims[axis] != 1 {
+            let outer: usize = cur_dims[..axis].iter().product();
+            let mid = cur_dims[axis];
+            let inner2: usize = cur_dims[axis + 1..].iter().product();
+            let mut next = vec![0.0f32; outer * inner2];
+            for o in 0..outer {
+                for m in 0..mid {
+                    for i in 0..inner2 {
+                        next[o * inner2 + i] += buf[(o * mid + m) * inner2 + i];
+                    }
+                }
+            }
+            buf = next;
+            cur_dims[axis] = 1;
+        }
+    }
+    Tensor::from_vec(buf, target.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{randn, rng};
+
+    #[test]
+    fn add_backward_distributes_ones() {
+        let a = Var::param(Tensor::from_vec(vec![1.0, 2.0], [2]));
+        let b = Var::param(Tensor::from_vec(vec![3.0, 4.0], [2]));
+        a.add(&b).sum().backward();
+        assert_eq!(a.grad().unwrap().data(), &[1.0, 1.0]);
+        assert_eq!(b.grad().unwrap().data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn mul_backward_swaps_operands() {
+        let a = Var::param(Tensor::from_vec(vec![2.0, 3.0], [2]));
+        let b = Var::param(Tensor::from_vec(vec![5.0, 7.0], [2]));
+        a.mul(&b).sum().backward();
+        assert_eq!(a.grad().unwrap().data(), &[5.0, 7.0]);
+        assert_eq!(b.grad().unwrap().data(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn broadcast_bias_gradient_sums_rows() {
+        let x = Var::input(Tensor::ones([3, 2]));
+        let b = Var::param(Tensor::zeros([2]));
+        x.add(&b).sum().backward();
+        assert_eq!(b.grad().unwrap().data(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn inputs_receive_no_grad() {
+        let x = Var::input(Tensor::ones([2]));
+        let w = Var::param(Tensor::ones([2]));
+        x.mul(&w).sum().backward();
+        assert!(x.grad().is_none());
+        assert!(w.grad().is_some());
+    }
+
+    #[test]
+    fn grad_accumulates_on_reuse() {
+        // y = a*a: da = 2a.
+        let a = Var::param(Tensor::from_vec(vec![3.0], [1]));
+        a.mul(&a).sum().backward();
+        assert_eq!(a.grad().unwrap().data(), &[6.0]);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let a = Var::param(Tensor::ones([2]));
+        a.sum().backward();
+        assert!(a.grad().is_some());
+        a.zero_grad();
+        assert!(a.grad().is_none());
+    }
+
+    #[test]
+    fn matmul_gradient_numerical() {
+        let a0 = randn(&mut rng(1), [3, 4], 1.0);
+        let b0 = randn(&mut rng(2), [4, 2], 1.0);
+        let a = Var::param(a0.clone());
+        let b = Var::param(b0.clone());
+        a.matmul(&b).sum().backward();
+        let da = a.grad().unwrap();
+        let db = b.grad().unwrap();
+        let eps = 1e-2;
+        let f = |at: &Tensor, bt: &Tensor| matmul(at, bt).unwrap().sum();
+        for idx in [0usize, 5, 11] {
+            let mut ap = a0.clone();
+            ap.data_mut()[idx] += eps;
+            let mut am = a0.clone();
+            am.data_mut()[idx] -= eps;
+            let num = (f(&ap, &b0) - f(&am, &b0)) / (2.0 * eps);
+            assert!((num - da.data()[idx]).abs() < 1e-2);
+        }
+        for idx in [0usize, 3, 7] {
+            let mut bp = b0.clone();
+            bp.data_mut()[idx] += eps;
+            let mut bm = b0.clone();
+            bm.data_mut()[idx] -= eps;
+            let num = (f(&a0, &bp) - f(&a0, &bm)) / (2.0 * eps);
+            assert!((num - db.data()[idx]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn linear_matches_matmul_composition() {
+        let x0 = randn(&mut rng(3), [4, 3], 1.0);
+        let w0 = randn(&mut rng(4), [2, 3], 1.0);
+        let b0 = randn(&mut rng(5), [2], 1.0);
+
+        // Fused path.
+        let (x1, w1, b1) = (
+            Var::param(x0.clone()),
+            Var::param(w0.clone()),
+            Var::param(b0.clone()),
+        );
+        let y1 = x1.linear(&w1, Some(&b1));
+        y1.sum().backward();
+
+        // Composed path.
+        let (x2, w2, b2) = (
+            Var::param(x0.clone()),
+            Var::param(w0.clone()),
+            Var::param(b0.clone()),
+        );
+        let y2 = x2.matmul(&w2.transpose()).add(&b2);
+        y2.sum().backward();
+
+        assert!(y1.value().allclose(&y2.value(), 1e-4));
+        assert!(x1.grad().unwrap().allclose(&x2.grad().unwrap(), 1e-4));
+        assert!(w1.grad().unwrap().allclose(&w2.grad().unwrap(), 1e-4));
+        assert!(b1.grad().unwrap().allclose(&b2.grad().unwrap(), 1e-4));
+    }
+
+    #[test]
+    fn relu_gelu_chain_gradient() {
+        let x0 = randn(&mut rng(6), [8], 2.0);
+        let x = Var::param(x0.clone());
+        x.gelu().relu().sum().backward();
+        let dx = x.grad().unwrap();
+        let eps = 1e-2;
+        for idx in 0..8 {
+            let mut xp = x0.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x0.clone();
+            xm.data_mut()[idx] -= eps;
+            let f = |t: &Tensor| nn::relu(&nn::gelu(t)).sum();
+            let num = (f(&xp) - f(&xm)) / (2.0 * eps);
+            assert!(
+                (num - dx.data()[idx]).abs() < 2e-2,
+                "idx {idx}: {num} vs {}",
+                dx.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn cross_entropy_end_to_end_gradient() {
+        let x0 = randn(&mut rng(7), [2, 5], 1.0);
+        let w0 = randn(&mut rng(8), [5, 5], 0.5);
+        let targets = [1usize, 4];
+        let x = Var::input(x0.clone());
+        let w = Var::param(w0.clone());
+        let loss = x.matmul(&w).cross_entropy(&targets);
+        loss.backward();
+        let dw = w.grad().unwrap();
+        let eps = 1e-2;
+        let f = |wt: &Tensor| {
+            nn::cross_entropy_logits(&matmul(&x0, wt).unwrap(), &targets).0
+        };
+        for idx in [0usize, 7, 13, 24] {
+            let mut wp = w0.clone();
+            wp.data_mut()[idx] += eps;
+            let mut wm = w0.clone();
+            wm.data_mut()[idx] -= eps;
+            let num = (f(&wp) - f(&wm)) / (2.0 * eps);
+            assert!(
+                (num - dw.data()[idx]).abs() < 1e-3,
+                "dw[{idx}]: {num} vs {}",
+                dw.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn reshape_transpose_roundtrip_gradient() {
+        let x = Var::param(Tensor::arange(6));
+        let y = x.reshape([2, 3]).transpose().reshape([6]);
+        y.sum().backward();
+        assert_eq!(x.grad().unwrap().data(), &[1.0; 6]);
+    }
+
+    #[test]
+    fn embedding_gradient_counts_occurrences() {
+        let table = Var::param(Tensor::zeros([4, 2]));
+        let y = table.embedding(&[1, 1, 3]);
+        y.sum().backward();
+        let g = table.grad().unwrap();
+        assert_eq!(g.data(), &[0.0, 0.0, 2.0, 2.0, 0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn mean_scales_gradient() {
+        let x = Var::param(Tensor::ones([4]));
+        x.mean().backward();
+        assert_eq!(x.grad().unwrap().data(), &[0.25; 4]);
+    }
+
+    #[test]
+    fn conv_graph_gradient_flows() {
+        let x = Var::input(randn(&mut rng(9), [1, 2, 6, 6], 1.0));
+        let w = Var::param(randn(&mut rng(10), [3, 2, 3, 3], 0.5));
+        let y = x
+            .conv2d(&w, Conv2dCfg::new(1, 1))
+            .relu()
+            .maxpool2d(2, 2)
+            .global_avgpool();
+        y.sum().backward();
+        let g = w.grad().unwrap();
+        assert_eq!(g.dims(), &[3, 2, 3, 3]);
+        assert!(g.sq_norm() > 0.0);
+    }
+
+    #[test]
+    fn rope_graph_preserves_gradient_norm() {
+        let x = Var::param(randn(&mut rng(11), [2, 4, 8], 1.0));
+        let y = x.rope();
+        // Pick a random linear functional of the output.
+        let w = Var::input(randn(&mut rng(12), [2, 4, 8], 1.0));
+        y.mul(&w).sum().backward();
+        // Rotation adjoint preserves the norm of the upstream gradient.
+        let g = x.grad().unwrap();
+        assert!((g.sq_norm() - w.value().sq_norm()).abs() / w.value().sq_norm() < 1e-4);
+    }
+
+    #[test]
+    fn softmax_graph_rows_sum_to_one_and_grad_flows() {
+        let x = Var::param(randn(&mut rng(13), [3, 4], 1.0));
+        let y = x.softmax();
+        for row in y.value().data().chunks(4) {
+            assert!((row.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        }
+        // Loss = first column of the softmax.
+        let mut sel = Tensor::zeros([3, 4]);
+        for r in 0..3 {
+            sel.data_mut()[r * 4] = 1.0;
+        }
+        y.mul(&Var::input(sel)).sum().backward();
+        assert!(x.grad().unwrap().sq_norm() > 0.0);
+    }
+
+    #[test]
+    fn layernorm_graph_gradient_flows_to_gamma_beta() {
+        let x = Var::input(randn(&mut rng(14), [2, 6], 2.0));
+        let gamma = Var::param(Tensor::ones([6]));
+        let beta = Var::param(Tensor::zeros([6]));
+        x.layernorm(&gamma, &beta, 1e-5).sum().backward();
+        // dbeta = number of rows per element.
+        assert!(beta.grad().unwrap().allclose(&Tensor::full([6], 2.0), 1e-5));
+        assert!(gamma.grad().is_some());
+    }
+
+    #[test]
+    fn bmm_gradient_numerical() {
+        let a0 = randn(&mut rng(15), [2, 2, 3], 1.0);
+        let b0 = randn(&mut rng(16), [2, 3, 2], 1.0);
+        let a = Var::param(a0.clone());
+        let b = Var::param(b0.clone());
+        a.bmm(&b).sum().backward();
+        let da = a.grad().unwrap();
+        let eps = 1e-2;
+        for idx in [0usize, 5, 11] {
+            let mut ap = a0.clone();
+            ap.data_mut()[idx] += eps;
+            let mut am = a0.clone();
+            am.data_mut()[idx] -= eps;
+            let num =
+                (bmm(&ap, &b0).unwrap().sum() - bmm(&am, &b0).unwrap().sum()) / (2.0 * eps);
+            assert!((num - da.data()[idx]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar loss")]
+    fn backward_requires_scalar() {
+        Var::param(Tensor::ones([2])).backward();
+    }
+
+    #[test]
+    fn set_value_updates_in_place() {
+        let p = Var::param(Tensor::ones([2]));
+        p.set_value(Tensor::zeros([2]));
+        assert_eq!(p.value().sum(), 0.0);
+    }
+
+    #[test]
+    fn reduce_to_shape_cases() {
+        // [3, 2] -> [2]
+        let g = Tensor::ones([3, 2]);
+        let r = reduce_to_shape(&g, &Shape::from([2]));
+        assert_eq!(r.data(), &[3.0, 3.0]);
+        // [3, 2] -> [1, 2]
+        let r = reduce_to_shape(&g, &Shape::from([1, 2]));
+        assert_eq!(r.dims(), &[1, 2]);
+        assert_eq!(r.data(), &[3.0, 3.0]);
+        // [2, 3] -> [2, 1]
+        let g = Tensor::ones([2, 3]);
+        let r = reduce_to_shape(&g, &Shape::from([2, 1]));
+        assert_eq!(r.data(), &[3.0, 3.0]);
+        // scalar target
+        let r = reduce_to_shape(&Tensor::ones([4]), &Shape::scalar());
+        assert_eq!(r.item(), 4.0);
+    }
+
+    #[test]
+    fn diamond_graph_accumulates_once_per_path() {
+        // y = (a + a) + (a * a) with a = 3: dy/da = 2 + 2a = 8.
+        let a = Var::param(Tensor::from_vec(vec![3.0], [1]));
+        let y = a.add(&a).add(&a.mul(&a));
+        y.sum().backward();
+        assert_eq!(a.grad().unwrap().data(), &[8.0]);
+    }
+}
+
+#[cfg(test)]
+mod permute_grad_tests {
+    use super::*;
+
+    #[test]
+    fn permute_backward_applies_inverse() {
+        let x = Var::param(Tensor::arange(24).reshape([2, 3, 4]).unwrap());
+        let w = Var::input(Tensor::arange(24).reshape([4, 2, 3]).unwrap());
+        // loss = sum(permute(x) * w): dx = inverse-permute(w).
+        x.permute(&[2, 0, 1]).mul(&w).sum().backward();
+        let g = x.grad().unwrap();
+        let expect = w.value().permute_axes(&[1, 2, 0]);
+        assert!(g.allclose(&expect, 0.0));
+    }
+
+    #[test]
+    fn attention_head_split_roundtrip_gradient() {
+        // [b*s, h] -> [b, s, heads, hd] -> [b, heads, s, hd] and back.
+        let (b, s, heads, hd) = (2usize, 3, 2, 4);
+        let h = heads * hd;
+        let x = Var::param(Tensor::arange(b * s * h).reshape([b * s, h]).unwrap());
+        let split = x
+            .reshape([b, s, heads, hd])
+            .permute(&[0, 2, 1, 3])
+            .reshape([b * heads, s, hd]);
+        let merged = split
+            .reshape([b, heads, s, hd])
+            .permute(&[0, 2, 1, 3])
+            .reshape([b * s, h]);
+        assert!(merged.value().allclose(&x.value(), 0.0));
+        merged.sum().backward();
+        assert!(x.grad().unwrap().allclose(&Tensor::ones([b * s, h]), 0.0));
+    }
+}

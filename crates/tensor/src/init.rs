@@ -1,0 +1,138 @@
+//! Seeded parameter initializers.
+//!
+//! All initializers take an explicit [`rand_chacha::ChaCha8Rng`]-backed
+//! seed so that model construction — and therefore every test and example
+//! — is fully deterministic.
+
+use crate::tensor::Tensor;
+use rand::distributions::Distribution;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A seeded RNG for parameter initialization.
+pub fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Standard-normal samples via Box–Muller (avoids a rand_distr dep).
+fn normal_sample(rng: &mut impl Rng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Tensor of i.i.d. `N(0, std²)` samples.
+pub fn randn(rng: &mut impl Rng, shape: impl Into<crate::Shape>, std: f32) -> Tensor {
+    let shape = shape.into();
+    let data = (0..shape.numel())
+        .map(|_| normal_sample(rng) * std)
+        .collect();
+    Tensor::from_vec(data, shape)
+}
+
+/// Tensor of i.i.d. `U(lo, hi)` samples.
+pub fn uniform(rng: &mut impl Rng, shape: impl Into<crate::Shape>, lo: f32, hi: f32) -> Tensor {
+    let shape = shape.into();
+    let dist = rand::distributions::Uniform::new(lo, hi);
+    let data = (0..shape.numel()).map(|_| dist.sample(rng)).collect();
+    Tensor::from_vec(data, shape)
+}
+
+/// Xavier/Glorot uniform initialization for a `[out, in]` linear weight.
+pub fn xavier_uniform(rng: &mut impl Rng, out_dim: usize, in_dim: usize) -> Tensor {
+    let bound = (6.0 / (in_dim + out_dim) as f32).sqrt();
+    uniform(rng, [out_dim, in_dim], -bound, bound)
+}
+
+/// Kaiming/He normal initialization for conv weights `[oc, ic, kh, kw]`
+/// (fan-in mode, suited to ReLU networks such as ResNet).
+pub fn kaiming_normal(
+    rng: &mut impl Rng,
+    oc: usize,
+    ic: usize,
+    kh: usize,
+    kw: usize,
+) -> Tensor {
+    let fan_in = (ic * kh * kw) as f32;
+    let std = (2.0 / fan_in).sqrt();
+    randn(rng, [oc, ic, kh, kw], std)
+}
+
+/// GPT-2 style initialization: `N(0, 0.02²)`, scaled down for residual
+/// projections by `1/sqrt(2·layers)` when `residual_layers > 0`.
+pub fn gpt2_init(
+    rng: &mut impl Rng,
+    shape: impl Into<crate::Shape>,
+    residual_layers: usize,
+) -> Tensor {
+    let mut std = 0.02;
+    if residual_layers > 0 {
+        std /= (2.0 * residual_layers as f32).sqrt();
+    }
+    randn(rng, shape, std)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = randn(&mut rng(42), [16], 1.0);
+        let b = randn(&mut rng(42), [16], 1.0);
+        assert!(a.allclose(&b, 0.0));
+        let c = randn(&mut rng(43), [16], 1.0);
+        assert!(!a.allclose(&c, 1e-6));
+    }
+
+    #[test]
+    fn randn_statistics() {
+        let t = randn(&mut rng(1), [20000], 1.0);
+        let mean = t.mean();
+        let var = t.map(|x| x * x).mean() - mean * mean;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn randn_std_scales() {
+        let t = randn(&mut rng(2), [20000], 0.02);
+        let var = t.map(|x| x * x).mean();
+        assert!((var.sqrt() - 0.02).abs() < 0.002);
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let t = uniform(&mut rng(3), [1000], -0.5, 0.25);
+        assert!(t.min_value() >= -0.5);
+        assert!(t.max_value() < 0.25);
+    }
+
+    #[test]
+    fn xavier_bound_formula() {
+        let t = xavier_uniform(&mut rng(4), 100, 200);
+        let bound = (6.0f32 / 300.0).sqrt();
+        assert!(t.max_value() <= bound);
+        assert!(t.min_value() >= -bound);
+        assert_eq!(t.dims(), &[100, 200]);
+    }
+
+    #[test]
+    fn kaiming_std_formula() {
+        let t = kaiming_normal(&mut rng(5), 64, 32, 3, 3);
+        let fan_in = 32.0 * 9.0;
+        let expect_std = (2.0f32 / fan_in).sqrt();
+        let std = t.map(|x| x * x).mean().sqrt();
+        assert!((std - expect_std).abs() / expect_std < 0.1);
+    }
+
+    #[test]
+    fn gpt2_residual_scaling() {
+        let base = gpt2_init(&mut rng(6), [10000], 0);
+        let scaled = gpt2_init(&mut rng(6), [10000], 8);
+        let s1 = base.map(|x| x * x).mean().sqrt();
+        let s2 = scaled.map(|x| x * x).mean().sqrt();
+        assert!((s1 / s2 - 4.0).abs() < 0.2, "expected 1/sqrt(16) scaling");
+    }
+}

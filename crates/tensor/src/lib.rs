@@ -1,0 +1,79 @@
+//! # caraml-tensor — a real CPU tensor library with autograd
+//!
+//! The CARAML paper trains its workloads with PyTorch and TensorFlow. No
+//! comparable Rust stack exists, so this crate provides the minimal real
+//! substrate the reproduction needs: dense `f32` tensors, rayon-parallel
+//! matrix multiplication and convolution, a tape-based reverse-mode
+//! autograd, standard initializers and optimizers. The GPT and ResNet
+//! models in `caraml-models` are built on it and *actually train* (losses
+//! decrease) at laptop scale, while the `caraml-accel` simulator scales
+//! the corresponding cost models to data-center scale.
+//!
+//! Layout conventions: row-major (C order); images are NCHW; linear layers
+//! store weights as `[out, in]`.
+//!
+//! Modules:
+//! * [`shape`] — shapes, strides, broadcasting;
+//! * [`tensor`] — the dense tensor value type and its eager ops;
+//! * [`matmul`] — blocked, rayon-parallel GEMM;
+//! * [`conv`] — im2col convolution, pooling;
+//! * [`autograd`] — reverse-mode differentiation ([`autograd::Var`]);
+//! * [`nn`] — neural-network functional ops (softmax, layernorm, GELU, …);
+//! * [`optim`] — SGD (momentum) and Adam;
+//! * [`init`] — seeded Xavier/Kaiming initializers.
+
+// Index-based loops are intentional in the numeric kernels: several
+// buffers are indexed by the same induction variable and the iterator
+// rewrites clippy suggests obscure the access patterns the perf book
+// recommends keeping visible.
+#![allow(clippy::needless_range_loop)]
+
+pub mod autograd;
+pub mod conv;
+pub mod init;
+pub mod matmul;
+pub mod nn;
+pub mod optim;
+pub mod shape;
+pub mod tensor;
+
+pub use autograd::Var;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Error type for tensor operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// Operand shapes are incompatible for the attempted operation.
+    ShapeMismatch {
+        op: &'static str,
+        lhs: Vec<usize>,
+        rhs: Vec<usize>,
+    },
+    /// A reshape changed the element count.
+    BadReshape { from: Vec<usize>, to: Vec<usize> },
+    /// An index or axis was out of range.
+    OutOfRange {
+        what: &'static str,
+        index: usize,
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: incompatible shapes {lhs:?} and {rhs:?}")
+            }
+            TensorError::BadReshape { from, to } => {
+                write!(f, "cannot reshape {from:?} into {to:?}")
+            }
+            TensorError::OutOfRange { what, index, len } => {
+                write!(f, "{what} {index} out of range (len {len})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

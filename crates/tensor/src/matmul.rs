@@ -1,0 +1,372 @@
+//! Blocked, rayon-parallel matrix multiplication.
+//!
+//! Matrix multiplication is "the fundamental building block" of the
+//! paper's workloads (§II); here it is the real compute kernel behind the
+//! trainable GPT and ResNet models. The implementation parallelises over
+//! row blocks with rayon and uses a k-blocked inner loop with a transposed
+//! access pattern for cache friendliness. It is deliberately simple — the
+//! point is a correct, reasonably fast substrate, not a BLAS competitor.
+
+use crate::tensor::Tensor;
+use crate::TensorError;
+use rayon::prelude::*;
+
+/// Rows processed per rayon task.
+const ROW_BLOCK: usize = 32;
+/// Below this many output elements the sequential kernel is used (rayon
+/// task overhead would dominate).
+const PAR_THRESHOLD: usize = 64 * 64;
+
+/// `C = A · B` for 2-D tensors `[m, k] · [k, n] -> [m, n]`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    if a.rank() != 2 || b.rank() != 2 || a.dims()[1] != b.dims()[0] {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let n = b.dims()[1];
+    let mut out = vec![0.0f32; m * n];
+    gemm(a.data(), b.data(), &mut out, m, k, n);
+    Ok(Tensor::from_vec(out, [m, n]))
+}
+
+/// `C = A · Bᵀ` for `[m, k] · [n, k] -> [m, n]` without materialising the
+/// transpose (the layout used by linear layers storing `[out, in]`).
+pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    if a.rank() != 2 || b.rank() != 2 || a.dims()[1] != b.dims()[1] {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_bt",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let n = b.dims()[0];
+    let a_data = a.data();
+    let b_data = b.data();
+    let mut out = vec![0.0f32; m * n];
+    let body = |(block_i, chunk): (usize, &mut [f32])| {
+        let row0 = block_i * ROW_BLOCK;
+        for (di, row_out) in chunk.chunks_mut(n).enumerate() {
+            let i = row0 + di;
+            let a_row = &a_data[i * k..(i + 1) * k];
+            for (j, slot) in row_out.iter_mut().enumerate() {
+                let b_row = &b_data[j * k..(j + 1) * k];
+                *slot = dot(a_row, b_row);
+            }
+        }
+    };
+    if m * n >= PAR_THRESHOLD {
+        out.par_chunks_mut(ROW_BLOCK * n).enumerate().for_each(body);
+    } else {
+        out.chunks_mut(ROW_BLOCK * n).enumerate().for_each(body);
+    }
+    Ok(Tensor::from_vec(out, [m, n]))
+}
+
+/// `C = Aᵀ · B` for `[k, m] · [k, n] -> [m, n]` (gradient-of-weights
+/// layout in linear layers).
+pub fn matmul_at(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    if a.rank() != 2 || b.rank() != 2 || a.dims()[0] != b.dims()[0] {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_at",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let (k, m) = (a.dims()[0], a.dims()[1]);
+    let n = b.dims()[1];
+    let a_data = a.data();
+    let b_data = b.data();
+    let mut out = vec![0.0f32; m * n];
+    let body = |(block_i, chunk): (usize, &mut [f32])| {
+        let row0 = block_i * ROW_BLOCK;
+        for (di, row_out) in chunk.chunks_mut(n).enumerate() {
+            let i = row0 + di;
+            for p in 0..k {
+                let av = a_data[p * m + i];
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = &b_data[p * n..p * n + n];
+                for (slot, bv) in row_out.iter_mut().zip(b_row) {
+                    *slot += av * bv;
+                }
+            }
+        }
+    };
+    if m * n >= PAR_THRESHOLD {
+        out.par_chunks_mut(ROW_BLOCK * n).enumerate().for_each(body);
+    } else {
+        out.chunks_mut(ROW_BLOCK * n).enumerate().for_each(body);
+    }
+    Ok(Tensor::from_vec(out, [m, n]))
+}
+
+/// Batched matmul: `[b, m, k] · [b, k, n] -> [b, m, n]` (attention heads).
+pub fn bmm(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    if a.rank() != 3
+        || b.rank() != 3
+        || a.dims()[0] != b.dims()[0]
+        || a.dims()[2] != b.dims()[1]
+    {
+        return Err(TensorError::ShapeMismatch {
+            op: "bmm",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let (batch, m, k) = (a.dims()[0], a.dims()[1], a.dims()[2]);
+    let n = b.dims()[2];
+    let a_data = a.data();
+    let b_data = b.data();
+    let mut out = vec![0.0f32; batch * m * n];
+    out.par_chunks_mut(m * n)
+        .enumerate()
+        .for_each(|(bi, chunk)| {
+            gemm_seq(
+                &a_data[bi * m * k..(bi + 1) * m * k],
+                &b_data[bi * k * n..(bi + 1) * k * n],
+                chunk,
+                m,
+                k,
+                n,
+            );
+        });
+    Ok(Tensor::from_vec(out, [batch, m, n]))
+}
+
+/// Raw GEMM on slices, parallel over row blocks when large enough.
+pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    if m * n >= PAR_THRESHOLD {
+        c.par_chunks_mut(ROW_BLOCK * n)
+            .enumerate()
+            .for_each(|(block_i, chunk)| {
+                let row0 = block_i * ROW_BLOCK;
+                let rows = chunk.len() / n;
+                gemm_rows(a, b, chunk, row0, rows, k, n);
+            });
+    } else {
+        gemm_seq(a, b, c, m, k, n);
+    }
+}
+
+/// Sequential GEMM (used for small problems and per-batch slices).
+fn gemm_seq(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm_rows(a, b, c, 0, m, k, n);
+}
+
+/// Compute rows `[row0, row0+rows)` of C with an ikj loop order (streams
+/// B rows; good cache behaviour for row-major data).
+fn gemm_rows(a: &[f32], b: &[f32], c: &mut [f32], row0: usize, rows: usize, k: usize, n: usize) {
+    for di in 0..rows {
+        let i = row0 + di;
+        let c_row = &mut c[di * n..(di + 1) * n];
+        c_row.fill(0.0);
+        let a_row = &a[i * k..(i + 1) * k];
+        for (p, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..p * n + n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// Plain dot product.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    // Unrolled by 4 to expose ILP; the compiler auto-vectorises this.
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for c in 0..chunks {
+        let i = c * 4;
+        acc[0] += a[i] * b[i];
+        acc[1] += a[i + 1] * b[i + 1];
+        acc[2] += a[i + 2] * b[i + 2];
+        acc[3] += a[i + 3] * b[i + 3];
+    }
+    let mut s = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..a.len() {
+        s += a[i] * b[i];
+    }
+    s
+}
+
+/// Naive triple-loop reference used by tests.
+pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    if a.rank() != 2 || b.rank() != 2 || a.dims()[1] != b.dims()[0] {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_naive",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let n = b.dims()[1];
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut s = 0.0;
+            for p in 0..k {
+                s += a.data()[i * k + p] * b.data()[p * n + j];
+            }
+            out[i * n + j] = s;
+        }
+    }
+    Ok(Tensor::from_vec(out, [m, n]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_matmul() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+        let i = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], [2, 2]);
+        assert!(matmul(&a, &i).unwrap().allclose(&a, 0.0));
+        assert!(matmul(&i, &a).unwrap().allclose(&a, 0.0));
+    }
+
+    #[test]
+    fn known_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]);
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], [3, 2]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([2, 3]);
+        assert!(matmul(&a, &b).is_err());
+        assert!(bmm(&a.reshape([1, 2, 3]).unwrap(), &b.reshape([1, 2, 3]).unwrap()).is_err());
+    }
+
+    #[test]
+    fn matmul_bt_equals_explicit_transpose() {
+        let a = Tensor::arange(6).reshape([2, 3]).unwrap();
+        let b = Tensor::arange(12).reshape([4, 3]).unwrap();
+        let fast = matmul_bt(&a, &b).unwrap();
+        let slow = matmul(&a, &b.transpose()).unwrap();
+        assert!(fast.allclose(&slow, 1e-5));
+    }
+
+    #[test]
+    fn matmul_at_equals_explicit_transpose() {
+        let a = Tensor::arange(6).reshape([3, 2]).unwrap();
+        let b = Tensor::arange(12).reshape([3, 4]).unwrap();
+        let fast = matmul_at(&a, &b).unwrap();
+        let slow = matmul(&a.transpose(), &b).unwrap();
+        assert!(fast.allclose(&slow, 1e-5));
+    }
+
+    #[test]
+    fn bmm_matches_per_batch_matmul() {
+        let a = Tensor::arange(2 * 2 * 3).reshape([2, 2, 3]).unwrap();
+        let b = Tensor::arange(2 * 3 * 2).reshape([2, 3, 2]).unwrap();
+        let c = bmm(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[2, 2, 2]);
+        for bi in 0..2 {
+            let a2 = Tensor::from_vec(a.data()[bi * 6..(bi + 1) * 6].to_vec(), [2, 3]);
+            let b2 = Tensor::from_vec(b.data()[bi * 6..(bi + 1) * 6].to_vec(), [3, 2]);
+            let ref2 = matmul(&a2, &b2).unwrap();
+            let got = Tensor::from_vec(c.data()[bi * 4..(bi + 1) * 4].to_vec(), [2, 2]);
+            assert!(got.allclose(&ref2, 1e-5));
+        }
+    }
+
+    #[test]
+    fn large_parallel_matches_naive() {
+        // Big enough to trigger the rayon path.
+        let m = 70;
+        let k = 40;
+        let n = 80;
+        let a = Tensor::from_vec((0..m * k).map(|i| ((i * 7) % 13) as f32 - 6.0).collect(), [m, k]);
+        let b = Tensor::from_vec((0..k * n).map(|i| ((i * 5) % 11) as f32 - 5.0).collect(), [k, n]);
+        let fast = matmul(&a, &b).unwrap();
+        let slow = matmul_naive(&a, &b).unwrap();
+        assert!(fast.allclose(&slow, 1e-3));
+    }
+
+    #[test]
+    fn dot_handles_remainders() {
+        for len in 0..10 {
+            let a: Vec<f32> = (0..len).map(|i| i as f32).collect();
+            let b: Vec<f32> = (0..len).map(|i| (i + 1) as f32).collect();
+            let expect: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            assert_eq!(dot(&a, &b), expect);
+        }
+    }
+
+    #[test]
+    fn non_square_chain_dimensions() {
+        let a = Tensor::ones([1, 5]);
+        let b = Tensor::ones([5, 7]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[1, 7]);
+        assert_eq!(c.data()[0], 5.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn mat(m: usize, n: usize) -> impl Strategy<Value = Tensor> {
+        prop::collection::vec(-10.0f32..10.0, m * n..=m * n)
+            .prop_map(move |v| Tensor::from_vec(v, [m, n]))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Parallel blocked GEMM agrees with the naive reference.
+        #[test]
+        fn matches_naive(m in 1usize..20, k in 1usize..20, n in 1usize..20,
+                         seed in 0u64..1000) {
+            let a = Tensor::from_vec(
+                (0..m * k).map(|i| (((i as u64 + seed) * 2654435761) % 17) as f32 - 8.0).collect(),
+                [m, k]);
+            let b = Tensor::from_vec(
+                (0..k * n).map(|i| (((i as u64 * 31 + seed) * 2246822519) % 19) as f32 - 9.0).collect(),
+                [k, n]);
+            let fast = matmul(&a, &b).unwrap();
+            let slow = matmul_naive(&a, &b).unwrap();
+            prop_assert!(fast.allclose(&slow, 1e-2));
+        }
+
+        /// (A·B)ᵀ = Bᵀ·Aᵀ.
+        #[test]
+        fn transpose_identity(m in 1usize..8, k in 1usize..8, n in 1usize..8) {
+            let a = Tensor::arange(m * k).reshape([m, k]).unwrap();
+            let b = Tensor::arange(k * n).reshape([k, n]).unwrap();
+            let lhs = matmul(&a, &b).unwrap().transpose();
+            let rhs = matmul(&b.transpose(), &a.transpose()).unwrap();
+            prop_assert!(lhs.allclose(&rhs, 1e-3));
+        }
+
+        /// Distributivity: A·(B+C) = A·B + A·C.
+        #[test]
+        fn distributive((a, b, c) in (1usize..6, 1usize..6, 1usize..6)
+            .prop_flat_map(|(m, k, n)| (mat(m, k), mat(k, n), mat(k, n)))) {
+            let lhs = matmul(&a, &b.add(&c).unwrap()).unwrap();
+            let rhs = matmul(&a, &b).unwrap().add(&matmul(&a, &c).unwrap()).unwrap();
+            prop_assert!(lhs.allclose(&rhs, 1e-2));
+        }
+    }
+}

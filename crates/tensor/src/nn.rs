@@ -1,0 +1,673 @@
+//! Neural-network functional ops (forward + hand-derived backward).
+//!
+//! These are the building blocks the paper's workloads rest on: GELU,
+//! softmax and LayerNorm for the GPT decoder; ReLU and BatchNorm for
+//! ResNet50; embedding lookups and rotary positional embeddings (one of
+//! the Megatron-LM optimizations the benchmark enables); and the fused
+//! softmax-cross-entropy loss. Every backward is validated against
+//! numerical gradients in the test suite.
+
+use crate::tensor::Tensor;
+
+// ---------- activations ----------
+
+/// Rectified linear unit.
+pub fn relu(x: &Tensor) -> Tensor {
+    x.map(|v| v.max(0.0))
+}
+
+/// Backward of ReLU given the *input* and upstream gradient.
+pub fn relu_backward(x: &Tensor, dy: &Tensor) -> Tensor {
+    assert_eq!(x.dims(), dy.dims());
+    let data = x
+        .data()
+        .iter()
+        .zip(dy.data())
+        .map(|(v, g)| if *v > 0.0 { *g } else { 0.0 })
+        .collect();
+    Tensor::from_vec(data, x.dims().to_vec())
+}
+
+/// GELU with the tanh approximation (as used by GPT-2 / Megatron-LM).
+pub fn gelu(x: &Tensor) -> Tensor {
+    x.map(gelu_scalar)
+}
+
+#[inline]
+fn gelu_scalar(v: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * v * (1.0 + (C * (v + 0.044715 * v * v * v)).tanh())
+}
+
+#[inline]
+fn gelu_grad_scalar(v: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let u = C * (v + 0.044715 * v * v * v);
+    let t = u.tanh();
+    let du = C * (1.0 + 3.0 * 0.044715 * v * v);
+    0.5 * (1.0 + t) + 0.5 * v * (1.0 - t * t) * du
+}
+
+/// Backward of GELU given the *input* and upstream gradient.
+pub fn gelu_backward(x: &Tensor, dy: &Tensor) -> Tensor {
+    assert_eq!(x.dims(), dy.dims());
+    let data = x
+        .data()
+        .iter()
+        .zip(dy.data())
+        .map(|(v, g)| gelu_grad_scalar(*v) * g)
+        .collect();
+    Tensor::from_vec(data, x.dims().to_vec())
+}
+
+/// Logistic sigmoid.
+pub fn sigmoid(x: &Tensor) -> Tensor {
+    x.map(|v| 1.0 / (1.0 + (-v).exp()))
+}
+
+// ---------- softmax & losses ----------
+
+/// Numerically stable softmax over the last axis.
+pub fn softmax_last(x: &Tensor) -> Tensor {
+    let n = *x.dims().last().expect("softmax needs rank >= 1");
+    let mut out = x.data().to_vec();
+    for row in out.chunks_mut(n) {
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - m).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    Tensor::from_vec(out, x.dims().to_vec())
+}
+
+/// Backward of softmax over the last axis, given the softmax *output* `y`
+/// and the upstream gradient: `dx = y ⊙ (dy − (dy·y) 1)` per row.
+pub fn softmax_last_backward(y: &Tensor, dy: &Tensor) -> Tensor {
+    assert_eq!(y.dims(), dy.dims());
+    let n = *y.dims().last().unwrap();
+    let mut out = vec![0.0f32; y.numel()];
+    for ((yr, dyr), or) in y
+        .data()
+        .chunks(n)
+        .zip(dy.data().chunks(n))
+        .zip(out.chunks_mut(n))
+    {
+        let dot: f32 = yr.iter().zip(dyr).map(|(a, b)| a * b).sum();
+        for i in 0..n {
+            or[i] = yr[i] * (dyr[i] - dot);
+        }
+    }
+    Tensor::from_vec(out, y.dims().to_vec())
+}
+
+/// Mean cross-entropy from raw logits `[n, v]` and class indices, fused
+/// with its backward: returns `(loss, dlogits)` where `dlogits` is the
+/// gradient of the *mean* loss.
+pub fn cross_entropy_logits(logits: &Tensor, targets: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.rank(), 2);
+    let (n, v) = (logits.dims()[0], logits.dims()[1]);
+    assert_eq!(targets.len(), n, "one target per row");
+    let probs = softmax_last(logits);
+    let mut loss = 0.0f32;
+    let mut grad = probs.data().to_vec();
+    for (i, &t) in targets.iter().enumerate() {
+        assert!(t < v, "target {t} out of vocabulary {v}");
+        let p = probs.data()[i * v + t].max(1e-12);
+        loss -= p.ln();
+        grad[i * v + t] -= 1.0;
+    }
+    let scale = 1.0 / n as f32;
+    for g in &mut grad {
+        *g *= scale;
+    }
+    (loss * scale, Tensor::from_vec(grad, [n, v]))
+}
+
+// ---------- normalization ----------
+
+/// Cache of LayerNorm forward statistics needed by the backward pass.
+#[derive(Debug, Clone)]
+pub struct LayerNormCache {
+    /// Normalised activations `x̂`.
+    pub xhat: Tensor,
+    /// Per-row inverse standard deviation.
+    pub inv_std: Vec<f32>,
+}
+
+/// LayerNorm over the last axis with learnable `gamma`/`beta` of size `n`.
+pub fn layernorm(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> (Tensor, LayerNormCache) {
+    let n = *x.dims().last().expect("layernorm needs rank >= 1");
+    assert_eq!(gamma.numel(), n);
+    assert_eq!(beta.numel(), n);
+    let rows = x.numel() / n;
+    let mut xhat = vec![0.0f32; x.numel()];
+    let mut out = vec![0.0f32; x.numel()];
+    let mut inv_std = vec![0.0f32; rows];
+    for (r, row) in x.data().chunks(n).enumerate() {
+        let mean = row.iter().sum::<f32>() / n as f32;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+        let istd = 1.0 / (var + eps).sqrt();
+        inv_std[r] = istd;
+        for i in 0..n {
+            let h = (row[i] - mean) * istd;
+            xhat[r * n + i] = h;
+            out[r * n + i] = h * gamma.data()[i] + beta.data()[i];
+        }
+    }
+    (
+        Tensor::from_vec(out, x.dims().to_vec()),
+        LayerNormCache {
+            xhat: Tensor::from_vec(xhat, x.dims().to_vec()),
+            inv_std,
+        },
+    )
+}
+
+/// Backward of LayerNorm: returns `(dx, dgamma, dbeta)`.
+pub fn layernorm_backward(
+    cache: &LayerNormCache,
+    gamma: &Tensor,
+    dy: &Tensor,
+) -> (Tensor, Tensor, Tensor) {
+    let n = *dy.dims().last().unwrap();
+    let rows = dy.numel() / n;
+    let xhat = cache.xhat.data();
+    let mut dx = vec![0.0f32; dy.numel()];
+    let mut dgamma = vec![0.0f32; n];
+    let mut dbeta = vec![0.0f32; n];
+    for r in 0..rows {
+        let dy_row = &dy.data()[r * n..(r + 1) * n];
+        let xh_row = &xhat[r * n..(r + 1) * n];
+        let mut sum_dyg = 0.0f32;
+        let mut sum_dyg_xh = 0.0f32;
+        for i in 0..n {
+            let dyg = dy_row[i] * gamma.data()[i];
+            sum_dyg += dyg;
+            sum_dyg_xh += dyg * xh_row[i];
+            dgamma[i] += dy_row[i] * xh_row[i];
+            dbeta[i] += dy_row[i];
+        }
+        let istd = cache.inv_std[r];
+        let inv_n = 1.0 / n as f32;
+        for i in 0..n {
+            let dyg = dy_row[i] * gamma.data()[i];
+            dx[r * n + i] = istd * (dyg - inv_n * sum_dyg - xh_row[i] * inv_n * sum_dyg_xh);
+        }
+    }
+    (
+        Tensor::from_vec(dx, dy.dims().to_vec()),
+        Tensor::from_vec(dgamma, [n]),
+        Tensor::from_vec(dbeta, [n]),
+    )
+}
+
+/// Cache of BatchNorm2d forward statistics.
+#[derive(Debug, Clone)]
+pub struct BatchNorm2dCache {
+    pub xhat: Tensor,
+    pub inv_std: Vec<f32>,
+}
+
+/// BatchNorm over NCHW activations with per-channel `gamma`/`beta`
+/// (training mode: batch statistics).
+pub fn batchnorm2d(
+    x: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    eps: f32,
+) -> (Tensor, BatchNorm2dCache) {
+    assert_eq!(x.rank(), 4);
+    let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+    assert_eq!(gamma.numel(), c);
+    assert_eq!(beta.numel(), c);
+    let count = (n * h * w) as f32;
+    let mut xhat = vec![0.0f32; x.numel()];
+    let mut out = vec![0.0f32; x.numel()];
+    let mut inv_std = vec![0.0f32; c];
+    let data = x.data();
+    for ci in 0..c {
+        let mut mean = 0.0f32;
+        for ni in 0..n {
+            let base = (ni * c + ci) * h * w;
+            mean += data[base..base + h * w].iter().sum::<f32>();
+        }
+        mean /= count;
+        let mut var = 0.0f32;
+        for ni in 0..n {
+            let base = (ni * c + ci) * h * w;
+            var += data[base..base + h * w]
+                .iter()
+                .map(|v| (v - mean) * (v - mean))
+                .sum::<f32>();
+        }
+        var /= count;
+        let istd = 1.0 / (var + eps).sqrt();
+        inv_std[ci] = istd;
+        let (g, b) = (gamma.data()[ci], beta.data()[ci]);
+        for ni in 0..n {
+            let base = (ni * c + ci) * h * w;
+            for k in 0..h * w {
+                let xh = (data[base + k] - mean) * istd;
+                xhat[base + k] = xh;
+                out[base + k] = xh * g + b;
+            }
+        }
+    }
+    (
+        Tensor::from_vec(out, x.dims().to_vec()),
+        BatchNorm2dCache {
+            xhat: Tensor::from_vec(xhat, x.dims().to_vec()),
+            inv_std,
+        },
+    )
+}
+
+/// Backward of BatchNorm2d: `(dx, dgamma, dbeta)`.
+pub fn batchnorm2d_backward(
+    cache: &BatchNorm2dCache,
+    gamma: &Tensor,
+    dy: &Tensor,
+) -> (Tensor, Tensor, Tensor) {
+    assert_eq!(dy.rank(), 4);
+    let (n, c, h, w) = (dy.dims()[0], dy.dims()[1], dy.dims()[2], dy.dims()[3]);
+    let count = (n * h * w) as f32;
+    let xhat = cache.xhat.data();
+    let dyd = dy.data();
+    let mut dx = vec![0.0f32; dy.numel()];
+    let mut dgamma = vec![0.0f32; c];
+    let mut dbeta = vec![0.0f32; c];
+    for ci in 0..c {
+        let mut sum_dy = 0.0f32;
+        let mut sum_dy_xh = 0.0f32;
+        for ni in 0..n {
+            let base = (ni * c + ci) * h * w;
+            for k in 0..h * w {
+                sum_dy += dyd[base + k];
+                sum_dy_xh += dyd[base + k] * xhat[base + k];
+            }
+        }
+        dgamma[ci] = sum_dy_xh;
+        dbeta[ci] = sum_dy;
+        let g = gamma.data()[ci];
+        let istd = cache.inv_std[ci];
+        for ni in 0..n {
+            let base = (ni * c + ci) * h * w;
+            for k in 0..h * w {
+                dx[base + k] = g * istd / count
+                    * (count * dyd[base + k] - sum_dy - xhat[base + k] * sum_dy_xh);
+            }
+        }
+    }
+    (
+        Tensor::from_vec(dx, dy.dims().to_vec()),
+        Tensor::from_vec(dgamma, [c]),
+        Tensor::from_vec(dbeta, [c]),
+    )
+}
+
+// ---------- embeddings ----------
+
+/// Embedding lookup: `table [v, d]`, `ids [n]` → `[n, d]`.
+pub fn embedding(table: &Tensor, ids: &[usize]) -> Tensor {
+    assert_eq!(table.rank(), 2);
+    let (v, d) = (table.dims()[0], table.dims()[1]);
+    let mut out = Vec::with_capacity(ids.len() * d);
+    for &id in ids {
+        assert!(id < v, "token id {id} out of vocabulary {v}");
+        out.extend_from_slice(&table.data()[id * d..(id + 1) * d]);
+    }
+    Tensor::from_vec(out, [ids.len(), d])
+}
+
+/// Backward of embedding: scatter-add `dy [n, d]` into a `[v, d]` grad.
+pub fn embedding_backward(dy: &Tensor, ids: &[usize], vocab: usize) -> Tensor {
+    let d = dy.dims()[1];
+    let mut grad = vec![0.0f32; vocab * d];
+    for (row, &id) in ids.iter().enumerate() {
+        for j in 0..d {
+            grad[id * d + j] += dy.data()[row * d + j];
+        }
+    }
+    Tensor::from_vec(grad, [vocab, d])
+}
+
+// ---------- rotary positional embeddings ----------
+
+/// Apply rotary positional embeddings to `[n_heads, seq, head_dim]`
+/// query/key tensors (one of the Megatron-LM features the benchmark
+/// enables). `head_dim` must be even; pairs `(2i, 2i+1)` are rotated by
+/// `pos · θ_i` with `θ_i = 10000^{-2i/d}`.
+pub fn rope(x: &Tensor, inverse: bool) -> Tensor {
+    assert_eq!(x.rank(), 3, "rope expects [heads, seq, head_dim]");
+    let (heads, seq, d) = (x.dims()[0], x.dims()[1], x.dims()[2]);
+    assert_eq!(d % 2, 0, "rope head_dim must be even");
+    let sign = if inverse { -1.0f32 } else { 1.0 };
+    let mut out = vec![0.0f32; x.numel()];
+    let data = x.data();
+    for hh in 0..heads {
+        for p in 0..seq {
+            let base = (hh * seq + p) * d;
+            for i in 0..d / 2 {
+                let theta = (p as f32) * 10000f32.powf(-2.0 * i as f32 / d as f32) * sign;
+                let (s, c) = theta.sin_cos();
+                let a = data[base + 2 * i];
+                let b = data[base + 2 * i + 1];
+                out[base + 2 * i] = a * c - b * s;
+                out[base + 2 * i + 1] = a * s + b * c;
+            }
+        }
+    }
+    Tensor::from_vec(out, x.dims().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{randn, rng};
+
+    #[test]
+    fn relu_and_backward() {
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], [3]);
+        assert_eq!(relu(&x).data(), &[0.0, 0.0, 2.0]);
+        let dy = Tensor::from_vec(vec![5.0, 5.0, 5.0], [3]);
+        assert_eq!(relu_backward(&x, &dy).data(), &[0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn gelu_reference_values() {
+        // GELU(0)=0, GELU(x)≈x for large x, ≈0 for very negative x.
+        let x = Tensor::from_vec(vec![0.0, 5.0, -5.0, 1.0], [4]);
+        let y = gelu(&x);
+        assert_eq!(y.data()[0], 0.0);
+        assert!((y.data()[1] - 5.0).abs() < 1e-3);
+        assert!(y.data()[2].abs() < 1e-3);
+        assert!((y.data()[3] - 0.8412).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gelu_gradient_numerical() {
+        let eps = 1e-3;
+        for v in [-2.0f32, -0.5, 0.0, 0.7, 3.0] {
+            let num = (gelu_scalar(v + eps) - gelu_scalar(v - eps)) / (2.0 * eps);
+            let ana = gelu_grad_scalar(v);
+            assert!((num - ana).abs() < 1e-2, "gelu'({v}): {num} vs {ana}");
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = randn(&mut rng(0), [4, 7], 3.0);
+        let y = softmax_last(&x);
+        for row in y.data().chunks(7) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(row.iter().all(|v| *v > 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_invariant_to_shift() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], [1, 3]);
+        let y1 = softmax_last(&x);
+        let y2 = softmax_last(&x.map(|v| v + 100.0));
+        assert!(y1.allclose(&y2, 1e-6));
+    }
+
+    #[test]
+    fn softmax_backward_numerical() {
+        let x = randn(&mut rng(1), [2, 5], 1.0);
+        let y = softmax_last(&x);
+        let dy = randn(&mut rng(2), [2, 5], 1.0);
+        let dx = softmax_last_backward(&y, &dy);
+        let eps = 1e-3;
+        for idx in 0..10 {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let f = |t: &Tensor| -> f32 {
+                softmax_last(t)
+                    .data()
+                    .iter()
+                    .zip(dy.data())
+                    .map(|(a, b)| a * b)
+                    .sum()
+            };
+            let num = (f(&xp) - f(&xm)) / (2.0 * eps);
+            assert!(
+                (num - dx.data()[idx]).abs() < 1e-3,
+                "softmax dx[{idx}]: {num} vs {}",
+                dx.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn cross_entropy_uniform_logits() {
+        let logits = Tensor::zeros([2, 4]);
+        let (loss, dlogits) = cross_entropy_logits(&logits, &[1, 3]);
+        assert!((loss - 4.0f32.ln()).abs() < 1e-5);
+        // Gradient rows sum to zero.
+        for row in dlogits.data().chunks(4) {
+            assert!(row.iter().sum::<f32>().abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_loss_near_zero() {
+        let mut logits = Tensor::zeros([1, 3]);
+        logits.data_mut()[2] = 50.0;
+        let (loss, _) = cross_entropy_logits(&logits, &[2]);
+        assert!(loss < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_numerical() {
+        let logits = randn(&mut rng(3), [3, 6], 1.0);
+        let targets = [2usize, 0, 5];
+        let (_, dlogits) = cross_entropy_logits(&logits, &targets);
+        let eps = 1e-2;
+        for idx in [0usize, 5, 7, 12, 17] {
+            let mut lp = logits.clone();
+            lp.data_mut()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[idx] -= eps;
+            let num = (cross_entropy_logits(&lp, &targets).0
+                - cross_entropy_logits(&lm, &targets).0)
+                / (2.0 * eps);
+            assert!(
+                (num - dlogits.data()[idx]).abs() < 1e-3,
+                "dlogits[{idx}]: {num} vs {}",
+                dlogits.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn layernorm_normalizes() {
+        let x = randn(&mut rng(4), [3, 16], 5.0);
+        let gamma = Tensor::ones([16]);
+        let beta = Tensor::zeros([16]);
+        let (y, _) = layernorm(&x, &gamma, &beta, 1e-5);
+        for row in y.data().chunks(16) {
+            let mean: f32 = row.iter().sum::<f32>() / 16.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 16.0;
+            assert!(mean.abs() < 1e-4);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn layernorm_backward_numerical() {
+        let x = randn(&mut rng(5), [2, 8], 2.0);
+        let gamma = randn(&mut rng(6), [8], 1.0);
+        let beta = randn(&mut rng(7), [8], 1.0);
+        let dy = randn(&mut rng(8), [2, 8], 1.0);
+        let (_, cache) = layernorm(&x, &gamma, &beta, 1e-5);
+        let (dx, dgamma, dbeta) = layernorm_backward(&cache, &gamma, &dy);
+        let f = |xx: &Tensor, gg: &Tensor, bb: &Tensor| -> f32 {
+            layernorm(xx, gg, bb, 1e-5)
+                .0
+                .data()
+                .iter()
+                .zip(dy.data())
+                .map(|(a, b)| a * b)
+                .sum()
+        };
+        let eps = 1e-2;
+        for idx in [0usize, 3, 9, 15] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let num = (f(&xp, &gamma, &beta) - f(&xm, &gamma, &beta)) / (2.0 * eps);
+            assert!(
+                (num - dx.data()[idx]).abs() < 2e-2,
+                "ln dx[{idx}]: {num} vs {}",
+                dx.data()[idx]
+            );
+        }
+        for idx in [0usize, 4, 7] {
+            let mut gp = gamma.clone();
+            gp.data_mut()[idx] += eps;
+            let mut gm = gamma.clone();
+            gm.data_mut()[idx] -= eps;
+            let num = (f(&x, &gp, &beta) - f(&x, &gm, &beta)) / (2.0 * eps);
+            assert!((num - dgamma.data()[idx]).abs() < 2e-2);
+            let mut bp = beta.clone();
+            bp.data_mut()[idx] += eps;
+            let mut bm = beta.clone();
+            bm.data_mut()[idx] -= eps;
+            let numb = (f(&x, &gamma, &bp) - f(&x, &gamma, &bm)) / (2.0 * eps);
+            assert!((numb - dbeta.data()[idx]).abs() < 2e-2);
+        }
+    }
+
+    #[test]
+    fn batchnorm_normalizes_per_channel() {
+        let x = randn(&mut rng(9), [4, 3, 5, 5], 3.0);
+        let gamma = Tensor::ones([3]);
+        let beta = Tensor::zeros([3]);
+        let (y, _) = batchnorm2d(&x, &gamma, &beta, 1e-5);
+        // Per-channel mean ≈ 0 and var ≈ 1.
+        for ci in 0..3 {
+            let mut vals = Vec::new();
+            for ni in 0..4 {
+                for k in 0..25 {
+                    vals.push(y.data()[(ni * 3 + ci) * 25 + k]);
+                }
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4);
+            assert!((var - 1.0).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn batchnorm_backward_numerical() {
+        let x = randn(&mut rng(10), [2, 2, 3, 3], 1.5);
+        let gamma = randn(&mut rng(11), [2], 1.0).map(|v| v + 1.5);
+        let beta = randn(&mut rng(12), [2], 0.5);
+        let dy = randn(&mut rng(13), [2, 2, 3, 3], 1.0);
+        let (_, cache) = batchnorm2d(&x, &gamma, &beta, 1e-5);
+        let (dx, dgamma, dbeta) = batchnorm2d_backward(&cache, &gamma, &dy);
+        let f = |xx: &Tensor, gg: &Tensor, bb: &Tensor| -> f32 {
+            batchnorm2d(xx, gg, bb, 1e-5)
+                .0
+                .data()
+                .iter()
+                .zip(dy.data())
+                .map(|(a, b)| a * b)
+                .sum()
+        };
+        let eps = 1e-2;
+        for idx in [0usize, 7, 18, 33] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let num = (f(&xp, &gamma, &beta) - f(&xm, &gamma, &beta)) / (2.0 * eps);
+            assert!(
+                (num - dx.data()[idx]).abs() < 3e-2,
+                "bn dx[{idx}]: {num} vs {}",
+                dx.data()[idx]
+            );
+        }
+        for idx in [0usize, 1] {
+            let mut gp = gamma.clone();
+            gp.data_mut()[idx] += eps;
+            let mut gm = gamma.clone();
+            gm.data_mut()[idx] -= eps;
+            let num = (f(&x, &gp, &beta) - f(&x, &gm, &beta)) / (2.0 * eps);
+            assert!((num - dgamma.data()[idx]).abs() < 3e-2);
+            let mut bp = beta.clone();
+            bp.data_mut()[idx] += eps;
+            let mut bm = beta.clone();
+            bm.data_mut()[idx] -= eps;
+            let numb = (f(&x, &gamma, &bp) - f(&x, &gamma, &bm)) / (2.0 * eps);
+            assert!((numb - dbeta.data()[idx]).abs() < 3e-2);
+        }
+    }
+
+    #[test]
+    fn embedding_lookup_and_scatter() {
+        let table = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [3, 2]);
+        let out = embedding(&table, &[2, 0, 2]);
+        assert_eq!(out.dims(), &[3, 2]);
+        assert_eq!(out.data(), &[5.0, 6.0, 1.0, 2.0, 5.0, 6.0]);
+        let dy = Tensor::ones([3, 2]);
+        let grad = embedding_backward(&dy, &[2, 0, 2], 3);
+        // Token 2 appears twice: gradient 2, token 0 once: 1, token 1: 0.
+        assert_eq!(grad.data(), &[1.0, 1.0, 0.0, 0.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn embedding_rejects_bad_ids() {
+        let table = Tensor::zeros([3, 2]);
+        embedding(&table, &[3]);
+    }
+
+    #[test]
+    fn rope_preserves_norm_and_inverts() {
+        let x = randn(&mut rng(14), [2, 5, 8], 1.0);
+        let y = rope(&x, false);
+        // Rotation preserves the L2 norm of each pair, hence the total.
+        assert!((y.sq_norm() - x.sq_norm()).abs() / x.sq_norm() < 1e-5);
+        // Inverse rotation recovers the input.
+        let back = rope(&y, true);
+        assert!(back.allclose(&x, 1e-4));
+    }
+
+    #[test]
+    fn rope_position_zero_is_identity() {
+        let x = randn(&mut rng(15), [1, 1, 8], 1.0);
+        let y = rope(&x, false);
+        assert!(y.allclose(&x, 1e-6));
+    }
+
+    #[test]
+    fn rope_rotates_later_positions() {
+        let x = Tensor::ones([1, 3, 4]);
+        let y = rope(&x, false);
+        // Position 0 unchanged, positions > 0 rotated.
+        assert!((y.at(&[0, 0, 0]) - 1.0).abs() < 1e-6);
+        assert!((y.at(&[0, 2, 0]) - 1.0).abs() > 1e-3);
+    }
+
+    #[test]
+    fn sigmoid_range_and_midpoint() {
+        let x = Tensor::from_vec(vec![-100.0, 0.0, 100.0], [3]);
+        let y = sigmoid(&x);
+        assert!(y.data()[0] < 1e-6);
+        assert!((y.data()[1] - 0.5).abs() < 1e-6);
+        assert!(y.data()[2] > 1.0 - 1e-6);
+    }
+}

@@ -1,0 +1,238 @@
+//! Shapes, strides, and broadcasting rules (NumPy semantics).
+
+use crate::TensorError;
+
+/// A dense row-major shape.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Shape(dims.into())
+    }
+
+    /// Scalar shape (rank 0, one element).
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Size of dimension `i`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Row-major strides (in elements).
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.rank()];
+        for i in (0..self.rank().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Flat offset of a multi-index (debug-checked).
+    pub fn offset(&self, index: &[usize]) -> usize {
+        debug_assert_eq!(index.len(), self.rank());
+        let strides = self.strides();
+        index.iter().zip(&strides).map(|(i, s)| i * s).sum()
+    }
+
+    /// NumPy-style broadcast of two shapes. Dimensions are aligned at the
+    /// trailing edge; a dimension of 1 stretches to match.
+    pub fn broadcast(&self, other: &Shape) -> Result<Shape, TensorError> {
+        let rank = self.rank().max(other.rank());
+        let mut out = vec![0usize; rank];
+        for i in 0..rank {
+            let a = if i < rank - self.rank() {
+                1
+            } else {
+                self.0[i - (rank - self.rank())]
+            };
+            let b = if i < rank - other.rank() {
+                1
+            } else {
+                other.0[i - (rank - other.rank())]
+            };
+            out[i] = match (a, b) {
+                (x, y) if x == y => x,
+                (1, y) => y,
+                (x, 1) => x,
+                _ => {
+                    return Err(TensorError::ShapeMismatch {
+                        op: "broadcast",
+                        lhs: self.0.clone(),
+                        rhs: other.0.clone(),
+                    })
+                }
+            };
+        }
+        Ok(Shape(out))
+    }
+
+    /// Whether `self` can broadcast to exactly `target`.
+    pub fn broadcasts_to(&self, target: &Shape) -> bool {
+        match self.broadcast(target) {
+            Ok(b) => b == *target,
+            Err(_) => false,
+        }
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(v: Vec<usize>) -> Self {
+        Shape(v)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(v: &[usize]) -> Self {
+        Shape(v.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(v: [usize; N]) -> Self {
+        Shape(v.to_vec())
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_rank() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(Shape::scalar().numel(), 1);
+        assert_eq!(Shape::scalar().rank(), 0);
+    }
+
+    #[test]
+    fn row_major_strides() {
+        assert_eq!(Shape::from([2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::from([5]).strides(), vec![1]);
+        assert_eq!(Shape::scalar().strides(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn offset_math() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+        assert_eq!(s.offset(&[1, 2, 3]), 12 + 8 + 3);
+        assert_eq!(s.offset(&[0, 1, 1]), 5);
+    }
+
+    #[test]
+    fn broadcast_same_shape() {
+        let a = Shape::from([2, 3]);
+        assert_eq!(a.broadcast(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn broadcast_scalar_stretches() {
+        let a = Shape::from([2, 3]);
+        let s = Shape::scalar();
+        assert_eq!(s.broadcast(&a).unwrap(), a);
+        assert_eq!(a.broadcast(&s).unwrap(), a);
+    }
+
+    #[test]
+    fn broadcast_trailing_alignment() {
+        let a = Shape::from([4, 1, 3]);
+        let b = Shape::from([2, 3]);
+        assert_eq!(a.broadcast(&b).unwrap(), Shape::from([4, 2, 3]));
+    }
+
+    #[test]
+    fn broadcast_rejects_mismatch() {
+        let a = Shape::from([2, 3]);
+        let b = Shape::from([4, 3]);
+        assert!(a.broadcast(&b).is_err());
+    }
+
+    #[test]
+    fn broadcasts_to_is_directional() {
+        let a = Shape::from([1, 3]);
+        let b = Shape::from([5, 3]);
+        assert!(a.broadcasts_to(&b));
+        assert!(!b.broadcasts_to(&a));
+    }
+
+    #[test]
+    fn display_formats_like_vec() {
+        assert_eq!(Shape::from([2, 3]).to_string(), "[2, 3]");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn shape_strategy() -> impl Strategy<Value = Shape> {
+        prop::collection::vec(1usize..6, 0..4).prop_map(Shape::new)
+    }
+
+    proptest! {
+        /// Broadcasting is commutative in its result.
+        #[test]
+        fn broadcast_commutative(a in shape_strategy(), b in shape_strategy()) {
+            match (a.broadcast(&b), b.broadcast(&a)) {
+                (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+                (Err(_), Err(_)) => {},
+                _ => prop_assert!(false, "asymmetric broadcast"),
+            }
+        }
+
+        /// A shape always broadcasts to itself and to its own broadcast
+        /// with anything.
+        #[test]
+        fn broadcast_reflexive(a in shape_strategy(), b in shape_strategy()) {
+            prop_assert!(a.broadcasts_to(&a));
+            if let Ok(c) = a.broadcast(&b) {
+                prop_assert!(a.broadcasts_to(&c));
+                prop_assert!(b.broadcasts_to(&c));
+            }
+        }
+
+        /// numel equals the product of dims and strides[0]·dims[0] covers
+        /// the buffer for non-empty shapes.
+        #[test]
+        fn strides_cover_buffer(s in shape_strategy()) {
+            if s.rank() > 0 {
+                let strides = s.strides();
+                prop_assert_eq!(strides[0] * s.dim(0), s.numel());
+            }
+        }
+
+        /// The offset of the last element is numel - 1.
+        #[test]
+        fn last_offset(s in shape_strategy()) {
+            if s.rank() > 0 && s.numel() > 0 {
+                let idx: Vec<usize> = s.dims().iter().map(|d| d - 1).collect();
+                prop_assert_eq!(s.offset(&idx), s.numel() - 1);
+            }
+        }
+    }
+}

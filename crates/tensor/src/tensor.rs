@@ -1,0 +1,696 @@
+//! The dense tensor value type and its eager operations.
+//!
+//! [`Tensor`] is a cheaply clonable (`Arc`-backed, copy-on-write) dense
+//! `f32` array with NumPy-style broadcasting. All eager ops allocate their
+//! output; in-place variants (`*_inplace`) exist for the optimizer hot
+//! path.
+
+use crate::shape::Shape;
+use crate::TensorError;
+use std::sync::Arc;
+
+/// Dense row-major `f32` tensor.
+#[derive(Clone)]
+pub struct Tensor {
+    data: Arc<Vec<f32>>,
+    shape: Shape,
+}
+
+impl std::fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let preview: Vec<f32> = self.data.iter().take(8).copied().collect();
+        write!(
+            f,
+            "Tensor{} {:?}{}",
+            self.shape,
+            preview,
+            if self.numel() > 8 { "…" } else { "" }
+        )
+    }
+}
+
+impl Tensor {
+    // ---------- constructors ----------
+
+    /// Build from a flat buffer and shape; panics if lengths disagree.
+    pub fn from_vec(data: Vec<f32>, shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            data.len(),
+            shape.numel(),
+            "buffer length {} does not match shape {}",
+            data.len(),
+            shape
+        );
+        Tensor {
+            data: Arc::new(data),
+            shape,
+        }
+    }
+
+    /// A rank-0 scalar.
+    pub fn scalar(v: f32) -> Self {
+        Tensor::from_vec(vec![v], Shape::scalar())
+    }
+
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        Tensor {
+            data: Arc::new(vec![0.0; shape.numel()]),
+            shape,
+        }
+    }
+
+    pub fn ones(shape: impl Into<Shape>) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    pub fn full(shape: impl Into<Shape>, v: f32) -> Self {
+        let shape = shape.into();
+        Tensor {
+            data: Arc::new(vec![v; shape.numel()]),
+            shape,
+        }
+    }
+
+    /// `[0, 1, …, n-1]` as a 1-D tensor.
+    pub fn arange(n: usize) -> Self {
+        Tensor::from_vec((0..n).map(|i| i as f32).collect(), [n])
+    }
+
+    // ---------- accessors ----------
+
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    pub fn numel(&self) -> usize {
+        self.shape.numel()
+    }
+
+    /// Read-only view of the backing buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view (copy-on-write: clones the buffer if shared).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        Arc::make_mut(&mut self.data).as_mut_slice()
+    }
+
+    /// Element at a multi-index.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// The single value of a scalar or one-element tensor.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.numel(), 1, "item() requires exactly one element");
+        self.data[0]
+    }
+
+    // ---------- shape manipulation ----------
+
+    /// Reshape without copying; the element count must be preserved.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Result<Tensor, TensorError> {
+        let shape = shape.into();
+        if shape.numel() != self.numel() {
+            return Err(TensorError::BadReshape {
+                from: self.dims().to_vec(),
+                to: shape.dims().to_vec(),
+            });
+        }
+        Ok(Tensor {
+            data: Arc::clone(&self.data),
+            shape,
+        })
+    }
+
+    /// Transpose the last two dimensions (batched matrices supported).
+    pub fn transpose(&self) -> Tensor {
+        let r = self.rank();
+        assert!(r >= 2, "transpose requires rank >= 2");
+        let dims = self.dims();
+        let (m, n) = (dims[r - 2], dims[r - 1]);
+        let batch: usize = dims[..r - 2].iter().product();
+        let mut out = vec![0.0f32; self.numel()];
+        let src = self.data();
+        for b in 0..batch {
+            let off = b * m * n;
+            for i in 0..m {
+                for j in 0..n {
+                    out[off + j * m + i] = src[off + i * n + j];
+                }
+            }
+        }
+        let mut new_dims = dims.to_vec();
+        new_dims.swap(r - 2, r - 1);
+        Tensor::from_vec(out, new_dims)
+    }
+
+    /// Permute axes: `order[i]` names the source axis that becomes output
+    /// axis `i` (NumPy `transpose` semantics).
+    pub fn permute_axes(&self, order: &[usize]) -> Tensor {
+        assert_eq!(order.len(), self.rank(), "permute order must cover all axes");
+        let mut seen = vec![false; self.rank()];
+        for &o in order {
+            assert!(o < self.rank() && !seen[o], "invalid permutation {order:?}");
+            seen[o] = true;
+        }
+        let in_dims = self.dims();
+        let in_strides = self.shape.strides();
+        let out_dims: Vec<usize> = order.iter().map(|&o| in_dims[o]).collect();
+        let mut out = vec![0.0f32; self.numel()];
+        let rank = self.rank();
+        let mut idx = vec![0usize; rank];
+        for (flat, slot) in out.iter_mut().enumerate() {
+            let mut rem = flat;
+            for d in (0..rank).rev() {
+                idx[d] = rem % out_dims[d];
+                rem /= out_dims[d];
+            }
+            let mut src = 0usize;
+            for d in 0..rank {
+                src += idx[d] * in_strides[order[d]];
+            }
+            *slot = self.data[src];
+        }
+        Tensor::from_vec(out, out_dims)
+    }
+
+    /// Extract row `i` of a 2-D tensor as a 1-D tensor.
+    pub fn row(&self, i: usize) -> Result<Tensor, TensorError> {
+        if self.rank() != 2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "row",
+                lhs: self.dims().to_vec(),
+                rhs: vec![],
+            });
+        }
+        let (rows, cols) = (self.dims()[0], self.dims()[1]);
+        if i >= rows {
+            return Err(TensorError::OutOfRange {
+                what: "row",
+                index: i,
+                len: rows,
+            });
+        }
+        Ok(Tensor::from_vec(
+            self.data()[i * cols..(i + 1) * cols].to_vec(),
+            [cols],
+        ))
+    }
+
+    /// Concatenate 2-D tensors along axis 0.
+    pub fn cat_rows(tensors: &[&Tensor]) -> Result<Tensor, TensorError> {
+        assert!(!tensors.is_empty());
+        let cols = tensors[0].dims().last().copied().unwrap_or(1);
+        let mut data = Vec::new();
+        let mut rows = 0;
+        for t in tensors {
+            if t.dims().last().copied().unwrap_or(1) != cols {
+                return Err(TensorError::ShapeMismatch {
+                    op: "cat_rows",
+                    lhs: tensors[0].dims().to_vec(),
+                    rhs: t.dims().to_vec(),
+                });
+            }
+            rows += t.numel() / cols;
+            data.extend_from_slice(t.data());
+        }
+        Ok(Tensor::from_vec(data, [rows, cols]))
+    }
+
+    // ---------- elementwise ----------
+
+    fn broadcast_binary(
+        &self,
+        other: &Tensor,
+        op: &'static str,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Tensor, TensorError> {
+        if self.shape == other.shape {
+            // Fast path: identical shapes.
+            let out: Vec<f32> = self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(a, b)| f(*a, *b))
+                .collect();
+            return Ok(Tensor::from_vec(out, self.shape.clone()));
+        }
+        let out_shape = self.shape.broadcast(&other.shape).map_err(|_| {
+            TensorError::ShapeMismatch {
+                op,
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            }
+        })?;
+        let numel = out_shape.numel();
+        let mut out = vec![0.0f32; numel];
+        let out_dims = out_shape.dims().to_vec();
+        let rank = out_dims.len();
+        let a_dims = self.dims();
+        let b_dims = other.dims();
+        let a_strides = self.shape.strides();
+        let b_strides = other.shape.strides();
+        let mut idx = vec![0usize; rank];
+        for (flat, slot) in out.iter_mut().enumerate() {
+            // Decode flat index into multi-index of out_shape.
+            let mut rem = flat;
+            for d in (0..rank).rev() {
+                idx[d] = rem % out_dims[d];
+                rem /= out_dims[d];
+            }
+            let mut ao = 0usize;
+            for d in 0..self.rank() {
+                let od = idx[rank - self.rank() + d];
+                let ad = a_dims[d];
+                ao += if ad == 1 { 0 } else { od * a_strides[d] };
+            }
+            let mut bo = 0usize;
+            for d in 0..other.rank() {
+                let od = idx[rank - other.rank() + d];
+                let bd = b_dims[d];
+                bo += if bd == 1 { 0 } else { od * b_strides[d] };
+            }
+            *slot = f(self.data[ao], other.data[bo]);
+        }
+        Ok(Tensor::from_vec(out, out_shape))
+    }
+
+    pub fn add(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.broadcast_binary(other, "add", |a, b| a + b)
+    }
+
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.broadcast_binary(other, "sub", |a, b| a - b)
+    }
+
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.broadcast_binary(other, "mul", |a, b| a * b)
+    }
+
+    pub fn div(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.broadcast_binary(other, "div", |a, b| a / b)
+    }
+
+    /// Apply `f` to every element.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor::from_vec(self.data.iter().map(|x| f(*x)).collect(), self.shape.clone())
+    }
+
+    pub fn scale(&self, k: f32) -> Tensor {
+        self.map(|x| x * k)
+    }
+
+    pub fn neg(&self) -> Tensor {
+        self.map(|x| -x)
+    }
+
+    /// In-place `self += alpha * other` (shapes must match exactly).
+    /// The optimizer hot path: no allocation when the buffer is unshared.
+    pub fn axpy_inplace(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "axpy shape mismatch");
+        let other_data = Arc::clone(&other.data);
+        for (a, b) in self.data_mut().iter_mut().zip(other_data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// In-place scaling.
+    pub fn scale_inplace(&mut self, k: f32) {
+        for v in self.data_mut() {
+            *v *= k;
+        }
+    }
+
+    /// In-place zero fill.
+    pub fn zero_inplace(&mut self) {
+        for v in self.data_mut() {
+            *v = 0.0;
+        }
+    }
+
+    // ---------- reductions ----------
+
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    pub fn mean(&self) -> f32 {
+        if self.numel() == 0 {
+            0.0
+        } else {
+            self.sum() / self.numel() as f32
+        }
+    }
+
+    pub fn max_value(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    pub fn min_value(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Index of the maximum element (first occurrence).
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        let mut best_v = f32::NEG_INFINITY;
+        for (i, v) in self.data.iter().enumerate() {
+            if *v > best_v {
+                best_v = *v;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Sum over the last axis: `[.., n] -> [..]` (keeps leading axes).
+    pub fn sum_last_axis(&self) -> Tensor {
+        assert!(self.rank() >= 1);
+        let n = *self.dims().last().unwrap();
+        let lead: usize = self.numel() / n.max(1);
+        let mut out = vec![0.0f32; lead];
+        for (i, chunk) in self.data.chunks(n).enumerate() {
+            out[i] = chunk.iter().sum();
+        }
+        let dims = self.dims()[..self.rank() - 1].to_vec();
+        Tensor::from_vec(out, dims)
+    }
+
+    /// Sum over axis 0 of a 2-D tensor: `[m, n] -> [n]`.
+    pub fn sum_axis0(&self) -> Tensor {
+        assert_eq!(self.rank(), 2);
+        let (m, n) = (self.dims()[0], self.dims()[1]);
+        let mut out = vec![0.0f32; n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j] += self.data[i * n + j];
+            }
+        }
+        Tensor::from_vec(out, [n])
+    }
+
+    /// Squared L2 norm.
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum()
+    }
+
+    /// Maximum absolute difference to another tensor of the same shape.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape, other.shape);
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+
+    /// Approximate equality within `tol` (same shape required).
+    pub fn allclose(&self, other: &Tensor, tol: f32) -> bool {
+        self.shape == other.shape && self.max_abs_diff(other) <= tol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Tensor::zeros([2, 3]).sum(), 0.0);
+        assert_eq!(Tensor::ones([2, 3]).sum(), 6.0);
+        assert_eq!(Tensor::full([2], 2.5).sum(), 5.0);
+        assert_eq!(Tensor::arange(4).data(), &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(Tensor::scalar(7.0).item(), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_checks_length() {
+        Tensor::from_vec(vec![1.0, 2.0], [3]);
+    }
+
+    #[test]
+    fn elementwise_same_shape() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], [3]);
+        let b = Tensor::from_vec(vec![10.0, 20.0, 30.0], [3]);
+        assert_eq!(a.add(&b).unwrap().data(), &[11.0, 22.0, 33.0]);
+        assert_eq!(b.sub(&a).unwrap().data(), &[9.0, 18.0, 27.0]);
+        assert_eq!(a.mul(&b).unwrap().data(), &[10.0, 40.0, 90.0]);
+        assert_eq!(b.div(&a).unwrap().data(), &[10.0, 10.0, 10.0]);
+    }
+
+    #[test]
+    fn broadcast_row_vector() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]);
+        let b = Tensor::from_vec(vec![10.0, 20.0, 30.0], [3]);
+        let c = a.add(&b).unwrap();
+        assert_eq!(c.dims(), &[2, 3]);
+        assert_eq!(c.data(), &[11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+    }
+
+    #[test]
+    fn broadcast_column_vector() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+        let b = Tensor::from_vec(vec![10.0, 100.0], [2, 1]);
+        let c = a.mul(&b).unwrap();
+        assert_eq!(c.data(), &[10.0, 20.0, 300.0, 400.0]);
+    }
+
+    #[test]
+    fn broadcast_scalar_tensor() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], [2]);
+        let s = Tensor::scalar(5.0);
+        assert_eq!(a.mul(&s).unwrap().data(), &[5.0, 10.0]);
+    }
+
+    #[test]
+    fn broadcast_mismatch_errors() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([4, 3]);
+        assert!(a.add(&b).is_err());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = Tensor::arange(6);
+        let b = a.reshape([2, 3]).unwrap();
+        assert_eq!(b.at(&[1, 2]), 5.0);
+        assert!(a.reshape([4]).is_err());
+    }
+
+    #[test]
+    fn transpose_2d() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]);
+        let t = a.transpose();
+        assert_eq!(t.dims(), &[3, 2]);
+        assert_eq!(t.data(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn transpose_batched() {
+        let a = Tensor::arange(12).reshape([2, 2, 3]).unwrap();
+        let t = a.transpose();
+        assert_eq!(t.dims(), &[2, 3, 2]);
+        assert_eq!(t.at(&[1, 2, 0]), a.at(&[1, 0, 2]));
+    }
+
+    #[test]
+    fn double_transpose_is_identity() {
+        let a = Tensor::arange(12).reshape([3, 4]).unwrap();
+        assert!(a.transpose().transpose().allclose(&a, 0.0));
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Tensor::from_vec(vec![1.0, -2.0, 3.0, 0.5], [4]);
+        assert_eq!(a.sum(), 2.5);
+        assert_eq!(a.mean(), 0.625);
+        assert_eq!(a.max_value(), 3.0);
+        assert_eq!(a.min_value(), -2.0);
+        assert_eq!(a.argmax(), 2);
+        assert_eq!(a.sq_norm(), 1.0 + 4.0 + 9.0 + 0.25);
+    }
+
+    #[test]
+    fn sum_last_axis_and_axis0() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]);
+        assert_eq!(a.sum_last_axis().data(), &[6.0, 15.0]);
+        assert_eq!(a.sum_axis0().data(), &[5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn inplace_ops_and_cow() {
+        let mut a = Tensor::ones([3]);
+        let shared = a.clone();
+        a.axpy_inplace(2.0, &Tensor::from_vec(vec![1.0, 2.0, 3.0], [3]));
+        assert_eq!(a.data(), &[3.0, 5.0, 7.0]);
+        // The clone must not see the mutation (copy-on-write).
+        assert_eq!(shared.data(), &[1.0, 1.0, 1.0]);
+        a.scale_inplace(0.5);
+        assert_eq!(a.data(), &[1.5, 2.5, 3.5]);
+        a.zero_inplace();
+        assert_eq!(a.sum(), 0.0);
+    }
+
+    #[test]
+    fn row_extraction() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+        assert_eq!(a.row(1).unwrap().data(), &[3.0, 4.0]);
+        assert!(a.row(2).is_err());
+        assert!(Tensor::arange(3).row(0).is_err());
+    }
+
+    #[test]
+    fn cat_rows_stacks() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], [1, 2]);
+        let b = Tensor::from_vec(vec![3.0, 4.0, 5.0, 6.0], [2, 2]);
+        let c = Tensor::cat_rows(&[&a, &b]).unwrap();
+        assert_eq!(c.dims(), &[3, 2]);
+        assert_eq!(c.data(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let bad = Tensor::zeros([1, 3]);
+        assert!(Tensor::cat_rows(&[&a, &bad]).is_err());
+    }
+
+    #[test]
+    fn allclose_and_max_abs_diff() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], [2]);
+        let b = Tensor::from_vec(vec![1.01, 1.98], [2]);
+        assert!((a.max_abs_diff(&b) - 0.02).abs() < 1e-6);
+        assert!(a.allclose(&b, 0.03));
+        assert!(!a.allclose(&b, 0.001));
+    }
+
+    #[test]
+    fn map_and_scale() {
+        let a = Tensor::from_vec(vec![-1.0, 4.0], [2]);
+        assert_eq!(a.map(f32::abs).data(), &[1.0, 4.0]);
+        assert_eq!(a.scale(2.0).data(), &[-2.0, 8.0]);
+        assert_eq!(a.neg().data(), &[1.0, -4.0]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tensor_pair() -> impl Strategy<Value = (Tensor, Tensor)> {
+        (1usize..5, 1usize..5).prop_flat_map(|(m, n)| {
+            let len = m * n;
+            (
+                prop::collection::vec(-100.0f32..100.0, len..=len),
+                prop::collection::vec(-100.0f32..100.0, len..=len),
+                Just((m, n)),
+            )
+                .prop_map(|(a, b, (m, n))| {
+                    (Tensor::from_vec(a, [m, n]), Tensor::from_vec(b, [m, n]))
+                })
+        })
+    }
+
+    proptest! {
+        /// Addition is commutative.
+        #[test]
+        fn add_commutative((a, b) in tensor_pair()) {
+            let x = a.add(&b).unwrap();
+            let y = b.add(&a).unwrap();
+            prop_assert!(x.allclose(&y, 0.0));
+        }
+
+        /// a - a = 0 and a + (-a) = 0.
+        #[test]
+        fn sub_self_zero((a, _b) in tensor_pair()) {
+            prop_assert_eq!(a.sub(&a).unwrap().sum(), 0.0);
+            prop_assert_eq!(a.add(&a.neg()).unwrap().sum(), 0.0);
+        }
+
+        /// Broadcasting a row vector matches manual row-wise addition.
+        #[test]
+        fn row_broadcast_matches_manual(
+            rows in 1usize..5, cols in 1usize..5,
+            seed in -10.0f32..10.0,
+        ) {
+            let a = Tensor::full([rows, cols], seed);
+            let v = Tensor::arange(cols);
+            let c = a.add(&v).unwrap();
+            for i in 0..rows {
+                for j in 0..cols {
+                    prop_assert_eq!(c.at(&[i, j]), seed + j as f32);
+                }
+            }
+        }
+
+        /// Transpose preserves the multiset of values.
+        #[test]
+        fn transpose_preserves_sum((a, _b) in tensor_pair()) {
+            prop_assert!((a.transpose().sum() - a.sum()).abs() < 1e-3);
+        }
+
+        /// sum_last_axis + sum agree with total sum.
+        #[test]
+        fn partial_sums_consistent((a, _b) in tensor_pair()) {
+            prop_assert!((a.sum_last_axis().sum() - a.sum()).abs() < 1e-2);
+            prop_assert!((a.sum_axis0().sum() - a.sum()).abs() < 1e-2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod permute_tests {
+    use super::*;
+
+    #[test]
+    fn permute_matches_transpose_for_2d() {
+        let a = Tensor::arange(6).reshape([2, 3]).unwrap();
+        assert!(a.permute_axes(&[1, 0]).allclose(&a.transpose(), 0.0));
+    }
+
+    #[test]
+    fn permute_identity() {
+        let a = Tensor::arange(24).reshape([2, 3, 4]).unwrap();
+        assert!(a.permute_axes(&[0, 1, 2]).allclose(&a, 0.0));
+    }
+
+    #[test]
+    fn permute_3d_moves_axes() {
+        let a = Tensor::arange(24).reshape([2, 3, 4]).unwrap();
+        let p = a.permute_axes(&[2, 0, 1]);
+        assert_eq!(p.dims(), &[4, 2, 3]);
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..4 {
+                    assert_eq!(p.at(&[k, i, j]), a.at(&[i, j, k]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn permute_then_inverse_is_identity() {
+        let a = Tensor::arange(120).reshape([2, 3, 4, 5]).unwrap();
+        let order = [3, 1, 0, 2];
+        let mut inverse = [0usize; 4];
+        for (i, &o) in order.iter().enumerate() {
+            inverse[o] = i;
+        }
+        assert!(a.permute_axes(&order).permute_axes(&inverse).allclose(&a, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid permutation")]
+    fn permute_rejects_duplicate_axes() {
+        Tensor::arange(6).reshape([2, 3]).unwrap().permute_axes(&[0, 0]);
+    }
+}

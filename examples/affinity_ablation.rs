@@ -1,0 +1,81 @@
+//! Ablation study of CPU binding policies (paper §V-C), driven through
+//! JUBE: "Beyond machine learning hyperparameters, this exploration can
+//! be extended to system-level configurations, including number of CPU
+//! cores or threads, CPU binding strategies and accelerator affinity in
+//! terms of NUMA domains."
+//!
+//! ```text
+//! cargo run --example affinity_ablation -- A100
+//! ```
+
+use caraml_suite::caraml::resnet::ResnetBenchmark;
+use caraml_suite::caraml_accel::{BindingPolicy, NodeConfig, SystemId};
+use caraml_suite::jube::{Benchmark, Parameter, ParameterSet, ResultTable, Step};
+use std::collections::BTreeMap;
+
+fn main() {
+    let tag = std::env::args().nth(1).unwrap_or_else(|| "A100".into());
+    let Some(system) = SystemId::from_jube_tag(&tag) else {
+        eprintln!("unknown system tag '{tag}'");
+        std::process::exit(2);
+    };
+    if system == SystemId::Gc200 {
+        eprintln!("binding ablation applies to the GPU systems");
+        std::process::exit(2);
+    }
+    let node = NodeConfig::for_system(system);
+    println!(
+        "CPU binding ablation on {} ({} devices, ResNet50, global batches 64 and 4096)\n",
+        node.platform, node.devices_per_node
+    );
+
+    let benchmark = Benchmark::new("binding_ablation")
+        .with_parameter_set(
+            ParameterSet::new("sweep")
+                .with(Parameter::sweep(
+                    "binding",
+                    ["none", "compact", "spread", "gpu-centric", "tight-mask"],
+                ))
+                .with(Parameter::sweep("global_batch", [64, 4096])),
+        )
+        .with_step(Step::new("train", move |ctx| {
+            let policy = match ctx.param("binding").map_err(|e| e.to_string())? {
+                "none" => BindingPolicy::None,
+                "compact" => BindingPolicy::Compact,
+                "spread" => BindingPolicy::Spread,
+                "gpu-centric" => BindingPolicy::GpuCentric,
+                "tight-mask" => BindingPolicy::GpuCentricTightMask,
+                other => return Err(format!("unknown policy {other}")),
+            };
+            let mut bench = ResnetBenchmark::fig3(system);
+            bench.devices = NodeConfig::for_system(system).devices_per_node;
+            bench.binding = policy;
+            let batch: u64 = ctx
+                .param("global_batch")
+                .map_err(|e| e.to_string())?
+                .parse()
+                .map_err(|e| format!("{e}"))?;
+            let t = bench.throughput(batch).map_err(|e| e.to_string())?;
+            let mut out = BTreeMap::new();
+            out.insert("images_per_s".into(), format!("{t:.1}"));
+            out.insert("slurm_hint".into(), policy.slurm_hint().to_string());
+            Ok(out)
+        }));
+
+    let result = benchmark.run(&[]).expect("ablation runs");
+    let mut table = ResultTable::new(
+        ["global_batch", "binding", "images_per_s", "slurm_hint"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    );
+    for wp in &result.workpackages {
+        let mut merged = wp.params.clone();
+        merged.extend(wp.values.clone());
+        table.push_from(&merged);
+    }
+    table.sort_by_column("images_per_s");
+    table.sort_by_column("global_batch");
+    println!("{}", table.to_ascii());
+    println!("(the GPU-centric policy of §V-C should rank first)");
+}

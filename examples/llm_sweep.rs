@@ -1,0 +1,34 @@
+//! Reproduce the Fig. 2 batch-size sweep for a system chosen on the
+//! command line, driven through the JUBE workflow engine with jpwr
+//! energy measurement — the full CARAML pipeline.
+//!
+//! ```text
+//! cargo run --example llm_sweep -- GH200
+//! cargo run --example llm_sweep -- MI250 GCD
+//! ```
+
+use caraml_suite::caraml::suite::llm_benchmark_nvidia_amd;
+
+fn main() {
+    let tags: Vec<String> = std::env::args().skip(1).collect();
+    let tags = if tags.is_empty() {
+        vec!["A100".to_string()]
+    } else {
+        tags
+    };
+    println!("jube run llm_training/llm_benchmark_nvidia_amd.yaml --tag {}\n", tags.join(" "));
+    let benchmark = llm_benchmark_nvidia_amd();
+    let result = benchmark.run(&tags).expect("benchmark runs");
+    let mut table = result.table(&[
+        "system",
+        "platform",
+        "global_batch",
+        "tokens_per_s_per_gpu",
+        "energy_wh_per_gpu",
+        "tokens_per_wh",
+        "error",
+    ]);
+    table.sort_by_column("global_batch");
+    println!("{}", table.to_ascii());
+    println!("{} workpackages, {} failed", result.workpackages.len(), result.failures());
+}

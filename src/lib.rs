@@ -1,0 +1,25 @@
+//! # CARAML-rs workspace umbrella
+//!
+//! This crate re-exports the member crates of the CARAML-rs workspace so that
+//! examples and cross-crate integration tests have a single dependency root.
+//!
+//! The interesting entry points live in the member crates:
+//!
+//! * [`caraml`] — the benchmark suite itself (LLM + ResNet50 training).
+//! * [`caraml_accel`] — the accelerator simulator (device specs, roofline
+//!   execution model, power model, virtual clock).
+//! * [`caraml_tensor`] — a real CPU tensor library with autograd.
+//! * [`caraml_models`] — GPT decoder and ResNet models (real + analytic).
+//! * [`caraml_parallel`] — data/tensor/pipeline/sequence parallelism.
+//! * [`caraml_data`] — BPE tokenizer and synthetic datasets.
+//! * [`jpwr`] — the power measurement tool.
+//! * [`jube`] — the workflow automation engine.
+
+pub use caraml;
+pub use caraml_accel;
+pub use caraml_data;
+pub use caraml_models;
+pub use caraml_parallel;
+pub use caraml_tensor;
+pub use jpwr;
+pub use jube;
