@@ -56,7 +56,9 @@ impl BindingPolicy {
             BindingPolicy::None => "--cpu-bind=none",
             BindingPolicy::Compact => "--cpu-bind=rank",
             BindingPolicy::Spread => "--distribution=cyclic",
-            BindingPolicy::GpuCentric => "--ntasks-per-node=<gpus> --gpus-per-task=1 --cpu-bind=verbose,map_cpu",
+            BindingPolicy::GpuCentric => {
+                "--ntasks-per-node=<gpus> --gpus-per-task=1 --cpu-bind=verbose,map_cpu"
+            }
             BindingPolicy::GpuCentricTightMask => "--cpu-bind=mask_cpu:<minimal>",
         }
     }
@@ -219,6 +221,8 @@ mod tests {
         for policy in BindingPolicy::all() {
             assert!(!policy.slurm_hint().is_empty());
         }
-        assert!(BindingPolicy::GpuCentric.slurm_hint().contains("--gpus-per-task=1"));
+        assert!(BindingPolicy::GpuCentric
+            .slurm_hint()
+            .contains("--gpus-per-task=1"));
     }
 }

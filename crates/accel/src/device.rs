@@ -20,7 +20,7 @@ use std::sync::Arc;
 /// One simulated accelerator.
 #[derive(Debug, Clone)]
 pub struct SimDevice {
-    spec: DeviceSpec,
+    spec: Arc<DeviceSpec>,
     index: u32,
     memory: Arc<Mutex<MemoryPool>>,
     register: PowerRegister,
@@ -31,10 +31,14 @@ impl SimDevice {
     /// Create device `index` of a node, optionally with a Table I TDP
     /// override.
     pub fn new(spec: DeviceSpec, index: u32, tdp_override_w: Option<f64>) -> Self {
-        let memory = MemoryPool::new(
-            format!("{} #{index}", spec.name),
-            spec.mem_bytes,
-        );
+        Self::from_shared(Arc::new(spec), index, tdp_override_w)
+    }
+
+    /// Like [`SimDevice::new`] but sharing an existing spec allocation —
+    /// the devices of one node (and every sweep point over the same
+    /// system) alias a single `DeviceSpec` instead of deep-cloning it.
+    pub fn from_shared(spec: Arc<DeviceSpec>, index: u32, tdp_override_w: Option<f64>) -> Self {
+        let memory = MemoryPool::new(format!("{} #{index}", spec.name), spec.mem_bytes);
         let power_model = PowerModel::for_device(&spec, tdp_override_w);
         SimDevice {
             spec,
@@ -47,6 +51,11 @@ impl SimDevice {
 
     pub fn spec(&self) -> &DeviceSpec {
         &self.spec
+    }
+
+    /// Cheaply clonable handle to this device's spec.
+    pub fn shared_spec(&self) -> Arc<DeviceSpec> {
+        Arc::clone(&self.spec)
     }
 
     pub fn index(&self) -> u32 {
@@ -110,7 +119,7 @@ impl SimDevice {
 /// one virtual clock.
 #[derive(Debug, Clone)]
 pub struct SimNode {
-    config: NodeConfig,
+    config: Arc<NodeConfig>,
     devices: Vec<SimDevice>,
     clock: VirtualClock,
 }
@@ -118,8 +127,17 @@ pub struct SimNode {
 impl SimNode {
     /// Instantiate a node for a system configuration.
     pub fn new(config: NodeConfig) -> Self {
+        Self::from_shared(Arc::new(config))
+    }
+
+    /// Like [`SimNode::new`] but sharing an existing config allocation:
+    /// the devices alias one `Arc<DeviceSpec>` instead of receiving
+    /// per-device deep clones, and sweep runners instantiate many nodes
+    /// from one cached config.
+    pub fn from_shared(config: Arc<NodeConfig>) -> Self {
+        let spec = Arc::new(config.device.clone());
         let devices = (0..config.devices_per_node)
-            .map(|i| SimDevice::new(config.device.clone(), i, config.tdp_override_w))
+            .map(|i| SimDevice::from_shared(Arc::clone(&spec), i, config.tdp_override_w))
             .collect();
         SimNode {
             config,
@@ -137,6 +155,11 @@ impl SimNode {
 
     pub fn config(&self) -> &NodeConfig {
         &self.config
+    }
+
+    /// Cheaply clonable handle to this node's configuration.
+    pub fn shared_config(&self) -> Arc<NodeConfig> {
+        Arc::clone(&self.config)
     }
 
     pub fn clock(&self) -> &VirtualClock {

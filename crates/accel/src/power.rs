@@ -79,10 +79,7 @@ impl PowerTrace {
             Some(last) if time_s < last.time_s => last.time_s,
             _ => time_s,
         };
-        self.samples.push(PowerSample {
-            time_s: t,
-            power_w,
-        });
+        self.samples.push(PowerSample { time_s: t, power_w });
     }
 
     pub fn is_empty(&self) -> bool {

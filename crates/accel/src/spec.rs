@@ -426,7 +426,9 @@ mod tests {
 
     #[test]
     fn hopper_is_faster_than_ampere() {
-        assert!(DeviceSpec::h100_sxm5().peak_fp16_tflops > DeviceSpec::a100_sxm4().peak_fp16_tflops);
+        assert!(
+            DeviceSpec::h100_sxm5().peak_fp16_tflops > DeviceSpec::a100_sxm4().peak_fp16_tflops
+        );
         assert!(DeviceSpec::gh200().mem_bw_gbps > DeviceSpec::h100_pcie().mem_bw_gbps);
     }
 

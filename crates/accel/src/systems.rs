@@ -69,9 +69,7 @@ impl SystemId {
     /// Parse a JUBE tag (case-insensitive) back into a system id.
     pub fn from_jube_tag(tag: &str) -> Option<SystemId> {
         let t = tag.to_ascii_uppercase();
-        SystemId::all()
-            .into_iter()
-            .find(|s| s.jube_tag() == t)
+        SystemId::all().into_iter().find(|s| s.jube_tag() == t)
     }
 }
 
@@ -281,6 +279,27 @@ impl NodeConfig {
         }
     }
 
+    /// Look up a system's configuration as a process-wide shared handle.
+    ///
+    /// Sweeps instantiate a node per grid point; sharing one immutable
+    /// `NodeConfig` allocation per system avoids rebuilding the Table I
+    /// data (specs, link descriptions, staging rates) at every point.
+    pub fn shared(id: SystemId) -> std::sync::Arc<NodeConfig> {
+        use std::sync::{Arc, OnceLock};
+        static CACHE: OnceLock<Vec<Arc<NodeConfig>>> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| {
+            SystemId::all()
+                .into_iter()
+                .map(|s| Arc::new(NodeConfig::for_system(s)))
+                .collect()
+        });
+        let pos = SystemId::all()
+            .into_iter()
+            .position(|s| s == id)
+            .expect("every SystemId appears in all()");
+        Arc::clone(&cache[pos])
+    }
+
     /// All node configurations, in Table I column order.
     pub fn all() -> Vec<NodeConfig> {
         SystemId::all().into_iter().map(Self::for_system).collect()
@@ -400,11 +419,17 @@ mod tests {
     #[test]
     fn internode_presence_matches_table1() {
         assert!(NodeConfig::for_system(SystemId::Jedi).internode.is_some());
-        assert!(NodeConfig::for_system(SystemId::WaiH100).internode.is_some());
+        assert!(NodeConfig::for_system(SystemId::WaiH100)
+            .internode
+            .is_some());
         assert!(NodeConfig::for_system(SystemId::Mi250).internode.is_some());
         assert!(NodeConfig::for_system(SystemId::A100).internode.is_some());
-        assert!(NodeConfig::for_system(SystemId::H100Jrdc).internode.is_none());
-        assert!(NodeConfig::for_system(SystemId::Gh200Jrdc).internode.is_none());
+        assert!(NodeConfig::for_system(SystemId::H100Jrdc)
+            .internode
+            .is_none());
+        assert!(NodeConfig::for_system(SystemId::Gh200Jrdc)
+            .internode
+            .is_none());
         assert!(NodeConfig::for_system(SystemId::Gc200).internode.is_none());
     }
 

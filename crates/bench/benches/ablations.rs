@@ -15,10 +15,16 @@ fn ablation_allreduce(c: &mut Criterion) {
     let link = Link::new(LinkKind::InfiniBandNdr, 100.0, 3.0e-6);
     let ring = CollectiveModel::new(link);
     let tree = ring.with_algo(AllReduceAlgo::Tree);
-    eprintln!("[ablation] all-reduce of 1.6 GB over 32 ranks: ring {:.3} s, tree {:.3} s",
-        ring.allreduce_s(1_600_000_000, 32), tree.allreduce_s(1_600_000_000, 32));
-    eprintln!("[ablation] all-reduce of 4 KiB over 32 ranks: ring {:.1} us, tree {:.1} us",
-        ring.allreduce_s(4096, 32) * 1e6, tree.allreduce_s(4096, 32) * 1e6);
+    eprintln!(
+        "[ablation] all-reduce of 1.6 GB over 32 ranks: ring {:.3} s, tree {:.3} s",
+        ring.allreduce_s(1_600_000_000, 32),
+        tree.allreduce_s(1_600_000_000, 32)
+    );
+    eprintln!(
+        "[ablation] all-reduce of 4 KiB over 32 ranks: ring {:.1} us, tree {:.1} us",
+        ring.allreduce_s(4096, 32) * 1e6,
+        tree.allreduce_s(4096, 32) * 1e6
+    );
     c.bench_function("allreduce_cost_model_eval", |b| {
         b.iter(|| ring.allreduce_s(1_600_000_000, 32) + tree.allreduce_s(4096, 32))
     });

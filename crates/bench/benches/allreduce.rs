@@ -14,8 +14,7 @@ fn bench_allreduce(c: &mut Criterion) {
                 &len,
                 |b, &len| {
                     b.iter(|| {
-                        let bufs: Vec<Vec<f32>> =
-                            (0..ranks).map(|r| vec![r as f32; len]).collect();
+                        let bufs: Vec<Vec<f32>> = (0..ranks).map(|r| vec![r as f32; len]).collect();
                         ring_allreduce(bufs)
                     })
                 },

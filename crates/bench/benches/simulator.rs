@@ -15,10 +15,20 @@ fn bench_simulator(c: &mut Criterion) {
         b.iter(|| bench.run(4096).unwrap().fom.tokens_per_s_per_device)
     });
     c.bench_function("table2_row_batch1024", |b| {
-        b.iter(|| LlmBenchmark::run_ipu(1024, 1.0).unwrap().fom.energy_wh_per_device)
+        b.iter(|| {
+            LlmBenchmark::run_ipu(1024, 1.0)
+                .unwrap()
+                .fom
+                .energy_wh_per_device
+        })
     });
     c.bench_function("table3_row_batch512", |b| {
-        b.iter(|| ResnetBenchmark::run_ipu(512, 1.0).unwrap().fom.images_per_wh)
+        b.iter(|| {
+            ResnetBenchmark::run_ipu(512, 1.0)
+                .unwrap()
+                .fom
+                .images_per_wh
+        })
     });
     c.bench_function("fig4_heatmap_a100", |b| {
         b.iter(|| ResnetBenchmark::heatmap(SystemId::A100, &[1, 2, 4, 8], &FIG4_BATCHES))

@@ -1,0 +1,43 @@
+//! Criterion benchmark of the [`caraml::SweepRunner`]: the full Fig. 2
+//! LLM batch sweep on one system, executed serially vs in parallel.
+//!
+//! Each sweep point is an independent simulator run (own node, clock and
+//! power meter), so the parallel runner scales with the host's cores
+//! while preserving the serial runner's exact output order and bits. On
+//! a single-core host the two are expected to tie; the comparison is
+//! meaningful on multi-core machines.
+
+use caraml::llm::{LlmBenchmark, FIG2_BATCHES};
+use caraml::SweepRunner;
+use caraml_accel::SystemId;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fig2_sweep(runner: SweepRunner) -> f64 {
+    let mut bench = LlmBenchmark::fig2(SystemId::Gh200Jrdc);
+    bench.duration_s = 600.0;
+    runner
+        .map(FIG2_BATCHES.to_vec(), |batch| {
+            bench
+                .run(batch)
+                .map(|run| run.fom.tokens_per_s_per_device)
+                .unwrap_or(0.0)
+        })
+        .into_iter()
+        .sum()
+}
+
+fn bench_sweep_runner(c: &mut Criterion) {
+    c.bench_function("fig2_sweep_serial", |b| {
+        b.iter(|| fig2_sweep(SweepRunner::serial()))
+    });
+    c.bench_function("fig2_sweep_parallel", |b| {
+        b.iter(|| fig2_sweep(SweepRunner::parallel()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sweep_runner
+}
+criterion_main!(benches);

@@ -9,7 +9,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 
 fn seeded(n: usize) -> Tensor {
     Tensor::from_vec(
-        (0..n).map(|i| ((i as u64 * 2654435761) % 97) as f32 / 97.0 - 0.5).collect(),
+        (0..n)
+            .map(|i| ((i as u64 * 2654435761) % 97) as f32 / 97.0 - 0.5)
+            .collect(),
         [n],
     )
 }
@@ -48,7 +50,7 @@ fn bench_conv(c: &mut Criterion) {
     g.bench_function("conv3x3_16to32_32x32", |bench| {
         bench.iter(|| conv2d(&x, &w, Conv2dCfg::new(1, 1)).unwrap());
     });
-    let w1 = seeded(((64 * 16))).reshape([64, 16, 1, 1]).unwrap();
+    let w1 = seeded(64 * 16).reshape([64, 16, 1, 1]).unwrap();
     g.bench_function("conv1x1_16to64_32x32", |bench| {
         bench.iter(|| conv2d(&x, &w1, Conv2dCfg::default()).unwrap());
     });

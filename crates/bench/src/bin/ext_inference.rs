@@ -5,17 +5,26 @@
 //! Not a figure in the paper — clearly marked as an extension.
 
 use caraml::inference::InferenceBenchmark;
+use caraml::SweepRunner;
 use caraml_accel::SystemId;
 use jube::ResultTable;
 
 fn main() {
     println!("EXTENSION — LLM inference (800M GPT, 512-token prompts, 128 generated)\n");
     let mut table = ResultTable::new(
-        ["system", "batch", "TTFT (ms)", "decode tok/s", "bound", "Wh/ktoken"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        [
+            "system",
+            "batch",
+            "TTFT (ms)",
+            "decode tok/s",
+            "bound",
+            "Wh/ktoken",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
     );
+    let mut points = Vec::new();
     for sys in [
         SystemId::A100,
         SystemId::H100Jrdc,
@@ -23,28 +32,38 @@ fn main() {
         SystemId::Gh200Jrdc,
         SystemId::Mi250,
     ] {
-        let bench = InferenceBenchmark::new(sys);
         for batch in [1u32, 4, 16, 64, 256] {
-            match bench.run(batch) {
-                Ok(fom) => table.push_row(vec![
-                    fom.system.clone(),
-                    batch.to_string(),
-                    format!("{:.1}", fom.ttft_s * 1e3),
-                    format!("{:.0}", fom.decode_tokens_per_s),
-                    if fom.decode_memory_bound { "memory" } else { "compute" }.into(),
-                    format!("{:.4}", fom.energy_wh_per_ktoken),
-                ]),
-                Err(e) if e.is_oom() => table.push_row(vec![
-                    caraml_accel::NodeConfig::for_system(sys).platform,
-                    batch.to_string(),
-                    "-".into(),
-                    "OOM".into(),
-                    "kv-cache".into(),
-                    "-".into(),
-                ]),
-                Err(e) => panic!("{e}"),
-            }
+            points.push((sys, batch));
         }
+    }
+    let rows = SweepRunner::parallel().map(points, |(sys, batch)| {
+        match InferenceBenchmark::new(sys).run(batch) {
+            Ok(fom) => vec![
+                fom.system.clone(),
+                batch.to_string(),
+                format!("{:.1}", fom.ttft_s * 1e3),
+                format!("{:.0}", fom.decode_tokens_per_s),
+                if fom.decode_memory_bound {
+                    "memory"
+                } else {
+                    "compute"
+                }
+                .into(),
+                format!("{:.4}", fom.energy_wh_per_ktoken),
+            ],
+            Err(e) if e.is_oom() => vec![
+                caraml_accel::NodeConfig::shared(sys).platform.clone(),
+                batch.to_string(),
+                "-".into(),
+                "OOM".into(),
+                "kv-cache".into(),
+                "-".into(),
+            ],
+            Err(e) => panic!("{e}"),
+        }
+    });
+    for row in rows {
+        table.push_row(row);
     }
     println!("{}", table.to_ascii());
     println!(

@@ -6,6 +6,7 @@
 //! and aggregate tokens/s. Not a figure in the paper — an extension.
 
 use caraml::llm_large::LargeModelBenchmark;
+use caraml::SweepRunner;
 use caraml_accel::SystemId;
 use caraml_models::GptConfig;
 use jube::ResultTable;
@@ -13,28 +14,39 @@ use jube::ResultTable;
 fn main() {
     println!("EXTENSION — 13B GPT scaling on JEDI (4x GH200 per node)\n");
     let mut table = ResultTable::new(
-        ["nodes", "devices", "layout", "bubble %", "tok/s/device", "aggregate tok/s", "tokens/Wh"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        [
+            "nodes",
+            "devices",
+            "layout",
+            "bubble %",
+            "tok/s/device",
+            "aggregate tok/s",
+            "tokens/Wh",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
     );
-    for nodes in [1u32, 2, 4, 8, 16] {
+    let rows = SweepRunner::parallel().map(vec![1u32, 2, 4, 8, 16], |nodes| {
         let mut bench = LargeModelBenchmark::new(SystemId::Jedi, GptConfig::gpt_13b(), nodes);
         bench.duration_s = 600.0;
         let devices = 4 * nodes;
         // Keep a constant, launchable global batch per layout.
         let batch = 512u64.max(u64::from(devices) * 4);
         match bench.run(batch) {
-            Ok(run) => table.push_row(vec![
+            Ok(run) => vec![
                 nodes.to_string(),
                 devices.to_string(),
                 run.layout.to_string(),
                 format!("{:.1}", run.bubble_fraction * 100.0),
                 format!("{:.0}", run.fom.tokens_per_s_per_device),
-                format!("{:.0}", run.fom.tokens_per_s_per_device * f64::from(devices)),
+                format!(
+                    "{:.0}",
+                    run.fom.tokens_per_s_per_device * f64::from(devices)
+                ),
                 format!("{:.0}", run.fom.tokens_per_wh),
-            ]),
-            Err(e) => table.push_row(vec![
+            ],
+            Err(e) => vec![
                 nodes.to_string(),
                 devices.to_string(),
                 format!("error: {e}"),
@@ -42,8 +54,11 @@ fn main() {
                 "-".into(),
                 "-".into(),
                 "-".into(),
-            ]),
+            ],
         }
+    });
+    for row in rows {
+        table.push_row(row);
     }
     println!("{}", table.to_ascii());
 

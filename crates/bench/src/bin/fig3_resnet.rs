@@ -7,43 +7,64 @@
 
 use caraml::report::render_panel;
 use caraml::resnet::FIG3_BATCHES;
+use caraml::SweepRunner;
 use caraml_bench::{fig3_variants, peak_efficiency, PanelSeries};
 
 fn main() {
+    let runner = SweepRunner::parallel();
     let mut all = Vec::new();
     for (label, bench) in fig3_variants() {
         eprintln!("running {label} ...");
-        let mut series = PanelSeries::new(&label);
-        for &batch in &FIG3_BATCHES {
-            let point = bench.run(batch).ok().map(|run| {
+        let points = runner.map(FIG3_BATCHES.to_vec(), |batch| {
+            bench.run(batch).ok().map(|run| {
                 (
                     run.fom.images_per_s,
                     run.fom.energy_wh_per_epoch,
                     run.fom.images_per_wh,
                 )
-            });
+            })
+        });
+        let mut series = PanelSeries::new(&label);
+        for (&batch, point) in FIG3_BATCHES.iter().zip(points) {
             series.push(batch, point);
         }
         all.push(series);
     }
     // The Graphcore IPU appears in the paper's Fig. 3 discussion through
     // Table III; include it for the efficiency comparison.
-    let mut ipu = PanelSeries::new("Graphcore GC200");
-    for &batch in &FIG3_BATCHES {
-        let point = caraml::resnet::ResnetBenchmark::run_ipu(batch, 1.0)
+    let ipu_points = runner.map(FIG3_BATCHES.to_vec(), |batch| {
+        caraml::resnet::ResnetBenchmark::run_ipu(batch, 1.0)
             .ok()
-            .map(|run| (run.fom.images_per_s, run.fom.energy_wh_per_epoch, run.fom.images_per_wh));
+            .map(|run| {
+                (
+                    run.fom.images_per_s,
+                    run.fom.energy_wh_per_epoch,
+                    run.fom.images_per_wh,
+                )
+            })
+    });
+    let mut ipu = PanelSeries::new("Graphcore GC200");
+    for (&batch, point) in FIG3_BATCHES.iter().zip(ipu_points) {
         ipu.push(batch, point);
     }
     all.push(ipu);
 
     println!("FIG. 3 — ResNet50 training on a single device (ImageNet, 1 epoch)\n");
     let throughput: Vec<_> = all.iter().map(|s| s.throughput.clone()).collect();
-    println!("{}", render_panel("Panel 1: Images/s", &FIG3_BATCHES, &throughput));
+    println!(
+        "{}",
+        render_panel("Panel 1: Images/s", &FIG3_BATCHES, &throughput)
+    );
     let energy: Vec<_> = all.iter().map(|s| s.energy.clone()).collect();
-    println!("{}", render_panel("Panel 2: Energy per epoch (Wh)", &FIG3_BATCHES, &energy));
+    println!(
+        "{}",
+        render_panel("Panel 2: Energy per epoch (Wh)", &FIG3_BATCHES, &energy)
+    );
     let efficiency: Vec<_> = all.iter().map(|s| s.efficiency.clone()).collect();
-    println!("{}", render_panel("Panel 3: Images/Wh", &FIG3_BATCHES, &efficiency));
+    println!(
+        "{}",
+        render_panel("Panel 3: Images/Wh", &FIG3_BATCHES, &efficiency)
+    );
 
     println!("Orderings (peak images/Wh):");
     for name in [

@@ -21,7 +21,7 @@ fn main() {
         ('g', SystemId::Gc200),
     ];
     for (letter, sys) in panels {
-        let node = NodeConfig::for_system(sys);
+        let node = NodeConfig::shared(sys);
         // Device counts: powers of two up to two nodes (or one node where
         // no interconnect exists).
         let max_dev = (node.devices_per_node * node.max_nodes.min(2)).max(1);
@@ -35,5 +35,7 @@ fn main() {
         let title = format!("Fig. 4{letter}: {} ({})", node.platform, sys.jube_tag());
         println!("{}", render_heatmap(&title, &devices, &FIG4_BATCHES, &grid));
     }
-    println!("OOM = global batch per device exceeds device memory; '-' = configuration not executable.");
+    println!(
+        "OOM = global batch per device exceeds device memory; '-' = configuration not executable."
+    );
 }

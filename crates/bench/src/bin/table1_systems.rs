@@ -5,16 +5,28 @@ use jube::ResultTable;
 
 fn main() {
     let mut table = ResultTable::new(
-        ["Platform", "Accelerator", "CPU", "Host mem (GiB)", "Acc-Acc link", "Internode", "TDP/device (W)", "JUBE tag"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        [
+            "Platform",
+            "Accelerator",
+            "CPU",
+            "Host mem (GiB)",
+            "Acc-Acc link",
+            "Internode",
+            "TDP/device (W)",
+            "JUBE tag",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
     );
     for node in NodeConfig::all() {
         table.push_row(vec![
             node.platform.clone(),
             format!("{}x {}", node.devices_per_node, node.device.name),
-            format!("{}x {}c {}", node.cpu.sockets, node.cpu.cores_per_socket, node.cpu.model),
+            format!(
+                "{}x {}c {}",
+                node.cpu.sockets, node.cpu.cores_per_socket, node.cpu.model
+            ),
             node.host_mem_gib.to_string(),
             node.accel_accel
                 .map(|l| format!("{:?} {} GB/s", l.kind, l.bandwidth_gbps))

@@ -5,6 +5,7 @@
 //! outlier (see EXPERIMENTS.md); all other rows match within ~3 %.
 
 use caraml::llm::{LlmBenchmark, TABLE2_BATCHES};
+use caraml::SweepRunner;
 use jube::ResultTable;
 
 const PAPER: [(u64, f64, f64, f64); 9] = [
@@ -21,13 +22,23 @@ const PAPER: [(u64, f64, f64, f64); 9] = [
 
 fn main() {
     let mut table = ResultTable::new(
-        ["Batch Size", "Tokens/Time 1/s", "(paper)", "Energy/Epoch/IPU Wh", "(paper)", "Tokens/Energy 1/Wh", "(paper)"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        [
+            "Batch Size",
+            "Tokens/Time 1/s",
+            "(paper)",
+            "Energy/Epoch/IPU Wh",
+            "(paper)",
+            "Tokens/Energy 1/Wh",
+            "(paper)",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
     );
-    for (&batch, paper) in TABLE2_BATCHES.iter().zip(PAPER.iter()) {
-        let run = LlmBenchmark::run_ipu(batch, 1.0).expect("ipu run");
+    let runs = SweepRunner::parallel().map(TABLE2_BATCHES.to_vec(), |batch| {
+        LlmBenchmark::run_ipu(batch, 1.0).expect("ipu run")
+    });
+    for ((&batch, paper), run) in TABLE2_BATCHES.iter().zip(PAPER.iter()).zip(runs) {
         table.push_row(vec![
             batch.to_string(),
             format!("{:.2}", run.fom.tokens_per_s_per_device),

@@ -5,6 +5,7 @@
 //! timings, as in the paper.
 
 use caraml::resnet::{ResnetBenchmark, TABLE3_BATCHES};
+use caraml::SweepRunner;
 use jube::ResultTable;
 
 const PAPER: [(u64, f64, f64, f64); 9] = [
@@ -21,13 +22,23 @@ const PAPER: [(u64, f64, f64, f64); 9] = [
 
 fn main() {
     let mut table = ResultTable::new(
-        ["Batch Size", "Images/Time 1/s", "(paper)", "Energy/Epoch Wh", "(paper)", "Images/Energy 1/Wh", "(paper)"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        [
+            "Batch Size",
+            "Images/Time 1/s",
+            "(paper)",
+            "Energy/Epoch Wh",
+            "(paper)",
+            "Images/Energy 1/Wh",
+            "(paper)",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
     );
-    for (&batch, paper) in TABLE3_BATCHES.iter().zip(PAPER.iter()) {
-        let run = ResnetBenchmark::run_ipu(batch, 0.5).expect("ipu run");
+    let runs = SweepRunner::parallel().map(TABLE3_BATCHES.to_vec(), |batch| {
+        ResnetBenchmark::run_ipu(batch, 0.5).expect("ipu run")
+    });
+    for ((&batch, paper), run) in TABLE3_BATCHES.iter().zip(PAPER.iter()).zip(runs) {
         table.push_row(vec![
             batch.to_string(),
             format!("{:.2}", run.fom.images_per_s),

@@ -18,6 +18,7 @@ use caraml::inference::InferenceBenchmark;
 use caraml::report::render_heatmap;
 use caraml::resnet::{ResnetBenchmark, FIG3_BATCHES, FIG4_BATCHES};
 use caraml::suite::{llm_benchmark_ipu, llm_benchmark_nvidia_amd, resnet50_benchmark};
+use caraml::SweepRunner;
 use caraml_accel::{NodeConfig, SystemId};
 use std::process::ExitCode;
 
@@ -82,7 +83,10 @@ fn run_suite(which: &str, tags: &[String]) -> ExitCode {
             table.sort_by_column(columns[1]);
             println!("{}", table.to_ascii());
             if result.failures() > 0 {
-                println!("{} workpackage(s) failed (see error column)", result.failures());
+                println!(
+                    "{} workpackage(s) failed (see error column)",
+                    result.failures()
+                );
             }
             ExitCode::SUCCESS
         }
@@ -98,7 +102,7 @@ fn run_heatmap(tag: &str) -> ExitCode {
         eprintln!("caraml: unknown system tag '{tag}'");
         return ExitCode::from(2);
     };
-    let node = NodeConfig::for_system(sys);
+    let node = NodeConfig::shared(sys);
     let max_dev = (node.devices_per_node * node.max_nodes.min(2)).max(1);
     let mut devices = Vec::new();
     let mut d = 1u32;
@@ -125,18 +129,25 @@ fn run_inference(tag: &str) -> ExitCode {
         return ExitCode::from(2);
     };
     let bench = InferenceBenchmark::new(sys);
-    println!("LLM inference on {} (800M GPT):", NodeConfig::for_system(sys).platform);
-    for batch in [1u32, 4, 16, 64] {
-        match bench.run(batch) {
-            Ok(fom) => println!(
+    println!(
+        "LLM inference on {} (800M GPT):",
+        NodeConfig::shared(sys).platform
+    );
+    let lines =
+        SweepRunner::parallel().map(vec![1u32, 4, 16, 64], |batch| match bench.run(batch) {
+            Ok(fom) => {
+                format!(
                 "  batch {batch:>3}: TTFT {:>7.1} ms | decode {:>8.0} tok/s ({}) | {:.4} Wh/ktoken",
                 fom.ttft_s * 1e3,
                 fom.decode_tokens_per_s,
                 if fom.decode_memory_bound { "memory-bound" } else { "compute-bound" },
                 fom.energy_wh_per_ktoken
-            ),
-            Err(e) => println!("  batch {batch:>3}: {e}"),
-        }
+            )
+            }
+            Err(e) => format!("  batch {batch:>3}: {e}"),
+        });
+    for line in lines {
+        println!("{line}");
     }
     ExitCode::SUCCESS
 }
@@ -152,8 +163,10 @@ fn measure_baseline(tag: &str) -> Result<Baseline, String> {
         }
     } else {
         let bench = ResnetBenchmark::fig3(sys);
-        for &batch in FIG3_BATCHES.iter().step_by(3) {
-            match bench.run(batch) {
+        let batches: Vec<u64> = FIG3_BATCHES.iter().step_by(3).copied().collect();
+        let runs = SweepRunner::parallel().map(batches.clone(), |batch| bench.run(batch));
+        for (batch, run) in batches.into_iter().zip(runs) {
+            match run {
                 Ok(run) => baseline.record_cv(&format!("resnet50/{tag}/b{batch}"), &run.fom),
                 Err(e) if e.is_oom() => {}
                 Err(e) => return Err(e.to_string()),

@@ -35,7 +35,10 @@ impl Baseline {
 
     /// Record all figures of merit of an LLM run under a prefix.
     pub fn record_llm(&mut self, prefix: &str, fom: &crate::fom::LlmFom) {
-        self.record(format!("{prefix}/tokens_per_s"), fom.tokens_per_s_per_device);
+        self.record(
+            format!("{prefix}/tokens_per_s"),
+            fom.tokens_per_s_per_device,
+        );
         self.record(format!("{prefix}/energy_wh"), fom.energy_wh_per_device);
         self.record(format!("{prefix}/tokens_per_wh"), fom.tokens_per_wh);
     }
@@ -88,7 +91,11 @@ impl Baseline {
                     rel_delta: 0.0,
                 }),
                 Some(&now) => {
-                    let rel = if base != 0.0 { (now - base) / base } else { 0.0 };
+                    let rel = if base != 0.0 {
+                        (now - base) / base
+                    } else {
+                        0.0
+                    };
                     let change = if rel < -tolerance {
                         Verdict::Regressed
                     } else if rel > tolerance {

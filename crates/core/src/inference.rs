@@ -10,11 +10,11 @@
 //! it crosses the ridge point — the classic inference throughput/latency
 //! trade-off.
 
+use crate::engine::{self, Executed, MeterSpec, PhasePlan, PhaseSpec, RunContext};
 use caraml_accel::spec::Workload;
-use caraml_accel::{AccelError, NodeConfig, SimNode, SystemId};
+use caraml_accel::{AccelError, PhaseKind, SystemId};
 use caraml_models::gpt::cost::GptCost;
 use caraml_models::GptConfig;
-use jpwr::measure::{sample_virtual, virtual_sources};
 use serde::{Deserialize, Serialize};
 
 /// Per-step launch overhead during inference, seconds. Decode loops are
@@ -72,24 +72,51 @@ impl InferenceBenchmark {
 
     /// Run with `batch` concurrent requests on one device.
     pub fn run(&self, batch: u32) -> Result<InferenceFom, AccelError> {
+        engine::execute(&InferenceWorkload { bench: self, batch }).into_result()
+    }
+}
+
+/// One batch point of [`InferenceBenchmark`] as an engine workload.
+pub struct InferenceWorkload<'a> {
+    pub bench: &'a InferenceBenchmark,
+    pub batch: u32,
+}
+
+/// Cost-model state carried from planning to FOM extraction.
+pub struct InferencePlanState {
+    ttft: f64,
+    decode_tokens_per_s: f64,
+    prefill_tokens: u64,
+    decode_memory_bound: bool,
+    generated: f64,
+}
+
+impl engine::Workload for InferenceWorkload<'_> {
+    type Plan = InferencePlanState;
+    type Output = InferenceFom;
+
+    fn system(&self) -> SystemId {
+        self.bench.system
+    }
+
+    fn plan(&self, ctx: &RunContext) -> Result<(InferencePlanState, PhasePlan), AccelError> {
+        let bench = self.bench;
+        let batch = self.batch;
         if batch == 0 {
             return Err(AccelError::InvalidConfig("batch must be positive".into()));
         }
-        if self.system == SystemId::Gc200 {
+        if bench.system == SystemId::Gc200 {
             return Err(AccelError::InvalidConfig(
                 "inference path models the GPU systems".into(),
             ));
         }
-        let node_cfg = NodeConfig::for_system(self.system);
-        let node = SimNode::new(node_cfg.clone());
-        let dev = node.device(0);
-        let spec = dev.spec().clone();
-        let cost = GptCost::new(self.model.clone());
+        let spec = ctx.device(0).spec();
+        let cost = GptCost::new(bench.model.clone());
 
         // Weights (fp16) + KV cache must fit.
         let weight_bytes = cost.total_params() * 2;
-        let kv_total = (self.kv_bytes_per_token()
-            * (self.prompt_tokens + self.generated_tokens) as f64
+        let kv_total = (bench.kv_bytes_per_token()
+            * (bench.prompt_tokens + bench.generated_tokens) as f64
             * f64::from(batch)) as u64;
         if weight_bytes + kv_total > spec.mem_bytes {
             return Err(AccelError::OutOfMemory {
@@ -112,7 +139,7 @@ impl InferenceBenchmark {
 
         // --- prefill: all prompt tokens of all requests, compute-bound
         // like a training forward pass. ---
-        let prefill_tokens = self.prompt_tokens * u64::from(batch);
+        let prefill_tokens = bench.prompt_tokens * u64::from(batch);
         let prefill_profile = caraml_accel::KernelProfile::new(
             fwd_flops * prefill_tokens as f64,
             weight_bytes as f64 * 2.0,
@@ -124,9 +151,9 @@ impl InferenceBenchmark {
 
         // --- decode: one token per request per step; every step re-reads
         // all weights plus each request's KV cache. ---
-        let steps = self.generated_tokens;
-        let kv_read_per_step = self.kv_bytes_per_token()
-            * (self.prompt_tokens + self.generated_tokens / 2) as f64
+        let steps = bench.generated_tokens;
+        let kv_read_per_step = bench.kv_bytes_per_token()
+            * (bench.prompt_tokens + bench.generated_tokens / 2) as f64
             * f64::from(batch);
         let decode_step_profile = caraml_accel::KernelProfile::new(
             fwd_flops * f64::from(batch),
@@ -136,7 +163,7 @@ impl InferenceBenchmark {
         let t_decode = step_est.time_s * steps as f64;
         let decode_tokens_per_s = (steps * u64::from(batch)) as f64 / t_decode;
 
-        // --- drive the power phases and measure energy with jpwr ---
+        // --- the power phases jpwr will measure ---
         let u_prefill = (prefill_est.mfu / spec.llm.mfu_max).clamp(0.0, 1.0);
         // Memory-bound decode keeps compute units underutilised.
         let u_decode = if step_est.compute_bound {
@@ -144,27 +171,63 @@ impl InferenceBenchmark {
         } else {
             (step_est.compute_s / step_est.time_s).clamp(0.05, 1.0) * 0.7 + 0.2
         };
-        node.run_phase(1, ttft, u_prefill, spec.llm.sustained_w)?;
-        node.run_phase(1, t_decode, u_decode, spec.llm.sustained_w)?;
-        node.idle_phase(0.0)?;
-
         let total = ttft + t_decode;
-        let sources = virtual_sources(&node.devices()[..1], "dev", "pynvml");
-        let m = sample_virtual(&sources, (total / 500.0).max(1e-4), 0.0, total);
-        let energy_wh = m.df.energy_wh(0);
-        let generated = (steps * u64::from(batch)) as f64;
 
-        Ok(InferenceFom {
-            system: node_cfg.platform.clone(),
-            batch,
-            prompt_tokens: self.prompt_tokens,
-            generated_tokens: self.generated_tokens,
-            ttft_s: ttft,
-            decode_tokens_per_s,
-            prefill_tokens_per_s: prefill_tokens as f64 / ttft,
-            decode_memory_bound: !step_est.compute_bound,
-            energy_wh_per_ktoken: energy_wh * 1000.0 / generated,
-        })
+        let phase_plan = PhasePlan {
+            allocations: vec![],
+            phases: vec![
+                PhaseSpec {
+                    kind: PhaseKind::Compute,
+                    label: "prefill",
+                    active: 1,
+                    duration_s: ttft,
+                    utilization: u_prefill,
+                    sustained_w: spec.llm.sustained_w,
+                },
+                PhaseSpec {
+                    kind: PhaseKind::Compute,
+                    label: "autoregressive decode",
+                    active: 1,
+                    duration_s: t_decode,
+                    utilization: u_decode,
+                    sustained_w: spec.llm.sustained_w,
+                },
+            ],
+            meter: MeterSpec {
+                devices: 1,
+                prefix: "dev",
+                method: "pynvml",
+                interval_s: (total / 500.0).max(1e-4),
+                window: (0.0, total),
+            },
+            timeline_devices: 0,
+        };
+        Ok((
+            InferencePlanState {
+                ttft,
+                decode_tokens_per_s,
+                prefill_tokens,
+                decode_memory_bound: !step_est.compute_bound,
+                generated: (steps * u64::from(batch)) as f64,
+            },
+            phase_plan,
+        ))
+    }
+
+    fn finish(&self, plan: InferencePlanState, exec: Executed, ctx: &RunContext) -> InferenceFom {
+        let bench = self.bench;
+        let energy_wh = exec.measurement.df.energy_wh(0);
+        InferenceFom {
+            system: ctx.config().platform.clone(),
+            batch: self.batch,
+            prompt_tokens: bench.prompt_tokens,
+            generated_tokens: bench.generated_tokens,
+            ttft_s: plan.ttft,
+            decode_tokens_per_s: plan.decode_tokens_per_s,
+            prefill_tokens_per_s: plan.prefill_tokens as f64 / plan.ttft,
+            decode_memory_bound: plan.decode_memory_bound,
+            energy_wh_per_ktoken: energy_wh * 1000.0 / plan.generated,
+        }
     }
 }
 

@@ -22,12 +22,15 @@
 //! * [`report`] — figure/table renderers (series plots as aligned text,
 //!   heatmaps with OOM cells).
 //!
-//! Execution happens on the `caraml-accel` simulator: every benchmark
-//! drives a [`caraml_accel::SimNode`] through timed phases on a virtual
-//! clock and measures energy by replaying jpwr's sampling loop over the
-//! recorded power registers.
+//! Execution happens on the `caraml-accel` simulator through the
+//! [`engine`]: every benchmark implements [`engine::Workload`] (a cost
+//! model producing timed phases plus FOM extraction), the engine's
+//! [`engine::RunContext`] owns the [`caraml_accel::SimNode`] and the
+//! jpwr meter, and the [`sweep::SweepRunner`] executes parameter grids
+//! in parallel with deterministic, input-ordered collection.
 
 pub mod continuous;
+pub mod engine;
 pub mod fom;
 pub mod inference;
 pub mod llm;
@@ -35,10 +38,13 @@ pub mod llm_large;
 pub mod report;
 pub mod resnet;
 pub mod suite;
+pub mod sweep;
 
 pub use continuous::{Baseline, RegressionReport};
+pub use engine::{Executed, MeterSpec, PhasePlan, PhaseSpec, RunContext, RunOutcome, Workload};
 pub use fom::{CvFom, LlmFom};
 pub use inference::{InferenceBenchmark, InferenceFom};
 pub use llm::{LlmBenchmark, LlmRun};
 pub use llm_large::{LargeModelBenchmark, LargeModelRun};
 pub use resnet::{ResnetBenchmark, ResnetRun};
+pub use sweep::{SweepPoint, SweepRunner};

@@ -11,15 +11,15 @@
 //! virtual timeline. The IPU path follows the calibrated
 //! [`caraml_accel::ipu::IpuGptModel`] protocol that reproduces Table II.
 
+use crate::engine::{self, Executed, MeterSpec, PhasePlan, PhaseSpec, RunContext};
 use crate::fom::LlmFom;
 use caraml_accel::affinity::{BindingPolicy, NumaTopology};
 use caraml_accel::ipu::{IpuGptModel, POD4_IPUS};
 use caraml_accel::spec::Workload;
-use caraml_accel::{AccelError, NodeConfig, PhaseKind, SimNode, SystemId, Timeline};
+use caraml_accel::{AccelError, NodeConfig, PhaseKind, SystemId, Timeline};
 use caraml_models::gpt::cost::GptCost;
 use caraml_models::GptConfig;
 use caraml_parallel::comm::CollectiveModel;
-use jpwr::measure::{sample_virtual, virtual_sources};
 
 /// Relative device utilization assumed while a device waits on host data
 /// staging.
@@ -66,7 +66,7 @@ impl LlmBenchmark {
     /// The paper's Fig. 2 setup on a given system: 800M GPT, full node,
     /// micro-batch 4, one hour.
     pub fn fig2(system: SystemId) -> Self {
-        let node = NodeConfig::for_system(system);
+        let node = NodeConfig::shared(system);
         LlmBenchmark {
             system,
             model: GptConfig::gpt_800m(),
@@ -87,7 +87,7 @@ impl LlmBenchmark {
 
     /// Label combining platform and device-count variant.
     pub fn label(&self) -> String {
-        let node = NodeConfig::for_system(self.system);
+        let node = NodeConfig::shared(self.system);
         if self.system == SystemId::Mi250 {
             if self.devices <= 4 {
                 "AMD MI250:GCD".to_string()
@@ -101,30 +101,77 @@ impl LlmBenchmark {
 
     /// Run one measurement point at a global batch size (in samples).
     pub fn run(&self, global_batch: u64) -> Result<LlmRun, AccelError> {
-        if self.system == SystemId::Gc200 {
+        engine::execute(&LlmWorkload {
+            bench: self,
+            global_batch,
+        })
+        .into_result()
+    }
+
+    /// Run the IPU path: a 117M GPT pipelined over the 4 IPUs of the
+    /// POD4, `global_batch` given **in tokens**, trained for one epoch
+    /// (Table II protocol).
+    pub fn run_ipu(global_batch_tokens: u64, sample_interval_s: f64) -> Result<LlmRun, AccelError> {
+        engine::execute(&IpuGptWorkload {
+            global_batch_tokens,
+            sample_interval_s,
+        })
+        .into_result()
+    }
+}
+
+/// One Fig. 2 grid point of [`LlmBenchmark`] as an engine workload.
+pub struct LlmWorkload<'a> {
+    pub bench: &'a LlmBenchmark,
+    pub global_batch: u64,
+}
+
+/// Cost-model state carried from planning to FOM extraction.
+pub struct LlmPlanState {
+    devices: u32,
+    active: usize,
+    tokens_per_iter: u64,
+    t_compute: f64,
+    t_stall: f64,
+    t_comm: f64,
+    t_iter: f64,
+    total_s: f64,
+}
+
+impl engine::Workload for LlmWorkload<'_> {
+    type Plan = LlmPlanState;
+    type Output = LlmRun;
+
+    fn system(&self) -> SystemId {
+        self.bench.system
+    }
+
+    fn plan(&self, ctx: &RunContext) -> Result<(LlmPlanState, PhasePlan), AccelError> {
+        let bench = self.bench;
+        let global_batch = self.global_batch;
+        if bench.system == SystemId::Gc200 {
             return Err(AccelError::InvalidConfig(
                 "use run_ipu for the Graphcore system (batch in tokens)".into(),
             ));
         }
-        let node_cfg = NodeConfig::for_system(self.system);
-        let devices = self.devices.min(node_cfg.devices_per_node);
+        let node_cfg = ctx.config();
+        let devices = bench.devices.min(node_cfg.devices_per_node);
         let dp = devices;
         // "global batch size of 16 is not possible since it is not
         // divisible by micro-batch-size times data parallel" (§IV-A).
-        if !global_batch.is_multiple_of(u64::from(dp) * u64::from(self.micro_batch)) {
+        if !global_batch.is_multiple_of(u64::from(dp) * u64::from(bench.micro_batch)) {
             return Err(AccelError::InvalidConfig(format!(
                 "global batch {global_batch} not divisible by dp {dp} × micro {}",
-                self.micro_batch
+                bench.micro_batch
             )));
         }
 
-        let cost = GptCost::new(self.model.clone());
-        let node = SimNode::new(node_cfg.clone());
+        let cost = GptCost::new(bench.model.clone());
 
         // Memory check (the 800M model fits everywhere in the paper; the
         // 13B/175B configs would fail here without model parallelism).
-        let mem_needed = cost.memory_bytes_per_device(self.micro_batch, 1, 1, dp, true);
-        let dev0 = node.device(0);
+        let mem_needed = cost.memory_bytes_per_device(bench.micro_batch, 1, 1, dp, true);
+        let dev0 = ctx.device(0);
         if !dev0.would_fit(mem_needed) {
             return Err(AccelError::OutOfMemory {
                 device: dev0.spec().name.clone(),
@@ -133,31 +180,29 @@ impl LlmBenchmark {
                 capacity: dev0.spec().mem_bytes,
             });
         }
-        let _alloc = dev0.alloc("training state", mem_needed)?;
 
         // --- per-iteration timing ---
-        let seq = self.model.seq_len as u64;
+        let seq = bench.model.seq_len as u64;
         let tokens_per_iter = global_batch * seq;
         let tokens_per_device = tokens_per_iter / u64::from(dp);
         let per_device_batch = global_batch as f64 / f64::from(dp);
-        let micro_steps = global_batch / u64::from(dp) / u64::from(self.micro_batch);
+        let micro_steps = global_batch / u64::from(dp) / u64::from(bench.micro_batch);
 
         let roofline = dev0.roofline(Workload::Llm);
         let calib = dev0.spec().llm;
         let profile = cost.iteration_profile(tokens_per_device);
         let est = roofline.estimate(&profile, per_device_batch);
         // Mis-bound tasks slow the host-side launch path (§V-C).
-        let affinity = NumaTopology::for_system(self.system).efficiency(self.binding);
-        let mut t_compute = est.compute_s.max(est.memory_s)
-            + micro_steps as f64 * calib.overhead_s / affinity;
-        if self.system == SystemId::Mi250 && devices > 4 {
+        let affinity = NumaTopology::for_system(bench.system).efficiency(bench.binding);
+        let mut t_compute =
+            est.compute_s.max(est.memory_s) + micro_steps as f64 * calib.overhead_s / affinity;
+        if bench.system == SystemId::Mi250 && devices > 4 {
             t_compute /= MI250_DUAL_GCD_PENALTY;
         }
 
         // Host staging overlaps with compute; it binds when slower. The
         // CPU binding policy scales the effective staging rate (§V-C).
-        let t_staging =
-            tokens_per_device as f64 / (node_cfg.staging_tokens_per_s * affinity);
+        let t_staging = tokens_per_device as f64 / (node_cfg.staging_tokens_per_s * affinity);
         let t_busy = t_compute.max(t_staging);
         let t_stall = t_busy - t_compute;
 
@@ -172,124 +217,207 @@ impl LlmBenchmark {
         };
         let t_iter = t_busy + t_comm;
 
-        // --- drive the node through the measurement window ---
-        let iters = (self.duration_s / t_iter).ceil().max(1.0);
+        // Phases are aggregated per kind (one long compute phase, one
+        // stall phase, one comm phase), so the meter samples the full run
+        // and `finish` scales the energy to the requested window: the
+        // time-mix is identical.
+        let iters = (bench.duration_s / t_iter).ceil().max(1.0);
         let sustained = calib.sustained_w;
         let u_compute = (est.mfu / calib.mfu_max).clamp(0.0, 1.0);
         let active = devices as usize;
-        node.run_phase(active, iters * t_compute, u_compute, sustained)?;
-        if t_stall > 0.0 {
-            node.run_phase(active, iters * t_stall, STALL_UTILIZATION, sustained)?;
-        }
-        if t_comm > 0.0 {
-            node.run_phase(active, iters * t_comm, COMM_UTILIZATION, sustained)?;
-        }
-        node.idle_phase(0.0)?;
-
-        // --- jpwr measurement ---
-        // Phases are aggregated per kind (one long compute phase, one
-        // stall phase, one comm phase), so sample the full run and scale
-        // the energy to the requested window: the time-mix is identical.
         let total_s = iters * t_iter;
-        let sources = virtual_sources(&node.devices()[..active], "dev", "pynvml");
-        let m = sample_virtual(&sources, self.sample_interval_s, 0.0, total_s);
-        let energy_wh_per_device = m.df.energy_all_wh().iter().sum::<f64>() / active as f64
-            * (self.duration_s / total_s);
-        let mean_power_w = energy_wh_per_device * 3600.0 / self.duration_s;
 
-        let tokens_per_s_per_device = tokens_per_iter as f64 / t_iter / f64::from(devices);
-        let tokens_per_wh = tokens_per_s_per_device * self.duration_s / energy_wh_per_device;
-
-        // Execution timeline (aggregated phases), exportable as a Chrome
-        // trace via `run.timeline.to_chrome_trace()`.
-        let mut timeline = Timeline::new();
-        for d in 0..devices {
-            let mut t0 = 0.0;
-            timeline.record(d, PhaseKind::Compute, "training compute", t0, iters * t_compute);
-            t0 += iters * t_compute;
-            timeline.record(d, PhaseKind::Staging, "host data staging stall", t0, iters * t_stall);
-            t0 += iters * t_stall;
-            timeline.record(d, PhaseKind::Communication, "gradient all-reduce", t0, iters * t_comm);
-        }
-
-        Ok(LlmRun {
-            fom: LlmFom {
-                system: self.label(),
-                global_batch,
+        let phase_plan = PhasePlan {
+            allocations: vec![("training state", mem_needed)],
+            phases: vec![
+                PhaseSpec {
+                    kind: PhaseKind::Compute,
+                    label: "training compute",
+                    active,
+                    duration_s: iters * t_compute,
+                    utilization: u_compute,
+                    sustained_w: sustained,
+                },
+                PhaseSpec {
+                    kind: PhaseKind::Staging,
+                    label: "host data staging stall",
+                    active,
+                    duration_s: iters * t_stall,
+                    utilization: STALL_UTILIZATION,
+                    sustained_w: sustained,
+                },
+                PhaseSpec {
+                    kind: PhaseKind::Communication,
+                    label: "gradient all-reduce",
+                    active,
+                    duration_s: iters * t_comm,
+                    utilization: COMM_UTILIZATION,
+                    sustained_w: sustained,
+                },
+            ],
+            meter: MeterSpec {
+                devices: active,
+                prefix: "dev",
+                method: "pynvml",
+                interval_s: bench.sample_interval_s,
+                window: (0.0, total_s),
+            },
+            timeline_devices: devices,
+        };
+        Ok((
+            LlmPlanState {
                 devices,
+                active,
+                tokens_per_iter,
+                t_compute,
+                t_stall,
+                t_comm,
+                t_iter,
+                total_s,
+            },
+            phase_plan,
+        ))
+    }
+
+    fn finish(&self, plan: LlmPlanState, exec: Executed, _ctx: &RunContext) -> LlmRun {
+        let bench = self.bench;
+        let m = exec.measurement;
+        let energy_wh_per_device = m.df.energy_all_wh().iter().sum::<f64>() / plan.active as f64
+            * (bench.duration_s / plan.total_s);
+        let mean_power_w = energy_wh_per_device * 3600.0 / bench.duration_s;
+
+        let tokens_per_s_per_device =
+            plan.tokens_per_iter as f64 / plan.t_iter / f64::from(plan.devices);
+        let tokens_per_wh = tokens_per_s_per_device * bench.duration_s / energy_wh_per_device;
+
+        LlmRun {
+            fom: LlmFom {
+                system: bench.label(),
+                global_batch: self.global_batch,
+                devices: plan.devices,
                 tokens_per_s_per_device,
                 energy_wh_per_device,
                 tokens_per_wh,
                 mean_power_w,
             },
-            t_iter_s: t_iter,
-            t_compute_s: t_compute,
-            t_stall_s: t_stall,
-            t_comm_s: t_comm,
+            t_iter_s: plan.t_iter,
+            t_compute_s: plan.t_compute,
+            t_stall_s: plan.t_stall,
+            t_comm_s: plan.t_comm,
             measurement: m,
-            timeline,
-        })
+            timeline: exec.timeline,
+        }
+    }
+}
+
+/// The Table II IPU protocol as an engine workload.
+pub struct IpuGptWorkload {
+    pub global_batch_tokens: u64,
+    pub sample_interval_s: f64,
+}
+
+/// Plan state of the IPU path.
+pub struct IpuGptPlanState {
+    active: usize,
+    tokens_per_s: f64,
+    stream_s: f64,
+    iter_s: f64,
+    total_s: f64,
+}
+
+impl engine::Workload for IpuGptWorkload {
+    type Plan = IpuGptPlanState;
+    type Output = LlmRun;
+
+    fn system(&self) -> SystemId {
+        SystemId::Gc200
     }
 
-    /// Run the IPU path: a 117M GPT pipelined over the 4 IPUs of the
-    /// POD4, `global_batch` given **in tokens**, trained for one epoch
-    /// (Table II protocol).
-    pub fn run_ipu(global_batch_tokens: u64, sample_interval_s: f64) -> Result<LlmRun, AccelError> {
-        let node_cfg = NodeConfig::for_system(SystemId::Gc200);
-        let node = SimNode::new(node_cfg);
+    fn plan(&self, ctx: &RunContext) -> Result<(IpuGptPlanState, PhasePlan), AccelError> {
         let model = IpuGptModel::default();
         let active = POD4_IPUS as usize;
+        let spec = ctx.device(0).spec();
 
         // Phase 1: setup (graph load, host I/O) at the setup power level.
-        let spec = node.device(0).spec().clone();
-        let setup_u = power_to_utilization(model.setup_w, &spec);
-        node.run_phase(active, model.setup_s, setup_u, spec.llm.sustained_w.max(model.setup_w))?;
         // Phase 2: host→IPU streaming from chip-external DRAM.
-        let stream_s = model.stream_s(global_batch_tokens);
-        let stream_u = power_to_utilization(model.stream_w, &spec);
-        node.run_phase(active, stream_s, stream_u, spec.llm.sustained_w.max(model.stream_w))?;
         // Phase 3: the pipelined training iteration.
-        let iter_s = model.iter_compute_s(global_batch_tokens);
-        let exec_u = power_to_utilization(model.exec_w, &spec);
-        node.run_phase(active, iter_s, exec_u, spec.llm.sustained_w.max(model.exec_w))?;
-        node.idle_phase(0.0)?;
-
+        let setup_u = power_to_utilization(model.setup_w, spec);
+        let stream_s = model.stream_s(self.global_batch_tokens);
+        let stream_u = power_to_utilization(model.stream_w, spec);
+        let iter_s = model.iter_compute_s(self.global_batch_tokens);
+        let exec_u = power_to_utilization(model.exec_w, spec);
         let total_s = model.setup_s + stream_s + iter_s;
-        let sources = virtual_sources(node.devices(), "ipu", "gcipuinfo");
-        let m = sample_virtual(&sources, sample_interval_s, 0.0, total_s);
-        let energy_wh_per_device = m.df.energy_all_wh().iter().sum::<f64>() / active as f64;
 
-        let tokens_per_s = model.tokens_per_s(global_batch_tokens);
-        let mut timeline = Timeline::new();
-        for d in 0..POD4_IPUS {
-            timeline.record(d, PhaseKind::Setup, "graph load + host I/O", 0.0, model.setup_s);
-            timeline.record(d, PhaseKind::Staging, "DRAM streaming", model.setup_s, stream_s);
-            timeline.record(
-                d,
-                PhaseKind::Compute,
-                "pipelined iteration",
-                model.setup_s + stream_s,
+        let phase_plan = PhasePlan {
+            allocations: vec![],
+            phases: vec![
+                PhaseSpec {
+                    kind: PhaseKind::Setup,
+                    label: "graph load + host I/O",
+                    active,
+                    duration_s: model.setup_s,
+                    utilization: setup_u,
+                    sustained_w: spec.llm.sustained_w.max(model.setup_w),
+                },
+                PhaseSpec {
+                    kind: PhaseKind::Staging,
+                    label: "DRAM streaming",
+                    active,
+                    duration_s: stream_s,
+                    utilization: stream_u,
+                    sustained_w: spec.llm.sustained_w.max(model.stream_w),
+                },
+                PhaseSpec {
+                    kind: PhaseKind::Compute,
+                    label: "pipelined iteration",
+                    active,
+                    duration_s: iter_s,
+                    utilization: exec_u,
+                    sustained_w: spec.llm.sustained_w.max(model.exec_w),
+                },
+            ],
+            meter: MeterSpec {
+                devices: active,
+                prefix: "ipu",
+                method: "gcipuinfo",
+                interval_s: self.sample_interval_s,
+                window: (0.0, total_s),
+            },
+            timeline_devices: POD4_IPUS,
+        };
+        Ok((
+            IpuGptPlanState {
+                active,
+                tokens_per_s: model.tokens_per_s(self.global_batch_tokens),
+                stream_s,
                 iter_s,
-            );
-        }
-        Ok(LlmRun {
+                total_s,
+            },
+            phase_plan,
+        ))
+    }
+
+    fn finish(&self, plan: IpuGptPlanState, exec: Executed, _ctx: &RunContext) -> LlmRun {
+        let m = exec.measurement;
+        let energy_wh_per_device = m.df.energy_all_wh().iter().sum::<f64>() / plan.active as f64;
+        LlmRun {
             fom: LlmFom {
                 system: "Graphcore GC200 (POD4)".into(),
-                global_batch: global_batch_tokens,
+                global_batch: self.global_batch_tokens,
                 devices: POD4_IPUS,
-                tokens_per_s_per_device: tokens_per_s,
+                tokens_per_s_per_device: plan.tokens_per_s,
                 energy_wh_per_device,
                 // Table II: Tokens/Energy = batch tokens / Wh per IPU.
-                tokens_per_wh: global_batch_tokens as f64 / energy_wh_per_device,
-                mean_power_w: energy_wh_per_device * 3600.0 / total_s,
+                tokens_per_wh: self.global_batch_tokens as f64 / energy_wh_per_device,
+                mean_power_w: energy_wh_per_device * 3600.0 / plan.total_s,
             },
-            t_iter_s: iter_s,
-            t_compute_s: iter_s,
-            t_stall_s: stream_s,
+            t_iter_s: plan.iter_s,
+            t_compute_s: plan.iter_s,
+            t_stall_s: plan.stream_s,
             t_comm_s: 0.0,
             measurement: m,
-            timeline,
-        })
+            timeline: exec.timeline,
+        }
     }
 }
 
@@ -413,7 +541,10 @@ mod tests {
         }
         let gh = quick(SystemId::Gh200Jrdc).run(4096).unwrap().fom;
         let adv = pcie.tokens_per_wh / gh.tokens_per_wh;
-        assert!(adv > 1.1 && adv < 1.4, "PCIe advantage {adv:.2} (paper: up to 1.25)");
+        assert!(
+            adv > 1.1 && adv < 1.4,
+            "PCIe advantage {adv:.2} (paper: up to 1.25)"
+        );
         // ...despite roughly half the throughput.
         assert!(gh.tokens_per_s_per_device > 1.8 * pcie.tokens_per_s_per_device);
     }

@@ -15,14 +15,14 @@
 //! all-reduces over the intra-node fabric, and the data-parallel gradient
 //! all-reduce over the inter-node InfiniBand.
 
+use crate::engine::{self, Executed, MeterSpec, PhasePlan, PhaseSpec, RunContext};
 use crate::fom::LlmFom;
 use caraml_accel::spec::Workload;
-use caraml_accel::{AccelError, NodeConfig, SimNode, SystemId};
+use caraml_accel::{AccelError, NodeConfig, PhaseKind, SystemId};
 use caraml_models::gpt::cost::GptCost;
 use caraml_models::GptConfig;
 use caraml_parallel::comm::CollectiveModel;
 use caraml_parallel::{ParallelLayout, PipelineSchedule};
-use jpwr::measure::{sample_virtual, virtual_sources};
 
 /// A large-model benchmark over one or more nodes.
 #[derive(Debug, Clone)]
@@ -64,7 +64,7 @@ impl LargeModelBenchmark {
     /// Plan the 3D layout for this allocation, following the paper's
     /// policy (DP first; then TP within the node; then PP).
     pub fn plan_layout(&self) -> Option<ParallelLayout> {
-        let node = NodeConfig::for_system(self.system);
+        let node = NodeConfig::shared(self.system);
         let devices = node.devices_per_node * self.nodes;
         let cost = GptCost::new(self.model.clone());
         let micro = self.micro_batch;
@@ -79,20 +79,58 @@ impl LargeModelBenchmark {
 
     /// Run one measurement point at a global batch size (samples).
     pub fn run(&self, global_batch: u64) -> Result<LargeModelRun, AccelError> {
-        let node_cfg = NodeConfig::for_system(self.system);
-        if self.nodes == 0 || self.nodes > node_cfg.max_nodes {
+        engine::execute(&LargeModelWorkload {
+            bench: self,
+            global_batch,
+        })
+        .into_result()
+    }
+}
+
+/// One multi-node scaling point of [`LargeModelBenchmark`] as an engine
+/// workload.
+pub struct LargeModelWorkload<'a> {
+    pub bench: &'a LargeModelBenchmark,
+    pub global_batch: u64,
+}
+
+/// Cost-model state carried from planning to FOM extraction.
+pub struct LargeModelPlanState {
+    layout: ParallelLayout,
+    devices: u32,
+    active: usize,
+    tokens_per_iter: u64,
+    t_iter: f64,
+    t_compute: f64,
+    t_tp_comm: f64,
+    t_dp_comm: f64,
+    bubble: f64,
+    total_s: f64,
+}
+
+impl engine::Workload for LargeModelWorkload<'_> {
+    type Plan = LargeModelPlanState;
+    type Output = LargeModelRun;
+
+    fn system(&self) -> SystemId {
+        self.bench.system
+    }
+
+    fn plan(&self, ctx: &RunContext) -> Result<(LargeModelPlanState, PhasePlan), AccelError> {
+        let bench = self.bench;
+        let global_batch = self.global_batch;
+        let node_cfg = ctx.config();
+        if bench.nodes == 0 || bench.nodes > node_cfg.max_nodes {
             return Err(AccelError::InvalidConfig(format!(
                 "{} nodes outside 1..={} for {}",
-                self.nodes,
-                node_cfg.max_nodes,
-                node_cfg.platform
+                bench.nodes, node_cfg.max_nodes, node_cfg.platform
             )));
         }
-        let devices = node_cfg.devices_per_node * self.nodes;
-        let layout = self.plan_layout().ok_or_else(|| AccelError::OutOfMemory {
+        let devices = node_cfg.devices_per_node * bench.nodes;
+        let layout = bench.plan_layout().ok_or_else(|| AccelError::OutOfMemory {
             device: node_cfg.device.name.clone(),
-            requested: GptCost::new(self.model.clone()).memory_bytes_per_device(
-                self.micro_batch,
+            requested: GptCost::new(bench.model.clone()).memory_bytes_per_device(
+                bench.micro_batch,
                 node_cfg.devices_per_node,
                 1,
                 1,
@@ -105,16 +143,15 @@ impl LargeModelBenchmark {
             .validate(devices, global_batch)
             .map_err(AccelError::InvalidConfig)?;
 
-        let cost = GptCost::new(self.model.clone());
-        let seq = self.model.seq_len as u64;
+        let cost = GptCost::new(bench.model.clone());
+        let seq = bench.model.seq_len as u64;
         let tokens_per_iter = global_batch * seq;
         let tokens_per_device = tokens_per_iter / u64::from(devices);
         let per_device_batch = layout.per_device_batch(global_batch);
         let micro_batches = layout.num_micro_batches(global_batch);
 
         // --- compute time per iteration (per device) ---
-        let node = SimNode::new(node_cfg.clone());
-        let dev0 = node.device(0);
+        let dev0 = ctx.device(0);
         let roofline = dev0.roofline(Workload::Llm);
         let calib = dev0.spec().llm;
         let profile = cost.iteration_profile(tokens_per_device);
@@ -137,10 +174,9 @@ impl LargeModelBenchmark {
                 .accel_accel
                 .ok_or_else(|| AccelError::InvalidConfig("tp needs an intra-node link".into()))?;
             let coll = CollectiveModel::new(link);
-            let act_bytes =
-                u64::from(self.micro_batch) * seq * self.model.hidden as u64 * 2;
+            let act_bytes = u64::from(bench.micro_batch) * seq * bench.model.hidden as u64 * 2;
             let per_micro = 4.0
-                * (self.model.layers as f64 / f64::from(layout.pp))
+                * (bench.model.layers as f64 / f64::from(layout.pp))
                 * coll.allreduce_s(act_bytes, layout.tp);
             per_micro * micro_batches as f64
         } else {
@@ -165,40 +201,89 @@ impl LargeModelBenchmark {
 
         let t_iter = t_compute + t_tp_comm + t_dp_comm;
 
-        // --- drive power phases on one representative node ---
-        let iters = (self.duration_s / t_iter).ceil().max(1.0);
+        // --- power phases on one representative node ---
+        let iters = (bench.duration_s / t_iter).ceil().max(1.0);
         let u_compute = (est.mfu / calib.mfu_max).clamp(0.0, 1.0) * (1.0 - bubble).max(0.1);
         let active = node_cfg.devices_per_node as usize;
-        node.run_phase(active, iters * t_compute, u_compute, calib.sustained_w)?;
-        if t_tp_comm + t_dp_comm > 0.0 {
-            node.run_phase(active, iters * (t_tp_comm + t_dp_comm), 0.35, calib.sustained_w)?;
-        }
-        node.idle_phase(0.0)?;
-
         let total_s = iters * t_iter;
-        let sources = virtual_sources(&node.devices()[..active], "dev", "pynvml");
-        let m = sample_virtual(&sources, (total_s / 600.0).max(0.5), 0.0, total_s);
-        let energy_wh_per_device = m.df.energy_all_wh().iter().sum::<f64>() / active as f64
-            * (self.duration_s / total_s);
 
-        let tokens_per_s_per_device = tokens_per_iter as f64 / t_iter / f64::from(devices);
-        Ok(LargeModelRun {
-            fom: LlmFom {
-                system: format!("{} x{} ({})", node_cfg.platform, self.nodes, layout),
-                global_batch,
+        let phase_plan = PhasePlan {
+            allocations: vec![],
+            phases: vec![
+                PhaseSpec {
+                    kind: PhaseKind::Compute,
+                    label: "pipelined training compute",
+                    active,
+                    duration_s: iters * t_compute,
+                    utilization: u_compute,
+                    sustained_w: calib.sustained_w,
+                },
+                PhaseSpec {
+                    kind: PhaseKind::Communication,
+                    label: "tp + dp collectives",
+                    active,
+                    duration_s: iters * (t_tp_comm + t_dp_comm),
+                    utilization: 0.35,
+                    sustained_w: calib.sustained_w,
+                },
+            ],
+            meter: MeterSpec {
+                devices: active,
+                prefix: "dev",
+                method: "pynvml",
+                interval_s: (total_s / 600.0).max(0.5),
+                window: (0.0, total_s),
+            },
+            // `LargeModelRun` carries no timeline; skip the trace work.
+            timeline_devices: 0,
+        };
+        Ok((
+            LargeModelPlanState {
+                layout,
                 devices,
+                active,
+                tokens_per_iter,
+                t_iter,
+                t_compute,
+                t_tp_comm,
+                t_dp_comm,
+                bubble,
+                total_s,
+            },
+            phase_plan,
+        ))
+    }
+
+    fn finish(&self, plan: LargeModelPlanState, exec: Executed, ctx: &RunContext) -> LargeModelRun {
+        let bench = self.bench;
+        let m = exec.measurement;
+        let energy_wh_per_device = m.df.energy_all_wh().iter().sum::<f64>() / plan.active as f64
+            * (bench.duration_s / plan.total_s);
+
+        let tokens_per_s_per_device =
+            plan.tokens_per_iter as f64 / plan.t_iter / f64::from(plan.devices);
+        LargeModelRun {
+            fom: LlmFom {
+                system: format!(
+                    "{} x{} ({})",
+                    ctx.config().platform,
+                    bench.nodes,
+                    plan.layout
+                ),
+                global_batch: self.global_batch,
+                devices: plan.devices,
                 tokens_per_s_per_device,
                 energy_wh_per_device,
-                tokens_per_wh: tokens_per_s_per_device * self.duration_s / energy_wh_per_device,
-                mean_power_w: energy_wh_per_device * 3600.0 / self.duration_s,
+                tokens_per_wh: tokens_per_s_per_device * bench.duration_s / energy_wh_per_device,
+                mean_power_w: energy_wh_per_device * 3600.0 / bench.duration_s,
             },
-            layout,
-            t_iter_s: t_iter,
-            t_compute_s: t_compute,
-            t_tp_comm_s: t_tp_comm,
-            t_dp_comm_s: t_dp_comm,
-            bubble_fraction: bubble,
-        })
+            layout: plan.layout,
+            t_iter_s: plan.t_iter,
+            t_compute_s: plan.t_compute,
+            t_tp_comm_s: plan.t_tp_comm,
+            t_dp_comm_s: plan.t_dp_comm,
+            bubble_fraction: plan.bubble,
+        }
     }
 }
 

@@ -126,7 +126,10 @@ mod tests {
     fn heatmap_renders_grid() {
         let grid = vec![
             vec![HeatmapCell::Throughput(100.0), HeatmapCell::Oom],
-            vec![HeatmapCell::Throughput(200.0), HeatmapCell::Throughput(300.0)],
+            vec![
+                HeatmapCell::Throughput(200.0),
+                HeatmapCell::Throughput(300.0),
+            ],
         ];
         let out = render_heatmap("Fig 4a", &[1, 2], &[16, 2048], &grid);
         assert!(out.contains("Fig 4a"));

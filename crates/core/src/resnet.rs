@@ -7,16 +7,17 @@
 //! for systems with an InfiniBand interconnect in Table I — to multiple
 //! nodes, giving the Fig. 4 heatmaps with their OOM cells.
 
+use crate::engine::{self, Executed, MeterSpec, PhasePlan, PhaseSpec, RunContext};
 use crate::fom::{CvFom, HeatmapCell};
+use crate::sweep::{grid, SweepRunner};
 use caraml_accel::affinity::{BindingPolicy, NumaTopology};
 use caraml_accel::ipu::{IpuResnetModel, GRAPH_COMPILE_S, GRAPH_COMPILE_W};
 use caraml_accel::spec::Workload;
-use caraml_accel::{AccelError, NodeConfig, SimNode, SystemId};
+use caraml_accel::{AccelError, NodeConfig, PhaseKind, SystemId};
 use caraml_data::IMAGENET_TRAIN_IMAGES;
 use caraml_models::resnet::cost::ResnetCost;
 use caraml_models::ResnetConfig;
 use caraml_parallel::comm::CollectiveModel;
-use jpwr::measure::{sample_virtual, virtual_sources};
 
 /// Relative utilization while stalled on input staging.
 const STALL_UTILIZATION: f64 = 0.15;
@@ -79,7 +80,7 @@ impl ResnetBenchmark {
     }
 
     pub fn label(&self) -> String {
-        let node = NodeConfig::for_system(self.system);
+        let node = NodeConfig::shared(self.system);
         if self.system == SystemId::Mi250 {
             if self.devices == 1 {
                 "AMD MI250:GCD".to_string()
@@ -99,7 +100,7 @@ impl ResnetBenchmark {
                 "use run_ipu / heatmap_ipu for Graphcore".into(),
             ));
         }
-        let node_cfg = NodeConfig::for_system(self.system);
+        let node_cfg = NodeConfig::shared(self.system);
         if self.devices == 0 || self.devices > node_cfg.max_devices() {
             return Err(AccelError::InvalidConfig(format!(
                 "{} devices outside 1..={}",
@@ -177,98 +178,21 @@ impl ResnetBenchmark {
     /// Full measurement (Fig. 3): trains one epoch and reports throughput
     /// plus per-device epoch energy via the jpwr virtual sampling loop.
     pub fn run(&self, global_batch: u64) -> Result<ResnetRun, AccelError> {
-        let it = self.iteration_time(global_batch)?;
-        let node_cfg = NodeConfig::for_system(self.system);
-        let node = SimNode::new(node_cfg);
-        let active = self.devices.min(node.config().devices_per_node) as usize;
-
-        let iters = (self.epoch_images as f64 / global_batch as f64).ceil().max(1.0);
-        let spec = node.device(0).spec().clone();
-        let mut sustained = spec.cv.sustained_w;
-        if self.system == SystemId::Mi250 && self.devices >= 2 {
-            sustained *= MI250_DUAL_GCD_POWER_FACTOR;
-        }
-        node.run_phase(active, iters * it.t_compute, it.mfu_rel, sustained)?;
-        if it.t_stall > 0.0 {
-            node.run_phase(active, iters * it.t_stall, STALL_UTILIZATION, sustained)?;
-        }
-        if it.t_comm > 0.0 {
-            node.run_phase(active, iters * it.t_comm, COMM_UTILIZATION, sustained)?;
-        }
-        node.idle_phase(0.0)?;
-
-        let total_s = iters * it.t_iter;
-        let sources = virtual_sources(&node.devices()[..active], "dev", "pynvml");
-        let interval = (self.sample_interval_s).min(total_s / 16.0).max(1e-3);
-        let m = sample_virtual(&sources, interval, 0.0, total_s);
-        // Fig. 3 reports "consumed energy for the whole epoch" of the
-        // benchmarked unit: for the MI250:GPU run that unit is one OAM
-        // package (2 GCDs), so device energies are summed, not averaged.
-        let energy_wh_per_epoch = m.df.energy_all_wh().iter().sum::<f64>();
-        let images_per_s = global_batch as f64 / it.t_iter;
-
-        Ok(ResnetRun {
-            fom: CvFom {
-                system: self.label(),
-                global_batch,
-                devices: self.devices,
-                images_per_s,
-                energy_wh_per_epoch,
-                images_per_wh: self.epoch_images as f64 / energy_wh_per_epoch,
-                // Mean power of the benchmarked unit (all active devices).
-                mean_power_w: energy_wh_per_epoch * 3600.0 / total_s,
-            },
-            epoch_s: total_s,
-            t_iter_s: it.t_iter,
-            measurement: m,
+        engine::execute(&ResnetWorkload {
+            bench: self,
+            global_batch,
         })
+        .into_result()
     }
 
     /// Table III: a single GC200 IPU training one epoch, graph
     /// compilation excluded from timings (as in the paper).
     pub fn run_ipu(global_batch: u64, sample_interval_s: f64) -> Result<ResnetRun, AccelError> {
-        if global_batch == 0 {
-            return Err(AccelError::InvalidConfig("batch must be positive".into()));
-        }
-        let node = SimNode::new(NodeConfig::for_system(SystemId::Gc200));
-        let model = IpuResnetModel::default();
-        let spec = node.device(0).spec().clone();
-
-        // Graph compilation happens first but is excluded from the
-        // measurement window, exactly like the paper's methodology.
-        let compile_u = invert_power(GRAPH_COMPILE_W, &spec);
-        node.run_phase(1, GRAPH_COMPILE_S, compile_u, spec.cv.sustained_w)?;
-        let t0 = node.clock().now();
-
-        let iters = (IMAGENET_TRAIN_IMAGES as f64 / global_batch as f64).ceil();
-        let t_compute = IMAGENET_TRAIN_IMAGES as f64 * model.per_image_s;
-        let t_sync = iters * model.sync_s;
-        let exec_u = invert_power(model.compute_w, &spec);
-        let sync_u = invert_power(model.sync_w, &spec);
-        node.run_phase(1, t_compute, exec_u, spec.cv.sustained_w.max(model.compute_w))?;
-        node.run_phase(1, t_sync, sync_u, spec.cv.sustained_w.max(model.sync_w))?;
-        node.idle_phase(0.0)?;
-        let t1 = t0 + t_compute + t_sync;
-
-        let sources = virtual_sources(&node.devices()[..1], "ipu", "gcipuinfo");
-        let m = sample_virtual(&sources, sample_interval_s, t0, t1);
-        let energy_wh_per_epoch = m.df.energy_wh(0);
-        let images_per_s = model.images_per_s(global_batch);
-
-        Ok(ResnetRun {
-            fom: CvFom {
-                system: "Graphcore GC200".into(),
-                global_batch,
-                devices: 1,
-                images_per_s,
-                energy_wh_per_epoch,
-                images_per_wh: IMAGENET_TRAIN_IMAGES as f64 / energy_wh_per_epoch,
-                mean_power_w: energy_wh_per_epoch * 3600.0 / (t1 - t0),
-            },
-            epoch_s: t1 - t0,
-            t_iter_s: model.iter_s(global_batch),
-            measurement: m,
+        engine::execute(&IpuResnetWorkload {
+            global_batch,
+            sample_interval_s,
         })
+        .into_result()
     }
 
     /// One Fig. 4 heatmap cell: aggregate throughput or OOM.
@@ -296,21 +220,244 @@ impl ResnetBenchmark {
     }
 
     /// A full Fig. 4 heatmap: rows = device counts, columns = global
-    /// batch sizes.
+    /// batch sizes. Cells are independent, so the grid is evaluated by
+    /// the parallel [`SweepRunner`] and reshaped row-major.
     pub fn heatmap(
         system: SystemId,
         device_counts: &[u32],
         batches: &[u64],
     ) -> Vec<Vec<HeatmapCell>> {
-        device_counts
-            .iter()
-            .map(|&d| {
-                batches
-                    .iter()
-                    .map(|&b| Self::heatmap_cell(system, d, b))
-                    .collect()
-            })
+        if batches.is_empty() {
+            return device_counts.iter().map(|_| Vec::new()).collect();
+        }
+        let cells = SweepRunner::parallel().map(grid(system, device_counts, batches), |p| {
+            Self::heatmap_cell(p.system, p.devices, p.batch)
+        });
+        cells
+            .chunks(batches.len())
+            .map(<[HeatmapCell]>::to_vec)
             .collect()
+    }
+}
+
+/// One Fig. 3 / Fig. 4 grid point of [`ResnetBenchmark`] as an engine
+/// workload.
+pub struct ResnetWorkload<'a> {
+    pub bench: &'a ResnetBenchmark,
+    pub global_batch: u64,
+}
+
+/// Cost-model state carried from planning to FOM extraction.
+pub struct ResnetPlanState {
+    t_iter: f64,
+    total_s: f64,
+}
+
+impl engine::Workload for ResnetWorkload<'_> {
+    type Plan = ResnetPlanState;
+    type Output = ResnetRun;
+
+    fn system(&self) -> SystemId {
+        self.bench.system
+    }
+
+    fn plan(&self, ctx: &RunContext) -> Result<(ResnetPlanState, PhasePlan), AccelError> {
+        let bench = self.bench;
+        let global_batch = self.global_batch;
+        let it = bench.iteration_time(global_batch)?;
+        let active = bench.devices.min(ctx.config().devices_per_node) as usize;
+
+        let iters = (bench.epoch_images as f64 / global_batch as f64)
+            .ceil()
+            .max(1.0);
+        let spec = ctx.device(0).spec();
+        let mut sustained = spec.cv.sustained_w;
+        if bench.system == SystemId::Mi250 && bench.devices >= 2 {
+            sustained *= MI250_DUAL_GCD_POWER_FACTOR;
+        }
+        let total_s = iters * it.t_iter;
+
+        let phase_plan = PhasePlan {
+            allocations: vec![],
+            phases: vec![
+                PhaseSpec {
+                    kind: PhaseKind::Compute,
+                    label: "training compute",
+                    active,
+                    duration_s: iters * it.t_compute,
+                    utilization: it.mfu_rel,
+                    sustained_w: sustained,
+                },
+                PhaseSpec {
+                    kind: PhaseKind::Staging,
+                    label: "input staging stall",
+                    active,
+                    duration_s: iters * it.t_stall,
+                    utilization: STALL_UTILIZATION,
+                    sustained_w: sustained,
+                },
+                PhaseSpec {
+                    kind: PhaseKind::Communication,
+                    label: "gradient all-reduce",
+                    active,
+                    duration_s: iters * it.t_comm,
+                    utilization: COMM_UTILIZATION,
+                    sustained_w: sustained,
+                },
+            ],
+            meter: MeterSpec {
+                devices: active,
+                prefix: "dev",
+                method: "pynvml",
+                interval_s: (bench.sample_interval_s).min(total_s / 16.0).max(1e-3),
+                window: (0.0, total_s),
+            },
+            // `ResnetRun` carries no timeline; skip the trace work.
+            timeline_devices: 0,
+        };
+        Ok((
+            ResnetPlanState {
+                t_iter: it.t_iter,
+                total_s,
+            },
+            phase_plan,
+        ))
+    }
+
+    fn finish(&self, plan: ResnetPlanState, exec: Executed, _ctx: &RunContext) -> ResnetRun {
+        let bench = self.bench;
+        let m = exec.measurement;
+        // Fig. 3 reports "consumed energy for the whole epoch" of the
+        // benchmarked unit: for the MI250:GPU run that unit is one OAM
+        // package (2 GCDs), so device energies are summed, not averaged.
+        let energy_wh_per_epoch = m.df.energy_all_wh().iter().sum::<f64>();
+        let images_per_s = self.global_batch as f64 / plan.t_iter;
+
+        ResnetRun {
+            fom: CvFom {
+                system: bench.label(),
+                global_batch: self.global_batch,
+                devices: bench.devices,
+                images_per_s,
+                energy_wh_per_epoch,
+                images_per_wh: bench.epoch_images as f64 / energy_wh_per_epoch,
+                // Mean power of the benchmarked unit (all active devices).
+                mean_power_w: energy_wh_per_epoch * 3600.0 / plan.total_s,
+            },
+            epoch_s: plan.total_s,
+            t_iter_s: plan.t_iter,
+            measurement: m,
+        }
+    }
+}
+
+/// The Table III IPU protocol as an engine workload: graph compilation
+/// runs first but is excluded from the measurement window, exactly like
+/// the paper's methodology.
+pub struct IpuResnetWorkload {
+    pub global_batch: u64,
+    pub sample_interval_s: f64,
+}
+
+/// Plan state of the IPU ResNet path.
+pub struct IpuResnetPlanState {
+    t0: f64,
+    t1: f64,
+    images_per_s: f64,
+    iter_s: f64,
+}
+
+impl engine::Workload for IpuResnetWorkload {
+    type Plan = IpuResnetPlanState;
+    type Output = ResnetRun;
+
+    fn system(&self) -> SystemId {
+        SystemId::Gc200
+    }
+
+    fn plan(&self, ctx: &RunContext) -> Result<(IpuResnetPlanState, PhasePlan), AccelError> {
+        let global_batch = self.global_batch;
+        if global_batch == 0 {
+            return Err(AccelError::InvalidConfig("batch must be positive".into()));
+        }
+        let model = IpuResnetModel::default();
+        let spec = ctx.device(0).spec();
+
+        let compile_u = invert_power(GRAPH_COMPILE_W, spec);
+        let t0 = GRAPH_COMPILE_S;
+
+        let iters = (IMAGENET_TRAIN_IMAGES as f64 / global_batch as f64).ceil();
+        let t_compute = IMAGENET_TRAIN_IMAGES as f64 * model.per_image_s;
+        let t_sync = iters * model.sync_s;
+        let exec_u = invert_power(model.compute_w, spec);
+        let sync_u = invert_power(model.sync_w, spec);
+        let t1 = t0 + t_compute + t_sync;
+
+        let phase_plan = PhasePlan {
+            allocations: vec![],
+            phases: vec![
+                PhaseSpec {
+                    kind: PhaseKind::Setup,
+                    label: "graph compilation",
+                    active: 1,
+                    duration_s: GRAPH_COMPILE_S,
+                    utilization: compile_u,
+                    sustained_w: spec.cv.sustained_w,
+                },
+                PhaseSpec {
+                    kind: PhaseKind::Compute,
+                    label: "epoch compute",
+                    active: 1,
+                    duration_s: t_compute,
+                    utilization: exec_u,
+                    sustained_w: spec.cv.sustained_w.max(model.compute_w),
+                },
+                PhaseSpec {
+                    kind: PhaseKind::Communication,
+                    label: "host sync",
+                    active: 1,
+                    duration_s: t_sync,
+                    utilization: sync_u,
+                    sustained_w: spec.cv.sustained_w.max(model.sync_w),
+                },
+            ],
+            meter: MeterSpec {
+                devices: 1,
+                prefix: "ipu",
+                method: "gcipuinfo",
+                interval_s: self.sample_interval_s,
+                window: (t0, t1),
+            },
+            timeline_devices: 0,
+        };
+        Ok((
+            IpuResnetPlanState {
+                t0,
+                t1,
+                images_per_s: model.images_per_s(global_batch),
+                iter_s: model.iter_s(global_batch),
+            },
+            phase_plan,
+        ))
+    }
+
+    fn finish(&self, plan: IpuResnetPlanState, exec: Executed, _ctx: &RunContext) -> ResnetRun {
+        let m = exec.measurement;
+        let energy_wh_per_epoch = m.df.energy_wh(0);
+        ResnetRun {
+            fom: CvFom {
+                system: "Graphcore GC200".into(),
+                global_batch: self.global_batch,
+                devices: 1,
+                images_per_s: plan.images_per_s,
+                energy_wh_per_epoch,
+                images_per_wh: IMAGENET_TRAIN_IMAGES as f64 / energy_wh_per_epoch,
+                mean_power_w: energy_wh_per_epoch * 3600.0 / (plan.t1 - plan.t0),
+            },
+            epoch_s: plan.t1 - plan.t0,
+            t_iter_s: plan.iter_s,
+            measurement: m,
+        }
     }
 }
 
@@ -383,7 +530,10 @@ mod tests {
             / bench(SystemId::Jedi).throughput(32).unwrap();
         let large_ratio = bench(SystemId::Gh200Jrdc).throughput(2048).unwrap()
             / bench(SystemId::Jedi).throughput(2048).unwrap();
-        assert!(large_ratio >= small_ratio, "{small_ratio:.3} -> {large_ratio:.3}");
+        assert!(
+            large_ratio >= small_ratio,
+            "{small_ratio:.3} -> {large_ratio:.3}"
+        );
         assert!(large_ratio > 1.05, "JRDC must beat JEDI at large batch");
     }
 

@@ -8,6 +8,12 @@
 //! sweep expands into workpackages, and the training step runs the
 //! simulator-backed benchmark and emits the figures of merit that
 //! `jube result` renders in tabular form.
+//!
+//! Every step executes through the [`crate::engine`]: `bench.run(batch)`
+//! is `engine::execute(&workload).into_result()`, so the engine owns the
+//! node, clock and power meter for each workpackage and failures surface
+//! as structured [`crate::engine::RunOutcome`] values before being
+//! stringified into the JUBE error column.
 
 use crate::llm::{LlmBenchmark, FIG2_BATCHES, TABLE2_BATCHES};
 use crate::resnet::{ResnetBenchmark, FIG3_BATCHES};
@@ -56,8 +62,14 @@ pub fn llm_benchmark_nvidia_amd() -> Benchmark {
             let run = bench.run(batch).map_err(|e| e.to_string())?;
             Ok(fom_values(&[
                 ("platform", run.fom.system.clone()),
-                ("tokens_per_s_per_gpu", format!("{:.2}", run.fom.tokens_per_s_per_device)),
-                ("energy_wh_per_gpu", format!("{:.2}", run.fom.energy_wh_per_device)),
+                (
+                    "tokens_per_s_per_gpu",
+                    format!("{:.2}", run.fom.tokens_per_s_per_device),
+                ),
+                (
+                    "energy_wh_per_gpu",
+                    format!("{:.2}", run.fom.energy_wh_per_device),
+                ),
                 ("tokens_per_wh", format!("{:.1}", run.fom.tokens_per_wh)),
             ]))
         }))
@@ -82,8 +94,14 @@ pub fn llm_benchmark_ipu() -> Benchmark {
             let run = LlmBenchmark::run_ipu(batch, 1.0).map_err(|e| e.to_string())?;
             Ok(fom_values(&[
                 ("platform", run.fom.system.clone()),
-                ("tokens_per_s", format!("{:.2}", run.fom.tokens_per_s_per_device)),
-                ("energy_wh_per_ipu", format!("{:.2}", run.fom.energy_wh_per_device)),
+                (
+                    "tokens_per_s",
+                    format!("{:.2}", run.fom.tokens_per_s_per_device),
+                ),
+                (
+                    "energy_wh_per_ipu",
+                    format!("{:.2}", run.fom.energy_wh_per_device),
+                ),
                 ("tokens_per_wh", format!("{:.2}", run.fom.tokens_per_wh)),
             ]))
         }))
@@ -119,7 +137,10 @@ pub fn resnet50_benchmark() -> Benchmark {
             Ok(fom_values(&[
                 ("platform", run.fom.system.clone()),
                 ("images_per_s", format!("{:.2}", run.fom.images_per_s)),
-                ("energy_wh_per_epoch", format!("{:.2}", run.fom.energy_wh_per_epoch)),
+                (
+                    "energy_wh_per_epoch",
+                    format!("{:.2}", run.fom.energy_wh_per_epoch),
+                ),
                 ("images_per_wh", format!("{:.1}", run.fom.images_per_wh)),
             ]))
         }))

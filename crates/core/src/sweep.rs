@@ -1,0 +1,111 @@
+//! Parallel parameter sweeps over the execution engine.
+//!
+//! The paper's figures are grids: Fig. 2 sweeps global batch per system,
+//! Fig. 3 sweeps batch per system, Fig. 4 sweeps (device count × batch)
+//! per system. Every grid point is an independent simulated run, so the
+//! [`SweepRunner`] fans them out over rayon and collects the outcomes in
+//! input order — the results are bit-identical to a sequential loop (see
+//! the property test in `crates/core/tests`), just faster on multi-core
+//! hosts.
+
+use crate::engine::{self, RunOutcome, Workload};
+use caraml_accel::SystemId;
+use rayon::prelude::*;
+
+/// One point of a (system × device-count × batch) sweep grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepPoint {
+    pub system: SystemId,
+    pub devices: u32,
+    pub batch: u64,
+}
+
+/// The row-major (device-major, then batch) grid of sweep points used by
+/// the Fig. 4 heatmaps.
+pub fn grid(system: SystemId, device_counts: &[u32], batches: &[u64]) -> Vec<SweepPoint> {
+    device_counts
+        .iter()
+        .flat_map(|&devices| {
+            batches.iter().map(move |&batch| SweepPoint {
+                system,
+                devices,
+                batch,
+            })
+        })
+        .collect()
+}
+
+/// Executes independent runs across a parameter grid.
+///
+/// `parallel()` (the default) fans the points out over rayon;
+/// `serial()` runs the identical loop sequentially. Collection order is
+/// always the input order, so the two modes produce identical output.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepRunner {
+    serial: bool,
+}
+
+impl SweepRunner {
+    /// A parallel runner (the default).
+    pub fn parallel() -> Self {
+        SweepRunner { serial: false }
+    }
+
+    /// A sequential runner (reference mode; also useful under profilers).
+    pub fn serial() -> Self {
+        SweepRunner { serial: true }
+    }
+
+    pub fn is_parallel(&self) -> bool {
+        !self.serial
+    }
+
+    /// Map `f` over `points`, preserving input order.
+    pub fn map<P, T, F>(&self, points: Vec<P>, f: F) -> Vec<T>
+    where
+        P: Send,
+        T: Send,
+        F: Fn(P) -> T + Sync,
+    {
+        if self.serial {
+            points.into_iter().map(f).collect()
+        } else {
+            points.into_par_iter().map(f).collect()
+        }
+    }
+
+    /// Execute one workload per point through the engine, each in a
+    /// fresh [`engine::RunContext`].
+    pub fn run<P, W, F>(&self, points: Vec<P>, to_workload: F) -> Vec<RunOutcome<W::Output>>
+    where
+        P: Send,
+        W: Workload,
+        W::Output: Send,
+        F: Fn(P) -> W + Sync,
+    {
+        self.map(points, |p| engine::execute(&to_workload(p)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_row_major() {
+        let g = grid(SystemId::A100, &[1, 2], &[16, 32]);
+        assert_eq!(g.len(), 4);
+        assert_eq!((g[0].devices, g[0].batch), (1, 16));
+        assert_eq!((g[1].devices, g[1].batch), (1, 32));
+        assert_eq!((g[2].devices, g[2].batch), (2, 16));
+        assert_eq!((g[3].devices, g[3].batch), (2, 32));
+    }
+
+    #[test]
+    fn parallel_and_serial_map_agree() {
+        let points: Vec<u64> = (0..37).collect();
+        let par = SweepRunner::parallel().map(points.clone(), |x| x * x);
+        let ser = SweepRunner::serial().map(points, |x| x * x);
+        assert_eq!(par, ser);
+    }
+}

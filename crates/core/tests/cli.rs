@@ -19,7 +19,10 @@ fn systems_prints_table1() {
 
 #[test]
 fn run_llm_ipu_reproduces_table2_headline() {
-    let out = caraml().args(["run", "llm", "--tag", "GC200"]).output().unwrap();
+    let out = caraml()
+        .args(["run", "llm", "--tag", "GC200"])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("64.99"), "Table II batch-64 row missing");
@@ -28,7 +31,10 @@ fn run_llm_ipu_reproduces_table2_headline() {
 
 #[test]
 fn run_resnet_reports_oom_rows() {
-    let out = caraml().args(["run", "resnet50", "--tag", "A100"]).output().unwrap();
+    let out = caraml()
+        .args(["run", "resnet50", "--tag", "A100"])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("out of memory"));
@@ -54,12 +60,28 @@ fn heatmap_unknown_tag_fails() {
 fn baseline_record_then_compare_passes() {
     let file = std::env::temp_dir().join(format!("caraml_cli_base_{}.json", std::process::id()));
     let out = caraml()
-        .args(["baseline", "record", file.to_str().unwrap(), "--tag", "H100"])
+        .args([
+            "baseline",
+            "record",
+            file.to_str().unwrap(),
+            "--tag",
+            "H100",
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let out = caraml()
-        .args(["baseline", "compare", file.to_str().unwrap(), "--tag", "H100"])
+        .args([
+            "baseline",
+            "compare",
+            file.to_str().unwrap(),
+            "--tag",
+            "H100",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
@@ -71,13 +93,25 @@ fn baseline_record_then_compare_passes() {
 fn baseline_compare_against_other_system_fails_gate() {
     let file = std::env::temp_dir().join(format!("caraml_cli_xsys_{}.json", std::process::id()));
     caraml()
-        .args(["baseline", "record", file.to_str().unwrap(), "--tag", "GH200"])
+        .args([
+            "baseline",
+            "record",
+            file.to_str().unwrap(),
+            "--tag",
+            "GH200",
+        ])
         .status()
         .unwrap();
     // Comparing A100 measurements against the GH200 baseline must fail
     // (keys differ → missing metrics).
     let out = caraml()
-        .args(["baseline", "compare", file.to_str().unwrap(), "--tag", "A100"])
+        .args([
+            "baseline",
+            "compare",
+            file.to_str().unwrap(),
+            "--tag",
+            "A100",
+        ])
         .output()
         .unwrap();
     assert!(!out.status.success());

@@ -13,10 +13,10 @@ use rand_chacha::ChaCha8Rng;
 
 /// Core word stems combined into a synthetic vocabulary.
 const STEMS: &[&str] = &[
-    "data", "model", "train", "graph", "core", "node", "batch", "token", "layer", "power",
-    "bench", "mark", "comp", "ute", "accel", "erat", "ener", "gy", "metric", "tensor", "flow",
-    "torch", "scale", "link", "net", "work", "mem", "ory", "band", "width", "chip", "proc",
-    "time", "step", "loss", "grad", "atten", "tion", "seq", "uence", "vec", "tor", "sys", "tem",
+    "data", "model", "train", "graph", "core", "node", "batch", "token", "layer", "power", "bench",
+    "mark", "comp", "ute", "accel", "erat", "ener", "gy", "metric", "tensor", "flow", "torch",
+    "scale", "link", "net", "work", "mem", "ory", "band", "width", "chip", "proc", "time", "step",
+    "loss", "grad", "atten", "tion", "seq", "uence", "vec", "tor", "sys", "tem",
 ];
 
 /// Deterministic synthetic text corpus.
@@ -155,10 +155,10 @@ mod tests {
         let c = SyntheticCorpus::new(2, 50);
         let text = c.text(20, 300);
         let mut counts: HashMap<String, usize> = HashMap::new();
-        for w in text
-            .split_whitespace()
-            .map(|w| w.trim_matches(|ch: char| !ch.is_alphanumeric()).to_lowercase())
-        {
+        for w in text.split_whitespace().map(|w| {
+            w.trim_matches(|ch: char| !ch.is_alphanumeric())
+                .to_lowercase()
+        }) {
             if !w.is_empty() {
                 *counts.entry(w).or_default() += 1;
             }
@@ -168,7 +168,12 @@ mod tests {
         // Head must dominate the tail (Zipf): top word at least 5× the
         // 20th word.
         assert!(freqs.len() > 20);
-        assert!(freqs[0] >= 5 * freqs[19], "head {} tail {}", freqs[0], freqs[19]);
+        assert!(
+            freqs[0] >= 5 * freqs[19],
+            "head {} tail {}",
+            freqs[0],
+            freqs[19]
+        );
     }
 
     #[test]

@@ -125,9 +125,12 @@ fn main() -> ExitCode {
             .df
             .write(dir, "power", &args.df_suffix, args.df_filetype)
             .and_then(|p| {
-                let e = measurement
-                    .energy_df()
-                    .write(dir, "energy", &args.df_suffix, args.df_filetype)?;
+                let e = measurement.energy_df().write(
+                    dir,
+                    "energy",
+                    &args.df_suffix,
+                    args.df_filetype,
+                )?;
                 Ok((p, e))
             }) {
             Ok((p, e)) => eprintln!("jpwr: wrote {} and {}", p.display(), e.display()),

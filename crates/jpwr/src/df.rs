@@ -113,7 +113,10 @@ impl DataFrame {
 
     /// Maximum of column `c`.
     pub fn max(&self, c: usize) -> f64 {
-        self.values[c].iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.values[c]
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Serialize as CSV (header + rows).

@@ -26,7 +26,7 @@ pub mod method;
 pub mod postprocess;
 
 pub use df::DataFrame;
-pub use measure::{get_power, Measurement, PowerScope};
+pub use measure::{get_power, Measurement, PowerMeasurement, PowerScope};
 pub use method::{
     GcIpuInfoMethod, GhMethod, MockMethod, PowerMethod, ProcStatMethod, PynvmlMethod, RocmMethod,
 };

@@ -156,6 +156,43 @@ pub fn sample_virtual(
     }
 }
 
+/// A reusable meter handle over a fixed set of power sources.
+///
+/// The benchmark engine creates one meter per run context and re-samples
+/// it for every measurement window (sweep points re-use the handle
+/// instead of rebuilding the source list); the registers are shared with
+/// the simulated devices, so phases recorded after the meter was created
+/// are still visible to later samples.
+#[derive(Debug, Clone)]
+pub struct PowerMeasurement {
+    sources: Vec<(String, String, PowerRegister)>,
+}
+
+impl PowerMeasurement {
+    /// Build a meter over the leading simulated devices, with one column
+    /// per device labelled `{prefix}{index}` and attributed to `method`.
+    pub fn new(devices: &[caraml_accel::SimDevice], prefix: &str, method: &str) -> Self {
+        PowerMeasurement {
+            sources: virtual_sources(devices, prefix, method),
+        }
+    }
+
+    /// Build a meter from explicit `(label, method, register)` sources.
+    pub fn from_sources(sources: Vec<(String, String, PowerRegister)>) -> Self {
+        PowerMeasurement { sources }
+    }
+
+    /// Number of metered columns.
+    pub fn num_sources(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Replay the sampling loop over `[t0, t1]` at `interval_s`.
+    pub fn sample(&self, interval_s: f64, t0: f64, t1: f64) -> Measurement {
+        sample_virtual(&self.sources, interval_s, t0, t1)
+    }
+}
+
 /// Convenience: build virtual sources from simulated devices.
 pub fn virtual_sources(
     devices: &[caraml_accel::SimDevice],
@@ -190,7 +227,10 @@ mod tests {
         let t_span = *m.df.time_s.last().unwrap() - m.df.time_s[0];
         let expect = 100.0 * t_span / 3600.0;
         let got = m.df.energy_wh(0);
-        assert!((got - expect).abs() / expect < 1e-6, "got {got}, expect {expect}");
+        assert!(
+            (got - expect).abs() / expect < 1e-6,
+            "got {got}, expect {expect}"
+        );
         assert_eq!(m.method_per_column, vec!["mock"]);
     }
 

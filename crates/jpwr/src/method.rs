@@ -117,10 +117,7 @@ impl GhMethod {
     /// top of the GPU's own sensor.
     pub fn new(devices: &[SimDevice], cpu_rail_w: f64) -> Self {
         GhMethod(RegisterMethod::from_devices(
-            "gh",
-            "module",
-            devices,
-            cpu_rail_w,
+            "gh", "module", devices, cpu_rail_w,
         ))
     }
 }
@@ -142,7 +139,12 @@ pub struct GcIpuInfoMethod(RegisterMethod);
 
 impl GcIpuInfoMethod {
     pub fn new(devices: &[SimDevice]) -> Self {
-        GcIpuInfoMethod(RegisterMethod::from_devices("gcipuinfo", "ipu", devices, 0.0))
+        GcIpuInfoMethod(RegisterMethod::from_devices(
+            "gcipuinfo",
+            "ipu",
+            devices,
+            0.0,
+        ))
     }
 }
 

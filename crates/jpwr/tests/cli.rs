@@ -18,7 +18,15 @@ fn temp_dir(tag: &str) -> std::path::PathBuf {
 #[test]
 fn wraps_command_and_reports_energy() {
     let out = jpwr()
-        .args(["--methods", "mock", "--interval", "10", "--", "sleep", "0.15"])
+        .args([
+            "--methods",
+            "mock",
+            "--interval",
+            "10",
+            "--",
+            "sleep",
+            "0.15",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
@@ -42,12 +50,19 @@ fn writes_csv_dataframes_with_suffix_expansion() {
     let out = jpwr()
         .env("JPWR_CLI_TEST_RANK", "5")
         .args([
-            "--methods", "mock",
-            "--interval", "10",
-            "--df-out", dir.to_str().unwrap(),
-            "--df-filetype", "csv",
-            "--df-suffix", "_rank%q{JPWR_CLI_TEST_RANK}",
-            "--", "sleep", "0.1",
+            "--methods",
+            "mock",
+            "--interval",
+            "10",
+            "--df-out",
+            dir.to_str().unwrap(),
+            "--df-filetype",
+            "csv",
+            "--df-suffix",
+            "_rank%q{JPWR_CLI_TEST_RANK}",
+            "--",
+            "sleep",
+            "0.1",
         ])
         .output()
         .unwrap();
@@ -69,10 +84,14 @@ fn writes_json_dataframes() {
     let dir = temp_dir("json");
     let out = jpwr()
         .args([
-            "--methods", "mock",
-            "--df-out", dir.to_str().unwrap(),
-            "--df-filetype", "json",
-            "--", "true",
+            "--methods",
+            "mock",
+            "--df-out",
+            dir.to_str().unwrap(),
+            "--df-filetype",
+            "json",
+            "--",
+            "true",
         ])
         .output()
         .unwrap();
@@ -86,7 +105,15 @@ fn writes_json_dataframes() {
 #[test]
 fn multiple_methods_at_once() {
     let out = jpwr()
-        .args(["--methods", "mock,procstat", "--interval", "20", "--", "sleep", "0.1"])
+        .args([
+            "--methods",
+            "mock,procstat",
+            "--interval",
+            "20",
+            "--",
+            "sleep",
+            "0.1",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
@@ -131,12 +158,19 @@ fn multi_rank_flow_combines_with_postprocess() {
         let out = jpwr()
             .env("FAKE_SLURM_PROCID", rank.to_string())
             .args([
-                "--methods", "mock",
-                "--interval", "10",
-                "--df-out", dir.to_str().unwrap(),
-                "--df-filetype", "csv",
-                "--df-suffix", "_%q{FAKE_SLURM_PROCID}",
-                "--", "sleep", "0.05",
+                "--methods",
+                "mock",
+                "--interval",
+                "10",
+                "--df-out",
+                dir.to_str().unwrap(),
+                "--df-filetype",
+                "csv",
+                "--df-suffix",
+                "_%q{FAKE_SLURM_PROCID}",
+                "--",
+                "sleep",
+                "0.05",
             ])
             .output()
             .unwrap();

@@ -60,7 +60,10 @@ impl RunResult {
 
     /// Count of failed workpackages.
     pub fn failures(&self) -> usize {
-        self.workpackages.iter().filter(|w| w.error.is_some()).count()
+        self.workpackages
+            .iter()
+            .filter(|w| w.error.is_some())
+            .count()
     }
 }
 
@@ -322,9 +325,7 @@ mod tests {
     #[test]
     fn failing_step_marks_workpackage() {
         let b = Benchmark::new("failing")
-            .with_parameter_set(
-                ParameterSet::new("p").with(Parameter::sweep("x", [1, 2])),
-            )
+            .with_parameter_set(ParameterSet::new("p").with(Parameter::sweep("x", [1, 2])))
             .with_step(Step::new("explode", |ctx| {
                 if ctx.param("x").unwrap() == "2" {
                     Err("x is two".into())
@@ -402,10 +403,7 @@ mod tests {
                 out.insert("seen_gpus".into(), ctx.param("gpus").unwrap().into());
                 Ok(out)
             }));
-        assert_eq!(
-            b.run(&[]).unwrap().workpackages[0].values["seen_gpus"],
-            "4"
-        );
+        assert_eq!(b.run(&[]).unwrap().workpackages[0].values["seen_gpus"], "4");
         assert_eq!(
             b.run(&tags(&["GH200"])).unwrap().workpackages[0].values["seen_gpus"],
             "1"

@@ -30,7 +30,10 @@ impl Parameter {
     }
 
     /// A multi-valued (sweep) parameter.
-    pub fn sweep<T: ToString>(name: impl Into<String>, values: impl IntoIterator<Item = T>) -> Self {
+    pub fn sweep<T: ToString>(
+        name: impl Into<String>,
+        values: impl IntoIterator<Item = T>,
+    ) -> Self {
         Parameter {
             name: name.into(),
             values: values.into_iter().map(|v| v.to_string()).collect(),
@@ -88,10 +91,7 @@ impl ParameterSet {
 }
 
 /// Merge the resolved maps of several parameter sets (later sets win).
-pub fn merge_resolved(
-    sets: &[ParameterSet],
-    tags: &[String],
-) -> BTreeMap<String, Vec<String>> {
+pub fn merge_resolved(sets: &[ParameterSet], tags: &[String]) -> BTreeMap<String, Vec<String>> {
     let mut out = BTreeMap::new();
     for s in sets {
         out.extend(s.resolve(tags));
@@ -155,8 +155,7 @@ mod tests {
 
     #[test]
     fn sweep_keeps_all_values() {
-        let set =
-            ParameterSet::new("model").with(Parameter::sweep("batch", [16, 32, 64]));
+        let set = ParameterSet::new("model").with(Parameter::sweep("batch", [16, 32, 64]));
         assert_eq!(set.resolve(&[])["batch"], vec!["16", "32", "64"]);
     }
 
@@ -208,8 +207,7 @@ mod tests {
 
     #[test]
     fn inactive_parameters_disappear() {
-        let set = ParameterSet::new("s")
-            .with(Parameter::single("only_ipu", 1).tagged("GC200"));
+        let set = ParameterSet::new("s").with(Parameter::single("only_ipu", 1).tagged("GC200"));
         assert!(set.resolve(&[]).is_empty());
         assert_eq!(set.resolve(&tags(&["GC200"])).len(), 1);
     }

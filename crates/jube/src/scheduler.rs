@@ -227,7 +227,10 @@ mod tests {
             });
         }
         slurm.wait_all();
-        assert!(peak.load(Ordering::SeqCst) <= 2, "concurrency exceeded nodes");
+        assert!(
+            peak.load(Ordering::SeqCst) <= 2,
+            "concurrency exceeded nodes"
+        );
     }
 
     #[test]

@@ -31,12 +31,12 @@ impl StepContext {
 
     /// Fetch and parse a parameter.
     pub fn parse<T: std::str::FromStr>(&self, name: &str) -> Result<T, JubeError> {
-        self.param(name)?.parse().map_err(|_| {
-            JubeError::StepFailed {
+        self.param(name)?
+            .parse()
+            .map_err(|_| JubeError::StepFailed {
                 step: "<parse>".into(),
                 message: format!("parameter {name} is not a valid value"),
-            }
-        })
+            })
     }
 
     /// Fetch a dependency result.
@@ -75,10 +75,7 @@ impl Step {
     /// Create a step from a closure.
     pub fn new(
         name: impl Into<String>,
-        work: impl Fn(&StepContext) -> Result<BTreeMap<String, String>, String>
-            + Send
-            + Sync
-            + 'static,
+        work: impl Fn(&StepContext) -> Result<BTreeMap<String, String>, String> + Send + Sync + 'static,
     ) -> Self {
         Step {
             name: name.into(),
@@ -130,10 +127,12 @@ pub fn topo_order(steps: &[Step]) -> Result<Vec<usize>, JubeError> {
     ) -> Result<(), JubeError> {
         match state[i] {
             2 => return Ok(()),
-            1 => return Err(JubeError::BadDependency(format!(
-                "cycle through step '{}'",
-                steps[i].name
-            ))),
+            1 => {
+                return Err(JubeError::BadDependency(format!(
+                    "cycle through step '{}'",
+                    steps[i].name
+                )))
+            }
             _ => {}
         }
         state[i] = 1;
@@ -173,12 +172,7 @@ mod tests {
             noop("download"),
         ];
         let order = topo_order(&steps).unwrap();
-        let pos = |name: &str| {
-            order
-                .iter()
-                .position(|&i| steps[i].name == name)
-                .unwrap()
-        };
+        let pos = |name: &str| order.iter().position(|&i| steps[i].name == name).unwrap();
         assert!(pos("download") < pos("compile"));
         assert!(pos("compile") < pos("train"));
     }

@@ -11,10 +11,7 @@ use std::collections::BTreeMap;
 const MAX_DEPTH: usize = 32;
 
 /// Substitute every `${name}` in `template` from `values`, transitively.
-pub fn substitute(
-    template: &str,
-    values: &BTreeMap<String, String>,
-) -> Result<String, JubeError> {
+pub fn substitute(template: &str, values: &BTreeMap<String, String>) -> Result<String, JubeError> {
     let mut current = template.to_string();
     for _ in 0..MAX_DEPTH {
         let (next, replaced) = substitute_once(&current, values)?;
@@ -96,11 +93,7 @@ mod tests {
 
     #[test]
     fn transitive_resolution() {
-        let vals = map(&[
-            ("cmd", "run ${args}"),
-            ("args", "--n ${n}"),
-            ("n", "8"),
-        ]);
+        let vals = map(&[("cmd", "run ${args}"), ("args", "--n ${n}"), ("n", "8")]);
         assert_eq!(substitute("${cmd}", &vals).unwrap(), "run --n 8");
     }
 

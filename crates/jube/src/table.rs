@@ -45,12 +45,11 @@ impl ResultTable {
         let Some(c) = self.columns.iter().position(|x| x == column) else {
             return;
         };
-        self.rows.sort_by(|a, b| {
-            match (a[c].parse::<f64>(), b[c].parse::<f64>()) {
+        self.rows
+            .sort_by(|a, b| match (a[c].parse::<f64>(), b[c].parse::<f64>()) {
                 (Ok(x), Ok(y)) => x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal),
                 _ => a[c].cmp(&b[c]),
-            }
-        });
+            });
     }
 
     /// Render as an aligned ASCII table (the `jube result` look).
@@ -105,10 +104,7 @@ impl ResultTable {
     /// Extract a numeric column.
     pub fn numeric_column(&self, column: &str) -> Option<Vec<f64>> {
         let c = self.columns.iter().position(|x| x == column)?;
-        self.rows
-            .iter()
-            .map(|r| r[c].parse::<f64>().ok())
-            .collect()
+        self.rows.iter().map(|r| r[c].parse::<f64>().ok()).collect()
     }
 }
 
@@ -192,8 +188,7 @@ mod tests {
         t.push_row(vec!["longer-name".into()]);
         let s = t.to_ascii();
         // Every body line has the same width.
-        let widths: std::collections::HashSet<usize> =
-            s.lines().map(str::len).collect();
+        let widths: std::collections::HashSet<usize> = s.lines().map(str::len).collect();
         assert_eq!(widths.len(), 1);
     }
 }

@@ -130,7 +130,8 @@ mod tests {
             GptConfig::gpt_175b(),
             GptConfig::tiny(100, 16),
         ] {
-            cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+            cfg.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
         }
     }
 

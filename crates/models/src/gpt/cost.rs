@@ -114,7 +114,12 @@ impl GptCost {
         // fp16 params (2 B) + fp16 grads (2 B).
         let resident = shard * 4.0;
         // fp32 master params (4) + Adam moments (8) = 12 B/param.
-        let optim = shard * 12.0 / if distributed_optimizer { f64::from(dp) } else { 1.0 };
+        let optim = shard * 12.0
+            / if distributed_optimizer {
+                f64::from(dp)
+            } else {
+                1.0
+            };
         (resident + optim) as u64
     }
 
@@ -125,8 +130,8 @@ impl GptCost {
             .activation_bytes_per_layer_token(self.config.hidden);
         let tokens = f64::from(micro_batch) * self.config.seq_len as f64;
         let layers_per_stage = (self.config.layers as f64 / f64::from(pp)).ceil();
-        (tokens * self.config.hidden as f64 * per_layer_token * layers_per_stage
-            / f64::from(tp)) as u64
+        (tokens * self.config.hidden as f64 * per_layer_token * layers_per_stage / f64::from(tp))
+            as u64
     }
 
     /// Total device memory needed for training with the given layout.
@@ -278,10 +283,12 @@ mod tests {
     fn tensor_parallelism_divides_activations_and_state() {
         let cost = GptCost::new(GptConfig::gpt_13b());
         assert!(
-            cost.activation_bytes_per_device(1, 4, 1)
-                < cost.activation_bytes_per_device(1, 1, 1)
+            cost.activation_bytes_per_device(1, 4, 1) < cost.activation_bytes_per_device(1, 1, 1)
         );
-        assert!(cost.state_bytes_per_device(4, 1, 1, false) < cost.state_bytes_per_device(1, 1, 1, false));
+        assert!(
+            cost.state_bytes_per_device(4, 1, 1, false)
+                < cost.state_bytes_per_device(1, 1, 1, false)
+        );
     }
 
     #[test]

@@ -101,10 +101,7 @@ impl GptModel {
 
     /// Total number of scalar parameters.
     pub fn num_params(&self) -> usize {
-        self.parameters()
-            .iter()
-            .map(|p| p.value().numel())
-            .sum()
+        self.parameters().iter().map(|p| p.value().numel()).sum()
     }
 
     /// Causal attention mask `[s, s]`: 0 on/below the diagonal, −1e9 above.
@@ -126,7 +123,10 @@ impl GptModel {
         let h = self.config.hidden;
         let heads = self.config.heads;
         let hd = self.config.head_dim();
-        assert!(tokens.iter().all(|row| row.len() == s), "bad sequence length");
+        assert!(
+            tokens.iter().all(|row| row.len() == s),
+            "bad sequence length"
+        );
         let flat_ids: Vec<usize> = tokens
             .iter()
             .flat_map(|row| row.iter().map(|&t| t as usize))
@@ -196,10 +196,7 @@ impl GptModel {
             }
             let logits = self.forward(&[ctx]).value();
             let v = self.config.vocab;
-            let row = Tensor::from_vec(
-                logits.data()[pos * v..(pos + 1) * v].to_vec(),
-                [v],
-            );
+            let row = Tensor::from_vec(logits.data()[pos * v..(pos + 1) * v].to_vec(), [v]);
             ids.push(row.argmax() as u32);
         }
         ids
@@ -266,10 +263,7 @@ mod tests {
             loss.backward();
             opt.step(&params);
         }
-        assert!(
-            last < first * 0.5,
-            "loss did not halve: {first} -> {last}"
-        );
+        assert!(last < first * 0.5, "loss did not halve: {first} -> {last}");
     }
 
     #[test]

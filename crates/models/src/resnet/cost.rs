@@ -276,12 +276,7 @@ mod tests {
     fn spatial_sizes_collapse_to_7() {
         let cost = ResnetCost::new(ResnetConfig::resnet50());
         // The last conv layer of ImageNet ResNets operates at 7×7.
-        let last_conv = cost
-            .layers()
-            .iter()
-            .rev()
-            .find(|l| l.name != "fc")
-            .unwrap();
+        let last_conv = cost.layers().iter().rev().find(|l| l.name != "fc").unwrap();
         assert_eq!(last_conv.out_hw, 7);
     }
 
@@ -312,9 +307,7 @@ mod tests {
     #[test]
     fn train_flops_are_3x_forward() {
         let cost = ResnetCost::new(ResnetConfig::resnet50());
-        assert!(
-            (cost.train_flops_per_image() / cost.forward_flops_per_image() - 3.0).abs() < 1e-9
-        );
+        assert!((cost.train_flops_per_image() / cost.forward_flops_per_image() - 3.0).abs() < 1e-9);
     }
 
     #[test]

@@ -138,7 +138,8 @@ mod tests {
         let fill = 0.21863;
         let s = PipelineSchedule::new(4, t_token);
         // Throughput with the explicit fill offset.
-        let tput = |tokens: u64| tokens as f64 / (3.0 * fill + s.step_time_s(tokens) - 3.0 * t_token);
+        let tput =
+            |tokens: u64| tokens as f64 / (3.0 * fill + s.step_time_s(tokens) - 3.0 * t_token);
         assert!(tput(64) < tput(16384));
         assert!(tput(16384) < 1.0 / t_token);
     }

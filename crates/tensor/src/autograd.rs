@@ -750,9 +750,7 @@ mod tests {
         loss.backward();
         let dw = w.grad().unwrap();
         let eps = 1e-2;
-        let f = |wt: &Tensor| {
-            nn::cross_entropy_logits(&matmul(&x0, wt).unwrap(), &targets).0
-        };
+        let f = |wt: &Tensor| nn::cross_entropy_logits(&matmul(&x0, wt).unwrap(), &targets).0;
         for idx in [0usize, 7, 13, 24] {
             let mut wp = w0.clone();
             wp.data_mut()[idx] += eps;
@@ -859,8 +857,7 @@ mod tests {
             ap.data_mut()[idx] += eps;
             let mut am = a0.clone();
             am.data_mut()[idx] -= eps;
-            let num =
-                (bmm(&ap, &b0).unwrap().sum() - bmm(&am, &b0).unwrap().sum()) / (2.0 * eps);
+            let num = (bmm(&ap, &b0).unwrap().sum() - bmm(&am, &b0).unwrap().sum()) / (2.0 * eps);
             assert!((num - da.data()[idx]).abs() < 1e-2);
         }
     }

@@ -327,10 +327,8 @@ mod tests {
                         for ci in 0..c {
                             for ki in 0..kh {
                                 for kj in 0..kw {
-                                    let ii =
-                                        (oi * cfg.stride + ki) as isize - cfg.padding as isize;
-                                    let jj =
-                                        (oj * cfg.stride + kj) as isize - cfg.padding as isize;
+                                    let ii = (oi * cfg.stride + ki) as isize - cfg.padding as isize;
+                                    let jj = (oj * cfg.stride + kj) as isize - cfg.padding as isize;
                                     if ii >= 0 && ii < h as isize && jj >= 0 && jj < w as isize {
                                         s += x.at(&[ni, ci, ii as usize, jj as usize])
                                             * weight.at(&[oci, ci, ki, kj]);

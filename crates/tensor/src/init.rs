@@ -47,13 +47,7 @@ pub fn xavier_uniform(rng: &mut impl Rng, out_dim: usize, in_dim: usize) -> Tens
 
 /// Kaiming/He normal initialization for conv weights `[oc, ic, kh, kw]`
 /// (fan-in mode, suited to ReLU networks such as ResNet).
-pub fn kaiming_normal(
-    rng: &mut impl Rng,
-    oc: usize,
-    ic: usize,
-    kh: usize,
-    kw: usize,
-) -> Tensor {
+pub fn kaiming_normal(rng: &mut impl Rng, oc: usize, ic: usize, kh: usize, kw: usize) -> Tensor {
     let fan_in = (ic * kh * kw) as f32;
     let std = (2.0 / fan_in).sqrt();
     randn(rng, [oc, ic, kh, kw], std)

@@ -108,11 +108,7 @@ pub fn matmul_at(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
 
 /// Batched matmul: `[b, m, k] · [b, k, n] -> [b, m, n]` (attention heads).
 pub fn bmm(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
-    if a.rank() != 3
-        || b.rank() != 3
-        || a.dims()[0] != b.dims()[0]
-        || a.dims()[2] != b.dims()[1]
-    {
+    if a.rank() != 3 || b.rank() != 3 || a.dims()[0] != b.dims()[0] || a.dims()[2] != b.dims()[1] {
         return Err(TensorError::ShapeMismatch {
             op: "bmm",
             lhs: a.dims().to_vec(),
@@ -253,7 +249,11 @@ mod tests {
         let a = Tensor::zeros([2, 3]);
         let b = Tensor::zeros([2, 3]);
         assert!(matmul(&a, &b).is_err());
-        assert!(bmm(&a.reshape([1, 2, 3]).unwrap(), &b.reshape([1, 2, 3]).unwrap()).is_err());
+        assert!(bmm(
+            &a.reshape([1, 2, 3]).unwrap(),
+            &b.reshape([1, 2, 3]).unwrap()
+        )
+        .is_err());
     }
 
     #[test]
@@ -295,8 +295,14 @@ mod tests {
         let m = 70;
         let k = 40;
         let n = 80;
-        let a = Tensor::from_vec((0..m * k).map(|i| ((i * 7) % 13) as f32 - 6.0).collect(), [m, k]);
-        let b = Tensor::from_vec((0..k * n).map(|i| ((i * 5) % 11) as f32 - 5.0).collect(), [k, n]);
+        let a = Tensor::from_vec(
+            (0..m * k).map(|i| ((i * 7) % 13) as f32 - 6.0).collect(),
+            [m, k],
+        );
+        let b = Tensor::from_vec(
+            (0..k * n).map(|i| ((i * 5) % 11) as f32 - 5.0).collect(),
+            [k, n],
+        );
         let fast = matmul(&a, &b).unwrap();
         let slow = matmul_naive(&a, &b).unwrap();
         assert!(fast.allclose(&slow, 1e-3));

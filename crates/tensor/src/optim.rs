@@ -205,7 +205,7 @@ mod tests {
         let mut opt = Sgd::new(0.1);
         for _ in 0..100 {
             quadratic_loss(&w, &target).backward();
-            opt.step(&[w.clone()]);
+            opt.step(std::slice::from_ref(&w));
         }
         assert!(w.value().allclose(&target, 1e-3));
     }
@@ -217,7 +217,7 @@ mod tests {
             let w = Var::param(Tensor::zeros([2]));
             for _ in 0..iters {
                 quadratic_loss(&w, &target).backward();
-                opt.step(&[w.clone()]);
+                opt.step(std::slice::from_ref(&w));
             }
             w.value().sub(&target).unwrap().sq_norm()
         };
@@ -233,7 +233,7 @@ mod tests {
         let mut opt = Adam::new(0.1);
         for _ in 0..300 {
             quadratic_loss(&w, &target).backward();
-            opt.step(&[w.clone()]);
+            opt.step(std::slice::from_ref(&w));
         }
         assert!(
             w.value().allclose(&target, 1e-2),
@@ -252,7 +252,7 @@ mod tests {
             // Constant loss w·0 gives zero gradient, but we must populate
             // grads for the step to act — use sum()*0.
             w.scale(0.0).sum().backward();
-            opt.step(&[w.clone()]);
+            opt.step(std::slice::from_ref(&w));
         }
         assert!(w.value().max_value() < 0.1);
     }
@@ -261,7 +261,7 @@ mod tests {
     fn step_skips_params_without_grads() {
         let w = Var::param(Tensor::ones([2]));
         let mut opt = Sgd::new(0.5);
-        opt.step(&[w.clone()]); // no backward ran
+        opt.step(std::slice::from_ref(&w)); // no backward ran
         assert_eq!(w.value().data(), &[1.0, 1.0]);
     }
 
@@ -270,7 +270,7 @@ mod tests {
         let w = Var::param(Tensor::ones([2]));
         w.sum().backward();
         let mut opt = Sgd::new(0.1);
-        opt.step(&[w.clone()]);
+        opt.step(std::slice::from_ref(&w));
         assert!(w.grad().is_none());
     }
 
@@ -278,7 +278,7 @@ mod tests {
     fn clip_grad_norm_scales_down() {
         let w = Var::param(randn(&mut rng(0), [10], 1.0));
         w.scale(100.0).sum().backward();
-        let pre = clip_grad_norm(&[w.clone()], 1.0);
+        let pre = clip_grad_norm(std::slice::from_ref(&w), 1.0);
         assert!(pre > 1.0);
         let post = w.grad().unwrap().sq_norm().sqrt();
         assert!((post - 1.0).abs() < 1e-4);
@@ -289,7 +289,7 @@ mod tests {
         let w = Var::param(Tensor::ones([4]));
         w.scale(1e-4).sum().backward();
         let g_before = w.grad().unwrap();
-        let pre = clip_grad_norm(&[w.clone()], 1.0);
+        let pre = clip_grad_norm(std::slice::from_ref(&w), 1.0);
         assert!(pre < 1.0);
         assert!(w.grad().unwrap().allclose(&g_before, 0.0));
     }

@@ -159,7 +159,11 @@ impl Tensor {
     /// Permute axes: `order[i]` names the source axis that becomes output
     /// axis `i` (NumPy `transpose` semantics).
     pub fn permute_axes(&self, order: &[usize]) -> Tensor {
-        assert_eq!(order.len(), self.rank(), "permute order must cover all axes");
+        assert_eq!(
+            order.len(),
+            self.rank(),
+            "permute order must cover all axes"
+        );
         let mut seen = vec![false; self.rank()];
         for &o in order {
             assert!(o < self.rank() && !seen[o], "invalid permutation {order:?}");
@@ -247,13 +251,14 @@ impl Tensor {
                 .collect();
             return Ok(Tensor::from_vec(out, self.shape.clone()));
         }
-        let out_shape = self.shape.broadcast(&other.shape).map_err(|_| {
-            TensorError::ShapeMismatch {
-                op,
-                lhs: self.dims().to_vec(),
-                rhs: other.dims().to_vec(),
-            }
-        })?;
+        let out_shape =
+            self.shape
+                .broadcast(&other.shape)
+                .map_err(|_| TensorError::ShapeMismatch {
+                    op,
+                    lhs: self.dims().to_vec(),
+                    rhs: other.dims().to_vec(),
+                })?;
         let numel = out_shape.numel();
         let mut out = vec![0.0f32; numel];
         let out_dims = out_shape.dims().to_vec();
@@ -305,7 +310,10 @@ impl Tensor {
 
     /// Apply `f` to every element.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor::from_vec(self.data.iter().map(|x| f(*x)).collect(), self.shape.clone())
+        Tensor::from_vec(
+            self.data.iter().map(|x| f(*x)).collect(),
+            self.shape.clone(),
+        )
     }
 
     pub fn scale(&self, k: f32) -> Tensor {
@@ -685,12 +693,18 @@ mod permute_tests {
         for (i, &o) in order.iter().enumerate() {
             inverse[o] = i;
         }
-        assert!(a.permute_axes(&order).permute_axes(&inverse).allclose(&a, 0.0));
+        assert!(a
+            .permute_axes(&order)
+            .permute_axes(&inverse)
+            .allclose(&a, 0.0));
     }
 
     #[test]
     #[should_panic(expected = "invalid permutation")]
     fn permute_rejects_duplicate_axes() {
-        Tensor::arange(6).reshape([2, 3]).unwrap().permute_axes(&[0, 0]);
+        Tensor::arange(6)
+            .reshape([2, 3])
+            .unwrap()
+            .permute_axes(&[0, 0]);
     }
 }

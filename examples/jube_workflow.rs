@@ -18,7 +18,10 @@ fn main() {
             t
         }
     };
-    println!("jube run resnet50/resnet50_benchmark.xml --tag {}\n", tags.join(" "));
+    println!(
+        "jube run resnet50/resnet50_benchmark.xml --tag {}\n",
+        tags.join(" ")
+    );
 
     // A 4-node partition; each workpackage is one Slurm job.
     let slurm = SlurmSim::new(4);

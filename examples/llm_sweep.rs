@@ -16,7 +16,10 @@ fn main() {
     } else {
         tags
     };
-    println!("jube run llm_training/llm_benchmark_nvidia_amd.yaml --tag {}\n", tags.join(" "));
+    println!(
+        "jube run llm_training/llm_benchmark_nvidia_amd.yaml --tag {}\n",
+        tags.join(" ")
+    );
     let benchmark = llm_benchmark_nvidia_amd();
     let result = benchmark.run(&tags).expect("benchmark runs");
     let mut table = result.table(&[
@@ -30,5 +33,9 @@ fn main() {
     ]);
     table.sort_by_column("global_batch");
     println!("{}", table.to_ascii());
-    println!("{} workpackages, {} failed", result.workpackages.len(), result.failures());
+    println!(
+        "{} workpackages, {} failed",
+        result.workpackages.len(),
+        result.failures()
+    );
 }

@@ -11,8 +11,7 @@ use caraml_suite::jpwr::method::{PowerMethod, ProcStatMethod};
 fn main() {
     // --- wall-clock mode ---
     println!("wall-clock measurement of a real CPU burn:");
-    let methods: Vec<Box<dyn PowerMethod>> =
-        vec![Box::new(ProcStatMethod::new(15.0, 120.0))];
+    let methods: Vec<Box<dyn PowerMethod>> = vec![Box::new(ProcStatMethod::new(15.0, 120.0))];
     let scope = get_power(methods, 20);
     let mut acc = 0u64;
     for i in 0..80_000_000u64 {
@@ -21,7 +20,11 @@ fn main() {
     std::hint::black_box(acc);
     let m = scope.finish();
     for (device, method, wh) in m.energy() {
-        println!("  {method}/{device}: {:.6} Wh over {} samples", wh, m.df.num_rows());
+        println!(
+            "  {method}/{device}: {:.6} Wh over {} samples",
+            wh,
+            m.df.num_rows()
+        );
     }
 
     // --- virtual mode ---

@@ -17,8 +17,14 @@ fn main() {
     llm.duration_s = 600.0; // ten simulated minutes
     let run = llm.run(512).expect("A100 run");
     println!("LLM (800M GPT, {}, global batch 512):", run.fom.system);
-    println!("  {:>12.0} tokens/s per GPU", run.fom.tokens_per_s_per_device);
-    println!("  {:>12.1} Wh per GPU over the window", run.fom.energy_wh_per_device);
+    println!(
+        "  {:>12.0} tokens/s per GPU",
+        run.fom.tokens_per_s_per_device
+    );
+    println!(
+        "  {:>12.1} Wh per GPU over the window",
+        run.fom.energy_wh_per_device
+    );
     println!("  {:>12.0} tokens/Wh", run.fom.tokens_per_wh);
     println!("  {:>12.1} W mean device power\n", run.fom.mean_power_w);
 
@@ -35,6 +41,9 @@ fn main() {
     let ipu = LlmBenchmark::run_ipu(1024, 1.0).expect("IPU GPT");
     println!("IPU (117M GPT, POD4, global batch 1024 tokens):");
     println!("  {:>12.2} tokens/s", ipu.fom.tokens_per_s_per_device);
-    println!("  {:>12.2} Wh per IPU per epoch", ipu.fom.energy_wh_per_device);
+    println!(
+        "  {:>12.2} Wh per IPU per epoch",
+        ipu.fom.energy_wh_per_device
+    );
     println!("  {:>12.2} tokens/Wh", ipu.fom.tokens_per_wh);
 }

@@ -14,7 +14,9 @@ use caraml_suite::caraml_accel::{NodeConfig, SystemId};
 fn main() {
     let tag = std::env::args().nth(1).unwrap_or_else(|| "A100".into());
     let Some(sys) = SystemId::from_jube_tag(&tag) else {
-        eprintln!("unknown system tag '{tag}'; use one of A100, H100, WAIH100, GH200, JEDI, MI250, GC200");
+        eprintln!(
+            "unknown system tag '{tag}'; use one of A100, H100, WAIH100, GH200, JEDI, MI250, GC200"
+        );
         std::process::exit(2);
     };
     let node = NodeConfig::for_system(sys);

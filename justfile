@@ -1,0 +1,25 @@
+# Developer task runner. Install `just`, or paste the recipes into a shell.
+
+# Full local gate: formatting, lints as errors, and the test suite.
+verify:
+    cargo fmt --check
+    cargo clippy --workspace -- -D warnings
+    cargo test -q
+
+# Tier-1 check used by CI: release build + quiet tests.
+ci:
+    cargo build --release
+    cargo test -q
+
+# Regenerate every paper table and figure.
+figures:
+    cargo run -p caraml-bench --bin table1_systems
+    cargo run -p caraml-bench --bin fig2_llm
+    cargo run -p caraml-bench --bin table2_ipu_gpt
+    cargo run -p caraml-bench --bin fig3_resnet
+    cargo run -p caraml-bench --bin table3_ipu_resnet
+    cargo run -p caraml-bench --bin fig4_heatmaps
+
+# Serial-vs-parallel sweep wall-time comparison (criterion).
+sweep-bench:
+    cargo bench -p caraml-bench --bench sweep_runner

@@ -1,0 +1,156 @@
+//! Vendored offline shim for the `parking_lot` API surface this workspace
+//! uses: [`Mutex`], [`RwLock`] and [`Condvar`] without lock poisoning.
+//!
+//! The container this repo builds in has no registry access, so external
+//! crates are replaced by minimal in-repo shims (see `shims/` in the
+//! workspace root). Implemented over `std::sync`; a poisoned std lock is
+//! recovered transparently, matching parking_lot's no-poisoning contract.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// A mutual-exclusion primitive (non-poisoning `lock()`).
+#[derive(Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+/// RAII guard for [`Mutex::lock`]. Wraps the std guard in an `Option` so
+/// [`Condvar::wait`] can temporarily take ownership through `&mut`.
+pub struct MutexGuard<'a, T: ?Sized>(Option<std::sync::MutexGuard<'a, T>>);
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(Some(self.0.lock().unwrap_or_else(|e| e.into_inner())))
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.0.as_ref().expect("guard active")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.0.as_mut().expect("guard active")
+    }
+}
+
+/// A reader-writer lock (non-poisoning `read()`/`write()`).
+#[derive(Default)]
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    pub const fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// A condition variable operating on [`MutexGuard`]s via `&mut`, matching
+/// parking_lot's signature (std consumes and returns the guard instead).
+#[derive(Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.0.take().expect("guard active");
+        guard.0 = Some(self.0.wait(inner).unwrap_or_else(|e| e.into_inner()));
+    }
+
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn rwlock_roundtrip() {
+        let l = RwLock::new(vec![1, 2]);
+        assert_eq!(l.read().len(), 2);
+        l.write().push(3);
+        assert_eq!(*l.read(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let s2 = state.clone();
+        let h = std::thread::spawn(move || {
+            let (lock, cvar) = &*s2;
+            let mut started = lock.lock();
+            while !*started {
+                cvar.wait(&mut started);
+            }
+        });
+        {
+            let (lock, cvar) = &*state;
+            *lock.lock() = true;
+            cvar.notify_all();
+        }
+        h.join().unwrap();
+    }
+}

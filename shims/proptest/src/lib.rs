@@ -1,0 +1,513 @@
+//! Vendored offline shim for the `proptest` API surface this workspace
+//! uses: the [`proptest!`] macro, numeric range strategies, string
+//! "regex" strategies of the `[class]{m,n}` shape, `prop::collection::{vec,
+//! btree_map}`, tuple strategies, `Just`, `prop_map`, `prop_flat_map`,
+//! `prop_assert!`/`prop_assert_eq!` and `ProptestConfig::with_cases`.
+//!
+//! Cases are generated from a deterministic per-test RNG (seeded from the
+//! test function name), so failures reproduce exactly. There is no
+//! shrinking: a failing case reports its values via `Debug` and panics.
+
+/// Deterministic RNG driving case generation (xoshiro256**).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    pub fn seed_from(name: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        h ^= case.wrapping_mul(0x9E3779B97F4A7C15);
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            h = h.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = h;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            *slot = z ^ (z >> 31);
+        }
+        TestRng { s }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0);
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Test-runner configuration (`with_cases` only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of values of type `Value`.
+pub trait Strategy: Sized {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F> {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+// ---- Numeric ranges ----
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let u = rng.unit_f64() as $t;
+                let v = self.start + u * (self.end - self.start);
+                if v >= self.end { self.start } else { v }
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                lo + (rng.unit_f64() as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+impl_float_range!(f32, f64);
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let r = (rng.next_u64() as u128) % span;
+                (self.start as i128 + r as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let r = (rng.next_u64() as u128) % span;
+                (lo as i128 + r as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// ---- String "regex" strategies ----
+
+/// A `&str` literal acts as a regex-shaped string strategy. Supported
+/// syntax (the only shapes in this repo): `[chars]{m,n}`, `\PC{m,n}`,
+/// optionally repeated/concatenated, and plain literal characters.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let class: Vec<char> = match chars[i] {
+            '[' => {
+                let mut set = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+                        set.extend((lo..=hi).filter_map(char::from_u32));
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                i += 1; // closing ]
+                set
+            }
+            '\\' if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') => {
+                // \PC = "any non-control char"; printable ASCII is enough.
+                i += 3;
+                (0x20u32..0x7f).filter_map(char::from_u32).collect()
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // Optional {m,n} / {n} repetition.
+        let (lo, hi) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unclosed {")
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((a, b)) => (
+                    a.trim().parse::<usize>().expect("bad repeat"),
+                    b.trim().parse::<usize>().expect("bad repeat"),
+                ),
+                None => {
+                    let n = body.trim().parse::<usize>().expect("bad repeat");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        let count = if hi > lo {
+            lo + rng.below(hi - lo + 1)
+        } else {
+            lo
+        };
+        for _ in 0..count {
+            out.push(class[rng.below(class.len())]);
+        }
+    }
+    out
+}
+
+// ---- Tuple strategies ----
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (S0 0)
+    (S0 0, S1 1)
+    (S0 0, S1 1, S2 2)
+    (S0 0, S1 1, S2 2, S3 3)
+    (S0 0, S1 1, S2 2, S3 3, S4 4)
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5)
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeMap;
+
+    /// Bounds for collection sizes: `n`, `lo..hi`, or `lo..=hi`.
+    pub trait SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + rng.below(self.end - self.start)
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.start() + rng.below(self.end() - self.start() + 1)
+        }
+    }
+
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub struct BTreeMapStrategy<K, V, R> {
+        key: K,
+        value: V,
+        size: R,
+    }
+
+    pub fn btree_map<K: Strategy, V: Strategy, R: SizeRange>(
+        key: K,
+        value: V,
+        size: R,
+    ) -> BTreeMapStrategy<K, V, R>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    impl<K: Strategy, V: Strategy, R: SizeRange> Strategy for BTreeMapStrategy<K, V, R>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            // Like real proptest, duplicate keys collapse: the map may end
+            // up smaller than the requested size.
+            (0..n)
+                .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+                .collect()
+        }
+    }
+}
+
+/// The `prop::` paths used by `use proptest::prelude::*` consumers.
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy, TestRng};
+}
+
+/// Execute `cases` deterministic cases of a property body.
+pub fn run_cases(
+    name: &str,
+    config: ProptestConfig,
+    mut body: impl FnMut(&mut TestRng) -> Result<(), String>,
+) {
+    for case in 0..config.cases as u64 {
+        let mut rng = TestRng::seed_from(name, case);
+        if let Err(msg) = body(&mut rng) {
+            panic!("proptest case {case}/{} failed: {msg}", config.cases);
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: {}: {}", stringify!($cond), ::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($lhs), stringify!($rhs), l, r
+            ));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} == {}` ({}):\n  left: {:?}\n right: {:?}",
+                stringify!($lhs), stringify!($rhs), ::std::format!($($fmt)+), l, r
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if *l == *r {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($lhs),
+                stringify!($rhs),
+                l
+            ));
+        }
+    }};
+}
+
+/// The `proptest! { ... }` block macro: expands each
+/// `fn name(pat in strategy, ...) { body }` into a `#[test]` running the
+/// configured number of generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_cases(stringify!($name), $cfg, |rng| {
+                $(let $arg = $crate::Strategy::generate(&($strategy), rng);)+
+                let check = || -> ::std::result::Result<(), ::std::string::String> {
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                check()
+            });
+        }
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples(x in 1usize..10, (a, b) in (0.0..1.0f64, -5i32..5)) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!((0.0..1.0).contains(&a));
+            prop_assert!((-5..5).contains(&b));
+        }
+
+        #[test]
+        fn string_pattern(s in "[a-c]{2,4}") {
+            prop_assert!((2..=4).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn collections(v in collection::vec(0u32..100, 1..6),
+                       m in collection::btree_map("[a-z]{1,3}", 0.0..1.0f64, 0..4)) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            prop_assert!(m.len() < 4);
+        }
+
+        #[test]
+        fn maps_compose(y in (1u32..5).prop_map(|x| x * 10)
+                            .prop_flat_map(|hi| 0u32..hi)) {
+            prop_assert!(y < 40);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        #[test]
+        fn config_applies(x in 0u64..1000) {
+            prop_assert!(x < 1000);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut r1 = TestRng::seed_from("t", 3);
+        let mut r2 = TestRng::seed_from("t", 3);
+        let s: Vec<u64> = (0..8).map(|_| r1.next_u64()).collect();
+        let t: Vec<u64> = (0..8).map(|_| r2.next_u64()).collect();
+        assert_eq!(s, t);
+    }
+}

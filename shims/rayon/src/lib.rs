@@ -1,0 +1,177 @@
+//! Vendored offline shim for the `rayon` API surface this workspace uses:
+//! `par_chunks_mut`, `into_par_iter` (ranges and `Vec`), `enumerate`,
+//! `map`, `for_each`, `collect`, `sum`.
+//!
+//! Parallel adapters are *eager*: `into_par_iter()` materialises the items,
+//! each combinator runs to completion on a `std::thread::scope` pool with
+//! work stealing via an atomic cursor, and ordering is always the input
+//! ordering (as rayon's indexed iterators guarantee). On a single-CPU
+//! host everything degrades to the sequential loop.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter, ParallelSliceMut};
+}
+
+fn worker_count(items: usize) -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    hw.min(items)
+}
+
+/// Run `f(0..n)` in parallel over a scoped pool; each index exactly once.
+fn run_indexed<F: Fn(usize) + Sync>(n: usize, f: F) {
+    let workers = worker_count(n);
+    if workers <= 1 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                f(i);
+            });
+        }
+    });
+}
+
+/// An eager "parallel iterator" over an owned list of items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pair each item with its index (input order).
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Parallel map preserving input order.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParIter<R> {
+        let n = self.items.len();
+        let slots: Vec<Mutex<Option<T>>> = self
+            .items
+            .into_iter()
+            .map(|t| Mutex::new(Some(t)))
+            .collect();
+        let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        run_indexed(n, |i| {
+            let item = slots[i].lock().unwrap().take().expect("item taken once");
+            *results[i].lock().unwrap() = Some(f(item));
+        });
+        ParIter {
+            items: results
+                .into_iter()
+                .map(|m| m.into_inner().unwrap().expect("result written"))
+                .collect(),
+        }
+    }
+
+    /// Parallel filter preserving input order.
+    pub fn filter<F: Fn(&T) -> bool + Sync>(self, f: F) -> ParIter<T> {
+        let keep = self.map(|t| if f(&t) { Some(t) } else { None });
+        ParIter {
+            items: keep.items.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Parallel side-effecting visit.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        self.map(f).items.into_iter().for_each(drop);
+    }
+
+    /// Ordered collection into any `FromIterator` container.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Conversion into [`ParIter`] (rayon's `IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+impl_range_par_iter!(usize, u32, u64, i32, i64);
+
+/// `par_chunks_mut` on slices.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..100usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_mut_enumerate_for_each() {
+        let mut data = [0u32; 40];
+        data.par_chunks_mut(7).enumerate().for_each(|(i, chunk)| {
+            for x in chunk {
+                *x = i as u32;
+            }
+        });
+        assert_eq!(data[0], 0);
+        assert_eq!(data[7], 1);
+        assert_eq!(data[39], 5);
+    }
+
+    #[test]
+    fn vec_par_iter_sum() {
+        let s: u64 = (0..1000u64).into_par_iter().map(|x| x).sum();
+        assert_eq!(s, 499_500);
+    }
+}

@@ -1,0 +1,387 @@
+//! Vendored offline shim for `serde_derive`.
+//!
+//! Hand-rolled token-stream parser (the build environment has no registry
+//! access, so `syn`/`quote` are unavailable). Supports exactly the item
+//! shapes this workspace derives on:
+//!
+//! * structs with named fields (including lifetime generics such as
+//!   `ChromeEvent<'a>`),
+//! * enums with unit variants and single-field (newtype) tuple variants,
+//! * the container attribute `#[serde(rename_all = "lowercase")]`.
+//!
+//! Generated impls target the Value-based traits of the in-repo `serde`
+//! shim: `Serialize::to_value` / `Deserialize::from_value`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Item {
+    Struct { fields: Vec<String> },
+    Enum { variants: Vec<(String, bool)> }, // (name, has_payload)
+}
+
+struct Parsed {
+    name: String,
+    generics: String,
+    rename_all: Option<String>,
+    item: Item,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let parsed = parse(input);
+    let code = match (&parsed.item, mode) {
+        (Item::Struct { fields }, Mode::Serialize) => gen_struct_ser(&parsed, fields),
+        (Item::Struct { fields }, Mode::Deserialize) => gen_struct_de(&parsed, fields),
+        (Item::Enum { variants }, Mode::Serialize) => gen_enum_ser(&parsed, variants),
+        (Item::Enum { variants }, Mode::Deserialize) => gen_enum_de(&parsed, variants),
+    };
+    code.parse()
+        .expect("serde_derive shim generated invalid Rust")
+}
+
+fn parse(input: TokenStream) -> Parsed {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut rename_all = None;
+
+    // Outer attributes (doc comments arrive as `#[doc = ...]`).
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    if let Some(v) = extract_rename_all(g.stream()) {
+                        rename_all = Some(v);
+                    }
+                    i += 2;
+                    continue;
+                }
+                i += 1;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected item name, got {other}"),
+    };
+    i += 1;
+
+    // Optional generics `<...>` (lifetimes only in this workspace).
+    let mut generics = String::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            let mut depth = 0i32;
+            loop {
+                match &tokens[i] {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                    _ => {}
+                }
+                generics.push_str(&tokens[i].to_string());
+                i += 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+        }
+    }
+
+    let body = loop {
+        match &tokens[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            _ => i += 1, // skip `where` clauses etc. (unused in this repo)
+        }
+    };
+
+    let item = if kind == "struct" {
+        Item::Struct {
+            fields: parse_fields(body),
+        }
+    } else {
+        Item::Enum {
+            variants: parse_variants(body),
+        }
+    };
+
+    Parsed {
+        name,
+        generics,
+        rename_all,
+        item,
+    }
+}
+
+/// Pull `rename_all = "..."` out of a `#[serde(...)]` attribute body.
+fn extract_rename_all(attr: TokenStream) -> Option<String> {
+    let mut iter = attr.into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner = match iter.next() {
+        Some(TokenTree::Group(g)) => g.stream(),
+        _ => return None,
+    };
+    let mut saw_key = false;
+    for tok in inner {
+        match tok {
+            TokenTree::Ident(id) if id.to_string() == "rename_all" => saw_key = true,
+            TokenTree::Literal(lit) if saw_key => {
+                return Some(lit.to_string().trim_matches('"').to_string());
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Field names of a named-field struct body.
+fn parse_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes and visibility.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: named struct fields required, got {other}"),
+        };
+        fields.push(name);
+        // Skip `: Type` up to the next top-level comma. Only `<`/`>` need
+        // manual depth tracking; (), [] and {} arrive as atomic groups.
+        let mut depth = 0i32;
+        i += 1;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// `(variant_name, has_payload)` pairs of an enum body.
+fn parse_variants(body: TokenStream) -> Vec<(String, bool)> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                i += 1;
+                continue;
+            }
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                let mut payload = false;
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        payload = true;
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        let commas = inner
+                            .iter()
+                            .filter(|t| matches!(t, TokenTree::Punct(p) if p.as_char() == ','))
+                            .count();
+                        assert!(
+                            commas == 0
+                                || (commas == 1
+                                    && matches!(inner.last(), Some(TokenTree::Punct(_)))),
+                            "serde_derive shim: only newtype enum variants supported"
+                        );
+                        i += 1;
+                    }
+                }
+                variants.push((name, payload));
+            }
+            other => panic!("serde_derive shim: unexpected token in enum body: {other}"),
+        }
+    }
+    variants
+}
+
+/// Apply the container `rename_all` rule to a variant name.
+fn rename(parsed: &Parsed, variant: &str) -> String {
+    match parsed.rename_all.as_deref() {
+        Some("lowercase") => variant.to_lowercase(),
+        Some("UPPERCASE") => variant.to_uppercase(),
+        Some("snake_case") => {
+            let mut out = String::new();
+            for (i, c) in variant.chars().enumerate() {
+                if c.is_uppercase() && i > 0 {
+                    out.push('_');
+                }
+                out.push(c.to_ascii_lowercase());
+            }
+            out
+        }
+        _ => variant.to_string(),
+    }
+}
+
+fn gen_struct_ser(p: &Parsed, fields: &[String]) -> String {
+    let entries: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),"
+            )
+        })
+        .collect();
+    format!(
+        "impl {g} ::serde::Serialize for {n} {g} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Map(::std::vec![{entries}])\n\
+             }}\n\
+         }}",
+        g = p.generics,
+        n = p.name,
+    )
+}
+
+fn gen_struct_de(p: &Parsed, fields: &[String]) -> String {
+    assert!(
+        p.generics.is_empty(),
+        "serde_derive shim: Deserialize on generic structs is unsupported"
+    );
+    let entries: String = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::field(m, \"{f}\")?,"))
+        .collect();
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {n} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let m = v.as_map().ok_or_else(|| ::serde::Error::custom(\"expected map for {n}\"))?;\n\
+                 ::std::result::Result::Ok({n} {{ {entries} }})\n\
+             }}\n\
+         }}",
+        n = p.name,
+    )
+}
+
+fn gen_enum_ser(p: &Parsed, variants: &[(String, bool)]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|(v, payload)| {
+            let tag = rename(p, v);
+            if *payload {
+                format!(
+                    "{n}::{v}(inner) => ::serde::Value::Map(::std::vec![(\
+                         ::std::string::String::from(\"{tag}\"), \
+                         ::serde::Serialize::to_value(inner))]),",
+                    n = p.name,
+                )
+            } else {
+                format!(
+                    "{n}::{v} => ::serde::Value::Str(::std::string::String::from(\"{tag}\")),",
+                    n = p.name,
+                )
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {n} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {arms} }}\n\
+             }}\n\
+         }}",
+        n = p.name,
+    )
+}
+
+fn gen_enum_de(p: &Parsed, variants: &[(String, bool)]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|(_, payload)| !payload)
+        .map(|(v, _)| {
+            format!(
+                "\"{tag}\" => return ::std::result::Result::Ok({n}::{v}),",
+                tag = rename(p, v),
+                n = p.name,
+            )
+        })
+        .collect();
+    let newtype_arms: String = variants
+        .iter()
+        .filter(|(_, payload)| *payload)
+        .map(|(v, _)| {
+            format!(
+                "\"{tag}\" => return ::std::result::Result::Ok({n}::{v}(::serde::Deserialize::from_value(&m[0].1)?)),",
+                tag = rename(p, v),
+                n = p.name,
+            )
+        })
+        .collect();
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {n} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 if let ::std::option::Option::Some(s) = v.as_str() {{\n\
+                     match s {{ {unit_arms} _ => {{}} }}\n\
+                 }}\n\
+                 if let ::std::option::Option::Some(m) = v.as_map() {{\n\
+                     if m.len() == 1 {{\n\
+                         match m[0].0.as_str() {{ {newtype_arms} _ => {{}} }}\n\
+                     }}\n\
+                 }}\n\
+                 ::std::result::Result::Err(::serde::Error::custom(\"unknown variant for {n}\"))\n\
+             }}\n\
+         }}",
+        n = p.name,
+    )
+}

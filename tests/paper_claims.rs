@@ -112,7 +112,11 @@ fn claim8_ipu_flat_heatmap_with_peak_at_2x16() {
         .flatten()
         .filter_map(|c| c.value())
         .fold(0.0, f64::max);
-    assert_eq!(grid[1][0].value(), Some(best), "peak must be 2 IPUs × batch 16");
+    assert_eq!(
+        grid[1][0].value(),
+        Some(best),
+        "peak must be 2 IPUs × batch 16"
+    );
     // "performance behavior is relatively flat over a large range":
     // within one row, max/min ratio stays small for batch ≥ 32.
     let row: Vec<f64> = grid[0][1..].iter().filter_map(|c| c.value()).collect();

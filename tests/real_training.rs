@@ -67,7 +67,11 @@ fn data_parallel_training_matches_single_replica() {
             .map(|r| (0..SEQ as u32).map(|i| (r + i) % VOCAB as u32).collect())
             .collect();
         let targets: Vec<Vec<u32>> = rows
-            .map(|r| (0..SEQ as u32).map(|i| (r + i + 1) % VOCAB as u32).collect())
+            .map(|r| {
+                (0..SEQ as u32)
+                    .map(|i| (r + i + 1) % VOCAB as u32)
+                    .collect()
+            })
             .collect();
         (inputs, targets)
     }

@@ -31,7 +31,9 @@ fn full_llm_flow_on_slurm_for_gh200() {
 
 #[test]
 fn ipu_flow_produces_table2_columns() {
-    let result = llm_benchmark_ipu().run(&tags(&["117M", "synthetic"])).unwrap();
+    let result = llm_benchmark_ipu()
+        .run(&tags(&["117M", "synthetic"]))
+        .unwrap();
     assert_eq!(result.failures(), 0);
     let mut table = result.table(&[
         "global_batch_tokens",
@@ -44,8 +46,6 @@ fn ipu_flow_produces_table2_columns() {
     // Monotone, saturating toward ~194 tokens/s (Table II).
     assert!(tput_monotone(&tput));
     assert!(*tput.last().unwrap() > 190.0 && *tput.last().unwrap() < 195.0);
-    let tput = tput; // silence unused in release config
-    let _ = tput;
 }
 
 fn tput_monotone(v: &[f64]) -> bool {
@@ -72,13 +72,13 @@ fn resnet_flow_reports_oom_through_the_stack() {
 
 #[test]
 fn tag_selection_switches_systems_end_to_end() {
-    for (tag, expect) in [
-        ("A100", "A100"),
-        ("WAIH100", "WestAI"),
-        ("JEDI", "JEDI"),
-    ] {
+    for (tag, expect) in [("A100", "A100"), ("WAIH100", "WestAI"), ("JEDI", "JEDI")] {
         let result = resnet50_benchmark().run(&tags(&[tag])).unwrap();
-        let wp = result.workpackages.iter().find(|w| w.error.is_none()).unwrap();
+        let wp = result
+            .workpackages
+            .iter()
+            .find(|w| w.error.is_none())
+            .unwrap();
         assert!(
             wp.values["platform"].contains(expect),
             "tag {tag} -> platform {}",
@@ -109,7 +109,9 @@ fn concurrent_benchmarks_share_a_partition() {
     // Two different suites submitted to the same Slurm partition must
     // both complete (no deadlock, no cross-talk).
     let slurm = SlurmSim::new(3);
-    let r1 = resnet50_benchmark().run_on(&slurm, &tags(&["GC200"]), 1).unwrap();
+    let r1 = resnet50_benchmark()
+        .run_on(&slurm, &tags(&["GC200"]), 1)
+        .unwrap();
     let r2 = llm_benchmark_ipu().run_on(&slurm, &tags(&[]), 1).unwrap();
     assert_eq!(r1.failures(), 0);
     assert_eq!(r2.failures(), 0);
