@@ -3,7 +3,7 @@
 //! building block" of both workloads.
 
 use caraml_tensor::conv::{conv2d, Conv2dCfg};
-use caraml_tensor::matmul::{bmm, matmul, matmul_naive};
+use caraml_tensor::matmul::{bmm, matmul, matmul_at, matmul_bt, matmul_naive};
 use caraml_tensor::Tensor;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
@@ -24,6 +24,15 @@ fn bench_matmul(c: &mut Criterion) {
         g.throughput(Throughput::Elements((2 * n * n * n) as u64));
         g.bench_with_input(BenchmarkId::new("blocked_parallel", n), &n, |bench, _| {
             bench.iter(|| matmul(&a, &b).unwrap());
+        });
+        // The transpose variants run through the same packed engine via
+        // stride-swapped packing; benchmarking them alongside the plain
+        // path keeps that free-transposition claim honest.
+        g.bench_with_input(BenchmarkId::new("blocked_bt", n), &n, |bench, _| {
+            bench.iter(|| matmul_bt(&a, &b).unwrap());
+        });
+        g.bench_with_input(BenchmarkId::new("blocked_at", n), &n, |bench, _| {
+            bench.iter(|| matmul_at(&a, &b).unwrap());
         });
         if n <= 128 {
             g.bench_with_input(BenchmarkId::new("naive", n), &n, |bench, _| {
@@ -57,9 +66,55 @@ fn bench_conv(c: &mut Criterion) {
     g.finish();
 }
 
+/// ResNet50-realistic layer geometries (batch 2 to keep criterion's
+/// sample budget reasonable): the 7x7/2 stem, an early-stage 3x3, a
+/// mid-network 3x3, and a 1x1 channel expansion.
+fn bench_conv_resnet(c: &mut Criterion) {
+    let mut g = c.benchmark_group("conv2d_resnet50");
+    g.sample_size(10);
+    let cases: &[(&str, [usize; 4], [usize; 4], Conv2dCfg)] = &[
+        (
+            "stem_7x7s2_3to64_224",
+            [2, 3, 224, 224],
+            [64, 3, 7, 7],
+            Conv2dCfg::new(2, 3),
+        ),
+        (
+            "3x3_64to64_56",
+            [2, 64, 56, 56],
+            [64, 64, 3, 3],
+            Conv2dCfg::new(1, 1),
+        ),
+        (
+            "3x3_128to128_28",
+            [2, 128, 28, 28],
+            [128, 128, 3, 3],
+            Conv2dCfg::new(1, 1),
+        ),
+        (
+            "1x1_256to512_28",
+            [2, 256, 28, 28],
+            [512, 256, 1, 1],
+            Conv2dCfg::new(1, 0),
+        ),
+    ];
+    for (label, xd, wd, cfg) in cases {
+        let x = seeded(xd.iter().product()).reshape(*xd).unwrap();
+        let w = seeded(wd.iter().product()).reshape(*wd).unwrap();
+        let oh = cfg.out_dim(xd[2], wd[2]);
+        let ow = cfg.out_dim(xd[3], wd[3]);
+        let flops = 2 * (xd[0] * wd[0] * wd[1] * wd[2] * wd[3] * oh * ow) as u64;
+        g.throughput(Throughput::Elements(flops));
+        g.bench_function(*label, |bench| {
+            bench.iter(|| conv2d(&x, &w, *cfg).unwrap());
+        });
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_matmul, bench_bmm, bench_conv
+    targets = bench_matmul, bench_bmm, bench_conv, bench_conv_resnet
 }
 criterion_main!(benches);

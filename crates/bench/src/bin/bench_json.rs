@@ -1,0 +1,195 @@
+//! Machine-readable kernel throughput snapshot: times the tensor-stack
+//! hot kernels (GEMM variants, batched matmul, ResNet50-shaped
+//! convolutions) and writes `BENCH_TENSOR.json` with GFLOP/s per
+//! kernel/shape. Committing the file each PR gives the repo a perf
+//! trajectory that reviewers can diff, which is the paper's whole point:
+//! throughput numbers are only credible when they are measured, tracked,
+//! and reproducible (`just bench-json`).
+
+use caraml_tensor::conv::{conv2d, Conv2dCfg};
+use caraml_tensor::matmul::{bmm, matmul, matmul_at, matmul_bt};
+use caraml_tensor::Tensor;
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Record {
+    kernel: String,
+    shape: String,
+    flops: u64,
+    median_ms: f64,
+    gflops: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    schema: &'static str,
+    samples_per_kernel: usize,
+    records: Vec<Record>,
+}
+
+fn seeded(n: usize) -> Tensor {
+    Tensor::from_vec(
+        (0..n)
+            .map(|i| ((i as u64 * 2654435761) % 97) as f32 / 97.0 - 0.5)
+            .collect(),
+        [n],
+    )
+}
+
+/// Median wall time of `samples` timed runs after one warm-up.
+fn time_median(samples: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up: populate workspace pool, fault pages
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+fn record(
+    records: &mut Vec<Record>,
+    samples: usize,
+    kernel: &str,
+    shape: &str,
+    flops: u64,
+    f: impl FnMut(),
+) {
+    let median = time_median(samples, f);
+    let gflops = flops as f64 / median / 1e9;
+    println!(
+        "{kernel:<14} {shape:<28} {:>9.3} ms  {gflops:>8.2} GFLOP/s",
+        median * 1e3
+    );
+    records.push(Record {
+        kernel: kernel.to_string(),
+        shape: shape.to_string(),
+        flops,
+        median_ms: median * 1e3,
+        gflops,
+    });
+}
+
+fn main() {
+    let samples = 15;
+    let mut records = Vec::new();
+
+    // Square GEMM sweep, all three transpose variants.
+    for &n in &[64usize, 128, 256, 512] {
+        let a = seeded(n * n).reshape([n, n]).unwrap();
+        let b = seeded(n * n).reshape([n, n]).unwrap();
+        let flops = 2 * (n as u64).pow(3);
+        record(
+            &mut records,
+            samples,
+            "matmul",
+            &format!("{n}x{n}x{n}"),
+            flops,
+            || {
+                black_box(matmul(&a, &b).unwrap());
+            },
+        );
+        record(
+            &mut records,
+            samples,
+            "matmul_bt",
+            &format!("{n}x{n}x{n}"),
+            flops,
+            || {
+                black_box(matmul_bt(&a, &b).unwrap());
+            },
+        );
+        record(
+            &mut records,
+            samples,
+            "matmul_at",
+            &format!("{n}x{n}x{n}"),
+            flops,
+            || {
+                black_box(matmul_at(&a, &b).unwrap());
+            },
+        );
+    }
+
+    // GPT-ish rectangular GEMM: [tokens, hidden] x [hidden, 4*hidden].
+    let (m, k, n) = (256usize, 256usize, 1024usize);
+    let a = seeded(m * k).reshape([m, k]).unwrap();
+    let b = seeded(k * n).reshape([k, n]).unwrap();
+    record(
+        &mut records,
+        samples,
+        "matmul",
+        &format!("{m}x{k}x{n} (mlp)"),
+        2 * (m * k * n) as u64,
+        || {
+            black_box(matmul(&a, &b).unwrap());
+        },
+    );
+
+    // Attention-shaped batched matmul: 8 heads of 64x64.
+    let a = seeded(8 * 64 * 64).reshape([8, 64, 64]).unwrap();
+    let b = seeded(8 * 64 * 64).reshape([8, 64, 64]).unwrap();
+    record(
+        &mut records,
+        samples,
+        "bmm",
+        "8x64x64x64 (attention)",
+        2 * 8 * 64u64.pow(3),
+        || {
+            black_box(bmm(&a, &b).unwrap());
+        },
+    );
+
+    // ResNet50-realistic convolutions (batch 4): the stem, an early 3x3
+    // bottleneck stage, a mid-network stage, and a 1x1 expansion.
+    let conv_cases: &[(&str, [usize; 4], [usize; 4], Conv2dCfg)] = &[
+        (
+            "7x7s2 stem 3->64 @224",
+            [4, 3, 224, 224],
+            [64, 3, 7, 7],
+            Conv2dCfg::new(2, 3),
+        ),
+        (
+            "3x3 64->64 @56",
+            [4, 64, 56, 56],
+            [64, 64, 3, 3],
+            Conv2dCfg::new(1, 1),
+        ),
+        (
+            "3x3 128->128 @28",
+            [4, 128, 28, 28],
+            [128, 128, 3, 3],
+            Conv2dCfg::new(1, 1),
+        ),
+        (
+            "1x1 256->512 @28",
+            [4, 256, 28, 28],
+            [512, 256, 1, 1],
+            Conv2dCfg::new(1, 0),
+        ),
+    ];
+    for (label, xd, wd, cfg) in conv_cases {
+        let x = seeded(xd.iter().product()).reshape(*xd).unwrap();
+        let w = seeded(wd.iter().product()).reshape(*wd).unwrap();
+        let oh = cfg.out_dim(xd[2], wd[2]);
+        let ow = cfg.out_dim(xd[3], wd[3]);
+        let flops = 2 * (xd[0] * wd[0] * wd[1] * wd[2] * wd[3] * oh * ow) as u64;
+        record(&mut records, 7, "conv2d", label, flops, || {
+            black_box(conv2d(&x, &w, *cfg).unwrap());
+        });
+    }
+
+    let report = Report {
+        schema: "caraml-bench-tensor-v1",
+        samples_per_kernel: samples,
+        records,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialise report");
+    std::fs::write("BENCH_TENSOR.json", &json).expect("write BENCH_TENSOR.json");
+    println!("\nwrote BENCH_TENSOR.json");
+}

@@ -148,8 +148,9 @@ impl GptModel {
             let q = split(&a_in.linear(&block.wq, None)).rope();
             let k = split(&a_in.linear(&block.wk, None)).rope();
             let v = split(&a_in.linear(&block.wv, None));
-            // scores [b·heads, s, s]
-            let scores = q.bmm(&k.transpose()).scale(scale).add(&mask);
+            // scores [b·heads, s, s]; Q·Kᵀ runs through the engine's
+            // transpose-aware path — K is never materialised transposed.
+            let scores = q.bmm_bt(&k).scale(scale).add(&mask);
             let attn = scores.softmax().bmm(&v); // [b·heads, s, hd]
             let merged = attn
                 .reshape([b, heads, s, hd])

@@ -15,7 +15,7 @@ use crate::conv::{
     conv2d, conv2d_backward, global_avgpool, global_avgpool_backward, maxpool2d,
     maxpool2d_backward, Conv2dCfg,
 };
-use crate::matmul::{bmm, matmul, matmul_at, matmul_bt};
+use crate::matmul::{bmm, bmm_at, bmm_bt, matmul, matmul_at, matmul_bt};
 use crate::nn;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
@@ -378,7 +378,9 @@ impl Var {
         )
     }
 
-    /// Batched matmul `[b, m, k]·[b, k, n]`.
+    /// Batched matmul `[b, m, k]·[b, k, n]`. The backward feeds the
+    /// transpose-aware engine entry points (`dA = dy·Bᵀ`, `dB = Aᵀ·dy`)
+    /// instead of materialising transposed operands.
     pub fn bmm(&self, other: &Var) -> Var {
         let a = self.value();
         let b = other.value();
@@ -387,8 +389,46 @@ impl Var {
             out,
             vec![self.clone(), other.clone()],
             Box::new(move |dy| {
-                let da = bmm(dy, &b.transpose()).expect("bmm backward dA");
-                let db = bmm(&a.transpose(), dy).expect("bmm backward dB");
+                let da = bmm_bt(dy, &b).expect("bmm backward dA");
+                let db = bmm_at(&a, dy).expect("bmm backward dB");
+                vec![Some(da), Some(db)]
+            }),
+        )
+    }
+
+    /// Batched matmul against a transposed right operand:
+    /// `[b, m, k]·[b, n, k]ᵀ -> [b, m, n]` without materialising the
+    /// transpose (attention scores `Q·Kᵀ`).
+    pub fn bmm_bt(&self, other: &Var) -> Var {
+        let a = self.value();
+        let b = other.value();
+        let out = bmm_bt(&a, &b).expect("bmm_bt shapes");
+        Var::op(
+            out,
+            vec![self.clone(), other.clone()],
+            Box::new(move |dy| {
+                // y = A·Bᵀ: dA = dy·B, dB = dyᵀ·A.
+                let da = bmm(dy, &b).expect("bmm_bt backward dA");
+                let db = bmm_at(dy, &a).expect("bmm_bt backward dB");
+                vec![Some(da), Some(db)]
+            }),
+        )
+    }
+
+    /// Batched matmul with a transposed left operand:
+    /// `[b, k, m]ᵀ·[b, k, n] -> [b, m, n]` without materialising the
+    /// transpose.
+    pub fn bmm_at(&self, other: &Var) -> Var {
+        let a = self.value();
+        let b = other.value();
+        let out = bmm_at(&a, &b).expect("bmm_at shapes");
+        Var::op(
+            out,
+            vec![self.clone(), other.clone()],
+            Box::new(move |dy| {
+                // y = Aᵀ·B: dA = B·dyᵀ, dB = A·dy.
+                let da = bmm_bt(&b, dy).expect("bmm_at backward dA");
+                let db = bmm(&a, dy).expect("bmm_at backward dB");
                 vec![Some(da), Some(db)]
             }),
         )
@@ -860,6 +900,49 @@ mod tests {
             let num = (bmm(&ap, &b0).unwrap().sum() - bmm(&am, &b0).unwrap().sum()) / (2.0 * eps);
             assert!((num - da.data()[idx]).abs() < 1e-2);
         }
+    }
+
+    /// bmm_bt/bmm_at must be exact graph-level equivalents of
+    /// `bmm` with an explicitly transposed operand: same value, same
+    /// gradients for both inputs.
+    #[test]
+    fn bmm_bt_equals_bmm_of_transpose() {
+        let a0 = randn(&mut rng(25), [2, 3, 4], 1.0);
+        let b0 = randn(&mut rng(26), [2, 5, 4], 1.0);
+
+        let a1 = Var::param(a0.clone());
+        let b1 = Var::param(b0.clone());
+        let y1 = a1.bmm_bt(&b1);
+        y1.mul(&y1).sum().backward();
+
+        let a2 = Var::param(a0);
+        let b2 = Var::param(b0);
+        let y2 = a2.bmm(&b2.transpose());
+        y2.mul(&y2).sum().backward();
+
+        assert!(y1.value().allclose(&y2.value(), 1e-5));
+        assert!(a1.grad().unwrap().allclose(&a2.grad().unwrap(), 1e-4));
+        assert!(b1.grad().unwrap().allclose(&b2.grad().unwrap(), 1e-4));
+    }
+
+    #[test]
+    fn bmm_at_equals_bmm_of_transpose() {
+        let a0 = randn(&mut rng(27), [2, 4, 3], 1.0);
+        let b0 = randn(&mut rng(28), [2, 4, 5], 1.0);
+
+        let a1 = Var::param(a0.clone());
+        let b1 = Var::param(b0.clone());
+        let y1 = a1.bmm_at(&b1);
+        y1.mul(&y1).sum().backward();
+
+        let a2 = Var::param(a0);
+        let b2 = Var::param(b0);
+        let y2 = a2.transpose().bmm(&b2);
+        y2.mul(&y2).sum().backward();
+
+        assert!(y1.value().allclose(&y2.value(), 1e-5));
+        assert!(a1.grad().unwrap().allclose(&a2.grad().unwrap(), 1e-4));
+        assert!(b1.grad().unwrap().allclose(&b2.grad().unwrap(), 1e-4));
     }
 
     #[test]

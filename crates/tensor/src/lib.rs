@@ -15,7 +15,10 @@
 //! Modules:
 //! * [`shape`] — shapes, strides, broadcasting;
 //! * [`tensor`] — the dense tensor value type and its eager ops;
-//! * [`matmul`] — blocked, rayon-parallel GEMM;
+//! * [`matmul`] — cache-blocked, packed-panel GEMM (see its module docs
+//!   for the tiling scheme and determinism guarantee);
+//! * [`workspace`] — reusable scratch-buffer pool shared by the kernels
+//!   and recycled tensor storage;
 //! * [`conv`] — im2col convolution, pooling;
 //! * [`autograd`] — reverse-mode differentiation ([`autograd::Var`]);
 //! * [`nn`] — neural-network functional ops (softmax, layernorm, GELU, …);
@@ -36,6 +39,7 @@ pub mod nn;
 pub mod optim;
 pub mod shape;
 pub mod tensor;
+pub mod workspace;
 
 pub use autograd::Var;
 pub use shape::Shape;

@@ -6,8 +6,13 @@
 //! the Megatron-LM optimizations the benchmark enables); and the fused
 //! softmax-cross-entropy loss. Every backward is validated against
 //! numerical gradients in the test suite.
+//!
+//! Output buffers are drawn from the global [`crate::workspace`] pool
+//! and recycled by tensor drop, so these per-call ops stop allocating
+//! once a training loop reaches steady state.
 
 use crate::tensor::Tensor;
+use crate::workspace;
 
 // ---------- activations ----------
 
@@ -19,12 +24,13 @@ pub fn relu(x: &Tensor) -> Tensor {
 /// Backward of ReLU given the *input* and upstream gradient.
 pub fn relu_backward(x: &Tensor, dy: &Tensor) -> Tensor {
     assert_eq!(x.dims(), dy.dims());
-    let data = x
-        .data()
-        .iter()
-        .zip(dy.data())
-        .map(|(v, g)| if *v > 0.0 { *g } else { 0.0 })
-        .collect();
+    let mut data = workspace::global().take_raw(x.numel());
+    data.extend(
+        x.data()
+            .iter()
+            .zip(dy.data())
+            .map(|(v, g)| if *v > 0.0 { *g } else { 0.0 }),
+    );
     Tensor::from_vec(data, x.dims().to_vec())
 }
 
@@ -51,12 +57,13 @@ fn gelu_grad_scalar(v: f32) -> f32 {
 /// Backward of GELU given the *input* and upstream gradient.
 pub fn gelu_backward(x: &Tensor, dy: &Tensor) -> Tensor {
     assert_eq!(x.dims(), dy.dims());
-    let data = x
-        .data()
-        .iter()
-        .zip(dy.data())
-        .map(|(v, g)| gelu_grad_scalar(*v) * g)
-        .collect();
+    let mut data = workspace::global().take_raw(x.numel());
+    data.extend(
+        x.data()
+            .iter()
+            .zip(dy.data())
+            .map(|(v, g)| gelu_grad_scalar(*v) * g),
+    );
     Tensor::from_vec(data, x.dims().to_vec())
 }
 
@@ -70,7 +77,7 @@ pub fn sigmoid(x: &Tensor) -> Tensor {
 /// Numerically stable softmax over the last axis.
 pub fn softmax_last(x: &Tensor) -> Tensor {
     let n = *x.dims().last().expect("softmax needs rank >= 1");
-    let mut out = x.data().to_vec();
+    let mut out = workspace::global().take_copy(x.data());
     for row in out.chunks_mut(n) {
         let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let mut sum = 0.0;
@@ -90,7 +97,7 @@ pub fn softmax_last(x: &Tensor) -> Tensor {
 pub fn softmax_last_backward(y: &Tensor, dy: &Tensor) -> Tensor {
     assert_eq!(y.dims(), dy.dims());
     let n = *y.dims().last().unwrap();
-    let mut out = vec![0.0f32; y.numel()];
+    let mut out = workspace::global().take_zeroed(y.numel());
     for ((yr, dyr), or) in y
         .data()
         .chunks(n)
@@ -114,7 +121,7 @@ pub fn cross_entropy_logits(logits: &Tensor, targets: &[usize]) -> (f32, Tensor)
     assert_eq!(targets.len(), n, "one target per row");
     let probs = softmax_last(logits);
     let mut loss = 0.0f32;
-    let mut grad = probs.data().to_vec();
+    let mut grad = workspace::global().take_copy(probs.data());
     for (i, &t) in targets.iter().enumerate() {
         assert!(t < v, "target {t} out of vocabulary {v}");
         let p = probs.data()[i * v + t].max(1e-12);
@@ -145,8 +152,9 @@ pub fn layernorm(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> (Tensor
     assert_eq!(gamma.numel(), n);
     assert_eq!(beta.numel(), n);
     let rows = x.numel() / n;
-    let mut xhat = vec![0.0f32; x.numel()];
-    let mut out = vec![0.0f32; x.numel()];
+    let ws = workspace::global();
+    let mut xhat = ws.take_zeroed(x.numel());
+    let mut out = ws.take_zeroed(x.numel());
     let mut inv_std = vec![0.0f32; rows];
     for (r, row) in x.data().chunks(n).enumerate() {
         let mean = row.iter().sum::<f32>() / n as f32;
@@ -177,9 +185,10 @@ pub fn layernorm_backward(
     let n = *dy.dims().last().unwrap();
     let rows = dy.numel() / n;
     let xhat = cache.xhat.data();
-    let mut dx = vec![0.0f32; dy.numel()];
-    let mut dgamma = vec![0.0f32; n];
-    let mut dbeta = vec![0.0f32; n];
+    let ws = workspace::global();
+    let mut dx = ws.take_zeroed(dy.numel());
+    let mut dgamma = ws.take_zeroed(n);
+    let mut dbeta = ws.take_zeroed(n);
     for r in 0..rows {
         let dy_row = &dy.data()[r * n..(r + 1) * n];
         let xh_row = &xhat[r * n..(r + 1) * n];
@@ -226,8 +235,9 @@ pub fn batchnorm2d(
     assert_eq!(gamma.numel(), c);
     assert_eq!(beta.numel(), c);
     let count = (n * h * w) as f32;
-    let mut xhat = vec![0.0f32; x.numel()];
-    let mut out = vec![0.0f32; x.numel()];
+    let ws = workspace::global();
+    let mut xhat = ws.take_zeroed(x.numel());
+    let mut out = ws.take_zeroed(x.numel());
     let mut inv_std = vec![0.0f32; c];
     let data = x.data();
     for ci in 0..c {
@@ -278,9 +288,10 @@ pub fn batchnorm2d_backward(
     let count = (n * h * w) as f32;
     let xhat = cache.xhat.data();
     let dyd = dy.data();
-    let mut dx = vec![0.0f32; dy.numel()];
-    let mut dgamma = vec![0.0f32; c];
-    let mut dbeta = vec![0.0f32; c];
+    let ws = workspace::global();
+    let mut dx = ws.take_zeroed(dy.numel());
+    let mut dgamma = ws.take_zeroed(c);
+    let mut dbeta = ws.take_zeroed(c);
     for ci in 0..c {
         let mut sum_dy = 0.0f32;
         let mut sum_dy_xh = 0.0f32;
@@ -316,7 +327,7 @@ pub fn batchnorm2d_backward(
 pub fn embedding(table: &Tensor, ids: &[usize]) -> Tensor {
     assert_eq!(table.rank(), 2);
     let (v, d) = (table.dims()[0], table.dims()[1]);
-    let mut out = Vec::with_capacity(ids.len() * d);
+    let mut out = workspace::global().take_raw(ids.len() * d);
     for &id in ids {
         assert!(id < v, "token id {id} out of vocabulary {v}");
         out.extend_from_slice(&table.data()[id * d..(id + 1) * d]);
@@ -327,7 +338,7 @@ pub fn embedding(table: &Tensor, ids: &[usize]) -> Tensor {
 /// Backward of embedding: scatter-add `dy [n, d]` into a `[v, d]` grad.
 pub fn embedding_backward(dy: &Tensor, ids: &[usize], vocab: usize) -> Tensor {
     let d = dy.dims()[1];
-    let mut grad = vec![0.0f32; vocab * d];
+    let mut grad = workspace::global().take_zeroed(vocab * d);
     for (row, &id) in ids.iter().enumerate() {
         for j in 0..d {
             grad[id * d + j] += dy.data()[row * d + j];
@@ -347,7 +358,7 @@ pub fn rope(x: &Tensor, inverse: bool) -> Tensor {
     let (heads, seq, d) = (x.dims()[0], x.dims()[1], x.dims()[2]);
     assert_eq!(d % 2, 0, "rope head_dim must be even");
     let sign = if inverse { -1.0f32 } else { 1.0 };
-    let mut out = vec![0.0f32; x.numel()];
+    let mut out = workspace::global().take_zeroed(x.numel());
     let data = x.data();
     for hh in 0..heads {
         for p in 0..seq {

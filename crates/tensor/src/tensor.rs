@@ -4,16 +4,38 @@
 //! `f32` array with NumPy-style broadcasting. All eager ops allocate their
 //! output; in-place variants (`*_inplace`) exist for the optimizer hot
 //! path.
+//!
+//! Output buffers are drawn from the global [`crate::workspace`] pool and
+//! returned to it when the last reference to a tensor drops, so training
+//! loops reach a steady state where step *N+1* recycles the buffers of
+//! step *N* instead of hitting the allocator.
 
 use crate::shape::Shape;
+use crate::workspace;
 use crate::TensorError;
-use std::sync::Arc;
+use std::sync::{Arc, LazyLock};
 
 /// Dense row-major `f32` tensor.
 #[derive(Clone)]
 pub struct Tensor {
     data: Arc<Vec<f32>>,
     shape: Shape,
+}
+
+/// Shared empty buffer swapped into a tensor being dropped so its real
+/// buffer can be unwrapped from the `Arc` and recycled.
+static EMPTY_DATA: LazyLock<Arc<Vec<f32>>> = LazyLock::new(|| Arc::new(Vec::new()));
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        // Only the last owner recycles; clones just decrement the count.
+        if Arc::strong_count(&self.data) == 1 && self.data.capacity() >= workspace::MIN_POOLED_LEN {
+            let data = std::mem::replace(&mut self.data, EMPTY_DATA.clone());
+            if let Ok(buf) = Arc::try_unwrap(data) {
+                workspace::global().give(buf);
+            }
+        }
+    }
 }
 
 impl std::fmt::Debug for Tensor {
@@ -56,7 +78,7 @@ impl Tensor {
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
         Tensor {
-            data: Arc::new(vec![0.0; shape.numel()]),
+            data: Arc::new(workspace::global().take_zeroed(shape.numel())),
             shape,
         }
     }
@@ -67,8 +89,11 @@ impl Tensor {
 
     pub fn full(shape: impl Into<Shape>, v: f32) -> Self {
         let shape = shape.into();
+        let numel = shape.numel();
+        let mut data = workspace::global().take_raw(numel);
+        data.resize(numel, v);
         Tensor {
-            data: Arc::new(vec![v; shape.numel()]),
+            data: Arc::new(data),
             shape,
         }
     }
@@ -141,7 +166,7 @@ impl Tensor {
         let dims = self.dims();
         let (m, n) = (dims[r - 2], dims[r - 1]);
         let batch: usize = dims[..r - 2].iter().product();
-        let mut out = vec![0.0f32; self.numel()];
+        let mut out = workspace::global().take_zeroed(self.numel());
         let src = self.data();
         for b in 0..batch {
             let off = b * m * n;
@@ -243,12 +268,13 @@ impl Tensor {
     ) -> Result<Tensor, TensorError> {
         if self.shape == other.shape {
             // Fast path: identical shapes.
-            let out: Vec<f32> = self
-                .data
-                .iter()
-                .zip(other.data.iter())
-                .map(|(a, b)| f(*a, *b))
-                .collect();
+            let mut out = workspace::global().take_raw(self.numel());
+            out.extend(
+                self.data
+                    .iter()
+                    .zip(other.data.iter())
+                    .map(|(a, b)| f(*a, *b)),
+            );
             return Ok(Tensor::from_vec(out, self.shape.clone()));
         }
         let out_shape =
@@ -260,7 +286,7 @@ impl Tensor {
                     rhs: other.dims().to_vec(),
                 })?;
         let numel = out_shape.numel();
-        let mut out = vec![0.0f32; numel];
+        let mut out = workspace::global().take_zeroed(numel);
         let out_dims = out_shape.dims().to_vec();
         let rank = out_dims.len();
         let a_dims = self.dims();
@@ -310,10 +336,9 @@ impl Tensor {
 
     /// Apply `f` to every element.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor::from_vec(
-            self.data.iter().map(|x| f(*x)).collect(),
-            self.shape.clone(),
-        )
+        let mut out = workspace::global().take_raw(self.numel());
+        out.extend(self.data.iter().map(|x| f(*x)));
+        Tensor::from_vec(out, self.shape.clone())
     }
 
     pub fn scale(&self, k: f32) -> Tensor {

@@ -1,0 +1,236 @@
+//! Reusable scratch-buffer workspace: the tensor stack's allocator cache.
+//!
+//! Training steps issue the same kernels with the same shapes over and
+//! over; allocating im2col columns, GEMM packing panels, and op outputs
+//! from the system allocator on every call wastes time and defeats cache
+//! warmth. A [`Workspace`] is a bounded pool of `Vec<f32>` buffers:
+//! kernels *take* a buffer sized for the call and *give* it back when the
+//! scratch dies (GEMM packing panels, per-image im2col columns), while
+//! [`crate::tensor::Tensor`] returns its backing buffer to the global
+//! workspace on drop, so op outputs from step *N* become the allocations
+//! of step *N+1*.
+//!
+//! ## Reuse contract for kernel implementors
+//!
+//! * Scratch that never escapes the kernel: `take_*` at entry, [`Workspace::give`]
+//!   before returning (or let a [`ScratchVec`] guard do it).
+//! * Buffers that become tensor data: `take_*` and move them into
+//!   `Tensor::from_vec`; the drop hook recycles them.
+//! * `take_zeroed` is zero-filled; `take_raw` has `len == 0` and must be
+//!   fully written before use. Never assume residual contents.
+//! * Buffers shorter than [`MIN_POOLED_LEN`] elements bypass the pool
+//!   (the mutex round-trip costs more than a small malloc), and the pool
+//!   is capacity-bounded: when full, incoming buffers are simply dropped,
+//!   so memory use stays bounded no matter how many tensors die.
+//!
+//! All methods are thread-safe; rayon workers share the same pool. The
+//! [`WorkspaceStats`] counters let tests assert steady-state behaviour:
+//! after a warm-up call, a fixed-shape kernel must hit the pool for every
+//! scratch buffer (`allocations` stays flat while `reuses` grows).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Buffers smaller than this many `f32`s are not worth pooling.
+pub const MIN_POOLED_LEN: usize = 64;
+
+/// Maximum number of buffers a workspace retains; excess gives are dropped.
+const MAX_POOLED_BUFFERS: usize = 256;
+
+/// Allocation accounting for a [`Workspace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkspaceStats {
+    /// Fresh heap allocations performed because no pooled buffer fit.
+    pub allocations: u64,
+    /// Takes satisfied from the pool without touching the allocator.
+    pub reuses: u64,
+}
+
+/// A bounded pool of reusable `f32` buffers.
+#[derive(Default)]
+pub struct Workspace {
+    pool: Mutex<Vec<Vec<f32>>>,
+    allocations: AtomicU64,
+    reuses: AtomicU64,
+}
+
+impl Workspace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take a buffer with `len == 0` and `capacity >= cap` (best-fit from
+    /// the pool, fresh allocation otherwise). The caller must write every
+    /// element it reads.
+    pub fn take_raw(&self, cap: usize) -> Vec<f32> {
+        if cap >= MIN_POOLED_LEN {
+            let mut pool = self.lock();
+            // Best fit: smallest pooled buffer that is large enough, so big
+            // panels are not burned on small requests.
+            let mut best: Option<(usize, usize)> = None;
+            for (i, buf) in pool.iter().enumerate() {
+                let c = buf.capacity();
+                if c >= cap && best.is_none_or(|(_, bc)| c < bc) {
+                    best = Some((i, c));
+                }
+            }
+            if let Some((i, _)) = best {
+                let mut buf = pool.swap_remove(i);
+                drop(pool);
+                buf.clear();
+                self.reuses.fetch_add(1, Ordering::Relaxed);
+                return buf;
+            }
+        }
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        Vec::with_capacity(cap)
+    }
+
+    /// Take a buffer of exactly `len` zero-filled elements.
+    pub fn take_zeroed(&self, len: usize) -> Vec<f32> {
+        let mut buf = self.take_raw(len);
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// Take a buffer initialised as a copy of `src`.
+    pub fn take_copy(&self, src: &[f32]) -> Vec<f32> {
+        let mut buf = self.take_raw(src.len());
+        buf.extend_from_slice(src);
+        buf
+    }
+
+    /// Return a buffer to the pool (dropped if too small or the pool is
+    /// full).
+    pub fn give(&self, buf: Vec<f32>) {
+        if buf.capacity() < MIN_POOLED_LEN {
+            return;
+        }
+        let mut pool = self.lock();
+        if pool.len() < MAX_POOLED_BUFFERS {
+            pool.push(buf);
+        }
+    }
+
+    /// Snapshot of the allocation counters.
+    pub fn stats(&self) -> WorkspaceStats {
+        WorkspaceStats {
+            allocations: self.allocations.load(Ordering::Relaxed),
+            reuses: self.reuses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of buffers currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.lock().len()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Vec<f32>>> {
+        // A panic while holding the lock cannot corrupt a Vec<Vec<f32>>;
+        // keep the pool usable rather than poisoning every later kernel.
+        self.pool.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// RAII scratch buffer: takes from a workspace on construction, gives back
+/// on drop. Derefs to `[f32]`.
+pub struct ScratchVec<'a> {
+    ws: &'a Workspace,
+    buf: Vec<f32>,
+}
+
+impl<'a> ScratchVec<'a> {
+    /// Zero-filled scratch of exactly `len` elements.
+    pub fn zeroed(ws: &'a Workspace, len: usize) -> Self {
+        ScratchVec {
+            buf: ws.take_zeroed(len),
+            ws,
+        }
+    }
+}
+
+impl std::ops::Deref for ScratchVec<'_> {
+    type Target = [f32];
+    fn deref(&self) -> &[f32] {
+        &self.buf
+    }
+}
+
+impl std::ops::DerefMut for ScratchVec<'_> {
+    fn deref_mut(&mut self) -> &mut [f32] {
+        &mut self.buf
+    }
+}
+
+impl Drop for ScratchVec<'_> {
+    fn drop(&mut self) {
+        self.ws.give(std::mem::take(&mut self.buf));
+    }
+}
+
+/// The process-wide workspace shared by all kernels and tensor drops.
+pub fn global() -> &'static Workspace {
+    static GLOBAL: OnceLock<Workspace> = OnceLock::new();
+    GLOBAL.get_or_init(Workspace::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_give_reuses_capacity() {
+        let ws = Workspace::new();
+        let buf = ws.take_zeroed(1024);
+        assert_eq!(buf.len(), 1024);
+        assert!(buf.iter().all(|&v| v == 0.0));
+        let ptr = buf.as_ptr();
+        ws.give(buf);
+        let again = ws.take_zeroed(1024);
+        assert_eq!(again.as_ptr(), ptr, "pooled buffer must be reused");
+        let s = ws.stats();
+        assert_eq!(s.allocations, 1);
+        assert_eq!(s.reuses, 1);
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient() {
+        let ws = Workspace::new();
+        let big = ws.take_zeroed(4096);
+        let small = ws.take_zeroed(128);
+        let small_ptr = small.as_ptr();
+        ws.give(big);
+        ws.give(small);
+        let got = ws.take_zeroed(100);
+        assert_eq!(got.as_ptr(), small_ptr);
+    }
+
+    #[test]
+    fn tiny_buffers_bypass_pool() {
+        let ws = Workspace::new();
+        ws.give(vec![0.0; 8]);
+        assert_eq!(ws.pooled(), 0);
+        let _ = ws.take_raw(8);
+        assert_eq!(ws.stats().reuses, 0);
+    }
+
+    #[test]
+    fn zeroed_take_clears_residual_data() {
+        let ws = Workspace::new();
+        ws.give(vec![7.0; 256]);
+        let buf = ws.take_zeroed(200);
+        assert!(buf.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn scratch_guard_returns_on_drop() {
+        let ws = Workspace::new();
+        {
+            let mut s = ScratchVec::zeroed(&ws, 512);
+            s[0] = 1.0;
+        }
+        assert_eq!(ws.pooled(), 1);
+        assert!(ws.take_raw(512).capacity() >= 512);
+        assert_eq!(ws.stats().reuses, 1);
+    }
+}

@@ -1,10 +1,13 @@
 # Developer task runner. Install `just`, or paste the recipes into a shell.
 
-# Full local gate: formatting, lints as errors, and the test suite.
+# Full local gate: formatting, lints as errors, the test suite, and a
+# compile check of every bench target (they are not built by `cargo
+# test` and otherwise rot silently).
 verify:
     cargo fmt --check
     cargo clippy --workspace -- -D warnings
     cargo test -q
+    cargo bench --workspace --no-run
 
 # Tier-1 check used by CI: release build + quiet tests.
 ci:
@@ -23,3 +26,9 @@ figures:
 # Serial-vs-parallel sweep wall-time comparison (criterion).
 sweep-bench:
     cargo bench -p caraml-bench --bench sweep_runner
+
+# Regenerate BENCH_TENSOR.json: GFLOP/s of every hot tensor kernel
+# (GEMM variants, batched matmul, ResNet50-shaped convolutions). The
+# file is committed so the repo carries its own perf trajectory.
+bench-json:
+    cargo run --release -p caraml-bench --bin bench_json

@@ -1,6 +1,9 @@
 //! Vendored offline shim for the `rayon` API surface this workspace uses:
 //! `par_chunks_mut`, `into_par_iter` (ranges and `Vec`), `enumerate`,
-//! `map`, `for_each`, `collect`, `sum`.
+//! `map`, `for_each`, `collect`, `sum`, `current_num_threads`, and a
+//! minimal `ThreadPoolBuilder`/`ThreadPool::install` pair for pinning the
+//! worker count (used by tests that assert thread-count-independent
+//! numerics).
 //!
 //! Parallel adapters are *eager*: `into_par_iter()` materialises the items,
 //! each combinator runs to completion on a `std::thread::scope` pool with
@@ -8,6 +11,7 @@
 //! ordering (as rayon's indexed iterators guarantee). On a single-CPU
 //! host everything degrades to the sequential loop.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -15,9 +19,75 @@ pub mod prelude {
     pub use crate::{IntoParallelIterator, ParIter, ParallelSliceMut};
 }
 
+thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`].
+    static MAX_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads parallel operations issued from this thread
+/// will use (rayon's `current_num_threads`): the hardware parallelism, or
+/// the value pinned by an enclosing [`ThreadPool::install`].
+pub fn current_num_threads() -> usize {
+    MAX_THREADS.with(|c| match c.get() {
+        Some(n) => n,
+        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    })
+}
+
 fn worker_count(items: usize) -> usize {
-    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
-    hw.min(items)
+    current_num_threads().min(items)
+}
+
+/// Minimal stand-in for rayon's pool builder; only `num_threads` is
+/// supported.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, std::convert::Infallible> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A "pool" that pins the worker count for parallel calls made inside
+/// [`ThreadPool::install`]. The shim has no persistent workers; install
+/// simply bounds how many scoped threads each parallel call may spawn,
+/// which is exactly the property thread-count-determinism tests need.
+pub struct ThreadPool {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPool {
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                MAX_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let prev = MAX_THREADS
+            .with(|c| c.replace(self.num_threads.or_else(|| Some(current_num_threads()))));
+        let _restore = Restore(prev);
+        f()
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    }
 }
 
 /// Run `f(0..n)` in parallel over a scoped pool; each index exactly once.
@@ -173,5 +243,22 @@ mod tests {
     fn vec_par_iter_sum() {
         let s: u64 = (0..1000u64).into_par_iter().map(|x| x).sum();
         assert_eq!(s, 499_500);
+    }
+
+    #[test]
+    fn install_pins_current_num_threads() {
+        let outside = crate::current_num_threads();
+        assert!(outside >= 1);
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            assert_eq!(crate::current_num_threads(), 1);
+            // Parallel work still completes, just on one worker.
+            let v: Vec<usize> = (0..50usize).into_par_iter().map(|i| i + 1).collect();
+            assert_eq!(v[49], 50);
+        });
+        assert_eq!(crate::current_num_threads(), outside);
     }
 }
