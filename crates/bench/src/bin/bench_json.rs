@@ -1,25 +1,58 @@
 //! Machine-readable kernel throughput snapshot: times the tensor-stack
 //! hot kernels (GEMM variants, batched matmul, ResNet50-shaped
-//! convolutions) and writes `BENCH_TENSOR.json` with GFLOP/s per
-//! kernel/shape. Committing the file each PR gives the repo a perf
+//! convolutions, and the fused non-GEMM kernel layer) plus end-to-end
+//! training steps for the two paper workloads, and writes
+//! `BENCH_TENSOR.json`. Committing the file each PR gives the repo a perf
 //! trajectory that reviewers can diff, which is the paper's whole point:
 //! throughput numbers are only credible when they are measured, tracked,
 //! and reproducible (`just bench-json`).
+//!
+//! Compute-bound kernels report GFLOP/s; bandwidth-bound elementwise and
+//! reduction kernels report GB/s against the bytes they actually move
+//! (roofline-style: a fused kernel shows up as moving fewer bytes for
+//! the same work). Training steps report tokens/s or images/s.
+//!
+//! `bench_json --check` re-times everything and compares the fresh
+//! medians against the committed `BENCH_TENSOR.json`, failing (exit 1)
+//! if any kernel regressed by more than 25% — a coarse tripwire, kept
+//! out of the tier-1 gate because wall-clock medians on shared CI boxes
+//! are noisy (`just bench-check`).
 
+use caraml_data::SyntheticImages;
+use caraml_models::{GptConfig, GptModel, ResnetConfig, ResnetModel};
 use caraml_tensor::conv::{conv2d, Conv2dCfg};
 use caraml_tensor::matmul::{bmm, matmul, matmul_at, matmul_bt};
-use caraml_tensor::Tensor;
+use caraml_tensor::optim::{Adam, Optimizer, Sgd};
+use caraml_tensor::{kernels, nn, Tensor};
 use serde::Serialize;
 use std::hint::black_box;
 use std::time::Instant;
+
+/// Allowed median-time regression vs the committed snapshot in `--check`
+/// mode (1.25 = fail beyond +25%).
+const CHECK_TOLERANCE: f64 = 1.25;
+
+/// Kernels whose committed median is below this are reported but exempt
+/// from the `--check` tripwire: sub-quarter-millisecond medians are
+/// dominated by timer and scheduler jitter, so a percentage gate on
+/// them only flakes.
+const CHECK_MIN_MS: f64 = 0.25;
 
 #[derive(Serialize)]
 struct Record {
     kernel: String,
     shape: String,
+    /// Floating-point ops per call (0 for bandwidth-bound kernels).
     flops: u64,
+    /// Bytes moved per call (reads + writes; 0 for end-to-end steps).
+    bytes: u64,
+    /// Work items per call — tokens or images — for end-to-end training
+    /// steps (0 for kernels).
+    items: u64,
     median_ms: f64,
     gflops: f64,
+    gbps: f64,
+    items_per_s: f64,
 }
 
 #[derive(Serialize)]
@@ -52,64 +85,73 @@ fn time_median(samples: usize, mut f: impl FnMut()) -> f64 {
     times[times.len() / 2]
 }
 
+#[allow(clippy::too_many_arguments)]
 fn record(
     records: &mut Vec<Record>,
     samples: usize,
     kernel: &str,
     shape: &str,
     flops: u64,
+    bytes: u64,
+    items: u64,
     f: impl FnMut(),
 ) {
     let median = time_median(samples, f);
     let gflops = flops as f64 / median / 1e9;
-    println!(
-        "{kernel:<14} {shape:<28} {:>9.3} ms  {gflops:>8.2} GFLOP/s",
-        median * 1e3
-    );
+    let gbps = bytes as f64 / median / 1e9;
+    let items_per_s = items as f64 / median;
+    let rate = if flops > 0 {
+        format!("{gflops:>8.2} GFLOP/s")
+    } else if bytes > 0 {
+        format!("{gbps:>8.2} GB/s")
+    } else {
+        format!("{items_per_s:>8.0} items/s")
+    };
+    println!("{kernel:<16} {shape:<28} {:>9.3} ms  {rate}", median * 1e3);
     records.push(Record {
         kernel: kernel.to_string(),
         shape: shape.to_string(),
         flops,
+        bytes,
+        items,
         median_ms: median * 1e3,
         gflops,
+        gbps,
+        items_per_s,
     });
 }
 
-fn main() {
-    let samples = 15;
-    let mut records = Vec::new();
-
+fn gemm_and_conv(records: &mut Vec<Record>, samples: usize) {
     // Square GEMM sweep, all three transpose variants.
     for &n in &[64usize, 128, 256, 512] {
         let a = seeded(n * n).reshape([n, n]).unwrap();
         let b = seeded(n * n).reshape([n, n]).unwrap();
         let flops = 2 * (n as u64).pow(3);
+        let bytes = 3 * (n * n * 4) as u64;
+        let shape = format!("{n}x{n}x{n}");
+        record(records, samples, "matmul", &shape, flops, bytes, 0, || {
+            black_box(matmul(&a, &b).unwrap());
+        });
         record(
-            &mut records,
-            samples,
-            "matmul",
-            &format!("{n}x{n}x{n}"),
-            flops,
-            || {
-                black_box(matmul(&a, &b).unwrap());
-            },
-        );
-        record(
-            &mut records,
+            records,
             samples,
             "matmul_bt",
-            &format!("{n}x{n}x{n}"),
+            &shape,
             flops,
+            bytes,
+            0,
             || {
                 black_box(matmul_bt(&a, &b).unwrap());
             },
         );
         record(
-            &mut records,
+            records,
             samples,
             "matmul_at",
-            &format!("{n}x{n}x{n}"),
+            &shape,
             flops,
+            bytes,
+            0,
             || {
                 black_box(matmul_at(&a, &b).unwrap());
             },
@@ -121,11 +163,13 @@ fn main() {
     let a = seeded(m * k).reshape([m, k]).unwrap();
     let b = seeded(k * n).reshape([k, n]).unwrap();
     record(
-        &mut records,
+        records,
         samples,
         "matmul",
         &format!("{m}x{k}x{n} (mlp)"),
         2 * (m * k * n) as u64,
+        ((m * k + k * n + m * n) * 4) as u64,
+        0,
         || {
             black_box(matmul(&a, &b).unwrap());
         },
@@ -135,11 +179,13 @@ fn main() {
     let a = seeded(8 * 64 * 64).reshape([8, 64, 64]).unwrap();
     let b = seeded(8 * 64 * 64).reshape([8, 64, 64]).unwrap();
     record(
-        &mut records,
+        records,
         samples,
         "bmm",
         "8x64x64x64 (attention)",
         2 * 8 * 64u64.pow(3),
+        3 * 8 * 64 * 64 * 4,
+        0,
         || {
             black_box(bmm(&a, &b).unwrap());
         },
@@ -179,17 +225,323 @@ fn main() {
         let oh = cfg.out_dim(xd[2], wd[2]);
         let ow = cfg.out_dim(xd[3], wd[3]);
         let flops = 2 * (xd[0] * wd[0] * wd[1] * wd[2] * wd[3] * oh * ow) as u64;
-        record(&mut records, 7, "conv2d", label, flops, || {
+        let bytes = ((xd.iter().product::<usize>()
+            + wd.iter().product::<usize>()
+            + xd[0] * wd[0] * oh * ow)
+            * 4) as u64;
+        record(records, 7, "conv2d", label, flops, bytes, 0, || {
             black_box(conv2d(&x, &w, *cfg).unwrap());
         });
     }
+}
 
-    let report = Report {
-        schema: "caraml-bench-tensor-v1",
+/// The fused non-GEMM kernel layer at a transformer-realistic shape
+/// (128 rows of hidden size 1024). Bytes count the reads and writes the
+/// kernel actually performs, so fused variants credit their saved
+/// traffic as higher effective GB/s.
+fn elementwise_kernels(records: &mut Vec<Record>, samples: usize) {
+    let (rows, n) = (128usize, 1024usize);
+    let numel = rows * n;
+    let fsz = 4u64;
+    let x = seeded(numel).reshape([rows, n]).unwrap();
+    let x2 = seeded(numel).reshape([rows, n]).unwrap();
+    let bias = seeded(n);
+    let shape = format!("{rows}x{n}");
+
+    record(
+        records,
+        samples,
+        "softmax_last",
+        &shape,
+        0,
+        2 * numel as u64 * fsz,
+        0,
+        || {
+            black_box(nn::softmax_last(&x));
+        },
+    );
+    let y = nn::softmax_last(&x);
+    record(
+        records,
+        samples,
+        "softmax_bwd",
+        &shape,
+        0,
+        3 * numel as u64 * fsz,
+        0,
+        || {
+            black_box(nn::softmax_last_backward(&y, &x2));
+        },
+    );
+    let targets: Vec<usize> = (0..rows).map(|r| (r * 17) % n).collect();
+    record(
+        records,
+        samples,
+        "softmax_xent",
+        &shape,
+        0,
+        2 * numel as u64 * fsz,
+        0,
+        || {
+            black_box(nn::cross_entropy_logits(&x, &targets));
+        },
+    );
+    let gamma = seeded(n);
+    let beta = seeded(n);
+    record(
+        records,
+        samples,
+        "layernorm",
+        &shape,
+        0,
+        3 * numel as u64 * fsz,
+        0,
+        || {
+            black_box(nn::layernorm(&x, &gamma, &beta, 1e-5));
+        },
+    );
+    let (_, cache) = nn::layernorm(&x, &gamma, &beta, 1e-5);
+    record(
+        records,
+        samples,
+        "layernorm_bwd",
+        &shape,
+        0,
+        3 * numel as u64 * fsz,
+        0,
+        || {
+            black_box(nn::layernorm_backward(&cache, &gamma, &x2));
+        },
+    );
+    record(
+        records,
+        samples,
+        "gelu",
+        &shape,
+        0,
+        2 * numel as u64 * fsz,
+        0,
+        || {
+            black_box(nn::gelu(&x));
+        },
+    );
+    record(
+        records,
+        samples,
+        "bias_gelu",
+        &shape,
+        0,
+        3 * numel as u64 * fsz,
+        0,
+        || {
+            black_box(nn::bias_gelu(&x, &bias));
+        },
+    );
+    let (_, pre) = nn::bias_gelu(&x, &bias);
+    record(
+        records,
+        samples,
+        "bias_gelu_bwd",
+        &shape,
+        0,
+        3 * numel as u64 * fsz,
+        0,
+        || {
+            black_box(nn::bias_gelu_backward(&pre, &x2));
+        },
+    );
+    record(
+        records,
+        samples,
+        "add_relu",
+        &shape,
+        0,
+        3 * numel as u64 * fsz,
+        0,
+        || {
+            black_box(nn::add_relu(&x, &x2));
+        },
+    );
+    record(
+        records,
+        samples,
+        "bias_add",
+        &format!("{shape}+{n}"),
+        0,
+        2 * numel as u64 * fsz,
+        0,
+        || {
+            black_box(x.add(&bias).unwrap());
+        },
+    );
+    record(
+        records,
+        samples,
+        "sum_axis0",
+        &shape,
+        0,
+        numel as u64 * fsz,
+        0,
+        || {
+            black_box(x.sum_axis0());
+        },
+    );
+    let r = seeded(8 * 128 * 64).reshape([8, 128, 64]).unwrap();
+    record(
+        records,
+        samples,
+        "rope",
+        "8x128x64",
+        0,
+        2 * (8 * 128 * 64) as u64 * fsz,
+        0,
+        || {
+            black_box(nn::rope(&r, false));
+        },
+    );
+
+    // Fused single-pass Adam on a 1M-parameter slab: param/m/v are read
+    // and written, the gradient is read — 7 slab traversals of traffic
+    // in one pass.
+    let len = 1 << 20;
+    let grad = seeded(len).data().to_vec();
+    let mut param = seeded(len).data().to_vec();
+    let mut m = vec![0.0f32; len];
+    let mut v = vec![0.0f32; len];
+    record(
+        records,
+        samples,
+        "adam_fused",
+        "1M params",
+        0,
+        7 * len as u64 * fsz,
+        0,
+        || {
+            kernels::adam_update(
+                &mut param, &grad, &mut m, &mut v, 1e-4, 0.9, 0.999, 1e-8, 0.01, 0.1, 0.001,
+            );
+            black_box(&param);
+        },
+    );
+}
+
+/// End-to-end training steps (forward + backward + optimizer) for the
+/// two paper workloads at laptop scale.
+fn train_steps(records: &mut Vec<Record>) {
+    let (vocab, seq, batch) = (256usize, 32usize, 4usize);
+    let model = GptModel::new(GptConfig::tiny(vocab, seq), 0);
+    let params = model.parameters();
+    let mut opt = Adam::new(1e-3);
+    let inputs: Vec<Vec<u32>> = (0..batch as u32)
+        .map(|r| {
+            (0..seq as u32)
+                .map(|i| (r * 13 + i) % vocab as u32)
+                .collect()
+        })
+        .collect();
+    let targets: Vec<Vec<u32>> = (0..batch as u32)
+        .map(|r| {
+            (0..seq as u32)
+                .map(|i| (r * 13 + i + 1) % vocab as u32)
+                .collect()
+        })
+        .collect();
+    record(
+        records,
+        9,
+        "train_step_gpt",
+        &format!("tiny v{vocab} s{seq} b{batch}"),
+        0,
+        0,
+        (batch * seq) as u64,
+        || {
+            model.loss(&inputs, &targets).backward();
+            opt.step(&params);
+        },
+    );
+
+    let (classes, img, rbatch) = (8usize, 32usize, 8usize);
+    let model = ResnetModel::new(ResnetConfig::tiny(classes, img), 1);
+    let params = model.parameters();
+    let mut opt = Sgd::with_momentum(0.05, 0.9);
+    let src = SyntheticImages::new(7, classes, 3, img, img);
+    let (images, labels) = src.batch(0, rbatch);
+    record(
+        records,
+        7,
+        "train_step_resnet",
+        &format!("tiny c{classes} i{img} b{rbatch}"),
+        0,
+        0,
+        rbatch as u64,
+        || {
+            model.loss(&images, &labels).backward();
+            opt.step(&params);
+        },
+    );
+}
+
+fn run_all(samples: usize) -> Report {
+    let mut records = Vec::new();
+    gemm_and_conv(&mut records, samples);
+    elementwise_kernels(&mut records, samples);
+    train_steps(&mut records);
+    Report {
+        schema: "caraml-bench-tensor-v2",
         samples_per_kernel: samples,
         records,
+    }
+}
+
+/// Compare fresh medians against the committed snapshot; returns the
+/// regressions as `(kernel, shape, committed_ms, fresh_ms)`.
+fn regressions(fresh: &Report, committed: &serde_json::Value) -> Vec<(String, String, f64, f64)> {
+    let mut out = Vec::new();
+    let Some(old_records) = committed.get("records").and_then(|r| r.as_array()) else {
+        return out;
     };
-    let json = serde_json::to_string_pretty(&report).expect("serialise report");
-    std::fs::write("BENCH_TENSOR.json", &json).expect("write BENCH_TENSOR.json");
-    println!("\nwrote BENCH_TENSOR.json");
+    for rec in &fresh.records {
+        let old_ms = old_records.iter().find_map(|o| {
+            let kernel = o.get("kernel")?.as_str()?;
+            let shape = o.get("shape")?.as_str()?;
+            if kernel == rec.kernel && shape == rec.shape {
+                o.get("median_ms")?.as_f64()
+            } else {
+                None
+            }
+        });
+        if let Some(old_ms) = old_ms {
+            if old_ms >= CHECK_MIN_MS && rec.median_ms > old_ms * CHECK_TOLERANCE {
+                out.push((rec.kernel.clone(), rec.shape.clone(), old_ms, rec.median_ms));
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let report = run_all(15);
+    if !check {
+        let json = serde_json::to_string_pretty(&report).expect("serialise report");
+        std::fs::write("BENCH_TENSOR.json", &json).expect("write BENCH_TENSOR.json");
+        println!("\nwrote BENCH_TENSOR.json");
+        return;
+    }
+    let committed = std::fs::read_to_string("BENCH_TENSOR.json")
+        .expect("--check needs a committed BENCH_TENSOR.json (run `just bench-json` first)");
+    let committed = serde_json::parse(&committed).expect("parse committed BENCH_TENSOR.json");
+    let bad = regressions(&report, &committed);
+    if bad.is_empty() {
+        println!(
+            "\nbench-check OK: no kernel regressed beyond {:.0}%",
+            (CHECK_TOLERANCE - 1.0) * 100.0
+        );
+        return;
+    }
+    println!("\nbench-check FAILED — regressions beyond +25%:");
+    for (kernel, shape, old_ms, new_ms) in &bad {
+        println!("  {kernel} [{shape}]: {old_ms:.3} ms -> {new_ms:.3} ms");
+    }
+    std::process::exit(1);
 }

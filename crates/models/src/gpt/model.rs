@@ -162,8 +162,7 @@ impl GptModel {
             // --- MLP ---
             let m_in = x.layernorm(&block.ln2_g, &block.ln2_b, 1e-5);
             let ff = m_in
-                .linear(&block.w_fc1, Some(&block.b_fc1))
-                .gelu()
+                .linear_gelu(&block.w_fc1, &block.b_fc1)
                 .linear(&block.w_fc2, Some(&block.b_fc2));
             x = x.add(&ff);
         }

@@ -62,7 +62,7 @@ impl ResBlock {
             Some(s) => s.forward(x),
             None => x.clone(),
         };
-        h.add(&residual).relu()
+        h.add_relu(&residual)
     }
 
     fn params(&self, out: &mut Vec<Var>) {

@@ -378,6 +378,27 @@ impl Var {
         )
     }
 
+    /// Fused linear + GELU: `y = gelu(x·Wᵀ + b)` as one graph node (the
+    /// transformer MLP entry). The bias add and the GELU run in a single
+    /// pass over the GEMM output, and the backward fuses `gelu'(pre) ⊙ dy`
+    /// with the bias column sum before the two weight GEMMs.
+    pub fn linear_gelu(&self, weight: &Var, bias: &Var) -> Var {
+        let x = self.value();
+        let w = weight.value();
+        let pre_mm = matmul_bt(&x, &w).expect("linear_gelu shapes");
+        let (y, pre) = nn::bias_gelu(&pre_mm, &bias.value());
+        Var::op(
+            y,
+            vec![self.clone(), weight.clone(), bias.clone()],
+            Box::new(move |dy| {
+                let (dpre, dbias) = nn::bias_gelu_backward(&pre, dy);
+                let dx = matmul(&dpre, &w).expect("linear_gelu backward dx");
+                let dw = matmul_at(&dpre, &x).expect("linear_gelu backward dW");
+                vec![Some(dx), Some(dw), Some(dbias)]
+            }),
+        )
+    }
+
     /// Batched matmul `[b, m, k]·[b, k, n]`. The backward feeds the
     /// transpose-aware engine entry points (`dA = dy·Bᵀ`, `dB = Aᵀ·dy`)
     /// instead of materialising transposed operands.
@@ -443,6 +464,22 @@ impl Var {
             out,
             vec![self.clone()],
             Box::new(move |dy| vec![Some(nn::relu_backward(&x, dy))]),
+        )
+    }
+
+    /// Fused same-shape residual add + ReLU, `relu(self + other)` — the
+    /// ResNet block tail — as one graph node and one pass over the data.
+    /// Both addends receive the gradient `dy ⊙ [y > 0]`.
+    pub fn add_relu(&self, other: &Var) -> Var {
+        let y = nn::add_relu(&self.value(), &other.value());
+        let y2 = y.clone();
+        Var::op(
+            y,
+            vec![self.clone(), other.clone()],
+            Box::new(move |dy| {
+                let g = nn::add_relu_backward(&y2, dy);
+                vec![Some(g.clone()), Some(g)]
+            }),
         )
     }
 
@@ -755,6 +792,52 @@ mod tests {
         assert!(x1.grad().unwrap().allclose(&x2.grad().unwrap(), 1e-4));
         assert!(w1.grad().unwrap().allclose(&w2.grad().unwrap(), 1e-4));
         assert!(b1.grad().unwrap().allclose(&b2.grad().unwrap(), 1e-4));
+    }
+
+    /// The fused linear+GELU node must be a graph-level equivalent of
+    /// `linear(...).gelu()`: same value, same gradients for all three
+    /// parameters.
+    #[test]
+    fn linear_gelu_equals_linear_then_gelu() {
+        let x0 = randn(&mut rng(30), [5, 4], 1.0);
+        let w0 = randn(&mut rng(31), [3, 4], 1.0);
+        let b0 = randn(&mut rng(32), [3], 1.0);
+
+        let (x1, w1, b1) = (
+            Var::param(x0.clone()),
+            Var::param(w0.clone()),
+            Var::param(b0.clone()),
+        );
+        let y1 = x1.linear_gelu(&w1, &b1);
+        y1.mul(&y1).sum().backward();
+
+        let (x2, w2, b2) = (Var::param(x0), Var::param(w0), Var::param(b0));
+        let y2 = x2.linear(&w2, Some(&b2)).gelu();
+        y2.mul(&y2).sum().backward();
+
+        assert!(y1.value().allclose(&y2.value(), 1e-5));
+        assert!(x1.grad().unwrap().allclose(&x2.grad().unwrap(), 1e-4));
+        assert!(w1.grad().unwrap().allclose(&w2.grad().unwrap(), 1e-4));
+        assert!(b1.grad().unwrap().allclose(&b2.grad().unwrap(), 1e-4));
+    }
+
+    /// The fused add+ReLU node must match `add(...).relu()` exactly.
+    #[test]
+    fn add_relu_equals_add_then_relu() {
+        let a0 = randn(&mut rng(33), [4, 6], 1.0);
+        let b0 = randn(&mut rng(34), [4, 6], 1.0);
+
+        let (a1, b1) = (Var::param(a0.clone()), Var::param(b0.clone()));
+        let y1 = a1.add_relu(&b1);
+        y1.mul(&y1).sum().backward();
+
+        let (a2, b2) = (Var::param(a0), Var::param(b0));
+        let y2 = a2.add(&b2).relu();
+        y2.mul(&y2).sum().backward();
+
+        assert!(y1.value().allclose(&y2.value(), 0.0));
+        assert!(a1.grad().unwrap().allclose(&a2.grad().unwrap(), 0.0));
+        assert!(b1.grad().unwrap().allclose(&b2.grad().unwrap(), 0.0));
     }
 
     #[test]

@@ -1,0 +1,1154 @@
+//! Fused, rayon-parallel elementwise/reduction kernels — everything that
+//! is not GEMM.
+//!
+//! PR 2 made matrix multiplication fast enough that the serial scalar
+//! loops in `nn.rs` and `optim.rs` dominated real training steps. This
+//! module is the shared substrate those layers now sit on: chunked
+//! elementwise maps, row-parallel softmax/layernorm, blocked column
+//! reductions, and fused kernels (softmax+cross-entropy, bias+GELU,
+//! add+ReLU, single-pass Adam/SGD) that cut memory traffic by touching
+//! each activation once instead of once per composed op.
+//!
+//! ## Determinism rule
+//!
+//! Serial and parallel execution produce **bit-identical** results. The
+//! discipline (same as the GEMM engine in [`crate::matmul`]):
+//!
+//! * Work is decomposed into *fixed-size* units — [`CHUNK`]-element
+//!   slices for elementwise ops, rows for row kernels, [`ROW_BLOCK`]-row
+//!   blocks for column reductions — whose geometry never depends on the
+//!   thread count.
+//! * Each unit runs the identical scalar loop in both modes; only the
+//!   executor differs (a `for` loop vs `par_chunks_mut`).
+//! * Reductions that cross units (column sums, the scalar loss) are
+//!   computed as per-unit partials and folded *serially in unit order*,
+//!   so the floating-point association is fixed.
+//!
+//! Property tests pin this: every kernel is run under thread pools of
+//! different sizes (with the parallel path forced) and compared with
+//! `==`, not a tolerance.
+//!
+//! ## Allocation discipline
+//!
+//! All scratch (reduction partials, rope tables, outputs handed back to
+//! callers) is drawn from the global [`crate::workspace`] pool, so a
+//! warm training step performs no fresh heap allocation in these
+//! kernels; the steady-state tests assert the workspace counters stay
+//! flat.
+
+use crate::workspace;
+use rayon::prelude::*;
+use std::sync::{Arc, LazyLock, Mutex};
+
+/// Fixed elementwise work unit (elements). Thread-count-independent so
+/// chunk geometry — and therefore every intermediate rounding — is the
+/// same no matter how many workers execute the chunks.
+pub const CHUNK: usize = 16 * 1024;
+
+/// Fixed row-block size for column reductions: partial sums are computed
+/// per block of this many rows and folded serially in block order.
+pub const ROW_BLOCK: usize = 32;
+
+/// Minimum elements of work per thread before parallel dispatch pays.
+const PAR_MIN_ELEMS_PER_THREAD: usize = 1 << 15;
+
+#[cfg(test)]
+thread_local! {
+    static FORCE_PAR: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Test hook: run `f` with the parallel path forced on regardless of
+/// problem size, so determinism tests exercise it at small shapes.
+#[cfg(test)]
+pub fn with_forced_parallel<R>(f: impl FnOnce() -> R) -> R {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            FORCE_PAR.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(FORCE_PAR.with(|c| c.replace(true)));
+    f()
+}
+
+/// Parallel dispatch decision. Serial execution is preferred on one
+/// thread or below the grain size — the results are bit-identical either
+/// way, so this is purely a performance cutover.
+fn use_parallel(work: usize) -> bool {
+    #[cfg(test)]
+    if FORCE_PAR.with(|c| c.get()) {
+        return true;
+    }
+    let threads = rayon::current_num_threads();
+    threads > 1 && work >= PAR_MIN_ELEMS_PER_THREAD * threads
+}
+
+// ---------- elementwise ----------
+
+/// `dst[i] = f(src[i])`, chunk-parallel.
+pub fn map_into(src: &[f32], dst: &mut [f32], f: impl Fn(f32) -> f32 + Sync) {
+    debug_assert_eq!(src.len(), dst.len());
+    let body = |ci: usize, d: &mut [f32]| {
+        let s = &src[ci * CHUNK..ci * CHUNK + d.len()];
+        for (dv, sv) in d.iter_mut().zip(s) {
+            *dv = f(*sv);
+        }
+    };
+    if use_parallel(dst.len()) {
+        dst.par_chunks_mut(CHUNK)
+            .enumerate()
+            .for_each(|(ci, d)| body(ci, d));
+    } else {
+        dst.chunks_mut(CHUNK)
+            .enumerate()
+            .for_each(|(ci, d)| body(ci, d));
+    }
+}
+
+/// `dst[i] = f(a[i], b[i])`, chunk-parallel.
+pub fn zip_map_into(a: &[f32], b: &[f32], dst: &mut [f32], f: impl Fn(f32, f32) -> f32 + Sync) {
+    debug_assert_eq!(a.len(), dst.len());
+    debug_assert_eq!(b.len(), dst.len());
+    let body = |ci: usize, d: &mut [f32]| {
+        let off = ci * CHUNK;
+        let (ac, bc) = (&a[off..off + d.len()], &b[off..off + d.len()]);
+        for ((dv, av), bv) in d.iter_mut().zip(ac).zip(bc) {
+            *dv = f(*av, *bv);
+        }
+    };
+    if use_parallel(dst.len()) {
+        dst.par_chunks_mut(CHUNK)
+            .enumerate()
+            .for_each(|(ci, d)| body(ci, d));
+    } else {
+        dst.chunks_mut(CHUNK)
+            .enumerate()
+            .for_each(|(ci, d)| body(ci, d));
+    }
+}
+
+/// In-place `dst[i] += alpha * src[i]`, chunk-parallel (gradient
+/// accumulation hot path).
+pub fn axpy(alpha: f32, src: &[f32], dst: &mut [f32]) {
+    debug_assert_eq!(src.len(), dst.len());
+    let body = |ci: usize, d: &mut [f32]| {
+        let s = &src[ci * CHUNK..ci * CHUNK + d.len()];
+        for (dv, sv) in d.iter_mut().zip(s) {
+            *dv += alpha * sv;
+        }
+    };
+    if use_parallel(dst.len()) {
+        dst.par_chunks_mut(CHUNK)
+            .enumerate()
+            .for_each(|(ci, d)| body(ci, d));
+    } else {
+        dst.chunks_mut(CHUNK)
+            .enumerate()
+            .for_each(|(ci, d)| body(ci, d));
+    }
+}
+
+/// Suffix broadcast: `dst[i] = f(a[i], b[i mod b.len()])` where `b` tiles
+/// the trailing axis/axes of `a` (`b.len()` divides `a.len()`). This is
+/// the bias-add / attention-mask pattern; the general broadcast path
+/// decodes a multi-index per element and is ~40x slower.
+pub fn broadcast_suffix_into(
+    a: &[f32],
+    b: &[f32],
+    dst: &mut [f32],
+    f: impl Fn(f32, f32) -> f32 + Sync,
+) {
+    let n = b.len();
+    debug_assert!(n > 0 && a.len().is_multiple_of(n));
+    debug_assert_eq!(a.len(), dst.len());
+    // Group whole repeats of `b` into ~CHUNK-element parallel units.
+    let reps_per_unit = (CHUNK / n).max(1);
+    let unit = reps_per_unit * n;
+    let body = |ci: usize, d: &mut [f32]| {
+        let ac = &a[ci * unit..ci * unit + d.len()];
+        for (drow, arow) in d.chunks_mut(n).zip(ac.chunks(n)) {
+            for ((dv, av), bv) in drow.iter_mut().zip(arow).zip(b) {
+                *dv = f(*av, *bv);
+            }
+        }
+    };
+    if use_parallel(dst.len()) {
+        dst.par_chunks_mut(unit)
+            .enumerate()
+            .for_each(|(ci, d)| body(ci, d));
+    } else {
+        dst.chunks_mut(unit)
+            .enumerate()
+            .for_each(|(ci, d)| body(ci, d));
+    }
+}
+
+// ---------- blocked column reduction ----------
+
+/// Column sum of a row-major `[rows, n]` matrix into `out[n]`, computed
+/// as per-[`ROW_BLOCK`] partials folded serially in block order (fixed
+/// association — bit-identical at any thread count).
+pub fn col_sum_rows(x: &[f32], out: &mut [f32], n: usize) {
+    debug_assert!(n > 0 && x.len().is_multiple_of(n));
+    debug_assert_eq!(out.len(), n);
+    let rows = x.len() / n;
+    let blocks = rows.div_ceil(ROW_BLOCK);
+    if blocks <= 1 {
+        out.fill(0.0);
+        for row in x.chunks(n) {
+            for (o, v) in out.iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+        return;
+    }
+    let ws = workspace::global();
+    let mut partials = ws.take_zeroed(blocks * n);
+    let body = |bi: usize, p: &mut [f32]| {
+        let lo = bi * ROW_BLOCK * n;
+        let hi = (lo + ROW_BLOCK * n).min(x.len());
+        for row in x[lo..hi].chunks(n) {
+            for (o, v) in p.iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+    };
+    if use_parallel(x.len()) {
+        partials
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(bi, p)| body(bi, p));
+    } else {
+        partials
+            .chunks_mut(n)
+            .enumerate()
+            .for_each(|(bi, p)| body(bi, p));
+    }
+    out.fill(0.0);
+    for p in partials.chunks(n) {
+        for (o, v) in out.iter_mut().zip(p) {
+            *o += v;
+        }
+    }
+    ws.give(partials);
+}
+
+// ---------- activations ----------
+
+/// GELU with the tanh approximation (GPT-2 / Megatron-LM).
+#[inline]
+pub fn gelu_scalar(v: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * v * (1.0 + (C * (v + 0.044715 * v * v * v)).tanh())
+}
+
+/// Derivative of [`gelu_scalar`].
+#[inline]
+pub fn gelu_grad_scalar(v: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let u = C * (v + 0.044715 * v * v * v);
+    let t = u.tanh();
+    let du = C * (1.0 + 3.0 * 0.044715 * v * v);
+    0.5 * (1.0 + t) + 0.5 * v * (1.0 - t * t) * du
+}
+
+/// Fused bias + GELU over a row-major `[rows, n]` matrix: writes the
+/// pre-activation `pre = x + bias` (needed by the backward) and the
+/// output `y = gelu(pre)` in one pass over the data.
+pub fn bias_gelu(x: &[f32], bias: &[f32], pre: &mut [f32], y: &mut [f32]) {
+    let n = bias.len();
+    debug_assert!(n > 0 && x.len().is_multiple_of(n));
+    debug_assert_eq!(x.len(), pre.len());
+    debug_assert_eq!(x.len(), y.len());
+    let reps_per_unit = (CHUNK / n).max(1);
+    let unit = reps_per_unit * n;
+    let body = |ci: usize, (yc, pc): (&mut [f32], &mut [f32])| {
+        let xc = &x[ci * unit..ci * unit + yc.len()];
+        for ((yrow, prow), xrow) in yc.chunks_mut(n).zip(pc.chunks_mut(n)).zip(xc.chunks(n)) {
+            for (((yv, pv), xv), bv) in yrow.iter_mut().zip(prow).zip(xrow).zip(bias) {
+                let p = xv + bv;
+                *pv = p;
+                *yv = gelu_scalar(p);
+            }
+        }
+    };
+    if use_parallel(x.len()) {
+        y.par_chunks_mut(unit)
+            .zip(pre.par_chunks_mut(unit))
+            .enumerate()
+            .for_each(|(ci, pair)| body(ci, pair));
+    } else {
+        y.chunks_mut(unit)
+            .zip(pre.chunks_mut(unit))
+            .enumerate()
+            .for_each(|(ci, pair)| body(ci, pair));
+    }
+}
+
+/// Backward of [`bias_gelu`]: `dx = gelu'(pre) ⊙ dy` (written to `dx`)
+/// and `dbias = column-sum(dx)`, with the column sum blocked per
+/// [`ROW_BLOCK`] rows and folded in block order. One pass computes both.
+pub fn bias_gelu_backward(pre: &[f32], dy: &[f32], dx: &mut [f32], dbias: &mut [f32]) {
+    let n = dbias.len();
+    debug_assert!(n > 0 && pre.len().is_multiple_of(n));
+    debug_assert_eq!(pre.len(), dy.len());
+    debug_assert_eq!(pre.len(), dx.len());
+    let rows = pre.len() / n;
+    let blocks = rows.div_ceil(ROW_BLOCK);
+    let ws = workspace::global();
+    let mut partials = ws.take_zeroed(blocks * n);
+    let body = |bi: usize, (dxc, p): (&mut [f32], &mut [f32])| {
+        let off = bi * ROW_BLOCK * n;
+        let (prec, dyc) = (&pre[off..off + dxc.len()], &dy[off..off + dxc.len()]);
+        for ((dxrow, prerow), dyrow) in dxc.chunks_mut(n).zip(prec.chunks(n)).zip(dyc.chunks(n)) {
+            for (((dxv, prev), dyv), pv) in
+                dxrow.iter_mut().zip(prerow).zip(dyrow).zip(p.iter_mut())
+            {
+                let d = gelu_grad_scalar(*prev) * dyv;
+                *dxv = d;
+                *pv += d;
+            }
+        }
+    };
+    if use_parallel(pre.len()) {
+        dx.par_chunks_mut(ROW_BLOCK * n)
+            .zip(partials.par_chunks_mut(n))
+            .enumerate()
+            .for_each(|(bi, pair)| body(bi, pair));
+    } else {
+        dx.chunks_mut(ROW_BLOCK * n)
+            .zip(partials.chunks_mut(n))
+            .enumerate()
+            .for_each(|(bi, pair)| body(bi, pair));
+    }
+    dbias.fill(0.0);
+    for p in partials.chunks(n) {
+        for (o, v) in dbias.iter_mut().zip(p) {
+            *o += v;
+        }
+    }
+    ws.give(partials);
+}
+
+/// Fused residual add + ReLU: `y = max(a + b, 0)`.
+pub fn add_relu(a: &[f32], b: &[f32], y: &mut [f32]) {
+    zip_map_into(a, b, y, |av, bv| (av + bv).max(0.0));
+}
+
+/// Backward of [`add_relu`] given the *output* `y`: both operands of the
+/// add receive the same gradient `dy ⊙ [y > 0]`.
+pub fn add_relu_backward(y: &[f32], dy: &[f32], dx: &mut [f32]) {
+    zip_map_into(y, dy, dx, |yv, gv| if yv > 0.0 { gv } else { 0.0 });
+}
+
+// ---------- softmax & cross-entropy ----------
+
+/// Numerically stable softmax over rows of length `n`, row-parallel.
+pub fn softmax_rows(x: &[f32], out: &mut [f32], n: usize) {
+    debug_assert!(n > 0 && x.len().is_multiple_of(n));
+    debug_assert_eq!(x.len(), out.len());
+    let body = |r: usize, row: &mut [f32]| {
+        let src = &x[r * n..(r + 1) * n];
+        let m = src.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for (o, v) in row.iter_mut().zip(src) {
+            *o = (*v - m).exp();
+            sum += *o;
+        }
+        for o in row.iter_mut() {
+            *o /= sum;
+        }
+    };
+    if use_parallel(x.len()) {
+        out.par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(r, row)| body(r, row));
+    } else {
+        out.chunks_mut(n)
+            .enumerate()
+            .for_each(|(r, row)| body(r, row));
+    }
+}
+
+/// Backward of row softmax given the *output* `y`: per row
+/// `dx = y ⊙ (dy − (dy·y) 1)`, row-parallel, O(n) per row.
+pub fn softmax_backward_rows(y: &[f32], dy: &[f32], dx: &mut [f32], n: usize) {
+    debug_assert!(n > 0 && y.len().is_multiple_of(n));
+    debug_assert_eq!(y.len(), dy.len());
+    debug_assert_eq!(y.len(), dx.len());
+    let body = |r: usize, row: &mut [f32]| {
+        let (yr, dyr) = (&y[r * n..(r + 1) * n], &dy[r * n..(r + 1) * n]);
+        let dot: f32 = yr.iter().zip(dyr).map(|(a, b)| a * b).sum();
+        for ((o, yv), dyv) in row.iter_mut().zip(yr).zip(dyr) {
+            *o = yv * (dyv - dot);
+        }
+    };
+    if use_parallel(y.len()) {
+        dx.par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(r, row)| body(r, row));
+    } else {
+        dx.chunks_mut(n)
+            .enumerate()
+            .for_each(|(r, row)| body(r, row));
+    }
+}
+
+/// Fused softmax + mean cross-entropy from raw logits `[rows, v]`:
+/// one pass per row computes the loss contribution and writes the
+/// gradient of the *mean* loss, `(softmax(x) − onehot(t)) / rows`,
+/// without materialising the probabilities separately. Returns the mean
+/// loss; per-row losses are folded serially in row order.
+pub fn softmax_xent_rows(logits: &[f32], targets: &[usize], grad: &mut [f32], v: usize) -> f32 {
+    let rows = targets.len();
+    debug_assert_eq!(logits.len(), rows * v);
+    debug_assert_eq!(grad.len(), logits.len());
+    let scale = 1.0 / rows as f32;
+    let body = |r: usize, grow: &mut [f32]| -> f32 {
+        let row = &logits[r * v..(r + 1) * v];
+        let t = targets[r];
+        assert!(t < v, "target {t} out of vocabulary {v}");
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for (g, x) in grow.iter_mut().zip(row) {
+            let e = (*x - m).exp();
+            *g = e;
+            sum += e;
+        }
+        let inv = scale / sum;
+        for g in grow.iter_mut() {
+            *g *= inv;
+        }
+        grow[t] -= scale;
+        sum.ln() - (row[t] - m)
+    };
+    let loss_sum: f32 = if use_parallel(logits.len()) {
+        let losses: Vec<f32> = grad
+            .par_chunks_mut(v)
+            .enumerate()
+            .map(|(r, grow)| body(r, grow))
+            .collect();
+        losses.into_iter().sum()
+    } else {
+        grad.chunks_mut(v)
+            .enumerate()
+            .map(|(r, grow)| body(r, grow))
+            .sum()
+    };
+    loss_sum * scale
+}
+
+// ---------- layernorm ----------
+
+/// LayerNorm forward over rows of length `n`: writes `xhat` and the
+/// scaled/shifted output, and the per-row inverse std into `inv_std`
+/// (length `rows`). Row-parallel; each row's statistics are a fixed
+/// serial reduction.
+pub fn layernorm_rows(
+    x: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+    out: &mut [f32],
+    xhat: &mut [f32],
+    inv_std: &mut [f32],
+) {
+    let n = gamma.len();
+    debug_assert!(n > 0 && x.len().is_multiple_of(n));
+    debug_assert_eq!(beta.len(), n);
+    debug_assert_eq!(x.len(), out.len());
+    debug_assert_eq!(x.len(), xhat.len());
+    debug_assert_eq!(inv_std.len(), x.len() / n);
+    let body = |r: usize, (orow, (xhrow, isr)): (&mut [f32], (&mut [f32], &mut [f32]))| {
+        let row = &x[r * n..(r + 1) * n];
+        let mean = row.iter().sum::<f32>() / n as f32;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+        let istd = 1.0 / (var + eps).sqrt();
+        isr[0] = istd;
+        for ((((o, xh), v), g), b) in orow
+            .iter_mut()
+            .zip(xhrow.iter_mut())
+            .zip(row)
+            .zip(gamma)
+            .zip(beta)
+        {
+            let h = (v - mean) * istd;
+            *xh = h;
+            *o = h * g + b;
+        }
+    };
+    if use_parallel(x.len()) {
+        out.par_chunks_mut(n)
+            .zip(xhat.par_chunks_mut(n).zip(inv_std.par_chunks_mut(1)))
+            .enumerate()
+            .for_each(|(r, args)| body(r, args));
+    } else {
+        out.chunks_mut(n)
+            .zip(xhat.chunks_mut(n).zip(inv_std.chunks_mut(1)))
+            .enumerate()
+            .for_each(|(r, args)| body(r, args));
+    }
+}
+
+/// LayerNorm backward: `dx` is row-parallel; `dgamma`/`dbeta` are
+/// blocked column sums folded in block order (fixed association).
+#[allow(clippy::too_many_arguments)]
+pub fn layernorm_backward_rows(
+    xhat: &[f32],
+    inv_std: &[f32],
+    gamma: &[f32],
+    dy: &[f32],
+    dx: &mut [f32],
+    dgamma: &mut [f32],
+    dbeta: &mut [f32],
+) {
+    let n = gamma.len();
+    debug_assert!(n > 0 && dy.len().is_multiple_of(n));
+    let rows = dy.len() / n;
+    debug_assert_eq!(inv_std.len(), rows);
+    debug_assert_eq!(xhat.len(), dy.len());
+    debug_assert_eq!(dx.len(), dy.len());
+    debug_assert_eq!(dgamma.len(), n);
+    debug_assert_eq!(dbeta.len(), n);
+    let blocks = rows.div_ceil(ROW_BLOCK);
+    let ws = workspace::global();
+    // Per-block partials: dgamma in the first n slots, dbeta in the next.
+    let mut partials = ws.take_zeroed(blocks * 2 * n);
+    let inv_n = 1.0 / n as f32;
+    let body = |bi: usize, (dxc, p): (&mut [f32], &mut [f32])| {
+        let (pg, pb) = p.split_at_mut(n);
+        let row0 = bi * ROW_BLOCK;
+        for (k, dxrow) in dxc.chunks_mut(n).enumerate() {
+            let r = row0 + k;
+            let dyr = &dy[r * n..(r + 1) * n];
+            let xhr = &xhat[r * n..(r + 1) * n];
+            let mut sum_dyg = 0.0f32;
+            let mut sum_dyg_xh = 0.0f32;
+            for i in 0..n {
+                let dyg = dyr[i] * gamma[i];
+                sum_dyg += dyg;
+                sum_dyg_xh += dyg * xhr[i];
+                pg[i] += dyr[i] * xhr[i];
+                pb[i] += dyr[i];
+            }
+            let istd = inv_std[r];
+            for i in 0..n {
+                let dyg = dyr[i] * gamma[i];
+                dxrow[i] = istd * (dyg - inv_n * sum_dyg - xhr[i] * inv_n * sum_dyg_xh);
+            }
+        }
+    };
+    if use_parallel(dy.len()) {
+        dx.par_chunks_mut(ROW_BLOCK * n)
+            .zip(partials.par_chunks_mut(2 * n))
+            .enumerate()
+            .for_each(|(bi, pair)| body(bi, pair));
+    } else {
+        dx.chunks_mut(ROW_BLOCK * n)
+            .zip(partials.chunks_mut(2 * n))
+            .enumerate()
+            .for_each(|(bi, pair)| body(bi, pair));
+    }
+    dgamma.fill(0.0);
+    dbeta.fill(0.0);
+    for p in partials.chunks(2 * n) {
+        for (o, v) in dgamma.iter_mut().zip(&p[..n]) {
+            *o += v;
+        }
+        for (o, v) in dbeta.iter_mut().zip(&p[n..]) {
+            *o += v;
+        }
+    }
+    ws.give(partials);
+}
+
+// ---------- batchnorm ----------
+
+/// BatchNorm2d forward statistics + normalisation over NCHW data.
+/// Phase 1 computes per-channel mean/inv-std (channel-parallel, fixed
+/// serial order within a channel); phase 2 normalises per `(n, c)` plane.
+#[allow(clippy::too_many_arguments)]
+pub fn batchnorm2d_rows(
+    x: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+    dims: [usize; 4],
+    out: &mut [f32],
+    xhat: &mut [f32],
+    inv_std: &mut [f32],
+    means: &mut [f32],
+) {
+    let [n, c, h, w] = dims;
+    let hw = h * w;
+    let count = (n * hw) as f32;
+    debug_assert_eq!(x.len(), n * c * hw);
+    debug_assert_eq!(inv_std.len(), c);
+    debug_assert_eq!(means.len(), c);
+    let stats = |ci: usize, (isr, mr): (&mut [f32], &mut [f32])| {
+        let mut mean = 0.0f32;
+        for ni in 0..n {
+            let base = (ni * c + ci) * hw;
+            mean += x[base..base + hw].iter().sum::<f32>();
+        }
+        mean /= count;
+        let mut var = 0.0f32;
+        for ni in 0..n {
+            let base = (ni * c + ci) * hw;
+            var += x[base..base + hw]
+                .iter()
+                .map(|v| (v - mean) * (v - mean))
+                .sum::<f32>();
+        }
+        var /= count;
+        isr[0] = 1.0 / (var + eps).sqrt();
+        mr[0] = mean;
+    };
+    if use_parallel(x.len()) {
+        inv_std
+            .par_chunks_mut(1)
+            .zip(means.par_chunks_mut(1))
+            .enumerate()
+            .for_each(|(ci, pair)| stats(ci, pair));
+    } else {
+        inv_std
+            .chunks_mut(1)
+            .zip(means.chunks_mut(1))
+            .enumerate()
+            .for_each(|(ci, pair)| stats(ci, pair));
+    }
+    let norm = |p: usize, (orow, xhrow): (&mut [f32], &mut [f32])| {
+        let ci = p % c;
+        let (mean, istd) = (means[ci], inv_std[ci]);
+        let (g, b) = (gamma[ci], beta[ci]);
+        let src = &x[p * hw..(p + 1) * hw];
+        for ((o, xh), v) in orow.iter_mut().zip(xhrow.iter_mut()).zip(src) {
+            let hval = (v - mean) * istd;
+            *xh = hval;
+            *o = hval * g + b;
+        }
+    };
+    if use_parallel(x.len()) {
+        out.par_chunks_mut(hw)
+            .zip(xhat.par_chunks_mut(hw))
+            .enumerate()
+            .for_each(|(p, pair)| norm(p, pair));
+    } else {
+        out.chunks_mut(hw)
+            .zip(xhat.chunks_mut(hw))
+            .enumerate()
+            .for_each(|(p, pair)| norm(p, pair));
+    }
+}
+
+/// BatchNorm2d backward: per-channel gradient sums (channel-parallel,
+/// fixed order within a channel) then a plane-parallel `dx` pass.
+#[allow(clippy::too_many_arguments)]
+pub fn batchnorm2d_backward_rows(
+    xhat: &[f32],
+    inv_std: &[f32],
+    gamma: &[f32],
+    dy: &[f32],
+    dims: [usize; 4],
+    dx: &mut [f32],
+    dgamma: &mut [f32],
+    dbeta: &mut [f32],
+) {
+    let [n, c, h, w] = dims;
+    let hw = h * w;
+    let count = (n * hw) as f32;
+    let sums = |ci: usize, (dgr, dbr): (&mut [f32], &mut [f32])| {
+        let mut sum_dy = 0.0f32;
+        let mut sum_dy_xh = 0.0f32;
+        for ni in 0..n {
+            let base = (ni * c + ci) * hw;
+            for k in 0..hw {
+                sum_dy += dy[base + k];
+                sum_dy_xh += dy[base + k] * xhat[base + k];
+            }
+        }
+        dgr[0] = sum_dy_xh;
+        dbr[0] = sum_dy;
+    };
+    if use_parallel(dy.len()) {
+        dgamma
+            .par_chunks_mut(1)
+            .zip(dbeta.par_chunks_mut(1))
+            .enumerate()
+            .for_each(|(ci, pair)| sums(ci, pair));
+    } else {
+        dgamma
+            .chunks_mut(1)
+            .zip(dbeta.chunks_mut(1))
+            .enumerate()
+            .for_each(|(ci, pair)| sums(ci, pair));
+    }
+    let dxp = |p: usize, dxrow: &mut [f32]| {
+        let ci = p % c;
+        let (g, istd) = (gamma[ci], inv_std[ci]);
+        let (sum_dy, sum_dy_xh) = (dbeta[ci], dgamma[ci]);
+        let base = p * hw;
+        for (k, o) in dxrow.iter_mut().enumerate() {
+            *o = g * istd / count * (count * dy[base + k] - sum_dy - xhat[base + k] * sum_dy_xh);
+        }
+    };
+    if use_parallel(dy.len()) {
+        dx.par_chunks_mut(hw)
+            .enumerate()
+            .for_each(|(p, row)| dxp(p, row));
+    } else {
+        dx.chunks_mut(hw)
+            .enumerate()
+            .for_each(|(p, row)| dxp(p, row));
+    }
+}
+
+// ---------- rotary embeddings ----------
+
+/// Cached sin/cos tables for [`rope_rows`], keyed by `(seq, head_dim)`.
+/// A table holds `seq * d` floats: cos at `[p*d + 2i]`, sin at
+/// `[p*d + 2i + 1]` for position `p` and pair `i`. Recomputing
+/// `powf`/`sin_cos` per element dominated the original kernel; the table
+/// is built once per shape and shared via `Arc`.
+type RopeTableCache = Vec<((usize, usize), Arc<Vec<f32>>)>;
+static ROPE_TABLES: LazyLock<Mutex<RopeTableCache>> = LazyLock::new(|| Mutex::new(Vec::new()));
+
+const MAX_ROPE_TABLES: usize = 8;
+
+fn rope_table(seq: usize, d: usize) -> Arc<Vec<f32>> {
+    let mut cache = ROPE_TABLES.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some((_, t)) = cache.iter().find(|(k, _)| *k == (seq, d)) {
+        return Arc::clone(t);
+    }
+    let mut table = vec![0.0f32; seq * d];
+    for p in 0..seq {
+        for i in 0..d / 2 {
+            // Same per-element expression as the reference kernel so the
+            // cached path is bit-identical to the uncached one.
+            let theta = (p as f32) * 10000f32.powf(-2.0 * i as f32 / d as f32);
+            let (s, c) = theta.sin_cos();
+            table[p * d + 2 * i] = c;
+            table[p * d + 2 * i + 1] = s;
+        }
+    }
+    let table = Arc::new(table);
+    if cache.len() >= MAX_ROPE_TABLES {
+        cache.remove(0);
+    }
+    cache.push(((seq, d), Arc::clone(&table)));
+    table
+}
+
+/// Rotary positional embeddings over `[heads, seq, d]` (row-parallel,
+/// cached trig tables). `inverse` applies the adjoint rotation.
+pub fn rope_rows(x: &[f32], out: &mut [f32], heads: usize, seq: usize, d: usize, inverse: bool) {
+    debug_assert_eq!(x.len(), heads * seq * d);
+    debug_assert_eq!(x.len(), out.len());
+    let table = rope_table(seq, d);
+    let sign = if inverse { -1.0f32 } else { 1.0 };
+    let body = |hr: usize, row: &mut [f32]| {
+        let p = hr % seq;
+        let trow = &table[p * d..(p + 1) * d];
+        let src = &x[hr * d..(hr + 1) * d];
+        for i in 0..d / 2 {
+            let c = trow[2 * i];
+            let s = trow[2 * i + 1] * sign;
+            let a = src[2 * i];
+            let b = src[2 * i + 1];
+            row[2 * i] = a * c - b * s;
+            row[2 * i + 1] = a * s + b * c;
+        }
+    };
+    if use_parallel(x.len()) {
+        out.par_chunks_mut(d)
+            .enumerate()
+            .for_each(|(hr, row)| body(hr, row));
+    } else {
+        out.chunks_mut(d)
+            .enumerate()
+            .for_each(|(hr, row)| body(hr, row));
+    }
+}
+
+// ---------- optimizer updates ----------
+
+/// Fused single-pass Adam update over one parameter slab: folds weight
+/// decay into the gradient, updates both moments and applies the
+/// bias-corrected step in one traversal instead of five. `bc1`/`bc2`
+/// are the bias-correction denominators `1 − βᵢᵗ`.
+#[allow(clippy::too_many_arguments)]
+pub fn adam_update(
+    param: &mut [f32],
+    grad: &[f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    bc1: f32,
+    bc2: f32,
+) {
+    debug_assert_eq!(param.len(), grad.len());
+    debug_assert_eq!(param.len(), m.len());
+    debug_assert_eq!(param.len(), v.len());
+    let body = |ci: usize, (pc, (mc, vc)): (&mut [f32], (&mut [f32], &mut [f32]))| {
+        let gc = &grad[ci * CHUNK..ci * CHUNK + pc.len()];
+        for (((p, g), mm), vv) in pc.iter_mut().zip(gc).zip(mc.iter_mut()).zip(vc.iter_mut()) {
+            let ge = g + weight_decay * *p;
+            *mm = beta1 * *mm + (1.0 - beta1) * ge;
+            *vv = beta2 * *vv + (1.0 - beta2) * ge * ge;
+            let mhat = *mm / bc1;
+            let vhat = *vv / bc2;
+            *p -= lr * mhat / (vhat.sqrt() + eps);
+        }
+    };
+    if use_parallel(param.len()) {
+        param
+            .par_chunks_mut(CHUNK)
+            .zip(m.par_chunks_mut(CHUNK).zip(v.par_chunks_mut(CHUNK)))
+            .enumerate()
+            .for_each(|(ci, args)| body(ci, args));
+    } else {
+        param
+            .chunks_mut(CHUNK)
+            .zip(m.chunks_mut(CHUNK).zip(v.chunks_mut(CHUNK)))
+            .enumerate()
+            .for_each(|(ci, args)| body(ci, args));
+    }
+}
+
+/// Fused single-pass SGD-with-momentum update: folds weight decay into
+/// the gradient, updates the velocity and applies the step in one
+/// traversal.
+pub fn sgd_momentum_update(
+    param: &mut [f32],
+    grad: &[f32],
+    velocity: &mut [f32],
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+) {
+    debug_assert_eq!(param.len(), grad.len());
+    debug_assert_eq!(param.len(), velocity.len());
+    let body = |ci: usize, (pc, vc): (&mut [f32], &mut [f32])| {
+        let gc = &grad[ci * CHUNK..ci * CHUNK + pc.len()];
+        for ((p, g), vel) in pc.iter_mut().zip(gc).zip(vc.iter_mut()) {
+            let ge = g + weight_decay * *p;
+            *vel = momentum * *vel + ge;
+            *p -= lr * *vel;
+        }
+    };
+    if use_parallel(param.len()) {
+        param
+            .par_chunks_mut(CHUNK)
+            .zip(velocity.par_chunks_mut(CHUNK))
+            .enumerate()
+            .for_each(|(ci, args)| body(ci, args));
+    } else {
+        param
+            .chunks_mut(CHUNK)
+            .zip(velocity.chunks_mut(CHUNK))
+            .enumerate()
+            .for_each(|(ci, args)| body(ci, args));
+    }
+}
+
+/// Plain SGD (no momentum state): `p -= lr * (g + wd·p)`.
+pub fn sgd_update(param: &mut [f32], grad: &[f32], lr: f32, weight_decay: f32) {
+    debug_assert_eq!(param.len(), grad.len());
+    let body = |ci: usize, pc: &mut [f32]| {
+        let gc = &grad[ci * CHUNK..ci * CHUNK + pc.len()];
+        for (p, g) in pc.iter_mut().zip(gc) {
+            let ge = g + weight_decay * *p;
+            *p -= lr * ge;
+        }
+    };
+    if use_parallel(param.len()) {
+        param
+            .par_chunks_mut(CHUNK)
+            .enumerate()
+            .for_each(|(ci, pc)| body(ci, pc));
+    } else {
+        param
+            .chunks_mut(CHUNK)
+            .enumerate()
+            .for_each(|(ci, pc)| body(ci, pc));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{randn, rng};
+
+    fn vals(seed: u64, len: usize) -> Vec<f32> {
+        randn(&mut rng(seed), [len], 1.0).data().to_vec()
+    }
+
+    /// Run `f` serially and with the parallel path forced under pools of
+    /// 2 and 4 threads; all three results must be bit-identical.
+    fn assert_thread_invariant(f: impl Fn() -> Vec<f32>) {
+        let serial = f();
+        for threads in [2usize, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let par = pool.install(|| with_forced_parallel(&f));
+            assert_eq!(serial, par, "bit-identical failure at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn map_into_matches_scalar_loop() {
+        let src = vals(1, 40_000);
+        let mut dst = vec![0.0; src.len()];
+        map_into(&src, &mut dst, |v| v * 2.0 + 1.0);
+        for (d, s) in dst.iter().zip(&src) {
+            assert_eq!(*d, s * 2.0 + 1.0);
+        }
+    }
+
+    #[test]
+    fn elementwise_kernels_thread_invariant() {
+        let a = vals(2, 10_000);
+        let b = vals(3, 10_000);
+        assert_thread_invariant(|| {
+            let mut out = vec![0.0; a.len()];
+            zip_map_into(&a, &b, &mut out, |x, y| x * y + x);
+            out
+        });
+        assert_thread_invariant(|| {
+            let mut out = a.clone();
+            axpy(0.37, &b, &mut out);
+            out
+        });
+    }
+
+    #[test]
+    fn broadcast_suffix_matches_general() {
+        let a = vals(4, 96 * 33);
+        let b = vals(5, 33);
+        let mut out = vec![0.0; a.len()];
+        broadcast_suffix_into(&a, &b, &mut out, |x, y| x + y);
+        for (i, o) in out.iter().enumerate() {
+            assert_eq!(*o, a[i] + b[i % 33]);
+        }
+        assert_thread_invariant(|| {
+            let mut o = vec![0.0; a.len()];
+            broadcast_suffix_into(&a, &b, &mut o, |x, y| x + y);
+            o
+        });
+    }
+
+    #[test]
+    fn col_sum_blocked_thread_invariant() {
+        let x = vals(6, 100 * 17);
+        assert_thread_invariant(|| {
+            let mut out = vec![0.0; 17];
+            col_sum_rows(&x, &mut out, 17);
+            out
+        });
+    }
+
+    #[test]
+    fn softmax_and_backward_thread_invariant() {
+        let x = vals(7, 37 * 19);
+        let dy = vals(8, 37 * 19);
+        let y = {
+            let mut y = vec![0.0; x.len()];
+            softmax_rows(&x, &mut y, 19);
+            y
+        };
+        assert_thread_invariant(|| {
+            let mut out = vec![0.0; x.len()];
+            softmax_rows(&x, &mut out, 19);
+            out
+        });
+        assert_thread_invariant(|| {
+            let mut out = vec![0.0; x.len()];
+            softmax_backward_rows(&y, &dy, &mut out, 19);
+            out
+        });
+    }
+
+    #[test]
+    fn softmax_xent_thread_invariant_including_loss() {
+        let x = vals(9, 23 * 11);
+        let targets: Vec<usize> = (0..23).map(|r| (r * 5) % 11).collect();
+        assert_thread_invariant(|| {
+            let mut grad = vec![0.0; x.len()];
+            let loss = softmax_xent_rows(&x, &targets, &mut grad, 11);
+            grad.push(loss);
+            grad
+        });
+    }
+
+    #[test]
+    fn layernorm_forward_backward_thread_invariant() {
+        let n = 13;
+        let rows = 41;
+        let x = vals(10, rows * n);
+        let gamma = vals(11, n);
+        let beta = vals(12, n);
+        let dy = vals(13, rows * n);
+        let run_fwd = || {
+            let mut out = vec![0.0; rows * n];
+            let mut xhat = vec![0.0; rows * n];
+            let mut istd = vec![0.0; rows];
+            layernorm_rows(&x, &gamma, &beta, 1e-5, &mut out, &mut xhat, &mut istd);
+            (out, xhat, istd)
+        };
+        assert_thread_invariant(|| {
+            let (mut out, xhat, istd) = run_fwd();
+            out.extend(xhat);
+            out.extend(istd);
+            out
+        });
+        let (_, xhat, istd) = run_fwd();
+        assert_thread_invariant(|| {
+            let mut dx = vec![0.0; rows * n];
+            let mut dg = vec![0.0; n];
+            let mut db = vec![0.0; n];
+            layernorm_backward_rows(&xhat, &istd, &gamma, &dy, &mut dx, &mut dg, &mut db);
+            dx.extend(dg);
+            dx.extend(db);
+            dx
+        });
+    }
+
+    #[test]
+    fn batchnorm_forward_backward_thread_invariant() {
+        let dims = [3usize, 4, 5, 5];
+        let len = dims.iter().product::<usize>();
+        let x = vals(14, len);
+        let gamma = vals(15, 4);
+        let beta = vals(16, 4);
+        let dy = vals(17, len);
+        let run_fwd = || {
+            let mut out = vec![0.0; len];
+            let mut xhat = vec![0.0; len];
+            let mut istd = vec![0.0; 4];
+            let mut means = vec![0.0; 4];
+            batchnorm2d_rows(
+                &x, &gamma, &beta, 1e-5, dims, &mut out, &mut xhat, &mut istd, &mut means,
+            );
+            (out, xhat, istd)
+        };
+        assert_thread_invariant(|| {
+            let (mut out, xhat, istd) = run_fwd();
+            out.extend(xhat);
+            out.extend(istd);
+            out
+        });
+        let (_, xhat, istd) = run_fwd();
+        assert_thread_invariant(|| {
+            let mut dx = vec![0.0; len];
+            let mut dg = vec![0.0; 4];
+            let mut db = vec![0.0; 4];
+            batchnorm2d_backward_rows(&xhat, &istd, &gamma, &dy, dims, &mut dx, &mut dg, &mut db);
+            dx.extend(dg);
+            dx.extend(db);
+            dx
+        });
+    }
+
+    #[test]
+    fn fused_bias_gelu_matches_composition() {
+        let n = 29;
+        let rows = 17;
+        let x = vals(18, rows * n);
+        let bias = vals(19, n);
+        let mut pre = vec![0.0; rows * n];
+        let mut y = vec![0.0; rows * n];
+        bias_gelu(&x, &bias, &mut pre, &mut y);
+        for r in 0..rows {
+            for i in 0..n {
+                let p = x[r * n + i] + bias[i];
+                assert_eq!(pre[r * n + i], p);
+                assert_eq!(y[r * n + i], gelu_scalar(p));
+            }
+        }
+        assert_thread_invariant(|| {
+            let mut pre = vec![0.0; rows * n];
+            let mut y = vec![0.0; rows * n];
+            bias_gelu(&x, &bias, &mut pre, &mut y);
+            y.extend(pre);
+            y
+        });
+        let dy = vals(20, rows * n);
+        assert_thread_invariant(|| {
+            let mut dx = vec![0.0; rows * n];
+            let mut db = vec![0.0; n];
+            bias_gelu_backward(&pre, &dy, &mut dx, &mut db);
+            dx.extend(db);
+            dx
+        });
+    }
+
+    #[test]
+    fn add_relu_and_backward() {
+        let a = vals(21, 5000);
+        let b = vals(22, 5000);
+        let mut y = vec![0.0; 5000];
+        add_relu(&a, &b, &mut y);
+        for i in 0..5000 {
+            assert_eq!(y[i], (a[i] + b[i]).max(0.0));
+        }
+        let dy = vals(23, 5000);
+        let mut dx = vec![0.0; 5000];
+        add_relu_backward(&y, &dy, &mut dx);
+        for i in 0..5000 {
+            assert_eq!(dx[i], if y[i] > 0.0 { dy[i] } else { 0.0 });
+        }
+    }
+
+    #[test]
+    fn rope_thread_invariant_and_cached() {
+        let (heads, seq, d) = (3usize, 11, 8);
+        let x = vals(24, heads * seq * d);
+        assert_thread_invariant(|| {
+            let mut out = vec![0.0; x.len()];
+            rope_rows(&x, &mut out, heads, seq, d, false);
+            out
+        });
+        // A second call must hit the table cache and agree exactly.
+        let mut a = vec![0.0; x.len()];
+        let mut b = vec![0.0; x.len()];
+        rope_rows(&x, &mut a, heads, seq, d, false);
+        rope_rows(&x, &mut b, heads, seq, d, false);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn optimizer_updates_thread_invariant() {
+        let len = 70_000;
+        let g = vals(25, len);
+        let p0 = vals(26, len);
+        assert_thread_invariant(|| {
+            let mut p = p0.clone();
+            let mut m = vec![0.0; len];
+            let mut v = vec![0.0; len];
+            adam_update(
+                &mut p, &g, &mut m, &mut v, 1e-3, 0.9, 0.999, 1e-8, 0.01, 0.1, 0.001,
+            );
+            p.extend(m);
+            p.extend(v);
+            p
+        });
+        assert_thread_invariant(|| {
+            let mut p = p0.clone();
+            let mut vel = vec![0.0; len];
+            sgd_momentum_update(&mut p, &g, &mut vel, 0.05, 0.9, 1e-4);
+            p.extend(vel);
+            p
+        });
+        assert_thread_invariant(|| {
+            let mut p = p0.clone();
+            sgd_update(&mut p, &g, 0.05, 1e-4);
+            p
+        });
+    }
+}

@@ -19,6 +19,9 @@
 //!   for the tiling scheme and determinism guarantee);
 //! * [`workspace`] — reusable scratch-buffer pool shared by the kernels
 //!   and recycled tensor storage;
+//! * [`kernels`] — fused, parallel elementwise/reduction kernels (the
+//!   non-GEMM counterpart of [`matmul`]; see its docs for the
+//!   determinism rule);
 //! * [`conv`] — im2col convolution, pooling;
 //! * [`autograd`] — reverse-mode differentiation ([`autograd::Var`]);
 //! * [`nn`] — neural-network functional ops (softmax, layernorm, GELU, …);
@@ -34,6 +37,7 @@
 pub mod autograd;
 pub mod conv;
 pub mod init;
+pub mod kernels;
 pub mod matmul;
 pub mod nn;
 pub mod optim;

@@ -7,10 +7,17 @@
 //! softmax-cross-entropy loss. Every backward is validated against
 //! numerical gradients in the test suite.
 //!
+//! The numeric loops live in [`crate::kernels`]: chunk/row-parallel with
+//! bit-identical serial≡parallel results, fused where it cuts memory
+//! traffic (softmax+cross-entropy, bias+GELU, add+ReLU). This module
+//! owns shapes, caches and workspace-backed output buffers.
+//!
 //! Output buffers are drawn from the global [`crate::workspace`] pool
 //! and recycled by tensor drop, so these per-call ops stop allocating
 //! once a training loop reaches steady state.
 
+use crate::kernels;
+use crate::kernels::{gelu_grad_scalar, gelu_scalar};
 use crate::tensor::Tensor;
 use crate::workspace;
 
@@ -24,13 +31,14 @@ pub fn relu(x: &Tensor) -> Tensor {
 /// Backward of ReLU given the *input* and upstream gradient.
 pub fn relu_backward(x: &Tensor, dy: &Tensor) -> Tensor {
     assert_eq!(x.dims(), dy.dims());
-    let mut data = workspace::global().take_raw(x.numel());
-    data.extend(
-        x.data()
-            .iter()
-            .zip(dy.data())
-            .map(|(v, g)| if *v > 0.0 { *g } else { 0.0 }),
-    );
+    let mut data = workspace::global().take_zeroed(x.numel());
+    kernels::zip_map_into(x.data(), dy.data(), &mut data, |v, g| {
+        if v > 0.0 {
+            g
+        } else {
+            0.0
+        }
+    });
     Tensor::from_vec(data, x.dims().to_vec())
 }
 
@@ -39,32 +47,70 @@ pub fn gelu(x: &Tensor) -> Tensor {
     x.map(gelu_scalar)
 }
 
-#[inline]
-fn gelu_scalar(v: f32) -> f32 {
-    const C: f32 = 0.797_884_6; // sqrt(2/pi)
-    0.5 * v * (1.0 + (C * (v + 0.044715 * v * v * v)).tanh())
-}
-
-#[inline]
-fn gelu_grad_scalar(v: f32) -> f32 {
-    const C: f32 = 0.797_884_6;
-    let u = C * (v + 0.044715 * v * v * v);
-    let t = u.tanh();
-    let du = C * (1.0 + 3.0 * 0.044715 * v * v);
-    0.5 * (1.0 + t) + 0.5 * v * (1.0 - t * t) * du
-}
-
 /// Backward of GELU given the *input* and upstream gradient.
 pub fn gelu_backward(x: &Tensor, dy: &Tensor) -> Tensor {
     assert_eq!(x.dims(), dy.dims());
-    let mut data = workspace::global().take_raw(x.numel());
-    data.extend(
-        x.data()
-            .iter()
-            .zip(dy.data())
-            .map(|(v, g)| gelu_grad_scalar(*v) * g),
-    );
+    let mut data = workspace::global().take_zeroed(x.numel());
+    kernels::zip_map_into(x.data(), dy.data(), &mut data, |v, g| {
+        gelu_grad_scalar(v) * g
+    });
     Tensor::from_vec(data, x.dims().to_vec())
+}
+
+/// Fused bias + GELU over the last axis: `y = gelu(x + bias)`. Returns
+/// the output and the pre-activation `x + bias` (needed by
+/// [`bias_gelu_backward`]); both are produced in one pass over `x`
+/// instead of a broadcast add followed by a separate GELU sweep.
+pub fn bias_gelu(x: &Tensor, bias: &Tensor) -> (Tensor, Tensor) {
+    let n = bias.numel();
+    assert_eq!(
+        *x.dims().last().expect("bias_gelu needs rank >= 1"),
+        n,
+        "bias length must match the last axis"
+    );
+    let ws = workspace::global();
+    let mut pre = ws.take_zeroed(x.numel());
+    let mut y = ws.take_zeroed(x.numel());
+    kernels::bias_gelu(x.data(), bias.data(), &mut pre, &mut y);
+    (
+        Tensor::from_vec(y, x.dims().to_vec()),
+        Tensor::from_vec(pre, x.dims().to_vec()),
+    )
+}
+
+/// Backward of [`bias_gelu`] given the saved pre-activation: returns
+/// `(dx, dbias)` where `dx = gelu'(pre) ⊙ dy` and `dbias` is its
+/// column sum.
+pub fn bias_gelu_backward(pre: &Tensor, dy: &Tensor) -> (Tensor, Tensor) {
+    assert_eq!(pre.dims(), dy.dims());
+    let n = *pre.dims().last().unwrap();
+    let ws = workspace::global();
+    let mut dx = ws.take_zeroed(pre.numel());
+    let mut dbias = ws.take_zeroed(n);
+    kernels::bias_gelu_backward(pre.data(), dy.data(), &mut dx, &mut dbias);
+    (
+        Tensor::from_vec(dx, pre.dims().to_vec()),
+        Tensor::from_vec(dbias, [n]),
+    )
+}
+
+/// Fused residual add + ReLU: `relu(a + b)` for same-shape operands (the
+/// ResNet block tail) in a single pass.
+pub fn add_relu(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.dims(), b.dims(), "add_relu requires matching shapes");
+    let mut y = workspace::global().take_zeroed(a.numel());
+    kernels::add_relu(a.data(), b.data(), &mut y);
+    Tensor::from_vec(y, a.dims().to_vec())
+}
+
+/// Backward of [`add_relu`] given the *output* `y`: both addends receive
+/// the same gradient `dy ⊙ [y > 0]` (clone the returned tensor for the
+/// second operand — it is `Arc`-backed and cheap).
+pub fn add_relu_backward(y: &Tensor, dy: &Tensor) -> Tensor {
+    assert_eq!(y.dims(), dy.dims());
+    let mut dx = workspace::global().take_zeroed(y.numel());
+    kernels::add_relu_backward(y.data(), dy.data(), &mut dx);
+    Tensor::from_vec(dx, y.dims().to_vec())
 }
 
 /// Logistic sigmoid.
@@ -77,18 +123,8 @@ pub fn sigmoid(x: &Tensor) -> Tensor {
 /// Numerically stable softmax over the last axis.
 pub fn softmax_last(x: &Tensor) -> Tensor {
     let n = *x.dims().last().expect("softmax needs rank >= 1");
-    let mut out = workspace::global().take_copy(x.data());
-    for row in out.chunks_mut(n) {
-        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0;
-        for v in row.iter_mut() {
-            *v = (*v - m).exp();
-            sum += *v;
-        }
-        for v in row.iter_mut() {
-            *v /= sum;
-        }
-    }
+    let mut out = workspace::global().take_zeroed(x.numel());
+    kernels::softmax_rows(x.data(), &mut out, n);
     Tensor::from_vec(out, x.dims().to_vec())
 }
 
@@ -98,41 +134,22 @@ pub fn softmax_last_backward(y: &Tensor, dy: &Tensor) -> Tensor {
     assert_eq!(y.dims(), dy.dims());
     let n = *y.dims().last().unwrap();
     let mut out = workspace::global().take_zeroed(y.numel());
-    for ((yr, dyr), or) in y
-        .data()
-        .chunks(n)
-        .zip(dy.data().chunks(n))
-        .zip(out.chunks_mut(n))
-    {
-        let dot: f32 = yr.iter().zip(dyr).map(|(a, b)| a * b).sum();
-        for i in 0..n {
-            or[i] = yr[i] * (dyr[i] - dot);
-        }
-    }
+    kernels::softmax_backward_rows(y.data(), dy.data(), &mut out, n);
     Tensor::from_vec(out, y.dims().to_vec())
 }
 
 /// Mean cross-entropy from raw logits `[n, v]` and class indices, fused
 /// with its backward: returns `(loss, dlogits)` where `dlogits` is the
-/// gradient of the *mean* loss.
+/// gradient of the *mean* loss. A single pass per row computes the
+/// log-sum-exp loss and the `(softmax − onehot)/n` gradient without
+/// materialising the probabilities separately.
 pub fn cross_entropy_logits(logits: &Tensor, targets: &[usize]) -> (f32, Tensor) {
     assert_eq!(logits.rank(), 2);
     let (n, v) = (logits.dims()[0], logits.dims()[1]);
     assert_eq!(targets.len(), n, "one target per row");
-    let probs = softmax_last(logits);
-    let mut loss = 0.0f32;
-    let mut grad = workspace::global().take_copy(probs.data());
-    for (i, &t) in targets.iter().enumerate() {
-        assert!(t < v, "target {t} out of vocabulary {v}");
-        let p = probs.data()[i * v + t].max(1e-12);
-        loss -= p.ln();
-        grad[i * v + t] -= 1.0;
-    }
-    let scale = 1.0 / n as f32;
-    for g in &mut grad {
-        *g *= scale;
-    }
-    (loss * scale, Tensor::from_vec(grad, [n, v]))
+    let mut grad = workspace::global().take_zeroed(logits.numel());
+    let loss = kernels::softmax_xent_rows(logits.data(), targets, &mut grad, v);
+    (loss, Tensor::from_vec(grad, [n, v]))
 }
 
 // ---------- normalization ----------
@@ -143,7 +160,7 @@ pub struct LayerNormCache {
     /// Normalised activations `x̂`.
     pub xhat: Tensor,
     /// Per-row inverse standard deviation.
-    pub inv_std: Vec<f32>,
+    pub inv_std: Tensor,
 }
 
 /// LayerNorm over the last axis with learnable `gamma`/`beta` of size `n`.
@@ -155,23 +172,21 @@ pub fn layernorm(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> (Tensor
     let ws = workspace::global();
     let mut xhat = ws.take_zeroed(x.numel());
     let mut out = ws.take_zeroed(x.numel());
-    let mut inv_std = vec![0.0f32; rows];
-    for (r, row) in x.data().chunks(n).enumerate() {
-        let mean = row.iter().sum::<f32>() / n as f32;
-        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
-        let istd = 1.0 / (var + eps).sqrt();
-        inv_std[r] = istd;
-        for i in 0..n {
-            let h = (row[i] - mean) * istd;
-            xhat[r * n + i] = h;
-            out[r * n + i] = h * gamma.data()[i] + beta.data()[i];
-        }
-    }
+    let mut inv_std = ws.take_zeroed(rows);
+    kernels::layernorm_rows(
+        x.data(),
+        gamma.data(),
+        beta.data(),
+        eps,
+        &mut out,
+        &mut xhat,
+        &mut inv_std,
+    );
     (
         Tensor::from_vec(out, x.dims().to_vec()),
         LayerNormCache {
             xhat: Tensor::from_vec(xhat, x.dims().to_vec()),
-            inv_std,
+            inv_std: Tensor::from_vec(inv_std, [rows]),
         },
     )
 }
@@ -183,31 +198,19 @@ pub fn layernorm_backward(
     dy: &Tensor,
 ) -> (Tensor, Tensor, Tensor) {
     let n = *dy.dims().last().unwrap();
-    let rows = dy.numel() / n;
-    let xhat = cache.xhat.data();
     let ws = workspace::global();
     let mut dx = ws.take_zeroed(dy.numel());
     let mut dgamma = ws.take_zeroed(n);
     let mut dbeta = ws.take_zeroed(n);
-    for r in 0..rows {
-        let dy_row = &dy.data()[r * n..(r + 1) * n];
-        let xh_row = &xhat[r * n..(r + 1) * n];
-        let mut sum_dyg = 0.0f32;
-        let mut sum_dyg_xh = 0.0f32;
-        for i in 0..n {
-            let dyg = dy_row[i] * gamma.data()[i];
-            sum_dyg += dyg;
-            sum_dyg_xh += dyg * xh_row[i];
-            dgamma[i] += dy_row[i] * xh_row[i];
-            dbeta[i] += dy_row[i];
-        }
-        let istd = cache.inv_std[r];
-        let inv_n = 1.0 / n as f32;
-        for i in 0..n {
-            let dyg = dy_row[i] * gamma.data()[i];
-            dx[r * n + i] = istd * (dyg - inv_n * sum_dyg - xh_row[i] * inv_n * sum_dyg_xh);
-        }
-    }
+    kernels::layernorm_backward_rows(
+        cache.xhat.data(),
+        cache.inv_std.data(),
+        gamma.data(),
+        dy.data(),
+        &mut dx,
+        &mut dgamma,
+        &mut dbeta,
+    );
     (
         Tensor::from_vec(dx, dy.dims().to_vec()),
         Tensor::from_vec(dgamma, [n]),
@@ -219,7 +222,7 @@ pub fn layernorm_backward(
 #[derive(Debug, Clone)]
 pub struct BatchNorm2dCache {
     pub xhat: Tensor,
-    pub inv_std: Vec<f32>,
+    pub inv_std: Tensor,
 }
 
 /// BatchNorm over NCHW activations with per-channel `gamma`/`beta`
@@ -234,45 +237,28 @@ pub fn batchnorm2d(
     let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
     assert_eq!(gamma.numel(), c);
     assert_eq!(beta.numel(), c);
-    let count = (n * h * w) as f32;
     let ws = workspace::global();
     let mut xhat = ws.take_zeroed(x.numel());
     let mut out = ws.take_zeroed(x.numel());
-    let mut inv_std = vec![0.0f32; c];
-    let data = x.data();
-    for ci in 0..c {
-        let mut mean = 0.0f32;
-        for ni in 0..n {
-            let base = (ni * c + ci) * h * w;
-            mean += data[base..base + h * w].iter().sum::<f32>();
-        }
-        mean /= count;
-        let mut var = 0.0f32;
-        for ni in 0..n {
-            let base = (ni * c + ci) * h * w;
-            var += data[base..base + h * w]
-                .iter()
-                .map(|v| (v - mean) * (v - mean))
-                .sum::<f32>();
-        }
-        var /= count;
-        let istd = 1.0 / (var + eps).sqrt();
-        inv_std[ci] = istd;
-        let (g, b) = (gamma.data()[ci], beta.data()[ci]);
-        for ni in 0..n {
-            let base = (ni * c + ci) * h * w;
-            for k in 0..h * w {
-                let xh = (data[base + k] - mean) * istd;
-                xhat[base + k] = xh;
-                out[base + k] = xh * g + b;
-            }
-        }
-    }
+    let mut inv_std = ws.take_zeroed(c);
+    let mut means = ws.take_zeroed(c);
+    kernels::batchnorm2d_rows(
+        x.data(),
+        gamma.data(),
+        beta.data(),
+        eps,
+        [n, c, h, w],
+        &mut out,
+        &mut xhat,
+        &mut inv_std,
+        &mut means,
+    );
+    ws.give(means);
     (
         Tensor::from_vec(out, x.dims().to_vec()),
         BatchNorm2dCache {
             xhat: Tensor::from_vec(xhat, x.dims().to_vec()),
-            inv_std,
+            inv_std: Tensor::from_vec(inv_std, [c]),
         },
     )
 }
@@ -285,35 +271,20 @@ pub fn batchnorm2d_backward(
 ) -> (Tensor, Tensor, Tensor) {
     assert_eq!(dy.rank(), 4);
     let (n, c, h, w) = (dy.dims()[0], dy.dims()[1], dy.dims()[2], dy.dims()[3]);
-    let count = (n * h * w) as f32;
-    let xhat = cache.xhat.data();
-    let dyd = dy.data();
     let ws = workspace::global();
     let mut dx = ws.take_zeroed(dy.numel());
     let mut dgamma = ws.take_zeroed(c);
     let mut dbeta = ws.take_zeroed(c);
-    for ci in 0..c {
-        let mut sum_dy = 0.0f32;
-        let mut sum_dy_xh = 0.0f32;
-        for ni in 0..n {
-            let base = (ni * c + ci) * h * w;
-            for k in 0..h * w {
-                sum_dy += dyd[base + k];
-                sum_dy_xh += dyd[base + k] * xhat[base + k];
-            }
-        }
-        dgamma[ci] = sum_dy_xh;
-        dbeta[ci] = sum_dy;
-        let g = gamma.data()[ci];
-        let istd = cache.inv_std[ci];
-        for ni in 0..n {
-            let base = (ni * c + ci) * h * w;
-            for k in 0..h * w {
-                dx[base + k] = g * istd / count
-                    * (count * dyd[base + k] - sum_dy - xhat[base + k] * sum_dy_xh);
-            }
-        }
-    }
+    kernels::batchnorm2d_backward_rows(
+        cache.xhat.data(),
+        cache.inv_std.data(),
+        gamma.data(),
+        dy.data(),
+        [n, c, h, w],
+        &mut dx,
+        &mut dgamma,
+        &mut dbeta,
+    );
     (
         Tensor::from_vec(dx, dy.dims().to_vec()),
         Tensor::from_vec(dgamma, [c]),
@@ -336,6 +307,9 @@ pub fn embedding(table: &Tensor, ids: &[usize]) -> Tensor {
 }
 
 /// Backward of embedding: scatter-add `dy [n, d]` into a `[v, d]` grad.
+/// The scatter stays serial: duplicate ids write to the same rows, and a
+/// deterministic parallel scatter would need per-row locking that costs
+/// more than the loop.
 pub fn embedding_backward(dy: &Tensor, ids: &[usize], vocab: usize) -> Tensor {
     let d = dy.dims()[1];
     let mut grad = workspace::global().take_zeroed(vocab * d);
@@ -352,27 +326,14 @@ pub fn embedding_backward(dy: &Tensor, ids: &[usize], vocab: usize) -> Tensor {
 /// Apply rotary positional embeddings to `[n_heads, seq, head_dim]`
 /// query/key tensors (one of the Megatron-LM features the benchmark
 /// enables). `head_dim` must be even; pairs `(2i, 2i+1)` are rotated by
-/// `pos · θ_i` with `θ_i = 10000^{-2i/d}`.
+/// `pos · θ_i` with `θ_i = 10000^{-2i/d}`. The sin/cos tables are cached
+/// per `(seq, head_dim)` in [`crate::kernels`].
 pub fn rope(x: &Tensor, inverse: bool) -> Tensor {
     assert_eq!(x.rank(), 3, "rope expects [heads, seq, head_dim]");
     let (heads, seq, d) = (x.dims()[0], x.dims()[1], x.dims()[2]);
     assert_eq!(d % 2, 0, "rope head_dim must be even");
-    let sign = if inverse { -1.0f32 } else { 1.0 };
     let mut out = workspace::global().take_zeroed(x.numel());
-    let data = x.data();
-    for hh in 0..heads {
-        for p in 0..seq {
-            let base = (hh * seq + p) * d;
-            for i in 0..d / 2 {
-                let theta = (p as f32) * 10000f32.powf(-2.0 * i as f32 / d as f32) * sign;
-                let (s, c) = theta.sin_cos();
-                let a = data[base + 2 * i];
-                let b = data[base + 2 * i + 1];
-                out[base + 2 * i] = a * c - b * s;
-                out[base + 2 * i + 1] = a * s + b * c;
-            }
-        }
-    }
+    kernels::rope_rows(x.data(), &mut out, heads, seq, d, inverse);
     Tensor::from_vec(out, x.dims().to_vec())
 }
 
@@ -408,6 +369,42 @@ mod tests {
             let ana = gelu_grad_scalar(v);
             assert!((num - ana).abs() < 1e-2, "gelu'({v}): {num} vs {ana}");
         }
+    }
+
+    #[test]
+    fn fused_bias_gelu_matches_composition() {
+        let x = randn(&mut rng(20), [5, 9], 1.5);
+        let bias = randn(&mut rng(21), [9], 1.0);
+        let (y, pre) = bias_gelu(&x, &bias);
+        let composed = gelu(&x.add(&bias).unwrap());
+        assert!(y.allclose(&composed, 1e-6));
+        assert!(pre.allclose(&x.add(&bias).unwrap(), 1e-6));
+    }
+
+    #[test]
+    fn fused_bias_gelu_backward_matches_composition() {
+        let x = randn(&mut rng(22), [4, 7], 1.0);
+        let bias = randn(&mut rng(23), [7], 1.0);
+        let dy = randn(&mut rng(24), [4, 7], 1.0);
+        let (_, pre) = bias_gelu(&x, &bias);
+        let (dx, dbias) = bias_gelu_backward(&pre, &dy);
+        // Composed: dx = gelu'(x + b) ⊙ dy, dbias = column sum.
+        let dx_ref = gelu_backward(&x.add(&bias).unwrap(), &dy);
+        assert!(dx.allclose(&dx_ref, 1e-6));
+        let db_ref = dx_ref.sum_axis0();
+        assert!(dbias.allclose(&db_ref, 1e-5));
+    }
+
+    #[test]
+    fn fused_add_relu_matches_composition() {
+        let a = randn(&mut rng(25), [6, 8], 1.0);
+        let b = randn(&mut rng(26), [6, 8], 1.0);
+        let y = add_relu(&a, &b);
+        assert!(y.allclose(&relu(&a.add(&b).unwrap()), 0.0));
+        let dy = randn(&mut rng(27), [6, 8], 1.0);
+        let g = add_relu_backward(&y, &dy);
+        let g_ref = relu_backward(&a.add(&b).unwrap(), &dy);
+        assert!(g.allclose(&g_ref, 0.0));
     }
 
     #[test]
@@ -497,6 +494,32 @@ mod tests {
                 dlogits.data()[idx]
             );
         }
+    }
+
+    /// The fused softmax+cross-entropy must agree with the unfused
+    /// composition (separate softmax, log, one-hot subtraction) on both
+    /// the loss and the gradient.
+    #[test]
+    fn fused_cross_entropy_matches_unfused_composition() {
+        let logits = randn(&mut rng(28), [6, 11], 2.0);
+        let targets: Vec<usize> = (0..6).map(|r| (r * 3) % 11).collect();
+        let (loss, dlogits) = cross_entropy_logits(&logits, &targets);
+
+        let probs = softmax_last(&logits);
+        let n = targets.len();
+        let mut ref_loss = 0.0f32;
+        let mut ref_grad = probs.data().to_vec();
+        for (i, &t) in targets.iter().enumerate() {
+            ref_loss -= probs.data()[i * 11 + t].ln();
+            ref_grad[i * 11 + t] -= 1.0;
+        }
+        ref_loss /= n as f32;
+        for g in &mut ref_grad {
+            *g /= n as f32;
+        }
+        assert!((loss - ref_loss).abs() < 1e-5, "{loss} vs {ref_loss}");
+        let ref_grad = Tensor::from_vec(ref_grad, [6, 11]);
+        assert!(dlogits.allclose(&ref_grad, 1e-5));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! parameter id so an optimizer survives graph rebuilds between steps.
 
 use crate::autograd::Var;
+use crate::kernels;
 use crate::tensor::Tensor;
 use std::collections::HashMap;
 
@@ -60,23 +61,27 @@ impl Sgd {
 impl Optimizer for Sgd {
     fn step(&mut self, params: &[Var]) {
         for p in params {
-            let Some(mut grad) = p.grad() else { continue };
-            if self.weight_decay != 0.0 {
-                grad.axpy_inplace(self.weight_decay, &p.value());
-            }
-            let update = if self.momentum != 0.0 {
+            let Some(grad) = p.grad() else { continue };
+            // Fused single-pass update: weight decay is folded into the
+            // gradient inside the kernel, so the gradient tensor is never
+            // mutated and no intermediate buffers are created.
+            let mut value = p.value();
+            if self.momentum != 0.0 {
                 let v = self
                     .velocity
                     .entry(p.id())
                     .or_insert_with(|| Tensor::zeros(grad.dims().to_vec()));
-                v.scale_inplace(self.momentum);
-                v.axpy_inplace(1.0, &grad);
-                v.clone()
+                kernels::sgd_momentum_update(
+                    value.data_mut(),
+                    grad.data(),
+                    v.data_mut(),
+                    self.lr,
+                    self.momentum,
+                    self.weight_decay,
+                );
             } else {
-                grad
-            };
-            let mut value = p.value();
-            value.axpy_inplace(-self.lr, &update);
+                kernels::sgd_update(value.data_mut(), grad.data(), self.lr, self.weight_decay);
+            }
             p.set_value(value);
             p.zero_grad();
         }
@@ -127,10 +132,7 @@ impl Optimizer for Adam {
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         for p in params {
-            let Some(mut grad) = p.grad() else { continue };
-            if self.weight_decay != 0.0 {
-                grad.axpy_inplace(self.weight_decay, &p.value());
-            }
+            let Some(grad) = p.grad() else { continue };
             let m = self
                 .m
                 .entry(p.id())
@@ -139,23 +141,24 @@ impl Optimizer for Adam {
                 .v
                 .entry(p.id())
                 .or_insert_with(|| Tensor::zeros(grad.dims().to_vec()));
-            m.scale_inplace(self.beta1);
-            m.axpy_inplace(1.0 - self.beta1, &grad);
-            {
-                let vdata = v.data_mut();
-                for (vv, g) in vdata.iter_mut().zip(grad.data()) {
-                    *vv = self.beta2 * *vv + (1.0 - self.beta2) * g * g;
-                }
-            }
+            // Fused single-pass update: one traversal folds weight decay
+            // into the gradient, advances both moments and applies the
+            // bias-corrected step (the unfused version made five passes
+            // over the parameter slab).
             let mut value = p.value();
-            {
-                let out = value.data_mut();
-                for ((x, mm), vv) in out.iter_mut().zip(m.data()).zip(v.data()) {
-                    let mhat = mm / bc1;
-                    let vhat = vv / bc2;
-                    *x -= self.lr * mhat / (vhat.sqrt() + self.eps);
-                }
-            }
+            kernels::adam_update(
+                value.data_mut(),
+                grad.data(),
+                m.data_mut(),
+                v.data_mut(),
+                self.lr,
+                self.beta1,
+                self.beta2,
+                self.eps,
+                self.weight_decay,
+                bc1,
+                bc2,
+            );
             p.set_value(value);
             p.zero_grad();
         }

@@ -10,6 +10,7 @@
 //! loops reach a steady state where step *N+1* recycles the buffers of
 //! step *N* instead of hitting the allocator.
 
+use crate::kernels;
 use crate::shape::Shape;
 use crate::workspace;
 use crate::TensorError;
@@ -126,9 +127,17 @@ impl Tensor {
         &self.data
     }
 
-    /// Mutable view (copy-on-write: clones the buffer if shared).
+    /// Mutable view (copy-on-write: clones the buffer if shared). The
+    /// private copy is drawn from the workspace pool — optimizer steps
+    /// hit this every call, because parameter values stay shared with
+    /// the autograd graph's closures.
     pub fn data_mut(&mut self) -> &mut [f32] {
-        Arc::make_mut(&mut self.data).as_mut_slice()
+        if Arc::get_mut(&mut self.data).is_none() {
+            self.data = Arc::new(workspace::global().take_copy(&self.data));
+        }
+        Arc::get_mut(&mut self.data)
+            .expect("buffer is uniquely owned after copy-on-write")
+            .as_mut_slice()
     }
 
     /// Element at a multi-index.
@@ -197,20 +206,25 @@ impl Tensor {
         let in_dims = self.dims();
         let in_strides = self.shape.strides();
         let out_dims: Vec<usize> = order.iter().map(|&o| in_dims[o]).collect();
-        let mut out = vec![0.0f32; self.numel()];
+        let mut out = workspace::global().take_zeroed(self.numel());
         let rank = self.rank();
+        // Walk the output in order, tracking the source offset with an
+        // odometer over the permuted strides instead of a div/mod
+        // multi-index decode per element.
+        let perm_strides: Vec<usize> = order.iter().map(|&o| in_strides[o]).collect();
         let mut idx = vec![0usize; rank];
-        for (flat, slot) in out.iter_mut().enumerate() {
-            let mut rem = flat;
-            for d in (0..rank).rev() {
-                idx[d] = rem % out_dims[d];
-                rem /= out_dims[d];
-            }
-            let mut src = 0usize;
-            for d in 0..rank {
-                src += idx[d] * in_strides[order[d]];
-            }
+        let mut src = 0usize;
+        for slot in out.iter_mut() {
             *slot = self.data[src];
+            for d in (0..rank).rev() {
+                idx[d] += 1;
+                if idx[d] < out_dims[d] {
+                    src += perm_strides[d];
+                    break;
+                }
+                idx[d] = 0;
+                src -= perm_strides[d] * (out_dims[d] - 1);
+            }
         }
         Tensor::from_vec(out, out_dims)
     }
@@ -260,22 +274,53 @@ impl Tensor {
 
     // ---------- elementwise ----------
 
+    /// Does `small` (leading 1-axes allowed) tile the trailing axes of
+    /// `big`? If so the broadcast is a pure suffix repeat and the fast
+    /// kernel applies.
+    fn is_suffix_broadcast(big: &[usize], small: &[usize]) -> bool {
+        let trimmed = {
+            let mut s = small;
+            while s.first() == Some(&1) {
+                s = &s[1..];
+            }
+            s
+        };
+        trimmed.len() <= big.len() && big[big.len() - trimmed.len()..] == *trimmed
+    }
+
     fn broadcast_binary(
         &self,
         other: &Tensor,
         op: &'static str,
-        f: impl Fn(f32, f32) -> f32,
+        f: impl Fn(f32, f32) -> f32 + Sync,
     ) -> Result<Tensor, TensorError> {
         if self.shape == other.shape {
             // Fast path: identical shapes.
-            let mut out = workspace::global().take_raw(self.numel());
-            out.extend(
-                self.data
-                    .iter()
-                    .zip(other.data.iter())
-                    .map(|(a, b)| f(*a, *b)),
-            );
+            let mut out = workspace::global().take_zeroed(self.numel());
+            kernels::zip_map_into(&self.data, &other.data, &mut out, &f);
             return Ok(Tensor::from_vec(out, self.shape.clone()));
+        }
+        // Suffix-broadcast fast paths (bias adds, attention masks, scalar
+        // operands): the smaller operand tiles the trailing axes of the
+        // larger, so no per-element multi-index decode is needed. The
+        // rank guard keeps the output shape equal to the larger operand's
+        // shape (a leading 1-axis on the smaller side would otherwise
+        // change the broadcast result's rank).
+        if other.rank() <= self.rank()
+            && other.numel() > 0
+            && Self::is_suffix_broadcast(self.dims(), other.dims())
+        {
+            let mut out = workspace::global().take_zeroed(self.numel());
+            kernels::broadcast_suffix_into(&self.data, &other.data, &mut out, &f);
+            return Ok(Tensor::from_vec(out, self.shape.clone()));
+        }
+        if self.rank() <= other.rank()
+            && self.numel() > 0
+            && Self::is_suffix_broadcast(other.dims(), self.dims())
+        {
+            let mut out = workspace::global().take_zeroed(other.numel());
+            kernels::broadcast_suffix_into(&other.data, &self.data, &mut out, |x, y| f(y, x));
+            return Ok(Tensor::from_vec(out, other.shape.clone()));
         }
         let out_shape =
             self.shape
@@ -334,10 +379,10 @@ impl Tensor {
         self.broadcast_binary(other, "div", |a, b| a / b)
     }
 
-    /// Apply `f` to every element.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        let mut out = workspace::global().take_raw(self.numel());
-        out.extend(self.data.iter().map(|x| f(*x)));
+    /// Apply `f` to every element (chunk-parallel for large tensors).
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let mut out = workspace::global().take_zeroed(self.numel());
+        kernels::map_into(&self.data, &mut out, f);
         Tensor::from_vec(out, self.shape.clone())
     }
 
@@ -354,9 +399,7 @@ impl Tensor {
     pub fn axpy_inplace(&mut self, alpha: f32, other: &Tensor) {
         assert_eq!(self.shape, other.shape, "axpy shape mismatch");
         let other_data = Arc::clone(&other.data);
-        for (a, b) in self.data_mut().iter_mut().zip(other_data.iter()) {
-            *a += alpha * b;
-        }
+        kernels::axpy(alpha, &other_data, self.data_mut());
     }
 
     /// In-place scaling.
@@ -421,15 +464,15 @@ impl Tensor {
         Tensor::from_vec(out, dims)
     }
 
-    /// Sum over axis 0 of a 2-D tensor: `[m, n] -> [n]`.
+    /// Sum over axis 0 of a 2-D tensor: `[m, n] -> [n]` (blocked column
+    /// reduction with a fixed fold order — bit-identical at any thread
+    /// count).
     pub fn sum_axis0(&self) -> Tensor {
         assert_eq!(self.rank(), 2);
-        let (m, n) = (self.dims()[0], self.dims()[1]);
-        let mut out = vec![0.0f32; n];
-        for i in 0..m {
-            for j in 0..n {
-                out[j] += self.data[i * n + j];
-            }
+        let n = self.dims()[1];
+        let mut out = workspace::global().take_zeroed(n);
+        if n > 0 {
+            kernels::col_sum_rows(&self.data, &mut out, n);
         }
         Tensor::from_vec(out, [n])
     }

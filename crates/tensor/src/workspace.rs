@@ -3,12 +3,25 @@
 //! Training steps issue the same kernels with the same shapes over and
 //! over; allocating im2col columns, GEMM packing panels, and op outputs
 //! from the system allocator on every call wastes time and defeats cache
-//! warmth. A [`Workspace`] is a bounded pool of `Vec<f32>` buffers:
-//! kernels *take* a buffer sized for the call and *give* it back when the
-//! scratch dies (GEMM packing panels, per-image im2col columns), while
+//! warmth. A [`Workspace`] is a bounded pool of `Vec<f32>` buffers
+//! organised into power-of-two size classes: kernels *take* a buffer
+//! sized for the call and *give* it back when the scratch dies (GEMM
+//! packing panels, per-image im2col columns), while
 //! [`crate::tensor::Tensor`] returns its backing buffer to the global
 //! workspace on drop, so op outputs from step *N* become the allocations
 //! of step *N+1*.
+//!
+//! ## Size-class buckets
+//!
+//! Earlier revisions kept one flat list and scanned it for the best fit —
+//! O(pool size) under a single lock on every take, which showed up in
+//! profiles once every elementwise kernel drew scratch. Buffers now live
+//! in buckets by `floor(log2(capacity))`: a take rounds its request up to
+//! the next power of two, pops from the matching bucket (probing one
+//! class up before giving up), and fresh allocations are made at
+//! power-of-two capacity so recycled buffers land back in a clean class.
+//! Takes and gives are O(1) and each bucket has its own lock, so rayon
+//! workers drawing scratch concurrently do not serialise on one mutex.
 //!
 //! ## Reuse contract for kernel implementors
 //!
@@ -19,14 +32,17 @@
 //! * `take_zeroed` is zero-filled; `take_raw` has `len == 0` and must be
 //!   fully written before use. Never assume residual contents.
 //! * Buffers shorter than [`MIN_POOLED_LEN`] elements bypass the pool
-//!   (the mutex round-trip costs more than a small malloc), and the pool
-//!   is capacity-bounded: when full, incoming buffers are simply dropped,
-//!   so memory use stays bounded no matter how many tensors die.
+//!   (the mutex round-trip costs more than a small malloc), and each
+//!   bucket is capacity-bounded: when full, incoming buffers are simply
+//!   dropped, so memory use stays bounded no matter how many tensors die.
 //!
 //! All methods are thread-safe; rayon workers share the same pool. The
 //! [`WorkspaceStats`] counters let tests assert steady-state behaviour:
 //! after a warm-up call, a fixed-shape kernel must hit the pool for every
-//! scratch buffer (`allocations` stays flat while `reuses` grows).
+//! scratch buffer (`allocations` stays flat while `reuses` grows). Only
+//! pool-eligible requests (`cap >= MIN_POOLED_LEN`) are counted — tiny
+//! bypass allocations like a scalar loss seed are deliberate and would
+//! otherwise drown the signal the counters exist to provide.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -34,55 +50,93 @@ use std::sync::{Mutex, OnceLock};
 /// Buffers smaller than this many `f32`s are not worth pooling.
 pub const MIN_POOLED_LEN: usize = 64;
 
-/// Maximum number of buffers a workspace retains; excess gives are dropped.
-const MAX_POOLED_BUFFERS: usize = 256;
+/// Smallest bucket index: `floor(log2(MIN_POOLED_LEN))`.
+const MIN_BUCKET: usize = MIN_POOLED_LEN.trailing_zeros() as usize;
+
+/// One bucket per power-of-two class from `2^MIN_BUCKET` up to `2^39`
+/// elements (2 TiB of f32 — effectively unbounded for this workload).
+const NUM_BUCKETS: usize = 40 - MIN_BUCKET;
+
+/// Per-class retention budget in elements (16 MiB of f32 per class).
+/// A transformer step holds dozens of same-shape activation buffers live
+/// at once (forward activations plus their gradients), so a small fixed
+/// per-class count would drop the overflow every step and defeat the
+/// steady-state guarantee; budgeting by bytes keeps many small buffers
+/// but only a few huge panels.
+const CLASS_BUDGET_ELEMS: usize = 1 << 22;
+
+/// Buffers always retained per class regardless of the byte budget.
+const MIN_KEPT_PER_CLASS: usize = 8;
+
+/// Maximum buffers retained in class `k`; excess gives are dropped.
+fn max_per_class(k: usize) -> usize {
+    (CLASS_BUDGET_ELEMS >> (k + MIN_BUCKET)).max(MIN_KEPT_PER_CLASS)
+}
+
+/// Size class for a capacity: `floor(log2(cap))` clamped to the bucket
+/// range. Buffers of capacity in `[2^k, 2^(k+1))` live in bucket `k`.
+fn class_of(cap: usize) -> usize {
+    debug_assert!(cap >= MIN_POOLED_LEN);
+    let k = usize::BITS as usize - 1 - cap.leading_zeros() as usize;
+    (k - MIN_BUCKET).min(NUM_BUCKETS - 1)
+}
 
 /// Allocation accounting for a [`Workspace`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct WorkspaceStats {
-    /// Fresh heap allocations performed because no pooled buffer fit.
+    /// Fresh heap allocations performed because no pooled buffer fit
+    /// (pool-eligible requests only).
     pub allocations: u64,
     /// Takes satisfied from the pool without touching the allocator.
     pub reuses: u64,
 }
 
-/// A bounded pool of reusable `f32` buffers.
-#[derive(Default)]
+/// A bounded pool of reusable `f32` buffers in power-of-two size classes.
 pub struct Workspace {
-    pool: Mutex<Vec<Vec<f32>>>,
+    buckets: [Mutex<Vec<Vec<f32>>>; NUM_BUCKETS],
     allocations: AtomicU64,
     reuses: AtomicU64,
 }
 
+impl Default for Workspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl Workspace {
     pub fn new() -> Self {
-        Self::default()
+        Workspace {
+            buckets: std::array::from_fn(|_| Mutex::new(Vec::new())),
+            allocations: AtomicU64::new(0),
+            reuses: AtomicU64::new(0),
+        }
     }
 
-    /// Take a buffer with `len == 0` and `capacity >= cap` (best-fit from
-    /// the pool, fresh allocation otherwise). The caller must write every
-    /// element it reads.
+    /// Take a buffer with `len == 0` and `capacity >= cap` (popped from the
+    /// matching size class, fresh power-of-two allocation otherwise). The
+    /// caller must write every element it reads.
     pub fn take_raw(&self, cap: usize) -> Vec<f32> {
         if cap >= MIN_POOLED_LEN {
-            let mut pool = self.lock();
-            // Best fit: smallest pooled buffer that is large enough, so big
-            // panels are not burned on small requests.
-            let mut best: Option<(usize, usize)> = None;
-            for (i, buf) in pool.iter().enumerate() {
-                let c = buf.capacity();
-                if c >= cap && best.is_none_or(|(_, bc)| c < bc) {
-                    best = Some((i, c));
+            // A buffer in bucket k has capacity in [2^k, 2^(k+1)), so the
+            // smallest class guaranteed to fit `cap` is class_of(rounded-up
+            // cap). Probe that class and one above it: one probe is the
+            // common (exact-size-class) case, the second catches buffers a
+            // class larger without scanning the whole pool.
+            let want = cap.next_power_of_two();
+            let start = class_of(want);
+            for k in start..(start + 2).min(NUM_BUCKETS) {
+                let buf = self.lock(k).pop();
+                if let Some(mut buf) = buf {
+                    debug_assert!(buf.capacity() >= cap);
+                    buf.clear();
+                    self.reuses.fetch_add(1, Ordering::Relaxed);
+                    return buf;
                 }
             }
-            if let Some((i, _)) = best {
-                let mut buf = pool.swap_remove(i);
-                drop(pool);
-                buf.clear();
-                self.reuses.fetch_add(1, Ordering::Relaxed);
-                return buf;
-            }
+            self.allocations.fetch_add(1, Ordering::Relaxed);
+            return Vec::with_capacity(want);
         }
-        self.allocations.fetch_add(1, Ordering::Relaxed);
         Vec::with_capacity(cap)
     }
 
@@ -100,15 +154,17 @@ impl Workspace {
         buf
     }
 
-    /// Return a buffer to the pool (dropped if too small or the pool is
-    /// full).
+    /// Return a buffer to the pool (dropped if too small or its size class
+    /// is full).
     pub fn give(&self, buf: Vec<f32>) {
-        if buf.capacity() < MIN_POOLED_LEN {
+        let cap = buf.capacity();
+        if cap < MIN_POOLED_LEN {
             return;
         }
-        let mut pool = self.lock();
-        if pool.len() < MAX_POOLED_BUFFERS {
-            pool.push(buf);
+        let class = class_of(cap);
+        let mut bucket = self.lock(class);
+        if bucket.len() < max_per_class(class) {
+            bucket.push(buf);
         }
     }
 
@@ -120,15 +176,15 @@ impl Workspace {
         }
     }
 
-    /// Number of buffers currently pooled.
+    /// Number of buffers currently pooled across all size classes.
     pub fn pooled(&self) -> usize {
-        self.lock().len()
+        (0..NUM_BUCKETS).map(|k| self.lock(k).len()).sum()
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Vec<f32>>> {
+    fn lock(&self, k: usize) -> std::sync::MutexGuard<'_, Vec<Vec<f32>>> {
         // A panic while holding the lock cannot corrupt a Vec<Vec<f32>>;
         // keep the pool usable rather than poisoning every later kernel.
-        self.pool.lock().unwrap_or_else(|e| e.into_inner())
+        self.buckets[k].lock().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -194,15 +250,34 @@ mod tests {
     }
 
     #[test]
-    fn best_fit_prefers_smallest_sufficient() {
+    fn size_classes_keep_big_panels_for_big_requests() {
         let ws = Workspace::new();
         let big = ws.take_zeroed(4096);
         let small = ws.take_zeroed(128);
         let small_ptr = small.as_ptr();
         ws.give(big);
         ws.give(small);
+        // A 100-element request maps to the 128 class, not the 4096 panel.
         let got = ws.take_zeroed(100);
         assert_eq!(got.as_ptr(), small_ptr);
+    }
+
+    #[test]
+    fn take_probes_one_class_up() {
+        let ws = Workspace::new();
+        let buf = ws.take_zeroed(256);
+        let ptr = buf.as_ptr();
+        ws.give(buf);
+        // 130 rounds to the 256 class... but if only a 512 buffer existed,
+        // the probe one class up must find it rather than allocating.
+        let got = ws.take_raw(130);
+        assert_eq!(got.as_ptr(), ptr);
+        drop(got);
+        let big = ws.take_zeroed(512);
+        let big_ptr = big.as_ptr();
+        ws.give(big);
+        let probed = ws.take_raw(130);
+        assert_eq!(probed.as_ptr(), big_ptr);
     }
 
     #[test]
@@ -212,6 +287,8 @@ mod tests {
         assert_eq!(ws.pooled(), 0);
         let _ = ws.take_raw(8);
         assert_eq!(ws.stats().reuses, 0);
+        // Tiny bypass requests are not counted as allocations either.
+        assert_eq!(ws.stats().allocations, 0);
     }
 
     #[test]
@@ -220,6 +297,19 @@ mod tests {
         ws.give(vec![7.0; 256]);
         let buf = ws.take_zeroed(200);
         assert!(buf.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn allocations_round_to_power_of_two() {
+        let ws = Workspace::new();
+        let buf = ws.take_zeroed(1000);
+        assert_eq!(buf.capacity(), 1024);
+        let ptr = buf.as_ptr();
+        ws.give(buf);
+        // The rounded buffer lands in the 1024 class and serves any
+        // request in (512, 1024].
+        let again = ws.take_raw(700);
+        assert_eq!(again.as_ptr(), ptr);
     }
 
     #[test]

@@ -28,7 +28,18 @@ sweep-bench:
     cargo bench -p caraml-bench --bench sweep_runner
 
 # Regenerate BENCH_TENSOR.json: GFLOP/s of every hot tensor kernel
-# (GEMM variants, batched matmul, ResNet50-shaped convolutions). The
-# file is committed so the repo carries its own perf trajectory.
+# (GEMM variants, batched matmul, ResNet50-shaped convolutions), GB/s
+# of the fused non-GEMM kernel layer, and end-to-end GPT/ResNet
+# training-step throughput. The file is committed so the repo carries
+# its own perf trajectory.
 bench-json:
     cargo run --release -p caraml-bench --bin bench_json
+
+# Perf tripwire: re-time everything and fail if any kernel's median is
+# >25% slower than the committed BENCH_TENSOR.json (kernels faster than
+# 0.25 ms are exempt — pure jitter at that scale). Deliberately NOT part
+# of `just verify`/`just ci`: wall-clock medians on shared or throttled
+# boxes are too noisy for a merge gate; run it manually when touching
+# kernel code.
+bench-check:
+    cargo run --release -p caraml-bench --bin bench_json -- --check

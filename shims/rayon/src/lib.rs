@@ -1,7 +1,10 @@
 //! Vendored offline shim for the `rayon` API surface this workspace uses:
-//! `par_chunks_mut`, `into_par_iter` (ranges and `Vec`), `enumerate`,
-//! `map`, `for_each`, `collect`, `sum`, `current_num_threads`, and a
-//! minimal `ThreadPoolBuilder`/`ThreadPool::install` pair for pinning the
+//! `par_chunks`/`par_chunks_mut`, `into_par_iter` (ranges and `Vec`),
+//! `enumerate`, `zip` (indexed pairing of two equal-length parallel
+//! iterators — used by the fused kernel layer to walk input and output
+//! chunk pairs), `map`, `for_each`, `collect`, `sum`,
+//! `current_num_threads`, and a minimal
+//! `ThreadPoolBuilder`/`ThreadPool::install` pair for pinning the
 //! worker count (used by tests that assert thread-count-independent
 //! numerics).
 //!
@@ -16,7 +19,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, ParIter, ParallelSliceMut};
+    pub use crate::{IntoParallelIterator, ParIter, ParallelSlice, ParallelSliceMut};
 }
 
 thread_local! {
@@ -126,6 +129,15 @@ impl<T: Send> ParIter<T> {
         }
     }
 
+    /// Pair items positionally with another parallel iterator (rayon's
+    /// indexed `zip`): item `i` of the result is `(self[i], other[i])`.
+    /// Like rayon, the result is truncated to the shorter input.
+    pub fn zip<U: Send>(self, other: ParIter<U>) -> ParIter<(T, U)> {
+        ParIter {
+            items: self.items.into_iter().zip(other.items).collect(),
+        }
+    }
+
     /// Parallel map preserving input order.
     pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParIter<R> {
         let n = self.items.len();
@@ -216,6 +228,20 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
     }
 }
 
+/// `par_chunks` on shared slices (read-only input chunks; zip these with
+/// `par_chunks_mut` output chunks to walk chunk *pairs* in parallel).
+pub trait ParallelSlice<T: Sync> {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        ParIter {
+            items: self.chunks(chunk_size).collect(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
@@ -237,6 +263,48 @@ mod tests {
         assert_eq!(data[0], 0);
         assert_eq!(data[7], 1);
         assert_eq!(data[39], 5);
+    }
+
+    #[test]
+    fn zip_pairs_positionally() {
+        let a: Vec<u32> = (0..64).collect();
+        let b: Vec<u32> = (100..164).collect();
+        let sums: Vec<u32> = a
+            .into_par_iter()
+            .zip(b.into_par_iter())
+            .map(|(x, y)| x + y)
+            .collect();
+        assert_eq!(sums.len(), 64);
+        for (i, s) in sums.iter().enumerate() {
+            assert_eq!(*s, i as u32 + 100 + i as u32);
+        }
+    }
+
+    #[test]
+    fn zip_truncates_to_shorter() {
+        let a: Vec<u32> = (0..10).collect();
+        let b: Vec<u32> = (0..4).collect();
+        let pairs: Vec<(u32, u32)> = a.into_par_iter().zip(b.into_par_iter()).collect();
+        assert_eq!(pairs.len(), 4);
+    }
+
+    #[test]
+    fn chunk_pairs_zip_mut_and_shared() {
+        // The kernel-layer pattern: walk (output chunk, input chunk) pairs.
+        let src: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let mut dst = vec![0.0f32; 100];
+        dst.par_chunks_mut(7)
+            .zip(src.par_chunks(7))
+            .enumerate()
+            .for_each(|(i, (d, s))| {
+                for (dv, sv) in d.iter_mut().zip(s) {
+                    *dv = sv * 2.0 + i as f32;
+                }
+            });
+        for (i, v) in dst.iter().enumerate() {
+            let chunk = (i / 7) as f32;
+            assert_eq!(*v, i as f32 * 2.0 + chunk);
+        }
     }
 
     #[test]
