@@ -139,6 +139,36 @@ impl PowerTrace {
         self.energy_wh(t0, t1) * 3600.0 / (t1 - t0)
     }
 
+    /// Fraction of the window `[t0, t1]` the device spent above
+    /// `threshold_w` — the duty cycle of a serving loop, where idle gaps
+    /// between request bursts show up as time at the idle floor. The
+    /// step function is integrated exactly, like [`Self::energy_wh`].
+    pub fn busy_fraction(&self, t0: f64, t1: f64, threshold_w: f64) -> f64 {
+        if t1 <= t0 || self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut busy_s = 0.0;
+        let mut t = t0;
+        let mut p = self.power_at(t0);
+        for s in &self.samples {
+            if s.time_s <= t0 {
+                continue;
+            }
+            if s.time_s >= t1 {
+                break;
+            }
+            if p > threshold_w {
+                busy_s += s.time_s - t;
+            }
+            t = s.time_s;
+            p = s.power_w;
+        }
+        if p > threshold_w {
+            busy_s += t1 - t;
+        }
+        busy_s / (t1 - t0)
+    }
+
     /// Emulate a polling measurement loop: sample the trace every
     /// `interval_s` over `[t0, t1]` and integrate with the trapezoidal rule
     /// — exactly what the jpwr tool does with its periodic queries.
@@ -207,6 +237,12 @@ impl PowerRegister {
     /// Exact energy over a window of the recorded trace.
     pub fn energy_wh(&self, t0: f64, t1: f64) -> f64 {
         self.inner.read().trace.energy_wh(t0, t1)
+    }
+
+    /// Duty cycle over a window: fraction of `[t0, t1]` the device drew
+    /// more than `threshold_w` (see [`PowerTrace::busy_fraction`]).
+    pub fn busy_fraction(&self, t0: f64, t1: f64, threshold_w: f64) -> f64 {
+        self.inner.read().trace.busy_fraction(t0, t1, threshold_w)
     }
 }
 
@@ -335,6 +371,32 @@ mod tests {
         let (_, approx) = t.integrate_sampled(0.0, 100.0, 0.05);
         // Sampling at 50 ms misses at most one interval of the step.
         assert!((approx - exact).abs() / exact < 1e-3);
+    }
+
+    #[test]
+    fn busy_fraction_of_step_trace() {
+        let mut t = PowerTrace::new();
+        t.push(0.0, 300.0); // busy 10 s
+        t.push(10.0, 50.0); // idle 30 s
+        t.push(40.0, 300.0); // busy 10 s
+        t.push(50.0, 50.0);
+        let f = t.busy_fraction(0.0, 50.0, 100.0);
+        assert!((f - 20.0 / 50.0).abs() < 1e-12, "fraction {f}");
+        // Sub-window entirely idle.
+        assert_eq!(t.busy_fraction(15.0, 35.0, 100.0), 0.0);
+        // Sub-window entirely busy.
+        assert_eq!(t.busy_fraction(1.0, 9.0, 100.0), 1.0);
+        // Degenerate windows and empty traces are safe.
+        assert_eq!(t.busy_fraction(5.0, 5.0, 100.0), 0.0);
+        assert_eq!(PowerTrace::new().busy_fraction(0.0, 1.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn register_busy_fraction_passthrough() {
+        let r = PowerRegister::new();
+        r.set_w(0.0, 250.0);
+        r.set_w(4.0, 40.0);
+        assert!((r.busy_fraction(0.0, 8.0, 100.0) - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! out of the tier-1 gate because wall-clock medians on shared CI boxes
 //! are noisy (`just bench-check`).
 
+use caraml::serve::{ArrivalKind, ServeBenchmark, ServePoint};
+use caraml_accel::SystemId;
 use caraml_data::SyntheticImages;
 use caraml_models::{GptConfig, GptModel, ResnetConfig, ResnetModel};
 use caraml_tensor::conv::{conv2d, Conv2dCfg};
@@ -481,11 +483,69 @@ fn train_steps(records: &mut Vec<Record>) {
     );
 }
 
+/// The serving simulator's event loop as a benchmark target: wall-clock
+/// time to drive a full load point through the continuous batcher, with
+/// items/s = simulated generated tokens per wall second. The simulator
+/// is pure CPU work (no sleeping — virtual clock), so its throughput is
+/// a real perf trajectory like any kernel's.
+fn serve_steps(records: &mut Vec<Record>) {
+    let mut bench = ServeBenchmark::new(SystemId::H100Jrdc);
+    bench.config.num_requests = 256;
+    let cases: &[(&str, f64, u32)] = &[("serve_poisson", 64.0, 16), ("serve_poisson", 256.0, 64)];
+    for &(name, rate, cap) in cases {
+        let point = ServePoint {
+            rate_per_s: rate,
+            batch_cap: cap,
+        };
+        let tokens = bench
+            .simulate(point)
+            .expect("load point runs")
+            .served_tokens;
+        record(
+            records,
+            9,
+            name,
+            &format!("n256 r{rate:.0} c{cap}"),
+            0,
+            0,
+            tokens,
+            || {
+                black_box(bench.simulate(point).unwrap());
+            },
+        );
+    }
+    bench.config.arrival = ArrivalKind::Bursty {
+        burst_factor: 8.0,
+        mean_burst: 6.0,
+    };
+    let point = ServePoint {
+        rate_per_s: 64.0,
+        batch_cap: 16,
+    };
+    let tokens = bench
+        .simulate(point)
+        .expect("load point runs")
+        .served_tokens;
+    record(
+        records,
+        9,
+        "serve_bursty",
+        "n256 r64 c16",
+        0,
+        0,
+        tokens,
+        || {
+            black_box(bench.simulate(point).unwrap());
+        },
+    );
+}
+
 fn run_all(samples: usize) -> Report {
     let mut records = Vec::new();
     gemm_and_conv(&mut records, samples);
     elementwise_kernels(&mut records, samples);
     train_steps(&mut records);
+    serve_steps(&mut records);
     Report {
         schema: "caraml-bench-tensor-v2",
         samples_per_kernel: samples,

@@ -9,14 +9,17 @@
 //! caraml run resnet50 --tag A100      # Fig. 3 sweep (incl. OOM rows)
 //! caraml heatmap WAIH100              # one Fig. 4 panel
 //! caraml inference H100               # extension: inference sweep
+//! caraml serve H100                   # extension: serving load sweep
+//! caraml serve H100 --bursty          # heavy-tailed arrival trace
 //! caraml baseline record out.json --tag GH200
 //! caraml baseline compare out.json --tag GH200 [--tolerance 0.05]
 //! ```
 
 use caraml::continuous::Baseline;
 use caraml::inference::InferenceBenchmark;
-use caraml::report::render_heatmap;
+use caraml::report::{render_heatmap, render_serve_table};
 use caraml::resnet::{ResnetBenchmark, FIG3_BATCHES, FIG4_BATCHES};
+use caraml::serve::{load_grid, ArrivalKind, ServeBenchmark};
 use caraml::suite::{llm_benchmark_ipu, llm_benchmark_nvidia_amd, resnet50_benchmark};
 use caraml::SweepRunner;
 use caraml_accel::{NodeConfig, SystemId};
@@ -26,6 +29,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  caraml systems\n  caraml run <llm|resnet50> --tag <TAG...>\n  \
          caraml heatmap <TAG>\n  caraml inference <TAG>\n  \
+         caraml serve <TAG> [--bursty] [--seed N]\n  \
          caraml baseline <record|compare> <file.json> --tag <TAG> [--tolerance F]"
     );
     ExitCode::from(2)
@@ -152,6 +156,46 @@ fn run_inference(tag: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn run_serve(tag: &str, flags: &[String]) -> ExitCode {
+    let Some(sys) = SystemId::from_jube_tag(tag) else {
+        eprintln!("caraml: unknown system tag '{tag}'");
+        return ExitCode::from(2);
+    };
+    let mut bench = ServeBenchmark::new(sys);
+    if flags.iter().any(|f| f == "--bursty") {
+        bench.config.arrival = ArrivalKind::Bursty {
+            burst_factor: 8.0,
+            mean_burst: 6.0,
+        };
+    }
+    if let Some(i) = flags.iter().position(|f| f == "--seed") {
+        match flags.get(i + 1).and_then(|v| v.parse().ok()) {
+            Some(seed) => bench.config.seed = seed,
+            None => return usage(),
+        }
+    }
+    let grid = load_grid(&[2.0, 8.0, 32.0, 128.0], &[4, 16, 64]);
+    let outcomes = bench.sweep(SweepRunner::parallel(), grid);
+    let arrival = match bench.config.arrival {
+        ArrivalKind::Poisson => "Poisson".to_string(),
+        ArrivalKind::Bursty { .. } => "bursty".to_string(),
+    };
+    println!(
+        "{}",
+        render_serve_table(
+            &format!(
+                "LLM serving on {} (800M GPT, {} requests, {} arrivals, seed {})",
+                NodeConfig::shared(sys).platform,
+                bench.config.num_requests,
+                arrival,
+                bench.config.seed
+            ),
+            &outcomes
+        )
+    );
+    ExitCode::SUCCESS
+}
+
 /// Run a quick ResNet sweep on one system and return the FOM baseline.
 fn measure_baseline(tag: &str) -> Result<Baseline, String> {
     let sys = SystemId::from_jube_tag(tag).ok_or_else(|| format!("unknown tag {tag}"))?;
@@ -258,6 +302,7 @@ fn main() -> ExitCode {
         }
         Some("heatmap") if args.len() >= 2 => run_heatmap(&args[1]),
         Some("inference") if args.len() >= 2 => run_inference(&args[1]),
+        Some("serve") if args.len() >= 2 => run_serve(&args[1], &args[2..]),
         Some("baseline") => run_baseline(&args[1..]),
         _ => usage(),
     }

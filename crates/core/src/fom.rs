@@ -7,6 +7,97 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Linear-interpolation percentile (Hyndman–Fan type 7, the default of
+/// NumPy and R) over an **ascending-sorted** slice: `h = (n−1)·q`, then
+/// interpolate between the straddling order statistics.
+///
+/// Tail-latency figures of merit are pinned against hand-computed golden
+/// values in this module's tests so the estimator cannot silently drift
+/// to a different convention (nearest-rank, exclusive, ...).
+///
+/// Panics on an empty slice or `q` outside `[0, 1]`; `samples` must be
+/// sorted and free of NaN.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty sample set");
+    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+    let h = (sorted.len() - 1) as f64 * q;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    let frac = h - lo as f64;
+    sorted[lo] + frac * (sorted[hi] - sorted[lo])
+}
+
+/// The tail-latency summary reported for serving: median, p95 and p99.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyPercentiles {
+    pub p50: f64,
+    pub p95: f64,
+    pub p99: f64,
+}
+
+impl LatencyPercentiles {
+    /// Summarise an unsorted sample set; `None` when empty (a fully shed
+    /// load point has no latencies to report).
+    pub fn from_unsorted(mut samples: Vec<f64>) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        Some(LatencyPercentiles {
+            p50: percentile(&samples, 0.50),
+            p95: percentile(&samples, 0.95),
+            p99: percentile(&samples, 0.99),
+        })
+    }
+
+    /// The all-zero summary used when no request completed.
+    pub fn zero() -> Self {
+        LatencyPercentiles {
+            p50: 0.0,
+            p95: 0.0,
+            p99: 0.0,
+        }
+    }
+}
+
+/// Figures of merit of one serving measurement point (one arrival rate ×
+/// batch cap × system cell of a load sweep).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeFom {
+    /// System label (Table I platform).
+    pub system: String,
+    /// Mean request arrival rate, requests/s.
+    pub rate_per_s: f64,
+    /// Continuous-batching occupancy cap.
+    pub batch_cap: u32,
+    /// Requests in the arrival trace.
+    pub requests: u64,
+    /// Requests served to completion.
+    pub served: u64,
+    /// Requests explicitly shed (deadline overrun or KV-cache overload).
+    pub shed: u64,
+    /// Time to first token over served requests, seconds.
+    pub ttft: LatencyPercentiles,
+    /// Per-output-token latency (decode-phase time / tokens) over served
+    /// requests, seconds.
+    pub tpot: LatencyPercentiles,
+    /// Aggregate generated-token throughput, tokens/s.
+    pub tokens_per_s: f64,
+    /// SLO-met generated-token throughput, tokens/s (MLPerf-style
+    /// "goodput": only requests meeting both TTFT and TPOT deadlines).
+    pub goodput_tokens_per_s: f64,
+    /// Fraction of served requests meeting both deadlines.
+    pub slo_attainment: f64,
+    /// Energy per 1000 generated tokens under load, Wh.
+    pub energy_wh_per_ktoken: f64,
+    /// Time-weighted mean device power over the run, W.
+    pub mean_power_w: f64,
+    /// Highest sampled device power, W.
+    pub peak_power_w: f64,
+    /// Fraction of the run the device spent above its idle floor.
+    pub busy_fraction: f64,
+}
+
 /// Figures of merit of one LLM-training measurement point.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LlmFom {
@@ -82,6 +173,89 @@ impl std::fmt::Display for HeatmapCell {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Golden values, hand-computed with `h = (n−1)·q` (Hyndman–Fan
+    /// type 7). Each case would flag a silent switch to nearest-rank
+    /// (which never interpolates) or to the exclusive variant
+    /// (`h = (n+1)·q − 1`).
+    #[test]
+    fn percentile_golden_small_n() {
+        // n = 1: every quantile is the single sample.
+        let one = [7.25];
+        assert_eq!(percentile(&one, 0.0), 7.25);
+        assert_eq!(percentile(&one, 0.5), 7.25);
+        assert_eq!(percentile(&one, 0.99), 7.25);
+        assert_eq!(percentile(&one, 1.0), 7.25);
+
+        // n = 4, x = [1, 2, 3, 4]:
+        //   p50: h = 1.5          → 2 + 0.5·1  = 2.5
+        //   p95: h = 2.85         → 3 + 0.85·1 = 3.85
+        //   p99: h = 2.97         → 3 + 0.97·1 = 3.97
+        let four = [1.0, 2.0, 3.0, 4.0];
+        assert!((percentile(&four, 0.50) - 2.5).abs() < 1e-12);
+        assert!((percentile(&four, 0.95) - 3.85).abs() < 1e-12);
+        assert!((percentile(&four, 0.99) - 3.97).abs() < 1e-12);
+
+        // n = 5, x = [10, 20, 30, 40, 50]:
+        //   p50: h = 2.0  → 30 (exactly the middle order statistic)
+        //   p95: h = 3.8  → 40 + 0.8·10  = 48
+        //   p99: h = 3.96 → 40 + 0.96·10 = 49.6
+        let five = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(percentile(&five, 0.50), 30.0);
+        assert!((percentile(&five, 0.95) - 48.0).abs() < 1e-12);
+        assert!((percentile(&five, 0.99) - 49.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_golden_ties() {
+        // Ties collapse the interpolation: straddling equal values must
+        // return the tied value exactly, and interpolation out of a tie
+        // run uses the run's last element.
+        //   x = [5, 5, 5, 9], p50: h = 1.5 → 5 + 0.5·(5−5) = 5
+        //   p95: h = 2.85 → 5 + 0.85·(9−5) = 8.4
+        let ties = [5.0, 5.0, 5.0, 9.0];
+        assert_eq!(percentile(&ties, 0.50), 5.0);
+        assert!((percentile(&ties, 0.95) - 8.4).abs() < 1e-12);
+        // All-equal samples: every quantile is that value.
+        let flat = [3.0; 7];
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(percentile(&flat, q), 3.0);
+        }
+    }
+
+    #[test]
+    fn percentile_golden_n100() {
+        // x = 1..=100: h = 99·q, so p50 = 50.5, p95 = 95.05, p99 = 99.01.
+        let x: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert!((percentile(&x, 0.50) - 50.5).abs() < 1e-12);
+        assert!((percentile(&x, 0.95) - 95.05).abs() < 1e-9);
+        assert!((percentile(&x, 0.99) - 99.01).abs() < 1e-9);
+        assert_eq!(percentile(&x, 0.0), 1.0);
+        assert_eq!(percentile(&x, 1.0), 100.0);
+    }
+
+    #[test]
+    fn latency_percentiles_sort_and_summarise() {
+        // Unsorted input must produce the same goldens as sorted.
+        let p = LatencyPercentiles::from_unsorted(vec![4.0, 1.0, 3.0, 2.0]).unwrap();
+        assert!((p.p50 - 2.5).abs() < 1e-12);
+        assert!((p.p95 - 3.85).abs() < 1e-12);
+        assert!((p.p99 - 3.97).abs() < 1e-12);
+        assert_eq!(LatencyPercentiles::from_unsorted(vec![]), None);
+        assert_eq!(LatencyPercentiles::zero().p99, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample set")]
+    fn percentile_rejects_empty() {
+        percentile(&[], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn percentile_rejects_bad_quantile() {
+        percentile(&[1.0], 1.5);
+    }
 
     #[test]
     fn heatmap_cell_accessors() {

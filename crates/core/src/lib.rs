@@ -37,14 +37,16 @@ pub mod llm;
 pub mod llm_large;
 pub mod report;
 pub mod resnet;
+pub mod serve;
 pub mod suite;
 pub mod sweep;
 
 pub use continuous::{Baseline, RegressionReport};
 pub use engine::{Executed, MeterSpec, PhasePlan, PhaseSpec, RunContext, RunOutcome, Workload};
-pub use fom::{CvFom, LlmFom};
+pub use fom::{CvFom, LatencyPercentiles, LlmFom, ServeFom};
 pub use inference::{InferenceBenchmark, InferenceFom};
 pub use llm::{LlmBenchmark, LlmRun};
 pub use llm_large::{LargeModelBenchmark, LargeModelRun};
 pub use resnet::{ResnetBenchmark, ResnetRun};
+pub use serve::{ArrivalKind, ServeBenchmark, ServePoint, SloClass, SloPolicy};
 pub use sweep::{SweepPoint, SweepRunner};

@@ -5,7 +5,8 @@
 //! heatmap as an aligned grid with `OOM` cells, matching the structure of
 //! Fig. 2, Fig. 3 and Fig. 4.
 
-use crate::fom::HeatmapCell;
+use crate::engine::RunOutcome;
+use crate::fom::{HeatmapCell, ServeFom};
 use jube::ResultTable;
 
 /// A named data series over batch sizes (one line in a Fig. 2/3 panel).
@@ -82,6 +83,58 @@ pub fn render_heatmap(
     format!("{title}\n{}", table.to_ascii())
 }
 
+/// Render a serving load sweep: one row per (rate, cap) cell with the
+/// tail-latency, goodput and energy figures of merit. Failed cells (OOM
+/// or invalid configuration) render as a dash row so the grid shape is
+/// preserved.
+pub fn render_serve_table(title: &str, outcomes: &[RunOutcome<ServeFom>]) -> String {
+    let mut table = ResultTable::new(vec![
+        "rate_per_s".to_string(),
+        "cap".to_string(),
+        "served".to_string(),
+        "shed".to_string(),
+        "ttft_p50_ms".to_string(),
+        "ttft_p95_ms".to_string(),
+        "ttft_p99_ms".to_string(),
+        "tpot_p99_ms".to_string(),
+        "tok_per_s".to_string(),
+        "goodput".to_string(),
+        "slo".to_string(),
+        "wh_per_ktok".to_string(),
+        "busy".to_string(),
+    ]);
+    for out in outcomes {
+        match out {
+            RunOutcome::Completed(f) => table.push_row(vec![
+                format!("{:.1}", f.rate_per_s),
+                f.batch_cap.to_string(),
+                f.served.to_string(),
+                f.shed.to_string(),
+                format!("{:.2}", f.ttft.p50 * 1000.0),
+                format!("{:.2}", f.ttft.p95 * 1000.0),
+                format!("{:.2}", f.ttft.p99 * 1000.0),
+                format!("{:.2}", f.tpot.p99 * 1000.0),
+                format!("{:.0}", f.tokens_per_s),
+                format!("{:.0}", f.goodput_tokens_per_s),
+                format!("{:.3}", f.slo_attainment),
+                format!("{:.4}", f.energy_wh_per_ktoken),
+                format!("{:.3}", f.busy_fraction),
+            ]),
+            RunOutcome::Oom { .. } => {
+                let mut row = vec!["OOM".to_string()];
+                row.resize(13, "-".to_string());
+                table.push_row(row);
+            }
+            RunOutcome::Failed(_) => {
+                let mut row = vec!["FAIL".to_string()];
+                row.resize(13, "-".to_string());
+                table.push_row(row);
+            }
+        }
+    }
+    format!("{title}\n{}", table.to_ascii())
+}
+
 /// Compact `a × / b ×` style comparison line used by the bench binaries
 /// to echo the paper's headline claims.
 pub fn ratio_line(label: &str, numerator: f64, denominator: f64, paper: f64) -> String {
@@ -145,6 +198,53 @@ mod tests {
         assert!(line.contains("+0.0%"));
         let line2 = ratio_line("x", 300.0, 100.0, 2.0);
         assert!(line2.contains("+50.0%"));
+    }
+
+    #[test]
+    fn serve_table_renders_cells_and_failures() {
+        use crate::fom::LatencyPercentiles;
+        let fom = ServeFom {
+            system: "A100".into(),
+            rate_per_s: 8.0,
+            batch_cap: 16,
+            requests: 160,
+            served: 158,
+            shed: 2,
+            ttft: LatencyPercentiles {
+                p50: 0.012,
+                p95: 0.045,
+                p99: 0.0801,
+            },
+            tpot: LatencyPercentiles {
+                p50: 0.008,
+                p95: 0.011,
+                p99: 0.0152,
+            },
+            tokens_per_s: 5120.0,
+            goodput_tokens_per_s: 5000.0,
+            slo_attainment: 0.987,
+            energy_wh_per_ktoken: 0.0123,
+            mean_power_w: 310.0,
+            peak_power_w: 395.0,
+            busy_fraction: 0.91,
+        };
+        let outcomes = vec![
+            RunOutcome::Completed(fom),
+            RunOutcome::Oom {
+                device: "A100".into(),
+                requested: 2,
+                available: 1,
+                capacity: 1,
+            },
+            RunOutcome::Failed(caraml_accel::AccelError::InvalidConfig("x".into())),
+        ];
+        let out = render_serve_table("Serve sweep", &outcomes);
+        assert!(out.contains("Serve sweep"));
+        assert!(out.contains("ttft_p99_ms"));
+        assert!(out.contains("80.10"), "p99 TTFT in ms:\n{out}");
+        assert!(out.contains("0.987"));
+        assert!(out.contains("OOM"));
+        assert!(out.contains("FAIL"));
     }
 
     #[test]

@@ -49,6 +49,27 @@ impl Measurement {
         self.df.energy_all_wh().iter().sum()
     }
 
+    /// Time-weighted mean power of column `c` over the sampled window,
+    /// watts (energy divided by span — not the plain sample mean, so
+    /// uneven sampling intervals don't bias it).
+    pub fn mean_power_w(&self, c: usize) -> f64 {
+        let span = match (self.df.time_s.first(), self.df.time_s.last()) {
+            (Some(a), Some(b)) if b > a => b - a,
+            _ => return 0.0,
+        };
+        self.df.energy_wh(c) * 3600.0 / span
+    }
+
+    /// Highest power sample of column `c`, watts (the provisioning
+    /// number a serving deployment must budget for).
+    pub fn peak_power_w(&self, c: usize) -> f64 {
+        if self.df.num_rows() == 0 {
+            0.0
+        } else {
+            self.df.max(c)
+        }
+    }
+
     /// Energy summary rendered as a DataFrame (columns = devices, single
     /// conceptual row of Wh values).
     pub fn energy_df(&self) -> DataFrame {
@@ -249,6 +270,30 @@ mod tests {
         assert_eq!(e.len(), 2);
         assert!(e[1].2 > e[0].2);
         assert!((m.total_energy_wh() - (e[0].2 + e[1].2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_and_peak_power_of_measurement() {
+        let node = SimNode::new(NodeConfig::for_system(SystemId::A100));
+        node.run_phase(1, 10.0, 1.0, 330.0).unwrap(); // 10 s at 330 W
+        node.idle_phase(10.0).unwrap(); // 10 s idle
+        let sources = virtual_sources(&node.devices()[..1], "gpu", "pynvml");
+        let m = sample_virtual(&sources, 0.01, 0.0, 20.0);
+        let idle = node.device(0).power_model().idle_w;
+        let expect_mean = (330.0 + idle) / 2.0;
+        assert!(
+            (m.mean_power_w(0) - expect_mean).abs() / expect_mean < 0.02,
+            "mean {}",
+            m.mean_power_w(0)
+        );
+        assert!((m.peak_power_w(0) - 330.0).abs() < 1e-9);
+        // Degenerate frames are safe.
+        let empty = Measurement {
+            df: DataFrame::new(vec!["x".into()]),
+            method_per_column: vec!["mock".into()],
+        };
+        assert_eq!(empty.mean_power_w(0), 0.0);
+        assert_eq!(empty.peak_power_w(0), 0.0);
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Integration coverage for [`jube::SlurmSim`] — the paths the serving
+//! load sweeps lean on: `wait_all` over mixed success/failure batches,
+//! oversubscribed node requests that must queue (not fail), and
+//! `state_of` queries on ids the scheduler has never seen.
+
+use jube::{JobState, SlurmSim};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn wait_all_with_mixed_failing_jobs_accounts_every_job() {
+    let slurm = SlurmSim::new(2);
+    let mut expected = Vec::new();
+    for i in 0..6 {
+        let id = if i % 3 == 0 {
+            slurm.submit(format!("fail{i}"), 1, move || Err(format!("error {i}")))
+        } else {
+            slurm.submit(format!("ok{i}"), 1, || Ok(()))
+        };
+        expected.push((id, i % 3 == 0));
+    }
+    let records = slurm.wait_all();
+    assert_eq!(records.len(), 6, "every submission has a record");
+    for (id, should_fail) in expected {
+        let rec = records.iter().find(|r| r.id == id).unwrap();
+        if should_fail {
+            assert_eq!(rec.state, JobState::Failed);
+            let msg = rec.error.as_deref().unwrap();
+            assert!(msg.starts_with("error "), "error preserved: {msg}");
+        } else {
+            assert_eq!(rec.state, JobState::Completed);
+            assert!(rec.error.is_none());
+        }
+        assert!(rec.queue_s >= 0.0 && rec.run_s >= 0.0);
+    }
+    // A failing job must not leak its nodes: the partition still runs
+    // new work after the failures.
+    let late = slurm.submit("late", 2, || Ok(()));
+    slurm.wait_all();
+    assert_eq!(slurm.state_of(late), Some(JobState::Completed));
+}
+
+#[test]
+fn oversubscribed_requests_queue_until_nodes_free() {
+    // 8 two-node jobs on a 2-node partition oversubscribe the partition
+    // 8×: they must serialize (never overlap) and all complete.
+    let slurm = SlurmSim::new(2);
+    let running = Arc::new(AtomicU32::new(0));
+    let peak = Arc::new(AtomicU32::new(0));
+    for _ in 0..8 {
+        let running = Arc::clone(&running);
+        let peak = Arc::clone(&peak);
+        slurm.submit("wide", 2, move || {
+            let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(5));
+            running.fetch_sub(1, Ordering::SeqCst);
+            Ok(())
+        });
+    }
+    let records = slurm.wait_all();
+    assert_eq!(records.len(), 8);
+    assert!(records.iter().all(|r| r.state == JobState::Completed));
+    assert_eq!(
+        peak.load(Ordering::SeqCst),
+        1,
+        "whole-partition jobs must never overlap"
+    );
+    // With ~5 ms of work each, the tail of the queue demonstrably waited.
+    assert!(
+        records.iter().any(|r| r.queue_s > 0.004),
+        "oversubscription should show up as queue time"
+    );
+}
+
+#[test]
+fn mixed_widths_saturate_without_exceeding_the_partition() {
+    let slurm = SlurmSim::new(3);
+    let nodes_in_use = Arc::new(AtomicU32::new(0));
+    let peak = Arc::new(AtomicU32::new(0));
+    for width in [1u32, 2, 3, 1, 2, 3, 1, 1] {
+        let nodes_in_use = Arc::clone(&nodes_in_use);
+        let peak = Arc::clone(&peak);
+        slurm.submit(format!("w{width}"), width, move || {
+            let now = nodes_in_use.fetch_add(width, Ordering::SeqCst) + width;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(3));
+            nodes_in_use.fetch_sub(width, Ordering::SeqCst);
+            Ok(())
+        });
+    }
+    let records = slurm.wait_all();
+    assert!(records.iter().all(|r| r.state == JobState::Completed));
+    assert!(
+        peak.load(Ordering::SeqCst) <= 3,
+        "node accounting exceeded the partition: {}",
+        peak.load(Ordering::SeqCst)
+    );
+}
+
+#[test]
+#[should_panic(expected = "partition has")]
+fn wider_than_partition_request_is_rejected_at_submit() {
+    let slurm = SlurmSim::new(2);
+    slurm.submit("impossible", 5, || Ok(()));
+}
+
+#[test]
+fn state_of_unknown_ids_is_none() {
+    let slurm = SlurmSim::new(1);
+    assert_eq!(slurm.state_of(1), None, "nothing submitted yet");
+    assert_eq!(slurm.state_of(0), None);
+    assert_eq!(slurm.state_of(u64::MAX), None);
+    let id = slurm.submit("only", 1, || Ok(()));
+    slurm.wait_all();
+    assert_eq!(slurm.state_of(id), Some(JobState::Completed));
+    assert_eq!(slurm.state_of(id + 1), None, "ids are not recycled");
+    assert_eq!(slurm.records().len(), 1);
+}
+
+#[test]
+fn wait_all_on_an_idle_scheduler_returns_immediately() {
+    let slurm = SlurmSim::new(4);
+    assert!(slurm.wait_all().is_empty());
+    // And it stays reusable afterwards.
+    slurm.submit("after", 1, || Ok(()));
+    assert_eq!(slurm.wait_all().len(), 1);
+}

@@ -27,6 +27,22 @@ figures:
 sweep-bench:
     cargo bench -p caraml-bench --bench sweep_runner
 
+# Serving-only slice of the suite: simulator unit tests, batcher
+# property tests, the 1/2/4-thread determinism harness, and the
+# SlurmSim scheduler coverage the load sweeps lean on. All of these
+# also run under plain `cargo test` (and therefore `just verify`).
+test-serve:
+    cargo test -p caraml --lib serve -q
+    cargo test -p caraml --test serve_props -q
+    cargo test -p caraml --test serve_determinism -q
+    cargo test -p jube --test slurm_sim -q
+
+# Seeded serving load sweep on one system: p50/p95/p99 TTFT, per-token
+# latency, goodput and Wh/ktoken across an arrival-rate × batch-cap
+# grid. Try `just serve-demo GH200 --bursty`.
+serve-demo tag="H100" *flags="":
+    cargo run --release -p caraml --bin caraml -- serve {{tag}} {{flags}}
+
 # Regenerate BENCH_TENSOR.json: GFLOP/s of every hot tensor kernel
 # (GEMM variants, batched matmul, ResNet50-shaped convolutions), GB/s
 # of the fused non-GEMM kernel layer, and end-to-end GPT/ResNet
