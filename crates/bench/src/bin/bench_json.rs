@@ -18,7 +18,10 @@
 //! out of the tier-1 gate because wall-clock medians on shared CI boxes
 //! are noisy (`just bench-check`).
 
+use caraml::resnet::{ResnetBenchmark, FIG4_BATCHES};
 use caraml::serve::{ArrivalKind, ServeBenchmark, ServePoint};
+use caraml::sweep::{grid, ShardPlan};
+use caraml::SweepRunner;
 use caraml_accel::SystemId;
 use caraml_data::SyntheticImages;
 use caraml_models::{GptConfig, GptModel, ResnetConfig, ResnetModel};
@@ -540,12 +543,41 @@ fn serve_steps(records: &mut Vec<Record>) {
     );
 }
 
+/// The sweep dispatch paths as benchmark targets: one full Fig. 4
+/// (device × batch) grid of full-measurement cells, run serially on the
+/// calling thread and sharded over a simulated 4-node Slurm partition.
+/// items/s = grid cells per wall second; the two records give the repo a
+/// tracked dispatch-overhead/speedup trajectory for the sharded path.
+fn sweep_steps(records: &mut Vec<Record>) {
+    let devices = [1u32, 2, 4, 8];
+    let points = grid(SystemId::H100Jrdc, &devices, &FIG4_BATCHES);
+    let cells = points.len() as u64;
+    let cell = |p: caraml::SweepPoint| {
+        let mut bench = ResnetBenchmark::fig3(p.system);
+        bench.devices = p.devices;
+        black_box(bench.run(p.batch).map(|r| r.fom.images_per_s).ok());
+    };
+    let shape = format!("resnet d{} x b{}", devices.len(), FIG4_BATCHES.len());
+    record(records, 9, "sweep_serial", &shape, 0, 0, cells, || {
+        black_box(SweepRunner::serial().map(points.clone(), cell));
+    });
+    let slurm = jube::SlurmSim::new(4);
+    record(records, 9, "sweep_sharded", &shape, 0, 0, cells, || {
+        black_box(
+            SweepRunner::parallel()
+                .map_sharded(&slurm, ShardPlan::new(4), points.clone(), cell)
+                .results,
+        );
+    });
+}
+
 fn run_all(samples: usize) -> Report {
     let mut records = Vec::new();
     gemm_and_conv(&mut records, samples);
     elementwise_kernels(&mut records, samples);
     train_steps(&mut records);
     serve_steps(&mut records);
+    sweep_steps(&mut records);
     Report {
         schema: "caraml-bench-tensor-v2",
         samples_per_kernel: samples,

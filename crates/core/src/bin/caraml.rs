@@ -17,32 +17,92 @@
 
 use caraml::continuous::Baseline;
 use caraml::inference::InferenceBenchmark;
-use caraml::report::{render_heatmap, render_serve_table};
+use caraml::report::{render_heatmap, render_serve_table, render_shard_table};
 use caraml::resnet::{ResnetBenchmark, FIG3_BATCHES, FIG4_BATCHES};
 use caraml::serve::{load_grid, ArrivalKind, ServeBenchmark};
-use caraml::suite::{llm_benchmark_ipu, llm_benchmark_nvidia_amd, resnet50_benchmark};
+use caraml::suite::{
+    llm_benchmark_ipu, llm_benchmark_nvidia_amd, resnet50_benchmark, run_suite_sharded,
+};
+use caraml::sweep::{grid, ShardPlan};
 use caraml::SweepRunner;
 use caraml_accel::{NodeConfig, SystemId};
+use jube::SlurmSim;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  caraml systems\n  caraml run <llm|resnet50> --tag <TAG...>\n  \
-         caraml heatmap <TAG>\n  caraml inference <TAG>\n  \
+        "usage:\n  caraml systems\n  caraml run <llm|resnet50> --tag <TAG...> [--shards N] [--nodes N]\n  \
+         caraml suite <TAG> [--shards N] [--nodes N]\n  \
+         caraml heatmap <TAG> [--shards N] [--nodes N]\n  caraml inference <TAG>\n  \
          caraml serve <TAG> [--bursty] [--seed N]\n  \
          caraml baseline <record|compare> <file.json> --tag <TAG> [--tolerance F]"
     );
     ExitCode::from(2)
 }
 
+/// Split `--tag` values out of an argument list. Tag collection stops at
+/// the next `--`-prefixed token, so flags after the tag list (e.g.
+/// `--shards 4`) are returned with the positional arguments instead of
+/// being swallowed as tags.
 fn split_tags(args: &[String]) -> (Vec<String>, Vec<String>) {
     match args.iter().position(|a| a == "--tag") {
-        Some(i) => (args[..i].to_vec(), args[i + 1..].to_vec()),
+        Some(i) => {
+            let tag_end = args[i + 1..]
+                .iter()
+                .position(|a| a.starts_with("--"))
+                .map_or(args.len(), |j| i + 1 + j);
+            let mut rest = args[..i].to_vec();
+            rest.extend_from_slice(&args[tag_end..]);
+            (rest, args[i + 1..tag_end].to_vec())
+        }
         None => (args.to_vec(), Vec::new()),
     }
 }
 
-fn run_suite(which: &str, tags: &[String]) -> ExitCode {
+/// Value of a `--flag <value>` pair, if present and parsable.
+fn flag_value<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option<T>, String> {
+    match args.iter().position(|a| a == name) {
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .map(Some)
+            .ok_or_else(|| format!("{name} needs a numeric value")),
+        None => Ok(None),
+    }
+}
+
+/// `--shards N [--nodes M]` dispatch options: M defaults to N, so each
+/// shard gets one simulated host.
+fn shard_options(args: &[String]) -> Result<Option<(usize, u32)>, String> {
+    let shards: Option<usize> = flag_value(args, "--shards")?;
+    let nodes: Option<u32> = flag_value(args, "--nodes")?;
+    Ok(shards
+        .map(|s| (s.max(1), nodes.unwrap_or(s as u32).max(1)))
+        .or_else(|| nodes.map(|n| (n as usize, n.max(1)))))
+}
+
+/// Render the scheduler's per-job accounting for a sharded suite run.
+fn render_job_accounting(title: &str, records: &[jube::JobRecord]) -> String {
+    let mut table = jube::ResultTable::new(
+        ["job", "name", "nodes", "state", "queue_s", "run_s"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    );
+    for r in records {
+        table.push_row(vec![
+            r.id.to_string(),
+            r.name.clone(),
+            r.nodes.to_string(),
+            format!("{:?}", r.state),
+            format!("{:.4}", r.queue_s),
+            format!("{:.4}", r.run_s),
+        ]);
+    }
+    format!("{title}\n{}", table.to_ascii())
+}
+
+fn run_suite(which: &str, tags: &[String], shard_opts: Option<(usize, u32)>) -> ExitCode {
     let is_ipu = tags.iter().any(|t| t.eq_ignore_ascii_case("GC200"));
     let (benchmark, columns): (jube::Benchmark, Vec<&str>) = match (which, is_ipu) {
         ("llm", false) => (
@@ -81,11 +141,28 @@ fn run_suite(which: &str, tags: &[String]) -> ExitCode {
         _ => return usage(),
     };
     println!("caraml run {which} --tag {}\n", tags.join(" "));
-    match benchmark.run(tags) {
-        Ok(result) => {
+    let run = match shard_opts {
+        Some((shards, nodes)) => {
+            run_suite_sharded(&benchmark, tags, shards, nodes).map(|(result, records)| {
+                (
+                    result,
+                    Some(render_job_accounting(
+                        &format!("shard dispatch ({nodes}-node partition)"),
+                        &records,
+                    )),
+                )
+            })
+        }
+        None => benchmark.run(tags).map(|result| (result, None)),
+    };
+    match run {
+        Ok((result, accounting)) => {
             let mut table = result.table(&columns);
             table.sort_by_column(columns[1]);
             println!("{}", table.to_ascii());
+            if let Some(accounting) = accounting {
+                println!("{accounting}");
+            }
             if result.failures() > 0 {
                 println!(
                     "{} workpackage(s) failed (see error column)",
@@ -101,7 +178,69 @@ fn run_suite(which: &str, tags: &[String]) -> ExitCode {
     }
 }
 
-fn run_heatmap(tag: &str) -> ExitCode {
+/// `caraml suite <TAG>`: the full figure-generating sweep set for one
+/// system (LLM training + ResNet50), dispatched sharded over a simulated
+/// Slurm partition with per-shard accounting.
+fn run_full_suite(tag: &str, shard_opts: Option<(usize, u32)>) -> ExitCode {
+    if SystemId::from_jube_tag(tag).is_none() {
+        eprintln!("caraml: unknown system tag '{tag}'");
+        return ExitCode::from(2);
+    }
+    let (shards, nodes) = shard_opts.unwrap_or((4, 4));
+    let tags = vec![tag.to_string()];
+    let is_ipu = tag.eq_ignore_ascii_case("GC200");
+    let suites: Vec<(&str, jube::Benchmark, Vec<&str>)> = if is_ipu {
+        vec![(
+            "llm",
+            llm_benchmark_ipu(),
+            vec!["global_batch_tokens", "tokens_per_s", "tokens_per_wh"],
+        )]
+    } else {
+        vec![
+            (
+                "llm",
+                llm_benchmark_nvidia_amd(),
+                vec![
+                    "global_batch",
+                    "tokens_per_s_per_gpu",
+                    "tokens_per_wh",
+                    "error",
+                ],
+            ),
+            (
+                "resnet50",
+                resnet50_benchmark(),
+                vec!["global_batch", "images_per_s", "images_per_wh", "error"],
+            ),
+        ]
+    };
+    for (name, benchmark, columns) in suites {
+        match run_suite_sharded(&benchmark, &tags, shards, nodes) {
+            Ok((result, records)) => {
+                let mut table = result.table(&columns);
+                table.sort_by_column(columns[0]);
+                println!(
+                    "caraml suite {tag} · {name} ({shards} shards)\n{}",
+                    table.to_ascii()
+                );
+                println!(
+                    "{}",
+                    render_job_accounting(
+                        &format!("shard dispatch ({nodes}-node partition)"),
+                        &records
+                    )
+                );
+            }
+            Err(e) => {
+                eprintln!("caraml: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_heatmap(tag: &str, shard_opts: Option<(usize, u32)>) -> ExitCode {
     let Some(sys) = SystemId::from_jube_tag(tag) else {
         eprintln!("caraml: unknown system tag '{tag}'");
         return ExitCode::from(2);
@@ -114,16 +253,37 @@ fn run_heatmap(tag: &str) -> ExitCode {
         devices.push(d);
         d *= 2;
     }
-    let grid = ResnetBenchmark::heatmap(sys, &devices, &FIG4_BATCHES);
-    println!(
-        "{}",
-        render_heatmap(
-            &format!("ResNet50 images/s on {}", node.platform),
-            &devices,
-            &FIG4_BATCHES,
-            &grid
-        )
-    );
+    let title = format!("ResNet50 images/s on {}", node.platform);
+    let cells = match shard_opts {
+        Some((shards, nodes)) => {
+            // Multi-node dispatch: shard the Fig. 4 grid over a simulated
+            // partition, node demand taken from each point's device count.
+            let slurm = SlurmSim::new(nodes);
+            let sharded = SweepRunner::parallel().map_sharded(
+                &slurm,
+                ShardPlan::new(shards),
+                grid(sys, &devices, &FIG4_BATCHES),
+                |p| ResnetBenchmark::heatmap_cell(p.system, p.devices, p.batch),
+            );
+            println!(
+                "{}",
+                render_shard_table(
+                    &format!("shard dispatch ({nodes}-node partition)"),
+                    &sharded.shards,
+                    None
+                )
+            );
+            sharded.results
+        }
+        None => SweepRunner::parallel().map(grid(sys, &devices, &FIG4_BATCHES), |p| {
+            ResnetBenchmark::heatmap_cell(p.system, p.devices, p.batch)
+        }),
+    };
+    let rows: Vec<Vec<_>> = cells
+        .chunks(FIG4_BATCHES.len())
+        .map(<[caraml::fom::HeatmapCell]>::to_vec)
+        .collect();
+    println!("{}", render_heatmap(&title, &devices, &FIG4_BATCHES, &rows));
     ExitCode::SUCCESS
 }
 
@@ -297,13 +457,93 @@ fn main() -> ExitCode {
             if args.len() < 2 {
                 return usage();
             }
-            let (_, tags) = split_tags(&args[2..]);
-            run_suite(&args[1], &tags)
+            let (rest, tags) = split_tags(&args[2..]);
+            match shard_options(&rest) {
+                Ok(opts) => run_suite(&args[1], &tags, opts),
+                Err(e) => {
+                    eprintln!("caraml: {e}");
+                    usage()
+                }
+            }
         }
-        Some("heatmap") if args.len() >= 2 => run_heatmap(&args[1]),
+        Some("suite") if args.len() >= 2 => match shard_options(&args[2..]) {
+            Ok(opts) => run_full_suite(&args[1], opts),
+            Err(e) => {
+                eprintln!("caraml: {e}");
+                usage()
+            }
+        },
+        Some("heatmap") if args.len() >= 2 => match shard_options(&args[2..]) {
+            Ok(opts) => run_heatmap(&args[1], opts),
+            Err(e) => {
+                eprintln!("caraml: {e}");
+                usage()
+            }
+        },
         Some("inference") if args.len() >= 2 => run_inference(&args[1]),
         Some("serve") if args.len() >= 2 => run_serve(&args[1], &args[2..]),
         Some("baseline") => run_baseline(&args[1..]),
         _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn split_tags_stops_at_next_flag() {
+        // Regression: `--shards 4` after the tag list used to be
+        // swallowed as two extra tags.
+        let (rest, tags) = split_tags(&argv(&["--tag", "A100", "GCD", "--shards", "4"]));
+        assert_eq!(tags, argv(&["A100", "GCD"]));
+        assert_eq!(rest, argv(&["--shards", "4"]));
+    }
+
+    #[test]
+    fn split_tags_without_trailing_flags_takes_all_tokens() {
+        let (rest, tags) = split_tags(&argv(&["--tag", "MI250", "GCD"]));
+        assert_eq!(tags, argv(&["MI250", "GCD"]));
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn split_tags_keeps_leading_positionals() {
+        let (rest, tags) = split_tags(&argv(&["record", "out.json", "--tag", "GH200"]));
+        assert_eq!(rest, argv(&["record", "out.json"]));
+        assert_eq!(tags, argv(&["GH200"]));
+        let (rest, tags) = split_tags(&argv(&["record", "out.json"]));
+        assert_eq!(rest, argv(&["record", "out.json"]));
+        assert!(tags.is_empty());
+    }
+
+    #[test]
+    fn split_tags_empty_tag_list_before_flag() {
+        let (rest, tags) = split_tags(&argv(&["--tag", "--shards", "2"]));
+        assert!(tags.is_empty());
+        assert_eq!(rest, argv(&["--shards", "2"]));
+    }
+
+    #[test]
+    fn shard_options_parse_and_default() {
+        assert_eq!(shard_options(&argv(&[])).unwrap(), None);
+        assert_eq!(
+            shard_options(&argv(&["--shards", "4"])).unwrap(),
+            Some((4, 4))
+        );
+        assert_eq!(
+            shard_options(&argv(&["--shards", "2", "--nodes", "8"])).unwrap(),
+            Some((2, 8))
+        );
+        assert_eq!(
+            shard_options(&argv(&["--nodes", "3"])).unwrap(),
+            Some((3, 3))
+        );
+        assert!(shard_options(&argv(&["--shards"])).is_err());
+        assert!(shard_options(&argv(&["--shards", "abc"])).is_err());
     }
 }

@@ -49,4 +49,4 @@ pub use llm::{LlmBenchmark, LlmRun};
 pub use llm_large::{LargeModelBenchmark, LargeModelRun};
 pub use resnet::{ResnetBenchmark, ResnetRun};
 pub use serve::{ArrivalKind, ServeBenchmark, ServePoint, SloClass, SloPolicy};
-pub use sweep::{SweepPoint, SweepRunner};
+pub use sweep::{NodeDemand, ShardPlan, ShardRecord, ShardedSweep, SweepPoint, SweepRunner};

@@ -7,6 +7,7 @@
 
 use crate::engine::RunOutcome;
 use crate::fom::{HeatmapCell, ServeFom};
+use crate::sweep::ShardRecord;
 use jube::ResultTable;
 
 /// A named data series over batch sizes (one line in a Fig. 2/3 panel).
@@ -135,6 +136,44 @@ pub fn render_serve_table(title: &str, outcomes: &[RunOutcome<ServeFom>]) -> Str
     format!("{title}\n{}", table.to_ascii())
 }
 
+/// Render the per-shard dispatch accounting of a sharded sweep: one row
+/// per shard job with its grid slice, node requirement, queue and run
+/// times, and (when provided, one value per shard) the shard's total
+/// measured energy in Wh.
+pub fn render_shard_table(
+    title: &str,
+    shards: &[ShardRecord],
+    energy_wh: Option<&[f64]>,
+) -> String {
+    let mut columns = vec![
+        "shard".to_string(),
+        "job".to_string(),
+        "points".to_string(),
+        "nodes".to_string(),
+        "queue_s".to_string(),
+        "run_s".to_string(),
+    ];
+    if energy_wh.is_some() {
+        columns.push("energy_wh".to_string());
+    }
+    let mut table = ResultTable::new(columns);
+    for rec in shards {
+        let mut row = vec![
+            rec.shard.to_string(),
+            rec.name.clone(),
+            format!("{}..{}", rec.range.start, rec.range.end),
+            rec.nodes.to_string(),
+            format!("{:.4}", rec.queue_s),
+            format!("{:.4}", rec.run_s),
+        ];
+        if let Some(wh) = energy_wh {
+            row.push(format!("{:.2}", wh[rec.shard]));
+        }
+        table.push_row(row);
+    }
+    format!("{title}\n{}", table.to_ascii())
+}
+
 /// Compact `a × / b ×` style comparison line used by the bench binaries
 /// to echo the paper's headline claims.
 pub fn ratio_line(label: &str, numerator: f64, denominator: f64, paper: f64) -> String {
@@ -245,6 +284,39 @@ mod tests {
         assert!(out.contains("0.987"));
         assert!(out.contains("OOM"));
         assert!(out.contains("FAIL"));
+    }
+
+    #[test]
+    fn shard_table_renders_accounting_rows() {
+        let shards = vec![
+            ShardRecord {
+                shard: 0,
+                job_id: 1,
+                name: "sweep_shard0".into(),
+                range: 0..3,
+                nodes: 2,
+                queue_s: 0.001,
+                run_s: 0.25,
+            },
+            ShardRecord {
+                shard: 1,
+                job_id: 2,
+                name: "sweep_shard1".into(),
+                range: 3..5,
+                nodes: 1,
+                queue_s: 0.1234,
+                run_s: 0.5,
+            },
+        ];
+        let out = render_shard_table("Shard dispatch", &shards, Some(&[12.5, 7.25]));
+        assert!(out.contains("Shard dispatch"));
+        assert!(out.contains("sweep_shard1"));
+        assert!(out.contains("0..3"));
+        assert!(out.contains("3..5"));
+        assert!(out.contains("0.1234"));
+        assert!(out.contains("12.50"));
+        let plain = render_shard_table("t", &shards, None);
+        assert!(!plain.contains("energy_wh"));
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::llm::{LlmBenchmark, FIG2_BATCHES, TABLE2_BATCHES};
 use crate::resnet::{ResnetBenchmark, FIG3_BATCHES};
 use crate::serve::{ArrivalKind, ServeBenchmark, ServePoint};
 use caraml_accel::SystemId;
-use jube::{Benchmark, Parameter, ParameterSet, Step};
+use jube::{Benchmark, JobRecord, JubeError, Parameter, ParameterSet, RunResult, SlurmSim, Step};
 use std::collections::BTreeMap;
 
 /// Tags accepted by the LLM and ResNet GPU benchmarks (Table I "JUBE
@@ -198,6 +198,26 @@ pub fn llm_serving_benchmark() -> Benchmark {
         }))
 }
 
+/// Run a suite's workpackages sharded across a fresh [`SlurmSim`]
+/// partition of `partition_nodes` simulated hosts: `shards` contiguous
+/// shards, each dispatched as one multi-node job sized to fill the
+/// partition (`partition_nodes / shards` nodes, at least one). Results
+/// come back in exact workpackage order — identical to
+/// [`Benchmark::run`] — together with the scheduler's per-shard job
+/// records for the queue/run accounting tables.
+pub fn run_suite_sharded(
+    bench: &Benchmark,
+    tags: &[String],
+    shards: usize,
+    partition_nodes: u32,
+) -> Result<(RunResult, Vec<JobRecord>), JubeError> {
+    let partition_nodes = partition_nodes.max(1);
+    let slurm = SlurmSim::new(partition_nodes);
+    let nodes_per_shard = (partition_nodes / shards.max(1) as u32).max(1);
+    let result = bench.run_sharded(&slurm, tags, shards, nodes_per_shard)?;
+    Ok((result, slurm.wait_all()))
+}
+
 fn stringify(e: impl std::fmt::Display) -> String {
     e.to_string()
 }
@@ -355,6 +375,42 @@ mod tests {
             .records()
             .iter()
             .all(|r| r.state == jube::JobState::Completed));
+    }
+
+    #[test]
+    fn sharded_suite_matches_sequential_run_exactly() {
+        let bench = resnet50_benchmark();
+        let seq = bench.run(&tags(&["GH200"])).unwrap();
+        for shards in [1usize, 3, 4] {
+            let (sharded, records) = run_suite_sharded(&bench, &tags(&["GH200"]), shards, 4)
+                .unwrap_or_else(|e| panic!("shards={shards}: {e}"));
+            assert_eq!(sharded.workpackages.len(), seq.workpackages.len());
+            for (a, b) in sharded.workpackages.iter().zip(&seq.workpackages) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.values, b.values, "sharded FOMs must match serial");
+                assert_eq!(a.error, b.error);
+            }
+            assert_eq!(records.len(), shards.min(seq.workpackages.len()));
+            assert!(records
+                .iter()
+                .all(|r| r.state == jube::JobState::Completed && r.queue_s >= 0.0));
+        }
+    }
+
+    #[test]
+    fn sharded_suite_preserves_oom_rows() {
+        // The A100 sweep has a structured OOM workpackage; sharding must
+        // carry it through at the same grid position.
+        let bench = resnet50_benchmark();
+        let (sharded, _) = run_suite_sharded(&bench, &tags(&["A100"]), 3, 3).unwrap();
+        assert_eq!(sharded.failures(), 1);
+        let failed = sharded
+            .workpackages
+            .iter()
+            .find(|w| w.error.is_some())
+            .unwrap();
+        assert_eq!(failed.params["global_batch"], "2048");
+        assert!(failed.error.as_ref().unwrap().contains("out of memory"));
     }
 
     #[test]

@@ -51,6 +51,66 @@ fn heatmap_renders_grid() {
 }
 
 #[test]
+fn run_with_shards_flag_after_tags_is_not_swallowed() {
+    // Regression: tag collection used to swallow `--shards 2` as two
+    // extra (unknown) tags; now it dispatches sharded and reports the
+    // same rows plus the shard accounting table.
+    let out = caraml()
+        .args(["run", "resnet50", "--tag", "GH200", "--shards", "2"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("images_per_s"));
+    assert!(stdout.contains("shard dispatch"), "{stdout}");
+    assert!(stdout.contains("resnet50_benchmark_shard1"));
+}
+
+#[test]
+fn suite_subcommand_runs_sharded_with_accounting() {
+    let out = caraml()
+        .args(["suite", "GH200", "--shards", "3", "--nodes", "3"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("caraml suite GH200 · llm"));
+    assert!(stdout.contains("caraml suite GH200 · resnet50"));
+    assert!(stdout.contains("queue_s"));
+    assert!(stdout.contains("Completed"));
+}
+
+#[test]
+fn suite_subcommand_unknown_tag_fails() {
+    let out = caraml().args(["suite", "NOPE"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn sharded_heatmap_grid_matches_single_host_grid() {
+    let serial = caraml().args(["heatmap", "WAIH100"]).output().unwrap();
+    let sharded = caraml()
+        .args(["heatmap", "WAIH100", "--shards", "3", "--nodes", "4"])
+        .output()
+        .unwrap();
+    assert!(serial.status.success() && sharded.status.success());
+    let serial = String::from_utf8_lossy(&serial.stdout).to_string();
+    let sharded = String::from_utf8_lossy(&sharded.stdout).to_string();
+    assert!(sharded.contains("shard dispatch"));
+    // The heatmap block itself must be identical to the single-host run.
+    let grid_of = |s: &str| s[s.find("ResNet50 images/s").unwrap()..].to_string();
+    assert_eq!(grid_of(&serial), grid_of(&sharded));
+}
+
+#[test]
 fn heatmap_unknown_tag_fails() {
     let out = caraml().args(["heatmap", "NOPE"]).output().unwrap();
     assert_eq!(out.status.code(), Some(2));

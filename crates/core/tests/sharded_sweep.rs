@@ -1,0 +1,122 @@
+//! Sharded-dispatch equivalence tests.
+//!
+//! The multi-node sharded sweep path (contiguous shards submitted as
+//! jobs to a [`jube::SlurmSim`] partition) must be **bit-identical** to
+//! both the sequential and the rayon-parallel [`SweepRunner`] modes for
+//! any grid, any shard count (including counts that do not divide the
+//! grid size), and any partition width — with OOM and invalid-config
+//! cells surviving the round trip at their exact grid positions.
+
+use caraml::resnet::ResnetBenchmark;
+use caraml::sweep::{grid, NodeDemand, ShardPlan};
+use caraml::{SweepPoint, SweepRunner};
+use caraml_accel::{AccelError, SystemId};
+use jube::SlurmSim;
+use proptest::prelude::*;
+
+const GPU_SYSTEMS: [SystemId; 6] = [
+    SystemId::A100,
+    SystemId::H100Jrdc,
+    SystemId::WaiH100,
+    SystemId::Gh200Jrdc,
+    SystemId::Jedi,
+    SystemId::Mi250,
+];
+
+/// Project one sweep outcome onto exact bit patterns (success) or the
+/// error message (failure) so equality means bit-identity.
+fn cell_bits(run: Result<caraml::ResnetRun, AccelError>) -> (u64, u64, u64, String) {
+    match run {
+        Ok(run) => (
+            run.fom.images_per_s.to_bits(),
+            run.fom.energy_wh_per_epoch.to_bits(),
+            run.fom.images_per_wh.to_bits(),
+            String::new(),
+        ),
+        Err(e) => (0, 0, 0, e.to_string()),
+    }
+}
+
+/// One full-measurement grid cell; `'static` so it can cross into the
+/// scheduler's worker pool.
+fn cell(p: SweepPoint) -> (u64, u64, u64, String) {
+    let mut bench = ResnetBenchmark::fig3(p.system);
+    bench.devices = p.devices;
+    cell_bits(bench.run(p.batch))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// serial ≡ parallel ≡ sharded for random grids, shard counts and
+    /// partition widths. Batch powers up to 2^11 = 2048 include the
+    /// A100's Fig. 4 OOM cells, so failure outcomes are exercised too.
+    #[test]
+    fn sharded_sweep_is_bit_identical_to_serial_and_parallel(
+        sys in 0usize..6,
+        dev_pows in prop::collection::vec(0u32..4, 1..4),
+        batch_pows in prop::collection::vec(4u32..12, 1..4),
+        shards in 1usize..9,
+        partition_nodes in 1u32..5,
+    ) {
+        let system = GPU_SYSTEMS[sys];
+        let devices: Vec<u32> = dev_pows.iter().map(|p| 1u32 << p).collect();
+        let batches: Vec<u64> = batch_pows.iter().map(|p| 1u64 << p).collect();
+        let points = grid(system, &devices, &batches);
+
+        let serial = SweepRunner::serial().map(points.clone(), cell);
+        let parallel = SweepRunner::parallel().map(points.clone(), cell);
+        prop_assert_eq!(&serial, &parallel);
+
+        let slurm = SlurmSim::new(partition_nodes);
+        let sharded = SweepRunner::parallel().map_sharded(
+            &slurm,
+            ShardPlan::new(shards),
+            points.clone(),
+            cell,
+        );
+        prop_assert_eq!(&serial, &sharded.results);
+
+        // Shard accounting: contiguous cover of the grid, real jobs,
+        // node demand derived from the widest point but clamped to the
+        // partition.
+        prop_assert_eq!(sharded.shards.len(), shards.min(points.len()));
+        let mut next = 0;
+        for rec in &sharded.shards {
+            prop_assert_eq!(rec.range.start, next);
+            next = rec.range.end;
+            let widest = points[rec.range.clone()]
+                .iter()
+                .map(NodeDemand::nodes_required)
+                .max()
+                .unwrap();
+            prop_assert_eq!(rec.nodes, widest.clamp(1, partition_nodes));
+            prop_assert!(rec.queue_s >= 0.0 && rec.run_s >= 0.0);
+        }
+        prop_assert_eq!(next, points.len());
+    }
+}
+
+/// A grid straddling the A100's memory capacity keeps its OOM cell at
+/// the same position under sharding, even when the shard boundary cuts
+/// right through it.
+#[test]
+fn sharded_grid_preserves_oom_cells_in_place() {
+    let points = grid(SystemId::A100, &[1], &[256, 512, 2048, 1024]);
+    let serial = SweepRunner::serial().map(points.clone(), cell);
+    assert!(
+        serial[2].3.contains("out of memory"),
+        "expected the b2048 cell to OOM: {:?}",
+        serial[2]
+    );
+    for shards in 1..=4 {
+        let slurm = SlurmSim::new(2);
+        let sharded = SweepRunner::parallel().map_sharded(
+            &slurm,
+            ShardPlan::new(shards),
+            points.clone(),
+            cell,
+        );
+        assert_eq!(serial, sharded.results, "shards={shards}");
+    }
+}

@@ -235,12 +235,67 @@ impl Benchmark {
             workpackages: collected,
         })
     }
+
+    /// Partition the workpackages into `shards` contiguous shards and
+    /// submit each shard as one multi-node job (`nodes_per_shard` nodes)
+    /// on a [`SlurmSim`] partition. Within a shard the workpackages run
+    /// sequentially in workpackage order; shards run concurrently as the
+    /// scheduler admits them (FIFO), and the per-shard result vectors are
+    /// merged back in exact workpackage order, so the result is identical
+    /// to [`Benchmark::run`]. Workpackage failures are reported in the
+    /// result rows (the shard job itself completes).
+    pub fn run_sharded(
+        &self,
+        slurm: &Arc<SlurmSim>,
+        tags: &[String],
+        shards: usize,
+        nodes_per_shard: u32,
+    ) -> Result<RunResult, JubeError> {
+        let order = Arc::new(topo_order(&self.steps)?);
+        let wps = self.workpackages(tags);
+        let steps = Arc::new(self.steps.clone());
+        let tags_owned: Arc<Vec<String>> = Arc::new(tags.to_vec());
+        let handles: Vec<crate::JobHandle<Vec<WorkpackageResult>>> =
+            crate::shard_ranges(wps.len(), shards)
+                .into_iter()
+                .enumerate()
+                .map(|(s, range)| {
+                    let chunk: Vec<Workpackage> = wps[range].to_vec();
+                    let steps = Arc::clone(&steps);
+                    let order = Arc::clone(&order);
+                    let tags_owned = Arc::clone(&tags_owned);
+                    slurm.submit_job(
+                        format!("{}_shard{}", self.name, s),
+                        nodes_per_shard,
+                        move || {
+                            Ok(chunk
+                                .into_iter()
+                                .map(|wp| Self::run_workpackage(&steps, &order, &tags_owned, wp))
+                                .collect())
+                        },
+                    )
+                })
+                .collect();
+        let mut collected = Vec::with_capacity(wps.len());
+        for handle in handles {
+            collected.extend(handle.join().map_err(|message| JubeError::StepFailed {
+                step: "shard".into(),
+                message,
+            })?);
+        }
+        Ok(RunResult {
+            benchmark: self.name.clone(),
+            tags: tags.to_vec(),
+            workpackages: collected,
+        })
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::param::Parameter;
+    use crate::JobState;
 
     fn tags(list: &[&str]) -> Vec<String> {
         list.iter().map(|s| s.to_string()).collect()
@@ -388,6 +443,52 @@ mod tests {
         }
         // The scheduler recorded one job per workpackage.
         assert_eq!(slurm.records().len(), 4);
+    }
+
+    #[test]
+    fn sharded_execution_matches_sequential() {
+        let b = area_benchmark();
+        let seq = b.run(&[]).unwrap();
+        let slurm = SlurmSim::new(4);
+        let mut jobs_so_far = 0;
+        for shards in [1usize, 2, 3, 4, 7] {
+            let sharded = b.run_sharded(&slurm, &[], shards, 2).unwrap();
+            assert_eq!(sharded.workpackages.len(), seq.workpackages.len());
+            for (p, s) in sharded.workpackages.iter().zip(&seq.workpackages) {
+                assert_eq!(p.id, s.id, "merge preserves workpackage order");
+                assert_eq!(p.values, s.values);
+            }
+            // One shard job per non-empty range (4 workpackages cap it).
+            jobs_so_far += shards.min(4);
+            assert_eq!(slurm.records().len(), jobs_so_far);
+        }
+        assert!(slurm
+            .records()
+            .iter()
+            .all(|r| r.state == JobState::Completed && r.nodes == 2));
+    }
+
+    #[test]
+    fn sharded_run_reports_workpackage_failures_in_rows() {
+        let b = Benchmark::new("failing")
+            .with_parameter_set(ParameterSet::new("p").with(Parameter::sweep("x", [1, 2, 3, 4])))
+            .with_step(Step::new("explode", |ctx| {
+                if ctx.param("x").unwrap() == "3" {
+                    Err("x is three".into())
+                } else {
+                    Ok(BTreeMap::new())
+                }
+            }));
+        let slurm = SlurmSim::new(2);
+        let result = b.run_sharded(&slurm, &[], 2, 1).unwrap();
+        assert_eq!(result.workpackages.len(), 4);
+        assert_eq!(result.failures(), 1);
+        // The shard job carrying the failing workpackage still completes;
+        // the failure lives in the result row.
+        assert!(slurm
+            .records()
+            .iter()
+            .all(|r| r.state == JobState::Completed));
     }
 
     #[test]

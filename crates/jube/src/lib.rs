@@ -16,7 +16,7 @@
 //! * [`benchmark`] — workpackage expansion (cartesian product over
 //!   multi-valued parameters) and dependency-ordered execution;
 //! * [`scheduler`] — a Slurm-like batch scheduler running jobs on a
-//!   thread pool with job states and accounting;
+//!   bounded worker pool with FIFO admission, job states and accounting;
 //! * [`table`] — `jube result`-style tabular output (ASCII and CSV).
 
 pub mod benchmark;
@@ -28,7 +28,7 @@ pub mod table;
 
 pub use benchmark::{Benchmark, RunResult, Workpackage};
 pub use param::{Parameter, ParameterSet};
-pub use scheduler::{JobState, SlurmSim};
+pub use scheduler::{shard_ranges, JobHandle, JobRecord, JobState, SlurmSim};
 pub use step::{Step, StepContext};
 pub use table::ResultTable;
 

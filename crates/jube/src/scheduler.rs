@@ -1,14 +1,24 @@
-//! A Slurm-like batch scheduler over a thread pool.
+//! A Slurm-like batch scheduler over a bounded worker pool.
 //!
 //! "The JUBE runtime interprets the script, resolves dependencies and
 //! submits jobs to the Slurm batch system" (§III-A3). This module plays
 //! the Slurm role for workpackage execution: jobs are submitted with a
-//! node requirement, wait in a queue while the simulated partition is
-//! full, run on a rayon thread pool, and end in `Completed` or `Failed`
-//! with accounting of queue and run times.
+//! node requirement, wait in a FIFO queue while the simulated partition
+//! is full, run on a bounded worker pool sized to the partition (one
+//! worker per node — the maximum number of jobs that can hold nodes at
+//! once), and end in `Completed` or `Failed` with accounting of queue
+//! and run times.
+//!
+//! Admission is strictly FIFO: only the job at the head of the queue is
+//! ever considered for admission, so a wide job can never be starved by
+//! a stream of narrow jobs submitted after it. Queue time is measured
+//! from the moment `submit` enqueues the job, not from when a worker
+//! first looks at it, so scheduling delay inside the simulator is part
+//! of the accounting rather than silently excluded.
 
 use parking_lot::{Condvar, Mutex};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
+use std::ops::Range;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -33,10 +43,25 @@ pub struct JobRecord {
     pub error: Option<String>,
 }
 
+type Work = Box<dyn FnOnce() -> Result<(), String> + Send + 'static>;
+
+struct PendingJob {
+    id: u64,
+    nodes: u32,
+    /// Captured in `submit()` so queue time includes every source of
+    /// delay after submission (including worker wake-up latency).
+    submitted: Instant,
+    work: Work,
+}
+
 struct SchedState {
     free_nodes: u32,
     records: BTreeMap<u64, JobRecord>,
+    /// FIFO admission queue; workers only ever admit the front.
+    queue: VecDeque<PendingJob>,
+    /// Jobs submitted but not yet terminal (pending + running).
     active: usize,
+    shutdown: bool,
 }
 
 /// The simulated batch system.
@@ -44,23 +69,102 @@ pub struct SlurmSim {
     total_nodes: u32,
     state: Arc<(Mutex<SchedState>, Condvar)>,
     next_id: Mutex<u64>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// Handle to a job submitted with [`SlurmSim::submit_job`]: carries the
+/// job's typed result out of the scheduler once it completes.
+pub struct JobHandle<T> {
+    id: u64,
+    slot: Arc<Mutex<Option<T>>>,
+    state: Arc<(Mutex<SchedState>, Condvar)>,
+}
+
+impl<T> JobHandle<T> {
+    /// The scheduler-assigned job id (`sbatch` output).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Block until the job reaches a terminal state. Returns the job's
+    /// value on `Completed`, the job's error message on `Failed`.
+    pub fn join(self) -> Result<T, String> {
+        let (lock, cvar) = &*self.state;
+        let mut st = lock.lock();
+        loop {
+            match st.records.get(&self.id).map(|r| r.state) {
+                Some(JobState::Completed) => {
+                    drop(st);
+                    return Ok(self
+                        .slot
+                        .lock()
+                        .take()
+                        .expect("completed job stored its value"));
+                }
+                Some(JobState::Failed) => {
+                    let msg = st.records[&self.id]
+                        .error
+                        .clone()
+                        .unwrap_or_else(|| "job failed".into());
+                    return Err(msg);
+                }
+                _ => cvar.wait(&mut st),
+            }
+        }
+    }
+}
+
+/// Split `0..len` into `shards` contiguous, non-empty ranges covering the
+/// whole input in order. The first `len % shards` shards get one extra
+/// element; shard counts larger than `len` collapse to `len` shards.
+/// `len == 0` yields no shards.
+pub fn shard_ranges(len: usize, shards: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let shards = shards.clamp(1, len);
+    let base = len / shards;
+    let extra = len % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0;
+    for s in 0..shards {
+        let size = base + usize::from(s < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
 }
 
 impl SlurmSim {
-    /// A partition with `nodes` nodes.
+    /// A partition with `nodes` nodes and a worker pool of `nodes`
+    /// threads (every running job holds at least one node, so the pool
+    /// can never under-serve the partition).
     pub fn new(nodes: u32) -> Arc<Self> {
         assert!(nodes >= 1);
+        let state = Arc::new((
+            Mutex::new(SchedState {
+                free_nodes: nodes,
+                records: BTreeMap::new(),
+                queue: VecDeque::new(),
+                active: 0,
+                shutdown: false,
+            }),
+            Condvar::new(),
+        ));
+        let workers = (0..nodes)
+            .map(|i| {
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("slurm-worker-{i}"))
+                    .spawn(move || worker_loop(&state))
+                    .expect("spawn scheduler worker")
+            })
+            .collect();
         Arc::new(SlurmSim {
             total_nodes: nodes,
-            state: Arc::new((
-                Mutex::new(SchedState {
-                    free_nodes: nodes,
-                    records: BTreeMap::new(),
-                    active: 0,
-                }),
-                Condvar::new(),
-            )),
+            state,
             next_id: Mutex::new(1),
+            workers: Mutex::new(workers),
         })
     }
 
@@ -68,13 +172,13 @@ impl SlurmSim {
         self.total_nodes
     }
 
-    /// Submit a job requiring `nodes` nodes; `work` runs on its own
-    /// thread once resources are free. Returns the job id immediately
-    /// (`sbatch` semantics).
-    pub fn submit<F>(self: &Arc<Self>, name: impl Into<String>, nodes: u32, work: F) -> u64
-    where
-        F: FnOnce() -> Result<(), String> + Send + 'static,
-    {
+    /// Number of worker threads in the pool. Fixed at construction:
+    /// submitting jobs never spawns threads.
+    pub fn pool_size(&self) -> usize {
+        self.workers.lock().len()
+    }
+
+    fn enqueue(&self, name: String, nodes: u32, work: Work) -> u64 {
         assert!(
             nodes >= 1 && nodes <= self.total_nodes,
             "job needs {nodes} nodes, partition has {}",
@@ -86,67 +190,78 @@ impl SlurmSim {
             *g += 1;
             id
         };
-        let name = name.into();
-        {
-            let (lock, _) = &*self.state;
-            let mut st = lock.lock();
-            st.records.insert(
+        let submitted = Instant::now();
+        let (lock, cvar) = &*self.state;
+        let mut st = lock.lock();
+        st.records.insert(
+            id,
+            JobRecord {
                 id,
-                JobRecord {
-                    id,
-                    name: name.clone(),
-                    nodes,
-                    state: JobState::Pending,
-                    queue_s: 0.0,
-                    run_s: 0.0,
-                    error: None,
-                },
-            );
-            st.active += 1;
-        }
-        let me = Arc::clone(self);
-        std::thread::spawn(move || {
-            let submitted = Instant::now();
-            // Wait for nodes.
-            {
-                let (lock, cvar) = &*me.state;
-                let mut st = lock.lock();
-                while st.free_nodes < nodes {
-                    cvar.wait(&mut st);
-                }
-                st.free_nodes -= nodes;
-                let rec = st.records.get_mut(&id).expect("record exists");
-                rec.state = JobState::Running;
-                rec.queue_s = submitted.elapsed().as_secs_f64();
-            }
-            let started = Instant::now();
-            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(work));
-            let (lock, cvar) = &*me.state;
-            let mut st = lock.lock();
-            st.free_nodes += nodes;
-            st.active -= 1;
-            let rec = st.records.get_mut(&id).expect("record exists");
-            rec.run_s = started.elapsed().as_secs_f64();
-            match result {
-                Ok(Ok(())) => rec.state = JobState::Completed,
-                Ok(Err(e)) => {
-                    rec.state = JobState::Failed;
-                    rec.error = Some(e);
-                }
-                Err(_) => {
-                    rec.state = JobState::Failed;
-                    rec.error = Some("job panicked".into());
-                }
-            }
-            cvar.notify_all();
+                name,
+                nodes,
+                state: JobState::Pending,
+                queue_s: 0.0,
+                run_s: 0.0,
+                error: None,
+            },
+        );
+        st.active += 1;
+        st.queue.push_back(PendingJob {
+            id,
+            nodes,
+            submitted,
+            work,
         });
+        cvar.notify_all();
         id
+    }
+
+    /// Submit a job requiring `nodes` nodes; `work` runs on the worker
+    /// pool once the job reaches the head of the queue and its nodes are
+    /// free. Returns the job id immediately (`sbatch` semantics).
+    pub fn submit<F>(&self, name: impl Into<String>, nodes: u32, work: F) -> u64
+    where
+        F: FnOnce() -> Result<(), String> + Send + 'static,
+    {
+        self.enqueue(name.into(), nodes, Box::new(work))
+    }
+
+    /// Submit a job whose work produces a value; the returned
+    /// [`JobHandle`] yields it on [`JobHandle::join`]. Queueing and
+    /// accounting are identical to [`SlurmSim::submit`].
+    pub fn submit_job<T, F>(&self, name: impl Into<String>, nodes: u32, work: F) -> JobHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> Result<T, String> + Send + 'static,
+    {
+        let slot = Arc::new(Mutex::new(None));
+        let store = Arc::clone(&slot);
+        let id = self.enqueue(
+            name.into(),
+            nodes,
+            Box::new(move || {
+                let value = work()?;
+                *store.lock() = Some(value);
+                Ok(())
+            }),
+        );
+        JobHandle {
+            id,
+            slot,
+            state: Arc::clone(&self.state),
+        }
     }
 
     /// Current state of a job (`squeue`/`sacct`).
     pub fn state_of(&self, id: u64) -> Option<JobState> {
         let (lock, _) = &*self.state;
         lock.lock().records.get(&id).map(|r| r.state)
+    }
+
+    /// Accounting record of one job (`sacct -j`).
+    pub fn record_of(&self, id: u64) -> Option<JobRecord> {
+        let (lock, _) = &*self.state;
+        lock.lock().records.get(&id).cloned()
     }
 
     /// Block until every submitted job finished; returns all records.
@@ -159,10 +274,75 @@ impl SlurmSim {
         st.records.values().cloned().collect()
     }
 
-    /// Records of completed/failed jobs so far.
+    /// Records of all jobs seen so far (including pending/running).
     pub fn records(&self) -> Vec<JobRecord> {
         let (lock, _) = &*self.state;
         lock.lock().records.values().cloned().collect()
+    }
+}
+
+impl Drop for SlurmSim {
+    fn drop(&mut self) {
+        {
+            let (lock, cvar) = &*self.state;
+            lock.lock().shutdown = true;
+            cvar.notify_all();
+        }
+        for handle in self.workers.get_mut().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One pool worker: admit the head of the FIFO queue when its node
+/// requirement fits, run it, release the nodes. Only the head is ever
+/// admitted, which is what makes admission starvation-free.
+fn worker_loop(state: &Arc<(Mutex<SchedState>, Condvar)>) {
+    let (lock, cvar) = &**state;
+    loop {
+        let job = {
+            let mut st = lock.lock();
+            loop {
+                let head_fits = st
+                    .queue
+                    .front()
+                    .is_some_and(|job| job.nodes <= st.free_nodes);
+                if head_fits {
+                    break;
+                }
+                if st.shutdown && st.queue.is_empty() {
+                    return;
+                }
+                cvar.wait(&mut st);
+            }
+            let job = st.queue.pop_front().expect("head checked above");
+            st.free_nodes -= job.nodes;
+            let rec = st.records.get_mut(&job.id).expect("record exists");
+            rec.state = JobState::Running;
+            rec.queue_s = job.submitted.elapsed().as_secs_f64();
+            // The head changed: another worker may now admit the new head.
+            cvar.notify_all();
+            job
+        };
+        let started = Instant::now();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job.work));
+        let mut st = lock.lock();
+        st.free_nodes += job.nodes;
+        st.active -= 1;
+        let rec = st.records.get_mut(&job.id).expect("record exists");
+        rec.run_s = started.elapsed().as_secs_f64();
+        match result {
+            Ok(Ok(())) => rec.state = JobState::Completed,
+            Ok(Err(e)) => {
+                rec.state = JobState::Failed;
+                rec.error = Some(e);
+            }
+            Err(_) => {
+                rec.state = JobState::Failed;
+                rec.error = Some("job panicked".into());
+            }
+        }
+        cvar.notify_all();
     }
 }
 
@@ -283,5 +463,61 @@ mod tests {
         let records = slurm.wait_all();
         assert!(records[0].run_s >= 0.009);
         assert!(records[0].queue_s >= 0.0);
+    }
+
+    #[test]
+    fn submit_job_returns_value_through_handle() {
+        let slurm = SlurmSim::new(2);
+        let handle = slurm.submit_job("typed", 1, || Ok(6 * 7));
+        let id = handle.id();
+        assert_eq!(handle.join(), Ok(42));
+        assert_eq!(slurm.state_of(id), Some(JobState::Completed));
+        let rec = slurm.record_of(id).unwrap();
+        assert_eq!(rec.nodes, 1);
+        assert!(rec.run_s >= 0.0);
+    }
+
+    #[test]
+    fn submit_job_failure_surfaces_in_join() {
+        let slurm = SlurmSim::new(1);
+        let handle: JobHandle<u32> = slurm.submit_job("bad", 1, || Err("no value".into()));
+        assert_eq!(handle.join(), Err("no value".to_string()));
+    }
+
+    #[test]
+    fn submit_job_panic_surfaces_in_join() {
+        let slurm = SlurmSim::new(1);
+        let handle: JobHandle<u32> = slurm.submit_job("explode", 1, || panic!("kaboom"));
+        assert!(handle.join().unwrap_err().contains("panicked"));
+    }
+
+    #[test]
+    fn pool_is_sized_to_partition_and_never_grows() {
+        let slurm = SlurmSim::new(3);
+        assert_eq!(slurm.pool_size(), 3);
+        for i in 0..50 {
+            slurm.submit(format!("j{i}"), 1, || Ok(()));
+        }
+        slurm.wait_all();
+        assert_eq!(slurm.pool_size(), 3, "submission must not spawn threads");
+    }
+
+    #[test]
+    fn shard_ranges_cover_input_contiguously() {
+        assert_eq!(shard_ranges(0, 4), vec![]);
+        assert_eq!(shard_ranges(5, 1), vec![0..5]);
+        assert_eq!(shard_ranges(5, 2), vec![0..3, 3..5]);
+        assert_eq!(shard_ranges(6, 3), vec![0..2, 2..4, 4..6]);
+        // More shards than elements collapses to one element each.
+        assert_eq!(shard_ranges(2, 5), vec![0..1, 1..2]);
+        for (len, shards) in [(17, 4), (100, 7), (3, 3), (1, 1)] {
+            let ranges = shard_ranges(len, shards);
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges.last().unwrap().end, len);
+            for pair in ranges.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start, "contiguous");
+                assert!(!pair[0].is_empty() && !pair[1].is_empty());
+            }
+        }
     }
 }

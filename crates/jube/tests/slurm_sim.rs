@@ -120,6 +120,126 @@ fn state_of_unknown_ids_is_none() {
 }
 
 #[test]
+fn wide_job_is_not_starved_by_a_stream_of_narrow_jobs() {
+    // Regression: admission used to go to whichever woken thread found
+    // `free_nodes >= nodes`, so a 4-node job could wait forever behind a
+    // stream of 1-node jobs. With FIFO ticket order the wide job must
+    // start before every narrow job submitted after it.
+    use parking_lot::Mutex;
+    let slurm = SlurmSim::new(4);
+    let order = Arc::new(Mutex::new(Vec::new()));
+    // Occupy the partition so the wide job cannot start instantly.
+    for i in 0..4 {
+        let order = Arc::clone(&order);
+        slurm.submit(format!("head{i}"), 1, move || {
+            order.lock().push(format!("head{i}"));
+            std::thread::sleep(Duration::from_millis(10));
+            Ok(())
+        });
+    }
+    {
+        let order = Arc::clone(&order);
+        slurm.submit("wide", 4, move || {
+            order.lock().push("wide".into());
+            std::thread::sleep(Duration::from_millis(5));
+            Ok(())
+        });
+    }
+    for i in 0..20 {
+        let order = Arc::clone(&order);
+        slurm.submit(format!("tail{i}"), 1, move || {
+            order.lock().push(format!("tail{i}"));
+            std::thread::sleep(Duration::from_millis(1));
+            Ok(())
+        });
+    }
+    let records = slurm.wait_all();
+    assert!(records.iter().all(|r| r.state == JobState::Completed));
+    let order: Vec<String> = order.lock().clone();
+    let pos = |name: &str| order.iter().position(|n| n == name).unwrap();
+    let wide = pos("wide");
+    for i in 0..20 {
+        assert!(
+            wide < pos(&format!("tail{i}")),
+            "wide job started at {wide}, after tail{i}: {order:?}"
+        );
+    }
+}
+
+#[test]
+fn single_node_partition_admits_in_exact_submit_order() {
+    use parking_lot::Mutex;
+    let slurm = SlurmSim::new(1);
+    let order = Arc::new(Mutex::new(Vec::new()));
+    for i in 0..12 {
+        let order = Arc::clone(&order);
+        slurm.submit(format!("j{i}"), 1, move || {
+            order.lock().push(i);
+            Ok(())
+        });
+    }
+    slurm.wait_all();
+    assert_eq!(*order.lock(), (0..12).collect::<Vec<_>>());
+}
+
+#[test]
+fn jobs_run_on_a_bounded_worker_pool() {
+    // 100 jobs on a 2-node partition must reuse the pool's two worker
+    // threads, not spawn a thread per job.
+    use parking_lot::Mutex;
+    use std::collections::HashSet;
+    let slurm = SlurmSim::new(2);
+    assert_eq!(slurm.pool_size(), 2);
+    let tids = Arc::new(Mutex::new(HashSet::new()));
+    for i in 0..100 {
+        let tids = Arc::clone(&tids);
+        slurm.submit(format!("j{i}"), 1, move || {
+            tids.lock().insert(std::thread::current().id());
+            Ok(())
+        });
+    }
+    let records = slurm.wait_all();
+    assert_eq!(records.len(), 100);
+    assert!(records.iter().all(|r| r.state == JobState::Completed));
+    assert!(
+        tids.lock().len() <= 2,
+        "jobs ran on {} distinct threads, pool has 2",
+        tids.lock().len()
+    );
+    assert_eq!(slurm.pool_size(), 2, "submission must not grow the pool");
+}
+
+#[test]
+fn queue_time_is_measured_from_submission() {
+    // Regression: queue_s used to start inside the spawned worker
+    // thread, excluding scheduling delay. Submitting against a busy
+    // partition must charge the full wait to queue_s.
+    let slurm = SlurmSim::new(1);
+    slurm.submit("busy", 1, || {
+        std::thread::sleep(Duration::from_millis(60));
+        Ok(())
+    });
+    let queued = slurm.submit("queued", 1, || Ok(()));
+    let records = slurm.wait_all();
+    let rec = records.iter().find(|r| r.id == queued).unwrap();
+    assert!(
+        rec.queue_s >= 0.05,
+        "queued job waited ~60 ms but queue_s = {}",
+        rec.queue_s
+    );
+}
+
+#[test]
+fn typed_jobs_return_values_in_submission_order() {
+    let slurm = SlurmSim::new(2);
+    let handles: Vec<_> = (0..10u64)
+        .map(|i| slurm.submit_job(format!("sq{i}"), 1, move || Ok(i * i)))
+        .collect();
+    let values: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert_eq!(values, (0..10u64).map(|i| i * i).collect::<Vec<_>>());
+}
+
+#[test]
 fn wait_all_on_an_idle_scheduler_returns_immediately() {
     let slurm = SlurmSim::new(4);
     assert!(slurm.wait_all().is_empty());

@@ -37,6 +37,17 @@ test-serve:
     cargo test -p caraml --test serve_determinism -q
     cargo test -p jube --test slurm_sim -q
 
+# Scheduler-focused slice: SlurmSim unit tests, the FIFO-starvation and
+# bounded-pool regression coverage, and the sharded-sweep equivalence
+# proptests — run both serialized and wide to shake out admission-order
+# races that only show under a particular interleaving.
+test-sched:
+    cargo test -p jube scheduler -q
+    cargo test -p jube --test slurm_sim -q -- --test-threads=1
+    cargo test -p jube --test slurm_sim -q -- --test-threads=8
+    cargo test -p caraml --test sharded_sweep -q -- --test-threads=1
+    cargo test -p caraml --test sharded_sweep -q -- --test-threads=4
+
 # Seeded serving load sweep on one system: p50/p95/p99 TTFT, per-token
 # latency, goodput and Wh/ktoken across an arrival-rate × batch-cap
 # grid. Try `just serve-demo GH200 --bursty`.
