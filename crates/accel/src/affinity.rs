@@ -77,30 +77,12 @@ pub struct NumaTopology {
 }
 
 impl NumaTopology {
-    /// Derive the topology of a Table I system.
+    /// The topology of a registered system (declared in its device file:
+    /// Grace-Hopper nodes are fused with one domain per superchip, EPYC
+    /// nodes run NPS4 with only some chiplets wired to accelerators, Xeon
+    /// nodes have one domain per socket).
     pub fn for_system(id: SystemId) -> NumaTopology {
-        let node = NodeConfig::for_system(id);
-        match id {
-            SystemId::Jedi | SystemId::Gh200Jrdc => NumaTopology {
-                domains: node.devices_per_node,
-                domains_with_accel: node.devices_per_node,
-                fused_package: true,
-            },
-            // EPYC Rome/Milan: 4 NUMA domains per socket (NPS4), only
-            // some chiplets wired to accelerators — the paper's A100
-            // example.
-            SystemId::A100 | SystemId::Mi250 | SystemId::Gc200 => NumaTopology {
-                domains: node.cpu.sockets * 4,
-                domains_with_accel: node.devices_per_node.min(node.cpu.sockets * 2),
-                fused_package: false,
-            },
-            // Xeon: one domain per socket, devices split across both.
-            SystemId::H100Jrdc | SystemId::WaiH100 => NumaTopology {
-                domains: node.cpu.sockets,
-                domains_with_accel: node.cpu.sockets,
-                fused_package: false,
-            },
-        }
+        NodeConfig::shared(id).numa.clone()
     }
 
     /// Fraction of NUMA domains with direct accelerator affinity — the

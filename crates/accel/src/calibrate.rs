@@ -1,0 +1,679 @@
+//! Trace-based calibration: fit registry parameters from measured samples.
+//!
+//! The analytical model has two fitted parameter groups per device:
+//!
+//! * **Roofline** — throughput at per-device batch `b` follows
+//!   `y(b) = b / T(b)` with step time
+//!   `T(b) = F·(b + h) / (P·m) + o`, where `F` is FLOPs per item, `P` the
+//!   peak FLOP/s, `m = mfu_max`, `h = batch_half` and `o = overhead_s`
+//!   (substituting the saturation curve `mfu(b) = m·b/(b+h)` makes the
+//!   batch terms cancel into this affine form).
+//!
+//!   **Identifiability**: because `T(b) = A·b + C` is *exactly affine* in
+//!   `b` (slope `A = F/(P·m)`, intercept `C = A·h + o`), a throughput
+//!   trace determines only two quantities — `(m, h, o)` cannot all be
+//!   recovered from it. The fixed overhead is therefore a *measured input*
+//!   (an empty-step microbenchmark, standard practice), and the fit is a
+//!   plain linear least-squares of `b/y` against `b`:
+//!   `m = F/(P·A)`, `h = (C − o)/A`.
+//!
+//! * **Power** — `P(u) = idle + Δ·u^α` on utilization samples. For fixed
+//!   `α` the model is linear in `(idle, Δ)`, so the fit is a golden-section
+//!   search over `α ∈ [0.05, 3]` with an inner linear least-squares on the
+//!   basis `(1, u^α)`; `sustained = idle + Δ` (the `u = 1` draw).
+//!
+//! [`calibrate_device_toml`] applies both fits to a device-file skeleton
+//! carrying `[samples.*]` sections and emits a registry-loadable TOML via
+//! [`crate::registry::render_device_toml`] — `caraml calibrate` is the CLI
+//! wrapper. Degenerate traces (too few points, zero variance, non-finite
+//! values, implausible fits) return typed [`CalibError`]s, never NaN.
+
+use crate::registry::{render_device_toml, DeviceRegistry};
+use crate::spec::WorkloadCalib;
+use crate::toml_lite::{self, TomlValue};
+use std::fmt;
+
+/// One throughput measurement: items/s at a per-device batch size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputPoint {
+    pub batch: f64,
+    pub items_per_s: f64,
+}
+
+/// One power measurement: average watts at a utilization in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerPoint {
+    pub utilization: f64,
+    pub watts: f64,
+}
+
+/// Fitted roofline parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RooflineFit {
+    pub mfu_max: f64,
+    pub batch_half: f64,
+    /// The measured fixed overhead the fit was conditioned on (echoed so a
+    /// fit result is a complete [`WorkloadCalib`] minus power).
+    pub overhead_s: f64,
+    /// Root-mean-square relative throughput error of the fit.
+    pub residual: f64,
+}
+
+/// Fitted power-curve parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerFit {
+    pub idle_w: f64,
+    pub sustained_w: f64,
+    pub alpha: f64,
+    /// Root-mean-square relative power error of the fit.
+    pub residual: f64,
+}
+
+/// Typed calibration failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CalibError {
+    /// TOML syntax error in the calibration input.
+    Parse { line: usize, msg: String },
+    /// The device skeleton around the samples is not a valid device file.
+    Skeleton(String),
+    /// A required key is absent from a `[samples.*]` section.
+    Missing { key: String },
+    /// A sample value is malformed.
+    Invalid { key: String, msg: String },
+    /// Not enough points to constrain the fit.
+    TooFewPoints {
+        what: &'static str,
+        needed: usize,
+        got: usize,
+    },
+    /// All points share one abscissa; the fit is unconstrained.
+    ZeroVariance { what: &'static str },
+    /// A sample contains NaN/infinite or non-positive values.
+    NonFinite { what: &'static str },
+    /// The fit converged to physically impossible parameters.
+    Implausible { what: &'static str, value: f64 },
+    /// The emitted TOML failed registry validation.
+    Emit(String),
+}
+
+impl fmt::Display for CalibError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CalibError::Parse { line, msg } => {
+                write!(
+                    f,
+                    "calibration input: TOML parse error at line {line}: {msg}"
+                )
+            }
+            CalibError::Skeleton(msg) => write!(f, "device skeleton invalid: {msg}"),
+            CalibError::Missing { key } => write!(f, "calibration input: missing key `{key}`"),
+            CalibError::Invalid { key, msg } => {
+                write!(f, "calibration input: invalid `{key}`: {msg}")
+            }
+            CalibError::TooFewPoints { what, needed, got } => {
+                write!(f, "{what}: need at least {needed} points, got {got}")
+            }
+            CalibError::ZeroVariance { what } => {
+                write!(
+                    f,
+                    "{what}: all points share one abscissa; fit is unconstrained"
+                )
+            }
+            CalibError::NonFinite { what } => {
+                write!(f, "{what}: points must be finite and positive")
+            }
+            CalibError::Implausible { what, value } => {
+                write!(f, "fit implausible: {what} = {value}")
+            }
+            CalibError::Emit(msg) => write!(f, "calibrated output failed validation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CalibError {}
+
+/// Least-squares line `t = slope·b + intercept` through `(b, t)` points.
+/// Returns `None` when all abscissae coincide.
+fn linear_fit(points: &[(f64, f64)]) -> Option<(f64, f64)> {
+    let n = points.len() as f64;
+    let mean_x = points.iter().map(|(x, _)| x).sum::<f64>() / n;
+    let mean_y = points.iter().map(|(_, y)| y).sum::<f64>() / n;
+    let sxx: f64 = points.iter().map(|(x, _)| (x - mean_x).powi(2)).sum();
+    if sxx <= 0.0 {
+        return None;
+    }
+    let sxy: f64 = points
+        .iter()
+        .map(|(x, y)| (x - mean_x) * (y - mean_y))
+        .sum();
+    let slope = sxy / sxx;
+    Some((slope, mean_y - slope * mean_x))
+}
+
+/// Fit `(mfu_max, batch_half)` from a throughput trace.
+///
+/// * `peak_flops` — data-sheet peak FLOP/s of the device.
+/// * `flops_per_item` — model FLOPs per trained sample.
+/// * `overhead_s` — *measured* fixed per-step overhead (see module docs on
+///   why this must be an input, not a fitted parameter).
+pub fn fit_roofline(
+    peak_flops: f64,
+    flops_per_item: f64,
+    overhead_s: f64,
+    points: &[ThroughputPoint],
+) -> Result<RooflineFit, CalibError> {
+    if !(peak_flops.is_finite() && peak_flops > 0.0) {
+        return Err(CalibError::NonFinite { what: "peak_flops" });
+    }
+    if !(flops_per_item.is_finite() && flops_per_item > 0.0) {
+        return Err(CalibError::NonFinite {
+            what: "flops_per_item",
+        });
+    }
+    if !(overhead_s.is_finite() && overhead_s >= 0.0) {
+        return Err(CalibError::NonFinite { what: "overhead_s" });
+    }
+    if points.len() < 3 {
+        return Err(CalibError::TooFewPoints {
+            what: "throughput trace",
+            needed: 3,
+            got: points.len(),
+        });
+    }
+    for p in points {
+        let ok = p.batch.is_finite()
+            && p.batch > 0.0
+            && p.items_per_s.is_finite()
+            && p.items_per_s > 0.0;
+        if !ok {
+            return Err(CalibError::NonFinite {
+                what: "throughput trace",
+            });
+        }
+    }
+    // Step time per batch: T(b) = b / y(b), affine in b.
+    let bt: Vec<(f64, f64)> = points
+        .iter()
+        .map(|p| (p.batch, p.batch / p.items_per_s))
+        .collect();
+    let (slope, intercept) = linear_fit(&bt).ok_or(CalibError::ZeroVariance {
+        what: "throughput trace",
+    })?;
+    if slope <= 0.0 {
+        return Err(CalibError::Implausible {
+            what: "step-time slope (throughput must saturate, not grow superlinearly)",
+            value: slope,
+        });
+    }
+    let mut mfu_max = flops_per_item / (peak_flops * slope);
+    if mfu_max > 1.05 {
+        return Err(CalibError::Implausible {
+            what: "mfu_max (above data-sheet peak)",
+            value: mfu_max,
+        });
+    }
+    // Up to 5 % over 1.0 is measurement noise on a saturated device.
+    mfu_max = mfu_max.min(1.0);
+    let batch_half = (intercept - overhead_s) / slope;
+    if !batch_half.is_finite() || batch_half <= 0.0 {
+        return Err(CalibError::Implausible {
+            what: "batch_half",
+            value: batch_half,
+        });
+    }
+    let fit = WorkloadCalib {
+        mfu_max,
+        batch_half,
+        overhead_s,
+        sustained_w: 1.0, // unused by the throughput model below
+    };
+    let residual = rms_relative_error(points.iter().map(|p| {
+        let predicted = throughput(peak_flops, flops_per_item, &fit, p.batch);
+        (predicted, p.items_per_s)
+    }));
+    Ok(RooflineFit {
+        mfu_max,
+        batch_half,
+        overhead_s,
+        residual,
+    })
+}
+
+/// Fit `(idle, sustained, alpha)` from a power trace.
+pub fn fit_power(points: &[PowerPoint]) -> Result<PowerFit, CalibError> {
+    if points.len() < 3 {
+        return Err(CalibError::TooFewPoints {
+            what: "power trace",
+            needed: 3,
+            got: points.len(),
+        });
+    }
+    for p in points {
+        let ok = p.utilization.is_finite()
+            && (0.0..=1.0).contains(&p.utilization)
+            && p.watts.is_finite()
+            && p.watts > 0.0;
+        if !ok {
+            return Err(CalibError::NonFinite {
+                what: "power trace",
+            });
+        }
+    }
+    let mut distinct: Vec<f64> = points.iter().map(|p| p.utilization).collect();
+    distinct.sort_by(f64::total_cmp);
+    distinct.dedup();
+    if distinct.len() < 3 {
+        return Err(CalibError::ZeroVariance {
+            what: "power trace",
+        });
+    }
+
+    // Inner linear fit of watts against u^alpha; returns (sse, idle, delta).
+    let evaluate = |alpha: f64| -> (f64, f64, f64) {
+        let xs: Vec<(f64, f64)> = points
+            .iter()
+            .map(|p| (p.utilization.powf(alpha), p.watts))
+            .collect();
+        match linear_fit(&xs) {
+            Some((delta, idle)) => {
+                let sse: f64 = xs.iter().map(|(x, w)| (idle + delta * x - w).powi(2)).sum();
+                (sse, idle, delta)
+            }
+            None => (f64::INFINITY, 0.0, 0.0),
+        }
+    };
+
+    // Golden-section search over the exponent (the SSE profile in alpha is
+    // unimodal for monotone power curves).
+    let (mut lo, mut hi) = (0.05_f64, 3.0_f64);
+    let inv_phi = 0.618_033_988_749_894_9_f64;
+    let mut a = hi - inv_phi * (hi - lo);
+    let mut b = lo + inv_phi * (hi - lo);
+    let (mut fa, mut fb) = (evaluate(a).0, evaluate(b).0);
+    for _ in 0..80 {
+        if fa < fb {
+            hi = b;
+            b = a;
+            fb = fa;
+            a = hi - inv_phi * (hi - lo);
+            fa = evaluate(a).0;
+        } else {
+            lo = a;
+            a = b;
+            fa = fb;
+            b = lo + inv_phi * (hi - lo);
+            fb = evaluate(b).0;
+        }
+    }
+    let alpha = 0.5 * (lo + hi);
+    let (_, idle_w, delta) = evaluate(alpha);
+    if !idle_w.is_finite() || idle_w < 0.0 {
+        return Err(CalibError::Implausible {
+            what: "idle_w",
+            value: idle_w,
+        });
+    }
+    if !delta.is_finite() || delta <= 0.0 {
+        return Err(CalibError::Implausible {
+            what: "power rise idle→sustained",
+            value: delta,
+        });
+    }
+    let sustained_w = idle_w + delta;
+    let residual = rms_relative_error(points.iter().map(|p| {
+        let predicted = idle_w + delta * p.utilization.powf(alpha);
+        (predicted, p.watts)
+    }));
+    Ok(PowerFit {
+        idle_w,
+        sustained_w,
+        alpha,
+        residual,
+    })
+}
+
+/// Model throughput (items/s) at per-device batch `b` — the inverse of the
+/// fit, used for residuals and synthetic traces.
+pub fn throughput(peak_flops: f64, flops_per_item: f64, calib: &WorkloadCalib, b: f64) -> f64 {
+    let step_s =
+        flops_per_item * (b + calib.batch_half) / (peak_flops * calib.mfu_max) + calib.overhead_s;
+    b / step_s
+}
+
+/// Generate an exact synthetic throughput trace from known parameters.
+pub fn synthetic_throughput(
+    peak_flops: f64,
+    flops_per_item: f64,
+    calib: &WorkloadCalib,
+    batches: &[f64],
+) -> Vec<ThroughputPoint> {
+    batches
+        .iter()
+        .map(|&b| ThroughputPoint {
+            batch: b,
+            items_per_s: throughput(peak_flops, flops_per_item, calib, b),
+        })
+        .collect()
+}
+
+/// Generate an exact synthetic power trace from known parameters.
+pub fn synthetic_power(
+    idle_w: f64,
+    sustained_w: f64,
+    alpha: f64,
+    utils: &[f64],
+) -> Vec<PowerPoint> {
+    utils
+        .iter()
+        .map(|&u| PowerPoint {
+            utilization: u,
+            watts: idle_w + (sustained_w - idle_w) * u.powf(alpha),
+        })
+        .collect()
+}
+
+fn rms_relative_error(pairs: impl Iterator<Item = (f64, f64)>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (predicted, measured) in pairs {
+        sum += ((predicted - measured) / measured).powi(2);
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (sum / n as f64).sqrt()
+    }
+}
+
+// ---- calibration-file driver ----
+
+fn lookup_f64(root: &TomlValue, key: &str) -> Result<f64, CalibError> {
+    root.lookup(key)
+        .ok_or_else(|| CalibError::Missing { key: key.into() })?
+        .as_f64()
+        .ok_or_else(|| CalibError::Invalid {
+            key: key.into(),
+            msg: "expected a number".into(),
+        })
+}
+
+fn lookup_points(
+    root: &TomlValue,
+    key: &str,
+    fields: (&str, &str),
+) -> Result<Vec<(f64, f64)>, CalibError> {
+    let arr = root
+        .lookup(key)
+        .ok_or_else(|| CalibError::Missing { key: key.into() })?
+        .as_array()
+        .ok_or_else(|| CalibError::Invalid {
+            key: key.into(),
+            msg: "expected an array of tables".into(),
+        })?;
+    let mut out = Vec::with_capacity(arr.len());
+    for (i, item) in arr.iter().enumerate() {
+        let get = |f: &str| -> Result<f64, CalibError> {
+            item.get(f)
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| CalibError::Invalid {
+                    key: format!("{key}[{i}].{f}"),
+                    msg: "expected a number".into(),
+                })
+        };
+        out.push((get(fields.0)?, get(fields.1)?));
+    }
+    Ok(out)
+}
+
+/// Calibrate a device file from measured sample traces.
+///
+/// `input` is a complete registry device file (initial calibration values
+/// are accepted as placeholders) extended with sample sections:
+///
+/// ```toml
+/// [samples.power]               # fits idle_w, power_alpha, sustained_w
+/// [[samples.power.points]]
+/// utilization = 0.25
+/// watts = 160.0
+///
+/// [samples.llm]                 # and likewise [samples.cv]
+/// flops_per_item_g = 90.0       # model GFLOP per trained sample
+/// overhead_s = 0.012            # measured empty-step overhead
+/// sustained_w = 330.0           # optional: measured workload power
+/// [[samples.llm.points]]
+/// batch = 4.0
+/// items_per_s = 55.0
+/// ```
+///
+/// Returns the re-rendered device TOML with all fitted parameters patched
+/// in, validated by loading it back through the registry.
+pub fn calibrate_device_toml(input: &str) -> Result<String, CalibError> {
+    let root = toml_lite::parse(input).map_err(|e| CalibError::Parse {
+        line: e.line,
+        msg: e.msg,
+    })?;
+    let skeleton = DeviceRegistry::from_files(&[("calibration-input.toml", input)])
+        .map_err(|e| CalibError::Skeleton(e.to_string()))?;
+    let mut entry = skeleton.entries()[0].clone();
+    let peak_flops = entry.node.device.peak_fp16_flops();
+
+    let power_points: Vec<PowerPoint> =
+        lookup_points(&root, "samples.power.points", ("utilization", "watts"))?
+            .into_iter()
+            .map(|(utilization, watts)| PowerPoint { utilization, watts })
+            .collect();
+    let power = fit_power(&power_points)?;
+    entry.node.device.idle_w = power.idle_w;
+    entry.node.device.power_alpha = power.alpha;
+
+    for workload in ["llm", "cv"] {
+        let base = format!("samples.{workload}");
+        let flops_per_item = lookup_f64(&root, &format!("{base}.flops_per_item_g"))? * 1e9;
+        let overhead_s = lookup_f64(&root, &format!("{base}.overhead_s"))?;
+        let points: Vec<ThroughputPoint> =
+            lookup_points(&root, &format!("{base}.points"), ("batch", "items_per_s"))?
+                .into_iter()
+                .map(|(batch, items_per_s)| ThroughputPoint { batch, items_per_s })
+                .collect();
+        let roofline = fit_roofline(peak_flops, flops_per_item, overhead_s, &points)?;
+        let sustained_w = match root.lookup(&format!("{base}.sustained_w")) {
+            Some(v) => v.as_f64().ok_or_else(|| CalibError::Invalid {
+                key: format!("{base}.sustained_w"),
+                msg: "expected a number".into(),
+            })?,
+            None => power.sustained_w,
+        };
+        let calib = WorkloadCalib {
+            mfu_max: roofline.mfu_max,
+            batch_half: roofline.batch_half,
+            overhead_s,
+            sustained_w,
+        };
+        match workload {
+            "llm" => entry.node.device.llm = calib,
+            _ => entry.node.device.cv = calib,
+        }
+    }
+
+    let rendered = render_device_toml(&entry);
+    DeviceRegistry::from_files(&[("calibrated.toml", &rendered)])
+        .map_err(|e| CalibError::Emit(e.to_string()))?;
+    Ok(rendered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::EMBEDDED_DEVICE_FILES;
+    use crate::systems::{NodeConfig, SystemId};
+
+    const BATCHES: [f64; 6] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+
+    #[test]
+    fn roofline_round_trips_exactly_on_noiseless_traces() {
+        for id in SystemId::all() {
+            let dev = NodeConfig::for_system(id).device;
+            let peak = dev.peak_fp16_flops();
+            let f = 90.0e9;
+            for calib in [dev.llm, dev.cv] {
+                let trace = synthetic_throughput(peak, f, &calib, &BATCHES);
+                let fit = fit_roofline(peak, f, calib.overhead_s, &trace)
+                    .unwrap_or_else(|e| panic!("{id}: {e}"));
+                assert!(
+                    (fit.mfu_max - calib.mfu_max).abs() / calib.mfu_max < 1e-9,
+                    "{id}: mfu {} vs {}",
+                    fit.mfu_max,
+                    calib.mfu_max
+                );
+                assert!(
+                    (fit.batch_half - calib.batch_half).abs() / calib.batch_half < 1e-6,
+                    "{id}: batch_half {} vs {}",
+                    fit.batch_half,
+                    calib.batch_half
+                );
+                assert!(fit.residual < 1e-9, "{id}: residual {}", fit.residual);
+            }
+        }
+    }
+
+    #[test]
+    fn power_round_trips_on_noiseless_traces() {
+        let utils = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0];
+        let trace = synthetic_power(55.0, 330.0, 0.85, &utils);
+        let fit = fit_power(&trace).unwrap();
+        assert!((fit.idle_w - 55.0).abs() < 0.05, "idle {}", fit.idle_w);
+        assert!(
+            (fit.sustained_w - 330.0).abs() < 0.05,
+            "sustained {}",
+            fit.sustained_w
+        );
+        assert!((fit.alpha - 0.85).abs() < 1e-3, "alpha {}", fit.alpha);
+        assert!(fit.residual < 1e-4);
+    }
+
+    #[test]
+    fn degenerate_traces_are_typed_errors() {
+        let one = [ThroughputPoint {
+            batch: 8.0,
+            items_per_s: 100.0,
+        }];
+        assert!(matches!(
+            fit_roofline(1e15, 1e9, 0.01, &one),
+            Err(CalibError::TooFewPoints { .. })
+        ));
+        let same = [one[0]; 5];
+        assert!(matches!(
+            fit_roofline(1e15, 1e9, 0.01, &same),
+            Err(CalibError::ZeroVariance { .. })
+        ));
+        let nan = [
+            ThroughputPoint {
+                batch: f64::NAN,
+                items_per_s: 1.0,
+            },
+            one[0],
+            one[0],
+        ];
+        assert!(matches!(
+            fit_roofline(1e15, 1e9, 0.01, &nan),
+            Err(CalibError::NonFinite { .. })
+        ));
+        assert!(matches!(
+            fit_power(
+                &[PowerPoint {
+                    utilization: 0.5,
+                    watts: 100.0
+                }; 5]
+            ),
+            Err(CalibError::ZeroVariance { .. })
+        ));
+        assert!(matches!(
+            fit_power(&[]),
+            Err(CalibError::TooFewPoints { .. })
+        ));
+    }
+
+    #[test]
+    fn growing_step_time_slope_is_implausible() {
+        // Throughput growing superlinearly in batch → negative slope.
+        let pts: Vec<ThroughputPoint> = BATCHES
+            .iter()
+            .map(|&b| ThroughputPoint {
+                batch: b,
+                items_per_s: b * b,
+            })
+            .collect();
+        assert!(matches!(
+            fit_roofline(1e15, 1e9, 0.0, &pts),
+            Err(CalibError::Implausible { .. })
+        ));
+    }
+
+    #[test]
+    fn calibrate_device_toml_round_trips_a_registry_file() {
+        // Build a calibration input from the A100 file: keep the skeleton,
+        // append synthetic samples generated from its own true parameters.
+        let (_, a100) = EMBEDDED_DEVICE_FILES
+            .iter()
+            .find(|(n, _)| *n == "a100.toml")
+            .unwrap();
+        let dev = NodeConfig::for_system(SystemId::A100).device;
+        let peak = dev.peak_fp16_flops();
+        let f_llm = 90.0e9;
+        let f_cv = 8.0e9;
+        let mut input = a100.to_string();
+        input.push_str("\n[samples.power]\n");
+        for p in synthetic_power(
+            dev.idle_w,
+            372.5,
+            dev.power_alpha,
+            &[0.0, 0.25, 0.5, 0.75, 1.0],
+        ) {
+            input.push_str(&format!(
+                "[[samples.power.points]]\nutilization = {}\nwatts = {}\n",
+                p.utilization, p.watts
+            ));
+        }
+        for (name, f, calib) in [("llm", f_llm, dev.llm), ("cv", f_cv, dev.cv)] {
+            input.push_str(&format!(
+                "\n[samples.{name}]\nflops_per_item_g = {}\noverhead_s = {}\nsustained_w = {}\n",
+                f / 1e9,
+                calib.overhead_s,
+                calib.sustained_w
+            ));
+            for p in synthetic_throughput(peak, f, &calib, &BATCHES) {
+                input.push_str(&format!(
+                    "[[samples.{name}.points]]\nbatch = {}\nitems_per_s = {}\n",
+                    p.batch, p.items_per_s
+                ));
+            }
+        }
+
+        let out = calibrate_device_toml(&input).expect("calibration succeeds");
+        let reloaded = DeviceRegistry::from_files(&[("calibrated.toml", &out)]).unwrap();
+        let got = &reloaded.entries()[0].node.device;
+        assert!((got.llm.mfu_max - dev.llm.mfu_max).abs() < 1e-6);
+        assert!((got.llm.batch_half - dev.llm.batch_half).abs() < 1e-4);
+        assert!((got.cv.mfu_max - dev.cv.mfu_max).abs() < 1e-6);
+        assert!((got.idle_w - dev.idle_w).abs() < 0.1);
+        assert!((got.power_alpha - dev.power_alpha).abs() < 1e-2);
+        assert_eq!(got.llm.sustained_w, dev.llm.sustained_w);
+        // Non-calibration fields pass through untouched.
+        assert_eq!(got.name, dev.name);
+        assert_eq!(got.mem_bytes, dev.mem_bytes);
+        assert_eq!(reloaded.entries()[0].tag, "A100");
+    }
+
+    #[test]
+    fn calibrate_rejects_missing_samples() {
+        let (_, a100) = EMBEDDED_DEVICE_FILES
+            .iter()
+            .find(|(n, _)| *n == "a100.toml")
+            .unwrap();
+        match calibrate_device_toml(a100) {
+            Err(CalibError::Missing { key }) => assert_eq!(key, "samples.power.points"),
+            other => panic!("expected Missing, got {other:?}"),
+        }
+    }
+}

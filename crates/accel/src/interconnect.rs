@@ -32,12 +32,73 @@ pub enum LinkKind {
     InfiniBandNdr,
     /// InfiniBand HDR (200 Gbit/s per port class).
     InfiniBandHdr,
+    /// Commodity Ethernet between boards (edge SoC clusters).
+    Ethernet,
+    /// On-die fabric between host cores and accelerator sharing one
+    /// memory controller (edge SoC family).
+    OnPackage,
 }
 
 impl LinkKind {
+    /// Names accepted by the device-file `links.*.kind` keys.
+    pub const NAMES: [&'static str; 12] = [
+        "nvlink-c2c",
+        "nvlink4",
+        "nvlink4-bridge",
+        "nvlink3",
+        "pcie-gen5",
+        "pcie-gen4",
+        "infinity-fabric",
+        "ipu-link",
+        "infiniband-ndr",
+        "infiniband-hdr",
+        "ethernet",
+        "on-package",
+    ];
+
     /// True for links that leave the node.
     pub fn is_internode(&self) -> bool {
-        matches!(self, LinkKind::InfiniBandNdr | LinkKind::InfiniBandHdr)
+        matches!(
+            self,
+            LinkKind::InfiniBandNdr | LinkKind::InfiniBandHdr | LinkKind::Ethernet
+        )
+    }
+
+    /// The device-file spelling of this link kind.
+    pub fn toml_name(self) -> &'static str {
+        match self {
+            LinkKind::NvLinkC2c => "nvlink-c2c",
+            LinkKind::NvLink4 => "nvlink4",
+            LinkKind::NvLink4Bridge => "nvlink4-bridge",
+            LinkKind::NvLink3 => "nvlink3",
+            LinkKind::PcieGen5 => "pcie-gen5",
+            LinkKind::PcieGen4 => "pcie-gen4",
+            LinkKind::InfinityFabric => "infinity-fabric",
+            LinkKind::IpuLink => "ipu-link",
+            LinkKind::InfiniBandNdr => "infiniband-ndr",
+            LinkKind::InfiniBandHdr => "infiniband-hdr",
+            LinkKind::Ethernet => "ethernet",
+            LinkKind::OnPackage => "on-package",
+        }
+    }
+
+    /// Parse a device-file link-kind name.
+    pub fn parse_name(s: &str) -> Option<LinkKind> {
+        match s {
+            "nvlink-c2c" => Some(LinkKind::NvLinkC2c),
+            "nvlink4" => Some(LinkKind::NvLink4),
+            "nvlink4-bridge" => Some(LinkKind::NvLink4Bridge),
+            "nvlink3" => Some(LinkKind::NvLink3),
+            "pcie-gen5" => Some(LinkKind::PcieGen5),
+            "pcie-gen4" => Some(LinkKind::PcieGen4),
+            "infinity-fabric" => Some(LinkKind::InfinityFabric),
+            "ipu-link" => Some(LinkKind::IpuLink),
+            "infiniband-ndr" => Some(LinkKind::InfiniBandNdr),
+            "infiniband-hdr" => Some(LinkKind::InfiniBandHdr),
+            "ethernet" => Some(LinkKind::Ethernet),
+            "on-package" => Some(LinkKind::OnPackage),
+            _ => None,
+        }
     }
 }
 
@@ -150,9 +211,20 @@ mod tests {
     fn internode_classification() {
         assert!(LinkKind::InfiniBandNdr.is_internode());
         assert!(LinkKind::InfiniBandHdr.is_internode());
+        assert!(LinkKind::Ethernet.is_internode());
         assert!(!LinkKind::NvLink4.is_internode());
         assert!(!LinkKind::IpuLink.is_internode());
         assert!(!LinkKind::PcieGen5.is_internode());
+        assert!(!LinkKind::OnPackage.is_internode());
+    }
+
+    #[test]
+    fn link_kind_names_round_trip() {
+        for name in LinkKind::NAMES {
+            let kind = LinkKind::parse_name(name).unwrap();
+            assert_eq!(kind.toml_name(), name);
+        }
+        assert_eq!(LinkKind::parse_name("token-ring"), None);
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! workspace-level `EXPERIMENTS.md` for paper-vs-measured values.
 
 pub mod affinity;
+pub mod calibrate;
 pub mod clock;
 pub mod device;
 pub mod error;
@@ -34,18 +35,22 @@ pub mod interconnect;
 pub mod ipu;
 pub mod memory;
 pub mod power;
+pub mod registry;
 pub mod roofline;
 pub mod spec;
 pub mod systems;
+pub mod toml_lite;
 pub mod trace;
 
 pub use affinity::{BindingPolicy, NumaTopology};
+pub use calibrate::{CalibError, PowerFit, PowerPoint, RooflineFit, ThroughputPoint};
 pub use clock::VirtualClock;
 pub use device::{SimDevice, SimNode};
 pub use error::AccelError;
 pub use interconnect::{Link, LinkKind};
 pub use memory::MemoryPool;
 pub use power::{PowerModel, PowerRegister, PowerTrace};
+pub use registry::{DeviceEntry, DeviceRegistry, RegistryError, EMBEDDED_DEVICE_FILES};
 pub use roofline::{KernelProfile, RooflineModel};
 pub use spec::{DeviceKind, DeviceSpec, FormFactor, Vendor};
 pub use systems::{NodeConfig, SystemId};

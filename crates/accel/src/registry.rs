@@ -1,0 +1,854 @@
+//! The data-driven device registry.
+//!
+//! Every system CARAML models is described by one TOML file in
+//! `crates/accel/devices/` (embedded at build time by `build.rs`). The
+//! registry parses, validates, and interns those files into the
+//! [`NodeConfig`] values the rest of the workspace consumes through
+//! [`crate::systems::SystemId`] and [`NodeConfig::for_system`] — the
+//! former hand-coded Table I in `systems.rs` is gone, and adding an
+//! accelerator family means adding a data file, not editing code.
+//!
+//! # Schema (version 1)
+//!
+//! ```toml
+//! schema = 1      # registry schema version
+//! order  = 3      # registry slot (dense, 0-based; paper systems first)
+//!
+//! [system]        # tag, platform, devices_per_node, host_mem_gib,
+//!                 # max_nodes, staging_*_per_s, optional tdp_override_w
+//! [cpu]           # model, sockets, cores_per_socket
+//! [numa]          # domains, domains_with_accel, fused_package
+//! [device]        # data-sheet constants incl. mem_mib (MiB, exact)
+//! [device.calib.llm]  # mfu_max, batch_half, overhead_s, sustained_w
+//! [device.calib.cv]
+//! [links.cpu_accel]   # kind, bandwidth_gbps, latency_s
+//! [links.accel_accel] # required when devices_per_node > 1
+//! [links.internode]   # required when max_nodes > 1
+//! ```
+//!
+//! Validation is typed ([`RegistryError`]) and rejects malformed files:
+//! wrong schema version, missing/mistyped keys, non-positive rates,
+//! sustained power above TDP, idle at/above sustained, MFU outside (0,1],
+//! intra-node links of inter-node kind (and vice versa), multi-node
+//! systems without an inter-node link, duplicate tags or orders.
+//!
+//! Memory capacity is stored as `mem_mib` (an exact integer) and decimal
+//! floats parse correctly rounded, so the loaded `NodeConfig`s are
+//! bit-identical to the deleted Rust table — asserted field-by-field by
+//! `tests/registry_equivalence.rs`.
+
+use crate::affinity::NumaTopology;
+use crate::interconnect::{Link, LinkKind};
+use crate::spec::{DeviceKind, DeviceSpec, FormFactor, Vendor, WorkloadCalib};
+use crate::systems::{CpuSpec, NodeConfig, SystemId};
+use crate::toml_lite::{self, TomlValue};
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+include!(concat!(env!("OUT_DIR"), "/embedded_devices.rs"));
+
+/// The registry schema version this crate reads.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// The seven paper systems, in Table I column order. The embedded
+/// registry must start with exactly these tags (in slots 0..7) so the
+/// `SystemId` associated constants stay valid.
+pub const PAPER_TAGS: [&str; 7] = ["JEDI", "GH200", "H100", "WAIH100", "MI250", "GC200", "A100"];
+
+/// Typed validation failure of a device file or tag lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegistryError {
+    /// TOML syntax error.
+    Parse {
+        file: String,
+        line: usize,
+        msg: String,
+    },
+    /// Unsupported `schema` version.
+    Schema { file: String, found: String },
+    /// A required key is absent.
+    Missing { file: String, key: String },
+    /// A key is present but malformed or out of range.
+    Invalid {
+        file: String,
+        key: String,
+        msg: String,
+    },
+    /// Two files claim the same JUBE tag.
+    DuplicateTag {
+        tag: String,
+        first: String,
+        second: String,
+    },
+    /// Two files claim the same registry slot.
+    DuplicateOrder {
+        order: u32,
+        first: String,
+        second: String,
+    },
+    /// A registry cannot be empty.
+    Empty,
+    /// Tag lookup failed; carries the valid tags for a helpful message.
+    UnknownTag { tag: String, valid: Vec<String> },
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::Parse { file, line, msg } => {
+                write!(f, "{file}: TOML parse error at line {line}: {msg}")
+            }
+            RegistryError::Schema { file, found } => write!(
+                f,
+                "{file}: unsupported schema version {found} (this build reads {SCHEMA_VERSION})"
+            ),
+            RegistryError::Missing { file, key } => {
+                write!(f, "{file}: missing required key `{key}`")
+            }
+            RegistryError::Invalid { file, key, msg } => {
+                write!(f, "{file}: invalid `{key}`: {msg}")
+            }
+            RegistryError::DuplicateTag { tag, first, second } => {
+                write!(f, "duplicate system tag {tag}: {first} and {second}")
+            }
+            RegistryError::DuplicateOrder {
+                order,
+                first,
+                second,
+            } => write!(f, "duplicate registry order {order}: {first} and {second}"),
+            RegistryError::Empty => write!(f, "device registry has no files"),
+            RegistryError::UnknownTag { tag, valid } => write!(
+                f,
+                "unknown system tag '{tag}' (valid: {})",
+                valid.join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// One loaded device file: its source name, registry slot, JUBE tag, and
+/// the interned node configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceEntry {
+    pub file: String,
+    pub order: u32,
+    pub tag: String,
+    pub node: NodeConfig,
+}
+
+impl serde::Serialize for DeviceEntry {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("file".into(), serde::Value::Str(self.file.clone())),
+            ("order".into(), serde::Value::Num(f64::from(self.order))),
+            ("tag".into(), serde::Value::Str(self.tag.clone())),
+            ("node".into(), self.node.to_value()),
+        ])
+    }
+}
+
+/// Parsed, validated, order-sorted set of device files.
+#[derive(Debug)]
+pub struct DeviceRegistry {
+    entries: Vec<DeviceEntry>,
+    shared: Vec<Arc<NodeConfig>>,
+}
+
+impl DeviceRegistry {
+    /// Load and validate a set of `(file name, TOML source)` pairs.
+    ///
+    /// Entries are sorted by their `order` key; `SystemId` values are the
+    /// resulting slot indices. Orders must be unique (the embedded
+    /// registry additionally requires them dense and paper-prefixed —
+    /// see [`DeviceRegistry::global`]).
+    pub fn from_files(files: &[(&str, &str)]) -> Result<Self, RegistryError> {
+        if files.is_empty() {
+            return Err(RegistryError::Empty);
+        }
+        let mut entries = Vec::with_capacity(files.len());
+        for (name, src) in files {
+            entries.push(parse_device_file(name, src)?);
+        }
+        entries.sort_by_key(|e: &DeviceEntry| e.order);
+        for pair in entries.windows(2) {
+            if pair[0].order == pair[1].order {
+                return Err(RegistryError::DuplicateOrder {
+                    order: pair[0].order,
+                    first: pair[0].file.clone(),
+                    second: pair[1].file.clone(),
+                });
+            }
+        }
+        for (i, a) in entries.iter().enumerate() {
+            if let Some(b) = entries[i + 1..]
+                .iter()
+                .find(|b| b.tag.eq_ignore_ascii_case(&a.tag))
+            {
+                return Err(RegistryError::DuplicateTag {
+                    tag: a.tag.clone(),
+                    first: a.file.clone(),
+                    second: b.file.clone(),
+                });
+            }
+        }
+        for (i, entry) in entries.iter_mut().enumerate() {
+            entry.node.id = SystemId::from_index(i);
+        }
+        let shared = entries.iter().map(|e| Arc::new(e.node.clone())).collect();
+        Ok(DeviceRegistry { entries, shared })
+    }
+
+    /// The process-wide registry backed by the embedded device files.
+    ///
+    /// Panics if the embedded data is invalid, if orders are not dense
+    /// from zero, or if the first seven slots are not the paper systems
+    /// in Table I order — any of those would silently re-alias the
+    /// `SystemId` associated constants, so they fail loudly at first use.
+    pub fn global() -> &'static DeviceRegistry {
+        static GLOBAL: OnceLock<DeviceRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let reg = DeviceRegistry::from_files(EMBEDDED_DEVICE_FILES)
+                .unwrap_or_else(|e| panic!("embedded device registry is invalid: {e}"));
+            for (i, entry) in reg.entries.iter().enumerate() {
+                assert!(
+                    entry.order as usize == i,
+                    "device registry orders must be dense from 0: {} has order {} in slot {i}",
+                    entry.file,
+                    entry.order
+                );
+            }
+            for (i, tag) in PAPER_TAGS.iter().enumerate() {
+                assert!(
+                    reg.entries.get(i).map(|e| e.tag.as_str()) == Some(*tag),
+                    "device registry slot {i} must be paper system {tag} \
+                     (SystemId constants alias registry slots); found {:?}",
+                    reg.entries.get(i).map(|e| e.tag.as_str())
+                );
+            }
+            reg
+        })
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries, in slot order.
+    pub fn entries(&self) -> &[DeviceEntry] {
+        &self.entries
+    }
+
+    /// Entry of a system id. Panics on a foreign id (one minted by a
+    /// different registry with more slots).
+    pub fn get(&self, id: SystemId) -> &DeviceEntry {
+        self.entries
+            .get(id.index())
+            .unwrap_or_else(|| panic!("SystemId slot {} outside registry", id.index()))
+    }
+
+    /// JUBE tags in slot order.
+    pub fn tags(&self) -> Vec<String> {
+        self.entries.iter().map(|e| e.tag.clone()).collect()
+    }
+
+    /// Resolve a JUBE tag (case-insensitive). The error lists the valid
+    /// tags, so CLI and suite messages stay helpful as families grow.
+    pub fn resolve(&self, tag: &str) -> Result<SystemId, RegistryError> {
+        self.entries
+            .iter()
+            .position(|e| e.tag.eq_ignore_ascii_case(tag))
+            .map(SystemId::from_index)
+            .ok_or_else(|| RegistryError::UnknownTag {
+                tag: tag.to_string(),
+                valid: self.tags(),
+            })
+    }
+
+    /// Shared immutable handle to a system's node configuration.
+    pub fn shared_node(&self, id: SystemId) -> Arc<NodeConfig> {
+        Arc::clone(
+            self.shared
+                .get(id.index())
+                .unwrap_or_else(|| panic!("SystemId slot {} outside registry", id.index())),
+        )
+    }
+}
+
+// ---- file parsing ----
+
+/// Lookup context for one device file: dotted-path accessors with typed
+/// errors carrying the file name and key path.
+struct Ctx<'a> {
+    file: &'a str,
+    root: &'a TomlValue,
+}
+
+impl<'a> Ctx<'a> {
+    fn missing(&self, key: &str) -> RegistryError {
+        RegistryError::Missing {
+            file: self.file.to_string(),
+            key: key.to_string(),
+        }
+    }
+
+    fn invalid(&self, key: &str, msg: impl Into<String>) -> RegistryError {
+        RegistryError::Invalid {
+            file: self.file.to_string(),
+            key: key.to_string(),
+            msg: msg.into(),
+        }
+    }
+
+    fn value(&self, key: &str) -> Result<&'a TomlValue, RegistryError> {
+        self.root.lookup(key).ok_or_else(|| self.missing(key))
+    }
+
+    fn str(&self, key: &str) -> Result<&'a str, RegistryError> {
+        let s = self
+            .value(key)?
+            .as_str()
+            .ok_or_else(|| self.invalid(key, "expected a string"))?;
+        if s.is_empty() {
+            return Err(self.invalid(key, "must not be empty"));
+        }
+        Ok(s)
+    }
+
+    fn f64(&self, key: &str) -> Result<f64, RegistryError> {
+        self.value(key)?
+            .as_f64()
+            .ok_or_else(|| self.invalid(key, "expected a number"))
+    }
+
+    fn positive(&self, key: &str) -> Result<f64, RegistryError> {
+        let v = self.f64(key)?;
+        if v > 0.0 {
+            Ok(v)
+        } else {
+            Err(self.invalid(key, format!("must be positive, got {v}")))
+        }
+    }
+
+    fn non_negative(&self, key: &str) -> Result<f64, RegistryError> {
+        let v = self.f64(key)?;
+        if v >= 0.0 {
+            Ok(v)
+        } else {
+            Err(self.invalid(key, format!("must be non-negative, got {v}")))
+        }
+    }
+
+    fn integer(&self, key: &str) -> Result<u64, RegistryError> {
+        let v = self.f64(key)?;
+        if v.fract() != 0.0 || !(0.0..=u64::MAX as f64).contains(&v) {
+            return Err(self.invalid(key, format!("expected a non-negative integer, got {v}")));
+        }
+        Ok(v as u64)
+    }
+
+    fn u32_min1(&self, key: &str) -> Result<u32, RegistryError> {
+        let v = self.integer(key)?;
+        if v == 0 || v > u64::from(u32::MAX) {
+            return Err(self.invalid(key, format!("must be in 1..=u32::MAX, got {v}")));
+        }
+        Ok(v as u32)
+    }
+
+    fn bool(&self, key: &str) -> Result<bool, RegistryError> {
+        self.value(key)?
+            .as_bool()
+            .ok_or_else(|| self.invalid(key, "expected a boolean"))
+    }
+
+    fn opt_positive(&self, key: &str) -> Result<Option<f64>, RegistryError> {
+        match self.root.lookup(key) {
+            None => Ok(None),
+            Some(_) => self.positive(key).map(Some),
+        }
+    }
+}
+
+fn parse_device_file(file: &str, src: &str) -> Result<DeviceEntry, RegistryError> {
+    let root = toml_lite::parse(src).map_err(|e| RegistryError::Parse {
+        file: file.to_string(),
+        line: e.line,
+        msg: e.msg,
+    })?;
+    let ctx = Ctx { file, root: &root };
+
+    let schema = ctx.integer("schema")?;
+    if schema != u64::from(SCHEMA_VERSION) {
+        return Err(RegistryError::Schema {
+            file: file.to_string(),
+            found: schema.to_string(),
+        });
+    }
+    let order = ctx.integer("order")? as u32;
+
+    let tag = ctx.str("system.tag")?.to_string();
+    if !tag
+        .chars()
+        .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit())
+    {
+        return Err(ctx.invalid("system.tag", "must be uppercase ASCII letters and digits"));
+    }
+    let devices_per_node = ctx.u32_min1("system.devices_per_node")?;
+    let max_nodes = ctx.u32_min1("system.max_nodes")?;
+
+    let numa_domains = ctx.u32_min1("numa.domains")?;
+    let numa_with_accel = ctx.u32_min1("numa.domains_with_accel")?;
+    if numa_with_accel > numa_domains {
+        return Err(ctx.invalid(
+            "numa.domains_with_accel",
+            format!("{numa_with_accel} exceeds numa.domains = {numa_domains}"),
+        ));
+    }
+
+    let device = parse_device_spec(&ctx)?;
+    let cpu_accel = parse_link(&ctx, "links.cpu_accel", LinkPlacement::IntraNode)?
+        .ok_or_else(|| ctx.missing("links.cpu_accel"))?;
+    let accel_accel = parse_link(&ctx, "links.accel_accel", LinkPlacement::IntraNode)?;
+    let internode = parse_link(&ctx, "links.internode", LinkPlacement::InterNode)?;
+    if devices_per_node > 1 && accel_accel.is_none() {
+        return Err(ctx.invalid(
+            "links.accel_accel",
+            format!("required: devices_per_node = {devices_per_node} > 1"),
+        ));
+    }
+    if max_nodes > 1 && internode.is_none() {
+        return Err(ctx.invalid(
+            "links.internode",
+            format!("required: max_nodes = {max_nodes} > 1"),
+        ));
+    }
+
+    let node = NodeConfig {
+        id: SystemId::from_index(0), // re-slotted by `from_files` after sorting
+        platform: ctx.str("system.platform")?.to_string(),
+        device,
+        devices_per_node,
+        cpu: CpuSpec {
+            model: ctx.str("cpu.model")?.to_string(),
+            sockets: ctx.u32_min1("cpu.sockets")?,
+            cores_per_socket: ctx.u32_min1("cpu.cores_per_socket")?,
+        },
+        host_mem_gib: ctx.u32_min1("system.host_mem_gib")?,
+        numa: NumaTopology {
+            domains: numa_domains,
+            domains_with_accel: numa_with_accel,
+            fused_package: ctx.bool("numa.fused_package")?,
+        },
+        cpu_accel,
+        accel_accel,
+        internode,
+        tdp_override_w: ctx.opt_positive("system.tdp_override_w")?,
+        staging_images_per_s: ctx.positive("system.staging_images_per_s")?,
+        staging_tokens_per_s: ctx.positive("system.staging_tokens_per_s")?,
+        max_nodes,
+    };
+    Ok(DeviceEntry {
+        file: file.to_string(),
+        order,
+        tag,
+        node,
+    })
+}
+
+fn parse_device_spec(ctx: &Ctx<'_>) -> Result<DeviceSpec, RegistryError> {
+    let vendor_name = ctx.str("device.vendor")?;
+    let vendor = Vendor::parse_name(vendor_name).ok_or_else(|| {
+        ctx.invalid(
+            "device.vendor",
+            format!(
+                "unknown vendor `{vendor_name}` (valid: {})",
+                Vendor::NAMES.join(", ")
+            ),
+        )
+    })?;
+    let kind_name = ctx.str("device.kind")?;
+    let kind = DeviceKind::parse_name(kind_name).ok_or_else(|| {
+        ctx.invalid(
+            "device.kind",
+            format!(
+                "unknown kind `{kind_name}` (valid: {})",
+                DeviceKind::NAMES.join(", ")
+            ),
+        )
+    })?;
+    let form_name = ctx.str("device.form")?;
+    let form = FormFactor::parse_name(form_name).ok_or_else(|| {
+        ctx.invalid(
+            "device.form",
+            format!(
+                "unknown form `{form_name}` (valid: {})",
+                FormFactor::NAMES.join(", ")
+            ),
+        )
+    })?;
+
+    let tdp_w = ctx.positive("device.tdp_w")?;
+    let idle_w = ctx.non_negative("device.idle_w")?;
+    if idle_w >= tdp_w {
+        return Err(ctx.invalid(
+            "device.idle_w",
+            format!("idle power {idle_w} W must be below TDP {tdp_w} W"),
+        ));
+    }
+    let power_alpha = ctx.positive("device.power_alpha")?;
+    if power_alpha > 4.0 {
+        return Err(ctx.invalid("device.power_alpha", "exponent above 4 is implausible"));
+    }
+    let mem_mib = ctx.integer("device.mem_mib")?;
+    if mem_mib == 0 {
+        return Err(ctx.invalid("device.mem_mib", "must be at least 1 MiB"));
+    }
+
+    Ok(DeviceSpec {
+        name: ctx.str("device.name")?.to_string(),
+        vendor,
+        kind,
+        form,
+        compute_units: ctx.u32_min1("device.compute_units")?,
+        cores_per_unit: ctx.u32_min1("device.cores_per_unit")?,
+        peak_fp16_tflops: ctx.positive("device.peak_fp16_tflops")?,
+        mem_bytes: mem_mib * 1024 * 1024,
+        mem_bw_gbps: ctx.positive("device.mem_bw_gbps")?,
+        tdp_w,
+        idle_w,
+        power_alpha,
+        llm: parse_calib(ctx, "device.calib.llm", idle_w, tdp_w)?,
+        cv: parse_calib(ctx, "device.calib.cv", idle_w, tdp_w)?,
+    })
+}
+
+fn parse_calib(
+    ctx: &Ctx<'_>,
+    base: &str,
+    idle_w: f64,
+    tdp_w: f64,
+) -> Result<WorkloadCalib, RegistryError> {
+    if ctx.root.lookup(base).is_none() {
+        return Err(ctx.missing(base));
+    }
+    let key = |k: &str| format!("{base}.{k}");
+    let mfu_max = ctx.positive(&key("mfu_max"))?;
+    if mfu_max > 1.0 {
+        return Err(ctx.invalid(&key("mfu_max"), "MFU cannot exceed 1.0"));
+    }
+    let sustained_w = ctx.positive(&key("sustained_w"))?;
+    if sustained_w > tdp_w {
+        return Err(ctx.invalid(
+            &key("sustained_w"),
+            format!("sustained {sustained_w} W exceeds TDP {tdp_w} W"),
+        ));
+    }
+    if sustained_w <= idle_w {
+        return Err(ctx.invalid(
+            &key("sustained_w"),
+            format!("sustained {sustained_w} W must exceed idle {idle_w} W"),
+        ));
+    }
+    Ok(WorkloadCalib {
+        mfu_max,
+        batch_half: ctx.positive(&key("batch_half"))?,
+        overhead_s: ctx.non_negative(&key("overhead_s"))?,
+        sustained_w,
+    })
+}
+
+enum LinkPlacement {
+    IntraNode,
+    InterNode,
+}
+
+fn parse_link(
+    ctx: &Ctx<'_>,
+    base: &str,
+    placement: LinkPlacement,
+) -> Result<Option<Link>, RegistryError> {
+    if ctx.root.lookup(base).is_none() {
+        return Ok(None);
+    }
+    let key = |k: &str| format!("{base}.{k}");
+    let kind_name = ctx.str(&key("kind"))?;
+    let kind = LinkKind::parse_name(kind_name).ok_or_else(|| {
+        ctx.invalid(
+            &key("kind"),
+            format!(
+                "unknown link kind `{kind_name}` (valid: {})",
+                LinkKind::NAMES.join(", ")
+            ),
+        )
+    })?;
+    match placement {
+        LinkPlacement::IntraNode if kind.is_internode() => {
+            return Err(ctx.invalid(
+                &key("kind"),
+                format!("`{kind_name}` is an inter-node link kind"),
+            ))
+        }
+        LinkPlacement::InterNode if !kind.is_internode() => {
+            return Err(ctx.invalid(
+                &key("kind"),
+                format!("`{kind_name}` is an intra-node link kind"),
+            ))
+        }
+        _ => {}
+    }
+    Ok(Some(Link {
+        kind,
+        bandwidth_gbps: ctx.positive(&key("bandwidth_gbps"))?,
+        latency_s: ctx.non_negative(&key("latency_s"))?,
+    }))
+}
+
+// ---- emission ----
+
+/// Render a registry-loadable TOML device file from an entry. Floats are
+/// formatted with Rust's shortest round-trip representation, so
+/// `from_files(render(...))` reproduces the entry bit-identically — the
+/// output path of `caraml calibrate`.
+pub fn render_device_toml(entry: &DeviceEntry) -> String {
+    use std::fmt::Write as _;
+    let node = &entry.node;
+    let dev = &node.device;
+    let mut out = String::new();
+    let f = fmt_f64;
+    writeln!(out, "schema = {SCHEMA_VERSION}").unwrap();
+    writeln!(out, "order = {}", entry.order).unwrap();
+    writeln!(out, "\n[system]").unwrap();
+    writeln!(out, "tag = {:?}", entry.tag).unwrap();
+    writeln!(out, "platform = {:?}", node.platform).unwrap();
+    writeln!(out, "devices_per_node = {}", node.devices_per_node).unwrap();
+    writeln!(out, "host_mem_gib = {}", node.host_mem_gib).unwrap();
+    writeln!(out, "max_nodes = {}", node.max_nodes).unwrap();
+    if let Some(tdp) = node.tdp_override_w {
+        writeln!(out, "tdp_override_w = {}", f(tdp)).unwrap();
+    }
+    writeln!(
+        out,
+        "staging_images_per_s = {}",
+        f(node.staging_images_per_s)
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "staging_tokens_per_s = {}",
+        f(node.staging_tokens_per_s)
+    )
+    .unwrap();
+    writeln!(out, "\n[cpu]").unwrap();
+    writeln!(out, "model = {:?}", node.cpu.model).unwrap();
+    writeln!(out, "sockets = {}", node.cpu.sockets).unwrap();
+    writeln!(out, "cores_per_socket = {}", node.cpu.cores_per_socket).unwrap();
+    writeln!(out, "\n[numa]").unwrap();
+    writeln!(out, "domains = {}", node.numa.domains).unwrap();
+    writeln!(out, "domains_with_accel = {}", node.numa.domains_with_accel).unwrap();
+    writeln!(out, "fused_package = {}", node.numa.fused_package).unwrap();
+    writeln!(out, "\n[device]").unwrap();
+    writeln!(out, "name = {:?}", dev.name).unwrap();
+    writeln!(out, "vendor = {:?}", dev.vendor.toml_name()).unwrap();
+    writeln!(out, "kind = {:?}", dev.kind.toml_name()).unwrap();
+    writeln!(out, "form = {:?}", dev.form.toml_name()).unwrap();
+    writeln!(out, "compute_units = {}", dev.compute_units).unwrap();
+    writeln!(out, "cores_per_unit = {}", dev.cores_per_unit).unwrap();
+    writeln!(out, "peak_fp16_tflops = {}", f(dev.peak_fp16_tflops)).unwrap();
+    writeln!(out, "mem_mib = {}", dev.mem_bytes / (1024 * 1024)).unwrap();
+    writeln!(out, "mem_bw_gbps = {}", f(dev.mem_bw_gbps)).unwrap();
+    writeln!(out, "tdp_w = {}", f(dev.tdp_w)).unwrap();
+    writeln!(out, "idle_w = {}", f(dev.idle_w)).unwrap();
+    writeln!(out, "power_alpha = {}", f(dev.power_alpha)).unwrap();
+    for (name, calib) in [("llm", &dev.llm), ("cv", &dev.cv)] {
+        writeln!(out, "\n[device.calib.{name}]").unwrap();
+        writeln!(out, "mfu_max = {}", f(calib.mfu_max)).unwrap();
+        writeln!(out, "batch_half = {}", f(calib.batch_half)).unwrap();
+        writeln!(out, "overhead_s = {}", f(calib.overhead_s)).unwrap();
+        writeln!(out, "sustained_w = {}", f(calib.sustained_w)).unwrap();
+    }
+    for (name, link) in [
+        ("cpu_accel", Some(&node.cpu_accel)),
+        ("accel_accel", node.accel_accel.as_ref()),
+        ("internode", node.internode.as_ref()),
+    ] {
+        let Some(link) = link else { continue };
+        writeln!(out, "\n[links.{name}]").unwrap();
+        writeln!(out, "kind = {:?}", link.kind.toml_name()).unwrap();
+        writeln!(out, "bandwidth_gbps = {}", f(link.bandwidth_gbps)).unwrap();
+        writeln!(out, "latency_s = {}", f(link.latency_s)).unwrap();
+    }
+    out
+}
+
+/// Shortest decimal representation that round-trips the exact `f64`
+/// (Rust's `{:?}` float formatting guarantee).
+pub(crate) fn fmt_f64(v: f64) -> String {
+    format!("{v:?}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embedded_registry_loads_and_is_paper_prefixed() {
+        let reg = DeviceRegistry::global();
+        assert!(reg.len() >= PAPER_TAGS.len() + 1, "edge family missing");
+        for (i, tag) in PAPER_TAGS.iter().enumerate() {
+            assert_eq!(reg.entries()[i].tag, *tag);
+            assert_eq!(reg.entries()[i].order as usize, i);
+        }
+        assert!(reg.tags().iter().any(|t| t == "EDGERV"));
+    }
+
+    #[test]
+    fn resolve_is_case_insensitive_and_lists_valid_tags() {
+        let reg = DeviceRegistry::global();
+        assert_eq!(reg.resolve("gh200").unwrap(), SystemId::Gh200Jrdc);
+        assert_eq!(reg.resolve("EDGERV").unwrap().index(), 7);
+        let err = reg.resolve("NOPE").unwrap_err();
+        match &err {
+            RegistryError::UnknownTag { tag, valid } => {
+                assert_eq!(tag, "NOPE");
+                assert!(valid.iter().any(|t| t == "JEDI"));
+                assert!(valid.iter().any(|t| t == "EDGERV"));
+            }
+            other => panic!("expected UnknownTag, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(
+            msg.contains("NOPE") && msg.contains("JEDI") && msg.contains("EDGERV"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn render_round_trips_every_embedded_entry() {
+        let reg = DeviceRegistry::global();
+        for entry in reg.entries() {
+            let rendered = render_device_toml(entry);
+            let reloaded = DeviceRegistry::from_files(&[(entry.file.as_str(), &rendered)])
+                .unwrap_or_else(|e| panic!("{}: {e}", entry.file));
+            let got = &reloaded.entries()[0];
+            assert_eq!(got.tag, entry.tag);
+            assert_eq!(got.order, entry.order);
+            // `id` is slot-relative; compare everything else exactly.
+            let mut want = entry.node.clone();
+            want.id = got.node.id;
+            assert_eq!(got.node, want, "{} does not round-trip", entry.file);
+        }
+    }
+
+    #[test]
+    fn schema_version_is_enforced() {
+        let src = "schema = 2\norder = 0\n";
+        match DeviceRegistry::from_files(&[("x.toml", src)]) {
+            Err(RegistryError::Schema { file, found }) => {
+                assert_eq!(file, "x.toml");
+                assert_eq!(found, "2");
+            }
+            other => panic!("expected Schema error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_and_invalid_keys_are_typed() {
+        let (name, src) = EMBEDDED_DEVICE_FILES
+            .iter()
+            .find(|(n, _)| *n == "a100.toml")
+            .unwrap();
+        let broken = src.replace("peak_fp16_tflops = 312.0", "");
+        match DeviceRegistry::from_files(&[(name, &broken)]) {
+            Err(RegistryError::Missing { key, .. }) => {
+                assert_eq!(key, "device.peak_fp16_tflops")
+            }
+            other => panic!("expected Missing, got {other:?}"),
+        }
+        let broken = src.replace("peak_fp16_tflops = 312.0", "peak_fp16_tflops = -1.0");
+        match DeviceRegistry::from_files(&[(name, &broken)]) {
+            Err(RegistryError::Invalid { key, .. }) => {
+                assert_eq!(key, "device.peak_fp16_tflops")
+            }
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+        let broken = src.replace("sustained_w = 330.0", "sustained_w = 9000.0");
+        assert!(matches!(
+            DeviceRegistry::from_files(&[(name, &broken)]),
+            Err(RegistryError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_tags_and_orders_are_rejected() {
+        let (_, a100) = EMBEDDED_DEVICE_FILES
+            .iter()
+            .find(|(n, _)| *n == "a100.toml")
+            .unwrap();
+        let err = DeviceRegistry::from_files(&[("a.toml", a100), ("b.toml", a100)]).unwrap_err();
+        assert!(
+            matches!(err, RegistryError::DuplicateOrder { .. }),
+            "{err:?}"
+        );
+        let reordered = a100.replace("order = 6", "order = 12");
+        let err =
+            DeviceRegistry::from_files(&[("a.toml", a100), ("b.toml", &reordered)]).unwrap_err();
+        assert!(matches!(err, RegistryError::DuplicateTag { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn link_placement_is_validated() {
+        let (_, a100) = EMBEDDED_DEVICE_FILES
+            .iter()
+            .find(|(n, _)| *n == "a100.toml")
+            .unwrap();
+        // An InfiniBand CPU link is nonsense; so is NVLink between nodes.
+        let broken = a100.replacen("kind = \"pcie-gen4\"", "kind = \"infiniband-hdr\"", 1);
+        assert!(matches!(
+            DeviceRegistry::from_files(&[("x.toml", &broken)]),
+            Err(RegistryError::Invalid { .. })
+        ));
+        let broken = a100.replace("kind = \"infiniband-hdr\"", "kind = \"nvlink3\"");
+        assert!(matches!(
+            DeviceRegistry::from_files(&[("x.toml", &broken)]),
+            Err(RegistryError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn multi_node_systems_require_an_internode_link() {
+        let (_, gc200) = EMBEDDED_DEVICE_FILES
+            .iter()
+            .find(|(n, _)| *n == "gc200.toml")
+            .unwrap();
+        let broken = gc200.replace("max_nodes = 1", "max_nodes = 2");
+        match DeviceRegistry::from_files(&[("x.toml", &broken)]) {
+            Err(RegistryError::Invalid { key, .. }) => assert_eq!(key, "links.internode"),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_registry_is_an_error() {
+        assert!(matches!(
+            DeviceRegistry::from_files(&[]),
+            Err(RegistryError::Empty)
+        ));
+    }
+
+    #[test]
+    fn parse_errors_carry_file_and_line() {
+        let err = DeviceRegistry::from_files(&[("bad.toml", "schema = 1\nboom")]).unwrap_err();
+        match err {
+            RegistryError::Parse { file, line, .. } => {
+                assert_eq!(file, "bad.toml");
+                assert_eq!(line, 2);
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+}

@@ -253,8 +253,9 @@ mod tests {
 
     #[test]
     fn for_device_uses_workload_calibration() {
-        use crate::spec::{DeviceSpec, Workload};
-        let spec = DeviceSpec::a100_sxm4();
+        use crate::spec::Workload;
+        use crate::systems::{NodeConfig, SystemId};
+        let spec = NodeConfig::for_system(SystemId::A100).device;
         let llm = RooflineModel::for_device(&spec, Workload::Llm);
         let cv = RooflineModel::for_device(&spec, Workload::Cv);
         assert!((llm.mfu(1e12) - spec.llm.mfu_max).abs() < 1e-6);

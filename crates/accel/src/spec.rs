@@ -16,6 +16,34 @@ pub enum Vendor {
     Nvidia,
     Amd,
     Graphcore,
+    /// RISC-V ecosystem SoC vendors (edge NPU family).
+    RiscV,
+}
+
+impl Vendor {
+    /// Names accepted by the device-file `device.vendor` key.
+    pub const NAMES: [&'static str; 4] = ["nvidia", "amd", "graphcore", "riscv"];
+
+    /// The device-file spelling of this vendor.
+    pub fn toml_name(self) -> &'static str {
+        match self {
+            Vendor::Nvidia => "nvidia",
+            Vendor::Amd => "amd",
+            Vendor::Graphcore => "graphcore",
+            Vendor::RiscV => "riscv",
+        }
+    }
+
+    /// Parse a device-file vendor name.
+    pub fn parse_name(s: &str) -> Option<Vendor> {
+        match s {
+            "nvidia" => Some(Vendor::Nvidia),
+            "amd" => Some(Vendor::Amd),
+            "graphcore" => Some(Vendor::Graphcore),
+            "riscv" => Some(Vendor::RiscV),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for Vendor {
@@ -24,6 +52,7 @@ impl std::fmt::Display for Vendor {
             Vendor::Nvidia => write!(f, "NVIDIA"),
             Vendor::Amd => write!(f, "AMD"),
             Vendor::Graphcore => write!(f, "Graphcore"),
+            Vendor::RiscV => write!(f, "RISC-V"),
         }
     }
 }
@@ -38,6 +67,28 @@ pub enum DeviceKind {
     Ipu,
 }
 
+impl DeviceKind {
+    /// Names accepted by the device-file `device.kind` key.
+    pub const NAMES: [&'static str; 2] = ["gpu", "ipu"];
+
+    /// The device-file spelling of this kind.
+    pub fn toml_name(self) -> &'static str {
+        match self {
+            DeviceKind::Gpu => "gpu",
+            DeviceKind::Ipu => "ipu",
+        }
+    }
+
+    /// Parse a device-file kind name.
+    pub fn parse_name(s: &str) -> Option<DeviceKind> {
+        match s {
+            "gpu" => Some(DeviceKind::Gpu),
+            "ipu" => Some(DeviceKind::Ipu),
+            _ => None,
+        }
+    }
+}
+
 /// Physical form factor; the paper shows it matters for the power envelope
 /// (H100 PCIe vs SXM5) and therefore for the energy-efficiency ranking.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -50,6 +101,39 @@ pub enum FormFactor {
     Superchip,
     /// IPU-Machine blade (Graphcore M2000).
     IpuM,
+    /// System-on-chip: host cores and accelerator on one die sharing one
+    /// memory (edge NPU family).
+    Soc,
+}
+
+impl FormFactor {
+    /// Names accepted by the device-file `device.form` key.
+    pub const NAMES: [&'static str; 6] = ["sxm", "pcie", "oam", "superchip", "ipu-m", "soc"];
+
+    /// The device-file spelling of this form factor.
+    pub fn toml_name(self) -> &'static str {
+        match self {
+            FormFactor::Sxm => "sxm",
+            FormFactor::Pcie => "pcie",
+            FormFactor::Oam => "oam",
+            FormFactor::Superchip => "superchip",
+            FormFactor::IpuM => "ipu-m",
+            FormFactor::Soc => "soc",
+        }
+    }
+
+    /// Parse a device-file form-factor name.
+    pub fn parse_name(s: &str) -> Option<FormFactor> {
+        match s {
+            "sxm" => Some(FormFactor::Sxm),
+            "pcie" => Some(FormFactor::Pcie),
+            "oam" => Some(FormFactor::Oam),
+            "superchip" => Some(FormFactor::Superchip),
+            "ipu-m" => Some(FormFactor::IpuM),
+            "soc" => Some(FormFactor::Soc),
+            _ => None,
+        }
+    }
 }
 
 /// Workload-specific calibration of the analytical performance model.
@@ -118,210 +202,7 @@ pub struct DeviceSpec {
     pub cv: WorkloadCalib,
 }
 
-const GIB: u64 = 1 << 30;
-
 impl DeviceSpec {
-    /// NVIDIA A100 GPU (SXM4): 108 SMs, 312 TFLOP/s FP16, 40 GB HBM2e.
-    pub fn a100_sxm4() -> Self {
-        DeviceSpec {
-            name: "NVIDIA A100 (SXM4)".into(),
-            vendor: Vendor::Nvidia,
-            kind: DeviceKind::Gpu,
-            form: FormFactor::Sxm,
-            compute_units: 108,
-            cores_per_unit: 64,
-            peak_fp16_tflops: 312.0,
-            mem_bytes: 40 * GIB,
-            mem_bw_gbps: 1555.0,
-            tdp_w: 400.0,
-            idle_w: 55.0,
-            power_alpha: 0.85,
-            llm: WorkloadCalib {
-                mfu_max: 0.444,
-                batch_half: 8.0,
-                overhead_s: 0.012,
-                sustained_w: 330.0,
-            },
-            cv: WorkloadCalib {
-                mfu_max: 0.245,
-                batch_half: 14.0,
-                overhead_s: 0.004,
-                sustained_w: 390.0,
-            },
-        }
-    }
-
-    /// NVIDIA H100 GPU (PCIe): 114 SMs, 756 TFLOP/s FP16, 80 GB HBM2e.
-    ///
-    /// The 350 W PCIe power cap pushes the card to a power-efficient
-    /// operating point; the paper finds it to be the most energy-efficient
-    /// NVIDIA device despite roughly half the GH200's throughput.
-    pub fn h100_pcie() -> Self {
-        DeviceSpec {
-            name: "NVIDIA H100 (PCIe)".into(),
-            vendor: Vendor::Nvidia,
-            kind: DeviceKind::Gpu,
-            form: FormFactor::Pcie,
-            compute_units: 114,
-            cores_per_unit: 128,
-            peak_fp16_tflops: 756.0,
-            mem_bytes: 80 * GIB,
-            mem_bw_gbps: 2000.0,
-            tdp_w: 350.0,
-            idle_w: 45.0,
-            power_alpha: 0.85,
-            llm: WorkloadCalib {
-                mfu_max: 0.223,
-                batch_half: 8.0,
-                overhead_s: 0.010,
-                sustained_w: 285.0,
-            },
-            cv: WorkloadCalib {
-                mfu_max: 0.120,
-                batch_half: 12.0,
-                overhead_s: 0.003,
-                sustained_w: 340.0,
-            },
-        }
-    }
-
-    /// NVIDIA H100 GPU (SXM5): 132 SMs, 990 TFLOP/s FP16, 94 GB HBM2e.
-    pub fn h100_sxm5() -> Self {
-        DeviceSpec {
-            name: "NVIDIA H100 (SXM5)".into(),
-            vendor: Vendor::Nvidia,
-            kind: DeviceKind::Gpu,
-            form: FormFactor::Sxm,
-            compute_units: 132,
-            cores_per_unit: 128,
-            peak_fp16_tflops: 990.0,
-            mem_bytes: 94 * GIB,
-            mem_bw_gbps: 3350.0,
-            tdp_w: 700.0,
-            idle_w: 60.0,
-            power_alpha: 0.85,
-            llm: WorkloadCalib {
-                mfu_max: 0.222,
-                batch_half: 8.0,
-                overhead_s: 0.010,
-                sustained_w: 560.0,
-            },
-            cv: WorkloadCalib {
-                mfu_max: 0.142,
-                batch_half: 12.0,
-                overhead_s: 0.003,
-                sustained_w: 600.0,
-            },
-        }
-    }
-
-    /// NVIDIA GH200 superchip: Grace CPU (72 Neoverse-V2 cores) fused with a
-    /// Hopper GPU (132 SMs, 990 TFLOP/s FP16, 96 GB HBM3 at 4 TB/s) over
-    /// NVLink-C2C. TDP covers the full package.
-    pub fn gh200() -> Self {
-        DeviceSpec {
-            name: "NVIDIA GH200".into(),
-            vendor: Vendor::Nvidia,
-            kind: DeviceKind::Gpu,
-            form: FormFactor::Superchip,
-            compute_units: 132,
-            cores_per_unit: 128,
-            peak_fp16_tflops: 990.0,
-            mem_bytes: 96 * GIB,
-            mem_bw_gbps: 4000.0,
-            tdp_w: 700.0,
-            idle_w: 95.0,
-            power_alpha: 0.85,
-            llm: WorkloadCalib {
-                mfu_max: 0.340,
-                batch_half: 8.0,
-                overhead_s: 0.008,
-                sustained_w: 700.0,
-            },
-            cv: WorkloadCalib {
-                mfu_max: 0.160,
-                batch_half: 12.0,
-                overhead_s: 0.0025,
-                sustained_w: 620.0,
-            },
-        }
-    }
-
-    /// One Graphics Compute Die of an AMD MI250: 104 CUs, 181 TFLOP/s FP16,
-    /// 64 GB HBM2e. The operating system sees each GCD as a separate GPU;
-    /// the full MI250 OAM package (2 GCDs) has a 560 W TDP.
-    pub fn mi250_gcd() -> Self {
-        DeviceSpec {
-            name: "AMD MI250 (GCD)".into(),
-            vendor: Vendor::Amd,
-            kind: DeviceKind::Gpu,
-            form: FormFactor::Oam,
-            compute_units: 104,
-            cores_per_unit: 64,
-            peak_fp16_tflops: 181.05,
-            mem_bytes: 64 * GIB,
-            mem_bw_gbps: 1638.0,
-            tdp_w: 280.0,
-            idle_w: 45.0,
-            power_alpha: 0.85,
-            llm: WorkloadCalib {
-                mfu_max: 0.372,
-                batch_half: 10.0,
-                overhead_s: 0.016,
-                sustained_w: 262.0,
-            },
-            cv: WorkloadCalib {
-                mfu_max: 0.225,
-                batch_half: 64.0,
-                overhead_s: 0.005,
-                sustained_w: 112.0,
-            },
-        }
-    }
-
-    /// Graphcore GC200 IPU: 1472 tiles, 250 TFLOP/s FP16, 900 MB of on-chip
-    /// SRAM distributed across tiles (MIMD dataflow architecture).
-    pub fn gc200_ipu() -> Self {
-        DeviceSpec {
-            name: "Graphcore GC200 IPU".into(),
-            vendor: Vendor::Graphcore,
-            kind: DeviceKind::Ipu,
-            form: FormFactor::IpuM,
-            compute_units: 1472,
-            cores_per_unit: 1,
-            peak_fp16_tflops: 250.0,
-            mem_bytes: 900 * 1024 * 1024,
-            mem_bw_gbps: 47500.0, // aggregate on-chip SRAM bandwidth
-            tdp_w: 300.0,
-            idle_w: 38.0,
-            power_alpha: 0.9,
-            llm: WorkloadCalib {
-                mfu_max: 0.12,
-                batch_half: 64.0,
-                overhead_s: 0.0,
-                sustained_w: 160.0,
-            },
-            cv: WorkloadCalib {
-                mfu_max: 0.10,
-                batch_half: 16.0,
-                overhead_s: 0.0,
-                sustained_w: 168.0,
-            },
-        }
-    }
-
-    /// All device specs evaluated in the paper, in Fig. 1 order.
-    pub fn all() -> Vec<DeviceSpec> {
-        vec![
-            Self::a100_sxm4(),
-            Self::h100_pcie(),
-            Self::h100_sxm5(),
-            Self::gh200(),
-            Self::mi250_gcd(),
-            Self::gc200_ipu(),
-        ]
-    }
-
     /// Peak FP16 throughput in FLOP/s (not TFLOP/s).
     pub fn peak_fp16_flops(&self) -> f64 {
         self.peak_fp16_tflops * 1e12
@@ -353,30 +234,37 @@ pub enum Workload {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::systems::{NodeConfig, SystemId};
+
+    const GIB: u64 = 1 << 30;
+
+    fn device(id: SystemId) -> DeviceSpec {
+        NodeConfig::for_system(id).device
+    }
 
     #[test]
     fn datasheet_numbers_match_fig1() {
-        let a100 = DeviceSpec::a100_sxm4();
+        let a100 = device(SystemId::A100);
         assert_eq!(a100.compute_units, 108);
         assert_eq!(a100.peak_fp16_tflops, 312.0);
         assert_eq!(a100.mem_bytes, 40 * GIB);
 
-        let h100p = DeviceSpec::h100_pcie();
+        let h100p = device(SystemId::H100Jrdc);
         assert_eq!(h100p.compute_units, 114);
         assert_eq!(h100p.peak_fp16_tflops, 756.0);
 
-        let h100s = DeviceSpec::h100_sxm5();
+        let h100s = device(SystemId::WaiH100);
         assert_eq!(h100s.compute_units, 132);
         assert_eq!(h100s.peak_fp16_tflops, 990.0);
 
-        let gh = DeviceSpec::gh200();
+        let gh = device(SystemId::Jedi);
         assert_eq!(gh.compute_units, 132);
         assert_eq!(gh.mem_bytes, 96 * GIB);
 
-        let mi = DeviceSpec::mi250_gcd();
+        let mi = device(SystemId::Mi250);
         assert_eq!(mi.compute_units, 104);
 
-        let ipu = DeviceSpec::gc200_ipu();
+        let ipu = device(SystemId::Gc200);
         assert_eq!(ipu.compute_units, 1472);
         assert_eq!(ipu.mem_bytes, 900 * 1024 * 1024);
     }
@@ -398,7 +286,7 @@ mod tests {
 
     #[test]
     fn mfu_curve_is_monotone() {
-        let c = DeviceSpec::a100_sxm4().llm;
+        let c = device(SystemId::A100).llm;
         let mut prev = 0.0;
         for b in [1.0, 2.0, 4.0, 16.0, 64.0, 1024.0, 1e6] {
             let m = c.mfu(b);
@@ -409,7 +297,8 @@ mod tests {
 
     #[test]
     fn sustained_power_within_tdp() {
-        for spec in DeviceSpec::all() {
+        for node in NodeConfig::all() {
+            let spec = &node.device;
             assert!(
                 spec.llm.sustained_w <= spec.tdp_w,
                 "{}: llm sustained power exceeds TDP",
@@ -427,9 +316,9 @@ mod tests {
     #[test]
     fn hopper_is_faster_than_ampere() {
         assert!(
-            DeviceSpec::h100_sxm5().peak_fp16_tflops > DeviceSpec::a100_sxm4().peak_fp16_tflops
+            device(SystemId::WaiH100).peak_fp16_tflops > device(SystemId::A100).peak_fp16_tflops
         );
-        assert!(DeviceSpec::gh200().mem_bw_gbps > DeviceSpec::h100_pcie().mem_bw_gbps);
+        assert!(device(SystemId::Jedi).mem_bw_gbps > device(SystemId::H100Jrdc).mem_bw_gbps);
     }
 
     #[test]
@@ -448,18 +337,41 @@ mod tests {
         assert_eq!(Vendor::Nvidia.to_string(), "NVIDIA");
         assert_eq!(Vendor::Amd.to_string(), "AMD");
         assert_eq!(Vendor::Graphcore.to_string(), "Graphcore");
+        assert_eq!(Vendor::RiscV.to_string(), "RISC-V");
+    }
+
+    #[test]
+    fn enum_names_round_trip() {
+        for (v, name) in [
+            (Vendor::Nvidia, "nvidia"),
+            (Vendor::Amd, "amd"),
+            (Vendor::Graphcore, "graphcore"),
+            (Vendor::RiscV, "riscv"),
+        ] {
+            assert_eq!(v.toml_name(), name);
+            assert_eq!(Vendor::parse_name(name), Some(v));
+        }
+        assert_eq!(Vendor::parse_name("intel"), None);
+        for name in FormFactor::NAMES {
+            let f = FormFactor::parse_name(name).unwrap();
+            assert_eq!(f.toml_name(), name);
+        }
+        for name in DeviceKind::NAMES {
+            let k = DeviceKind::parse_name(name).unwrap();
+            assert_eq!(k.toml_name(), name);
+        }
     }
 
     #[test]
     fn workload_calib_lookup() {
-        let s = DeviceSpec::a100_sxm4();
+        let s = device(SystemId::A100);
         assert_eq!(s.calib(Workload::Llm), &s.llm);
         assert_eq!(s.calib(Workload::Cv), &s.cv);
     }
 
     #[test]
     fn unit_conversions() {
-        let s = DeviceSpec::a100_sxm4();
+        let s = device(SystemId::A100);
         assert_eq!(s.peak_fp16_flops(), 312.0e12);
         assert_eq!(s.mem_bw_bytes_per_s(), 1555.0e9);
     }

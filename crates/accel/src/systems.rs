@@ -1,9 +1,17 @@
-//! Node configurations — Table I of the paper.
+//! Node configurations — Table I of the paper, loaded from the device
+//! registry.
 //!
-//! A [`NodeConfig`] describes one of the seven systems analysed with CARAML:
-//! the accelerator model and count, the host CPU, host memory, the
-//! CPU↔accelerator link, the accelerator↔accelerator intra-node link, and
-//! (where present) the InfiniBand inter-node interconnect.
+//! A [`NodeConfig`] describes one of the systems CARAML models: the
+//! accelerator model and count, the host CPU, host memory, NUMA layout,
+//! the CPU↔accelerator link, the accelerator↔accelerator intra-node link,
+//! and (where present) the inter-node interconnect.
+//!
+//! Since PR 6 the values live in `crates/accel/devices/*.toml` and are
+//! parsed/validated by [`crate::registry::DeviceRegistry`]; this module is
+//! the typed façade over that data. [`SystemId`] is a registry slot index
+//! with associated constants for the seven paper systems, so call sites
+//! keep writing `SystemId::Jedi` while new families (e.g. the `EDGERV`
+//! edge RISC-V SoC) enter the fleet as pure data files.
 //!
 //! The `host staging` rates model the data-loading path: on nodes whose host
 //! memory per device cannot page-cache the full training dataset (e.g. JEDI
@@ -14,34 +22,43 @@
 //! sizes, which can likely benefit from 4× as much available CPU memory per
 //! GPU, allowing for faster data loading".
 
-use crate::interconnect::{Link, LinkKind};
+use crate::affinity::NumaTopology;
+use crate::interconnect::Link;
+use crate::registry::{DeviceRegistry, RegistryError};
 use crate::spec::DeviceSpec;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
-/// Identifier of an evaluated system; `Display` yields the JUBE tag used in
-/// the paper's appendix (`A100`, `H100`, `WAIH100`, `GH200`, `JEDI`,
-/// `MI250`, `GC200`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum SystemId {
-    /// JEDI (JUPITER enablement platform): 4× GH200-120GB per node.
-    Jedi,
-    /// JURECA evaluation platform GH200 node: 1× GH200-480GB.
-    Gh200Jrdc,
-    /// JURECA evaluation platform H100 node: 4× H100 PCIe.
-    H100Jrdc,
-    /// WestAI cluster: 4× H100 SXM5.
-    WaiH100,
-    /// JURECA evaluation platform MI200 node: 4× MI250 (8 GCDs).
-    Mi250,
-    /// JURECA IPU-M2000 POD4: 4× GC200 IPU.
-    Gc200,
-    /// JURECA-DC A100 node: 4× A100 SXM4.
-    A100,
-}
+/// Identifier of a registered system: an index into the device registry.
+///
+/// `Display` yields the JUBE tag used in the paper's appendix (`A100`,
+/// `H100`, `WAIH100`, `GH200`, `JEDI`, `MI250`, `GC200`, plus any
+/// data-file additions such as `EDGERV`). The associated constants below
+/// alias the registry slots of the seven paper systems; the registry
+/// loader asserts at startup that the embedded files occupy exactly those
+/// slots, so the constants cannot silently drift.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SystemId(u16);
 
+#[allow(non_upper_case_globals)] // named after the former enum variants
 impl SystemId {
-    /// All systems, in the column order of Table I.
-    pub fn all() -> [SystemId; 7] {
+    /// JEDI (JUPITER enablement platform): 4× GH200-120GB per node.
+    pub const Jedi: SystemId = SystemId(0);
+    /// JURECA evaluation platform GH200 node: 1× GH200-480GB.
+    pub const Gh200Jrdc: SystemId = SystemId(1);
+    /// JURECA evaluation platform H100 node: 4× H100 PCIe.
+    pub const H100Jrdc: SystemId = SystemId(2);
+    /// WestAI cluster: 4× H100 SXM5.
+    pub const WaiH100: SystemId = SystemId(3);
+    /// JURECA evaluation platform MI200 node: 4× MI250 (8 GCDs).
+    pub const Mi250: SystemId = SystemId(4);
+    /// JURECA IPU-M2000 POD4: 4× GC200 IPU.
+    pub const Gc200: SystemId = SystemId(5);
+    /// JURECA-DC A100 node: 4× A100 SXM4.
+    pub const A100: SystemId = SystemId(6);
+
+    /// The seven systems of the paper, in the column order of Table I.
+    pub fn paper() -> [SystemId; 7] {
         [
             SystemId::Jedi,
             SystemId::Gh200Jrdc,
@@ -53,29 +70,81 @@ impl SystemId {
         ]
     }
 
+    /// All registered systems in registry order: the paper systems first,
+    /// then data-file additions.
+    pub fn all() -> Vec<SystemId> {
+        (0..DeviceRegistry::global().len())
+            .map(SystemId::from_index)
+            .collect()
+    }
+
+    /// Wrap a registry slot index (crate-internal; the registry is the
+    /// only mint for ids beyond the paper constants).
+    pub(crate) fn from_index(i: usize) -> SystemId {
+        SystemId(u16::try_from(i).expect("registry slot fits in u16"))
+    }
+
+    /// The registry slot this id points at.
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+
     /// The JUBE tag string used by the paper's automation.
     pub fn jube_tag(&self) -> &'static str {
-        match self {
-            SystemId::Jedi => "JEDI",
-            SystemId::Gh200Jrdc => "GH200",
-            SystemId::H100Jrdc => "H100",
-            SystemId::WaiH100 => "WAIH100",
-            SystemId::Mi250 => "MI250",
-            SystemId::Gc200 => "GC200",
-            SystemId::A100 => "A100",
-        }
+        DeviceRegistry::global().get(*self).tag.as_str()
     }
 
     /// Parse a JUBE tag (case-insensitive) back into a system id.
     pub fn from_jube_tag(tag: &str) -> Option<SystemId> {
-        let t = tag.to_ascii_uppercase();
-        SystemId::all().into_iter().find(|s| s.jube_tag() == t)
+        DeviceRegistry::global().resolve(tag).ok()
+    }
+
+    /// Parse a JUBE tag, keeping the typed error (which lists the valid
+    /// tags) for user-facing messages.
+    pub fn try_from_tag(tag: &str) -> Result<SystemId, RegistryError> {
+        DeviceRegistry::global().resolve(tag)
+    }
+}
+
+impl std::fmt::Debug for SystemId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SystemId({})", self.jube_tag())
     }
 }
 
 impl std::fmt::Display for SystemId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}", self.jube_tag())
+    }
+}
+
+impl Serialize for SystemId {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.jube_tag().to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for SystemId {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| serde::Error::custom("SystemId: expected a tag string"))?;
+        // Pre-registry serializations stored the Rust enum variant name;
+        // keep reading those.
+        let legacy = match s {
+            "Jedi" => Some(SystemId::Jedi),
+            "Gh200Jrdc" => Some(SystemId::Gh200Jrdc),
+            "H100Jrdc" => Some(SystemId::H100Jrdc),
+            "WaiH100" => Some(SystemId::WaiH100),
+            "Mi250" => Some(SystemId::Mi250),
+            "Gc200" => Some(SystemId::Gc200),
+            _ => None,
+        };
+        if let Some(id) = legacy {
+            return Ok(id);
+        }
+        SystemId::from_jube_tag(s)
+            .ok_or_else(|| serde::Error::custom(format!("SystemId: unknown system tag '{s}'")))
     }
 }
 
@@ -111,6 +180,8 @@ pub struct NodeConfig {
     pub cpu: CpuSpec,
     /// Host memory in GiB.
     pub host_mem_gib: u32,
+    /// NUMA layout of the node, as relevant to CPU binding (§V-C).
+    pub numa: NumaTopology,
     /// CPU ↔ accelerator link.
     pub cpu_accel: Link,
     /// Accelerator ↔ accelerator intra-node link (None for the
@@ -133,150 +204,10 @@ pub struct NodeConfig {
 }
 
 impl NodeConfig {
-    /// Look up the configuration of a system by id.
+    /// Look up the configuration of a system by id (an owned clone of the
+    /// registry entry; use [`NodeConfig::shared`] in hot paths).
     pub fn for_system(id: SystemId) -> NodeConfig {
-        match id {
-            SystemId::Jedi => NodeConfig {
-                id,
-                platform: "GH200 (JEDI)".into(),
-                device: DeviceSpec::gh200(),
-                devices_per_node: 4,
-                cpu: CpuSpec {
-                    model: "NVIDIA Grace (Arm Neoverse-V2)".into(),
-                    sockets: 4,
-                    cores_per_socket: 72,
-                },
-                host_mem_gib: 4 * 120,
-                cpu_accel: Link::new(LinkKind::NvLinkC2c, 900.0, 1.0e-6),
-                accel_accel: Some(Link::new(LinkKind::NvLink4, 900.0, 2.0e-6)),
-                internode: Some(Link::new(LinkKind::InfiniBandNdr, 4.0 * 25.0, 3.0e-6)),
-                tdp_override_w: Some(680.0),
-                // 120 GB LPDDR5X per device cannot cache ImageNet (~150 GB):
-                // staging limited by storage read-through.
-                staging_images_per_s: 5850.0,
-                staging_tokens_per_s: 39800.0,
-                max_nodes: 16,
-            },
-            SystemId::Gh200Jrdc => NodeConfig {
-                id,
-                platform: "GH200 (JRDC)".into(),
-                device: DeviceSpec::gh200(),
-                devices_per_node: 1,
-                cpu: CpuSpec {
-                    model: "NVIDIA Grace (Arm Neoverse-V2)".into(),
-                    sockets: 1,
-                    cores_per_socket: 72,
-                },
-                host_mem_gib: 480,
-                cpu_accel: Link::new(LinkKind::NvLinkC2c, 900.0, 1.0e-6),
-                accel_accel: None,
-                internode: None,
-                tdp_override_w: None,
-                // 480 GB LPDDR5X caches the full dataset: staging is fast.
-                staging_images_per_s: 23000.0,
-                staging_tokens_per_s: 320000.0,
-                max_nodes: 1,
-            },
-            SystemId::H100Jrdc => NodeConfig {
-                id,
-                platform: "H100 (JRDC)".into(),
-                device: DeviceSpec::h100_pcie(),
-                devices_per_node: 4,
-                cpu: CpuSpec {
-                    model: "Intel Xeon Platinum 8452Y".into(),
-                    sockets: 2,
-                    cores_per_socket: 36,
-                },
-                host_mem_gib: 512,
-                cpu_accel: Link::new(LinkKind::PcieGen5, 128.0, 2.0e-6),
-                // NVLink bridges pair GPU0–GPU1 and GPU2–GPU3 (12 links of
-                // 25 GB/s); traffic between pairs falls back to PCIe.
-                accel_accel: Some(Link::new(LinkKind::NvLink4Bridge, 600.0, 2.5e-6)),
-                internode: None,
-                tdp_override_w: None,
-                staging_images_per_s: 16000.0,
-                staging_tokens_per_s: 220000.0,
-                max_nodes: 1,
-            },
-            SystemId::WaiH100 => NodeConfig {
-                id,
-                platform: "H100 (WestAI)".into(),
-                device: DeviceSpec::h100_sxm5(),
-                devices_per_node: 4,
-                cpu: CpuSpec {
-                    model: "Intel Xeon Platinum 8462Y".into(),
-                    sockets: 2,
-                    cores_per_socket: 32,
-                },
-                host_mem_gib: 512,
-                cpu_accel: Link::new(LinkKind::PcieGen5, 128.0, 2.0e-6),
-                accel_accel: Some(Link::new(LinkKind::NvLink4, 900.0, 2.0e-6)),
-                internode: Some(Link::new(LinkKind::InfiniBandNdr, 2.0 * 50.0, 3.0e-6)),
-                tdp_override_w: None,
-                staging_images_per_s: 16000.0,
-                staging_tokens_per_s: 220000.0,
-                max_nodes: 8,
-            },
-            SystemId::Mi250 => NodeConfig {
-                id,
-                platform: "MI200 (JRDC)".into(),
-                device: DeviceSpec::mi250_gcd(),
-                devices_per_node: 8,
-                cpu: CpuSpec {
-                    model: "AMD EPYC 7443".into(),
-                    sockets: 2,
-                    cores_per_socket: 24,
-                },
-                host_mem_gib: 512,
-                cpu_accel: Link::new(LinkKind::PcieGen4, 64.0, 2.0e-6),
-                accel_accel: Some(Link::new(LinkKind::InfinityFabric, 500.0, 2.5e-6)),
-                internode: Some(Link::new(LinkKind::InfiniBandHdr, 2.0 * 25.0, 3.0e-6)),
-                tdp_override_w: None,
-                staging_images_per_s: 11000.0,
-                staging_tokens_per_s: 160000.0,
-                max_nodes: 4,
-            },
-            SystemId::Gc200 => NodeConfig {
-                id,
-                platform: "IPU-M2000 (JRDC)".into(),
-                device: DeviceSpec::gc200_ipu(),
-                devices_per_node: 4,
-                cpu: CpuSpec {
-                    model: "AMD EPYC 7413".into(),
-                    sockets: 2,
-                    cores_per_socket: 24,
-                },
-                host_mem_gib: 512,
-                cpu_accel: Link::new(LinkKind::PcieGen4, 64.0, 2.0e-6),
-                // 10 IPU-Links per IPU at 32 GB/s bidirectional: 256 GB/s
-                // accumulated intra-node bandwidth per device.
-                accel_accel: Some(Link::new(LinkKind::IpuLink, 256.0, 2.0e-6)),
-                internode: None,
-                tdp_override_w: None,
-                staging_images_per_s: 9000.0,
-                staging_tokens_per_s: 120000.0,
-                max_nodes: 1,
-            },
-            SystemId::A100 => NodeConfig {
-                id,
-                platform: "A100 (JRDC)".into(),
-                device: DeviceSpec::a100_sxm4(),
-                devices_per_node: 4,
-                cpu: CpuSpec {
-                    model: "AMD EPYC 7742".into(),
-                    sockets: 2,
-                    cores_per_socket: 64,
-                },
-                host_mem_gib: 512,
-                cpu_accel: Link::new(LinkKind::PcieGen4, 64.0, 2.0e-6),
-                accel_accel: Some(Link::new(LinkKind::NvLink3, 600.0, 2.0e-6)),
-                internode: Some(Link::new(LinkKind::InfiniBandHdr, 2.0 * 25.0, 3.0e-6)),
-                tdp_override_w: None,
-                staging_images_per_s: 11000.0,
-                staging_tokens_per_s: 160000.0,
-                max_nodes: 8,
-            },
-        }
+        DeviceRegistry::global().get(id).node.clone()
     }
 
     /// Look up a system's configuration as a process-wide shared handle.
@@ -284,25 +215,17 @@ impl NodeConfig {
     /// Sweeps instantiate a node per grid point; sharing one immutable
     /// `NodeConfig` allocation per system avoids rebuilding the Table I
     /// data (specs, link descriptions, staging rates) at every point.
-    pub fn shared(id: SystemId) -> std::sync::Arc<NodeConfig> {
-        use std::sync::{Arc, OnceLock};
-        static CACHE: OnceLock<Vec<Arc<NodeConfig>>> = OnceLock::new();
-        let cache = CACHE.get_or_init(|| {
-            SystemId::all()
-                .into_iter()
-                .map(|s| Arc::new(NodeConfig::for_system(s)))
-                .collect()
-        });
-        let pos = SystemId::all()
-            .into_iter()
-            .position(|s| s == id)
-            .expect("every SystemId appears in all()");
-        Arc::clone(&cache[pos])
+    pub fn shared(id: SystemId) -> Arc<NodeConfig> {
+        DeviceRegistry::global().shared_node(id)
     }
 
-    /// All node configurations, in Table I column order.
+    /// All node configurations, in registry order (Table I columns first).
     pub fn all() -> Vec<NodeConfig> {
-        SystemId::all().into_iter().map(Self::for_system).collect()
+        DeviceRegistry::global()
+            .entries()
+            .iter()
+            .map(|e| e.node.clone())
+            .collect()
     }
 
     /// Per-device TDP in watts (Table I "TDP / device" row).
@@ -337,9 +260,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn seven_systems() {
-        assert_eq!(NodeConfig::all().len(), 7);
-        assert_eq!(SystemId::all().len(), 7);
+    fn paper_systems_plus_data_additions() {
+        assert_eq!(SystemId::paper().len(), 7);
+        let all = SystemId::all();
+        assert!(all.len() >= 8, "EDGERV data file missing from registry");
+        assert_eq!(&all[..7], &SystemId::paper()[..]);
+        assert_eq!(NodeConfig::all().len(), all.len());
+        assert!(all.iter().any(|s| s.jube_tag() == "EDGERV"));
     }
 
     #[test]
@@ -352,6 +279,20 @@ mod tests {
             );
         }
         assert_eq!(SystemId::from_jube_tag("NOPE"), None);
+        let err = SystemId::try_from_tag("NOPE").unwrap_err();
+        assert!(err.to_string().contains("WAIH100"), "{err}");
+    }
+
+    #[test]
+    fn serde_round_trips_tags_and_legacy_variant_names() {
+        use serde::{Deserialize as _, Serialize as _};
+        for id in SystemId::all() {
+            assert_eq!(id.to_value(), serde::Value::Str(id.jube_tag().into()));
+            assert_eq!(SystemId::from_value(&id.to_value()).unwrap(), id);
+        }
+        let legacy = serde::Value::Str("Gh200Jrdc".into());
+        assert_eq!(SystemId::from_value(&legacy).unwrap(), SystemId::Gh200Jrdc);
+        assert!(SystemId::from_value(&serde::Value::Str("NOPE".into())).is_err());
     }
 
     #[test]
@@ -450,5 +391,16 @@ mod tests {
         let ib = jedi.internode.unwrap();
         // 4× IB NDR200 = 4 × 200 Gbit/s = 100 GB/s.
         assert_eq!(ib.bandwidth_gbps, 100.0);
+    }
+
+    #[test]
+    fn edge_soc_is_a_pure_data_addition() {
+        let id = SystemId::from_jube_tag("EDGERV").expect("edgerv.toml registered");
+        let node = NodeConfig::for_system(id);
+        assert_eq!(node.devices_per_node, 1);
+        assert!(node.internode.is_some(), "4-board Ethernet cluster");
+        assert!(node.numa.fused_package, "NPU shares the SoC die");
+        assert!(node.device.peak_fp16_tflops < 10.0, "edge-class device");
+        assert_eq!(node.max_nodes, 4);
     }
 }

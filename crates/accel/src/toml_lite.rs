@@ -1,0 +1,474 @@
+//! Minimal TOML subset parser for the device registry.
+//!
+//! The workspace vendors its dependencies and carries no `toml` crate, so
+//! the registry ships its own parser for exactly the subset the device
+//! files and calibration traces use:
+//!
+//! * `[table.header]` and `[[array.of.tables]]` sections,
+//! * bare `key = value` pairs with string / number / boolean / inline
+//!   array values,
+//! * `#` comments (string-aware) and blank lines.
+//!
+//! Numbers are parsed with `str::parse::<f64>`, which is correctly rounded
+//! — a decimal literal in a device file yields the exact same `f64` as the
+//! same literal in Rust source. That property is what lets the registry
+//! guarantee bit-identical `NodeConfig`s to the deleted hand-coded table.
+//!
+//! Errors carry the 1-based source line so a malformed device file points
+//! at the offending entry.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parsed TOML value. Tables preserve insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TomlValue {
+    Str(String),
+    Num(f64),
+    Bool(bool),
+    Array(Vec<TomlValue>),
+    Table(Vec<(String, TomlValue)>),
+}
+
+impl TomlValue {
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            TomlValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            TomlValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            TomlValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[TomlValue]> {
+        match self {
+            TomlValue::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_table(&self) -> Option<&[(String, TomlValue)]> {
+        match self {
+            TomlValue::Table(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Direct child of a table by key.
+    pub fn get(&self, key: &str) -> Option<&TomlValue> {
+        match self {
+            TomlValue::Table(t) => t.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Nested lookup by dotted path, e.g. `"device.calib.llm.mfu_max"`.
+    pub fn lookup(&self, path: &str) -> Option<&TomlValue> {
+        path.split('.').try_fold(self, |node, seg| node.get(seg))
+    }
+}
+
+/// Parse failure with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TomlError {
+    pub line: usize,
+    pub msg: String,
+}
+
+impl fmt::Display for TomlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for TomlError {}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, TomlError> {
+    Err(TomlError {
+        line,
+        msg: msg.into(),
+    })
+}
+
+/// One segment of a section path: a table name, optionally pinned to an
+/// element of an array-of-tables.
+#[derive(Debug, Clone)]
+struct Seg {
+    name: String,
+    index: Option<usize>,
+}
+
+/// Parse a complete TOML document into its root table.
+pub fn parse(src: &str) -> Result<TomlValue, TomlError> {
+    let mut root: Vec<(String, TomlValue)> = Vec::new();
+    let mut cur: Vec<Seg> = Vec::new();
+    // Explicitly-defined table headers (canonical paths with array
+    // indices), to reject duplicate sections.
+    let mut defined: HashMap<String, usize> = HashMap::new();
+
+    for (i, raw) in src.lines().enumerate() {
+        let line_no = i + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(inner) = line.strip_prefix("[[").and_then(|r| r.strip_suffix("]]")) {
+            let segs = parse_path(inner, line_no)?;
+            let (name, parents) = segs.split_last().unwrap();
+            let mut parent_path = Vec::new();
+            let mut canonical = String::new();
+            let table = navigate(&mut root, parents, &mut canonical, line_no)?;
+            parent_path.extend_from_slice(parents);
+            let idx = push_array_table(table, name, line_no)?;
+            canonical.push_str(&format!("{}[{idx}].", name.name));
+            parent_path.push(Seg {
+                name: name.name.clone(),
+                index: Some(idx),
+            });
+            cur = parent_path;
+            defined.insert(canonical.clone(), line_no);
+        } else if let Some(inner) = line.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+            let segs = parse_path(inner, line_no)?;
+            let mut canonical = String::new();
+            navigate(&mut root, &segs, &mut canonical, line_no)?;
+            if let Some(first) = defined.get(&canonical) {
+                return err(line_no, format!("duplicate table (first at line {first})"));
+            }
+            defined.insert(canonical, line_no);
+            cur = segs;
+        } else if let Some(eq) = find_eq(&line) {
+            let key = line[..eq].trim();
+            if key.is_empty() || !is_bare_key(key) {
+                return err(line_no, format!("invalid key `{key}`"));
+            }
+            let value = parse_value(line[eq + 1..].trim(), line_no)?;
+            let mut canonical = String::new();
+            let table = navigate(&mut root, &cur, &mut canonical, line_no)?;
+            if table.iter().any(|(k, _)| k == key) {
+                return err(line_no, format!("duplicate key `{key}`"));
+            }
+            table.push((key.to_string(), value));
+        } else {
+            return err(line_no, format!("cannot parse `{line}`"));
+        }
+    }
+    Ok(TomlValue::Table(root))
+}
+
+/// Cut a `#` comment, honouring `"..."` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escape = false;
+    for (pos, c) in line.char_indices() {
+        if escape {
+            escape = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escape = true,
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..pos],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Position of the key/value `=`, honouring strings (keys are bare, so the
+/// first `=` outside a string is always the separator).
+fn find_eq(line: &str) -> Option<usize> {
+    line.find('=')
+}
+
+fn is_bare_key(key: &str) -> bool {
+    !key.is_empty()
+        && key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+fn parse_path(inner: &str, line: usize) -> Result<Vec<Seg>, TomlError> {
+    let mut segs = Vec::new();
+    for part in inner.split('.') {
+        let name = part.trim();
+        if !is_bare_key(name) {
+            return err(line, format!("invalid table name `{name}`"));
+        }
+        segs.push(Seg {
+            name: name.to_string(),
+            index: None,
+        });
+    }
+    Ok(segs)
+}
+
+/// Walk (creating as needed) to the table at `segs`, appending the
+/// canonical path (with resolved array indices) to `canonical`.
+fn navigate<'a>(
+    mut table: &'a mut Vec<(String, TomlValue)>,
+    segs: &[Seg],
+    canonical: &mut String,
+    line: usize,
+) -> Result<&'a mut Vec<(String, TomlValue)>, TomlError> {
+    for seg in segs {
+        let pos = match table.iter().position(|(k, _)| k == &seg.name) {
+            Some(p) => p,
+            None => {
+                table.push((seg.name.clone(), TomlValue::Table(Vec::new())));
+                table.len() - 1
+            }
+        };
+        let node = &mut table[pos].1;
+        table = match node {
+            TomlValue::Table(t) => {
+                canonical.push_str(&seg.name);
+                canonical.push('.');
+                t
+            }
+            TomlValue::Array(a) => {
+                // Sub-table of an array-of-tables element: resolve to the
+                // pinned index or the most recent element.
+                let idx = seg.index.unwrap_or_else(|| a.len().saturating_sub(1));
+                canonical.push_str(&format!("{}[{idx}].", seg.name));
+                match a.get_mut(idx) {
+                    Some(TomlValue::Table(t)) => t,
+                    _ => return err(line, format!("`{}` is not a table array", seg.name)),
+                }
+            }
+            _ => return err(line, format!("`{}` is not a table", seg.name)),
+        };
+    }
+    Ok(table)
+}
+
+/// Append a fresh table to the array-of-tables `name` in `parent`,
+/// creating the array if absent. Returns the new element's index.
+fn push_array_table(
+    parent: &mut Vec<(String, TomlValue)>,
+    name: &Seg,
+    line: usize,
+) -> Result<usize, TomlError> {
+    match parent.iter().position(|(k, _)| k == &name.name) {
+        None => {
+            parent.push((
+                name.name.clone(),
+                TomlValue::Array(vec![TomlValue::Table(Vec::new())]),
+            ));
+            Ok(0)
+        }
+        Some(p) => match &mut parent[p].1 {
+            TomlValue::Array(a) => {
+                a.push(TomlValue::Table(Vec::new()));
+                Ok(a.len() - 1)
+            }
+            _ => err(line, format!("`{}` is not an array of tables", name.name)),
+        },
+    }
+}
+
+fn parse_value(s: &str, line: usize) -> Result<TomlValue, TomlError> {
+    if s.is_empty() {
+        return err(line, "missing value");
+    }
+    if let Some(rest) = s.strip_prefix('"') {
+        let (string, consumed) = parse_string(rest, line)?;
+        if !rest[consumed..].trim().is_empty() {
+            return err(line, "trailing characters after string");
+        }
+        return Ok(TomlValue::Str(string));
+    }
+    if s == "true" {
+        return Ok(TomlValue::Bool(true));
+    }
+    if s == "false" {
+        return Ok(TomlValue::Bool(false));
+    }
+    if let Some(inner) = s.strip_prefix('[') {
+        let inner = inner
+            .strip_suffix(']')
+            .ok_or_else(|| TomlError {
+                line,
+                msg: "unterminated array".into(),
+            })?
+            .trim();
+        let mut items = Vec::new();
+        if !inner.is_empty() {
+            for part in split_array_items(inner, line)? {
+                items.push(parse_value(part.trim(), line)?);
+            }
+        }
+        return Ok(TomlValue::Array(items));
+    }
+    match s.parse::<f64>() {
+        Ok(n) if n.is_finite() => Ok(TomlValue::Num(n)),
+        _ => err(line, format!("invalid value `{s}`")),
+    }
+}
+
+/// Parse the body of a `"…"` string (after the opening quote); returns the
+/// unescaped contents and the byte offset just past the closing quote.
+fn parse_string(rest: &str, line: usize) -> Result<(String, usize), TomlError> {
+    let mut out = String::new();
+    let mut chars = rest.char_indices();
+    while let Some((pos, c)) = chars.next() {
+        match c {
+            '"' => return Ok((out, pos + 1)),
+            '\\' => match chars.next() {
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                other => {
+                    return err(
+                        line,
+                        format!("unsupported escape `\\{}`", other.map_or(' ', |(_, c)| c)),
+                    )
+                }
+            },
+            _ => out.push(c),
+        }
+    }
+    err(line, "unterminated string")
+}
+
+/// Split inline-array items on top-level commas (string- and
+/// nesting-aware).
+fn split_array_items(inner: &str, line: usize) -> Result<Vec<&str>, TomlError> {
+    let mut items = Vec::new();
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escape = false;
+    let mut start = 0usize;
+    for (pos, c) in inner.char_indices() {
+        if escape {
+            escape = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escape = true,
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => {
+                depth = depth.checked_sub(1).ok_or_else(|| TomlError {
+                    line,
+                    msg: "unbalanced `]`".into(),
+                })?
+            }
+            ',' if !in_str && depth == 0 => {
+                items.push(&inner[start..pos]);
+                start = pos + 1;
+            }
+            _ => {}
+        }
+    }
+    if in_str {
+        return err(line, "unterminated string in array");
+    }
+    items.push(&inner[start..]);
+    Ok(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_tables() {
+        let doc = parse(
+            r#"
+schema = 1
+name = "x" # comment
+[a]
+flag = true
+f = 1.0e-6
+[a.b]
+n = 181.05
+"#,
+        )
+        .unwrap();
+        assert_eq!(doc.get("schema").unwrap().as_f64(), Some(1.0));
+        assert_eq!(doc.get("name").unwrap().as_str(), Some("x"));
+        assert_eq!(doc.lookup("a.flag").unwrap().as_bool(), Some(true));
+        assert_eq!(doc.lookup("a.f").unwrap().as_f64(), Some(1.0e-6));
+        assert_eq!(doc.lookup("a.b.n").unwrap().as_f64(), Some(181.05));
+    }
+
+    #[test]
+    fn numbers_parse_bit_identical_to_rust_literals() {
+        let doc = parse("x = 0.444\ny = 2.5e-6\nz = 900.0\nw = 181.05").unwrap();
+        assert_eq!(doc.get("x").unwrap().as_f64(), Some(0.444));
+        assert_eq!(doc.get("y").unwrap().as_f64(), Some(2.5e-6));
+        assert_eq!(doc.get("z").unwrap().as_f64(), Some(900.0));
+        assert_eq!(doc.get("w").unwrap().as_f64(), Some(181.05));
+    }
+
+    #[test]
+    fn array_of_tables() {
+        let doc = parse(
+            r#"
+[samples.llm]
+overhead_s = 0.01
+[[samples.llm.points]]
+batch = 1.0
+[[samples.llm.points]]
+batch = 2.0
+[[samples.power]]
+watts = 100.0
+"#,
+        )
+        .unwrap();
+        let pts = doc
+            .lookup("samples.llm.points")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[1].get("batch").unwrap().as_f64(), Some(2.0));
+        let power = doc.lookup("samples.power").unwrap().as_array().unwrap();
+        assert_eq!(power[0].get("watts").unwrap().as_f64(), Some(100.0));
+    }
+
+    #[test]
+    fn inline_arrays_and_strings() {
+        let doc = parse(r#"xs = [1.0, 2.0, 3.0]"#).unwrap();
+        let xs = doc.get("xs").unwrap().as_array().unwrap();
+        assert_eq!(xs.len(), 3);
+        let doc = parse(r#"s = "a \"quoted\" # not a comment""#).unwrap();
+        assert_eq!(
+            doc.get("s").unwrap().as_str(),
+            Some("a \"quoted\" # not a comment")
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("good = 1\nbad =").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse("x = 1\nx = 2").unwrap_err();
+        assert!(e.msg.contains("duplicate key"));
+        let e = parse("[t]\na = 1\n[t]").unwrap_err();
+        assert!(e.msg.contains("duplicate table"), "{}", e.msg);
+        let e = parse("v = nope").unwrap_err();
+        assert!(e.msg.contains("invalid value"));
+        let e = parse("s = \"unterminated").unwrap_err();
+        assert!(e.msg.contains("unterminated"));
+    }
+
+    #[test]
+    fn non_finite_numbers_rejected() {
+        assert!(parse("x = inf").is_err());
+        assert!(parse("x = NaN").is_err());
+    }
+}

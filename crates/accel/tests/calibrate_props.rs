@@ -1,0 +1,171 @@
+//! Property tests for the trace-based calibration fitters: parameter
+//! recovery must survive measurement noise, and degenerate traces must
+//! come back as typed errors — never as NaN parameters.
+
+use caraml_accel::calibrate::{
+    fit_power, fit_roofline, synthetic_power, synthetic_throughput, CalibError, PowerPoint,
+    ThroughputPoint,
+};
+use caraml_accel::spec::WorkloadCalib;
+use proptest::prelude::*;
+
+const PEAK_FLOPS: f64 = 100e12;
+const FLOPS_PER_ITEM: f64 = 90e9;
+const BATCHES: [f64; 8] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+
+fn calib(mfu_max: f64, batch_half: f64, overhead_s: f64) -> WorkloadCalib {
+    WorkloadCalib {
+        mfu_max,
+        batch_half,
+        overhead_s,
+        sustained_w: 300.0,
+    }
+}
+
+/// Deterministic multiplicative noise in `1 ± amplitude`, phase-shifted
+/// per point (no RNG needed: the property quantifies over the phase).
+fn perturb(i: usize, phase: f64, amplitude: f64) -> f64 {
+    1.0 + amplitude * (phase + 1.7 * i as f64).sin()
+}
+
+proptest! {
+    /// Noiseless roofline traces recover the generating parameters to
+    /// numerical precision across the whole plausible parameter space.
+    #[test]
+    fn roofline_recovers_exactly_without_noise(
+        mfu in 0.05..0.95f64,
+        half in 0.5..64.0f64,
+        overhead in 1e-4..0.05f64,
+    ) {
+        let truth = calib(mfu, half, overhead);
+        let trace = synthetic_throughput(PEAK_FLOPS, FLOPS_PER_ITEM, &truth, &BATCHES);
+        let fit = fit_roofline(PEAK_FLOPS, FLOPS_PER_ITEM, overhead, &trace).unwrap();
+        prop_assert!((fit.mfu_max - mfu).abs() / mfu < 1e-6);
+        prop_assert!((fit.batch_half - half).abs() / half < 1e-4);
+        prop_assert!(fit.residual < 1e-6);
+    }
+
+    /// With ±2% multiplicative throughput noise the fit stays within
+    /// ~15% of the generating parameters and reports a honest residual.
+    #[test]
+    fn roofline_recovers_approximately_under_noise(
+        mfu in 0.1..0.9f64,
+        half in 1.0..32.0f64,
+        phase in 0.0..6.28f64,
+    ) {
+        let overhead = 5e-3;
+        let truth = calib(mfu, half, overhead);
+        let trace: Vec<ThroughputPoint> =
+            synthetic_throughput(PEAK_FLOPS, FLOPS_PER_ITEM, &truth, &BATCHES)
+                .into_iter()
+                .enumerate()
+                .map(|(i, p)| ThroughputPoint {
+                    batch: p.batch,
+                    items_per_s: p.items_per_s * perturb(i, phase, 0.02),
+                })
+                .collect();
+        let fit = fit_roofline(PEAK_FLOPS, FLOPS_PER_ITEM, overhead, &trace).unwrap();
+        prop_assert!(fit.mfu_max.is_finite() && fit.batch_half.is_finite());
+        prop_assert!((fit.mfu_max - mfu).abs() / mfu < 0.15, "mfu {} vs {mfu}", fit.mfu_max);
+        prop_assert!((fit.batch_half - half).abs() / half < 0.35,
+                     "batch_half {} vs {half}", fit.batch_half);
+        prop_assert!(fit.residual < 0.05);
+    }
+
+    /// Noiseless power traces recover idle, sustained and alpha.
+    #[test]
+    fn power_recovers_exactly_without_noise(
+        idle in 20.0..150.0f64,
+        delta in 50.0..500.0f64,
+        alpha in 0.2..2.5f64,
+    ) {
+        let sustained = idle + delta;
+        let trace = synthetic_power(idle, sustained, alpha, &[0.1, 0.25, 0.5, 0.75, 1.0]);
+        let fit = fit_power(&trace).unwrap();
+        prop_assert!((fit.idle_w - idle).abs() / idle < 1e-3);
+        prop_assert!((fit.sustained_w - sustained).abs() / sustained < 1e-3);
+        prop_assert!((fit.alpha - alpha).abs() / alpha < 1e-2);
+    }
+
+    /// ±2% power noise keeps the fit within ~15% on every parameter.
+    #[test]
+    fn power_recovers_approximately_under_noise(
+        idle in 30.0..120.0f64,
+        delta in 100.0..400.0f64,
+        alpha in 0.3..2.0f64,
+        phase in 0.0..6.28f64,
+    ) {
+        let sustained = idle + delta;
+        let trace: Vec<PowerPoint> =
+            synthetic_power(idle, sustained, alpha, &[0.1, 0.2, 0.35, 0.5, 0.65, 0.8, 1.0])
+                .into_iter()
+                .enumerate()
+                .map(|(i, p)| PowerPoint {
+                    utilization: p.utilization,
+                    watts: p.watts * perturb(i, phase, 0.02),
+                })
+                .collect();
+        let fit = fit_power(&trace).unwrap();
+        prop_assert!(fit.idle_w.is_finite() && fit.alpha.is_finite());
+        prop_assert!((fit.idle_w - idle).abs() / idle < 0.15, "idle {} vs {idle}", fit.idle_w);
+        prop_assert!((fit.sustained_w - sustained).abs() / sustained < 0.15);
+        prop_assert!((fit.alpha - alpha).abs() / alpha < 0.35, "alpha {} vs {alpha}", fit.alpha);
+    }
+
+    /// A single-point trace is a typed error, whatever the point is.
+    #[test]
+    fn single_point_traces_are_too_few_points(b in 1.0..1024.0f64, y in 1.0..1e6f64) {
+        let err = fit_roofline(
+            PEAK_FLOPS,
+            FLOPS_PER_ITEM,
+            1e-3,
+            &[ThroughputPoint { batch: b, items_per_s: y }],
+        )
+        .unwrap_err();
+        prop_assert!(matches!(err, CalibError::TooFewPoints { needed: 3, got: 1, .. }));
+
+        let err = fit_power(&[PowerPoint { utilization: 0.5, watts: y }]).unwrap_err();
+        prop_assert!(matches!(err, CalibError::TooFewPoints { needed: 3, got: 1, .. }));
+    }
+
+    /// Zero-variance traces (all measurements at the same x) are typed
+    /// errors, not division-by-zero NaNs.
+    #[test]
+    fn zero_variance_traces_are_typed_errors(x in 0.05..1.0f64, y in 10.0..1000.0f64) {
+        let pts: Vec<PowerPoint> = (0..4)
+            .map(|_| PowerPoint { utilization: x, watts: y })
+            .collect();
+        prop_assert!(matches!(
+            fit_power(&pts).unwrap_err(),
+            CalibError::ZeroVariance { .. }
+        ));
+
+        let batch = (x * 64.0).max(1.0);
+        let pts: Vec<ThroughputPoint> = (0..4)
+            .map(|_| ThroughputPoint { batch, items_per_s: y })
+            .collect();
+        prop_assert!(matches!(
+            fit_roofline(PEAK_FLOPS, FLOPS_PER_ITEM, 1e-3, &pts).unwrap_err(),
+            CalibError::ZeroVariance { .. }
+        ));
+    }
+
+    /// Whatever the fitter returns — Ok or Err — it never smuggles a
+    /// non-finite parameter out, even for adversarial flat traces.
+    #[test]
+    fn fits_never_emit_nan(scale in 1.0..1e6f64, slope in -0.5..0.5f64) {
+        // A trace with arbitrary (possibly unphysical) linear trend.
+        let pts: Vec<ThroughputPoint> = BATCHES
+            .iter()
+            .map(|&b| ThroughputPoint { batch: b, items_per_s: scale * (1.0 + slope * b).abs().max(1e-9) })
+            .collect();
+        match fit_roofline(PEAK_FLOPS, FLOPS_PER_ITEM, 1e-3, &pts) {
+            Ok(fit) => {
+                prop_assert!(fit.mfu_max.is_finite());
+                prop_assert!(fit.batch_half.is_finite());
+                prop_assert!(fit.residual.is_finite());
+            }
+            Err(e) => prop_assert!(!e.to_string().contains("NaN")),
+        }
+    }
+}

@@ -1,0 +1,466 @@
+//! Equivalence of the TOML device registry with the pre-refactor
+//! hand-coded Table I.
+//!
+//! Before PR 6, `NodeConfig::for_system` was a `match` over literal values
+//! in `systems.rs`/`spec.rs`. Those literals are preserved below, verbatim,
+//! and every field of every paper system's registry-loaded `NodeConfig` is
+//! asserted identical — so the refactor cannot have moved a single number,
+//! and Table II/III outputs and the Fig. 2–4 ratios are unchanged by
+//! construction. (Decimal TOML floats parse correctly rounded, i.e. to the
+//! same bits as the former Rust literals; memory capacities are exact MiB
+//! integers.)
+
+use caraml_accel::affinity::NumaTopology;
+use caraml_accel::interconnect::{Link, LinkKind};
+use caraml_accel::spec::{DeviceKind, DeviceSpec, FormFactor, Vendor, WorkloadCalib};
+use caraml_accel::systems::{CpuSpec, NodeConfig, SystemId};
+
+const GIB: u64 = 1 << 30;
+
+fn gh200() -> DeviceSpec {
+    DeviceSpec {
+        name: "NVIDIA GH200".into(),
+        vendor: Vendor::Nvidia,
+        kind: DeviceKind::Gpu,
+        form: FormFactor::Superchip,
+        compute_units: 132,
+        cores_per_unit: 128,
+        peak_fp16_tflops: 990.0,
+        mem_bytes: 96 * GIB,
+        mem_bw_gbps: 4000.0,
+        tdp_w: 700.0,
+        idle_w: 95.0,
+        power_alpha: 0.85,
+        llm: WorkloadCalib {
+            mfu_max: 0.340,
+            batch_half: 8.0,
+            overhead_s: 0.008,
+            sustained_w: 700.0,
+        },
+        cv: WorkloadCalib {
+            mfu_max: 0.160,
+            batch_half: 12.0,
+            overhead_s: 0.0025,
+            sustained_w: 620.0,
+        },
+    }
+}
+
+fn h100_pcie() -> DeviceSpec {
+    DeviceSpec {
+        name: "NVIDIA H100 (PCIe)".into(),
+        vendor: Vendor::Nvidia,
+        kind: DeviceKind::Gpu,
+        form: FormFactor::Pcie,
+        compute_units: 114,
+        cores_per_unit: 128,
+        peak_fp16_tflops: 756.0,
+        mem_bytes: 80 * GIB,
+        mem_bw_gbps: 2000.0,
+        tdp_w: 350.0,
+        idle_w: 45.0,
+        power_alpha: 0.85,
+        llm: WorkloadCalib {
+            mfu_max: 0.223,
+            batch_half: 8.0,
+            overhead_s: 0.010,
+            sustained_w: 285.0,
+        },
+        cv: WorkloadCalib {
+            mfu_max: 0.120,
+            batch_half: 12.0,
+            overhead_s: 0.003,
+            sustained_w: 340.0,
+        },
+    }
+}
+
+fn h100_sxm5() -> DeviceSpec {
+    DeviceSpec {
+        name: "NVIDIA H100 (SXM5)".into(),
+        vendor: Vendor::Nvidia,
+        kind: DeviceKind::Gpu,
+        form: FormFactor::Sxm,
+        compute_units: 132,
+        cores_per_unit: 128,
+        peak_fp16_tflops: 990.0,
+        mem_bytes: 94 * GIB,
+        mem_bw_gbps: 3350.0,
+        tdp_w: 700.0,
+        idle_w: 60.0,
+        power_alpha: 0.85,
+        llm: WorkloadCalib {
+            mfu_max: 0.222,
+            batch_half: 8.0,
+            overhead_s: 0.010,
+            sustained_w: 560.0,
+        },
+        cv: WorkloadCalib {
+            mfu_max: 0.142,
+            batch_half: 12.0,
+            overhead_s: 0.003,
+            sustained_w: 600.0,
+        },
+    }
+}
+
+fn a100_sxm4() -> DeviceSpec {
+    DeviceSpec {
+        name: "NVIDIA A100 (SXM4)".into(),
+        vendor: Vendor::Nvidia,
+        kind: DeviceKind::Gpu,
+        form: FormFactor::Sxm,
+        compute_units: 108,
+        cores_per_unit: 64,
+        peak_fp16_tflops: 312.0,
+        mem_bytes: 40 * GIB,
+        mem_bw_gbps: 1555.0,
+        tdp_w: 400.0,
+        idle_w: 55.0,
+        power_alpha: 0.85,
+        llm: WorkloadCalib {
+            mfu_max: 0.444,
+            batch_half: 8.0,
+            overhead_s: 0.012,
+            sustained_w: 330.0,
+        },
+        cv: WorkloadCalib {
+            mfu_max: 0.245,
+            batch_half: 14.0,
+            overhead_s: 0.004,
+            sustained_w: 390.0,
+        },
+    }
+}
+
+fn mi250_gcd() -> DeviceSpec {
+    DeviceSpec {
+        name: "AMD MI250 (GCD)".into(),
+        vendor: Vendor::Amd,
+        kind: DeviceKind::Gpu,
+        form: FormFactor::Oam,
+        compute_units: 104,
+        cores_per_unit: 64,
+        peak_fp16_tflops: 181.05,
+        mem_bytes: 64 * GIB,
+        mem_bw_gbps: 1638.0,
+        tdp_w: 280.0,
+        idle_w: 45.0,
+        power_alpha: 0.85,
+        llm: WorkloadCalib {
+            mfu_max: 0.372,
+            batch_half: 10.0,
+            overhead_s: 0.016,
+            sustained_w: 262.0,
+        },
+        cv: WorkloadCalib {
+            mfu_max: 0.225,
+            batch_half: 64.0,
+            overhead_s: 0.005,
+            sustained_w: 112.0,
+        },
+    }
+}
+
+fn gc200_ipu() -> DeviceSpec {
+    DeviceSpec {
+        name: "Graphcore GC200 IPU".into(),
+        vendor: Vendor::Graphcore,
+        kind: DeviceKind::Ipu,
+        form: FormFactor::IpuM,
+        compute_units: 1472,
+        cores_per_unit: 1,
+        peak_fp16_tflops: 250.0,
+        mem_bytes: 900 * 1024 * 1024,
+        mem_bw_gbps: 47500.0,
+        tdp_w: 300.0,
+        idle_w: 38.0,
+        power_alpha: 0.9,
+        llm: WorkloadCalib {
+            mfu_max: 0.12,
+            batch_half: 64.0,
+            overhead_s: 0.0,
+            sustained_w: 160.0,
+        },
+        cv: WorkloadCalib {
+            mfu_max: 0.10,
+            batch_half: 16.0,
+            overhead_s: 0.0,
+            sustained_w: 168.0,
+        },
+    }
+}
+
+/// The former `NumaTopology::for_system` match, per system.
+fn legacy_numa(id: SystemId, devices_per_node: u32, sockets: u32) -> NumaTopology {
+    if id == SystemId::Jedi || id == SystemId::Gh200Jrdc {
+        NumaTopology {
+            domains: devices_per_node,
+            domains_with_accel: devices_per_node,
+            fused_package: true,
+        }
+    } else if id == SystemId::A100 || id == SystemId::Mi250 || id == SystemId::Gc200 {
+        NumaTopology {
+            domains: sockets * 4,
+            domains_with_accel: devices_per_node.min(sockets * 2),
+            fused_package: false,
+        }
+    } else {
+        NumaTopology {
+            domains: sockets,
+            domains_with_accel: sockets,
+            fused_package: false,
+        }
+    }
+}
+
+/// The former `NodeConfig::for_system` match, verbatim.
+fn legacy_for_system(id: SystemId) -> NodeConfig {
+    let mut node = if id == SystemId::Jedi {
+        NodeConfig {
+            id,
+            platform: "GH200 (JEDI)".into(),
+            device: gh200(),
+            devices_per_node: 4,
+            cpu: CpuSpec {
+                model: "NVIDIA Grace (Arm Neoverse-V2)".into(),
+                sockets: 4,
+                cores_per_socket: 72,
+            },
+            host_mem_gib: 4 * 120,
+            numa: legacy_numa(id, 4, 4),
+            cpu_accel: Link::new(LinkKind::NvLinkC2c, 900.0, 1.0e-6),
+            accel_accel: Some(Link::new(LinkKind::NvLink4, 900.0, 2.0e-6)),
+            internode: Some(Link::new(LinkKind::InfiniBandNdr, 4.0 * 25.0, 3.0e-6)),
+            tdp_override_w: Some(680.0),
+            staging_images_per_s: 5850.0,
+            staging_tokens_per_s: 39800.0,
+            max_nodes: 16,
+        }
+    } else if id == SystemId::Gh200Jrdc {
+        NodeConfig {
+            id,
+            platform: "GH200 (JRDC)".into(),
+            device: gh200(),
+            devices_per_node: 1,
+            cpu: CpuSpec {
+                model: "NVIDIA Grace (Arm Neoverse-V2)".into(),
+                sockets: 1,
+                cores_per_socket: 72,
+            },
+            host_mem_gib: 480,
+            numa: legacy_numa(id, 1, 1),
+            cpu_accel: Link::new(LinkKind::NvLinkC2c, 900.0, 1.0e-6),
+            accel_accel: None,
+            internode: None,
+            tdp_override_w: None,
+            staging_images_per_s: 23000.0,
+            staging_tokens_per_s: 320000.0,
+            max_nodes: 1,
+        }
+    } else if id == SystemId::H100Jrdc {
+        NodeConfig {
+            id,
+            platform: "H100 (JRDC)".into(),
+            device: h100_pcie(),
+            devices_per_node: 4,
+            cpu: CpuSpec {
+                model: "Intel Xeon Platinum 8452Y".into(),
+                sockets: 2,
+                cores_per_socket: 36,
+            },
+            host_mem_gib: 512,
+            numa: legacy_numa(id, 4, 2),
+            cpu_accel: Link::new(LinkKind::PcieGen5, 128.0, 2.0e-6),
+            accel_accel: Some(Link::new(LinkKind::NvLink4Bridge, 600.0, 2.5e-6)),
+            internode: None,
+            tdp_override_w: None,
+            staging_images_per_s: 16000.0,
+            staging_tokens_per_s: 220000.0,
+            max_nodes: 1,
+        }
+    } else if id == SystemId::WaiH100 {
+        NodeConfig {
+            id,
+            platform: "H100 (WestAI)".into(),
+            device: h100_sxm5(),
+            devices_per_node: 4,
+            cpu: CpuSpec {
+                model: "Intel Xeon Platinum 8462Y".into(),
+                sockets: 2,
+                cores_per_socket: 32,
+            },
+            host_mem_gib: 512,
+            numa: legacy_numa(id, 4, 2),
+            cpu_accel: Link::new(LinkKind::PcieGen5, 128.0, 2.0e-6),
+            accel_accel: Some(Link::new(LinkKind::NvLink4, 900.0, 2.0e-6)),
+            internode: Some(Link::new(LinkKind::InfiniBandNdr, 2.0 * 50.0, 3.0e-6)),
+            tdp_override_w: None,
+            staging_images_per_s: 16000.0,
+            staging_tokens_per_s: 220000.0,
+            max_nodes: 8,
+        }
+    } else if id == SystemId::Mi250 {
+        NodeConfig {
+            id,
+            platform: "MI200 (JRDC)".into(),
+            device: mi250_gcd(),
+            devices_per_node: 8,
+            cpu: CpuSpec {
+                model: "AMD EPYC 7443".into(),
+                sockets: 2,
+                cores_per_socket: 24,
+            },
+            host_mem_gib: 512,
+            numa: legacy_numa(id, 8, 2),
+            cpu_accel: Link::new(LinkKind::PcieGen4, 64.0, 2.0e-6),
+            accel_accel: Some(Link::new(LinkKind::InfinityFabric, 500.0, 2.5e-6)),
+            internode: Some(Link::new(LinkKind::InfiniBandHdr, 2.0 * 25.0, 3.0e-6)),
+            tdp_override_w: None,
+            staging_images_per_s: 11000.0,
+            staging_tokens_per_s: 160000.0,
+            max_nodes: 4,
+        }
+    } else if id == SystemId::Gc200 {
+        NodeConfig {
+            id,
+            platform: "IPU-M2000 (JRDC)".into(),
+            device: gc200_ipu(),
+            devices_per_node: 4,
+            cpu: CpuSpec {
+                model: "AMD EPYC 7413".into(),
+                sockets: 2,
+                cores_per_socket: 24,
+            },
+            host_mem_gib: 512,
+            numa: legacy_numa(id, 4, 2),
+            cpu_accel: Link::new(LinkKind::PcieGen4, 64.0, 2.0e-6),
+            accel_accel: Some(Link::new(LinkKind::IpuLink, 256.0, 2.0e-6)),
+            internode: None,
+            tdp_override_w: None,
+            staging_images_per_s: 9000.0,
+            staging_tokens_per_s: 120000.0,
+            max_nodes: 1,
+        }
+    } else {
+        assert_eq!(id, SystemId::A100);
+        NodeConfig {
+            id,
+            platform: "A100 (JRDC)".into(),
+            device: a100_sxm4(),
+            devices_per_node: 4,
+            cpu: CpuSpec {
+                model: "AMD EPYC 7742".into(),
+                sockets: 2,
+                cores_per_socket: 64,
+            },
+            host_mem_gib: 512,
+            numa: legacy_numa(id, 4, 2),
+            cpu_accel: Link::new(LinkKind::PcieGen4, 64.0, 2.0e-6),
+            accel_accel: Some(Link::new(LinkKind::NvLink3, 600.0, 2.0e-6)),
+            internode: Some(Link::new(LinkKind::InfiniBandHdr, 2.0 * 25.0, 3.0e-6)),
+            tdp_override_w: None,
+            staging_images_per_s: 11000.0,
+            staging_tokens_per_s: 160000.0,
+            max_nodes: 8,
+        }
+    };
+    // The former table left `numa` implicit in affinity.rs; the field is
+    // normalised above so `node` is fully populated either way.
+    node.numa = legacy_numa(id, node.devices_per_node, node.cpu.sockets);
+    node
+}
+
+/// Bit-exact float equality with a named field in the failure message.
+macro_rules! assert_feq {
+    ($got:expr, $want:expr, $sys:expr, $field:expr) => {
+        assert!(
+            $got.to_bits() == $want.to_bits(),
+            "{}: {} differs: registry {:?} vs legacy {:?}",
+            $sys,
+            $field,
+            $got,
+            $want
+        );
+    };
+}
+
+#[test]
+fn registry_nodes_are_field_identical_to_the_deleted_table() {
+    for id in SystemId::paper() {
+        let got = NodeConfig::for_system(id);
+        let want = legacy_for_system(id);
+        let tag = id.jube_tag();
+
+        // Struct-level equality first (catches everything)…
+        assert_eq!(got, want, "{tag}: NodeConfig differs from legacy table");
+
+        // …then bit-exact checks on every float, since `PartialEq` on f64
+        // would also pass for -0.0 vs 0.0.
+        assert_feq!(
+            got.device.peak_fp16_tflops,
+            want.device.peak_fp16_tflops,
+            tag,
+            "peak_fp16_tflops"
+        );
+        assert_feq!(
+            got.device.mem_bw_gbps,
+            want.device.mem_bw_gbps,
+            tag,
+            "mem_bw_gbps"
+        );
+        assert_feq!(got.device.tdp_w, want.device.tdp_w, tag, "tdp_w");
+        assert_feq!(got.device.idle_w, want.device.idle_w, tag, "idle_w");
+        assert_feq!(
+            got.device.power_alpha,
+            want.device.power_alpha,
+            tag,
+            "power_alpha"
+        );
+        for (g, w, name) in [
+            (&got.device.llm, &want.device.llm, "llm"),
+            (&got.device.cv, &want.device.cv, "cv"),
+        ] {
+            assert_feq!(g.mfu_max, w.mfu_max, tag, name);
+            assert_feq!(g.batch_half, w.batch_half, tag, name);
+            assert_feq!(g.overhead_s, w.overhead_s, tag, name);
+            assert_feq!(g.sustained_w, w.sustained_w, tag, name);
+        }
+        assert_feq!(
+            got.staging_images_per_s,
+            want.staging_images_per_s,
+            tag,
+            "staging_images_per_s"
+        );
+        assert_feq!(
+            got.staging_tokens_per_s,
+            want.staging_tokens_per_s,
+            tag,
+            "staging_tokens_per_s"
+        );
+        assert_eq!(
+            got.device.mem_bytes, want.device.mem_bytes,
+            "{tag}: mem_bytes"
+        );
+        assert_eq!(got.numa, want.numa, "{tag}: numa");
+        assert_eq!(got.cpu_accel, want.cpu_accel, "{tag}: cpu_accel");
+        assert_eq!(got.accel_accel, want.accel_accel, "{tag}: accel_accel");
+        assert_eq!(got.internode, want.internode, "{tag}: internode");
+        match (got.tdp_override_w, want.tdp_override_w) {
+            (Some(g), Some(w)) => {
+                assert_feq!(g, w, tag, "tdp_override_w");
+            }
+            (None, None) => {}
+            (g, w) => panic!("{tag}: tdp_override_w differs: {g:?} vs {w:?}"),
+        }
+    }
+}
+
+#[test]
+fn numa_topologies_match_the_deleted_affinity_match() {
+    for id in SystemId::paper() {
+        let node = NodeConfig::for_system(id);
+        let want = legacy_numa(id, node.devices_per_node, node.cpu.sockets);
+        assert_eq!(NumaTopology::for_system(id), want, "{}", id.jube_tag());
+    }
+}

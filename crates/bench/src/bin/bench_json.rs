@@ -571,6 +571,26 @@ fn sweep_steps(records: &mut Vec<Record>) {
     });
 }
 
+/// Device-registry cold load: parse + validate + intern every embedded
+/// device TOML. items/s = device files per wall second; tracked so the
+/// data-driven registry path stays cheap as systems are added.
+fn registry_steps(records: &mut Vec<Record>) {
+    use caraml_accel::{DeviceRegistry, EMBEDDED_DEVICE_FILES};
+    let files = EMBEDDED_DEVICE_FILES.len() as u64;
+    record(
+        records,
+        25,
+        "registry_load",
+        &format!("{files} device files"),
+        0,
+        0,
+        files,
+        || {
+            black_box(DeviceRegistry::from_files(EMBEDDED_DEVICE_FILES).unwrap());
+        },
+    );
+}
+
 fn run_all(samples: usize) -> Report {
     let mut records = Vec::new();
     gemm_and_conv(&mut records, samples);
@@ -578,6 +598,7 @@ fn run_all(samples: usize) -> Report {
     train_steps(&mut records);
     serve_steps(&mut records);
     sweep_steps(&mut records);
+    registry_steps(&mut records);
     Report {
         schema: "caraml-bench-tensor-v2",
         samples_per_kernel: samples,

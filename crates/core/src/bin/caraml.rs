@@ -13,11 +13,14 @@
 //! caraml serve H100 --bursty          # heavy-tailed arrival trace
 //! caraml baseline record out.json --tag GH200
 //! caraml baseline compare out.json --tag GH200 [--tolerance 0.05]
+//! caraml devices [--json]            # device registry table
+//! caraml devices --check docs/DEVICES.md
+//! caraml calibrate trace.toml -o fitted.toml
 //! ```
 
 use caraml::continuous::Baseline;
 use caraml::inference::InferenceBenchmark;
-use caraml::report::{render_heatmap, render_serve_table, render_shard_table};
+use caraml::report::{render_device_table, render_heatmap, render_serve_table, render_shard_table};
 use caraml::resnet::{ResnetBenchmark, FIG3_BATCHES, FIG4_BATCHES};
 use caraml::serve::{load_grid, ArrivalKind, ServeBenchmark};
 use caraml::suite::{
@@ -25,19 +28,38 @@ use caraml::suite::{
 };
 use caraml::sweep::{grid, ShardPlan};
 use caraml::SweepRunner;
-use caraml_accel::{NodeConfig, SystemId};
+use caraml_accel::{calibrate, DeviceKind, DeviceRegistry, NodeConfig, SystemId};
 use jube::SlurmSim;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  caraml systems\n  caraml run <llm|resnet50> --tag <TAG...> [--shards N] [--nodes N]\n  \
+        "usage:\n  caraml systems\n  caraml devices [--json | --check <golden-file>]\n  \
+         caraml calibrate <trace.toml> [-o <out.toml>]\n  \
+         caraml run <llm|resnet50> --tag <TAG...> [--shards N] [--nodes N]\n  \
          caraml suite <TAG> [--shards N] [--nodes N]\n  \
          caraml heatmap <TAG> [--shards N] [--nodes N]\n  caraml inference <TAG>\n  \
          caraml serve <TAG> [--bursty] [--seed N]\n  \
          caraml baseline <record|compare> <file.json> --tag <TAG> [--tolerance F]"
     );
     ExitCode::from(2)
+}
+
+/// Resolve a CLI tag through the registry, printing the typed error
+/// (which lists all valid tags) on failure.
+fn resolve_tag(tag: &str) -> Result<SystemId, ExitCode> {
+    SystemId::try_from_tag(tag).map_err(|e| {
+        eprintln!("caraml: {e}");
+        ExitCode::from(2)
+    })
+}
+
+/// Whether a tag selects the IPU execution path — decided by the
+/// accelerator kind in the registry, not by a hard-coded tag match.
+fn tag_is_ipu(tag: &str) -> bool {
+    SystemId::from_jube_tag(tag)
+        .map(|sys| NodeConfig::shared(sys).device.kind == DeviceKind::Ipu)
+        .unwrap_or(false)
 }
 
 /// Split `--tag` values out of an argument list. Tag collection stops at
@@ -103,7 +125,7 @@ fn render_job_accounting(title: &str, records: &[jube::JobRecord]) -> String {
 }
 
 fn run_suite(which: &str, tags: &[String], shard_opts: Option<(usize, u32)>) -> ExitCode {
-    let is_ipu = tags.iter().any(|t| t.eq_ignore_ascii_case("GC200"));
+    let is_ipu = tags.iter().any(|t| tag_is_ipu(t));
     let (benchmark, columns): (jube::Benchmark, Vec<&str>) = match (which, is_ipu) {
         ("llm", false) => (
             llm_benchmark_nvidia_amd(),
@@ -182,13 +204,13 @@ fn run_suite(which: &str, tags: &[String], shard_opts: Option<(usize, u32)>) -> 
 /// system (LLM training + ResNet50), dispatched sharded over a simulated
 /// Slurm partition with per-shard accounting.
 fn run_full_suite(tag: &str, shard_opts: Option<(usize, u32)>) -> ExitCode {
-    if SystemId::from_jube_tag(tag).is_none() {
-        eprintln!("caraml: unknown system tag '{tag}'");
-        return ExitCode::from(2);
-    }
+    let sys = match resolve_tag(tag) {
+        Ok(sys) => sys,
+        Err(code) => return code,
+    };
     let (shards, nodes) = shard_opts.unwrap_or((4, 4));
     let tags = vec![tag.to_string()];
-    let is_ipu = tag.eq_ignore_ascii_case("GC200");
+    let is_ipu = NodeConfig::shared(sys).device.kind == DeviceKind::Ipu;
     let suites: Vec<(&str, jube::Benchmark, Vec<&str>)> = if is_ipu {
         vec![(
             "llm",
@@ -241,9 +263,9 @@ fn run_full_suite(tag: &str, shard_opts: Option<(usize, u32)>) -> ExitCode {
 }
 
 fn run_heatmap(tag: &str, shard_opts: Option<(usize, u32)>) -> ExitCode {
-    let Some(sys) = SystemId::from_jube_tag(tag) else {
-        eprintln!("caraml: unknown system tag '{tag}'");
-        return ExitCode::from(2);
+    let sys = match resolve_tag(tag) {
+        Ok(sys) => sys,
+        Err(code) => return code,
     };
     let node = NodeConfig::shared(sys);
     let max_dev = (node.devices_per_node * node.max_nodes.min(2)).max(1);
@@ -288,9 +310,9 @@ fn run_heatmap(tag: &str, shard_opts: Option<(usize, u32)>) -> ExitCode {
 }
 
 fn run_inference(tag: &str) -> ExitCode {
-    let Some(sys) = SystemId::from_jube_tag(tag) else {
-        eprintln!("caraml: unknown system tag '{tag}'");
-        return ExitCode::from(2);
+    let sys = match resolve_tag(tag) {
+        Ok(sys) => sys,
+        Err(code) => return code,
     };
     let bench = InferenceBenchmark::new(sys);
     println!(
@@ -317,9 +339,9 @@ fn run_inference(tag: &str) -> ExitCode {
 }
 
 fn run_serve(tag: &str, flags: &[String]) -> ExitCode {
-    let Some(sys) = SystemId::from_jube_tag(tag) else {
-        eprintln!("caraml: unknown system tag '{tag}'");
-        return ExitCode::from(2);
+    let sys = match resolve_tag(tag) {
+        Ok(sys) => sys,
+        Err(code) => return code,
     };
     let mut bench = ServeBenchmark::new(sys);
     if flags.iter().any(|f| f == "--bursty") {
@@ -358,7 +380,7 @@ fn run_serve(tag: &str, flags: &[String]) -> ExitCode {
 
 /// Run a quick ResNet sweep on one system and return the FOM baseline.
 fn measure_baseline(tag: &str) -> Result<Baseline, String> {
-    let sys = SystemId::from_jube_tag(tag).ok_or_else(|| format!("unknown tag {tag}"))?;
+    let sys = SystemId::try_from_tag(tag).map_err(|e| e.to_string())?;
     let mut baseline = Baseline::new(format!("caraml/{tag}"));
     if sys == SystemId::Gc200 {
         for batch in [64u64, 1024] {
@@ -432,6 +454,94 @@ fn run_baseline(args: &[String]) -> ExitCode {
     }
 }
 
+/// `caraml devices`: render the device registry as a table, dump it as
+/// JSON, or diff the rendered table against a committed golden file
+/// (`--check`, used by `just check-devices`).
+fn run_devices(flags: &[String]) -> ExitCode {
+    if flags.iter().any(|f| f == "--json") {
+        match serde_json::to_string_pretty(DeviceRegistry::global().entries()) {
+            Ok(json) => {
+                println!("{json}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("caraml: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else if let Some(i) = flags.iter().position(|f| f == "--check") {
+        let Some(path) = flags.get(i + 1) else {
+            return usage();
+        };
+        let golden = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("caraml: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let rendered = render_device_table();
+        if golden.trim() == rendered.trim() {
+            println!(
+                "devices table matches {path} ({} systems)",
+                DeviceRegistry::global().len()
+            );
+            ExitCode::SUCCESS
+        } else {
+            eprintln!(
+                "caraml: {path} is stale — regenerate with `caraml devices > {path}`\n\
+                 expected:\n{rendered}"
+            );
+            ExitCode::FAILURE
+        }
+    } else {
+        println!("{}", render_device_table());
+        ExitCode::SUCCESS
+    }
+}
+
+/// `caraml calibrate <trace.toml> [-o out.toml]`: fit roofline and power
+/// parameters from the measured sample traces embedded in a device file
+/// and emit a registry-loadable TOML with the fitted calibration.
+fn run_calibrate(args: &[String]) -> ExitCode {
+    let Some(input_path) = args.first() else {
+        return usage();
+    };
+    let out_path = args
+        .iter()
+        .position(|a| a == "-o" || a == "--output")
+        .and_then(|i| args.get(i + 1));
+    let input = match std::fs::read_to_string(input_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("caraml: cannot read {input_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match calibrate::calibrate_device_toml(&input) {
+        Ok(toml) => match out_path {
+            Some(path) => match std::fs::write(path, &toml) {
+                Ok(()) => {
+                    println!("wrote calibrated device file to {path}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("caraml: cannot write {path}: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            None => {
+                print!("{toml}");
+                ExitCode::SUCCESS
+            }
+        },
+        Err(e) => {
+            eprintln!("caraml: calibration failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -480,6 +590,8 @@ fn main() -> ExitCode {
                 usage()
             }
         },
+        Some("devices") => run_devices(&args[1..]),
+        Some("calibrate") if args.len() >= 2 => run_calibrate(&args[1..]),
         Some("inference") if args.len() >= 2 => run_inference(&args[1]),
         Some("serve") if args.len() >= 2 => run_serve(&args[1], &args[2..]),
         Some("baseline") => run_baseline(&args[1..]),

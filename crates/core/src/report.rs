@@ -66,6 +66,48 @@ pub fn render_panel(title: &str, batches: &[u64], series: &[Series]) -> String {
     format!("{title}\n{}", table.to_ascii())
 }
 
+/// Render the device registry as the `caraml devices` table: one row
+/// per system straight from the TOML-backed registry, covering the
+/// Table I columns that feed the simulator (peaks, memory, TDP, links).
+pub fn render_device_table() -> String {
+    use caraml_accel::DeviceRegistry;
+    let mut table = ResultTable::new(
+        [
+            "tag",
+            "platform",
+            "accelerator",
+            "peak_tflops",
+            "mem_gib",
+            "mem_gbps",
+            "tdp_w",
+            "interconnect",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+    );
+    for entry in DeviceRegistry::global().entries() {
+        let node = &entry.node;
+        let dev = &node.device;
+        let intra = node.accel_accel.as_ref().unwrap_or(&node.cpu_accel);
+        table.push_row(vec![
+            entry.tag.clone(),
+            node.platform.clone(),
+            format!("{}x {}", node.devices_per_node, dev.name),
+            format!("{:.1}", dev.peak_fp16_tflops),
+            format!("{:.0}", dev.mem_bytes as f64 / (1u64 << 30) as f64),
+            format!("{:.0}", dev.mem_bw_gbps),
+            format!("{:.0}", node.tdp_per_device_w()),
+            intra.kind.toml_name().to_string(),
+        ]);
+    }
+    format!(
+        "device registry ({} systems)\n{}",
+        DeviceRegistry::global().len(),
+        table.to_ascii()
+    )
+}
+
 /// Render a Fig. 4 heatmap for one system.
 pub fn render_heatmap(
     title: &str,

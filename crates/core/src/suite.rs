@@ -18,19 +18,28 @@
 use crate::llm::{LlmBenchmark, FIG2_BATCHES, TABLE2_BATCHES};
 use crate::resnet::{ResnetBenchmark, FIG3_BATCHES};
 use crate::serve::{ArrivalKind, ServeBenchmark, ServePoint};
-use caraml_accel::SystemId;
+use caraml_accel::{DeviceKind, DeviceRegistry, SystemId};
 use jube::{Benchmark, JobRecord, JubeError, Parameter, ParameterSet, RunResult, SlurmSim, Step};
 use std::collections::BTreeMap;
 
 /// Tags accepted by the LLM and ResNet GPU benchmarks (Table I "JUBE
-/// Tag" row, minus the IPU).
-pub const GPU_SYSTEM_TAGS: [&str; 6] = ["A100", "H100", "WAIH100", "GH200", "JEDI", "MI250"];
+/// Tag" row, minus the IPU), read from the device registry so systems
+/// added as data files (e.g. the EDGERV SoC) join the suites without a
+/// code change.
+pub fn gpu_system_tags() -> Vec<String> {
+    DeviceRegistry::global()
+        .entries()
+        .iter()
+        .filter(|e| e.node.device.kind != DeviceKind::Ipu)
+        .map(|e| e.tag.clone())
+        .collect()
+}
 
 /// Parameter set selecting a system by tag, defaulting to A100.
 fn system_parameter_set() -> ParameterSet {
     let mut set = ParameterSet::new("system").with(Parameter::single("system", "A100"));
-    for tag in GPU_SYSTEM_TAGS {
-        set = set.with(Parameter::single("system", tag).tagged(tag));
+    for tag in gpu_system_tags() {
+        set = set.with(Parameter::single("system", &tag).tagged(&tag));
     }
     set
 }
@@ -51,8 +60,8 @@ pub fn llm_benchmark_nvidia_amd() -> Benchmark {
                 .with(Parameter::single("gcd_mode", "1").tagged("GCD")),
         )
         .with_step(Step::new("train", |ctx| {
-            let system = SystemId::from_jube_tag(ctx.param("system").map_err(stringify)?)
-                .ok_or("unknown system tag")?;
+            let system = SystemId::try_from_tag(ctx.param("system").map_err(stringify)?)
+                .map_err(stringify)?;
             let mut bench = LlmBenchmark::fig2(system);
             bench.duration_s = ctx.parse::<f64>("duration_s").map_err(stringify)?;
             bench.micro_batch = ctx.parse::<u32>("micro_batch").map_err(stringify)?;
@@ -123,8 +132,8 @@ pub fn resnet50_benchmark() -> Benchmark {
                 .with(Parameter::single("gpu_mode", "1").tagged("GPU")),
         )
         .with_step(Step::new("train", |ctx| {
-            let system = SystemId::from_jube_tag(ctx.param("system").map_err(stringify)?)
-                .ok_or("unknown system tag")?;
+            let system = SystemId::try_from_tag(ctx.param("system").map_err(stringify)?)
+                .map_err(stringify)?;
             let batch = ctx.parse::<u64>("global_batch").map_err(stringify)?;
             let run = if system == SystemId::Gc200 {
                 ResnetBenchmark::run_ipu(batch, 1.0).map_err(|e| e.to_string())?
@@ -163,8 +172,8 @@ pub fn llm_serving_benchmark() -> Benchmark {
                 .with(Parameter::single("arrival", "bursty").tagged("bursty")),
         )
         .with_step(Step::new("serve", |ctx| {
-            let system = SystemId::from_jube_tag(ctx.param("system").map_err(stringify)?)
-                .ok_or("unknown system tag")?;
+            let system = SystemId::try_from_tag(ctx.param("system").map_err(stringify)?)
+                .map_err(stringify)?;
             let mut bench = ServeBenchmark::new(system);
             bench.config.seed = ctx.parse::<u64>("seed").map_err(stringify)?;
             if ctx.param("arrival").map_err(stringify)? == "bursty" {
@@ -235,6 +244,47 @@ mod tests {
 
     fn tags(list: &[&str]) -> Vec<String> {
         list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn gpu_tags_come_from_the_registry() {
+        let tags = gpu_system_tags();
+        // The six paper GPU systems plus the data-file EDGERV addition,
+        // and never the IPU (which has its own benchmark definitions).
+        for tag in [
+            "A100", "H100", "WAIH100", "GH200", "JEDI", "MI250", "EDGERV",
+        ] {
+            assert!(tags.iter().any(|t| t == tag), "missing {tag}");
+        }
+        assert!(!tags.iter().any(|t| t == "GC200"));
+    }
+
+    #[test]
+    fn unknown_system_tag_error_lists_valid_tags() {
+        let err = SystemId::try_from_tag("B200").unwrap_err().to_string();
+        assert!(err.contains("unknown system tag 'B200'"), "{err}");
+        for tag in ["A100", "GC200", "EDGERV"] {
+            assert!(err.contains(tag), "error must list {tag}: {err}");
+        }
+    }
+
+    #[test]
+    fn edge_soc_runs_the_llm_training_suite() {
+        // EDGERV rides the standard GPU sweep purely via its data file.
+        let result = llm_benchmark_nvidia_amd().run(&tags(&["EDGERV"])).unwrap();
+        assert_eq!(result.workpackages.len(), FIG2_BATCHES.len());
+        let ok = result
+            .workpackages
+            .iter()
+            .filter(|w| w.error.is_none())
+            .count();
+        assert!(ok > 0, "at least one batch must fit on the SoC");
+        let wp = result
+            .workpackages
+            .iter()
+            .find(|w| w.error.is_none())
+            .unwrap();
+        assert_eq!(wp.params["system"], "EDGERV");
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! Registry-driven system selection, end to end: JUBE tags round-trip
+//! through the device registry, unknown tags fail with the full list of
+//! valid tags, the EDGERV SoC (a pure data-file addition) runs the same
+//! sweeps as the paper systems, and the `caraml devices` / `calibrate`
+//! subcommands work against the committed golden table.
+
+use caraml::fom::HeatmapCell;
+use caraml::report::render_device_table;
+use caraml::resnet::ResnetBenchmark;
+use caraml::serve::{ServeBenchmark, ServePoint};
+use caraml_accel::calibrate::{synthetic_power, synthetic_throughput};
+use caraml_accel::{DeviceRegistry, NodeConfig, SystemId, EMBEDDED_DEVICE_FILES};
+use std::process::Command;
+
+fn caraml() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_caraml"))
+}
+
+fn edgerv() -> SystemId {
+    SystemId::from_jube_tag("EDGERV").expect("EDGERV is in the registry")
+}
+
+#[test]
+fn jube_tags_round_trip_for_every_registry_system() {
+    let registry = DeviceRegistry::global();
+    assert!(registry.len() >= 8);
+    for id in SystemId::all() {
+        assert_eq!(SystemId::from_jube_tag(id.jube_tag()), Some(id));
+        assert_eq!(registry.resolve(id.jube_tag()).unwrap(), id);
+    }
+}
+
+#[test]
+fn edge_soc_runs_a_heatmap_cell() {
+    // Small batch on one device fits the 32 GiB SoC memory.
+    match ResnetBenchmark::heatmap_cell(edgerv(), 1, 64) {
+        HeatmapCell::Throughput(v) => assert!(v > 0.0, "throughput {v}"),
+        other => panic!("expected a throughput cell, got {other:?}"),
+    }
+    // An absurd batch must OOM rather than fail some other way.
+    assert!(matches!(
+        ResnetBenchmark::heatmap_cell(edgerv(), 1, 1 << 20),
+        HeatmapCell::Oom
+    ));
+}
+
+#[test]
+fn edge_soc_serves_a_load_point() {
+    let bench = ServeBenchmark::new(edgerv());
+    let fom = bench
+        .run(ServePoint {
+            rate_per_s: 2.0,
+            batch_cap: 4,
+        })
+        .expect("EDGERV serves the light load point");
+    assert!(fom.served > 0);
+    assert!(fom.goodput_tokens_per_s > 0.0);
+}
+
+#[test]
+fn rendered_device_table_matches_the_committed_golden() {
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/DEVICES.md");
+    let golden = std::fs::read_to_string(golden_path).expect("docs/DEVICES.md is committed");
+    assert_eq!(
+        golden.trim(),
+        render_device_table().trim(),
+        "docs/DEVICES.md is stale — regenerate with `caraml devices > docs/DEVICES.md`"
+    );
+}
+
+#[test]
+fn cli_devices_prints_every_system_and_checks_the_golden() {
+    let out = caraml().arg("devices").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for id in SystemId::all() {
+        assert!(stdout.contains(id.jube_tag()), "missing {}", id.jube_tag());
+    }
+
+    let golden = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/DEVICES.md");
+    let out = caraml()
+        .args(["devices", "--check", golden])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn cli_devices_json_round_trips_through_serde() {
+    let out = caraml().args(["devices", "--json"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let parsed = serde_json::parse(&stdout).expect("devices --json emits valid JSON");
+    let serde_json::Value::Seq(entries) = parsed else {
+        panic!("expected a JSON array");
+    };
+    assert_eq!(entries.len(), DeviceRegistry::global().len());
+    let tags: Vec<_> = entries
+        .iter()
+        .map(|e| e.get("tag").and_then(|t| t.as_str()).unwrap().to_string())
+        .collect();
+    assert!(tags.contains(&"EDGERV".to_string()), "{tags:?}");
+}
+
+#[test]
+fn cli_unknown_tag_lists_valid_tags_from_the_registry() {
+    for subcmd in [
+        &["suite", "B200"][..],
+        &["heatmap", "B200"],
+        &["serve", "B200"],
+    ] {
+        let out = caraml().args(subcmd).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{subcmd:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("unknown system tag 'B200'"), "{stderr}");
+        for tag in ["A100", "GC200", "EDGERV"] {
+            assert!(stderr.contains(tag), "{subcmd:?} must list {tag}: {stderr}");
+        }
+    }
+}
+
+#[test]
+fn cli_calibrate_fits_a_synthetic_trace_into_a_loadable_device_file() {
+    // Build a calibration input from the embedded A100 file plus
+    // noiseless synthetic traces of its own ground-truth parameters.
+    let (_, a100) = EMBEDDED_DEVICE_FILES
+        .iter()
+        .find(|(name, _)| *name == "a100.toml")
+        .expect("a100.toml is embedded");
+    let dev = NodeConfig::for_system(SystemId::A100).device;
+    let mut input = a100.to_string();
+    input.push_str("\n[samples.power]\n");
+    for p in synthetic_power(
+        dev.idle_w,
+        dev.tdp_w,
+        dev.power_alpha,
+        &[0.2, 0.5, 0.8, 1.0],
+    ) {
+        input.push_str(&format!(
+            "[[samples.power.points]]\nutilization = {}\nwatts = {}\n",
+            p.utilization, p.watts
+        ));
+    }
+    for (workload, calib) in [("llm", &dev.llm), ("cv", &dev.cv)] {
+        input.push_str(&format!(
+            "\n[samples.{workload}]\nflops_per_item_g = 90.0\noverhead_s = {}\nsustained_w = {}\n",
+            calib.overhead_s, calib.sustained_w
+        ));
+        let trace = synthetic_throughput(
+            dev.peak_fp16_flops(),
+            90.0e9,
+            calib,
+            &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0],
+        );
+        for p in trace {
+            input.push_str(&format!(
+                "[[samples.{workload}.points]]\nbatch = {}\nitems_per_s = {}\n",
+                p.batch, p.items_per_s
+            ));
+        }
+    }
+    let dir = std::env::temp_dir();
+    let in_path = dir.join("caraml_calibrate_in.toml");
+    let out_path = dir.join("caraml_calibrate_out.toml");
+    std::fs::write(&in_path, &input).unwrap();
+
+    let out = caraml()
+        .args([
+            "calibrate",
+            in_path.to_str().unwrap(),
+            "-o",
+            out_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The emitted file loads through the registry and recovers the
+    // ground-truth calibration.
+    let fitted = std::fs::read_to_string(&out_path).unwrap();
+    let registry = DeviceRegistry::from_files(&[("fitted.toml", &fitted)]).unwrap();
+    let node = &registry.entries()[0].node;
+    assert!((node.device.idle_w - dev.idle_w).abs() < 1e-6);
+    assert!((node.device.power_alpha - dev.power_alpha).abs() < 1e-6);
+    assert!((node.device.llm.mfu_max - dev.llm.mfu_max).abs() < 1e-6);
+    assert!((node.device.cv.batch_half - dev.cv.batch_half).abs() < 1e-4);
+}
+
+#[test]
+fn cli_calibrate_reports_typed_errors_for_missing_samples() {
+    let (_, a100) = EMBEDDED_DEVICE_FILES
+        .iter()
+        .find(|(name, _)| *name == "a100.toml")
+        .unwrap();
+    let in_path = std::env::temp_dir().join("caraml_calibrate_bare.toml");
+    std::fs::write(&in_path, a100).unwrap();
+    let out = caraml()
+        .args(["calibrate", in_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("samples.power.points"), "{stderr}");
+}

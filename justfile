@@ -8,6 +8,14 @@ verify:
     cargo clippy --workspace -- -D warnings
     cargo test -q
     cargo bench --workspace --no-run
+    just check-devices
+
+# Load + validate every embedded device TOML through the registry and
+# diff the rendered `caraml devices` table against the committed golden
+# (regenerate with `cargo run -p caraml --bin caraml -- devices >
+# docs/DEVICES.md` after editing a device file).
+check-devices:
+    cargo run -q -p caraml --bin caraml -- devices --check docs/DEVICES.md
 
 # Tier-1 check used by CI: release build + quiet tests.
 ci:
