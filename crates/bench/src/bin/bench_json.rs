@@ -17,6 +17,14 @@
 //! if any kernel regressed by more than 25% — a coarse tripwire, kept
 //! out of the tier-1 gate because wall-clock medians on shared CI boxes
 //! are noisy (`just bench-check`).
+//!
+//! Schema v3 tags every record with the SIMD `arm` it ran on: the main
+//! sweep uses the runtime-dispatched default, and the dual-arm kernels
+//! (GEMM, the fused memory-bound layer, fused attention) are re-timed
+//! with the dispatcher pinned to each arm so the scalar-vs-AVX2 delta is
+//! part of the tracked trajectory. `bench_json --report` renders the
+//! fresh run against the committed snapshot as a markdown regression
+//! report in `docs/performance.md` (`just bench-report`).
 
 use caraml::resnet::{ResnetBenchmark, FIG4_BATCHES};
 use caraml::serve::{ArrivalKind, ServeBenchmark, ServePoint};
@@ -25,9 +33,11 @@ use caraml::SweepRunner;
 use caraml_accel::SystemId;
 use caraml_data::SyntheticImages;
 use caraml_models::{GptConfig, GptModel, ResnetConfig, ResnetModel};
+use caraml_tensor::attention::{fused_causal_attention, fused_causal_attention_backward};
 use caraml_tensor::conv::{conv2d, Conv2dCfg};
 use caraml_tensor::matmul::{bmm, matmul, matmul_at, matmul_bt};
 use caraml_tensor::optim::{Adam, Optimizer, Sgd};
+use caraml_tensor::simd::{avx2_available, with_arm, Arm};
 use caraml_tensor::{kernels, nn, Tensor};
 use serde::Serialize;
 use std::hint::black_box;
@@ -47,6 +57,9 @@ const CHECK_MIN_MS: f64 = 0.25;
 struct Record {
     kernel: String,
     shape: String,
+    /// SIMD arm the record ran on: `default` (runtime dispatch) or a
+    /// pinned `scalar` / `avx2` arm from the dual-arm comparison sweep.
+    arm: String,
     /// Floating-point ops per call (0 for bandwidth-bound kernels).
     flops: u64,
     /// Bytes moved per call (reads + writes; 0 for end-to-end steps).
@@ -91,11 +104,12 @@ fn time_median(samples: usize, mut f: impl FnMut()) -> f64 {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn record(
+fn record_arm(
     records: &mut Vec<Record>,
     samples: usize,
     kernel: &str,
     shape: &str,
+    arm: &str,
     flops: u64,
     bytes: u64,
     items: u64,
@@ -112,10 +126,20 @@ fn record(
     } else {
         format!("{items_per_s:>8.0} items/s")
     };
-    println!("{kernel:<16} {shape:<28} {:>9.3} ms  {rate}", median * 1e3);
+    let tag = if arm == "default" {
+        String::new()
+    } else {
+        format!(" [{arm}]")
+    };
+    println!(
+        "{:<16} {shape:<28} {:>9.3} ms  {rate}",
+        format!("{kernel}{tag}"),
+        median * 1e3
+    );
     records.push(Record {
         kernel: kernel.to_string(),
         shape: shape.to_string(),
+        arm: arm.to_string(),
         flops,
         bytes,
         items,
@@ -124,6 +148,22 @@ fn record(
         gbps,
         items_per_s,
     });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn record(
+    records: &mut Vec<Record>,
+    samples: usize,
+    kernel: &str,
+    shape: &str,
+    flops: u64,
+    bytes: u64,
+    items: u64,
+    f: impl FnMut(),
+) {
+    record_arm(
+        records, samples, kernel, shape, "default", flops, bytes, items, f,
+    );
 }
 
 fn gemm_and_conv(records: &mut Vec<Record>, samples: usize) {
@@ -430,6 +470,191 @@ fn elementwise_kernels(records: &mut Vec<Record>, samples: usize) {
     );
 }
 
+/// Fused causal attention (QKᵀ·scale → mask → softmax → ·V in one
+/// streamed pass) at a transformer-realistic shape: 8 heads, sequence
+/// 128, head dim 64. FLOPs count the two causal-prefix contractions
+/// (scores and ·V) forward, five backward.
+fn attention_records(records: &mut Vec<Record>, samples: usize, arm: &str) {
+    let (bh, s, d) = (8usize, 128usize, 64usize);
+    let q = seeded(bh * s * d).reshape([bh, s, d]).unwrap();
+    let k = seeded(bh * s * d).reshape([bh, s, d]).unwrap();
+    let v = seeded(bh * s * d).reshape([bh, s, d]).unwrap();
+    let scale = 1.0 / (d as f32).sqrt();
+    let tri = (s * (s + 1) / 2) as u64;
+    let shape = format!("{bh}x{s}x{d}");
+    record_arm(
+        records,
+        samples,
+        "attention_fused",
+        &shape,
+        arm,
+        4 * bh as u64 * tri * d as u64,
+        0,
+        0,
+        || {
+            black_box(fused_causal_attention(&q, &k, &v, scale));
+        },
+    );
+    let (out, probs) = fused_causal_attention(&q, &k, &v, scale);
+    record_arm(
+        records,
+        samples,
+        "attention_fused_bwd",
+        &shape,
+        arm,
+        10 * bh as u64 * tri * d as u64,
+        0,
+        0,
+        || {
+            black_box(fused_causal_attention_backward(
+                &q, &k, &v, &probs, &out, scale,
+            ));
+        },
+    );
+}
+
+/// The dual-arm comparison sweep: re-times the runtime-dispatched
+/// kernels with the dispatcher pinned to the scalar and (when the host
+/// has it) the AVX2 arm, so the SIMD speedup is a tracked quantity
+/// rather than a one-off measurement.
+fn per_arm_kernels(records: &mut Vec<Record>, samples: usize) {
+    let arms: &[(Arm, &str)] = if avx2_available() {
+        &[(Arm::Scalar, "scalar"), (Arm::Avx2, "avx2")]
+    } else {
+        &[(Arm::Scalar, "scalar")]
+    };
+    for &(arm, label) in arms {
+        with_arm(arm, || {
+            let n = 256usize;
+            let a = seeded(n * n).reshape([n, n]).unwrap();
+            let b = seeded(n * n).reshape([n, n]).unwrap();
+            record_arm(
+                records,
+                samples,
+                "matmul",
+                "256x256x256",
+                label,
+                2 * (n as u64).pow(3),
+                3 * (n * n * 4) as u64,
+                0,
+                || {
+                    black_box(matmul(&a, &b).unwrap());
+                },
+            );
+
+            let (rows, cols) = (128usize, 1024usize);
+            let numel = rows * cols;
+            let fsz = 4u64;
+            let x = seeded(numel).reshape([rows, cols]).unwrap();
+            let bias = seeded(cols);
+            let shape = format!("{rows}x{cols}");
+            record_arm(
+                records,
+                samples,
+                "softmax_last",
+                &shape,
+                label,
+                0,
+                2 * numel as u64 * fsz,
+                0,
+                || {
+                    black_box(nn::softmax_last(&x));
+                },
+            );
+            let gamma = seeded(cols);
+            let beta = seeded(cols);
+            record_arm(
+                records,
+                samples,
+                "layernorm",
+                &shape,
+                label,
+                0,
+                3 * numel as u64 * fsz,
+                0,
+                || {
+                    black_box(nn::layernorm(&x, &gamma, &beta, 1e-5));
+                },
+            );
+            record_arm(
+                records,
+                samples,
+                "gelu",
+                &shape,
+                label,
+                0,
+                2 * numel as u64 * fsz,
+                0,
+                || {
+                    black_box(nn::gelu(&x));
+                },
+            );
+            record_arm(
+                records,
+                samples,
+                "bias_gelu",
+                &shape,
+                label,
+                0,
+                3 * numel as u64 * fsz,
+                0,
+                || {
+                    black_box(nn::bias_gelu(&x, &bias));
+                },
+            );
+            record_arm(
+                records,
+                samples,
+                "sum_axis0",
+                &shape,
+                label,
+                0,
+                numel as u64 * fsz,
+                0,
+                || {
+                    black_box(x.sum_axis0());
+                },
+            );
+            let r = seeded(8 * 128 * 64).reshape([8, 128, 64]).unwrap();
+            record_arm(
+                records,
+                samples,
+                "rope",
+                "8x128x64",
+                label,
+                0,
+                2 * (8 * 128 * 64) as u64 * fsz,
+                0,
+                || {
+                    black_box(nn::rope(&r, false));
+                },
+            );
+            let len = 1 << 20;
+            let grad = seeded(len).data().to_vec();
+            let mut param = seeded(len).data().to_vec();
+            let mut m = vec![0.0f32; len];
+            let mut v = vec![0.0f32; len];
+            record_arm(
+                records,
+                samples,
+                "adam_fused",
+                "1M params",
+                label,
+                0,
+                7 * len as u64 * fsz,
+                0,
+                || {
+                    kernels::adam_update(
+                        &mut param, &grad, &mut m, &mut v, 1e-4, 0.9, 0.999, 1e-8, 0.01, 0.1, 0.001,
+                    );
+                    black_box(&param);
+                },
+            );
+            attention_records(records, samples, label);
+        });
+    }
+}
+
 /// End-to-end training steps (forward + backward + optimizer) for the
 /// two paper workloads at laptop scale.
 fn train_steps(records: &mut Vec<Record>) {
@@ -595,35 +820,43 @@ fn run_all(samples: usize) -> Report {
     let mut records = Vec::new();
     gemm_and_conv(&mut records, samples);
     elementwise_kernels(&mut records, samples);
+    attention_records(&mut records, samples, "default");
     train_steps(&mut records);
     serve_steps(&mut records);
     sweep_steps(&mut records);
     registry_steps(&mut records);
+    per_arm_kernels(&mut records, samples);
     Report {
-        schema: "caraml-bench-tensor-v2",
+        schema: "caraml-bench-tensor-v3",
         samples_per_kernel: samples,
         records,
     }
+}
+
+/// Find the committed median for a fresh record. Records are keyed by
+/// `(kernel, shape, arm)`; a committed record without an `arm` field
+/// (schema ≤ v2) matches only `default`-arm fresh records, so the
+/// pinned-arm sweep never aliases the pre-v3 baseline.
+fn committed_median(rec: &Record, committed: &serde_json::Value) -> Option<f64> {
+    let old_records = committed.get("records")?.as_array()?;
+    old_records.iter().find_map(|o| {
+        let kernel = o.get("kernel")?.as_str()?;
+        let shape = o.get("shape")?.as_str()?;
+        let arm = o.get("arm").and_then(|a| a.as_str()).unwrap_or("default");
+        if kernel == rec.kernel && shape == rec.shape && arm == rec.arm {
+            o.get("median_ms")?.as_f64()
+        } else {
+            None
+        }
+    })
 }
 
 /// Compare fresh medians against the committed snapshot; returns the
 /// regressions as `(kernel, shape, committed_ms, fresh_ms)`.
 fn regressions(fresh: &Report, committed: &serde_json::Value) -> Vec<(String, String, f64, f64)> {
     let mut out = Vec::new();
-    let Some(old_records) = committed.get("records").and_then(|r| r.as_array()) else {
-        return out;
-    };
     for rec in &fresh.records {
-        let old_ms = old_records.iter().find_map(|o| {
-            let kernel = o.get("kernel")?.as_str()?;
-            let shape = o.get("shape")?.as_str()?;
-            if kernel == rec.kernel && shape == rec.shape {
-                o.get("median_ms")?.as_f64()
-            } else {
-                None
-            }
-        });
-        if let Some(old_ms) = old_ms {
+        if let Some(old_ms) = committed_median(rec, committed) {
             if old_ms >= CHECK_MIN_MS && rec.median_ms > old_ms * CHECK_TOLERANCE {
                 out.push((rec.kernel.clone(), rec.shape.clone(), old_ms, rec.median_ms));
             }
@@ -632,18 +865,119 @@ fn regressions(fresh: &Report, committed: &serde_json::Value) -> Vec<(String, St
     out
 }
 
+/// Render the fresh run against the committed snapshot as the markdown
+/// regression report committed to `docs/performance.md`.
+fn render_report(fresh: &Report, committed: &serde_json::Value) -> String {
+    use std::fmt::Write;
+    let mut md = String::new();
+    let _ = writeln!(md, "# Kernel performance report");
+    let _ = writeln!(md);
+    let _ = writeln!(
+        md,
+        "Generated by `just bench-report` (`bench_json --report`): fresh medians \
+         over {} samples per kernel, compared against the committed \
+         `BENCH_TENSOR.json` baseline. Speedup > 1 is faster than the baseline. \
+         See `DESIGN.md` §4g for the SIMD dispatch architecture these numbers \
+         track.",
+        fresh.samples_per_kernel
+    );
+    let _ = writeln!(md);
+
+    let _ = writeln!(md, "## Medians vs committed baseline");
+    let _ = writeln!(md);
+    let _ = writeln!(
+        md,
+        "| kernel | shape | arm | committed ms | current ms | speedup |"
+    );
+    let _ = writeln!(md, "|---|---|---|---:|---:|---:|");
+    let mut missing = 0usize;
+    for rec in &fresh.records {
+        match committed_median(rec, committed) {
+            Some(old_ms) => {
+                let _ = writeln!(
+                    md,
+                    "| {} | {} | {} | {:.3} | {:.3} | {:.2}x |",
+                    rec.kernel,
+                    rec.shape,
+                    rec.arm,
+                    old_ms,
+                    rec.median_ms,
+                    old_ms / rec.median_ms
+                );
+            }
+            None => missing += 1,
+        }
+    }
+    if missing > 0 {
+        let _ = writeln!(md);
+        let _ = writeln!(
+            md,
+            "{missing} fresh record(s) have no committed counterpart (new kernels \
+             or schema additions) and are omitted above."
+        );
+    }
+    let _ = writeln!(md);
+
+    let _ = writeln!(md, "## Scalar vs AVX2 arm");
+    let _ = writeln!(md);
+    let _ = writeln!(
+        md,
+        "Dual-arm kernels re-timed with the dispatcher pinned to each arm \
+         (`CARAML_SIMD=off` forces the scalar column at runtime). The arms \
+         are bit-identical in results — this table is the cost of that \
+         portability fallback."
+    );
+    let _ = writeln!(md);
+    let _ = writeln!(
+        md,
+        "| kernel | shape | scalar ms | avx2 ms | SIMD speedup |"
+    );
+    let _ = writeln!(md, "|---|---|---:|---:|---:|");
+    for rec in fresh.records.iter().filter(|r| r.arm == "scalar") {
+        if let Some(avx2) = fresh
+            .records
+            .iter()
+            .find(|r| r.arm == "avx2" && r.kernel == rec.kernel && r.shape == rec.shape)
+        {
+            let _ = writeln!(
+                md,
+                "| {} | {} | {:.3} | {:.3} | {:.2}x |",
+                rec.kernel,
+                rec.shape,
+                rec.median_ms,
+                avx2.median_ms,
+                rec.median_ms / avx2.median_ms
+            );
+        }
+    }
+    md
+}
+
+fn load_committed() -> serde_json::Value {
+    let committed = std::fs::read_to_string("BENCH_TENSOR.json")
+        .expect("needs a committed BENCH_TENSOR.json (run `just bench-json` first)");
+    serde_json::parse(&committed).expect("parse committed BENCH_TENSOR.json")
+}
+
 fn main() {
     let check = std::env::args().any(|a| a == "--check");
+    let want_report = std::env::args().any(|a| a == "--report");
     let report = run_all(15);
+    if want_report {
+        let committed = load_committed();
+        let md = render_report(&report, &committed);
+        std::fs::create_dir_all("docs").expect("create docs/");
+        std::fs::write("docs/performance.md", &md).expect("write docs/performance.md");
+        println!("\nwrote docs/performance.md");
+        return;
+    }
     if !check {
         let json = serde_json::to_string_pretty(&report).expect("serialise report");
         std::fs::write("BENCH_TENSOR.json", &json).expect("write BENCH_TENSOR.json");
         println!("\nwrote BENCH_TENSOR.json");
         return;
     }
-    let committed = std::fs::read_to_string("BENCH_TENSOR.json")
-        .expect("--check needs a committed BENCH_TENSOR.json (run `just bench-json` first)");
-    let committed = serde_json::parse(&committed).expect("parse committed BENCH_TENSOR.json");
+    let committed = load_committed();
     let bad = regressions(&report, &committed);
     if bad.is_empty() {
         println!(

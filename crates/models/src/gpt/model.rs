@@ -104,17 +104,6 @@ impl GptModel {
         self.parameters().iter().map(|p| p.value().numel()).sum()
     }
 
-    /// Causal attention mask `[s, s]`: 0 on/below the diagonal, −1e9 above.
-    fn causal_mask(s: usize) -> Tensor {
-        let mut m = vec![0.0f32; s * s];
-        for i in 0..s {
-            for j in i + 1..s {
-                m[i * s + j] = -1e9;
-            }
-        }
-        Tensor::from_vec(m, [s, s])
-    }
-
     /// Forward pass: `tokens` is `batch` rows of `seq_len` ids. Returns
     /// `[batch·seq_len, vocab]` logits.
     pub fn forward(&self, tokens: &[Vec<u32>]) -> Var {
@@ -133,7 +122,6 @@ impl GptModel {
             .collect();
 
         let mut x = self.embedding.embedding(&flat_ids); // [b·s, h]
-        let mask = Var::input(Self::causal_mask(s));
         let scale = 1.0 / (hd as f32).sqrt();
 
         for block in &self.blocks {
@@ -148,10 +136,10 @@ impl GptModel {
             let q = split(&a_in.linear(&block.wq, None)).rope();
             let k = split(&a_in.linear(&block.wk, None)).rope();
             let v = split(&a_in.linear(&block.wv, None));
-            // scores [b·heads, s, s]; Q·Kᵀ runs through the engine's
-            // transpose-aware path — K is never materialised transposed.
-            let scores = q.bmm_bt(&k).scale(scale).add(&mask);
-            let attn = scores.softmax().bmm(&v); // [b·heads, s, hd]
+            // Fused QKᵀ·scale → causal mask → softmax → ·V: one graph
+            // node, no [b·heads, s, s] score/mask intermediates (the
+            // probability cache is the only s×s buffer kept).
+            let attn = q.fused_causal_attention(&k, &v, scale); // [b·heads, s, hd]
             let merged = attn
                 .reshape([b, heads, s, hd])
                 .permute(&[0, 2, 1, 3])

@@ -1,0 +1,400 @@
+//! Fused causal self-attention: `softmax(Q·Kᵀ·scale + causal mask)·V`
+//! in one pass per query row, streamed over the KV prefix.
+//!
+//! The composed autograd path (`bmm_bt → scale → add(mask) → softmax →
+//! bmm`) materialises three full `[b·h, s, s]` intermediates and sweeps
+//! each of them separately. The fused kernel walks each query row once:
+//! the score row is written straight into the cached probability
+//! matrix, exponentiated in place, normalised, and immediately
+//! contracted against V. The `−1e9` mask additions above the diagonal
+//! are never computed at all — the `j > i` suffix is simply skipped, so
+//! those probabilities are exactly `0.0` where the composed path gets
+//! `exp(−1e9 − m)/Z ≈ 1e−38/Z` (the paired [`crate::simd::exp_s`]
+//! saturates instead of flushing to zero), a difference far below half
+//! an ulp of any retained probability.
+//!
+//! This is the classic two-pass fused attention (probabilities are kept
+//! for the backward), not an online-softmax flash attention: the win on
+//! a CPU at GPT-scale sequence lengths is the removed intermediates and
+//! mask traffic, not O(s) memory.
+//!
+//! Bit-parity: both SIMD arms share the crate's canonical reduction
+//! trees — [`crate::simd::dot8`] ≡ `vdot` for every score/backward dot,
+//! the `exp_row_inplace` pair for the softmax, and lane-independent
+//! `fmadd` accumulation in ascending `j` order for the V / dQ / dK / dV
+//! contractions — so scalar and AVX2 results are bit-identical. Work
+//! units are whole batch-heads and rows are walked serially inside each,
+//! so serial and parallel runs are bit-identical too.
+
+use crate::kernels::{self, arm_dispatch};
+use crate::simd::{self, Arm};
+use crate::tensor::Tensor;
+use crate::workspace;
+use rayon::prelude::*;
+
+/// Validate `[b·h, s, d]` operand shapes and return `(bh, s, d)`.
+fn attn_dims(q: &Tensor, k: &Tensor, v: &Tensor) -> (usize, usize, usize) {
+    assert_eq!(
+        q.dims().len(),
+        3,
+        "fused_causal_attention expects [batch·heads, seq, head_dim]"
+    );
+    assert_eq!(q.dims(), k.dims(), "Q and K must have identical shapes");
+    assert_eq!(q.dims(), v.dims(), "Q and V must have identical shapes");
+    (q.dims()[0], q.dims()[1], q.dims()[2])
+}
+
+/// Forward pass. Returns `(out, probs)` where `out` is `[b·h, s, d]`
+/// and `probs` is the cached `[b·h, s, s]` post-softmax probability
+/// matrix needed by [`fused_causal_attention_backward`] (strictly lower
+/// triangular rows; the masked `j > i` entries are exactly zero).
+pub fn fused_causal_attention(q: &Tensor, k: &Tensor, v: &Tensor, scale: f32) -> (Tensor, Tensor) {
+    let (bh, s, d) = attn_dims(q, k, v);
+    let arm = simd::active_arm();
+    let fma = simd::fma_chains();
+    let qd = q.data();
+    let kd = k.data();
+    let vd = v.data();
+    let mut out = workspace::global().take_zeroed(bh * s * d);
+    let mut probs = workspace::global().take_zeroed(bh * s * s);
+
+    let body = |h: usize, oh: &mut [f32], ph: &mut [f32]| {
+        let kh = &kd[h * s * d..][..s * d];
+        let vh = &vd[h * s * d..][..s * d];
+        for i in 0..s {
+            let qi = &qd[h * s * d + i * d..][..d];
+            // Causal prefix of the probability row; the suffix stays 0.
+            let prow = &mut ph[i * s..][..i + 1];
+            for (j, pj) in prow.iter_mut().enumerate() {
+                let kj = &kh[j * d..][..d];
+                let dot = arm_dispatch!(
+                    arm,
+                    avx2 => simd::avx2::vdot(qi, kj),
+                    scalar => simd::dot8(qi, kj, fma),
+                );
+                *pj = dot * scale;
+            }
+            let sum = arm_dispatch!(
+                arm,
+                avx2 => kernels::x86::exp_row_inplace(prow),
+                scalar => kernels::exp_row_inplace_scalar(prow, fma),
+            );
+            arm_dispatch!(
+                arm,
+                avx2 => kernels::x86::div_slice(prow, sum),
+                scalar => {
+                    for p in prow.iter_mut() {
+                        *p /= sum;
+                    }
+                },
+            );
+            let orow = &mut oh[i * d..][..d];
+            for (j, &p) in prow.iter().enumerate() {
+                let vj = &vh[j * d..][..d];
+                arm_dispatch!(
+                    arm,
+                    avx2 => kernels::x86::axpy_fma(orow, vj, p),
+                    scalar => {
+                        for (o, &vv) in orow.iter_mut().zip(vj) {
+                            *o = simd::fmadd(p, vv, *o, fma);
+                        }
+                    },
+                );
+            }
+        }
+    };
+
+    if kernels::use_parallel(bh * s * s) {
+        out.par_chunks_mut(s * d)
+            .zip(probs.par_chunks_mut(s * s))
+            .enumerate()
+            .for_each(|(h, (oh, ph))| body(h, oh, ph));
+    } else {
+        for (h, (oh, ph)) in out
+            .chunks_mut(s * d)
+            .zip(probs.chunks_mut(s * s))
+            .enumerate()
+        {
+            body(h, oh, ph);
+        }
+    }
+
+    (
+        Tensor::from_vec(out, [bh, s, d]),
+        Tensor::from_vec(probs, [bh, s, s]),
+    )
+}
+
+/// Backward pass: given the cached probabilities and the upstream
+/// gradient `dout`, produce `(dq, dk, dv)` in one fused sweep.
+///
+/// Per row `i` (softmax backward folded in): `dPᵢⱼ = doutᵢ·vⱼ`,
+/// `δᵢ = Σⱼ Pᵢⱼ·dPᵢⱼ`, `dSᵢⱼ = Pᵢⱼ·(dPᵢⱼ − δᵢ)`, then
+/// `dqᵢ += scale·dSᵢⱼ·kⱼ`, `dkⱼ += scale·dSᵢⱼ·qᵢ`, `dvⱼ += Pᵢⱼ·doutᵢ`.
+pub fn fused_causal_attention_backward(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    probs: &Tensor,
+    dout: &Tensor,
+    scale: f32,
+) -> (Tensor, Tensor, Tensor) {
+    let (bh, s, d) = attn_dims(q, k, v);
+    assert_eq!(probs.dims(), &[bh, s, s], "bad probability cache shape");
+    assert_eq!(dout.dims(), q.dims(), "bad upstream gradient shape");
+    let arm = simd::active_arm();
+    let fma = simd::fma_chains();
+    let qd = q.data();
+    let kd = k.data();
+    let vd = v.data();
+    let pd = probs.data();
+    let dod = dout.data();
+    let ws = workspace::global();
+    let mut dq = ws.take_zeroed(bh * s * d);
+    let mut dk = ws.take_zeroed(bh * s * d);
+    let mut dv = ws.take_zeroed(bh * s * d);
+
+    let body = |h: usize, dqh: &mut [f32], dkh: &mut [f32], dvh: &mut [f32]| {
+        let qh = &qd[h * s * d..][..s * d];
+        let kh = &kd[h * s * d..][..s * d];
+        let vh = &vd[h * s * d..][..s * d];
+        let ph = &pd[h * s * s..][..s * s];
+        let doh = &dod[h * s * d..][..s * d];
+        // Row scratch for dP (overwritten in place with dS); the
+        // workspace pool makes this allocation-free at steady state.
+        let mut dp = ws.take_zeroed(s);
+        for i in 0..s {
+            let pr = &ph[i * s..][..i + 1];
+            let douti = &doh[i * d..][..d];
+            for (j, dpj) in dp[..i + 1].iter_mut().enumerate() {
+                let vj = &vh[j * d..][..d];
+                *dpj = arm_dispatch!(
+                    arm,
+                    avx2 => simd::avx2::vdot(douti, vj),
+                    scalar => simd::dot8(douti, vj, fma),
+                );
+            }
+            let dpr = &dp[..i + 1];
+            let delta = arm_dispatch!(
+                arm,
+                avx2 => simd::avx2::vdot(pr, dpr),
+                scalar => simd::dot8(pr, dpr, fma),
+            );
+            let dqi = &mut dqh[i * d..][..d];
+            let qi = &qh[i * d..][..d];
+            for (j, (&p, &dpj)) in pr.iter().zip(dpr.iter()).enumerate() {
+                // Scalar epilogue identical across arms (inputs are
+                // bit-identical by the dot pairing above).
+                let ds = p * (dpj - delta);
+                let t = ds * scale;
+                let kj = &kh[j * d..][..d];
+                let dkj = &mut dkh[j * d..][..d];
+                let dvj = &mut dvh[j * d..][..d];
+                arm_dispatch!(
+                    arm,
+                    avx2 => {
+                        kernels::x86::axpy_fma(dqi, kj, t);
+                        kernels::x86::axpy_fma(dkj, qi, t);
+                        kernels::x86::axpy_fma(dvj, douti, p);
+                    },
+                    scalar => {
+                        for (o, &kv) in dqi.iter_mut().zip(kj) {
+                            *o = simd::fmadd(t, kv, *o, fma);
+                        }
+                        for (o, &qv) in dkj.iter_mut().zip(qi) {
+                            *o = simd::fmadd(t, qv, *o, fma);
+                        }
+                        for (o, &dov) in dvj.iter_mut().zip(douti) {
+                            *o = simd::fmadd(p, dov, *o, fma);
+                        }
+                    },
+                );
+            }
+        }
+        ws.give(dp);
+    };
+
+    if kernels::use_parallel(bh * s * s) {
+        dq.par_chunks_mut(s * d)
+            .zip(dk.par_chunks_mut(s * d).zip(dv.par_chunks_mut(s * d)))
+            .enumerate()
+            .for_each(|(h, (dqh, (dkh, dvh)))| body(h, dqh, dkh, dvh));
+    } else {
+        for (h, (dqh, (dkh, dvh))) in dq
+            .chunks_mut(s * d)
+            .zip(dk.chunks_mut(s * d).zip(dv.chunks_mut(s * d)))
+            .enumerate()
+        {
+            body(h, dqh, dkh, dvh);
+        }
+    }
+
+    (
+        Tensor::from_vec(dq, [bh, s, d]),
+        Tensor::from_vec(dk, [bh, s, d]),
+        Tensor::from_vec(dv, [bh, s, d]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{randn, rng};
+    use crate::simd::{avx2_available, with_arm};
+    use crate::Var;
+
+    fn qkv(bh: usize, s: usize, d: usize, seed: u64) -> (Tensor, Tensor, Tensor) {
+        (
+            randn(&mut rng(seed), [bh, s, d], 1.0),
+            randn(&mut rng(seed + 1), [bh, s, d], 1.0),
+            randn(&mut rng(seed + 2), [bh, s, d], 1.0),
+        )
+    }
+
+    /// The composed autograd chain the fused node replaces.
+    fn composed(q: &Var, k: &Var, v: &Var, s: usize, scale: f32) -> Var {
+        let mut m = vec![0.0f32; s * s];
+        for i in 0..s {
+            for j in i + 1..s {
+                m[i * s + j] = -1e9;
+            }
+        }
+        let mask = Var::input(Tensor::from_vec(m, [s, s]));
+        q.bmm_bt(k).scale(scale).add(&mask).softmax().bmm(v)
+    }
+
+    /// Forward and all three gradients of the fused node must agree with
+    /// the composed `bmm_bt → scale → add(mask) → softmax → bmm` chain.
+    /// Exercises non-divisible head dims (d = 7, 12) and s = 1.
+    fn assert_matches_composed(bh: usize, s: usize, d: usize, seed: u64) {
+        let scale = 1.0 / (d as f32).sqrt();
+        let (qt, kt, vt) = qkv(bh, s, d, seed);
+        // Weighting the sum keeps the upstream gradient non-uniform.
+        let w = Var::input(randn(&mut rng(seed + 3), [bh, s, d], 1.0));
+
+        let (q1, k1, v1) = (
+            Var::param(qt.clone()),
+            Var::param(kt.clone()),
+            Var::param(vt.clone()),
+        );
+        let out_f = q1.fused_causal_attention(&k1, &v1, scale);
+        out_f.mul(&w).sum().backward();
+
+        let (q2, k2, v2) = (Var::param(qt), Var::param(kt), Var::param(vt));
+        let out_c = composed(&q2, &k2, &v2, s, scale);
+        out_c.mul(&w).sum().backward();
+
+        assert!(
+            out_f.value().allclose(&out_c.value(), 1e-5),
+            "fused forward diverged from composed path (bh={bh} s={s} d={d})"
+        );
+        for (name, fused, comp) in [
+            ("dq", q1.grad().unwrap(), q2.grad().unwrap()),
+            ("dk", k1.grad().unwrap(), k2.grad().unwrap()),
+            ("dv", v1.grad().unwrap(), v2.grad().unwrap()),
+        ] {
+            assert!(
+                fused.allclose(&comp, 1e-4),
+                "fused {name} diverged from composed path (bh={bh} s={s} d={d})"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_composed_path() {
+        assert_matches_composed(3, 9, 8, 60);
+    }
+
+    #[test]
+    fn matches_composed_path_non_divisible_head_dim() {
+        assert_matches_composed(2, 6, 7, 61);
+        assert_matches_composed(4, 5, 12, 62);
+    }
+
+    #[test]
+    fn matches_composed_path_single_token() {
+        assert_matches_composed(2, 1, 8, 63);
+    }
+
+    /// With s = 1 the softmax is over one score: probability exactly 1,
+    /// output row exactly v₀.
+    #[test]
+    fn single_token_is_identity_on_v() {
+        let (q, k, v) = qkv(2, 1, 5, 64);
+        let (out, probs) = fused_causal_attention(&q, &k, &v, 0.37);
+        assert_eq!(out.data(), v.data());
+        assert_eq!(probs.data(), &[1.0, 1.0]);
+    }
+
+    /// Masked (j > i) probabilities are exactly zero and every causal
+    /// prefix sums to 1.
+    #[test]
+    fn rows_are_causal_distributions() {
+        let (q, k, v) = qkv(2, 7, 6, 65);
+        let (_, probs) = fused_causal_attention(&q, &k, &v, 0.5);
+        let s = 7;
+        for h in 0..2 {
+            for i in 0..s {
+                let row = &probs.data()[h * s * s + i * s..][..s];
+                assert!(
+                    row[i + 1..].iter().all(|&p| p == 0.0),
+                    "mask leak at row {i}"
+                );
+                let sum: f32 = row[..=i].iter().sum();
+                assert!((sum - 1.0).abs() < 1e-5, "row {i} sums to {sum}");
+            }
+        }
+    }
+
+    /// Scalar and AVX2 arms are bit-identical, forward and backward —
+    /// including shapes with ragged 8-lane tails.
+    #[test]
+    fn arms_bit_identical() {
+        if !avx2_available() {
+            return;
+        }
+        for (bh, s, d, seed) in [(2, 9, 8, 70), (3, 5, 7, 71), (1, 1, 3, 72), (2, 13, 12, 73)] {
+            let (q, k, v) = qkv(bh, s, d, seed);
+            let scale = 1.0 / (d as f32).sqrt();
+            let run = || {
+                let (out, probs) = fused_causal_attention(&q, &k, &v, scale);
+                let (dq, dk, dv) = fused_causal_attention_backward(&q, &k, &v, &probs, &out, scale);
+                let mut all = out.data().to_vec();
+                all.extend(probs.data());
+                all.extend(dq.data());
+                all.extend(dk.data());
+                all.extend(dv.data());
+                all
+            };
+            let scalar = with_arm(Arm::Scalar, run);
+            let avx2 = with_arm(Arm::Avx2, run);
+            assert_eq!(scalar, avx2, "arm divergence at bh={bh} s={s} d={d}");
+        }
+    }
+
+    /// Batch-head partitioning must not change any result bit: serial and
+    /// forced-parallel 2/4-thread runs agree exactly.
+    #[test]
+    fn thread_count_invariant() {
+        let (q, k, v) = qkv(4, 6, 5, 80);
+        let run = || {
+            let (out, probs) = fused_causal_attention(&q, &k, &v, 0.41);
+            let (dq, dk, dv) = fused_causal_attention_backward(&q, &k, &v, &probs, &out, 0.41);
+            let mut all = out.data().to_vec();
+            all.extend(probs.data());
+            all.extend(dq.data());
+            all.extend(dk.data());
+            all.extend(dv.data());
+            all
+        };
+        let serial = run();
+        for threads in [2usize, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let par = pool.install(|| kernels::with_forced_parallel(run));
+            assert_eq!(serial, par, "divergence at {threads} threads");
+        }
+    }
+}

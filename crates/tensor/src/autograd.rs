@@ -11,6 +11,7 @@
 //! per worker thread and all-reduces the resulting gradients, exactly like
 //! Horovod does for the paper's benchmarks.
 
+use crate::attention::{fused_causal_attention, fused_causal_attention_backward};
 use crate::conv::{
     conv2d, conv2d_backward, global_avgpool, global_avgpool_backward, maxpool2d,
     maxpool2d_backward, Conv2dCfg,
@@ -432,6 +433,28 @@ impl Var {
                 let da = bmm(dy, &b).expect("bmm_bt backward dA");
                 let db = bmm_at(dy, &a).expect("bmm_bt backward dB");
                 vec![Some(da), Some(db)]
+            }),
+        )
+    }
+
+    /// Fused causal self-attention `softmax(Q·Kᵀ·scale + mask)·V` as a
+    /// single graph node (see [`crate::attention`]). Replaces the
+    /// composed `bmm_bt → scale → add(mask) → softmax → bmm` chain: no
+    /// `[b·h, s, s]` score/mask intermediates are materialised — only
+    /// the probability matrix, which is cached for the backward's
+    /// single fused dQ/dK/dV sweep.
+    pub fn fused_causal_attention(&self, k: &Var, v: &Var, scale: f32) -> Var {
+        let qt = self.value();
+        let kt = k.value();
+        let vt = v.value();
+        let (out, probs) = fused_causal_attention(&qt, &kt, &vt, scale);
+        Var::op(
+            out,
+            vec![self.clone(), k.clone(), v.clone()],
+            Box::new(move |dy| {
+                let (dq, dk, dv) =
+                    fused_causal_attention_backward(&qt, &kt, &vt, &probs, dy, scale);
+                vec![Some(dq), Some(dk), Some(dv)]
             }),
         )
     }

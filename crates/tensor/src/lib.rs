@@ -22,6 +22,10 @@
 //! * [`kernels`] — fused, parallel elementwise/reduction kernels (the
 //!   non-GEMM counterpart of [`matmul`]; see its docs for the
 //!   determinism rule);
+//! * [`simd`] — runtime SIMD arm dispatch (scalar vs AVX2+FMA) and the
+//!   paired scalar/vector math that keeps the two arms bit-identical;
+//! * [`attention`] — fused causal attention (QKᵀ·scale → mask → softmax
+//!   → ·V in one streamed pass, plus its fused backward);
 //! * [`conv`] — im2col convolution, pooling;
 //! * [`autograd`] — reverse-mode differentiation ([`autograd::Var`]);
 //! * [`nn`] — neural-network functional ops (softmax, layernorm, GELU, …);
@@ -34,6 +38,7 @@
 // recommends keeping visible.
 #![allow(clippy::needless_range_loop)]
 
+pub mod attention;
 pub mod autograd;
 pub mod conv;
 pub mod init;
@@ -42,6 +47,7 @@ pub mod matmul;
 pub mod nn;
 pub mod optim;
 pub mod shape;
+pub mod simd;
 pub mod tensor;
 pub mod workspace;
 

@@ -14,12 +14,17 @@
 //!   kernel therefore serves `A·B`, `A·Bᵀ` and `Aᵀ·B` by changing only the
 //!   gather strides, and ragged edges are zero-padded so the microkernel
 //!   never branches on shape.
-//! * **Register-tiled microkernel.** An `MR×NR` accumulator block lives in
-//!   registers across the whole `kc` loop; each iteration performs
-//!   `MR·NR` independent multiply-adds from one A strip column and one B
-//!   strip row. Independent accumulators (no cross-lane reduction) are
-//!   exactly what LLVM auto-vectorises into wide FMA code under
-//!   `-C target-cpu=native` (see `.cargo/config.toml`).
+//! * **Register-tiled microkernel, two arms.** An `MR×NR` accumulator
+//!   block lives in registers across the whole `kc` loop; each iteration
+//!   performs `MR·NR` independent multiply-adds from one A strip column
+//!   and one B strip row. The runtime dispatcher ([`crate::simd`]) picks
+//!   between a hand-written AVX2+FMA `_mm256_fmadd_ps` microkernel
+//!   ([`microkernel_avx2`], 12 explicit ymm accumulators) and the
+//!   portable scalar arm that LLVM auto-vectorises under
+//!   `-C target-cpu=native` (see `.cargo/config.toml`). Both arms chain
+//!   each accumulator through the same fused-multiply-add sequence over
+//!   ascending `p`, so their results are bit-identical — the
+//!   dispatch-equivalence suite pins this.
 //! * **Parallelism over 2-D output tiles.** Work is split over `MC×NC`
 //!   output tiles (both dimensions), not flat row blocks, so square-ish
 //!   problems expose `⌈m/MC⌉·⌈n/NC⌉` tasks. Each output element is owned
@@ -55,6 +60,7 @@
 //! least `PAR_MIN_FLOPS_PER_THREAD` of work, since below that the scoped
 //! spawn/join overhead exceeds the kernel time.
 
+use crate::simd::{self, Arm};
 use crate::tensor::Tensor;
 use crate::workspace::{self, Workspace};
 use crate::TensorError;
@@ -107,12 +113,17 @@ impl Layout {
     }
 }
 
-/// Fused multiply-add when the target has FMA units, separate mul+add
-/// otherwise (`mul_add` without hardware FMA calls out to libm and is
-/// catastrophically slow). `cfg!` folds this at compile time.
+/// Fused multiply-add under the runtime dispatch table's rounding
+/// contract ([`simd::fma_chains`]): fused exactly when the AVX2+FMA arm
+/// is selectable on this host, so the scalar arm rounds identically to
+/// [`microkernel_avx2`]'s `_mm256_fmadd_ps` chains and the two arms stay
+/// bit-comparable. (The old `cfg!(target_feature = "fma")` check was
+/// compile-time and could silently disagree with runtime dispatch on
+/// hosts whose build flags and CPUID don't match.) The flag is a const
+/// generic so the hot loops monomorphise branch-free.
 #[inline(always)]
-fn fmadd(a: f32, b: f32, acc: f32) -> f32 {
-    if cfg!(target_feature = "fma") {
+fn fmadd<const FMA: bool>(a: f32, b: f32, acc: f32) -> f32 {
+    if FMA {
         a.mul_add(b, acc)
     } else {
         acc + a * b
@@ -407,12 +418,32 @@ fn gemm_strided(
         c.fill(0.0);
         return;
     }
+    // Arm + rounding contract resolved once on the calling thread so
+    // thread-scoped overrides propagate into the rayon tile tasks.
+    let arm = simd::active_arm();
+    let fma = simd::fma_chains();
     if m * n * k < SMALL_GEMM_FLOPS {
-        return gemm_direct(a, la, b, lb, c, m, k, n);
+        return if fma {
+            gemm_direct::<true>(a, la, b, lb, c, m, k, n)
+        } else {
+            gemm_direct::<false>(a, la, b, lb, c, m, k, n)
+        };
     }
     let n_it = m.div_ceil(MC);
     let n_jt = n.div_ceil(NC);
     let tiles = n_it * n_jt;
+    let par_tiles = allow_parallel
+        && tiles > 1
+        && rayon::current_num_threads() > 1
+        && m * n * k >= par_grain_flops();
+    // Panel prepacking parallelises over strips when the tile loop itself
+    // is serial but the problem is parallel-worthy (few big tiles); when
+    // the tile loop is already parallel the workers are busy and nested
+    // packing parallelism would only add stealing overhead.
+    let par_pack = allow_parallel
+        && !par_tiles
+        && rayon::current_num_threads() > 1
+        && m * n * k >= par_grain_flops();
     let writer = TileWriter(c.as_mut_ptr());
     let task = |t: usize| {
         let (it, jt) = (t / n_jt, t % n_jt);
@@ -420,16 +451,93 @@ fn gemm_strided(
         let j0 = jt * NC;
         let mc = MC.min(m - i0);
         let nc = NC.min(n - j0);
-        compute_tile(a, la, b, lb, writer, n, k, i0, mc, j0, nc, ws);
+        compute_tile(
+            a, la, b, lb, writer, n, k, i0, mc, j0, nc, ws, arm, fma, par_pack,
+        );
     };
-    if allow_parallel
-        && tiles > 1
-        && rayon::current_num_threads() > 1
-        && m * n * k >= par_grain_flops()
-    {
+    if par_tiles {
         (0..tiles).into_par_iter().for_each(task);
     } else {
-        (0..tiles).for_each(task);
+        // Serial path in classic GotoBLAS loop order: a packed `kc×nc` B
+        // panel is shared across the whole MC sweep instead of being
+        // re-packed per output tile (the parallel path keeps per-task
+        // packing for isolation). Per output element the accumulation
+        // chain is identical — KC blocks ascending, `p` ascending, same
+        // microkernel — so serial and parallel stay bit-identical.
+        c.fill(0.0);
+        let kc_max = KC.min(k);
+        let mut a_pack = ws.take_zeroed(MC.min(m).div_ceil(MR) * MR * kc_max);
+        let mut b_pack = ws.take_zeroed(NC.min(n).div_ceil(NR) * NR * kc_max);
+        for jt in 0..n_jt {
+            let j0 = jt * NC;
+            let nc = NC.min(n - j0);
+            let mut p0 = 0;
+            while p0 < k {
+                let kc = KC.min(k - p0);
+                pack_b(b, lb, j0, nc, p0, kc, &mut b_pack, par_pack);
+                for it in 0..n_it {
+                    let i0 = it * MC;
+                    let mc = MC.min(m - i0);
+                    pack_a(a, la, i0, mc, p0, kc, &mut a_pack, par_pack);
+                    strip_sweep(writer, n, i0, mc, j0, nc, kc, &a_pack, &b_pack, arm, fma);
+                }
+                p0 += kc;
+            }
+        }
+        ws.give(a_pack);
+        ws.give(b_pack);
+    }
+}
+
+/// Sweep all `NR×MR` strip pairs of one packed panel pair, accumulating
+/// `mc×nc` microkernel results into C. B strip outermost: one `NR·kc` B
+/// strip stays L1-resident while the (smaller) packed A panel streams
+/// past it, which is several times less L2 traffic than the reverse
+/// order. The (is, js) visit order does not affect numerics: each output
+/// element gets exactly one accumulate per KC block either way.
+#[allow(clippy::too_many_arguments)]
+fn strip_sweep(
+    writer: TileWriter,
+    n: usize,
+    i0: usize,
+    mc: usize,
+    j0: usize,
+    nc: usize,
+    kc: usize,
+    a_pack: &[f32],
+    b_pack: &[f32],
+    arm: Arm,
+    fma: bool,
+) {
+    let mr_strips = mc.div_ceil(MR);
+    let nr_strips = nc.div_ceil(NR);
+    for js in 0..nr_strips {
+        let b_strip = &b_pack[js * NR * kc..(js + 1) * NR * kc];
+        let nr_eff = NR.min(nc - js * NR);
+        for is in 0..mr_strips {
+            let a_strip = &a_pack[is * MR * kc..(is + 1) * MR * kc];
+            let mr_eff = MR.min(mc - is * MR);
+            let acc = match arm {
+                #[cfg(target_arch = "x86_64")]
+                // SAFETY: the dispatcher only selects this arm when
+                // avx2+fma are detected at runtime.
+                Arm::Avx2 => unsafe { microkernel_avx2(kc, a_strip, b_strip) },
+                #[cfg(not(target_arch = "x86_64"))]
+                Arm::Avx2 => unreachable!("AVX2 arm dispatched on non-x86_64"),
+                Arm::Scalar if fma => microkernel::<true>(kc, a_strip, b_strip),
+                Arm::Scalar => microkernel::<false>(kc, a_strip, b_strip),
+            };
+            // Accumulate the valid region into C.
+            let c_base = (i0 + is * MR) * n + j0 + js * NR;
+            for ii in 0..mr_eff {
+                let row = unsafe {
+                    std::slice::from_raw_parts_mut(writer.0.add(c_base + ii * n), nr_eff)
+                };
+                for (cv, &av) in row.iter_mut().zip(&acc[ii][..nr_eff]) {
+                    *cv += av;
+                }
+            }
+        }
     }
 }
 
@@ -449,6 +557,9 @@ fn compute_tile(
     j0: usize,
     nc: usize,
     ws: &Workspace,
+    arm: Arm,
+    fma: bool,
+    par_pack: bool,
 ) {
     let mr_strips = mc.div_ceil(MR);
     let nr_strips = nc.div_ceil(NR);
@@ -464,32 +575,9 @@ fn compute_tile(
     let mut p0 = 0;
     while p0 < k {
         let kc = KC.min(k - p0);
-        pack_a(a, la, i0, mc, p0, kc, &mut a_pack);
-        pack_b(b, lb, j0, nc, p0, kc, &mut b_pack);
-        // B strip outermost: one `NR·kc` B strip stays L1-resident while
-        // the (smaller) packed A panel streams past it, which is several
-        // times less L2 traffic than the reverse order. The (is, js)
-        // visit order does not affect numerics: each output element gets
-        // exactly one accumulate per KC block either way.
-        for js in 0..nr_strips {
-            let b_strip = &b_pack[js * NR * kc..(js + 1) * NR * kc];
-            let nr_eff = NR.min(nc - js * NR);
-            for is in 0..mr_strips {
-                let a_strip = &a_pack[is * MR * kc..(is + 1) * MR * kc];
-                let mr_eff = MR.min(mc - is * MR);
-                let acc = microkernel(kc, a_strip, b_strip);
-                // Accumulate the valid region into C.
-                let c_base = (i0 + is * MR) * n + j0 + js * NR;
-                for ii in 0..mr_eff {
-                    let row = unsafe {
-                        std::slice::from_raw_parts_mut(writer.0.add(c_base + ii * n), nr_eff)
-                    };
-                    for (cv, &av) in row.iter_mut().zip(&acc[ii][..nr_eff]) {
-                        *cv += av;
-                    }
-                }
-            }
-        }
+        pack_a(a, la, i0, mc, p0, kc, &mut a_pack, par_pack);
+        pack_b(b, lb, j0, nc, p0, kc, &mut b_pack, par_pack);
+        strip_sweep(writer, n, i0, mc, j0, nc, kc, &a_pack, &b_pack, arm, fma);
         p0 += kc;
     }
     ws.give(a_pack);
@@ -500,14 +588,26 @@ fn compute_tile(
 /// strip `is` holds columns `p` contiguously as `MR` consecutive row
 /// values (`dst[is·MR·kc + p·MR + ii] = A[i0+is·MR+ii, p0+p]`), ragged
 /// rows zero-padded.
-fn pack_a(a: &[f32], la: Layout, i0: usize, mc: usize, p0: usize, kc: usize, dst: &mut [f32]) {
+/// Packing is pure data movement (no floating-point arithmetic), so the
+/// optional strip-parallel path cannot perturb results — each strip is an
+/// exclusive destination chunk.
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    a: &[f32],
+    la: Layout,
+    i0: usize,
+    mc: usize,
+    p0: usize,
+    kc: usize,
+    dst: &mut [f32],
+    parallel: bool,
+) {
     let strips = mc.div_ceil(MR);
-    for is in 0..strips {
-        let base = is * MR * kc;
+    let strip = |is: usize, chunk: &mut [f32]| {
         let rows = MR.min(mc - is * MR);
         for p in 0..kc {
             let col = p0 + p;
-            let out = &mut dst[base + p * MR..base + p * MR + MR];
+            let out = &mut chunk[p * MR..p * MR + MR];
             for ii in 0..rows {
                 out[ii] = a[(i0 + is * MR + ii) * la.rs + col * la.cs];
             }
@@ -515,20 +615,40 @@ fn pack_a(a: &[f32], la: Layout, i0: usize, mc: usize, p0: usize, kc: usize, dst
                 *slot = 0.0;
             }
         }
+    };
+    if parallel && strips > 1 {
+        dst[..strips * MR * kc]
+            .par_chunks_mut(MR * kc)
+            .enumerate()
+            .for_each(|(is, chunk)| strip(is, chunk));
+    } else {
+        dst[..strips * MR * kc]
+            .chunks_mut(MR * kc)
+            .enumerate()
+            .for_each(|(is, chunk)| strip(is, chunk));
     }
 }
 
 /// Pack `kc` depth × `nc` logical columns of B into NR-interleaved strips
 /// (`dst[js·NR·kc + p·NR + jj] = B[p0+p, j0+js·NR+jj]`), ragged columns
 /// zero-padded.
-fn pack_b(b: &[f32], lb: Layout, j0: usize, nc: usize, p0: usize, kc: usize, dst: &mut [f32]) {
+#[allow(clippy::too_many_arguments)]
+fn pack_b(
+    b: &[f32],
+    lb: Layout,
+    j0: usize,
+    nc: usize,
+    p0: usize,
+    kc: usize,
+    dst: &mut [f32],
+    parallel: bool,
+) {
     let strips = nc.div_ceil(NR);
-    for js in 0..strips {
-        let base = js * NR * kc;
+    let strip = |js: usize, chunk: &mut [f32]| {
         let cols = NR.min(nc - js * NR);
         for p in 0..kc {
             let row = p0 + p;
-            let out = &mut dst[base + p * NR..base + p * NR + NR];
+            let out = &mut chunk[p * NR..p * NR + NR];
             for jj in 0..cols {
                 out[jj] = b[row * lb.rs + (j0 + js * NR + jj) * lb.cs];
             }
@@ -536,6 +656,17 @@ fn pack_b(b: &[f32], lb: Layout, j0: usize, nc: usize, p0: usize, kc: usize, dst
                 *slot = 0.0;
             }
         }
+    };
+    if parallel && strips > 1 {
+        dst[..strips * NR * kc]
+            .par_chunks_mut(NR * kc)
+            .enumerate()
+            .for_each(|(js, chunk)| strip(js, chunk));
+    } else {
+        dst[..strips * NR * kc]
+            .chunks_mut(NR * kc)
+            .enumerate()
+            .for_each(|(js, chunk)| strip(js, chunk));
     }
 }
 
@@ -544,15 +675,93 @@ fn pack_b(b: &[f32], lb: Layout, j0: usize, nc: usize, p0: usize, kc: usize, dst
 /// accumulators are independent, so the compiler keeps them in vector
 /// registers and the loop body is a burst of FMAs.
 #[inline(always)]
-fn microkernel(kc: usize, a_strip: &[f32], b_strip: &[f32]) -> [[f32; NR]; MR] {
+fn microkernel<const FMA: bool>(kc: usize, a_strip: &[f32], b_strip: &[f32]) -> [[f32; NR]; MR] {
     let mut acc = [[0.0f32; NR]; MR];
     for p in 0..kc {
         let av: &[f32; MR] = a_strip[p * MR..p * MR + MR].try_into().unwrap();
         let bv: &[f32; NR] = b_strip[p * NR..p * NR + NR].try_into().unwrap();
         for i in 0..MR {
             for j in 0..NR {
-                acc[i][j] = fmadd(av[i], bv[j], acc[i][j]);
+                acc[i][j] = fmadd::<FMA>(av[i], bv[j], acc[i][j]);
             }
+        }
+    }
+    acc
+}
+
+/// The AVX2+FMA arm of the microkernel: the 6×16 accumulator block as 12
+/// explicit ymm registers (6 rows × 2 vectors), one broadcast A value and
+/// two B vectors per `p` — 15 of the 16-register 256-bit file, exactly
+/// the layout the tile-size rationale above sizes for. Each `acc[i][j]`
+/// is the same single `fma` chain over ascending `p` as the scalar arm's
+/// `mul_add` chain, so the arms are bit-identical.
+///
+/// # Safety
+/// Caller must ensure avx2+fma are available (dispatch guarantees this)
+/// and that `a_strip`/`b_strip` hold at least `kc*MR` / `kc*NR` elements.
+#[cfg(target_arch = "x86_64")]
+// When the build already enables avx2+fma (`-C target-cpu=native`, the
+// committed `.cargo/config.toml`) the `#[target_feature]` attribute is
+// redundant and would block `#[inline(always)]` — and an out-of-line
+// microkernel call costs ~25% at kc=128. The cfg_attr pair keeps the
+// portable build correct (attribute present, plain `#[inline]`) while the
+// native build gets mandatory inlining into `compute_tile`'s strip loop.
+#[cfg_attr(
+    not(all(target_feature = "avx2", target_feature = "fma")),
+    target_feature(enable = "avx2,fma"),
+    inline
+)]
+#[cfg_attr(all(target_feature = "avx2", target_feature = "fma"), inline(always))]
+unsafe fn microkernel_avx2(kc: usize, a_strip: &[f32], b_strip: &[f32]) -> [[f32; NR]; MR] {
+    use std::arch::x86_64::*;
+    debug_assert!(a_strip.len() >= kc * MR);
+    debug_assert!(b_strip.len() >= kc * NR);
+    let mut c00 = _mm256_setzero_ps();
+    let mut c01 = _mm256_setzero_ps();
+    let mut c10 = _mm256_setzero_ps();
+    let mut c11 = _mm256_setzero_ps();
+    let mut c20 = _mm256_setzero_ps();
+    let mut c21 = _mm256_setzero_ps();
+    let mut c30 = _mm256_setzero_ps();
+    let mut c31 = _mm256_setzero_ps();
+    let mut c40 = _mm256_setzero_ps();
+    let mut c41 = _mm256_setzero_ps();
+    let mut c50 = _mm256_setzero_ps();
+    let mut c51 = _mm256_setzero_ps();
+    let mut ap = a_strip.as_ptr();
+    let mut bp = b_strip.as_ptr();
+    unsafe {
+        for _ in 0..kc {
+            let b0 = _mm256_loadu_ps(bp);
+            let b1 = _mm256_loadu_ps(bp.add(8));
+            let a0 = _mm256_broadcast_ss(&*ap);
+            c00 = _mm256_fmadd_ps(a0, b0, c00);
+            c01 = _mm256_fmadd_ps(a0, b1, c01);
+            let a1 = _mm256_broadcast_ss(&*ap.add(1));
+            c10 = _mm256_fmadd_ps(a1, b0, c10);
+            c11 = _mm256_fmadd_ps(a1, b1, c11);
+            let a2 = _mm256_broadcast_ss(&*ap.add(2));
+            c20 = _mm256_fmadd_ps(a2, b0, c20);
+            c21 = _mm256_fmadd_ps(a2, b1, c21);
+            let a3 = _mm256_broadcast_ss(&*ap.add(3));
+            c30 = _mm256_fmadd_ps(a3, b0, c30);
+            c31 = _mm256_fmadd_ps(a3, b1, c31);
+            let a4 = _mm256_broadcast_ss(&*ap.add(4));
+            c40 = _mm256_fmadd_ps(a4, b0, c40);
+            c41 = _mm256_fmadd_ps(a4, b1, c41);
+            let a5 = _mm256_broadcast_ss(&*ap.add(5));
+            c50 = _mm256_fmadd_ps(a5, b0, c50);
+            c51 = _mm256_fmadd_ps(a5, b1, c51);
+            ap = ap.add(MR);
+            bp = bp.add(NR);
+        }
+    }
+    let mut acc = [[0.0f32; NR]; MR];
+    unsafe {
+        let regs = [c00, c01, c10, c11, c20, c21, c30, c31, c40, c41, c50, c51];
+        for (i, pair) in regs.chunks_exact(2).enumerate() {
+            _mm256_storeu_ps(acc[i].as_mut_ptr(), pair[0]);
+            _mm256_storeu_ps(acc[i].as_mut_ptr().add(8), pair[1]);
         }
     }
     acc
@@ -563,7 +772,7 @@ fn microkernel(kc: usize, a_strip: &[f32], b_strip: &[f32]) -> [[f32; NR]; MR] {
 /// output element, `p` ascending. No data-dependent skips — dense-kernel
 /// timing must not depend on input values.
 #[allow(clippy::too_many_arguments)] // mirrors gemm_strided's signature
-fn gemm_direct(
+fn gemm_direct<const FMA: bool>(
     a: &[f32],
     la: Layout,
     b: &[f32],
@@ -579,7 +788,7 @@ fn gemm_direct(
         for p in 0..k {
             let av = a[i * la.rs + p * la.cs];
             for (j, cv) in c_row.iter_mut().enumerate() {
-                *cv = fmadd(av, b[p * lb.rs + j * lb.cs], *cv);
+                *cv = fmadd::<FMA>(av, b[p * lb.rs + j * lb.cs], *cv);
             }
         }
     }
@@ -590,12 +799,13 @@ fn gemm_direct(
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
     // Unrolled by 8 to expose ILP; the compiler auto-vectorises this.
+    let fma = simd::fma_chains();
     let mut acc = [0.0f32; 8];
     let chunks = a.len() / 8;
     for c in 0..chunks {
         let i = c * 8;
         for lane in 0..8 {
-            acc[lane] = fmadd(a[i + lane], b[i + lane], acc[lane]);
+            acc[lane] = simd::fmadd(a[i + lane], b[i + lane], acc[lane], fma);
         }
     }
     let mut s = acc.iter().sum::<f32>();
@@ -934,6 +1144,80 @@ mod proptests {
             let lhs = matmul(&a, &b.add(&c).unwrap()).unwrap();
             let rhs = matmul(&a, &b).unwrap().add(&matmul(&a, &c).unwrap()).unwrap();
             prop_assert!(lhs.allclose(&rhs, 1e-2));
+        }
+    }
+}
+
+#[cfg(test)]
+mod timing {
+    use super::*;
+    use crate::init::{randn, rng};
+    use std::time::Instant;
+
+    /// Manual perf probe (not a gate): `cargo test -p caraml-tensor
+    /// --release -- --ignored --nocapture gemm_timing`.
+    #[test]
+    #[ignore = "manual perf probe"]
+    fn gemm_timing() {
+        for &n in &[64usize, 128, 256, 512] {
+            let a = randn(&mut rng(1), [n, n], 1.0);
+            let b = randn(&mut rng(2), [n, n], 1.0);
+            for (label, arm) in [
+                ("scalar", crate::simd::Arm::Scalar),
+                ("avx2", crate::simd::Arm::Avx2),
+            ] {
+                if arm == crate::simd::Arm::Avx2 && !crate::simd::avx2_available() {
+                    continue;
+                }
+                crate::simd::with_arm(arm, || {
+                    let mut best = f64::MAX;
+                    for _ in 0..9 {
+                        let t = Instant::now();
+                        let c = matmul(&a, &b).unwrap();
+                        let dt = t.elapsed().as_secs_f64();
+                        std::hint::black_box(c);
+                        best = best.min(dt);
+                    }
+                    let gflops = 2.0 * (n as f64).powi(3) / best / 1e9;
+                    println!(
+                        "{n}^3 {label:6}: {:8.4} ms  {gflops:6.1} GFLOP/s",
+                        best * 1e3
+                    );
+                });
+            }
+        }
+    }
+
+    /// Direct-vs-packed crossover probe for tuning `SMALL_GEMM_FLOPS`:
+    /// `cargo test -p caraml-tensor --release -- --ignored --nocapture
+    /// gemm_crossover`.
+    #[test]
+    #[ignore = "manual perf probe"]
+    fn gemm_crossover() {
+        for &n in &[16usize, 32, 48, 64, 96, 128] {
+            let row = Layout::row_major(n);
+            let a = randn(&mut rng(1), [n, n], 1.0);
+            let b = randn(&mut rng(2), [n, n], 1.0);
+            let mut c = vec![0.0f32; n * n];
+            let mut best_direct = f64::MAX;
+            for _ in 0..21 {
+                let t = Instant::now();
+                gemm_direct::<true>(a.data(), row, b.data(), row, &mut c, n, n, n);
+                best_direct = best_direct.min(t.elapsed().as_secs_f64());
+                std::hint::black_box(&c);
+            }
+            let mut best_packed = f64::MAX;
+            for _ in 0..21 {
+                let t = Instant::now();
+                let out = matmul(&a, &b).unwrap();
+                best_packed = best_packed.min(t.elapsed().as_secs_f64());
+                std::hint::black_box(out);
+            }
+            println!(
+                "{n:3}^3 direct {:8.4} ms  packed {:8.4} ms",
+                best_direct * 1e3,
+                best_packed * 1e3
+            );
         }
     }
 }

@@ -17,7 +17,6 @@
 //! once a training loop reaches steady state.
 
 use crate::kernels;
-use crate::kernels::{gelu_grad_scalar, gelu_scalar};
 use crate::tensor::Tensor;
 use crate::workspace;
 
@@ -44,16 +43,16 @@ pub fn relu_backward(x: &Tensor, dy: &Tensor) -> Tensor {
 
 /// GELU with the tanh approximation (as used by GPT-2 / Megatron-LM).
 pub fn gelu(x: &Tensor) -> Tensor {
-    x.map(gelu_scalar)
+    let mut data = workspace::global().take_zeroed(x.numel());
+    kernels::gelu_into(x.data(), &mut data);
+    Tensor::from_vec(data, x.dims().to_vec())
 }
 
 /// Backward of GELU given the *input* and upstream gradient.
 pub fn gelu_backward(x: &Tensor, dy: &Tensor) -> Tensor {
     assert_eq!(x.dims(), dy.dims());
     let mut data = workspace::global().take_zeroed(x.numel());
-    kernels::zip_map_into(x.data(), dy.data(), &mut data, |v, g| {
-        gelu_grad_scalar(v) * g
-    });
+    kernels::gelu_grad_mul_into(x.data(), dy.data(), &mut data);
     Tensor::from_vec(data, x.dims().to_vec())
 }
 
@@ -341,6 +340,7 @@ pub fn rope(x: &Tensor, inverse: bool) -> Tensor {
 mod tests {
     use super::*;
     use crate::init::{randn, rng};
+    use crate::kernels::{gelu_grad_scalar, gelu_scalar};
 
     #[test]
     fn relu_and_backward() {

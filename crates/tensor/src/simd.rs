@@ -1,0 +1,676 @@
+//! Runtime SIMD dispatch and the paired scalar/AVX2 math substrate.
+//!
+//! The kernels in [`crate::matmul`], [`crate::kernels`] and
+//! [`crate::attention`] each carry two implementation *arms*: a portable
+//! scalar/autovectorized arm and a hand-written AVX2+FMA arm built on
+//! `std::arch` intrinsics. Which arm runs is decided **at runtime** from
+//! `is_x86_feature_detected!`, cached in a `OnceLock` — the binary stays
+//! portable while the hot loops use the host's vector units. AVX-512 is
+//! deliberately *not* an arm: under this project's virtualised reference
+//! hardware zmm FMA measured ~25x slower than ymm (see
+//! `.cargo/config.toml`), so the widest tier is 256-bit.
+//!
+//! ## The bit-parity contract
+//!
+//! Every dual-arm kernel produces **bit-identical** results on both arms.
+//! This is what lets the existing serial≡parallel≡sharded determinism
+//! pins hold regardless of which arm the dispatcher picks, and it is
+//! enforced by the dispatch-equivalence test suite. Two rules make it
+//! work:
+//!
+//! 1. **One rounding contract per machine.** [`fma_chains`] reports
+//!    whether the AVX2+FMA arm is selectable on this host. When it is,
+//!    *scalar* code uses `f32::mul_add` exactly where the vector arm uses
+//!    `_mm256_fmadd_ps`, so both arms round identically. The arm
+//!    *override* ([`with_arm`], `CARAML_SIMD`) swaps implementations but
+//!    never changes this contract — a forced-scalar run stays
+//!    bit-comparable to the AVX2 run it is checked against.
+//! 2. **One reduction tree per kernel.** Reductions are computed with
+//!    8-lane partial accumulators folded by [`fold8`]'s fixed tree in
+//!    both arms; transcendentals go through the shared polynomial
+//!    [`exp_s`]/[`tanh_s`] whose vector twins execute the same IEEE
+//!    operation sequence lane-wise.
+//!
+//! ## Overrides
+//!
+//! * `CARAML_SIMD=off` (or `scalar`) forces the scalar arm process-wide —
+//!   `just verify` uses this to keep both arms green in tier-1.
+//!   `CARAML_SIMD=avx2` insists on the AVX2 arm (falls back to scalar if
+//!   the host lacks it). Read once, cached.
+//! * [`with_arm`] scopes an override to the current thread — kernels
+//!   resolve their arm once at entry on the calling thread and pass it
+//!   into any rayon workers, so the hook composes with parallel paths.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+/// Implementation arm selected by the runtime dispatcher.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Arm {
+    /// Portable scalar (compiler-autovectorized) implementations.
+    Scalar,
+    /// Hand-written AVX2+FMA `std::arch` implementations.
+    Avx2,
+}
+
+/// True when the host supports the AVX2+FMA arm (both features are
+/// required; the arm's kernels use `_mm256_fmadd_ps` throughout).
+pub fn avx2_available() -> bool {
+    static AVAIL: OnceLock<bool> = OnceLock::new();
+    *AVAIL.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    })
+}
+
+/// The machine-wide rounding contract: when true, scalar kernels chain
+/// reductions through `f32::mul_add` so they round identically to the
+/// AVX2 arm's fused `_mm256_fmadd_ps`. This follows *detection only* —
+/// never the arm override — so a forced-scalar run is still bit-identical
+/// to the AVX2 arm (that is exactly what the equivalence suite asserts).
+/// On hosts where the FMA arm is not selectable, scalar code uses plain
+/// mul+add: `mul_add` without hardware FMA falls back to libm and is
+/// catastrophically slow.
+#[inline]
+pub fn fma_chains() -> bool {
+    avx2_available()
+}
+
+fn default_arm() -> Arm {
+    static DEFAULT: OnceLock<Arm> = OnceLock::new();
+    *DEFAULT.get_or_init(|| match std::env::var("CARAML_SIMD").ok().as_deref() {
+        Some("off") | Some("scalar") | Some("0") => Arm::Scalar,
+        _ => {
+            if avx2_available() {
+                Arm::Avx2
+            } else {
+                Arm::Scalar
+            }
+        }
+    })
+}
+
+thread_local! {
+    static FORCED_ARM: Cell<Option<Arm>> = const { Cell::new(None) };
+}
+
+/// The arm kernels should run. Kernels call this **once at entry** (on
+/// the caller's thread) and thread the result through any parallel
+/// closures, so [`with_arm`] overrides survive into rayon workers.
+#[inline]
+pub fn active_arm() -> Arm {
+    if let Some(a) = FORCED_ARM.with(|c| c.get()) {
+        return a;
+    }
+    default_arm()
+}
+
+/// Test/bench hook: run `f` with the dispatcher pinned to `arm` on this
+/// thread. Panics if the AVX2 arm is requested on a host without it
+/// (callers gate on [`avx2_available`]).
+pub fn with_arm<R>(arm: Arm, f: impl FnOnce() -> R) -> R {
+    assert!(
+        arm != Arm::Avx2 || avx2_available(),
+        "AVX2 arm forced on a host without avx2+fma"
+    );
+    struct Restore(Option<Arm>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            FORCED_ARM.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(FORCED_ARM.with(|c| c.replace(Some(arm))));
+    f()
+}
+
+// ---------- the shared rounding primitives ----------
+
+/// Fused multiply-add under the machine rounding contract: one fused
+/// rounding when [`fma_chains`] holds (mirroring `_mm256_fmadd_ps`),
+/// separate mul+add otherwise. The `fma` flag is hoisted by callers so
+/// inner loops stay branch-free after loop unswitching.
+#[inline(always)]
+pub fn fmadd(a: f32, b: f32, acc: f32, fma: bool) -> f32 {
+    if fma {
+        a.mul_add(b, acc)
+    } else {
+        acc + a * b
+    }
+}
+
+/// The fixed 8-lane horizontal-sum tree shared by both arms: exactly the
+/// `extractf128 + add / movehl + add / shuffle + add` sequence the AVX2
+/// arm uses, spelled out on a lane array.
+#[inline(always)]
+pub fn fold8(l: [f32; 8]) -> f32 {
+    let b0 = l[0] + l[4];
+    let b1 = l[1] + l[5];
+    let b2 = l[2] + l[6];
+    let b3 = l[3] + l[7];
+    (b0 + b2) + (b1 + b3)
+}
+
+/// [`fold8`] with `max` in place of `+` (same tree; `max` is associative
+/// so the tree only matters for NaN propagation, which both arms share).
+#[inline(always)]
+pub fn fold8_max(l: [f32; 8]) -> f32 {
+    let b0 = l[0].max(l[4]);
+    let b1 = l[1].max(l[5]);
+    let b2 = l[2].max(l[6]);
+    let b3 = l[3].max(l[7]);
+    (b0.max(b2)).max(b1.max(b3))
+}
+
+/// Canonical sum: 8 lane accumulators over full chunks, [`fold8`], then
+/// the ragged tail added sequentially. Both arms implement exactly this.
+#[inline]
+pub fn sum8(xs: &[f32]) -> f32 {
+    let mut lanes = [0.0f32; 8];
+    let n8 = xs.len() - xs.len() % 8;
+    for c in xs[..n8].chunks_exact(8) {
+        for (l, v) in lanes.iter_mut().zip(c) {
+            *l += v;
+        }
+    }
+    let mut t = fold8(lanes);
+    for &v in &xs[n8..] {
+        t += v;
+    }
+    t
+}
+
+/// Canonical max: same shape as [`sum8`].
+#[inline]
+pub fn max8(xs: &[f32]) -> f32 {
+    let mut lanes = [f32::NEG_INFINITY; 8];
+    let n8 = xs.len() - xs.len() % 8;
+    for c in xs[..n8].chunks_exact(8) {
+        for (l, v) in lanes.iter_mut().zip(c) {
+            *l = l.max(*v);
+        }
+    }
+    let mut t = fold8_max(lanes);
+    for &v in &xs[n8..] {
+        t = t.max(v);
+    }
+    t
+}
+
+/// Canonical dot product: 8 fused lane chains, [`fold8`], sequential
+/// fused tail. The AVX2 twin is a `vfmadd231ps` loop plus the same
+/// horizontal reduce.
+#[inline]
+pub fn dot8(a: &[f32], b: &[f32], fma: bool) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut lanes = [0.0f32; 8];
+    let n8 = a.len() - a.len() % 8;
+    for (ca, cb) in a[..n8].chunks_exact(8).zip(b[..n8].chunks_exact(8)) {
+        for l in 0..8 {
+            lanes[l] = fmadd(ca[l], cb[l], lanes[l], fma);
+        }
+    }
+    let mut t = fold8(lanes);
+    for (&av, &bv) in a[n8..].iter().zip(&b[n8..]) {
+        t = fmadd(av, bv, t, fma);
+    }
+    t
+}
+
+// ---------- paired transcendentals ----------
+//
+// Cephes-style single-precision exp, written as a sequence of IEEE
+// operations that every lane of the AVX2 twin executes identically:
+// clamp, round-down range reduction against a hi/lo split of ln 2, a
+// degree-5 Horner polynomial, and a 2^n scale built by integer exponent
+// assembly. `tanh` rides on it via (e^{2x}−1)/(e^{2x}+1).
+
+/// Upper input clamp: keeps the assembled exponent ≤ 127 so the scale
+/// factor never overflows to infinity (exp of anything larger reports
+/// ~1.69e38 — saturation, not inf, which keeps `tanh` NaN-free).
+pub const EXP_HI: f32 = 88.029_69;
+/// Lower input clamp (results below this underflow gradually).
+pub const EXP_LO: f32 = -87.336_55;
+
+const LOG2E: f32 = 1.442_695_04;
+const EXP_C1: f32 = 0.693_359_375; // ln2 high part
+const EXP_C2: f32 = -2.121_944_4e-4; // ln2 low part
+const EXP_P0: f32 = 1.987_569_1e-4;
+const EXP_P1: f32 = 1.398_199_9e-3;
+const EXP_P2: f32 = 8.333_452e-3;
+const EXP_P3: f32 = 4.166_579_6e-2;
+const EXP_P4: f32 = 1.666_666_5e-1;
+const EXP_P5: f32 = 5.000_000_3e-1;
+
+/// `tanh` argument clamp (applied to `2x`): past ±20 the rational form
+/// is exactly ±1.0 in f32, so clamping changes nothing representable.
+const TANH_ARG_CLAMP: f32 = 20.0;
+
+/// Shared polynomial `e^x` (~1–2 ulp over the clamp range). The AVX2
+/// twin [`avx2::exp_ps`] performs this exact operation sequence.
+#[inline(always)]
+pub fn exp_s(x: f32, fma: bool) -> f32 {
+    let x = x.min(EXP_HI).max(EXP_LO);
+    let fx = fmadd(x, LOG2E, 0.5, fma).floor();
+    let x = fmadd(fx, -EXP_C1, x, fma);
+    let x = fmadd(fx, -EXP_C2, x, fma);
+    let z = x * x;
+    let mut y = EXP_P0;
+    y = fmadd(y, x, EXP_P1, fma);
+    y = fmadd(y, x, EXP_P2, fma);
+    y = fmadd(y, x, EXP_P3, fma);
+    y = fmadd(y, x, EXP_P4, fma);
+    y = fmadd(y, x, EXP_P5, fma);
+    y = fmadd(y, z, x, fma);
+    y += 1.0;
+    // 2^fx by exponent assembly; fx is integral and in [-126, 127].
+    let n = fx as i32;
+    y * f32::from_bits(((n + 127) as u32) << 23)
+}
+
+/// Shared `tanh` via `(e^{2x}−1)/(e^{2x}+1)` on [`exp_s`]. Saturates
+/// exactly to ±1.0 (the clamped exp keeps the quotient finite).
+#[inline(always)]
+pub fn tanh_s(x: f32, fma: bool) -> f32 {
+    let x2 = (x + x).min(TANH_ARG_CLAMP).max(-TANH_ARG_CLAMP);
+    let t = exp_s(x2, fma);
+    (t - 1.0) / (t + 1.0)
+}
+
+/// `sqrt(2/π)` — the GPT-2 / Megatron tanh-GELU constant.
+const GELU_C: f32 = 0.797_884_6;
+const GELU_A: f32 = 0.044_715;
+const GELU_3A: f32 = 3.0 * GELU_A;
+
+/// Shared tanh-approximation GELU with a fixed operation order mirrored
+/// by [`avx2::gelu_ps`].
+#[inline(always)]
+pub fn gelu_s(v: f32, fma: bool) -> f32 {
+    let v3 = (v * v) * v;
+    let u = GELU_C * fmadd(GELU_A, v3, v, fma);
+    let t = tanh_s(u, fma);
+    (0.5 * v) * (1.0 + t)
+}
+
+/// Derivative of [`gelu_s`], operation order mirrored by
+/// [`avx2::gelu_grad_ps`].
+#[inline(always)]
+pub fn gelu_grad_s(v: f32, fma: bool) -> f32 {
+    let v2 = v * v;
+    let u = GELU_C * fmadd(GELU_A, v2 * v, v, fma);
+    let t = tanh_s(u, fma);
+    let du = GELU_C * fmadd(GELU_3A, v2, 1.0, fma);
+    let a = 0.5 * (1.0 + t);
+    let b = (0.5 * v) * fmadd(-t, t, 1.0, fma);
+    fmadd(b, du, a, fma)
+}
+
+// ---------- AVX2 twins ----------
+
+/// The AVX2+FMA vector twins. Every function here is compiled with
+/// `#[target_feature(enable = "avx2,fma")]` and must only be called when
+/// [`avx2_available`] holds (the dispatcher guarantees it).
+#[cfg(target_arch = "x86_64")]
+pub mod avx2 {
+    use super::{
+        EXP_C1, EXP_C2, EXP_HI, EXP_LO, EXP_P0, EXP_P1, EXP_P2, EXP_P3, EXP_P4, EXP_P5, GELU_3A,
+        GELU_A, GELU_C, LOG2E, TANH_ARG_CLAMP,
+    };
+    use std::arch::x86_64::*;
+
+    /// Horizontal sum with the [`super::fold8`] tree.
+    ///
+    /// # Safety
+    /// Requires avx2+fma.
+    #[target_feature(enable = "avx2,fma")]
+    #[inline]
+    pub unsafe fn hsum8(v: __m256) -> f32 {
+        let lo = _mm256_castps256_ps128(v);
+        let hi = _mm256_extractf128_ps(v, 1);
+        let s = _mm_add_ps(lo, hi);
+        let s2 = _mm_add_ps(s, _mm_movehl_ps(s, s));
+        let s3 = _mm_add_ss(s2, _mm_shuffle_ps(s2, s2, 1));
+        _mm_cvtss_f32(s3)
+    }
+
+    /// Horizontal max with the [`super::fold8_max`] tree.
+    ///
+    /// # Safety
+    /// Requires avx2+fma.
+    #[target_feature(enable = "avx2,fma")]
+    #[inline]
+    pub unsafe fn hmax8(v: __m256) -> f32 {
+        let lo = _mm256_castps256_ps128(v);
+        let hi = _mm256_extractf128_ps(v, 1);
+        let s = _mm_max_ps(lo, hi);
+        let s2 = _mm_max_ps(s, _mm_movehl_ps(s, s));
+        let s3 = _mm_max_ss(s2, _mm_shuffle_ps(s2, s2, 1));
+        _mm_cvtss_f32(s3)
+    }
+
+    /// Vector twin of [`super::exp_s`]: identical IEEE operation
+    /// sequence per lane, so results are bit-equal to the scalar arm.
+    ///
+    /// # Safety
+    /// Requires avx2+fma.
+    #[target_feature(enable = "avx2,fma")]
+    #[inline]
+    pub unsafe fn exp_ps(x: __m256) -> __m256 {
+        let x = _mm256_max_ps(
+            _mm256_min_ps(x, _mm256_set1_ps(EXP_HI)),
+            _mm256_set1_ps(EXP_LO),
+        );
+        let fx = _mm256_floor_ps(_mm256_fmadd_ps(
+            x,
+            _mm256_set1_ps(LOG2E),
+            _mm256_set1_ps(0.5),
+        ));
+        let x = _mm256_fnmadd_ps(fx, _mm256_set1_ps(EXP_C1), x);
+        let x = _mm256_fnmadd_ps(fx, _mm256_set1_ps(EXP_C2), x);
+        let z = _mm256_mul_ps(x, x);
+        let mut y = _mm256_set1_ps(EXP_P0);
+        y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(EXP_P1));
+        y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(EXP_P2));
+        y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(EXP_P3));
+        y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(EXP_P4));
+        y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(EXP_P5));
+        y = _mm256_fmadd_ps(y, z, x);
+        y = _mm256_add_ps(y, _mm256_set1_ps(1.0));
+        // fx is integral so round-to-nearest conversion is exact, matching
+        // the scalar truncating cast.
+        let n = _mm256_cvtps_epi32(fx);
+        let pow2 = _mm256_castsi256_ps(_mm256_slli_epi32::<23>(_mm256_add_epi32(
+            n,
+            _mm256_set1_epi32(127),
+        )));
+        _mm256_mul_ps(y, pow2)
+    }
+
+    /// Vector twin of [`super::tanh_s`].
+    ///
+    /// # Safety
+    /// Requires avx2+fma.
+    #[target_feature(enable = "avx2,fma")]
+    #[inline]
+    pub unsafe fn tanh_ps(x: __m256) -> __m256 {
+        let clamp = _mm256_set1_ps(TANH_ARG_CLAMP);
+        let x2 = _mm256_add_ps(x, x);
+        let x2 = _mm256_max_ps(
+            _mm256_min_ps(x2, clamp),
+            _mm256_sub_ps(_mm256_setzero_ps(), clamp),
+        );
+        let t = exp_ps(x2);
+        let one = _mm256_set1_ps(1.0);
+        _mm256_div_ps(_mm256_sub_ps(t, one), _mm256_add_ps(t, one))
+    }
+
+    /// Slice twin of [`super::sum8`]: one vector accumulator (= the 8
+    /// lane partials), [`hsum8`]'s fold, sequential scalar tail.
+    ///
+    /// # Safety
+    /// Requires avx2+fma.
+    #[target_feature(enable = "avx2,fma")]
+    #[inline]
+    pub unsafe fn vsum(xs: &[f32]) -> f32 {
+        let n8 = xs.len() - xs.len() % 8;
+        let mut acc = _mm256_setzero_ps();
+        for i in (0..n8).step_by(8) {
+            acc = _mm256_add_ps(acc, _mm256_loadu_ps(xs.as_ptr().add(i)));
+        }
+        let mut t = hsum8(acc);
+        for &v in &xs[n8..] {
+            t += v;
+        }
+        t
+    }
+
+    /// Slice twin of [`super::max8`].
+    ///
+    /// # Safety
+    /// Requires avx2+fma.
+    #[target_feature(enable = "avx2,fma")]
+    #[inline]
+    pub unsafe fn vmax(xs: &[f32]) -> f32 {
+        let n8 = xs.len() - xs.len() % 8;
+        let mut acc = _mm256_set1_ps(f32::NEG_INFINITY);
+        for i in (0..n8).step_by(8) {
+            acc = _mm256_max_ps(acc, _mm256_loadu_ps(xs.as_ptr().add(i)));
+        }
+        let mut t = hmax8(acc);
+        for &v in &xs[n8..] {
+            t = t.max(v);
+        }
+        t
+    }
+
+    /// Slice twin of [`super::dot8`] (`fma = true` arm).
+    ///
+    /// # Safety
+    /// Requires avx2+fma.
+    #[target_feature(enable = "avx2,fma")]
+    #[inline]
+    pub unsafe fn vdot(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        let n8 = a.len() - a.len() % 8;
+        let mut acc = _mm256_setzero_ps();
+        for i in (0..n8).step_by(8) {
+            acc = _mm256_fmadd_ps(
+                _mm256_loadu_ps(a.as_ptr().add(i)),
+                _mm256_loadu_ps(b.as_ptr().add(i)),
+                acc,
+            );
+        }
+        let mut t = hsum8(acc);
+        for (&av, &bv) in a[n8..].iter().zip(&b[n8..]) {
+            t = av.mul_add(bv, t);
+        }
+        t
+    }
+
+    /// Vector twin of [`super::gelu_s`] (tanh-approximation GELU).
+    ///
+    /// # Safety
+    /// Requires avx2+fma.
+    #[target_feature(enable = "avx2,fma")]
+    #[inline]
+    pub unsafe fn gelu_ps(v: __m256) -> __m256 {
+        let v3 = _mm256_mul_ps(_mm256_mul_ps(v, v), v);
+        let u = _mm256_mul_ps(
+            _mm256_set1_ps(GELU_C),
+            _mm256_fmadd_ps(_mm256_set1_ps(GELU_A), v3, v),
+        );
+        let t = tanh_ps(u);
+        _mm256_mul_ps(
+            _mm256_mul_ps(_mm256_set1_ps(0.5), v),
+            _mm256_add_ps(_mm256_set1_ps(1.0), t),
+        )
+    }
+
+    /// Vector twin of [`super::gelu_grad_s`].
+    ///
+    /// # Safety
+    /// Requires avx2+fma.
+    #[target_feature(enable = "avx2,fma")]
+    #[inline]
+    pub unsafe fn gelu_grad_ps(v: __m256) -> __m256 {
+        let half = _mm256_set1_ps(0.5);
+        let one = _mm256_set1_ps(1.0);
+        let v2 = _mm256_mul_ps(v, v);
+        let u = _mm256_mul_ps(
+            _mm256_set1_ps(GELU_C),
+            _mm256_fmadd_ps(_mm256_set1_ps(GELU_A), _mm256_mul_ps(v2, v), v),
+        );
+        let t = tanh_ps(u);
+        let du = _mm256_mul_ps(
+            _mm256_set1_ps(GELU_C),
+            _mm256_fmadd_ps(_mm256_set1_ps(GELU_3A), v2, one),
+        );
+        let a = _mm256_mul_ps(half, _mm256_add_ps(one, t));
+        // fmadd(-t, t, 1.0) pairs with the scalar arm's `fmadd(-t, t, 1.0)`.
+        let b = _mm256_mul_ps(_mm256_mul_ps(half, v), _mm256_fnmadd_ps(t, t, one));
+        _mm256_fmadd_ps(b, du, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_arm_matches_detection() {
+        // No env override is set in the test harness, so the default arm
+        // must follow detection.
+        if std::env::var("CARAML_SIMD").is_err() {
+            let expect = if avx2_available() {
+                Arm::Avx2
+            } else {
+                Arm::Scalar
+            };
+            assert_eq!(active_arm(), expect);
+        }
+    }
+
+    #[test]
+    fn with_arm_scopes_and_restores() {
+        let before = active_arm();
+        with_arm(Arm::Scalar, || {
+            assert_eq!(active_arm(), Arm::Scalar);
+            with_arm(Arm::Scalar, || assert_eq!(active_arm(), Arm::Scalar));
+            assert_eq!(active_arm(), Arm::Scalar);
+        });
+        assert_eq!(active_arm(), before);
+    }
+
+    #[test]
+    fn exp_s_tracks_libm() {
+        let fma = fma_chains();
+        for i in -1740..1760 {
+            let x = i as f32 * 0.05;
+            let got = exp_s(x, fma);
+            let want = x.exp();
+            let rel = if want > 0.0 {
+                (got - want).abs() / want
+            } else {
+                0.0
+            };
+            assert!(rel < 5e-6, "exp({x}): got {got}, want {want}");
+        }
+        // Saturation, not overflow: large inputs stay finite / NaN-free
+        // (the lower clamp saturates near the normal minimum, not at 0).
+        assert!(exp_s(1e9, fma).is_finite());
+        assert!(exp_s(-1e9, fma) < 1.2e-38);
+    }
+
+    #[test]
+    fn tanh_s_tracks_libm_and_saturates() {
+        let fma = fma_chains();
+        for i in -1000..1000 {
+            let x = i as f32 * 0.02;
+            let got = tanh_s(x, fma);
+            let want = x.tanh();
+            assert!(
+                (got - want).abs() < 3e-6,
+                "tanh({x}): got {got}, want {want}"
+            );
+        }
+        assert_eq!(tanh_s(50.0, fma), 1.0);
+        assert_eq!(tanh_s(-50.0, fma), -1.0);
+        assert_eq!(tanh_s(1e30, fma), 1.0);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn vector_twins_are_bit_exact() {
+        if !avx2_available() {
+            return;
+        }
+        use std::arch::x86_64::*;
+        let fma = fma_chains();
+        let mut xs = Vec::new();
+        for i in -400..400 {
+            xs.push(i as f32 * 0.25);
+        }
+        xs.extend([0.0, -0.0, 1e-20, -1e-20, 100.0, -100.0, 1e9, -1e9]);
+        while xs.len() % 8 != 0 {
+            xs.push(0.0);
+        }
+        for c in xs.chunks_exact(8) {
+            let (mut es, mut ts) = ([0.0f32; 8], [0.0f32; 8]);
+            let (mut gs, mut ds) = ([0.0f32; 8], [0.0f32; 8]);
+            unsafe {
+                let v = _mm256_loadu_ps(c.as_ptr());
+                _mm256_storeu_ps(es.as_mut_ptr(), avx2::exp_ps(v));
+                _mm256_storeu_ps(ts.as_mut_ptr(), avx2::tanh_ps(v));
+                _mm256_storeu_ps(gs.as_mut_ptr(), avx2::gelu_ps(v));
+                _mm256_storeu_ps(ds.as_mut_ptr(), avx2::gelu_grad_ps(v));
+            }
+            for (l, &x) in c.iter().enumerate() {
+                assert_eq!(
+                    es[l].to_bits(),
+                    exp_s(x, fma).to_bits(),
+                    "exp lane {l} x={x}"
+                );
+                assert_eq!(
+                    ts[l].to_bits(),
+                    tanh_s(x, fma).to_bits(),
+                    "tanh lane {l} x={x}"
+                );
+                assert_eq!(
+                    gs[l].to_bits(),
+                    gelu_s(x, fma).to_bits(),
+                    "gelu lane {l} x={x}"
+                );
+                assert_eq!(
+                    ds[l].to_bits(),
+                    gelu_grad_s(x, fma).to_bits(),
+                    "gelu_grad lane {l} x={x}"
+                );
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn slice_reductions_match_scalar_arm() {
+        if !avx2_available() {
+            return;
+        }
+        // 37 elements: exercises both the 8-lane body and the ragged tail.
+        let xs: Vec<f32> = (0..37)
+            .map(|i| ((i * 37) % 19) as f32 * 0.37 - 3.0)
+            .collect();
+        let ys: Vec<f32> = (0..37)
+            .map(|i| ((i * 11) % 23) as f32 * -0.21 + 1.5)
+            .collect();
+        unsafe {
+            assert_eq!(avx2::vsum(&xs).to_bits(), sum8(&xs).to_bits());
+            assert_eq!(avx2::vmax(&xs).to_bits(), max8(&xs).to_bits());
+            assert_eq!(
+                avx2::vdot(&xs, &ys).to_bits(),
+                dot8(&xs, &ys, true).to_bits()
+            );
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn horizontal_reductions_match_folds() {
+        if !avx2_available() {
+            return;
+        }
+        use std::arch::x86_64::*;
+        let l = [1.5f32, -2.25, 3.0, 0.125, -7.75, 11.0, 0.5, -0.0625];
+        let (s, m) = unsafe {
+            let v = _mm256_loadu_ps(l.as_ptr());
+            (avx2::hsum8(v), avx2::hmax8(v))
+        };
+        assert_eq!(s.to_bits(), fold8(l).to_bits());
+        assert_eq!(m.to_bits(), fold8_max(l).to_bits());
+    }
+}

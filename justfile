@@ -1,14 +1,17 @@
 # Developer task runner. Install `just`, or paste the recipes into a shell.
 
-# Full local gate: formatting, lints as errors, the test suite, and a
+# Full local gate: formatting, lints as errors, the test suite, a
 # compile check of every bench target (they are not built by `cargo
-# test` and otherwise rot silently).
+# test` and otherwise rot silently), and the tensor suite re-run with
+# the SIMD dispatcher forced to the scalar arm — the portability
+# fallback must stay green, not just compile.
 verify:
     cargo fmt --check
     cargo clippy --workspace -- -D warnings
     cargo test -q
     cargo bench --workspace --no-run
     just check-devices
+    CARAML_SIMD=off cargo test -q -p caraml-tensor
 
 # Load + validate every embedded device TOML through the registry and
 # diff the rendered `caraml devices` table against the committed golden
@@ -78,3 +81,9 @@ bench-json:
 # kernel code.
 bench-check:
     cargo run --release -p caraml-bench --bin bench_json -- --check
+
+# Markdown regression report: re-time everything (including the pinned
+# scalar/avx2 dual-arm sweep) and render speedups against the committed
+# BENCH_TENSOR.json into docs/performance.md.
+bench-report:
+    cargo run --release -p caraml-bench --bin bench_json -- --report

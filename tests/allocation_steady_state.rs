@@ -14,8 +14,11 @@
 
 use caraml_suite::caraml_data::SyntheticImages;
 use caraml_suite::caraml_models::{GptConfig, GptModel, ResnetConfig, ResnetModel};
+use caraml_suite::caraml_tensor::attention;
+use caraml_suite::caraml_tensor::init::{randn, rng};
 use caraml_suite::caraml_tensor::optim::{Adam, Optimizer, Sgd};
 use caraml_suite::caraml_tensor::workspace;
+use caraml_suite::caraml_tensor::Var;
 
 fn token_batch(vocab: usize, seq: usize, rows: usize) -> (Vec<Vec<u32>>, Vec<Vec<u32>>) {
     let inputs: Vec<Vec<u32>> = (0..rows as u32)
@@ -91,5 +94,46 @@ fn warm_training_steps_are_allocation_free() {
     assert!(
         after.reuses > warm.reuses,
         "warm ResNet steps must keep hitting the pool"
+    );
+
+    // --- fused causal attention, forward + backward in isolation ---
+    // The GPT section above already exercises it inside a full training
+    // step; this pins the kernel's own contract (output, probability
+    // cache, the three gradients and the backward's row scratch all come
+    // from the pool once warm).
+    let (bh, s, d) = (8usize, 16usize, 12usize);
+    let q = Var::input(randn(&mut rng(40), [bh, s, d], 1.0));
+    let k = Var::input(randn(&mut rng(41), [bh, s, d], 1.0));
+    let v = Var::input(randn(&mut rng(42), [bh, s, d], 1.0));
+    let step = || {
+        let (out, probs) =
+            attention::fused_causal_attention(&q.value(), &k.value(), &v.value(), 0.5);
+        attention::fused_causal_attention_backward(
+            &q.value(),
+            &k.value(),
+            &v.value(),
+            &probs,
+            &out,
+            0.5,
+        )
+    };
+    for _ in 0..3 {
+        step();
+    }
+    let warm = workspace::global().stats();
+    for _ in 0..5 {
+        step();
+    }
+    let after = workspace::global().stats();
+    assert_eq!(
+        after.allocations,
+        warm.allocations,
+        "warm fused attention passes must draw every buffer from the pool \
+         ({} fresh allocations after warm-up)",
+        after.allocations - warm.allocations
+    );
+    assert!(
+        after.reuses > warm.reuses,
+        "warm fused attention passes must keep hitting the pool"
     );
 }
