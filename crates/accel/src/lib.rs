@@ -35,6 +35,7 @@ pub mod interconnect;
 pub mod ipu;
 pub mod memory;
 pub mod power;
+pub mod precision;
 pub mod registry;
 pub mod roofline;
 pub mod spec;
@@ -50,6 +51,7 @@ pub use error::AccelError;
 pub use interconnect::{Link, LinkKind};
 pub use memory::MemoryPool;
 pub use power::{PowerModel, PowerRegister, PowerTrace};
+pub use precision::Precision;
 pub use registry::{DeviceEntry, DeviceRegistry, RegistryError, EMBEDDED_DEVICE_FILES};
 pub use roofline::{KernelProfile, RooflineModel};
 pub use spec::{DeviceKind, DeviceSpec, FormFactor, Vendor};

@@ -1,0 +1,120 @@
+//! Numeric precision of an inference deployment.
+//!
+//! CARAML's figure of merit is energy per token, and on the memory-bound
+//! decode path that is dominated by bytes moved per weight/KV element.
+//! [`Precision`] is the single source of truth for bytes-per-element that
+//! the roofline traffic model, the HBM capacity accounting (weights and
+//! KV-cache reservation in the serve simulator), and the CLI sweep axes
+//! all share. The default is `Bf16`, matching the fp16/bf16 deployments
+//! the paper measures; `F32` is the un-quantized reference and `Int8` the
+//! per-channel symmetric quantization implemented in `caraml-tensor`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Storage precision for inference weights and KV cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Precision {
+    /// 32-bit IEEE float: the correctness reference, 4 B/element.
+    F32,
+    /// bfloat16 storage (widened to f32 for arithmetic), 2 B/element.
+    #[default]
+    Bf16,
+    /// Symmetric per-channel int8 with f32 scales, 1 B/element.
+    Int8,
+}
+
+impl Precision {
+    /// Every supported precision, in sweep order (widest first).
+    pub const ALL: [Precision; 3] = [Precision::F32, Precision::Bf16, Precision::Int8];
+
+    /// Bytes occupied by one stored element.
+    pub fn bytes_per_element(&self) -> u64 {
+        match self {
+            Precision::F32 => 4,
+            Precision::Bf16 => 2,
+            Precision::Int8 => 1,
+        }
+    }
+
+    /// Stable lowercase tag used by CLI flags and report tables.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::Bf16 => "bf16",
+            Precision::Int8 => "int8",
+        }
+    }
+
+    /// Parse a CLI tag, returning the valid tags on failure.
+    pub fn try_from_tag(tag: &str) -> Result<Precision, String> {
+        match tag.to_ascii_lowercase().as_str() {
+            "f32" | "fp32" => Ok(Precision::F32),
+            "bf16" | "fp16" | "f16" => Ok(Precision::Bf16),
+            "int8" | "i8" => Ok(Precision::Int8),
+            other => {
+                let valid: Vec<&str> = Precision::ALL.iter().map(|p| p.tag()).collect();
+                Err(format!(
+                    "unknown precision '{other}'; valid precisions: {}",
+                    valid.join(", ")
+                ))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+impl FromStr for Precision {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Precision::try_from_tag(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_per_element_ordering() {
+        assert_eq!(Precision::F32.bytes_per_element(), 4);
+        assert_eq!(Precision::Bf16.bytes_per_element(), 2);
+        assert_eq!(Precision::Int8.bytes_per_element(), 1);
+    }
+
+    #[test]
+    fn default_is_bf16() {
+        // The serve/inference models were calibrated with 2 B/element
+        // (fp16) weights; the default must preserve those numbers.
+        assert_eq!(Precision::default(), Precision::Bf16);
+    }
+
+    #[test]
+    fn tag_round_trip() {
+        for p in Precision::ALL {
+            assert_eq!(Precision::try_from_tag(p.tag()).unwrap(), p);
+            assert_eq!(p.tag().parse::<Precision>().unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn aliases_accepted() {
+        assert_eq!(Precision::try_from_tag("FP32").unwrap(), Precision::F32);
+        assert_eq!(Precision::try_from_tag("fp16").unwrap(), Precision::Bf16);
+        assert_eq!(Precision::try_from_tag("i8").unwrap(), Precision::Int8);
+    }
+
+    #[test]
+    fn unknown_tag_lists_valid_values() {
+        let err = Precision::try_from_tag("int4").unwrap_err();
+        assert!(err.contains("int4"));
+        assert!(err.contains("f32") && err.contains("bf16") && err.contains("int8"));
+    }
+}

@@ -51,7 +51,7 @@ proptest! {
     fn roofline_recovers_approximately_under_noise(
         mfu in 0.1..0.9f64,
         half in 1.0..32.0f64,
-        phase in 0.0..6.28f64,
+        phase in 0.0..std::f64::consts::TAU,
     ) {
         let overhead = 5e-3;
         let truth = calib(mfu, half, overhead);
@@ -93,7 +93,7 @@ proptest! {
         idle in 30.0..120.0f64,
         delta in 100.0..400.0f64,
         alpha in 0.3..2.0f64,
-        phase in 0.0..6.28f64,
+        phase in 0.0..std::f64::consts::TAU,
     ) {
         let sustained = idle + delta;
         let trace: Vec<PowerPoint> =

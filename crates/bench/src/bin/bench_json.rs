@@ -25,6 +25,14 @@
 //! part of the tracked trajectory. `bench_json --report` renders the
 //! fresh run against the committed snapshot as a markdown regression
 //! report in `docs/performance.md` (`just bench-report`).
+//!
+//! Schema v4 adds a `precision` field and the quantized inference tier:
+//! `quantize`/`dequantize`/`gemm_i8` kernel records plus decode-shaped
+//! `decode_step_{f32,bf16,int8}` single-token steps whose items/s ratio
+//! tracks the memory-bound win of narrower weights and KV. A
+//! `--filter <substr>[,<substr>...]` flag re-times just the matching
+//! kernel families and prints them without touching the committed
+//! snapshot (`just bench-quant`).
 
 use caraml::resnet::{ResnetBenchmark, FIG4_BATCHES};
 use caraml::serve::{ArrivalKind, ServeBenchmark, ServePoint};
@@ -32,7 +40,7 @@ use caraml::sweep::{grid, ShardPlan};
 use caraml::SweepRunner;
 use caraml_accel::SystemId;
 use caraml_data::SyntheticImages;
-use caraml_models::{GptConfig, GptModel, ResnetConfig, ResnetModel};
+use caraml_models::{GptConfig, GptInfer, GptModel, ResnetConfig, ResnetModel};
 use caraml_tensor::attention::{fused_causal_attention, fused_causal_attention_backward};
 use caraml_tensor::conv::{conv2d, Conv2dCfg};
 use caraml_tensor::matmul::{bmm, matmul, matmul_at, matmul_bt};
@@ -60,6 +68,9 @@ struct Record {
     /// SIMD arm the record ran on: `default` (runtime dispatch) or a
     /// pinned `scalar` / `avx2` arm from the dual-arm comparison sweep.
     arm: String,
+    /// Numeric precision of the kernel's storage tier (`f32` for the
+    /// classic stack; `bf16` / `int8` for the quantized inference tier).
+    precision: String,
     /// Floating-point ops per call (0 for bandwidth-bound kernels).
     flops: u64,
     /// Bytes moved per call (reads + writes; 0 for end-to-end steps).
@@ -103,18 +114,34 @@ fn time_median(samples: usize, mut f: impl FnMut()) -> f64 {
     times[times.len() / 2]
 }
 
+/// `--filter` substrings; empty = run everything.
+static FILTER: std::sync::OnceLock<Vec<String>> = std::sync::OnceLock::new();
+
+/// Whether a kernel name survives the `--filter` flag (substring match
+/// against any comma-separated needle; no flag = everything runs).
+fn kernel_selected(kernel: &str) -> bool {
+    match FILTER.get() {
+        None => true,
+        Some(needles) => needles.iter().any(|n| kernel.contains(n.as_str())),
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
-fn record_arm(
+fn record_prec(
     records: &mut Vec<Record>,
     samples: usize,
     kernel: &str,
     shape: &str,
     arm: &str,
+    precision: &str,
     flops: u64,
     bytes: u64,
     items: u64,
     f: impl FnMut(),
 ) {
+    if !kernel_selected(kernel) {
+        return;
+    }
     let median = time_median(samples, f);
     let gflops = flops as f64 / median / 1e9;
     let gbps = bytes as f64 / median / 1e9;
@@ -140,6 +167,7 @@ fn record_arm(
         kernel: kernel.to_string(),
         shape: shape.to_string(),
         arm: arm.to_string(),
+        precision: precision.to_string(),
         flops,
         bytes,
         items,
@@ -148,6 +176,23 @@ fn record_arm(
         gbps,
         items_per_s,
     });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn record_arm(
+    records: &mut Vec<Record>,
+    samples: usize,
+    kernel: &str,
+    shape: &str,
+    arm: &str,
+    flops: u64,
+    bytes: u64,
+    items: u64,
+    f: impl FnMut(),
+) {
+    record_prec(
+        records, samples, kernel, shape, arm, "f32", flops, bytes, items, f,
+    );
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -655,6 +700,128 @@ fn per_arm_kernels(records: &mut Vec<Record>, samples: usize) {
     }
 }
 
+/// The quantized tier's kernels: per-channel int8 quantize/dequantize at
+/// a weight-matrix shape and the int8×int8→i32 packed-panel GEMM with
+/// its fused dequant epilogue — on the runtime-dispatched default and
+/// pinned to each SIMD arm, like the rest of the dual-arm sweep.
+fn quant_kernels(records: &mut Vec<Record>, samples: usize) {
+    use caraml_tensor::quant::{gemm_i8_nt, QTensor};
+    let (rows, cols) = (1024usize, 1024usize);
+    let numel = rows * cols;
+    let src = seeded(numel).data().to_vec();
+    let qt = QTensor::quantize(&src, rows, cols);
+    let mut dq = vec![0.0f32; numel];
+    let shape = format!("{rows}x{cols}");
+
+    let n = 256usize;
+    let qa = QTensor::quantize(seeded(n * n).data(), n, n);
+    let qb = QTensor::quantize(seeded(n * n).data(), n, n);
+    let bias = seeded(n).data().to_vec();
+    let mut c = vec![0.0f32; n * n];
+
+    let mut body = |records: &mut Vec<Record>, label: &str| {
+        // quantize reads f32, writes i8 + one f32 scale per row.
+        record_prec(
+            records,
+            samples,
+            "quantize",
+            &shape,
+            label,
+            "int8",
+            0,
+            (numel * 4 + numel + rows * 4) as u64,
+            0,
+            || {
+                black_box(QTensor::quantize(&src, rows, cols));
+            },
+        );
+        record_prec(
+            records,
+            samples,
+            "dequantize",
+            &shape,
+            label,
+            "int8",
+            0,
+            (numel + rows * 4 + numel * 4) as u64,
+            0,
+            || {
+                qt.dequantize_into(&mut dq);
+                black_box(&dq);
+            },
+        );
+        record_prec(
+            records,
+            samples,
+            "gemm_i8",
+            &format!("{n}x{n}x{n}"),
+            label,
+            "int8",
+            2 * (n as u64).pow(3),
+            (2 * n * n + n * n * 4) as u64,
+            0,
+            || {
+                gemm_i8_nt(&qa, &qb, Some(&bias), &mut c);
+                black_box(&c);
+            },
+        );
+    };
+    body(records, "default");
+    let arms: &[(Arm, &str)] = if avx2_available() {
+        &[(Arm::Scalar, "scalar"), (Arm::Avx2, "avx2")]
+    } else {
+        &[(Arm::Scalar, "scalar")]
+    };
+    for &(arm, label) in arms {
+        with_arm(arm, || body(records, label));
+    }
+}
+
+/// Single-token decode steps through the quantized GPT inference tier,
+/// one record per precision. The shape is decode-realistic (weights far
+/// exceed cache, batch 1), so the step is memory-bound and the
+/// items/s ratio between tiers tracks the bytes-per-element win — the
+/// acceptance gate is int8 ≥ 1.5× f32.
+fn decode_steps(records: &mut Vec<Record>) {
+    use caraml_accel::Precision;
+    let cfg = GptConfig {
+        name: "bench".into(),
+        layers: 4,
+        hidden: 1024,
+        heads: 16,
+        seq_len: 96,
+        vocab: 4096,
+    };
+    let cases = [
+        (Precision::F32, "decode_step_f32"),
+        (Precision::Bf16, "decode_step_bf16"),
+        (Precision::Int8, "decode_step_int8"),
+    ];
+    for (precision, name) in cases {
+        if !kernel_selected(name) {
+            continue; // skip the synthetic-weight build too under --filter
+        }
+        let mut infer = GptInfer::synthetic(cfg.clone(), 3, precision);
+        infer.prefill(&[1, 2, 3, 4]);
+        let mut token = 5u32;
+        record_prec(
+            records,
+            9,
+            name,
+            "4L h1024 v4096 b1",
+            "default",
+            precision.tag(),
+            0,
+            0,
+            1,
+            || {
+                black_box(infer.decode_step(token % 4096));
+                token = token.wrapping_add(1);
+            },
+        );
+    }
+}
+
 /// End-to-end training steps (forward + backward + optimizer) for the
 /// two paper workloads at laptop scale.
 fn train_steps(records: &mut Vec<Record>) {
@@ -821,13 +988,15 @@ fn run_all(samples: usize) -> Report {
     gemm_and_conv(&mut records, samples);
     elementwise_kernels(&mut records, samples);
     attention_records(&mut records, samples, "default");
+    quant_kernels(&mut records, samples);
+    decode_steps(&mut records);
     train_steps(&mut records);
     serve_steps(&mut records);
     sweep_steps(&mut records);
     registry_steps(&mut records);
     per_arm_kernels(&mut records, samples);
     Report {
-        schema: "caraml-bench-tensor-v3",
+        schema: "caraml-bench-tensor-v4",
         samples_per_kernel: samples,
         records,
     }
@@ -849,6 +1018,19 @@ fn committed_median(rec: &Record, committed: &serde_json::Value) -> Option<f64> 
             None
         }
     })
+}
+
+/// Fresh records with no committed baseline on the **same arm**. Records
+/// are only ever compared same-arm against the snapshot; before this
+/// existed a missing dual-arm baseline silently fell through `--check`
+/// as if the kernel had been verified.
+fn missing_baselines(fresh: &Report, committed: &serde_json::Value) -> Vec<String> {
+    fresh
+        .records
+        .iter()
+        .filter(|r| committed_median(r, committed).is_none())
+        .map(|r| format!("{} [{}] ({} arm)", r.kernel, r.shape, r.arm))
+        .collect()
 }
 
 /// Compare fresh medians against the committed snapshot; returns the
@@ -960,8 +1142,24 @@ fn load_committed() -> serde_json::Value {
 }
 
 fn main() {
-    let check = std::env::args().any(|a| a == "--check");
-    let want_report = std::env::args().any(|a| a == "--report");
+    let args: Vec<String> = std::env::args().collect();
+    let check = args.iter().any(|a| a == "--check");
+    let want_report = args.iter().any(|a| a == "--report");
+    if let Some(i) = args.iter().position(|a| a == "--filter") {
+        let needles: Vec<String> = args
+            .get(i + 1)
+            .map(|v| v.split(',').map(str::to_string).collect())
+            .unwrap_or_default();
+        if needles.iter().all(String::is_empty) {
+            eprintln!("bench_json: --filter needs a kernel substring (e.g. --filter gemm_i8)");
+            std::process::exit(2);
+        }
+        if want_report {
+            eprintln!("bench_json: --filter cannot be combined with --report (partial snapshot)");
+            std::process::exit(2);
+        }
+        FILTER.set(needles).expect("filter set once");
+    }
     let report = run_all(15);
     if want_report {
         let committed = load_committed();
@@ -971,24 +1169,33 @@ fn main() {
         println!("\nwrote docs/performance.md");
         return;
     }
-    if !check {
-        let json = serde_json::to_string_pretty(&report).expect("serialise report");
-        std::fs::write("BENCH_TENSOR.json", &json).expect("write BENCH_TENSOR.json");
-        println!("\nwrote BENCH_TENSOR.json");
-        return;
+    if check {
+        let committed = load_committed();
+        for missing in missing_baselines(&report, &committed) {
+            println!("warning: no committed same-arm baseline for {missing} — not compared");
+        }
+        let bad = regressions(&report, &committed);
+        if bad.is_empty() {
+            println!(
+                "\nbench-check OK: no kernel regressed beyond {:.0}%",
+                (CHECK_TOLERANCE - 1.0) * 100.0
+            );
+            return;
+        }
+        println!("\nbench-check FAILED — regressions beyond +25%:");
+        for (kernel, shape, old_ms, new_ms) in &bad {
+            println!("  {kernel} [{shape}]: {old_ms:.3} ms -> {new_ms:.3} ms");
+        }
+        std::process::exit(1);
     }
-    let committed = load_committed();
-    let bad = regressions(&report, &committed);
-    if bad.is_empty() {
+    if FILTER.get().is_some() {
         println!(
-            "\nbench-check OK: no kernel regressed beyond {:.0}%",
-            (CHECK_TOLERANCE - 1.0) * 100.0
+            "\nfiltered run ({} record(s)); BENCH_TENSOR.json left untouched",
+            report.records.len()
         );
         return;
     }
-    println!("\nbench-check FAILED — regressions beyond +25%:");
-    for (kernel, shape, old_ms, new_ms) in &bad {
-        println!("  {kernel} [{shape}]: {old_ms:.3} ms -> {new_ms:.3} ms");
-    }
-    std::process::exit(1);
+    let json = serde_json::to_string_pretty(&report).expect("serialise report");
+    std::fs::write("BENCH_TENSOR.json", &json).expect("write BENCH_TENSOR.json");
+    println!("\nwrote BENCH_TENSOR.json");
 }

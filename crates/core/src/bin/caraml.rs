@@ -20,7 +20,10 @@
 
 use caraml::continuous::Baseline;
 use caraml::inference::InferenceBenchmark;
-use caraml::report::{render_device_table, render_heatmap, render_serve_table, render_shard_table};
+use caraml::report::{
+    render_device_table, render_heatmap, render_precision_table, render_serve_table,
+    render_shard_table,
+};
 use caraml::resnet::{ResnetBenchmark, FIG3_BATCHES, FIG4_BATCHES};
 use caraml::serve::{load_grid, ArrivalKind, ServeBenchmark};
 use caraml::suite::{
@@ -28,7 +31,7 @@ use caraml::suite::{
 };
 use caraml::sweep::{grid, ShardPlan};
 use caraml::SweepRunner;
-use caraml_accel::{calibrate, DeviceKind, DeviceRegistry, NodeConfig, SystemId};
+use caraml_accel::{calibrate, DeviceKind, DeviceRegistry, NodeConfig, Precision, SystemId};
 use jube::SlurmSim;
 use std::process::ExitCode;
 
@@ -37,9 +40,10 @@ fn usage() -> ExitCode {
         "usage:\n  caraml systems\n  caraml devices [--json | --check <golden-file>]\n  \
          caraml calibrate <trace.toml> [-o <out.toml>]\n  \
          caraml run <llm|resnet50> --tag <TAG...> [--shards N] [--nodes N]\n  \
-         caraml suite <TAG> [--shards N] [--nodes N]\n  \
-         caraml heatmap <TAG> [--shards N] [--nodes N]\n  caraml inference <TAG>\n  \
-         caraml serve <TAG> [--bursty] [--seed N]\n  \
+         caraml suite <TAG> [--shards N] [--nodes N] [--precision <P|all>]\n  \
+         caraml heatmap <TAG> [--shards N] [--nodes N] [--precision <P|all>]\n  \
+         caraml inference <TAG>\n  \
+         caraml serve <TAG> [--bursty] [--seed N] [--precision <P|all>]\n  \
          caraml baseline <record|compare> <file.json> --tag <TAG> [--tolerance F]"
     );
     ExitCode::from(2)
@@ -91,6 +95,52 @@ fn flag_value<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Optio
             .ok_or_else(|| format!("{name} needs a numeric value")),
         None => Ok(None),
     }
+}
+
+/// Parse `--precision <tag|all>` into the precision tiers to sweep.
+/// `None` when the flag is absent; unknown values are rejected with the
+/// registry-style error listing every valid tag (plus `all`).
+fn precision_options(args: &[String]) -> Result<Option<Vec<Precision>>, String> {
+    match args.iter().position(|a| a == "--precision") {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            None => Err("--precision needs a value (f32, bf16, int8 or all)".to_string()),
+            Some("all") => Ok(Some(Precision::ALL.to_vec())),
+            Some(tag) => Precision::try_from_tag(tag)
+                .map(|p| Some(vec![p]))
+                .map_err(|e| format!("{e} (or 'all' to sweep every tier)")),
+        },
+    }
+}
+
+/// Run one representative serving load point per precision tier and
+/// render the energy-per-precision comparison table (Wh/ktoken per tier,
+/// ratios against the widest precision).
+fn render_precision_sweep(
+    sys: SystemId,
+    base: &ServeBenchmark,
+    precisions: &[Precision],
+) -> String {
+    let point = load_grid(&[32.0], &[64])[0];
+    let foms: Vec<_> = precisions
+        .iter()
+        .filter_map(|&p| {
+            let mut bench = ServeBenchmark::new(sys).with_precision(p);
+            bench.config.arrival = base.config.arrival;
+            bench.config.seed = base.config.seed;
+            bench.run(point).ok()
+        })
+        .collect();
+    render_precision_table(
+        &format!(
+            "precision sweep on {} (rate {:.0}/s, cap {}, seed {})",
+            NodeConfig::shared(sys).platform,
+            point.rate_per_s,
+            point.batch_cap,
+            base.config.seed
+        ),
+        &foms,
+    )
 }
 
 /// `--shards N [--nodes M]` dispatch options: M defaults to N, so each
@@ -203,7 +253,11 @@ fn run_suite(which: &str, tags: &[String], shard_opts: Option<(usize, u32)>) -> 
 /// `caraml suite <TAG>`: the full figure-generating sweep set for one
 /// system (LLM training + ResNet50), dispatched sharded over a simulated
 /// Slurm partition with per-shard accounting.
-fn run_full_suite(tag: &str, shard_opts: Option<(usize, u32)>) -> ExitCode {
+fn run_full_suite(
+    tag: &str,
+    shard_opts: Option<(usize, u32)>,
+    precisions: Option<Vec<Precision>>,
+) -> ExitCode {
     let sys = match resolve_tag(tag) {
         Ok(sys) => sys,
         Err(code) => return code,
@@ -259,10 +313,24 @@ fn run_full_suite(tag: &str, shard_opts: Option<(usize, u32)>) -> ExitCode {
             }
         }
     }
+    // Serving precision axis: `--precision all` (or one tier) appends the
+    // energy-per-precision comparison to the figure set.
+    if let Some(precisions) = precisions {
+        if is_ipu {
+            println!("caraml suite {tag}: precision sweep skipped (no IPU serving path)");
+        } else {
+            let base = ServeBenchmark::new(sys);
+            println!("{}", render_precision_sweep(sys, &base, &precisions));
+        }
+    }
     ExitCode::SUCCESS
 }
 
-fn run_heatmap(tag: &str, shard_opts: Option<(usize, u32)>) -> ExitCode {
+fn run_heatmap(
+    tag: &str,
+    shard_opts: Option<(usize, u32)>,
+    precisions: Option<Vec<Precision>>,
+) -> ExitCode {
     let sys = match resolve_tag(tag) {
         Ok(sys) => sys,
         Err(code) => return code,
@@ -306,6 +374,38 @@ fn run_heatmap(tag: &str, shard_opts: Option<(usize, u32)>) -> ExitCode {
         .map(<[caraml::fom::HeatmapCell]>::to_vec)
         .collect();
     println!("{}", render_heatmap(&title, &devices, &FIG4_BATCHES, &rows));
+    // Precision axis: a KV-admission heatmap per tier — peak concurrently
+    // decoding sequences over a rate × cap grid, showing int8 KV raising
+    // the servable batch at the same HBM budget.
+    if let Some(precisions) = precisions {
+        let rates = [8.0, 32.0, 128.0];
+        let caps = [4u32, 16, 64];
+        for precision in precisions {
+            let bench = ServeBenchmark::new(sys).with_precision(precision);
+            let mut table = jube::ResultTable::new(
+                std::iter::once("rate \\ cap".to_string())
+                    .chain(caps.iter().map(u32::to_string))
+                    .collect(),
+            );
+            for &rate in &rates {
+                let mut row = vec![format!("{rate:.0}")];
+                for &cap in &caps {
+                    let point = load_grid(&[rate], &[cap])[0];
+                    row.push(match bench.simulate(point) {
+                        Ok(report) => report.max_occupancy.to_string(),
+                        Err(_) => "-".to_string(),
+                    });
+                }
+                table.push_row(row);
+            }
+            println!(
+                "peak concurrent sequences on {} ({} weights + KV)\n{}",
+                NodeConfig::shared(sys).platform,
+                precision.tag(),
+                table.to_ascii()
+            );
+        }
+    }
     ExitCode::SUCCESS
 }
 
@@ -343,7 +443,19 @@ fn run_serve(tag: &str, flags: &[String]) -> ExitCode {
         Ok(sys) => sys,
         Err(code) => return code,
     };
+    let precisions = match precision_options(flags) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("caraml: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let mut bench = ServeBenchmark::new(sys);
+    if let Some(precisions) = &precisions {
+        if precisions.len() == 1 {
+            bench = bench.with_precision(precisions[0]);
+        }
+    }
     if flags.iter().any(|f| f == "--bursty") {
         bench.config.arrival = ArrivalKind::Bursty {
             burst_factor: 8.0,
@@ -366,8 +478,9 @@ fn run_serve(tag: &str, flags: &[String]) -> ExitCode {
         "{}",
         render_serve_table(
             &format!(
-                "LLM serving on {} (800M GPT, {} requests, {} arrivals, seed {})",
+                "LLM serving on {} (800M GPT, {}, {} requests, {} arrivals, seed {})",
                 NodeConfig::shared(sys).platform,
+                bench.config.precision.tag(),
                 bench.config.num_requests,
                 arrival,
                 bench.config.seed
@@ -375,6 +488,11 @@ fn run_serve(tag: &str, flags: &[String]) -> ExitCode {
             &outcomes
         )
     );
+    if let Some(precisions) = precisions {
+        if precisions.len() > 1 {
+            println!("{}", render_precision_sweep(sys, &bench, &precisions));
+        }
+    }
     ExitCode::SUCCESS
 }
 
@@ -576,20 +694,24 @@ fn main() -> ExitCode {
                 }
             }
         }
-        Some("suite") if args.len() >= 2 => match shard_options(&args[2..]) {
-            Ok(opts) => run_full_suite(&args[1], opts),
-            Err(e) => {
-                eprintln!("caraml: {e}");
-                usage()
+        Some("suite") if args.len() >= 2 => {
+            match (shard_options(&args[2..]), precision_options(&args[2..])) {
+                (Ok(opts), Ok(precisions)) => run_full_suite(&args[1], opts, precisions),
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("caraml: {e}");
+                    usage()
+                }
             }
-        },
-        Some("heatmap") if args.len() >= 2 => match shard_options(&args[2..]) {
-            Ok(opts) => run_heatmap(&args[1], opts),
-            Err(e) => {
-                eprintln!("caraml: {e}");
-                usage()
+        }
+        Some("heatmap") if args.len() >= 2 => {
+            match (shard_options(&args[2..]), precision_options(&args[2..])) {
+                (Ok(opts), Ok(precisions)) => run_heatmap(&args[1], opts, precisions),
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("caraml: {e}");
+                    usage()
+                }
             }
-        },
+        }
         Some("devices") => run_devices(&args[1..]),
         Some("calibrate") if args.len() >= 2 => run_calibrate(&args[1..]),
         Some("inference") if args.len() >= 2 => run_inference(&args[1]),
@@ -638,6 +760,27 @@ mod tests {
         let (rest, tags) = split_tags(&argv(&["--tag", "--shards", "2"]));
         assert!(tags.is_empty());
         assert_eq!(rest, argv(&["--shards", "2"]));
+    }
+
+    #[test]
+    fn precision_options_parse_sweep_and_reject_unknown() {
+        assert_eq!(precision_options(&argv(&[])).unwrap(), None);
+        assert_eq!(
+            precision_options(&argv(&["--precision", "int8"])).unwrap(),
+            Some(vec![Precision::Int8])
+        );
+        assert_eq!(
+            precision_options(&argv(&["--precision", "all"])).unwrap(),
+            Some(Precision::ALL.to_vec())
+        );
+        // Unknown values are rejected with the full list of valid tags —
+        // the same UX as unknown device tags.
+        let err = precision_options(&argv(&["--precision", "fp8"])).unwrap_err();
+        assert!(err.contains("fp8"), "{err}");
+        for tag in ["f32", "bf16", "int8"] {
+            assert!(err.contains(tag), "{err} missing {tag}");
+        }
+        assert!(precision_options(&argv(&["--precision"])).is_err());
     }
 
     #[test]

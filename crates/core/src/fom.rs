@@ -5,6 +5,7 @@
 //! perform full training runs" (§II-D), plus the energy metrics layered
 //! on top: Wh per device and tokens/Wh resp. images/Wh.
 
+use caraml_accel::Precision;
 use serde::{Deserialize, Serialize};
 
 /// Linear-interpolation percentile (Hyndman–Fan type 7, the default of
@@ -66,6 +67,8 @@ impl LatencyPercentiles {
 pub struct ServeFom {
     /// System label (Table I platform).
     pub system: String,
+    /// Numeric precision the weights and KV cache were held in.
+    pub precision: Precision,
     /// Mean request arrival rate, requests/s.
     pub rate_per_s: f64,
     /// Continuous-batching occupancy cap.

@@ -12,7 +12,7 @@
 
 use crate::engine::{self, Executed, MeterSpec, PhasePlan, PhaseSpec, RunContext};
 use caraml_accel::spec::Workload;
-use caraml_accel::{AccelError, PhaseKind, SystemId};
+use caraml_accel::{AccelError, PhaseKind, Precision, SystemId};
 use caraml_models::gpt::cost::GptCost;
 use caraml_models::GptConfig;
 use serde::{Deserialize, Serialize};
@@ -26,6 +26,8 @@ const INFERENCE_LAUNCH_OVERHEAD_S: f64 = 5e-5;
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct InferenceFom {
     pub system: String,
+    /// Storage precision of weights and KV cache.
+    pub precision: Precision,
     /// Concurrent requests served (batch size).
     pub batch: u32,
     /// Prompt length in tokens.
@@ -51,6 +53,9 @@ pub struct InferenceBenchmark {
     pub model: GptConfig,
     pub prompt_tokens: u64,
     pub generated_tokens: u64,
+    /// Storage precision of weights and KV cache (default bf16 — the
+    /// deployment the device models were calibrated against).
+    pub precision: Precision,
 }
 
 impl InferenceBenchmark {
@@ -61,13 +66,20 @@ impl InferenceBenchmark {
             model: GptConfig::gpt_800m(),
             prompt_tokens: 512,
             generated_tokens: 128,
+            precision: Precision::default(),
         }
     }
 
-    /// Bytes of KV cache per sequence position (fp16 K and V across all
-    /// layers).
+    /// Same benchmark at a different storage precision.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Bytes of KV cache per sequence position (K and V across all
+    /// layers at the selected precision).
     fn kv_bytes_per_token(&self) -> f64 {
-        2.0 * 2.0 * self.model.layers as f64 * self.model.hidden as f64
+        GptCost::new(self.model.clone()).kv_bytes_per_token(self.precision)
     }
 
     /// Run with `batch` concurrent requests on one device.
@@ -113,8 +125,8 @@ impl engine::Workload for InferenceWorkload<'_> {
         let spec = ctx.device(0).spec();
         let cost = GptCost::new(bench.model.clone());
 
-        // Weights (fp16) + KV cache must fit.
-        let weight_bytes = cost.total_params() * 2;
+        // Weights + KV cache at the selected precision must fit.
+        let weight_bytes = cost.weight_bytes(bench.precision);
         let kv_total = (bench.kv_bytes_per_token()
             * (bench.prompt_tokens + bench.generated_tokens) as f64
             * f64::from(batch)) as u64;
@@ -219,6 +231,7 @@ impl engine::Workload for InferenceWorkload<'_> {
         let energy_wh = exec.measurement.df.energy_wh(0);
         InferenceFom {
             system: ctx.config().platform.clone(),
+            precision: bench.precision,
             batch: self.batch,
             prompt_tokens: bench.prompt_tokens,
             generated_tokens: bench.generated_tokens,
@@ -337,6 +350,36 @@ mod tests {
         let e1 = b.run(1).unwrap().energy_wh_per_ktoken;
         let e32 = b.run(32).unwrap().energy_wh_per_ktoken;
         assert!(e32 < e1, "batching must amortize idle+weight energy");
+    }
+
+    #[test]
+    fn quantization_speeds_up_memory_bound_decode() {
+        // Batch-1 decode streams weights+KV every step: halving the bytes
+        // must raise throughput nearly proportionally and cut energy per
+        // token.
+        let b = bench(SystemId::A100);
+        let f32_fom = b.clone().with_precision(Precision::F32).run(1).unwrap();
+        let bf16_fom = b.clone().with_precision(Precision::Bf16).run(1).unwrap();
+        let int8_fom = b.with_precision(Precision::Int8).run(1).unwrap();
+        assert!(bf16_fom.decode_tokens_per_s > 1.5 * f32_fom.decode_tokens_per_s);
+        assert!(int8_fom.decode_tokens_per_s > 1.5 * bf16_fom.decode_tokens_per_s);
+        assert!(int8_fom.energy_wh_per_ktoken < bf16_fom.energy_wh_per_ktoken);
+        assert_eq!(int8_fom.precision, Precision::Int8);
+    }
+
+    #[test]
+    fn default_precision_preserves_fp16_calibration() {
+        // The pre-existing calibrated numbers were computed with
+        // 2 B/element weights: the default must reproduce them.
+        let default_fom = bench(SystemId::A100).run(4).unwrap();
+        let bf16_fom = bench(SystemId::A100)
+            .with_precision(Precision::Bf16)
+            .run(4)
+            .unwrap();
+        assert_eq!(
+            default_fom.decode_tokens_per_s,
+            bf16_fom.decode_tokens_per_s
+        );
     }
 
     #[test]

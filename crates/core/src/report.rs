@@ -178,6 +178,58 @@ pub fn render_serve_table(title: &str, outcomes: &[RunOutcome<ServeFom>]) -> Str
     format!("{title}\n{}", table.to_ascii())
 }
 
+/// Render a precision sweep at one serving load point: one row per
+/// numeric tier (widest first) with throughput, tail latency and energy
+/// per kilotoken, plus each tier's token-throughput and energy ratios
+/// against the first (widest) row — the headline "what does int8 buy
+/// you" comparison of the quantized inference tier.
+pub fn render_precision_table(title: &str, foms: &[ServeFom]) -> String {
+    let mut table = ResultTable::new(
+        [
+            "precision",
+            "served",
+            "shed",
+            "tok_per_s",
+            "goodput",
+            "ttft_p99_ms",
+            "tpot_p99_ms",
+            "wh_per_ktok",
+            "speedup",
+            "energy_ratio",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+    );
+    let base = foms.first();
+    for f in foms {
+        let base = base.expect("non-empty by construction");
+        let speedup = if base.tokens_per_s > 0.0 {
+            f.tokens_per_s / base.tokens_per_s
+        } else {
+            0.0
+        };
+        let energy_ratio = if base.energy_wh_per_ktoken > 0.0 {
+            f.energy_wh_per_ktoken / base.energy_wh_per_ktoken
+        } else {
+            0.0
+        };
+        table.push_row(vec![
+            f.precision.tag().to_string(),
+            f.served.to_string(),
+            f.shed.to_string(),
+            format!("{:.0}", f.tokens_per_s),
+            format!("{:.0}", f.goodput_tokens_per_s),
+            format!("{:.2}", f.ttft.p99 * 1000.0),
+            format!("{:.2}", f.tpot.p99 * 1000.0),
+            format!("{:.4}", f.energy_wh_per_ktoken),
+            format!("{speedup:.2}x"),
+            format!("{energy_ratio:.2}x"),
+        ]);
+    }
+    format!("{title}\n{}", table.to_ascii())
+}
+
 /// Render the per-shard dispatch accounting of a sharded sweep: one row
 /// per shard job with its grid slice, node requirement, queue and run
 /// times, and (when provided, one value per shard) the shard's total
@@ -286,6 +338,7 @@ mod tests {
         use crate::fom::LatencyPercentiles;
         let fom = ServeFom {
             system: "A100".into(),
+            precision: caraml_accel::Precision::Bf16,
             rate_per_s: 8.0,
             batch_cap: 16,
             requests: 160,
@@ -326,6 +379,48 @@ mod tests {
         assert!(out.contains("0.987"));
         assert!(out.contains("OOM"));
         assert!(out.contains("FAIL"));
+    }
+
+    #[test]
+    fn precision_table_reports_ratios_against_widest_tier() {
+        use crate::fom::LatencyPercentiles;
+        use caraml_accel::Precision;
+        let mk = |precision: Precision, tok: f64, wh: f64| ServeFom {
+            system: "A100".into(),
+            precision,
+            rate_per_s: 8.0,
+            batch_cap: 16,
+            requests: 160,
+            served: 160,
+            shed: 0,
+            ttft: LatencyPercentiles::zero(),
+            tpot: LatencyPercentiles::zero(),
+            tokens_per_s: tok,
+            goodput_tokens_per_s: tok,
+            slo_attainment: 1.0,
+            energy_wh_per_ktoken: wh,
+            mean_power_w: 300.0,
+            peak_power_w: 380.0,
+            busy_fraction: 0.9,
+        };
+        let out = render_precision_table(
+            "Precision sweep",
+            &[
+                mk(Precision::F32, 1000.0, 0.04),
+                mk(Precision::Bf16, 2000.0, 0.02),
+                mk(Precision::Int8, 4000.0, 0.01),
+            ],
+        );
+        assert!(out.contains("Precision sweep"));
+        assert!(out.contains("f32"));
+        assert!(out.contains("bf16"));
+        assert!(out.contains("int8"));
+        assert!(out.contains("wh_per_ktok"));
+        // Ratios are against the widest (first) row.
+        assert!(out.contains("1.00x"), "baseline row:\n{out}");
+        assert!(out.contains("2.00x"));
+        assert!(out.contains("4.00x"));
+        assert!(out.contains("0.25x"), "int8 energy ratio:\n{out}");
     }
 
     #[test]

@@ -41,7 +41,9 @@ use crate::engine::{self, Executed, MeterSpec, PhasePlan, PhaseSpec, RunContext,
 use crate::fom::{LatencyPercentiles, ServeFom};
 use crate::sweep::SweepRunner;
 use caraml_accel::spec::{DeviceSpec, Workload as SpecWorkload};
-use caraml_accel::{AccelError, KernelProfile, NodeConfig, PhaseKind, RooflineModel, SystemId};
+use caraml_accel::{
+    AccelError, KernelProfile, NodeConfig, PhaseKind, Precision, RooflineModel, SystemId,
+};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -249,6 +251,11 @@ pub struct ServeConfig {
     /// Fraction of post-weights HBM usable as KV cache (vLLM-style
     /// `gpu_memory_utilization` headroom).
     pub kv_mem_frac: f64,
+    /// Storage precision of weights and KV cache: smaller elements both
+    /// shrink the resident weights (raising the KV budget) and cut the
+    /// per-token KV footprint, so int8 admits far more concurrent
+    /// sequences into the same HBM.
+    pub precision: Precision,
 }
 
 /// The serving benchmark: a config plus `run`/`sweep`/`simulate` entry
@@ -274,8 +281,15 @@ impl ServeBenchmark {
                 interactive_frac: 0.7,
                 slo: SloPolicy::default(),
                 kv_mem_frac: 0.9,
+                precision: Precision::default(),
             },
         }
+    }
+
+    /// Same benchmark at a different storage precision.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.config.precision = precision;
+        self
     }
 
     /// Run one load point end-to-end (simulation + power measurement).
@@ -424,14 +438,14 @@ struct ServeCost {
 }
 
 impl ServeCost {
-    fn new(spec: &DeviceSpec, model: &caraml_models::GptConfig) -> Self {
+    fn new(spec: &DeviceSpec, model: &caraml_models::GptConfig, precision: Precision) -> Self {
         let cost = caraml_models::gpt::cost::GptCost::new(model.clone());
         let calib = spec.calib(SpecWorkload::Llm);
         ServeCost {
             fwd_flops_per_token: cost.forward_flops_per_token(),
-            weight_bytes: cost.total_params() * 2,
-            // fp16 K and V across all layers.
-            kv_bytes_per_token: 2.0 * 2.0 * model.layers as f64 * model.hidden as f64,
+            weight_bytes: cost.weight_bytes(precision),
+            // K and V across all layers at the selected precision.
+            kv_bytes_per_token: cost.kv_bytes_per_token(precision),
             roofline: RooflineModel::from_parts(
                 spec.peak_fp16_flops(),
                 spec.mem_bw_bytes_per_s(),
@@ -531,7 +545,7 @@ fn simulate_on_spec(
     cfg: &ServeConfig,
     point: ServePoint,
 ) -> Result<SimReport, AccelError> {
-    let cost = ServeCost::new(spec, &cfg.model);
+    let cost = ServeCost::new(spec, &cfg.model, cfg.precision);
     if cost.weight_bytes >= spec.mem_bytes {
         return Err(AccelError::OutOfMemory {
             device: spec.name.clone(),
@@ -824,6 +838,7 @@ impl engine::Workload for ServeWorkload<'_> {
         let idle_w = ctx.device(0).power_model().idle_w;
         ServeFom {
             system: ctx.config().platform.clone(),
+            precision: self.bench.config.precision,
             rate_per_s: self.point.rate_per_s,
             batch_cap: self.point.batch_cap,
             requests: report.records.len() as u64,
@@ -1080,6 +1095,51 @@ mod tests {
         let last_arrival = arrival_trace(&b.config, 16.0).last().unwrap().arrival_s;
         assert!(report.makespan_s >= last_arrival * 0.99);
         assert!(report.decode_steps > 0);
+    }
+
+    #[test]
+    fn int8_kv_admits_more_concurrent_sequences_than_f32() {
+        // Pinned deterministic scenario: a tight KV budget (2 % of
+        // post-weight HBM) under heavy load, so admission is limited by
+        // the KV reservation, not the occupancy cap. Quartering the
+        // per-token KV bytes (f32 → int8) must raise the peak number of
+        // concurrently decoding sequences by ≥ 1.9× into the same HBM.
+        let occupancy = |precision| {
+            let mut b = bench(SystemId::A100).with_precision(precision);
+            b.config.num_requests = 320;
+            b.config.kv_mem_frac = 0.02;
+            b.simulate(point(200.0, 64)).unwrap()
+        };
+        let f32_report = occupancy(Precision::F32);
+        let int8_report = occupancy(Precision::Int8);
+        assert!(
+            f32_report.max_occupancy > 0,
+            "f32 scenario must still serve something"
+        );
+        let ratio = f64::from(int8_report.max_occupancy) / f64::from(f32_report.max_occupancy);
+        assert!(
+            ratio >= 1.9,
+            "int8 KV occupancy {} vs f32 {} (ratio {ratio:.2})",
+            int8_report.max_occupancy,
+            f32_report.max_occupancy
+        );
+        // Same budget discipline on both runs: reservations never exceed
+        // the budget, and the int8 budget is larger (smaller weights).
+        assert!(f32_report.max_kv_reserved_bytes <= f32_report.kv_budget_bytes);
+        assert!(int8_report.max_kv_reserved_bytes <= int8_report.kv_budget_bytes);
+        assert!(int8_report.kv_budget_bytes > f32_report.kv_budget_bytes);
+    }
+
+    #[test]
+    fn default_precision_is_bf16_and_preserves_pinned_numbers() {
+        let fom = bench(SystemId::A100).run(point(4.0, 8)).unwrap();
+        assert_eq!(fom.precision, Precision::Bf16);
+        let explicit = bench(SystemId::A100)
+            .with_precision(Precision::Bf16)
+            .run(point(4.0, 8))
+            .unwrap();
+        assert_eq!(fom.tokens_per_s, explicit.tokens_per_s);
+        assert_eq!(fom.energy_wh_per_ktoken, explicit.energy_wh_per_ktoken);
     }
 
     #[test]

@@ -156,6 +156,21 @@ impl GptCost {
         (self.total_params() as f64 / f64::from(tp) / f64::from(pp) * 2.0) as u64
     }
 
+    /// Bytes of resident inference weights at the given storage
+    /// precision (per-channel int8 scales are < 0.1 % of the payload and
+    /// are folded into the per-element figure).
+    pub fn weight_bytes(&self, precision: caraml_accel::Precision) -> u64 {
+        self.total_params() * precision.bytes_per_element()
+    }
+
+    /// KV-cache bytes one generated token adds across all layers
+    /// (K and V, `2·L·h` elements) at the given storage precision.
+    pub fn kv_bytes_per_token(&self, precision: caraml_accel::Precision) -> f64 {
+        2.0 * self.config.layers as f64
+            * self.config.hidden as f64
+            * precision.bytes_per_element() as f64
+    }
+
     /// Roofline kernel profile of one device processing `tokens` tokens:
     /// training FLOPs plus approximate HBM traffic (three weight passes
     /// and two activation passes).

@@ -2,8 +2,10 @@
 
 pub mod config;
 pub mod cost;
+pub mod infer;
 pub mod model;
 
 pub use config::GptConfig;
 pub use cost::GptCost;
+pub use infer::GptInfer;
 pub use model::GptModel;

@@ -14,20 +14,22 @@ use caraml_tensor::init;
 use caraml_tensor::{Tensor, Var};
 use rand_chacha::ChaCha8Rng;
 
-/// One transformer block's parameters.
-struct Block {
-    ln1_g: Var,
-    ln1_b: Var,
-    wq: Var,
-    wk: Var,
-    wv: Var,
-    wo: Var,
-    ln2_g: Var,
-    ln2_b: Var,
-    w_fc1: Var,
-    b_fc1: Var,
-    w_fc2: Var,
-    b_fc2: Var,
+/// One transformer block's parameters. Fields are crate-visible so the
+/// inference tier (`super::infer`) can snapshot the trained weights into
+/// its quantized storage.
+pub(crate) struct Block {
+    pub(crate) ln1_g: Var,
+    pub(crate) ln1_b: Var,
+    pub(crate) wq: Var,
+    pub(crate) wk: Var,
+    pub(crate) wv: Var,
+    pub(crate) wo: Var,
+    pub(crate) ln2_g: Var,
+    pub(crate) ln2_b: Var,
+    pub(crate) w_fc1: Var,
+    pub(crate) b_fc1: Var,
+    pub(crate) w_fc2: Var,
+    pub(crate) b_fc2: Var,
 }
 
 /// A trainable GPT decoder.
@@ -73,6 +75,18 @@ impl GptModel {
 
     pub fn config(&self) -> &GptConfig {
         &self.config
+    }
+
+    pub(crate) fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    pub(crate) fn embedding_var(&self) -> &Var {
+        &self.embedding
+    }
+
+    pub(crate) fn lnf(&self) -> (&Var, &Var) {
+        (&self.lnf_g, &self.lnf_b)
     }
 
     /// All trainable parameters (for optimizers and all-reduce).

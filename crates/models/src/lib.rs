@@ -18,5 +18,5 @@
 pub mod gpt;
 pub mod resnet;
 
-pub use gpt::{GptConfig, GptCost, GptModel};
+pub use gpt::{GptConfig, GptCost, GptInfer, GptModel};
 pub use resnet::{ResnetConfig, ResnetCost, ResnetModel, ResnetVariant};

@@ -30,7 +30,11 @@
 //! * [`autograd`] — reverse-mode differentiation ([`autograd::Var`]);
 //! * [`nn`] — neural-network functional ops (softmax, layernorm, GELU, …);
 //! * [`optim`] — SGD (momentum) and Adam;
-//! * [`init`] — seeded Xavier/Kaiming initializers.
+//! * [`init`] — seeded Xavier/Kaiming initializers;
+//! * [`quant`] — symmetric per-channel int8 and storage-only bf16:
+//!   quantized tensors, the int8×int8→i32 packed-panel GEMM with fused
+//!   dequant epilogue, and the int8 KV-cache storage the inference tier
+//!   uses.
 
 // Index-based loops are intentional in the numeric kernels: several
 // buffers are indexed by the same induction variable and the iterator
@@ -46,6 +50,7 @@ pub mod kernels;
 pub mod matmul;
 pub mod nn;
 pub mod optim;
+pub mod quant;
 pub mod shape;
 pub mod simd;
 pub mod tensor;

@@ -89,7 +89,9 @@ const SMALL_GEMM_FLOPS: usize = 16 * 16 * 16;
 const PAR_MIN_FLOPS_PER_THREAD: usize = 1 << 19;
 
 /// Total multiply-add count above which the 2-D tile loop runs on rayon.
-fn par_grain_flops() -> usize {
+/// Shared with the int8 engine in [`crate::quant`] so both precisions use
+/// one parallel cut-over policy.
+pub(crate) fn par_grain_flops() -> usize {
     PAR_MIN_FLOPS_PER_THREAD * rayon::current_num_threads().max(1)
 }
 
@@ -110,6 +112,32 @@ impl Layout {
     /// Transpose of a row-major `[rows, cols]` buffer.
     fn transposed(cols: usize) -> Layout {
         Layout { rs: 1, cs: cols }
+    }
+}
+
+/// Storage element the B-operand packing path can widen to `f32`. This is
+/// how the bf16 tier rides the f32 engine: bf16 weights stay 2 B/element
+/// in memory (halving the streaming traffic of the memory-bound decode
+/// path) and are widened to f32 *inside the packing gather*, so the
+/// microkernel — and therefore the scalar≡AVX2 bit-parity contract — is
+/// untouched. Widening bf16→f32 is exact (bf16 is a prefix of the f32
+/// bit pattern), so results equal an f32 GEMM over the widened matrix.
+pub(crate) trait PackElem: Copy + Send + Sync {
+    fn widen(self) -> f32;
+}
+
+impl PackElem for f32 {
+    #[inline(always)]
+    fn widen(self) -> f32 {
+        self
+    }
+}
+
+/// bf16 stored as the high 16 bits of an f32 (see [`crate::quant`]).
+impl PackElem for u16 {
+    #[inline(always)]
+    fn widen(self) -> f32 {
+        f32::from_bits((self as u32) << 16)
     }
 }
 
@@ -384,6 +412,41 @@ pub fn gemm_tn_ws(
     );
 }
 
+/// `C = A·Bᵀ` where B is bf16-stored (`[n, k]` of raw bf16 bits, the
+/// `[out, in]` linear-layer layout): the packing gather widens each bf16
+/// element to f32, so B streams from memory at 2 B/element while the
+/// microkernel runs the unchanged f32 dual-arm path.
+pub fn gemm_bf16_nt(a: &[f32], b: &[u16], c: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm_bf16_nt_ws(a, b, c, m, k, n, workspace::global());
+}
+
+/// [`gemm_bf16_nt`] drawing packing panels from an explicit workspace.
+pub fn gemm_bf16_nt_ws(
+    a: &[f32],
+    b: &[u16],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    ws: &Workspace,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    gemm_strided(
+        a,
+        Layout::row_major(k),
+        b,
+        Layout::transposed(k),
+        c,
+        m,
+        k,
+        n,
+        ws,
+        true,
+    );
+}
+
 // ---------- the packed-panel engine ----------
 
 /// Disjoint-tile write handle: each parallel task writes only the C rows
@@ -399,10 +462,10 @@ unsafe impl Sync for TileWriter {}
 /// `p` ascending within a block) and independent of both `allow_parallel`
 /// and the rayon worker count: tasks partition *output* tiles only.
 #[allow(clippy::too_many_arguments)]
-fn gemm_strided(
+fn gemm_strided<TB: PackElem>(
     a: &[f32],
     la: Layout,
-    b: &[f32],
+    b: &[TB],
     lb: Layout,
     c: &mut [f32],
     m: usize,
@@ -424,9 +487,9 @@ fn gemm_strided(
     let fma = simd::fma_chains();
     if m * n * k < SMALL_GEMM_FLOPS {
         return if fma {
-            gemm_direct::<true>(a, la, b, lb, c, m, k, n)
+            gemm_direct::<true, _>(a, la, b, lb, c, m, k, n)
         } else {
-            gemm_direct::<false>(a, la, b, lb, c, m, k, n)
+            gemm_direct::<false, _>(a, la, b, lb, c, m, k, n)
         };
     }
     let n_it = m.div_ceil(MC);
@@ -544,10 +607,10 @@ fn strip_sweep(
 /// Compute one `mc×nc` output tile: zero it, then accumulate KC-deep
 /// packed blocks in ascending k order.
 #[allow(clippy::too_many_arguments)]
-fn compute_tile(
+fn compute_tile<TB: PackElem>(
     a: &[f32],
     la: Layout,
-    b: &[f32],
+    b: &[TB],
     lb: Layout,
     writer: TileWriter,
     n: usize,
@@ -633,8 +696,8 @@ fn pack_a(
 /// (`dst[js·NR·kc + p·NR + jj] = B[p0+p, j0+js·NR+jj]`), ragged columns
 /// zero-padded.
 #[allow(clippy::too_many_arguments)]
-fn pack_b(
-    b: &[f32],
+fn pack_b<TB: PackElem>(
+    b: &[TB],
     lb: Layout,
     j0: usize,
     nc: usize,
@@ -650,7 +713,7 @@ fn pack_b(
             let row = p0 + p;
             let out = &mut chunk[p * NR..p * NR + NR];
             for jj in 0..cols {
-                out[jj] = b[row * lb.rs + (j0 + js * NR + jj) * lb.cs];
+                out[jj] = b[row * lb.rs + (j0 + js * NR + jj) * lb.cs].widen();
             }
             for slot in out.iter_mut().skip(cols) {
                 *slot = 0.0;
@@ -772,10 +835,10 @@ unsafe fn microkernel_avx2(kc: usize, a_strip: &[f32], b_strip: &[f32]) -> [[f32
 /// output element, `p` ascending. No data-dependent skips — dense-kernel
 /// timing must not depend on input values.
 #[allow(clippy::too_many_arguments)] // mirrors gemm_strided's signature
-fn gemm_direct<const FMA: bool>(
+fn gemm_direct<const FMA: bool, TB: PackElem>(
     a: &[f32],
     la: Layout,
-    b: &[f32],
+    b: &[TB],
     lb: Layout,
     c: &mut [f32],
     m: usize,
@@ -788,7 +851,7 @@ fn gemm_direct<const FMA: bool>(
         for p in 0..k {
             let av = a[i * la.rs + p * la.cs];
             for (j, cv) in c_row.iter_mut().enumerate() {
-                *cv = fmadd::<FMA>(av, b[p * lb.rs + j * lb.cs], *cv);
+                *cv = fmadd::<FMA>(av, b[p * lb.rs + j * lb.cs].widen(), *cv);
             }
         }
     }
@@ -1202,7 +1265,7 @@ mod timing {
             let mut best_direct = f64::MAX;
             for _ in 0..21 {
                 let t = Instant::now();
-                gemm_direct::<true>(a.data(), row, b.data(), row, &mut c, n, n, n);
+                gemm_direct::<true, f32>(a.data(), row, b.data(), row, &mut c, n, n, n);
                 best_direct = best_direct.min(t.elapsed().as_secs_f64());
                 std::hint::black_box(&c);
             }

@@ -238,7 +238,10 @@ pub const EXP_HI: f32 = 88.029_69;
 /// Lower input clamp (results below this underflow gradually).
 pub const EXP_LO: f32 = -87.336_55;
 
-const LOG2E: f32 = 1.442_695_04;
+const LOG2E: f32 = std::f32::consts::LOG2_E;
+// Cephes split of ln2: the high part is exactly 355/512 (representable),
+// written with its full digits so it matches the published coefficients.
+#[allow(clippy::excessive_precision)]
 const EXP_C1: f32 = 0.693_359_375; // ln2 high part
 const EXP_C2: f32 = -2.121_944_4e-4; // ln2 low part
 const EXP_P0: f32 = 1.987_569_1e-4;
@@ -256,6 +259,10 @@ const TANH_ARG_CLAMP: f32 = 20.0;
 /// twin [`avx2::exp_ps`] performs this exact operation sequence.
 #[inline(always)]
 pub fn exp_s(x: f32, fma: bool) -> f32 {
+    // min-then-max (not `clamp`) deliberately: this order quiets NaN to
+    // EXP_LO exactly like the AVX2 twin's min_ps/max_ps sequence, which
+    // the bit-parity contract requires.
+    #[allow(clippy::manual_clamp)]
     let x = x.min(EXP_HI).max(EXP_LO);
     let fx = fmadd(x, LOG2E, 0.5, fma).floor();
     let x = fmadd(fx, -EXP_C1, x, fma);
@@ -278,6 +285,8 @@ pub fn exp_s(x: f32, fma: bool) -> f32 {
 /// exactly to ±1.0 (the clamped exp keeps the quotient finite).
 #[inline(always)]
 pub fn tanh_s(x: f32, fma: bool) -> f32 {
+    // Same min-then-max NaN contract as `exp_s`.
+    #[allow(clippy::manual_clamp)]
     let x2 = (x + x).min(TANH_ARG_CLAMP).max(-TANH_ARG_CLAMP);
     let t = exp_s(x2, fma);
     (t - 1.0) / (t + 1.0)

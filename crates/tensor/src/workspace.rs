@@ -91,9 +91,13 @@ pub struct WorkspaceStats {
     pub reuses: u64,
 }
 
-/// A bounded pool of reusable `f32` buffers in power-of-two size classes.
+/// A bounded pool of reusable `f32` buffers in power-of-two size classes,
+/// plus a parallel `i8` pool for the quantized GEMM packing panels
+/// (`crate::quant` packs one-byte operands; recycling them through the
+/// f32 buckets would waste 4x the capacity accounting).
 pub struct Workspace {
     buckets: [Mutex<Vec<Vec<f32>>>; NUM_BUCKETS],
+    byte_buckets: [Mutex<Vec<Vec<i8>>>; NUM_BUCKETS],
     allocations: AtomicU64,
     reuses: AtomicU64,
 }
@@ -108,6 +112,7 @@ impl Workspace {
     pub fn new() -> Self {
         Workspace {
             buckets: std::array::from_fn(|_| Mutex::new(Vec::new())),
+            byte_buckets: std::array::from_fn(|_| Mutex::new(Vec::new())),
             allocations: AtomicU64::new(0),
             reuses: AtomicU64::new(0),
         }
@@ -168,6 +173,49 @@ impl Workspace {
         }
     }
 
+    /// Take a zero-filled `i8` buffer of exactly `len` elements from the
+    /// byte pool (used by the quantized GEMM packing path). The same
+    /// size-class discipline as [`Workspace::take_raw`] applies; byte
+    /// buffers shorter than [`MIN_POOLED_LEN`] bypass the pool.
+    pub fn take_bytes_zeroed(&self, len: usize) -> Vec<i8> {
+        let mut buf = if len >= MIN_POOLED_LEN {
+            let want = len.next_power_of_two();
+            let start = class_of(want);
+            let mut found = None;
+            for k in start..(start + 2).min(NUM_BUCKETS) {
+                if let Some(mut buf) = self.lock_bytes(k).pop() {
+                    debug_assert!(buf.capacity() >= len);
+                    buf.clear();
+                    self.reuses.fetch_add(1, Ordering::Relaxed);
+                    found = Some(buf);
+                    break;
+                }
+            }
+            found.unwrap_or_else(|| {
+                self.allocations.fetch_add(1, Ordering::Relaxed);
+                Vec::with_capacity(want)
+            })
+        } else {
+            Vec::with_capacity(len)
+        };
+        buf.resize(len, 0);
+        buf
+    }
+
+    /// Return an `i8` buffer to the byte pool (dropped if too small or
+    /// its size class is full).
+    pub fn give_bytes(&self, buf: Vec<i8>) {
+        let cap = buf.capacity();
+        if cap < MIN_POOLED_LEN {
+            return;
+        }
+        let class = class_of(cap);
+        let mut bucket = self.lock_bytes(class);
+        if bucket.len() < max_per_class(class) {
+            bucket.push(buf);
+        }
+    }
+
     /// Snapshot of the allocation counters.
     pub fn stats(&self) -> WorkspaceStats {
         WorkspaceStats {
@@ -185,6 +233,12 @@ impl Workspace {
         // A panic while holding the lock cannot corrupt a Vec<Vec<f32>>;
         // keep the pool usable rather than poisoning every later kernel.
         self.buckets[k].lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_bytes(&self, k: usize) -> std::sync::MutexGuard<'_, Vec<Vec<i8>>> {
+        self.byte_buckets[k]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -310,6 +364,22 @@ mod tests {
         // request in (512, 1024].
         let again = ws.take_raw(700);
         assert_eq!(again.as_ptr(), ptr);
+    }
+
+    #[test]
+    fn byte_pool_take_give_reuses_capacity() {
+        let ws = Workspace::new();
+        ws.give_bytes(vec![7i8; 256]);
+        let buf = ws.take_bytes_zeroed(200);
+        assert_eq!(buf.len(), 200);
+        assert!(buf.iter().all(|&v| v == 0), "residual bytes must be zeroed");
+        let ptr = buf.as_ptr();
+        ws.give_bytes(buf);
+        let again = ws.take_bytes_zeroed(200);
+        assert_eq!(again.as_ptr(), ptr, "pooled byte buffer must be reused");
+        // Tiny byte buffers bypass the pool like tiny f32 buffers.
+        ws.give_bytes(vec![0i8; 8]);
+        assert_eq!(ws.take_bytes_zeroed(8).capacity(), 8);
     }
 
     #[test]

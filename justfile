@@ -12,6 +12,7 @@ verify:
     cargo bench --workspace --no-run
     just check-devices
     CARAML_SIMD=off cargo test -q -p caraml-tensor
+    CARAML_SIMD=off cargo test -q -p caraml-models
 
 # Load + validate every embedded device TOML through the registry and
 # diff the rendered `caraml devices` table against the committed golden
@@ -72,6 +73,13 @@ serve-demo tag="H100" *flags="":
 # its own perf trajectory.
 bench-json:
     cargo run --release -p caraml-bench --bin bench_json
+
+# Quantized-tier slice of the kernel sweep: re-time just the int8
+# quantize/dequantize/GEMM kernels and the per-precision decode steps
+# (all three arms) without the full 15-sample sweep. Prints only — the
+# committed BENCH_TENSOR.json is left untouched.
+bench-quant:
+    cargo run --release -p caraml-bench --bin bench_json -- --filter quantize,dequantize,gemm_i8,decode_step
 
 # Perf tripwire: re-time everything and fail if any kernel's median is
 # >25% slower than the committed BENCH_TENSOR.json (kernels faster than
