@@ -253,7 +253,30 @@ impl NodeConfig {
     pub fn nodes_for(&self, devices: u32) -> u32 {
         devices.div_ceil(self.devices_per_node)
     }
+
+    /// The link replica-to-replica KV state travels over in a
+    /// disaggregated serving fleet. Replicas are node-scale, so the
+    /// inter-node fabric is preferred; single-node systems fall back to
+    /// the intra-node accelerator link, and failing that the host link.
+    pub fn kv_transfer_link(&self) -> &Link {
+        self.internode
+            .as_ref()
+            .or(self.accel_accel.as_ref())
+            .unwrap_or(&self.cpu_accel)
+    }
+
+    /// Cold-start delay of a freshly provisioned serving replica on this
+    /// node: the model weights staged host→device over the CPU–accelerator
+    /// link, plus a fixed runtime/process bring-up cost.
+    pub fn cold_start_s(&self, weight_bytes: u64) -> f64 {
+        REPLICA_INIT_S + self.cpu_accel.transfer_time_s(weight_bytes)
+    }
 }
+
+/// Runtime bring-up cost of a new serving replica (process launch, CUDA
+/// context/graph capture, allocator warm-up) — the part of a cold start
+/// that does not scale with model size.
+const REPLICA_INIT_S: f64 = 5.0;
 
 #[cfg(test)]
 mod tests {
@@ -383,6 +406,30 @@ mod tests {
         assert_eq!(jedi.nodes_for(5), 2);
         assert_eq!(jedi.nodes_for(8), 2);
         assert_eq!(jedi.max_devices(), 64);
+    }
+
+    #[test]
+    fn kv_transfer_link_prefers_internode_then_falls_back() {
+        // Multi-node systems hand KV state off over the inter-node fabric.
+        let jedi = NodeConfig::for_system(SystemId::Jedi);
+        assert!(jedi.kv_transfer_link().kind.is_internode());
+        // The GH200 JURECA evaluation node has no inter-node link in the
+        // registry: the handoff falls back to an intra-node link.
+        let gh = NodeConfig::for_system(SystemId::Gh200Jrdc);
+        assert!(!gh.kv_transfer_link().kind.is_internode());
+        assert!(gh.kv_transfer_link().bandwidth_gbps > 0.0);
+    }
+
+    #[test]
+    fn cold_start_delay_scales_with_weight_bytes() {
+        let a100 = NodeConfig::for_system(SystemId::A100);
+        let small = a100.cold_start_s(1 << 30);
+        let large = a100.cold_start_s(16 << 30);
+        assert!(small > 5.0, "bring-up floor missing: {small}");
+        assert!(
+            large > small,
+            "weight staging must scale: {large} vs {small}"
+        );
     }
 
     #[test]

@@ -33,7 +33,14 @@
 //! `--filter <substr>[,<substr>...]` flag re-times just the matching
 //! kernel families and prints them without touching the committed
 //! snapshot (`just bench-quant`).
+//!
+//! Schema v5 adds the fleet tier: `fleet_*` records time the replica
+//! router's event loop end-to-end (routing + autoscaling +
+//! prefill/decode disaggregation over a bursty trace), with items/s =
+//! simulated generated tokens per wall second, so the fleet scheduler's
+//! own overhead is part of the tracked trajectory.
 
+use caraml::fleet::{AutoscaleConfig, FleetBenchmark, RoutePolicy};
 use caraml::resnet::{ResnetBenchmark, FIG4_BATCHES};
 use caraml::serve::{ArrivalKind, ServeBenchmark, ServePoint};
 use caraml::sweep::{grid, ShardPlan};
@@ -935,6 +942,68 @@ fn serve_steps(records: &mut Vec<Record>) {
     );
 }
 
+/// The fleet scheduler's event loop as a benchmark target: wall-clock
+/// time to route, autoscale and drain a bursty trace across N replica
+/// batchers, with items/s = simulated generated tokens per wall second.
+/// One record per routing policy (same trace), plus a disaggregated +
+/// autoscaled configuration exercising the KV-handoff and cold-start
+/// paths.
+fn fleet_steps(records: &mut Vec<Record>) {
+    let point = ServePoint {
+        rate_per_s: 96.0,
+        batch_cap: 16,
+    };
+    for policy in RoutePolicy::ALL {
+        let mut bench = FleetBenchmark::new(SystemId::H100Jrdc).with_policy(policy);
+        bench.config.serve.num_requests = 256;
+        bench.config.serve.arrival = ArrivalKind::Bursty {
+            burst_factor: 8.0,
+            mean_burst: 6.0,
+        };
+        let tokens = bench
+            .simulate(point)
+            .expect("load point runs")
+            .served_tokens;
+        record(
+            records,
+            9,
+            &format!("fleet_{}", policy.tag().replace('-', "_")),
+            "n256 x4 r96 c16",
+            0,
+            0,
+            tokens,
+            || {
+                black_box(bench.simulate(point).unwrap());
+            },
+        );
+    }
+    let mut bench = FleetBenchmark::new(SystemId::H100Jrdc)
+        .with_replicas(2)
+        .disaggregated(true)
+        .with_autoscale(AutoscaleConfig::default());
+    bench.config.serve.num_requests = 256;
+    bench.config.serve.arrival = ArrivalKind::Bursty {
+        burst_factor: 8.0,
+        mean_burst: 6.0,
+    };
+    let tokens = bench
+        .simulate(point)
+        .expect("load point runs")
+        .served_tokens;
+    record(
+        records,
+        9,
+        "fleet_disagg_autoscale",
+        "n256 x2+ r96 c16",
+        0,
+        0,
+        tokens,
+        || {
+            black_box(bench.simulate(point).unwrap());
+        },
+    );
+}
+
 /// The sweep dispatch paths as benchmark targets: one full Fig. 4
 /// (device × batch) grid of full-measurement cells, run serially on the
 /// calling thread and sharded over a simulated 4-node Slurm partition.
@@ -992,11 +1061,12 @@ fn run_all(samples: usize) -> Report {
     decode_steps(&mut records);
     train_steps(&mut records);
     serve_steps(&mut records);
+    fleet_steps(&mut records);
     sweep_steps(&mut records);
     registry_steps(&mut records);
     per_arm_kernels(&mut records, samples);
     Report {
-        schema: "caraml-bench-tensor-v4",
+        schema: "caraml-bench-tensor-v5",
         samples_per_kernel: samples,
         records,
     }

@@ -11,6 +11,8 @@
 //! caraml inference H100               # extension: inference sweep
 //! caraml serve H100                   # extension: serving load sweep
 //! caraml serve H100 --bursty          # heavy-tailed arrival trace
+//! caraml fleet H100 --replicas 4 --policy all    # replica router sweep
+//! caraml fleet H100 --disagg --autoscale --json  # fleet FOMs as JSON
 //! caraml baseline record out.json --tag GH200
 //! caraml baseline compare out.json --tag GH200 [--tolerance 0.05]
 //! caraml devices [--json]            # device registry table
@@ -19,10 +21,11 @@
 //! ```
 
 use caraml::continuous::Baseline;
+use caraml::fleet::{AutoscaleConfig, FleetBenchmark, RoutePolicy};
 use caraml::inference::InferenceBenchmark;
 use caraml::report::{
-    render_device_table, render_heatmap, render_precision_table, render_serve_table,
-    render_shard_table,
+    render_device_table, render_fleet_table, render_heatmap, render_precision_table,
+    render_serve_table, render_shard_table,
 };
 use caraml::resnet::{ResnetBenchmark, FIG3_BATCHES, FIG4_BATCHES};
 use caraml::serve::{load_grid, ArrivalKind, ServeBenchmark};
@@ -44,6 +47,8 @@ fn usage() -> ExitCode {
          caraml heatmap <TAG> [--shards N] [--nodes N] [--precision <P|all>]\n  \
          caraml inference <TAG>\n  \
          caraml serve <TAG> [--bursty] [--seed N] [--precision <P|all>]\n  \
+         caraml fleet <TAG> [--replicas N] [--policy <P|all>] [--precision <P|all|p0,p1,...>]\n  \
+         \x20            [--rate F] [--cap N] [--seed N] [--bursty] [--disagg] [--autoscale] [--json]\n  \
          caraml baseline <record|compare> <file.json> --tag <TAG> [--tolerance F]"
     );
     ExitCode::from(2)
@@ -109,6 +114,29 @@ fn precision_options(args: &[String]) -> Result<Option<Vec<Precision>>, String> 
             Some(tag) => Precision::try_from_tag(tag)
                 .map(|p| Some(vec![p]))
                 .map_err(|e| format!("{e} (or 'all' to sweep every tier)")),
+        },
+    }
+}
+
+/// Parse `--precision` for `caraml fleet`, where a comma-separated list
+/// (`--precision f32,bf16,int8,int8`) builds a heterogeneous fleet:
+/// replica `i` runs at entry `i % len`. A single tag puts the whole
+/// fleet at that tier; `all` is shorthand for the full ladder.
+fn fleet_precision_options(args: &[String]) -> Result<Option<Vec<Precision>>, String> {
+    match args.iter().position(|a| a == "--precision") {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            None => Err("--precision needs a value (f32, bf16, int8, 'all', or a comma-separated per-replica list)".to_string()),
+            Some("all") => Ok(Some(Precision::ALL.to_vec())),
+            Some(list) => list
+                .split(',')
+                .map(|tag| {
+                    Precision::try_from_tag(tag.trim()).map_err(|e| {
+                        format!("{e} (or 'all', or a comma-separated per-replica list)")
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()
+                .map(Some),
         },
     }
 }
@@ -496,6 +524,119 @@ fn run_serve(tag: &str, flags: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Parse `--policy <tag|all>` into the routing policies to sweep.
+/// Defaults to every policy when the flag is absent; unknown values are
+/// rejected with the full list of valid tags.
+fn policy_options(args: &[String]) -> Result<Vec<RoutePolicy>, String> {
+    match args.iter().position(|a| a == "--policy") {
+        None => Ok(RoutePolicy::ALL.to_vec()),
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            None => Err(
+                "--policy needs a value (round-robin, least-kv-load, session-affinity or all)"
+                    .to_string(),
+            ),
+            Some("all") => Ok(RoutePolicy::ALL.to_vec()),
+            Some(tag) => RoutePolicy::try_from_tag(tag)
+                .map(|p| vec![p])
+                .map_err(|e| format!("{e} (or 'all' to sweep every policy)")),
+        },
+    }
+}
+
+fn run_fleet(tag: &str, flags: &[String]) -> ExitCode {
+    let sys = match resolve_tag(tag) {
+        Ok(sys) => sys,
+        Err(code) => return code,
+    };
+    let (policies, precisions, replicas, rate, cap, seed) = match (
+        policy_options(flags),
+        fleet_precision_options(flags),
+        flag_value::<u32>(flags, "--replicas"),
+        flag_value::<f64>(flags, "--rate"),
+        flag_value::<u32>(flags, "--cap"),
+        flag_value::<u64>(flags, "--seed"),
+    ) {
+        (Ok(po), Ok(pr), Ok(re), Ok(ra), Ok(ca), Ok(se)) => (po, pr, re, ra, ca, se),
+        (Err(e), ..)
+        | (_, Err(e), ..)
+        | (_, _, Err(e), ..)
+        | (_, _, _, Err(e), ..)
+        | (_, _, _, _, Err(e), _)
+        | (.., Err(e)) => {
+            eprintln!("caraml: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let replicas = replicas.unwrap_or(4);
+    if replicas == 0 {
+        eprintln!("caraml: --replicas needs at least one replica");
+        return ExitCode::from(2);
+    }
+    let mut bench = FleetBenchmark::new(sys)
+        .with_replicas(replicas)
+        .disaggregated(flags.iter().any(|f| f == "--disagg"));
+    if flags.iter().any(|f| f == "--autoscale") {
+        bench = bench.with_autoscale(AutoscaleConfig {
+            min_replicas: replicas.min(AutoscaleConfig::default().max_replicas),
+            max_replicas: replicas.max(AutoscaleConfig::default().max_replicas),
+            ..AutoscaleConfig::default()
+        });
+    }
+    match precisions {
+        Some(ps) if ps.len() == 1 => bench = bench.with_precision(ps[0]),
+        Some(ps) => bench.config.replica_precisions = Some(ps),
+        None => {}
+    }
+    if flags.iter().any(|f| f == "--bursty") {
+        bench.config.serve.arrival = ArrivalKind::Bursty {
+            burst_factor: 8.0,
+            mean_burst: 6.0,
+        };
+    }
+    if let Some(seed) = seed {
+        bench.config.serve.seed = seed;
+    }
+    let point = load_grid(&[rate.unwrap_or(96.0)], &[cap.unwrap_or(16)])[0];
+    let outcomes = bench.sweep_policies(SweepRunner::parallel(), point, policies);
+    if flags.iter().any(|f| f == "--json") {
+        let foms: Vec<_> = outcomes
+            .iter()
+            .filter_map(|o| o.as_completed().cloned())
+            .collect();
+        match serde_json::to_string_pretty(&foms) {
+            Ok(json) => {
+                println!("{json}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("caraml: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        let arrival = match bench.config.serve.arrival {
+            ArrivalKind::Poisson => "Poisson".to_string(),
+            ArrivalKind::Bursty { .. } => "bursty".to_string(),
+        };
+        println!(
+            "{}",
+            render_fleet_table(
+                &format!(
+                    "LLM fleet serving on {} ({} replicas, rate {:.0}/s, cap {}, {} arrivals, seed {})",
+                    NodeConfig::shared(sys).platform,
+                    replicas,
+                    point.rate_per_s,
+                    point.batch_cap,
+                    arrival,
+                    bench.config.serve.seed
+                ),
+                &outcomes
+            )
+        );
+        ExitCode::SUCCESS
+    }
+}
+
 /// Run a quick ResNet sweep on one system and return the FOM baseline.
 fn measure_baseline(tag: &str) -> Result<Baseline, String> {
     let sys = SystemId::try_from_tag(tag).map_err(|e| e.to_string())?;
@@ -716,6 +857,7 @@ fn main() -> ExitCode {
         Some("calibrate") if args.len() >= 2 => run_calibrate(&args[1..]),
         Some("inference") if args.len() >= 2 => run_inference(&args[1]),
         Some("serve") if args.len() >= 2 => run_serve(&args[1], &args[2..]),
+        Some("fleet") if args.len() >= 2 => run_fleet(&args[1], &args[2..]),
         Some("baseline") => run_baseline(&args[1..]),
         _ => usage(),
     }
@@ -781,6 +923,30 @@ mod tests {
             assert!(err.contains(tag), "{err} missing {tag}");
         }
         assert!(precision_options(&argv(&["--precision"])).is_err());
+    }
+
+    #[test]
+    fn policy_options_parse_sweep_and_reject_unknown() {
+        assert_eq!(
+            policy_options(&argv(&[])).unwrap(),
+            RoutePolicy::ALL.to_vec()
+        );
+        assert_eq!(
+            policy_options(&argv(&["--policy", "least-kv-load"])).unwrap(),
+            vec![RoutePolicy::LeastKvLoad]
+        );
+        assert_eq!(
+            policy_options(&argv(&["--policy", "all"])).unwrap(),
+            RoutePolicy::ALL.to_vec()
+        );
+        // Unknown policies are rejected with the full valid list — same
+        // UX as unknown device and precision tags.
+        let err = policy_options(&argv(&["--policy", "random"])).unwrap_err();
+        assert!(err.contains("random"), "{err}");
+        for tag in ["round-robin", "least-kv-load", "session-affinity"] {
+            assert!(err.contains(tag), "{err} missing {tag}");
+        }
+        assert!(policy_options(&argv(&["--policy"])).is_err());
     }
 
     #[test]

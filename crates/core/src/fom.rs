@@ -101,6 +101,57 @@ pub struct ServeFom {
     pub busy_fraction: f64,
 }
 
+/// Figures of merit of one fleet-serving measurement point (one routing
+/// policy × load point of a fleet sweep).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetFom {
+    /// System label (Table I platform) every replica runs on.
+    pub system: String,
+    /// Routing policy tag (`round-robin`, `least-kv-load`,
+    /// `session-affinity`).
+    pub policy: String,
+    /// Base storage precision of the fleet.
+    pub precision: Precision,
+    /// Mean request arrival rate offered to the fleet, requests/s.
+    pub rate_per_s: f64,
+    /// Per-replica continuous-batching occupancy cap.
+    pub batch_cap: u32,
+    /// Replicas provisioned at trace start.
+    pub replicas_base: u32,
+    /// Highest provisioned replica count (autoscaling).
+    pub replicas_peak: u32,
+    /// Requests in the arrival trace.
+    pub requests: u64,
+    /// Requests served to completion.
+    pub served: u64,
+    /// Requests explicitly shed (deadline overrun or KV overload).
+    pub shed: u64,
+    /// Time to first token over served requests, seconds.
+    pub ttft: LatencyPercentiles,
+    /// Per-output-token latency over served requests, seconds.
+    pub tpot: LatencyPercentiles,
+    /// Aggregate generated-token throughput, tokens/s.
+    pub tokens_per_s: f64,
+    /// SLO-met generated-token throughput, tokens/s.
+    pub goodput_tokens_per_s: f64,
+    /// Fraction of served requests meeting both deadlines.
+    pub slo_attainment: f64,
+    /// Fleet energy per 1000 generated tokens, Wh.
+    pub energy_wh_per_ktoken: f64,
+    /// Sum of per-replica time-weighted mean power, W.
+    pub mean_fleet_power_w: f64,
+    /// Autoscaler scale-up actions.
+    pub scale_up_events: u32,
+    /// Autoscaler scale-down actions.
+    pub scale_down_events: u32,
+    /// Prefill→decode KV handoffs delivered (disaggregated mode).
+    pub kv_handoffs: u64,
+    /// Bytes moved over the interconnect for KV handoffs, GB.
+    pub kv_handoff_gb: f64,
+    /// Fraction of admitted prompt tokens skipped via prefix reuse.
+    pub prefix_reuse_frac: f64,
+}
+
 /// Figures of merit of one LLM-training measurement point.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LlmFom {

@@ -31,6 +31,7 @@
 
 pub mod continuous;
 pub mod engine;
+pub mod fleet;
 pub mod fom;
 pub mod inference;
 pub mod llm;
@@ -43,10 +44,14 @@ pub mod sweep;
 
 pub use continuous::{Baseline, RegressionReport};
 pub use engine::{Executed, MeterSpec, PhasePlan, PhaseSpec, RunContext, RunOutcome, Workload};
-pub use fom::{CvFom, LatencyPercentiles, LlmFom, ServeFom};
+pub use fleet::{
+    AutoscaleConfig, FleetBenchmark, FleetConfig, FleetReport, RouteDecision, RoutePolicy,
+    ScaleEvent, ScaleKind,
+};
+pub use fom::{CvFom, FleetFom, LatencyPercentiles, LlmFom, ServeFom};
 pub use inference::{InferenceBenchmark, InferenceFom};
 pub use llm::{LlmBenchmark, LlmRun};
 pub use llm_large::{LargeModelBenchmark, LargeModelRun};
 pub use resnet::{ResnetBenchmark, ResnetRun};
-pub use serve::{ArrivalKind, ServeBenchmark, ServePoint, SloClass, SloPolicy};
+pub use serve::{ArrivalKind, ServeBenchmark, ServePoint, SloClass, SloPolicy, StepSnapshot};
 pub use sweep::{NodeDemand, ShardPlan, ShardRecord, ShardedSweep, SweepPoint, SweepRunner};

@@ -6,7 +6,7 @@
 //! Fig. 2, Fig. 3 and Fig. 4.
 
 use crate::engine::RunOutcome;
-use crate::fom::{HeatmapCell, ServeFom};
+use crate::fom::{FleetFom, HeatmapCell, ServeFom};
 use crate::sweep::ShardRecord;
 use jube::ResultTable;
 
@@ -162,6 +162,67 @@ pub fn render_serve_table(title: &str, outcomes: &[RunOutcome<ServeFom>]) -> Str
                 format!("{:.3}", f.slo_attainment),
                 format!("{:.4}", f.energy_wh_per_ktoken),
                 format!("{:.3}", f.busy_fraction),
+            ]),
+            RunOutcome::Oom { .. } => {
+                let mut row = vec!["OOM".to_string()];
+                row.resize(13, "-".to_string());
+                table.push_row(row);
+            }
+            RunOutcome::Failed(_) => {
+                let mut row = vec!["FAIL".to_string()];
+                row.resize(13, "-".to_string());
+                table.push_row(row);
+            }
+        }
+    }
+    format!("{title}\n{}", table.to_ascii())
+}
+
+/// Render a fleet policy sweep: one row per routing policy (or load
+/// point) with fleet goodput, tail latency, scale events, KV-handoff
+/// traffic and prefix-reuse rate — the headline "which router wins"
+/// comparison of the fleet tier.
+pub fn render_fleet_table(title: &str, outcomes: &[RunOutcome<FleetFom>]) -> String {
+    let mut table = ResultTable::new(
+        [
+            "policy",
+            "replicas",
+            "served",
+            "shed",
+            "ttft_p99_ms",
+            "tpot_p99_ms",
+            "tok_per_s",
+            "goodput",
+            "slo",
+            "wh_per_ktok",
+            "scale",
+            "handoff_gb",
+            "reuse",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+    );
+    for out in outcomes {
+        match out {
+            RunOutcome::Completed(f) => table.push_row(vec![
+                f.policy.clone(),
+                if f.replicas_peak > f.replicas_base {
+                    format!("{}->{}", f.replicas_base, f.replicas_peak)
+                } else {
+                    f.replicas_base.to_string()
+                },
+                f.served.to_string(),
+                f.shed.to_string(),
+                format!("{:.2}", f.ttft.p99 * 1000.0),
+                format!("{:.2}", f.tpot.p99 * 1000.0),
+                format!("{:.0}", f.tokens_per_s),
+                format!("{:.0}", f.goodput_tokens_per_s),
+                format!("{:.3}", f.slo_attainment),
+                format!("{:.4}", f.energy_wh_per_ktoken),
+                format!("+{}/-{}", f.scale_up_events, f.scale_down_events),
+                format!("{:.3}", f.kv_handoff_gb),
+                format!("{:.3}", f.prefix_reuse_frac),
             ]),
             RunOutcome::Oom { .. } => {
                 let mut row = vec!["OOM".to_string()];
@@ -378,6 +439,56 @@ mod tests {
         assert!(out.contains("80.10"), "p99 TTFT in ms:\n{out}");
         assert!(out.contains("0.987"));
         assert!(out.contains("OOM"));
+        assert!(out.contains("FAIL"));
+    }
+
+    #[test]
+    fn fleet_table_renders_policies_scale_events_and_failures() {
+        use crate::fom::LatencyPercentiles;
+        let fom = FleetFom {
+            system: "A100".into(),
+            policy: "least-kv-load".into(),
+            precision: caraml_accel::Precision::Int8,
+            rate_per_s: 120.0,
+            batch_cap: 16,
+            replicas_base: 2,
+            replicas_peak: 5,
+            requests: 100_000,
+            served: 98_500,
+            shed: 1_500,
+            ttft: LatencyPercentiles {
+                p50: 0.020,
+                p95: 0.090,
+                p99: 0.2345,
+            },
+            tpot: LatencyPercentiles {
+                p50: 0.008,
+                p95: 0.012,
+                p99: 0.0190,
+            },
+            tokens_per_s: 21000.0,
+            goodput_tokens_per_s: 19000.0,
+            slo_attainment: 0.941,
+            energy_wh_per_ktoken: 0.0456,
+            mean_fleet_power_w: 1400.0,
+            scale_up_events: 3,
+            scale_down_events: 2,
+            kv_handoffs: 12000,
+            kv_handoff_gb: 4.321,
+            prefix_reuse_frac: 0.125,
+        };
+        let outcomes = vec![
+            RunOutcome::Completed(fom),
+            RunOutcome::Failed(caraml_accel::AccelError::InvalidConfig("x".into())),
+        ];
+        let out = render_fleet_table("Fleet sweep", &outcomes);
+        assert!(out.contains("Fleet sweep"));
+        assert!(out.contains("least-kv-load"));
+        assert!(out.contains("2->5"), "autoscaled replica span:\n{out}");
+        assert!(out.contains("234.50"), "p99 TTFT in ms:\n{out}");
+        assert!(out.contains("+3/-2"), "scale events:\n{out}");
+        assert!(out.contains("4.321"));
+        assert!(out.contains("0.125"));
         assert!(out.contains("FAIL"));
     }
 

@@ -317,7 +317,22 @@ impl ServeBenchmark {
         simulate_on_spec(&node.device, &self.config, point)
     }
 
-    fn validate(&self, point: ServePoint) -> Result<(), AccelError> {
+    /// [`ServeBenchmark::simulate`] with a per-decode-step observer: the
+    /// callback receives a [`StepSnapshot`] before every decode step.
+    /// Observation is read-only — the report is bit-identical to
+    /// [`ServeBenchmark::simulate`] — so invariant tests can watch KV
+    /// occupancy without duplicating batcher internals.
+    pub fn simulate_observed(
+        &self,
+        point: ServePoint,
+        observer: &mut dyn FnMut(&StepSnapshot),
+    ) -> Result<SimReport, AccelError> {
+        self.validate(point)?;
+        let node = NodeConfig::shared(self.config.system);
+        simulate_on_spec_observed(&node.device, &self.config, point, Some(observer))
+    }
+
+    pub(crate) fn validate(&self, point: ServePoint) -> Result<(), AccelError> {
         let cfg = &self.config;
         if cfg.system == SystemId::Gc200 {
             return Err(AccelError::InvalidConfig(
@@ -427,18 +442,24 @@ fn geometric(rng: &mut ChaCha8Rng, mean: f64) -> u64 {
     }
 }
 
-/// Cost model of the serving loop on one device.
-struct ServeCost {
-    fwd_flops_per_token: f64,
-    weight_bytes: u64,
-    kv_bytes_per_token: f64,
-    roofline: RooflineModel,
-    mfu_max: f64,
-    sustained_w: f64,
+/// Cost model of the serving loop on one device. Shared with the fleet
+/// simulator (`crate::fleet`), which runs the same per-replica batcher
+/// economics behind a router.
+pub(crate) struct ServeCost {
+    pub(crate) fwd_flops_per_token: f64,
+    pub(crate) weight_bytes: u64,
+    pub(crate) kv_bytes_per_token: f64,
+    pub(crate) roofline: RooflineModel,
+    pub(crate) mfu_max: f64,
+    pub(crate) sustained_w: f64,
 }
 
 impl ServeCost {
-    fn new(spec: &DeviceSpec, model: &caraml_models::GptConfig, precision: Precision) -> Self {
+    pub(crate) fn new(
+        spec: &DeviceSpec,
+        model: &caraml_models::GptConfig,
+        precision: Precision,
+    ) -> Self {
         let cost = caraml_models::gpt::cost::GptCost::new(model.clone());
         let calib = spec.calib(SpecWorkload::Llm);
         ServeCost {
@@ -460,7 +481,7 @@ impl ServeCost {
 
     /// `(duration_s, utilization)` of a prefill over `tokens` prompt
     /// tokens (compute-bound, like a training forward pass).
-    fn prefill(&self, tokens: u64) -> (f64, f64) {
+    pub(crate) fn prefill(&self, tokens: u64) -> (f64, f64) {
         let profile = KernelProfile::new(
             self.fwd_flops_per_token * tokens as f64,
             self.weight_bytes as f64 * 2.0,
@@ -471,7 +492,7 @@ impl ServeCost {
 
     /// `(duration_s, utilization, memory_bound)` of one decode step over
     /// `batch` concurrent requests holding `kv_tokens` of cache total.
-    fn decode_step(&self, batch: u32, kv_tokens: u64) -> (f64, f64) {
+    pub(crate) fn decode_step(&self, batch: u32, kv_tokens: u64) -> (f64, f64) {
         let profile = KernelProfile::new(
             self.fwd_flops_per_token * f64::from(batch),
             self.weight_bytes as f64 + self.kv_bytes_per_token * kv_tokens as f64,
@@ -487,31 +508,38 @@ impl ServeCost {
 }
 
 /// A request currently decoding.
-struct Running {
-    idx: usize,
-    remaining: u64,
+pub(crate) struct Running {
+    pub(crate) idx: usize,
+    pub(crate) remaining: u64,
     /// KV tokens currently resident (grows by one per decode step).
-    kv_tokens: u64,
+    pub(crate) kv_tokens: u64,
     /// Full-lifetime KV reservation, bytes.
-    kv_reserved: u64,
+    pub(crate) kv_reserved: u64,
 }
 
 /// Phase accumulator that merges exact-duplicate consecutive phases (a
 /// long idle gap or a run of identical decode steps become one phase).
-struct PhaseLog {
-    phases: Vec<PhaseSpec>,
-    t: f64,
+pub(crate) struct PhaseLog {
+    pub(crate) phases: Vec<PhaseSpec>,
+    pub(crate) t: f64,
 }
 
 impl PhaseLog {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         PhaseLog {
             phases: Vec::new(),
             t: 0.0,
         }
     }
 
-    fn push(&mut self, kind: PhaseKind, label: &'static str, duration_s: f64, u: f64, w: f64) {
+    pub(crate) fn push(
+        &mut self,
+        kind: PhaseKind,
+        label: &'static str,
+        duration_s: f64,
+        u: f64,
+        w: f64,
+    ) {
         if duration_s <= 0.0 {
             return;
         }
@@ -537,6 +565,27 @@ impl PhaseLog {
     }
 }
 
+/// State of the batcher at one decode-step boundary, as reported to a
+/// step observer (see [`ServeBenchmark::simulate_observed`]): the batch
+/// about to decode and the KV accounting it runs under. Lets external
+/// invariant tests (the fleet property suite in particular) assert KV
+/// budgets per step without re-implementing the simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepSnapshot {
+    /// Virtual time at the start of the decode step, seconds.
+    pub t_s: f64,
+    /// 0-based decode step index.
+    pub step: u64,
+    /// Concurrent requests in this decode step.
+    pub occupancy: u32,
+    /// KV tokens resident across the batch for this step.
+    pub kv_tokens: u64,
+    /// KV bytes reserved (full-lifetime reservations) at this step.
+    pub kv_reserved_bytes: u64,
+    /// The budget those reservations are checked against.
+    pub kv_budget_bytes: u64,
+}
+
 /// The event loop: drive the arrival trace through the continuous
 /// batcher against `spec`, producing the phase schedule and per-request
 /// records. Deterministic — pure math over the seeded trace.
@@ -544,6 +593,19 @@ fn simulate_on_spec(
     spec: &DeviceSpec,
     cfg: &ServeConfig,
     point: ServePoint,
+) -> Result<SimReport, AccelError> {
+    simulate_on_spec_observed(spec, cfg, point, None)
+}
+
+/// [`simulate_on_spec`] with an optional per-decode-step observer. The
+/// observer is invoked with a [`StepSnapshot`] immediately before each
+/// decode step executes; it never feeds back into the simulation, so the
+/// observed run is bit-identical to the unobserved one.
+pub(crate) fn simulate_on_spec_observed(
+    spec: &DeviceSpec,
+    cfg: &ServeConfig,
+    point: ServePoint,
+    mut observer: Option<&mut dyn FnMut(&StepSnapshot)>,
 ) -> Result<SimReport, AccelError> {
     let cost = ServeCost::new(spec, &cfg.model, cfg.precision);
     if cost.weight_bytes >= spec.mem_bytes {
@@ -726,6 +788,16 @@ fn simulate_on_spec(
 
         // One decode step over the whole running batch.
         let kv_tokens: u64 = running.iter().map(|r| r.kv_tokens).sum();
+        if let Some(obs) = observer.as_deref_mut() {
+            obs(&StepSnapshot {
+                t_s: log.t,
+                step: decode_steps,
+                occupancy: running.len() as u32,
+                kv_tokens,
+                kv_reserved_bytes: kv_reserved_total,
+                kv_budget_bytes: kv_budget,
+            });
+        }
         let (dt, u) = cost.decode_step(running.len() as u32, kv_tokens);
         log.push(PhaseKind::Compute, "decode", dt, u, cost.sustained_w);
         decode_steps += 1;
@@ -1140,6 +1212,31 @@ mod tests {
             .unwrap();
         assert_eq!(fom.tokens_per_s, explicit.tokens_per_s);
         assert_eq!(fom.energy_wh_per_ktoken, explicit.energy_wh_per_ktoken);
+    }
+
+    #[test]
+    fn observed_simulation_is_bit_identical_and_stays_in_budget() {
+        let b = bench(SystemId::A100);
+        let p = point(60.0, 8);
+        let plain = b.simulate(p).unwrap();
+        let mut snaps: Vec<StepSnapshot> = Vec::new();
+        let observed = b.simulate_observed(p, &mut |s| snaps.push(*s)).unwrap();
+        // Observation must not perturb the simulation in any way.
+        assert_eq!(plain.makespan_s.to_bits(), observed.makespan_s.to_bits());
+        assert_eq!(plain.records, observed.records);
+        assert_eq!(plain.decode_steps, observed.decode_steps);
+        // One snapshot per decode step, in step and time order, each
+        // within the KV budget the admission check enforces.
+        assert_eq!(snaps.len() as u64, plain.decode_steps);
+        for (i, s) in snaps.iter().enumerate() {
+            assert_eq!(s.step, i as u64);
+            assert!(s.occupancy > 0);
+            assert!(s.kv_reserved_bytes <= s.kv_budget_bytes);
+            assert_eq!(s.kv_budget_bytes, plain.kv_budget_bytes);
+        }
+        assert!(snaps.windows(2).all(|w| w[0].t_s <= w[1].t_s));
+        let peak = snaps.iter().map(|s| s.occupancy).max().unwrap();
+        assert!(peak <= plain.max_occupancy);
     }
 
     #[test]

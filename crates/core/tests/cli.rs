@@ -188,6 +188,139 @@ fn inference_subcommand_runs() {
 }
 
 #[test]
+fn fleet_subcommand_renders_policy_table() {
+    let out = caraml()
+        .args(["fleet", "H100", "--replicas", "2"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("LLM fleet serving"));
+    for policy in ["round-robin", "least-kv-load", "session-affinity"] {
+        assert!(stdout.contains(policy), "missing {policy} row:\n{stdout}");
+    }
+    for col in ["ttft_p99_ms", "goodput", "wh_per_ktok", "handoff_gb"] {
+        assert!(stdout.contains(col), "missing {col} column:\n{stdout}");
+    }
+}
+
+#[test]
+fn fleet_unknown_policy_rejected_with_valid_list() {
+    let out = caraml()
+        .args(["fleet", "H100", "--policy", "random"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for policy in ["round-robin", "least-kv-load", "session-affinity"] {
+        assert!(
+            stderr.contains(policy),
+            "valid list missing {policy}:\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn fleet_unknown_tag_rejected_with_valid_list() {
+    let out = caraml().args(["fleet", "NOPE"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("H100"),
+        "valid tag list expected:\n{stderr}"
+    );
+}
+
+#[test]
+fn fleet_zero_replicas_rejected() {
+    let out = caraml()
+        .args(["fleet", "H100", "--replicas", "0"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("replica"));
+}
+
+#[test]
+fn fleet_precision_ladder_parses_comma_list_and_rejects_unknown_tier() {
+    // A comma-separated --precision builds a heterogeneous fleet; the
+    // json output reports the base precision while each replica runs
+    // its ladder entry (exercised end-to-end by the table render).
+    let out = caraml()
+        .args([
+            "fleet",
+            "H100",
+            "--replicas",
+            "4",
+            "--precision",
+            "f32,bf16,int8,int8",
+            "--policy",
+            "least-kv-load",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("least-kv-load"));
+    let out = caraml()
+        .args(["fleet", "H100", "--precision", "f32,fp4"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("int8") && stderr.contains("comma-separated"),
+        "error must list valid tiers and mention the list form:\n{stderr}"
+    );
+}
+
+#[test]
+fn fleet_json_output_round_trips_through_serde() {
+    let out = caraml()
+        .args([
+            "fleet",
+            "H100",
+            "--replicas",
+            "2",
+            "--policy",
+            "all",
+            "--disagg",
+            "--autoscale",
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let foms: Vec<caraml::FleetFom> = serde_json::from_str(&stdout).unwrap();
+    assert_eq!(foms.len(), 3);
+    let policies: Vec<&str> = foms.iter().map(|f| f.policy.as_str()).collect();
+    assert_eq!(
+        policies,
+        vec!["round-robin", "least-kv-load", "session-affinity"]
+    );
+    for f in &foms {
+        assert_eq!(f.served + f.shed, f.requests);
+        assert!(f.kv_handoffs > 0, "disaggregated fleet must hand off KV");
+        // Round-trip: re-serialize and parse back to the same value.
+        let json = serde_json::to_string(f).unwrap();
+        let back: caraml::FleetFom = serde_json::from_str(&json).unwrap();
+        assert_eq!(&back, f);
+    }
+}
+
+#[test]
 fn no_args_prints_usage() {
     let out = caraml().output().unwrap();
     assert_eq!(out.status.code(), Some(2));

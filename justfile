@@ -11,6 +11,7 @@ verify:
     cargo test -q
     cargo bench --workspace --no-run
     just check-devices
+    just test-fleet
     CARAML_SIMD=off cargo test -q -p caraml-tensor
     CARAML_SIMD=off cargo test -q -p caraml-models
 
@@ -48,6 +49,17 @@ test-serve:
     cargo test -p caraml --test serve_props -q
     cargo test -p caraml --test serve_determinism -q
     cargo test -p jube --test slurm_sim -q
+
+# Fleet-serving slice: router/autoscaler/disaggregation unit tests, the
+# scheduling-invariant property suite (incl. the pinned 10⁵-request
+# acceptance scenarios), and the fleet determinism harness — the latter
+# re-run with the SIMD dispatcher forced off, since the fleet FOM bits
+# must not depend on the dispatch arm.
+test-fleet:
+    cargo test -p caraml --lib fleet -q
+    cargo test -p caraml --test fleet_props -q
+    cargo test -p caraml --test fleet_determinism -q
+    CARAML_SIMD=off cargo test -p caraml --test fleet_determinism -q
 
 # Scheduler-focused slice: SlurmSim unit tests, the FIFO-starvation and
 # bounded-pool regression coverage, and the sharded-sweep equivalence
