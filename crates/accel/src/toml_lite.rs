@@ -78,6 +78,28 @@ impl TomlValue {
     pub fn lookup(&self, path: &str) -> Option<&TomlValue> {
         path.split('.').try_fold(self, |node, seg| node.get(seg))
     }
+
+    /// The value as a homogeneous string array; `None` when it is not an
+    /// array or any item is not a string.
+    pub fn as_str_array(&self) -> Option<Vec<&str>> {
+        self.as_array()?.iter().map(TomlValue::as_str).collect()
+    }
+
+    /// The value as a homogeneous numeric array; `None` when it is not
+    /// an array or any item is not a number.
+    pub fn as_f64_array(&self) -> Option<Vec<f64>> {
+        self.as_array()?.iter().map(TomlValue::as_f64).collect()
+    }
+
+    /// Direct string child of a table.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.get(key)?.as_str()
+    }
+
+    /// Direct numeric child of a table.
+    pub fn get_f64(&self, key: &str) -> Option<f64> {
+        self.get(key)?.as_f64()
+    }
 }
 
 /// Parse failure with its 1-based source line.
@@ -470,5 +492,23 @@ watts = 100.0
     fn non_finite_numbers_rejected() {
         assert!(parse("x = inf").is_err());
         assert!(parse("x = NaN").is_err());
+    }
+
+    #[test]
+    fn typed_array_and_child_accessors() {
+        let doc =
+            parse("tags = [\"A100\", \"GH200\"]\nxs = [1.0, 2.5]\nname = \"x\"\nn = 7").unwrap();
+        assert_eq!(
+            doc.get("tags").unwrap().as_str_array(),
+            Some(vec!["A100", "GH200"])
+        );
+        assert_eq!(doc.get("xs").unwrap().as_f64_array(), Some(vec![1.0, 2.5]));
+        // Heterogeneous arrays do not satisfy a typed accessor.
+        assert_eq!(doc.get("xs").unwrap().as_str_array(), None);
+        assert_eq!(doc.get("tags").unwrap().as_f64_array(), None);
+        assert_eq!(doc.get_str("name"), Some("x"));
+        assert_eq!(doc.get_f64("n"), Some(7.0));
+        assert_eq!(doc.get_str("n"), None);
+        assert_eq!(doc.get_f64("missing"), None);
     }
 }

@@ -39,7 +39,14 @@
 //! prefill/decode disaggregation over a bursty trace), with items/s =
 //! simulated generated tokens per wall second, so the fleet scheduler's
 //! own overhead is part of the tracked trajectory.
+//!
+//! `--history <path>` additionally appends every fresh median to the
+//! shared `results.jsonl` history store (see `caraml trend`), and a
+//! failing `--check` always appends the regressed records there
+//! (scenario `bench-check`) before exiting 1, so regressions are
+//! recorded in the perf trajectory rather than only printed.
 
+use caraml::continuous::{default_label, History, HistoryRecord};
 use caraml::fleet::{AutoscaleConfig, FleetBenchmark, RoutePolicy};
 use caraml::resnet::{ResnetBenchmark, FIG4_BATCHES};
 use caraml::serve::{ArrivalKind, ServeBenchmark, ServePoint};
@@ -1205,6 +1212,48 @@ fn render_report(fresh: &Report, committed: &serde_json::Value) -> String {
     md
 }
 
+/// Append kernel medians to the shared `results.jsonl` history store as
+/// one new generation, keyed `bench/{kernel}/{shape}/median_ms` (the
+/// `_ms` suffix marks them lower-is-better for `caraml trend`). Used
+/// both for routine `--history` snapshots (scenario `bench-json`) and
+/// to record `--check` failures (scenario `bench-check`) so regressions
+/// land in the perf trajectory, not just the CI log.
+fn append_history(path: &std::path::Path, scenario: &str, records: &[&Record]) {
+    let history = match History::load_or_empty(path) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("bench_json: cannot read history {}: {e}", path.display());
+            return;
+        }
+    };
+    let generation = history.next_generation();
+    let label = default_label();
+    let mut out = Vec::with_capacity(records.len());
+    for rec in records {
+        let key = format!("bench/{}/{}/median_ms", rec.kernel, rec.shape);
+        match HistoryRecord::new(
+            generation,
+            label.clone(),
+            scenario,
+            rec.arm.clone(),
+            rec.precision.clone(),
+            key,
+            rec.median_ms,
+        ) {
+            Ok(r) => out.push(r),
+            Err(e) => eprintln!("bench_json: skipping history record: {e}"),
+        }
+    }
+    match History::append_to(path, &out) {
+        Ok(()) => println!(
+            "appended {} record(s) to {} as generation {generation} ({scenario})",
+            out.len(),
+            path.display()
+        ),
+        Err(e) => eprintln!("bench_json: cannot append history {}: {e}", path.display()),
+    }
+}
+
 fn load_committed() -> serde_json::Value {
     let committed = std::fs::read_to_string("BENCH_TENSOR.json")
         .expect("needs a committed BENCH_TENSOR.json (run `just bench-json` first)");
@@ -1215,6 +1264,16 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let check = args.iter().any(|a| a == "--check");
     let want_report = args.iter().any(|a| a == "--report");
+    let history_path: Option<std::path::PathBuf> =
+        args.iter()
+            .position(|a| a == "--history")
+            .map(|i| match args.get(i + 1) {
+                Some(p) if !p.starts_with("--") => std::path::PathBuf::from(p),
+                _ => {
+                    eprintln!("bench_json: --history needs a path (e.g. --history results.jsonl)");
+                    std::process::exit(2);
+                }
+            });
     if let Some(i) = args.iter().position(|a| a == "--filter") {
         let needles: Vec<String> = args
             .get(i + 1)
@@ -1250,12 +1309,30 @@ fn main() {
                 "\nbench-check OK: no kernel regressed beyond {:.0}%",
                 (CHECK_TOLERANCE - 1.0) * 100.0
             );
+            if let Some(path) = &history_path {
+                let all: Vec<&Record> = report.records.iter().collect();
+                append_history(path, "bench-json", &all);
+            }
             return;
         }
         println!("\nbench-check FAILED — regressions beyond +25%:");
         for (kernel, shape, old_ms, new_ms) in &bad {
             println!("  {kernel} [{shape}]: {old_ms:.3} ms -> {new_ms:.3} ms");
         }
+        // Record the failure in the history store so the regression is
+        // part of the tracked trajectory, not just a transient CI log.
+        let path = history_path
+            .clone()
+            .unwrap_or_else(|| std::path::PathBuf::from("results.jsonl"));
+        let regressed: Vec<&Record> = report
+            .records
+            .iter()
+            .filter(|r| {
+                bad.iter()
+                    .any(|(kernel, shape, _, _)| *kernel == r.kernel && *shape == r.shape)
+            })
+            .collect();
+        append_history(&path, "bench-check", &regressed);
         std::process::exit(1);
     }
     if FILTER.get().is_some() {
@@ -1268,4 +1345,8 @@ fn main() {
     let json = serde_json::to_string_pretty(&report).expect("serialise report");
     std::fs::write("BENCH_TENSOR.json", &json).expect("write BENCH_TENSOR.json");
     println!("\nwrote BENCH_TENSOR.json");
+    if let Some(path) = &history_path {
+        let all: Vec<&Record> = report.records.iter().collect();
+        append_history(path, "bench-json", &all);
+    }
 }

@@ -15,27 +15,36 @@
 //! caraml fleet H100 --disagg --autoscale --json  # fleet FOMs as JSON
 //! caraml baseline record out.json --tag GH200
 //! caraml baseline compare out.json --tag GH200 [--tolerance 0.05]
+//! caraml scenario examples/scenario.toml            # declarative sweep
+//! caraml scenario examples/scenario.toml --check    # vs native twin
+//! caraml scenario examples/scenario.toml --history results.jsonl
+//! caraml trend --history results.jsonl [--json]     # trajectory report
 //! caraml devices [--json]            # device registry table
 //! caraml devices --check docs/DEVICES.md
 //! caraml calibrate trace.toml -o fitted.toml
 //! ```
 
-use caraml::continuous::Baseline;
+use caraml::continuous::{default_label, Baseline, History};
 use caraml::fleet::{AutoscaleConfig, FleetBenchmark, RoutePolicy};
 use caraml::inference::InferenceBenchmark;
 use caraml::report::{
     render_device_table, render_fleet_table, render_heatmap, render_precision_table,
-    render_serve_table, render_shard_table,
+    render_scenario_outcome, render_serve_table, render_shard_table, render_trend_report,
 };
-use caraml::resnet::{ResnetBenchmark, FIG3_BATCHES, FIG4_BATCHES};
+use caraml::resnet::{ResnetBenchmark, FIG4_BATCHES};
+use caraml::scenario::{check_against_native, Scenario};
 use caraml::serve::{load_grid, ArrivalKind, ServeBenchmark};
 use caraml::suite::{
-    llm_benchmark_ipu, llm_benchmark_nvidia_amd, resnet50_benchmark, run_suite_sharded,
+    llm_benchmark_ipu, llm_benchmark_nvidia_amd, measure_baseline, resnet50_benchmark,
+    run_suite_sharded,
 };
 use caraml::sweep::{grid, ShardPlan};
+use caraml::trend::{analyze, TrendConfig};
 use caraml::SweepRunner;
 use caraml_accel::{calibrate, DeviceKind, DeviceRegistry, NodeConfig, Precision, SystemId};
+use caraml_tensor::simd;
 use jube::SlurmSim;
+use std::path::Path;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
@@ -49,9 +58,19 @@ fn usage() -> ExitCode {
          caraml serve <TAG> [--bursty] [--seed N] [--precision <P|all>]\n  \
          caraml fleet <TAG> [--replicas N] [--policy <P|all>] [--precision <P|all|p0,p1,...>]\n  \
          \x20            [--rate F] [--cap N] [--seed N] [--bursty] [--disagg] [--autoscale] [--json]\n  \
-         caraml baseline <record|compare> <file.json> --tag <TAG> [--tolerance F]"
+         caraml baseline <record|compare> <file.json> --tag <TAG> [--tolerance F]\n  \
+         caraml scenario <file.toml> [--check] [--json] [--history <path>] [--label <rev>]\n  \
+         caraml trend [--history <path>] [--json] [--window N] [--gate [--tolerance F]]"
     );
     ExitCode::from(2)
+}
+
+/// The SIMD arm label stamped on history records.
+fn arm_label() -> &'static str {
+    match simd::active_arm() {
+        simd::Arm::Scalar => "scalar",
+        simd::Arm::Avx2 => "avx2",
+    }
 }
 
 /// Resolve a CLI tag through the registry, printing the typed error
@@ -637,28 +656,171 @@ fn run_fleet(tag: &str, flags: &[String]) -> ExitCode {
     }
 }
 
-/// Run a quick ResNet sweep on one system and return the FOM baseline.
-fn measure_baseline(tag: &str) -> Result<Baseline, String> {
-    let sys = SystemId::try_from_tag(tag).map_err(|e| e.to_string())?;
-    let mut baseline = Baseline::new(format!("caraml/{tag}"));
-    if sys == SystemId::Gc200 {
-        for batch in [64u64, 1024] {
-            let run = ResnetBenchmark::run_ipu(batch, 1.0).map_err(|e| e.to_string())?;
-            baseline.record_cv(&format!("resnet50/{tag}/b{batch}"), &run.fom);
+/// `caraml scenario <file.toml>`: run a declarative sweep, optionally
+/// verify it against the native twin (`--check`), append the results to
+/// the history store (`--history`), or dump JSON (`--json`).
+fn run_scenario(args: &[String]) -> ExitCode {
+    let Some(file) = args.first().filter(|a| !a.starts_with("--")) else {
+        return usage();
+    };
+    let scenario = match Scenario::load(Path::new(file)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("caraml: {file}: {e}");
+            return ExitCode::FAILURE;
         }
-    } else {
-        let bench = ResnetBenchmark::fig3(sys);
-        let batches: Vec<u64> = FIG3_BATCHES.iter().step_by(3).copied().collect();
-        let runs = SweepRunner::parallel().map(batches.clone(), |batch| bench.run(batch));
-        for (batch, run) in batches.into_iter().zip(runs) {
-            match run {
-                Ok(run) => baseline.record_cv(&format!("resnet50/{tag}/b{batch}"), &run.fom),
-                Err(e) if e.is_oom() => {}
-                Err(e) => return Err(e.to_string()),
+    };
+    let outcome = match scenario.run(SweepRunner::parallel()) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("caraml: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.iter().any(|a| a == "--check") {
+        // Spec half: the parsed file must equal the Rust-constructed
+        // twin. Metric half: the twin's run (serial, to also witness
+        // execution-order independence) must be bit-identical.
+        let native = Scenario::example();
+        if let Err(e) = check_against_native(&scenario, &native) {
+            eprintln!("caraml: scenario check failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        let native_outcome = match native.run(SweepRunner::serial()) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("caraml: native twin failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if native_outcome.metrics.metrics != outcome.metrics.metrics
+            || native_outcome.checksum != outcome.checksum
+        {
+            eprintln!(
+                "caraml: scenario run diverges from the native twin \
+                 (checksum {} vs {})",
+                outcome.checksum, native_outcome.checksum
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "scenario `{}` verified against the native twin: {} metrics, checksum {}",
+            outcome.name,
+            outcome.metrics.metrics.len(),
+            outcome.checksum
+        );
+    }
+    if args.iter().any(|a| a == "--json") {
+        match serde_json::to_string_pretty(&outcome) {
+            Ok(json) => println!("{json}"),
+            Err(e) => {
+                eprintln!("caraml: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else if !args.iter().any(|a| a == "--check") {
+        println!("{}", render_scenario_outcome(&outcome));
+    }
+    if let Some(i) = args.iter().position(|a| a == "--history") {
+        let Some(path) = args.get(i + 1).filter(|a| !a.starts_with("--")) else {
+            eprintln!("caraml: --history needs a file path");
+            return ExitCode::from(2);
+        };
+        let path = Path::new(path);
+        let generation = match History::load_or_empty(path) {
+            Ok(history) => history.next_generation(),
+            Err(e) => {
+                eprintln!("caraml: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let label = args
+            .iter()
+            .position(|a| a == "--label")
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(default_label);
+        let records = outcome.history_records(generation, &label, arm_label());
+        match History::append_to(path, &records) {
+            Ok(()) => println!(
+                "appended {} records as generation {generation} (label {label}) to {}",
+                records.len(),
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("caraml: {e}");
+                return ExitCode::FAILURE;
             }
         }
     }
-    Ok(baseline)
+    ExitCode::SUCCESS
+}
+
+/// `caraml trend`: analyse the history store — rolling-median/MAD
+/// anomalies, step changes, sparklines — and render the report. With
+/// `--gate`, also run the direction-aware latest-vs-previous generation
+/// gate and exit nonzero on regression.
+fn run_trend(args: &[String]) -> ExitCode {
+    let history_path = args
+        .iter()
+        .position(|a| a == "--history")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "results.jsonl".to_string());
+    let history = match History::load_or_empty(Path::new(&history_path)) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("caraml: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut cfg = TrendConfig::default();
+    match flag_value::<usize>(args, "--window") {
+        Ok(Some(w)) if w >= 2 => cfg.window = w,
+        Ok(Some(_)) => {
+            eprintln!("caraml: --window needs at least 2 points");
+            return ExitCode::from(2);
+        }
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("caraml: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    let report = analyze(&history, &cfg);
+    if args.iter().any(|a| a == "--json") {
+        match serde_json::to_string_pretty(&report) {
+            Ok(json) => println!("{json}"),
+            Err(e) => {
+                eprintln!("caraml: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        print!("{}", render_trend_report(&report));
+    }
+    if args.iter().any(|a| a == "--gate") {
+        let tolerance = match flag_value::<f64>(args, "--tolerance") {
+            Ok(t) => t.unwrap_or(cfg.tolerance),
+            Err(e) => {
+                eprintln!("caraml: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match history.gate(tolerance) {
+            None => println!("gate: fewer than two generations, nothing to compare"),
+            Some(gate) => {
+                print!("{}", gate.summary());
+                if gate.passed() {
+                    println!("gate: PASS (tolerance ±{:.1}%)", tolerance * 100.0);
+                } else {
+                    println!("gate: FAIL — {} regression(s)", gate.regressions().len());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn run_baseline(args: &[String]) -> ExitCode {
@@ -859,6 +1021,8 @@ fn main() -> ExitCode {
         Some("serve") if args.len() >= 2 => run_serve(&args[1], &args[2..]),
         Some("fleet") if args.len() >= 2 => run_fleet(&args[1], &args[2..]),
         Some("baseline") => run_baseline(&args[1..]),
+        Some("scenario") if args.len() >= 2 => run_scenario(&args[1..]),
+        Some("trend") => run_trend(&args[1..]),
         _ => usage(),
     }
 }

@@ -38,11 +38,16 @@ pub mod llm;
 pub mod llm_large;
 pub mod report;
 pub mod resnet;
+pub mod scenario;
 pub mod serve;
 pub mod suite;
 pub mod sweep;
+pub mod trend;
 
-pub use continuous::{Baseline, RegressionReport};
+pub use continuous::{
+    Baseline, ContinuousError, Direction, Finding, History, HistoryRecord, RegressionReport,
+    Verdict,
+};
 pub use engine::{Executed, MeterSpec, PhasePlan, PhaseSpec, RunContext, RunOutcome, Workload};
 pub use fleet::{
     AutoscaleConfig, FleetBenchmark, FleetConfig, FleetReport, RouteDecision, RoutePolicy,
@@ -53,5 +58,7 @@ pub use inference::{InferenceBenchmark, InferenceFom};
 pub use llm::{LlmBenchmark, LlmRun};
 pub use llm_large::{LargeModelBenchmark, LargeModelRun};
 pub use resnet::{ResnetBenchmark, ResnetRun};
+pub use scenario::{Scenario, ScenarioError, ScenarioOutcome, SweepSpec, WorkloadKind};
 pub use serve::{ArrivalKind, ServeBenchmark, ServePoint, SloClass, SloPolicy, StepSnapshot};
 pub use sweep::{NodeDemand, ShardPlan, ShardRecord, ShardedSweep, SweepPoint, SweepRunner};
+pub use trend::{MetricTrend, TrendConfig, TrendReport};

@@ -339,6 +339,107 @@ pub fn ratio_line(label: &str, numerator: f64, denominator: f64, paper: f64) -> 
     )
 }
 
+/// Render a scenario run: header with checksum, skipped-OOM cells, and
+/// one row per metric.
+pub fn render_scenario_outcome(outcome: &crate::scenario::ScenarioOutcome) -> String {
+    let mut out = format!(
+        "scenario `{}`: {} cells completed, checksum {}\n",
+        outcome.name, outcome.runs, outcome.checksum
+    );
+    for cell in &outcome.skipped_oom {
+        out.push_str(&format!("  skipped (OOM): {cell}\n"));
+    }
+    let mut table = ResultTable::new(["metric", "dir", "value"].map(String::from).to_vec());
+    for (key, value) in &outcome.metrics.metrics {
+        table.push_row(vec![
+            key.clone(),
+            crate::continuous::Direction::infer(key).arrow().to_string(),
+            format_metric(*value),
+        ]);
+    }
+    out.push_str(&table.to_ascii());
+    out
+}
+
+fn format_metric(v: f64) -> String {
+    if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.5}")
+    }
+}
+
+/// Render the trend report as a markdown table: one row per metric
+/// series with its direction, latest value, latest delta, sparkline, and
+/// flags for anomalies/steps. Regressed series are listed below the
+/// table.
+pub fn render_trend_report(report: &crate::trend::TrendReport) -> String {
+    use crate::continuous::Verdict;
+    let mut out = format!(
+        "# Trend report — {} generations, {} metric series\n\n",
+        report.generations,
+        report.metrics.len()
+    );
+    if report.metrics.is_empty() {
+        out.push_str(
+            "history is empty — run `caraml scenario <file> --history results.jsonl` first\n",
+        );
+        return out;
+    }
+    out.push_str("| metric | dir | latest | Δ latest | trend | flags |\n");
+    out.push_str("|---|---|---|---|---|---|\n");
+    for m in &report.metrics {
+        let delta = match m.latest_rel_delta {
+            Some(rel) => format!("{:+.2}%", rel * 100.0),
+            None => "—".to_string(),
+        };
+        let mut flags = Vec::new();
+        match m.latest_verdict {
+            Verdict::Regressed => flags.push("REGRESSED".to_string()),
+            Verdict::Improved => flags.push("improved".to_string()),
+            _ => {}
+        }
+        for a in &m.anomalies {
+            flags.push(format!(
+                "anomaly@g{} (z={:.1}{})",
+                a.generation,
+                a.robust_z,
+                if a.improvement { ", good" } else { "" }
+            ));
+        }
+        if let Some(step) = &m.step {
+            flags.push(format!(
+                "step@g{} ({:+.1}%{})",
+                step.generation,
+                step.rel_change * 100.0,
+                if step.improvement { ", good" } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} |\n",
+            m.key,
+            m.direction.arrow(),
+            format_metric(m.latest),
+            delta,
+            m.sparkline,
+            flags.join("; ")
+        ));
+    }
+    let regressions = report.regressions();
+    out.push('\n');
+    if regressions.is_empty() {
+        out.push_str("No regressing series.\n");
+    } else {
+        out.push_str(&format!("{} regressing series:\n", regressions.len()));
+        for m in regressions {
+            out.push_str(&format!("  - {}\n", m.key));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -573,5 +674,58 @@ mod tests {
         s.push(999, Some(1.0)); // batch mismatch
         let out = render_panel("t", &[16], &[s]);
         assert!(out.contains(" - "));
+    }
+
+    #[test]
+    fn trend_report_renders_sparklines_and_flags() {
+        use crate::continuous::{History, HistoryRecord};
+        use crate::trend::{analyze, TrendConfig};
+        let mut history = History::default();
+        for (g, v) in [(0u64, 0.10f64), (1, 0.10), (2, 0.16)] {
+            history.records.push(
+                HistoryRecord::new(g, format!("r{g}"), "s", "default", "-", "x/p99_ttft_s", v)
+                    .unwrap(),
+            );
+        }
+        let report = analyze(&history, &TrendConfig::default());
+        let out = render_trend_report(&report);
+        assert!(out.contains("3 generations"));
+        assert!(out.contains("x/p99_ttft_s"));
+        assert!(out.contains("REGRESSED"), "{out}");
+        assert!(out.contains('↓'));
+        assert!(out.contains('▁') || out.contains('█'), "sparkline:\n{out}");
+        assert!(out.contains("+60.00%"), "{out}");
+        assert!(out.contains("1 regressing series"));
+
+        let empty = render_trend_report(&analyze(&History::default(), &TrendConfig::default()));
+        assert!(empty.contains("history is empty"));
+    }
+
+    #[test]
+    fn scenario_outcome_renders_metrics_and_oom_cells() {
+        use crate::continuous::Baseline;
+        use crate::scenario::{checksum64, ScenarioOutcome};
+        let mut metrics = Baseline::new("mini");
+        metrics
+            .record("serve/A100/bf16/r32/c16/p99_ttft_s", 0.08)
+            .unwrap();
+        metrics
+            .record("serve/A100/bf16/r32/c16/tokens_per_s", 5120.0)
+            .unwrap();
+        let checksum = format!("{:016x}", checksum64(&metrics));
+        let outcome = ScenarioOutcome {
+            name: "mini".into(),
+            runs: 1,
+            skipped_oom: vec!["resnet50/A100/b65536".into()],
+            checksum: checksum.clone(),
+            metrics,
+        };
+        let out = render_scenario_outcome(&outcome);
+        assert!(out.contains("scenario `mini`"));
+        assert!(out.contains(&checksum));
+        assert!(out.contains("skipped (OOM): resnet50/A100/b65536"));
+        assert!(out.contains("p99_ttft_s"));
+        assert!(out.contains("5120"));
+        assert!(out.contains('↓') && out.contains('↑'));
     }
 }

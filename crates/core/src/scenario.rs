@@ -1,0 +1,1157 @@
+//! Declarative benchmark scenarios — sweeps as data, not code.
+//!
+//! The ROADMAP's continuous-benchmarking item asks for arbitrary
+//! workload × device × precision × arrival-trace × policy sweeps runnable
+//! *without recompiling*. A scenario is a TOML file (parsed with the same
+//! `toml_lite` subset as the device registry, and schema-versioned the
+//! same way) holding a list of sweep specs:
+//!
+//! ```toml
+//! schema = 1
+//! name = "quickstart"
+//! seed = 42
+//!
+//! [[sweep]]
+//! workload = "serve"
+//! systems = ["A100", "H100"]
+//! precisions = ["bf16", "int8"]
+//! rates = [32.0]
+//! caps = [16]
+//! requests = 64
+//! ```
+//!
+//! Execution goes through the exact same benchmark APIs the native Rust
+//! callers use ([`crate::llm`], [`crate::resnet`], [`crate::inference`],
+//! [`crate::serve`], [`crate::fleet`]), so a scenario run is
+//! **bit-identical** to the equivalent hand-constructed sweep — verified
+//! by [`ScenarioOutcome::checksum`], an FNV-1a 64 digest over the sorted
+//! `(key, f64::to_bits)` pairs, the cross-engine-verification shape of
+//! starlark-bench. Cell expansion is deterministic (file order, then
+//! systems × precisions × workload axes) and execution order is
+//! irrelevant: [`SweepRunner::map`] returns results in input order, so
+//! serial and parallel runs produce the same outcome.
+
+use crate::continuous::{Baseline, ContinuousError, HistoryRecord};
+use crate::fleet::{FleetBenchmark, RoutePolicy};
+use crate::inference::InferenceBenchmark;
+use crate::llm::LlmBenchmark;
+use crate::resnet::ResnetBenchmark;
+use crate::serve::{ArrivalKind, ServeBenchmark, ServePoint};
+use crate::sweep::SweepRunner;
+use caraml_accel::toml_lite::{self, TomlValue};
+use caraml_accel::{DeviceKind, NodeConfig, Precision, SystemId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::Path;
+
+/// Scenario file schema version; bump on incompatible layout changes
+/// (same convention as the device registry).
+pub const SCENARIO_SCHEMA: u32 = 1;
+
+/// Failure of scenario parsing, validation, or execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// TOML syntax error (line + message from `toml_lite`).
+    Toml(String),
+    /// Missing or unsupported `schema` version.
+    Schema { found: String },
+    /// A required key is absent.
+    Missing { context: String, key: String },
+    /// A key is present but malformed.
+    Invalid { context: String, msg: String },
+    /// A benchmark cell failed for a non-OOM reason.
+    Run { cell: String, msg: String },
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Toml(msg) => write!(f, "toml: {msg}"),
+            ScenarioError::Schema { found } => write!(
+                f,
+                "unsupported scenario schema {found} (this build reads {SCENARIO_SCHEMA})"
+            ),
+            ScenarioError::Missing { context, key } => {
+                write!(f, "{context}: missing required key `{key}`")
+            }
+            ScenarioError::Invalid { context, msg } => write!(f, "{context}: {msg}"),
+            ScenarioError::Run { cell, msg } => write!(f, "cell `{cell}` failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// Which benchmark family a sweep drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// GPT pre-training throughput/energy (Fig. 2 protocol).
+    Llm,
+    /// ResNet50 training (Fig. 3 protocol).
+    Resnet,
+    /// Single-device batch-inference latency/energy.
+    Inference,
+    /// Continuous-batching serving under an arrival trace.
+    Serve,
+    /// Multi-replica fleet serving with routing policies.
+    Fleet,
+}
+
+impl WorkloadKind {
+    pub const ALL: [WorkloadKind; 5] = [
+        WorkloadKind::Llm,
+        WorkloadKind::Resnet,
+        WorkloadKind::Inference,
+        WorkloadKind::Serve,
+        WorkloadKind::Fleet,
+    ];
+
+    pub fn tag(&self) -> &'static str {
+        match self {
+            WorkloadKind::Llm => "llm",
+            WorkloadKind::Resnet => "resnet",
+            WorkloadKind::Inference => "inference",
+            WorkloadKind::Serve => "serve",
+            WorkloadKind::Fleet => "fleet",
+        }
+    }
+
+    pub fn try_from_tag(tag: &str) -> Result<WorkloadKind, String> {
+        WorkloadKind::ALL
+            .iter()
+            .find(|w| w.tag() == tag)
+            .copied()
+            .ok_or_else(|| {
+                format!(
+                    "unknown workload `{tag}` (expected one of: {})",
+                    WorkloadKind::ALL
+                        .iter()
+                        .map(|w| w.tag())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            })
+    }
+}
+
+/// One `[[sweep]]` section: a workload crossed over device/precision and
+/// workload-specific axes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    pub workload: WorkloadKind,
+    pub systems: Vec<SystemId>,
+    /// Precision axis (inference/serve/fleet); empty means the default
+    /// tier. Rejected for llm/resnet, which have no precision knob.
+    pub precisions: Vec<Precision>,
+    /// Batch axis (llm: global batch; resnet: global batch; inference:
+    /// device batch). Tokens on the IPU LLM path, per §III-A1.
+    pub batches: Vec<u64>,
+    /// Arrival-rate axis, requests/s (serve/fleet).
+    pub rates: Vec<f64>,
+    /// Continuous-batching occupancy caps (serve/fleet).
+    pub caps: Vec<u32>,
+    /// Routing-policy axis (fleet only); empty means round-robin.
+    pub policies: Vec<RoutePolicy>,
+    /// Arrival process of the trace (serve/fleet).
+    pub arrival: ArrivalKind,
+    /// Fleet replica count.
+    pub replicas: u32,
+    /// Arrival-trace length override (serve/fleet).
+    pub requests: Option<u32>,
+    /// Trace-seed override; falls back to the scenario seed.
+    pub seed: Option<u64>,
+    /// LLM measurement-window override, seconds (Fig. 2 uses 3600).
+    pub duration_s: Option<f64>,
+}
+
+impl SweepSpec {
+    /// An empty sweep of `workload` with the same defaults the parser
+    /// applies (Poisson arrivals, 2 replicas, no axis values) — the
+    /// starting point for building a native twin of a TOML sweep.
+    pub fn new(workload: WorkloadKind) -> Self {
+        SweepSpec {
+            workload,
+            systems: Vec::new(),
+            precisions: Vec::new(),
+            batches: Vec::new(),
+            rates: Vec::new(),
+            caps: Vec::new(),
+            policies: Vec::new(),
+            arrival: ArrivalKind::Poisson,
+            replicas: 2,
+            requests: None,
+            seed: None,
+            duration_s: None,
+        }
+    }
+}
+
+/// A parsed, validated scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    pub name: String,
+    /// Default trace seed for serve/fleet sweeps without their own.
+    pub seed: u64,
+    pub sweeps: Vec<SweepSpec>,
+}
+
+fn invalid(context: &str, msg: impl Into<String>) -> ScenarioError {
+    ScenarioError::Invalid {
+        context: context.to_string(),
+        msg: msg.into(),
+    }
+}
+
+fn missing(context: &str, key: &str) -> ScenarioError {
+    ScenarioError::Missing {
+        context: context.to_string(),
+        key: key.to_string(),
+    }
+}
+
+/// Read a non-negative integer-valued number.
+fn as_u64(v: &TomlValue, context: &str, key: &str) -> Result<u64, ScenarioError> {
+    let n = v
+        .as_f64()
+        .ok_or_else(|| invalid(context, format!("`{key}` must be a number")))?;
+    if n < 0.0 || n.fract() != 0.0 || n > u64::MAX as f64 {
+        return Err(invalid(
+            context,
+            format!("`{key}` must be a non-negative integer, got {n}"),
+        ));
+    }
+    Ok(n as u64)
+}
+
+fn str_items<'a>(
+    v: &'a TomlValue,
+    context: &str,
+    key: &str,
+) -> Result<Vec<&'a str>, ScenarioError> {
+    v.as_str_array()
+        .ok_or_else(|| invalid(context, format!("`{key}` must be an array of strings")))
+}
+
+fn num_items(v: &TomlValue, context: &str, key: &str) -> Result<Vec<f64>, ScenarioError> {
+    v.as_f64_array()
+        .ok_or_else(|| invalid(context, format!("`{key}` must be an array of numbers")))
+}
+
+impl Scenario {
+    /// Parse and validate a scenario document.
+    pub fn parse(src: &str) -> Result<Scenario, ScenarioError> {
+        let doc = toml_lite::parse(src).map_err(|e| ScenarioError::Toml(e.to_string()))?;
+        let root = doc.as_table().expect("parse returns a table");
+        for (key, _) in root {
+            if !matches!(key.as_str(), "schema" | "name" | "seed" | "sweep") {
+                return Err(invalid("scenario", format!("unknown key `{key}`")));
+            }
+        }
+        let schema = doc
+            .get("schema")
+            .ok_or_else(|| missing("scenario", "schema"))?;
+        match schema.as_f64() {
+            Some(v) if v == SCENARIO_SCHEMA as f64 => {}
+            // A readable version in the error, not the TomlValue debug
+            // repr: `schema 2`, or the raw string for non-numbers.
+            Some(v) => {
+                return Err(ScenarioError::Schema {
+                    found: format!("{v}"),
+                })
+            }
+            None => {
+                return Err(ScenarioError::Schema {
+                    found: schema.as_str().unwrap_or("non-numeric").to_string(),
+                })
+            }
+        }
+        let name = doc
+            .get("name")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| missing("scenario", "name"))?
+            .to_string();
+        let seed = match doc.get("seed") {
+            Some(v) => as_u64(v, "scenario", "seed")?,
+            None => 42,
+        };
+        let sweep_tables = doc
+            .get("sweep")
+            .and_then(|v| v.as_array())
+            .ok_or_else(|| missing("scenario", "[[sweep]]"))?;
+        if sweep_tables.is_empty() {
+            return Err(invalid("scenario", "at least one [[sweep]] required"));
+        }
+        let mut sweeps = Vec::new();
+        for (i, table) in sweep_tables.iter().enumerate() {
+            sweeps.push(Self::parse_sweep(table, i)?);
+        }
+        Ok(Scenario { name, seed, sweeps })
+    }
+
+    fn parse_sweep(table: &TomlValue, index: usize) -> Result<SweepSpec, ScenarioError> {
+        let ctx = format!("sweep[{index}]");
+        let ctx = ctx.as_str();
+        let entries = table
+            .as_table()
+            .ok_or_else(|| invalid(ctx, "sweep must be a table"))?;
+        let workload_tag = table
+            .get("workload")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| missing(ctx, "workload"))?;
+        let workload = WorkloadKind::try_from_tag(workload_tag).map_err(|msg| invalid(ctx, msg))?;
+        let mut spec = SweepSpec::new(workload);
+
+        // Keys every workload accepts, plus the workload-specific axes;
+        // anything else is a typo, not a silently ignored knob.
+        let allowed: &[&str] = match workload {
+            WorkloadKind::Llm => &["workload", "systems", "batches", "duration_s"],
+            WorkloadKind::Resnet => &["workload", "systems", "batches"],
+            WorkloadKind::Inference => &["workload", "systems", "precisions", "batches"],
+            WorkloadKind::Serve => &[
+                "workload",
+                "systems",
+                "precisions",
+                "rates",
+                "caps",
+                "requests",
+                "seed",
+                "arrival",
+                "burst_factor",
+                "mean_burst",
+            ],
+            WorkloadKind::Fleet => &[
+                "workload",
+                "systems",
+                "precisions",
+                "rates",
+                "caps",
+                "policies",
+                "replicas",
+                "requests",
+                "seed",
+                "arrival",
+                "burst_factor",
+                "mean_burst",
+            ],
+        };
+        for (key, _) in entries {
+            if !allowed.contains(&key.as_str()) {
+                return Err(invalid(
+                    ctx,
+                    format!("unknown key `{key}` for workload `{workload_tag}`"),
+                ));
+            }
+        }
+
+        let systems = table
+            .get("systems")
+            .ok_or_else(|| missing(ctx, "systems"))?;
+        for tag in str_items(systems, ctx, "systems")? {
+            spec.systems
+                .push(SystemId::try_from_tag(tag).map_err(|e| invalid(ctx, e.to_string()))?);
+        }
+        if spec.systems.is_empty() {
+            return Err(invalid(ctx, "`systems` must not be empty"));
+        }
+        if let Some(v) = table.get("precisions") {
+            for tag in str_items(v, ctx, "precisions")? {
+                spec.precisions
+                    .push(Precision::try_from_tag(tag).map_err(|e| invalid(ctx, e))?);
+            }
+        }
+        if let Some(v) = table.get("batches") {
+            for n in num_items(v, ctx, "batches")? {
+                if n <= 0.0 || n.fract() != 0.0 {
+                    return Err(invalid(
+                        ctx,
+                        format!("batch sizes must be positive integers, got {n}"),
+                    ));
+                }
+                spec.batches.push(n as u64);
+            }
+        }
+        if let Some(v) = table.get("rates") {
+            for n in num_items(v, ctx, "rates")? {
+                // toml_lite rejects NaN/inf, so <= is a total check here.
+                if n <= 0.0 {
+                    return Err(invalid(ctx, format!("rates must be positive, got {n}")));
+                }
+                spec.rates.push(n);
+            }
+        }
+        if let Some(v) = table.get("caps") {
+            for n in num_items(v, ctx, "caps")? {
+                if n <= 0.0 || n.fract() != 0.0 || n > u32::MAX as f64 {
+                    return Err(invalid(
+                        ctx,
+                        format!("caps must be positive integers, got {n}"),
+                    ));
+                }
+                spec.caps.push(n as u32);
+            }
+        }
+        if let Some(v) = table.get("policies") {
+            for tag in str_items(v, ctx, "policies")? {
+                spec.policies
+                    .push(RoutePolicy::try_from_tag(tag).map_err(|e| invalid(ctx, e))?);
+            }
+        }
+        if let Some(v) = table.get("replicas") {
+            let n = as_u64(v, ctx, "replicas")?;
+            if n == 0 || n > u32::MAX as u64 {
+                return Err(invalid(ctx, "replicas must be a positive integer"));
+            }
+            spec.replicas = n as u32;
+        }
+        if let Some(v) = table.get("requests") {
+            let n = as_u64(v, ctx, "requests")?;
+            if n == 0 || n > u32::MAX as u64 {
+                return Err(invalid(ctx, "requests must be a positive integer"));
+            }
+            spec.requests = Some(n as u32);
+        }
+        if let Some(v) = table.get("seed") {
+            spec.seed = Some(as_u64(v, ctx, "seed")?);
+        }
+        if let Some(v) = table.get("duration_s") {
+            let n = v
+                .as_f64()
+                .ok_or_else(|| invalid(ctx, "`duration_s` must be a number"))?;
+            if n <= 0.0 {
+                return Err(invalid(ctx, "duration_s must be positive"));
+            }
+            spec.duration_s = Some(n);
+        }
+        match table.get("arrival").map(|v| v.as_str()) {
+            None => {}
+            Some(Some("poisson")) => spec.arrival = ArrivalKind::Poisson,
+            Some(Some("bursty")) => {
+                let burst_factor = match table.get("burst_factor") {
+                    Some(v) => v
+                        .as_f64()
+                        .ok_or_else(|| invalid(ctx, "`burst_factor` must be a number"))?,
+                    None => 8.0,
+                };
+                let mean_burst = match table.get("mean_burst") {
+                    Some(v) => v
+                        .as_f64()
+                        .ok_or_else(|| invalid(ctx, "`mean_burst` must be a number"))?,
+                    None => 6.0,
+                };
+                if burst_factor <= 1.0 || mean_burst < 1.0 {
+                    return Err(invalid(
+                        ctx,
+                        "bursty needs burst_factor > 1 and mean_burst >= 1",
+                    ));
+                }
+                spec.arrival = ArrivalKind::Bursty {
+                    burst_factor,
+                    mean_burst,
+                };
+            }
+            Some(other) => {
+                return Err(invalid(
+                    ctx,
+                    format!("arrival must be \"poisson\" or \"bursty\", got {other:?}"),
+                ))
+            }
+        }
+
+        // Per-workload required axes.
+        match workload {
+            WorkloadKind::Llm | WorkloadKind::Resnet | WorkloadKind::Inference => {
+                if spec.batches.is_empty() {
+                    return Err(missing(ctx, "batches"));
+                }
+            }
+            WorkloadKind::Serve | WorkloadKind::Fleet => {
+                if spec.rates.is_empty() {
+                    return Err(missing(ctx, "rates"));
+                }
+                if spec.caps.is_empty() {
+                    return Err(missing(ctx, "caps"));
+                }
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Load and parse a scenario file.
+    pub fn load(path: &Path) -> Result<Scenario, ScenarioError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ScenarioError::Toml(format!("{}: {e}", path.display())))?;
+        Self::parse(&text)
+    }
+
+    /// Deterministic cell expansion: sweeps in file order, within each
+    /// sweep systems × precisions × the workload's own axes, all in
+    /// declaration order.
+    fn cells(&self) -> Vec<Cell> {
+        let mut cells = Vec::new();
+        for spec in &self.sweeps {
+            let precisions: Vec<Option<Precision>> = if spec.precisions.is_empty() {
+                vec![None]
+            } else {
+                spec.precisions.iter().copied().map(Some).collect()
+            };
+            let seed = spec.seed.unwrap_or(self.seed);
+            match spec.workload {
+                WorkloadKind::Llm => {
+                    for &sys in &spec.systems {
+                        for &batch in &spec.batches {
+                            cells.push(Cell::Llm {
+                                sys,
+                                batch,
+                                duration_s: spec.duration_s,
+                            });
+                        }
+                    }
+                }
+                WorkloadKind::Resnet => {
+                    for &sys in &spec.systems {
+                        for &batch in &spec.batches {
+                            cells.push(Cell::Resnet { sys, batch });
+                        }
+                    }
+                }
+                WorkloadKind::Inference => {
+                    for &sys in &spec.systems {
+                        for &precision in &precisions {
+                            for &batch in &spec.batches {
+                                cells.push(Cell::Inference {
+                                    sys,
+                                    precision,
+                                    batch,
+                                });
+                            }
+                        }
+                    }
+                }
+                WorkloadKind::Serve => {
+                    for &sys in &spec.systems {
+                        for &precision in &precisions {
+                            for &rate in &spec.rates {
+                                for &cap in &spec.caps {
+                                    cells.push(Cell::Serve {
+                                        sys,
+                                        precision,
+                                        rate,
+                                        cap,
+                                        requests: spec.requests,
+                                        seed,
+                                        arrival: spec.arrival,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+                WorkloadKind::Fleet => {
+                    let policies: Vec<RoutePolicy> = if spec.policies.is_empty() {
+                        vec![RoutePolicy::RoundRobin]
+                    } else {
+                        spec.policies.clone()
+                    };
+                    for &sys in &spec.systems {
+                        for &policy in &policies {
+                            for &precision in &precisions {
+                                for &rate in &spec.rates {
+                                    for &cap in &spec.caps {
+                                        cells.push(Cell::Fleet {
+                                            sys,
+                                            policy,
+                                            precision,
+                                            replicas: spec.replicas,
+                                            rate,
+                                            cap,
+                                            requests: spec.requests,
+                                            seed,
+                                            arrival: spec.arrival,
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// Total cells the scenario expands to.
+    pub fn cell_count(&self) -> usize {
+        self.cells().len()
+    }
+
+    /// Execute every cell through the shared benchmark APIs and fold the
+    /// figures of merit into a metric map. Out-of-memory cells are
+    /// skipped (and listed); any other benchmark failure aborts.
+    pub fn run(&self, runner: SweepRunner) -> Result<ScenarioOutcome, ScenarioError> {
+        let cells = self.cells();
+        let results = runner.map(cells, |cell| {
+            let label = cell.label();
+            (label, cell.execute())
+        });
+        let mut metrics = Baseline::new(&self.name);
+        let mut skipped_oom = Vec::new();
+        let mut runs = 0u64;
+        for (label, result) in results {
+            match result {
+                Ok(CellOut::Metrics(pairs)) => {
+                    runs += 1;
+                    for (key, value) in pairs {
+                        metrics.record(key, value).map_err(|e| ScenarioError::Run {
+                            cell: label.clone(),
+                            msg: e.to_string(),
+                        })?;
+                    }
+                }
+                Ok(CellOut::Oom) => skipped_oom.push(label),
+                Err(msg) => return Err(ScenarioError::Run { cell: label, msg }),
+            }
+        }
+        let checksum = format!("{:016x}", checksum64(&metrics));
+        Ok(ScenarioOutcome {
+            name: self.name.clone(),
+            runs,
+            skipped_oom,
+            checksum,
+            metrics,
+        })
+    }
+
+    /// The native twin of `examples/scenario.toml`, constructed in Rust.
+    /// `caraml scenario --check` and the scenario integration tests
+    /// verify the parsed file and this constructor expand to the same
+    /// spec and produce bit-identical metrics.
+    pub fn example() -> Scenario {
+        let llm = SweepSpec {
+            systems: vec![SystemId::A100, SystemId::Gh200Jrdc],
+            batches: vec![512, 2048],
+            duration_s: Some(120.0),
+            ..SweepSpec::new(WorkloadKind::Llm)
+        };
+        let resnet = SweepSpec {
+            systems: vec![SystemId::A100, SystemId::Gh200Jrdc],
+            batches: vec![256, 1024],
+            ..SweepSpec::new(WorkloadKind::Resnet)
+        };
+        let inference = SweepSpec {
+            systems: vec![SystemId::H100Jrdc],
+            precisions: vec![Precision::Bf16, Precision::Int8],
+            batches: vec![4, 16],
+            ..SweepSpec::new(WorkloadKind::Inference)
+        };
+        let serve = SweepSpec {
+            systems: vec![SystemId::A100, SystemId::H100Jrdc],
+            precisions: vec![Precision::Bf16, Precision::Int8],
+            rates: vec![32.0],
+            caps: vec![16],
+            requests: Some(64),
+            seed: Some(7),
+            ..SweepSpec::new(WorkloadKind::Serve)
+        };
+        let fleet = SweepSpec {
+            systems: vec![SystemId::H100Jrdc],
+            precisions: vec![Precision::Int8],
+            policies: vec![RoutePolicy::RoundRobin, RoutePolicy::LeastKvLoad],
+            replicas: 2,
+            rates: vec![64.0],
+            caps: vec![16],
+            requests: Some(48),
+            ..SweepSpec::new(WorkloadKind::Fleet)
+        };
+        Scenario {
+            name: "quickstart".to_string(),
+            seed: 42,
+            sweeps: vec![llm, resnet, inference, serve, fleet],
+        }
+    }
+}
+
+/// One executable unit of a scenario.
+#[derive(Debug, Clone)]
+enum Cell {
+    Llm {
+        sys: SystemId,
+        batch: u64,
+        duration_s: Option<f64>,
+    },
+    Resnet {
+        sys: SystemId,
+        batch: u64,
+    },
+    Inference {
+        sys: SystemId,
+        precision: Option<Precision>,
+        batch: u64,
+    },
+    Serve {
+        sys: SystemId,
+        precision: Option<Precision>,
+        rate: f64,
+        cap: u32,
+        requests: Option<u32>,
+        seed: u64,
+        arrival: ArrivalKind,
+    },
+    Fleet {
+        sys: SystemId,
+        policy: RoutePolicy,
+        precision: Option<Precision>,
+        replicas: u32,
+        rate: f64,
+        cap: u32,
+        requests: Option<u32>,
+        seed: u64,
+        arrival: ArrivalKind,
+    },
+}
+
+enum CellOut {
+    Metrics(Vec<(String, f64)>),
+    Oom,
+}
+
+fn prec_tag(precision: Option<Precision>) -> &'static str {
+    precision.unwrap_or_default().tag()
+}
+
+fn is_ipu(sys: SystemId) -> bool {
+    NodeConfig::shared(sys).device.kind == DeviceKind::Ipu
+}
+
+impl Cell {
+    /// Human-readable identity, also the metric-key prefix.
+    fn label(&self) -> String {
+        match self {
+            Cell::Llm { sys, batch, .. } => format!("llm/{}/b{batch}", sys.jube_tag()),
+            Cell::Resnet { sys, batch } => format!("resnet50/{}/b{batch}", sys.jube_tag()),
+            Cell::Inference {
+                sys,
+                precision,
+                batch,
+            } => format!(
+                "inference/{}/{}/b{batch}",
+                sys.jube_tag(),
+                prec_tag(*precision)
+            ),
+            Cell::Serve {
+                sys,
+                precision,
+                rate,
+                cap,
+                ..
+            } => format!(
+                "serve/{}/{}/r{rate}/c{cap}",
+                sys.jube_tag(),
+                prec_tag(*precision)
+            ),
+            Cell::Fleet {
+                sys,
+                policy,
+                precision,
+                rate,
+                cap,
+                ..
+            } => format!(
+                "fleet/{}/{}/{}/r{rate}/c{cap}",
+                sys.jube_tag(),
+                policy.tag(),
+                prec_tag(*precision)
+            ),
+        }
+    }
+
+    /// Run the cell through the same benchmark entry points native
+    /// callers use. OOM is a skippable outcome, not an error.
+    fn execute(&self) -> Result<CellOut, String> {
+        let prefix = self.label();
+        let mut fold = Baseline::new(&prefix);
+        let oom_or = |e: caraml_accel::AccelError| -> Result<CellOut, String> {
+            if e.is_oom() {
+                Ok(CellOut::Oom)
+            } else {
+                Err(e.to_string())
+            }
+        };
+        match self {
+            Cell::Llm {
+                sys,
+                batch,
+                duration_s,
+            } => {
+                let run = if is_ipu(*sys) {
+                    match LlmBenchmark::run_ipu(*batch, 1.0) {
+                        Ok(run) => run,
+                        Err(e) => return oom_or(e),
+                    }
+                } else {
+                    let mut bench = LlmBenchmark::fig2(*sys);
+                    if let Some(d) = duration_s {
+                        bench.duration_s = *d;
+                    }
+                    match bench.run(*batch) {
+                        Ok(run) => run,
+                        Err(e) => return oom_or(e),
+                    }
+                };
+                fold.record_llm(&prefix, &run.fom)
+                    .map_err(|e| e.to_string())?;
+            }
+            Cell::Resnet { sys, batch } => {
+                let run = if is_ipu(*sys) {
+                    match ResnetBenchmark::run_ipu(*batch, 1.0) {
+                        Ok(run) => run,
+                        Err(e) => return oom_or(e),
+                    }
+                } else {
+                    match ResnetBenchmark::fig3(*sys).run(*batch) {
+                        Ok(run) => run,
+                        Err(e) => return oom_or(e),
+                    }
+                };
+                fold.record_cv(&prefix, &run.fom)
+                    .map_err(|e| e.to_string())?;
+            }
+            Cell::Inference {
+                sys,
+                precision,
+                batch,
+            } => {
+                let bench =
+                    InferenceBenchmark::new(*sys).with_precision(precision.unwrap_or_default());
+                let fom = match bench.run(*batch as u32) {
+                    Ok(fom) => fom,
+                    Err(e) => return oom_or(e),
+                };
+                let rec = |b: &mut Baseline, key: &str, v: f64| {
+                    b.record(format!("{prefix}/{key}"), v)
+                        .map_err(|e| e.to_string())
+                };
+                rec(&mut fold, "ttft_s", fom.ttft_s)?;
+                rec(&mut fold, "decode_tokens_per_s", fom.decode_tokens_per_s)?;
+                rec(&mut fold, "wh_per_ktoken", fom.energy_wh_per_ktoken)?;
+            }
+            Cell::Serve {
+                sys,
+                precision,
+                rate,
+                cap,
+                requests,
+                seed,
+                arrival,
+            } => {
+                let mut bench =
+                    ServeBenchmark::new(*sys).with_precision(precision.unwrap_or_default());
+                if let Some(n) = requests {
+                    bench.config.num_requests = *n;
+                }
+                bench.config.seed = *seed;
+                bench.config.arrival = *arrival;
+                let point = ServePoint {
+                    rate_per_s: *rate,
+                    batch_cap: *cap,
+                };
+                let fom = match bench.run(point) {
+                    Ok(fom) => fom,
+                    Err(e) => return oom_or(e),
+                };
+                fold.record_serve(&prefix, &fom)
+                    .map_err(|e| e.to_string())?;
+            }
+            Cell::Fleet {
+                sys,
+                policy,
+                precision,
+                replicas,
+                rate,
+                cap,
+                requests,
+                seed,
+                arrival,
+            } => {
+                let mut bench = FleetBenchmark::new(*sys)
+                    .with_policy(*policy)
+                    .with_replicas(*replicas)
+                    .with_precision(precision.unwrap_or_default());
+                if let Some(n) = requests {
+                    bench.config.serve.num_requests = *n;
+                }
+                bench.config.serve.seed = *seed;
+                bench.config.serve.arrival = *arrival;
+                let point = ServePoint {
+                    rate_per_s: *rate,
+                    batch_cap: *cap,
+                };
+                let fom = match bench.run(point) {
+                    Ok(fom) => fom,
+                    Err(e) => return oom_or(e),
+                };
+                fold.record_fleet(&prefix, &fom)
+                    .map_err(|e| e.to_string())?;
+            }
+        }
+        Ok(CellOut::Metrics(fold.metrics.into_iter().collect()))
+    }
+}
+
+/// FNV-1a 64 digest over the sorted `(key, f64::to_bits)` pairs — the
+/// cross-engine bit-identity witness. Any rounding difference between the
+/// scenario path and a native sweep flips the checksum.
+pub fn checksum64(metrics: &Baseline) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    let mut eat = |byte: u8| {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(PRIME);
+    };
+    for (key, value) in &metrics.metrics {
+        for &b in key.as_bytes() {
+            eat(b);
+        }
+        eat(0);
+        for b in value.to_bits().to_le_bytes() {
+            eat(b);
+        }
+        eat(0xff);
+    }
+    hash
+}
+
+/// The result of one scenario run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioOutcome {
+    pub name: String,
+    /// Cells that completed.
+    pub runs: u64,
+    /// Cells skipped because the configuration does not fit device
+    /// memory (expected for large batches on small-HBM systems).
+    pub skipped_oom: Vec<String>,
+    /// Hex FNV-1a 64 over the metric map ([`checksum64`]).
+    pub checksum: String,
+    pub metrics: Baseline,
+}
+
+/// The precision segment embedded in a metric key by the scenario key
+/// convention, or `-` when the workload has no precision axis.
+fn precision_of_key(key: &str) -> &'static str {
+    for seg in key.split('/') {
+        for p in Precision::ALL {
+            if seg == p.tag() {
+                return p.tag();
+            }
+        }
+    }
+    "-"
+}
+
+impl ScenarioOutcome {
+    /// Convert the run into history-store records (one per metric),
+    /// stamped with a generation, code label, and SIMD arm.
+    pub fn history_records(&self, generation: u64, label: &str, arm: &str) -> Vec<HistoryRecord> {
+        self.metrics
+            .metrics
+            .iter()
+            .map(|(key, &value)| {
+                HistoryRecord::new(
+                    generation,
+                    label,
+                    &self.name,
+                    arm,
+                    precision_of_key(key),
+                    key,
+                    value,
+                )
+                .expect("scenario metrics are finite")
+            })
+            .collect()
+    }
+}
+
+/// Convenience: validation-level equality error used by `--check`.
+pub fn check_against_native(parsed: &Scenario, native: &Scenario) -> Result<(), ContinuousError> {
+    if parsed != native {
+        return Err(ContinuousError::Parse {
+            line: 0,
+            msg: format!(
+                "parsed scenario diverges from the native twin: {} sweeps vs {}",
+                parsed.sweeps.len(),
+                native.sweeps.len()
+            ),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINI: &str = r#"
+schema = 1
+name = "mini"
+seed = 9
+
+[[sweep]]
+workload = "serve"
+systems = ["A100"]
+precisions = ["bf16", "int8"]
+rates = [32.0]
+caps = [16]
+requests = 48
+"#;
+
+    #[test]
+    fn parses_a_minimal_scenario() {
+        let sc = Scenario::parse(MINI).unwrap();
+        assert_eq!(sc.name, "mini");
+        assert_eq!(sc.seed, 9);
+        assert_eq!(sc.sweeps.len(), 1);
+        let sweep = &sc.sweeps[0];
+        assert_eq!(sweep.workload, WorkloadKind::Serve);
+        assert_eq!(sweep.systems, vec![SystemId::A100]);
+        assert_eq!(sweep.precisions, vec![Precision::Bf16, Precision::Int8]);
+        assert_eq!(sweep.requests, Some(48));
+        assert_eq!(sc.cell_count(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_documents() {
+        // Wrong schema version.
+        let err = Scenario::parse("schema = 2\nname = \"x\"\n[[sweep]]\nworkload = \"llm\"\nsystems = [\"A100\"]\nbatches = [8]").unwrap_err();
+        assert!(matches!(err, ScenarioError::Schema { .. }), "{err}");
+        // Unknown workload.
+        let err = Scenario::parse(
+            "schema = 1\nname = \"x\"\n[[sweep]]\nworkload = \"nope\"\nsystems = [\"A100\"]",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown workload"), "{err}");
+        // Typo'd key is rejected, not silently ignored.
+        let err = Scenario::parse(
+            "schema = 1\nname = \"x\"\n[[sweep]]\nworkload = \"llm\"\nsystems = [\"A100\"]\nbatches = [8]\nratez = [1.0]",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown key `ratez`"), "{err}");
+        // Missing required axis.
+        let err = Scenario::parse(
+            "schema = 1\nname = \"x\"\n[[sweep]]\nworkload = \"serve\"\nsystems = [\"A100\"]\ncaps = [16]",
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::Missing { ref key, .. } if key == "rates"),
+            "{err}"
+        );
+        // Unknown device tag.
+        let err = Scenario::parse(
+            "schema = 1\nname = \"x\"\n[[sweep]]\nworkload = \"llm\"\nsystems = [\"B200\"]\nbatches = [8]",
+        )
+        .unwrap_err();
+        assert!(matches!(err, ScenarioError::Invalid { .. }), "{err}");
+        // Fractional batch.
+        let err = Scenario::parse(
+            "schema = 1\nname = \"x\"\n[[sweep]]\nworkload = \"llm\"\nsystems = [\"A100\"]\nbatches = [8.5]",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("positive integers"), "{err}");
+    }
+
+    #[test]
+    fn scenario_run_matches_hand_built_serve_sweep_bitwise() {
+        let sc = Scenario::parse(MINI).unwrap();
+        let outcome = sc.run(SweepRunner::serial()).unwrap();
+        assert_eq!(outcome.runs, 2);
+        assert!(outcome.skipped_oom.is_empty());
+
+        // The equivalent native sweep, constructed directly against the
+        // serving API.
+        let mut native = Baseline::new("mini");
+        for precision in [Precision::Bf16, Precision::Int8] {
+            let mut bench = ServeBenchmark::new(SystemId::A100).with_precision(precision);
+            bench.config.num_requests = 48;
+            bench.config.seed = 9;
+            let fom = bench
+                .run(ServePoint {
+                    rate_per_s: 32.0,
+                    batch_cap: 16,
+                })
+                .unwrap();
+            native
+                .record_serve(&format!("serve/A100/{}/r32/c16", precision.tag()), &fom)
+                .unwrap();
+        }
+        assert_eq!(outcome.metrics.metrics, native.metrics, "bit-identical");
+        assert_eq!(outcome.checksum, format!("{:016x}", checksum64(&native)));
+    }
+
+    #[test]
+    fn serial_and_parallel_checksums_agree() {
+        let sc = Scenario::parse(MINI).unwrap();
+        let serial = sc.run(SweepRunner::serial()).unwrap();
+        let parallel = sc.run(SweepRunner::parallel()).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn checksum_is_sensitive_to_any_bit() {
+        let mut a = Baseline::new("x");
+        a.record("k/tokens_per_s", 1.0).unwrap();
+        let mut b = Baseline::new("x");
+        b.record("k/tokens_per_s", 1.0 + f64::EPSILON).unwrap();
+        assert_ne!(checksum64(&a), checksum64(&b));
+    }
+
+    #[test]
+    fn oom_cells_are_skipped_not_fatal() {
+        // Batch 65536 on A100 ResNet50 does not fit; the scenario must
+        // skip the cell and keep the rest.
+        let sc = Scenario::parse(
+            "schema = 1\nname = \"oom\"\n[[sweep]]\nworkload = \"resnet\"\nsystems = [\"A100\"]\nbatches = [256, 65536]",
+        )
+        .unwrap();
+        let outcome = sc.run(SweepRunner::serial()).unwrap();
+        assert_eq!(outcome.runs, 1);
+        assert_eq!(
+            outcome.skipped_oom,
+            vec!["resnet50/A100/b65536".to_string()]
+        );
+    }
+
+    #[test]
+    fn history_records_carry_precision_and_direction() {
+        let sc = Scenario::parse(MINI).unwrap();
+        let outcome = sc.run(SweepRunner::serial()).unwrap();
+        let records = outcome.history_records(3, "rev-x", "avx2");
+        assert_eq!(records.len(), outcome.metrics.metrics.len());
+        for rec in &records {
+            assert_eq!(rec.generation, 3);
+            assert_eq!(rec.scenario, "mini");
+            assert_eq!(rec.arm, "avx2");
+            assert!(
+                rec.precision == "bf16" || rec.precision == "int8",
+                "{rec:?}"
+            );
+        }
+        let ttft = records
+            .iter()
+            .find(|r| r.key.ends_with("p99_ttft_s"))
+            .unwrap();
+        assert_eq!(ttft.direction, crate::continuous::Direction::LowerIsBetter);
+    }
+
+    #[test]
+    fn example_twin_round_trips_through_toml() {
+        // The committed examples/scenario.toml must parse to exactly the
+        // native twin — this is the spec half of `--check`; the
+        // integration test covers the metric half.
+        let text = std::fs::read_to_string(
+            Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/scenario.toml"),
+        )
+        .expect("examples/scenario.toml exists");
+        let parsed = Scenario::parse(&text).unwrap();
+        assert_eq!(parsed, Scenario::example());
+        check_against_native(&parsed, &Scenario::example()).unwrap();
+    }
+}

@@ -1,0 +1,461 @@
+//! Trend analysis over the continuous-benchmarking history store.
+//!
+//! The service half of §VI's planned continuous benchmarking: given the
+//! append-only `results.jsonl` trajectory ([`crate::continuous::History`]),
+//! compute per-metric robust statistics and flag two failure shapes the
+//! simple two-generation gate cannot see:
+//!
+//! * **anomalies** — points far from the rolling median in robust-z
+//!   terms (median/MAD, σ = 1.4826 × MAD), catching one-off spikes even
+//!   when the adjacent generation looks fine;
+//! * **step changes** — a sustained shift in the series level, found by
+//!   the split point maximising the relative difference between segment
+//!   medians, catching slow-burn regressions that each stay inside the
+//!   per-generation tolerance.
+//!
+//! Both are direction-aware: a downward step in `p99_ttft_s` is an
+//! improvement, the same step in `tokens_per_s` is a regression.
+//! Deterministic simulators produce windows with MAD = 0, so the robust
+//! σ is floored at a small fraction of the median
+//! ([`TrendConfig::noise_floor_rel`]) — otherwise any nonzero movement
+//! would have infinite z.
+
+use crate::continuous::{Direction, History, HistoryRecord, Verdict};
+use serde::{Deserialize, Serialize};
+
+/// Tunables of the trend analysis; [`TrendConfig::default`] matches the
+/// values documented in DESIGN.md §4j.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrendConfig {
+    /// Rolling window length (points preceding the scored point).
+    pub window: usize,
+    /// Robust-z threshold above which a point is an anomaly.
+    pub anomaly_z: f64,
+    /// Minimum |relative change| between segment medians to call a step.
+    pub step_rel: f64,
+    /// Relative band treated as noise by the latest-vs-previous verdict.
+    pub tolerance: f64,
+    /// Minimum points before anomalies/steps are scored at all.
+    pub min_points: usize,
+    /// Floor on the robust σ, as a fraction of |rolling median|, so
+    /// MAD = 0 windows (deterministic sims) don't make every wiggle an
+    /// anomaly.
+    pub noise_floor_rel: f64,
+}
+
+impl Default for TrendConfig {
+    fn default() -> Self {
+        TrendConfig {
+            window: 5,
+            anomaly_z: 3.5,
+            step_rel: 0.10,
+            tolerance: 0.05,
+            min_points: 3,
+            noise_floor_rel: 1e-3,
+        }
+    }
+}
+
+/// A point flagged as far outside its rolling window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Anomaly {
+    /// Index into the series' point vector.
+    pub index: usize,
+    pub generation: u64,
+    pub value: f64,
+    /// |value − rolling median| / σ, σ = max(1.4826·MAD, floor).
+    pub robust_z: f64,
+    /// Whether the excursion is in the metric's good direction.
+    pub improvement: bool,
+}
+
+/// A sustained level shift in a series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepChange {
+    /// First index of the *after* segment.
+    pub index: usize,
+    pub generation: u64,
+    pub before_median: f64,
+    pub after_median: f64,
+    /// (after − before) / |before|.
+    pub rel_change: f64,
+    /// Whether the shift is in the metric's good direction.
+    pub improvement: bool,
+}
+
+/// One history point of a series, as carried into the trend report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrendPoint {
+    pub generation: u64,
+    pub label: String,
+    pub value: f64,
+}
+
+/// The analysed trajectory of one metric series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricTrend {
+    /// Series label (`key`, or `key@arm`).
+    pub key: String,
+    pub direction: Direction,
+    pub points: Vec<TrendPoint>,
+    pub first: f64,
+    pub latest: f64,
+    /// Median over the whole series.
+    pub median: f64,
+    /// MAD over the whole series.
+    pub mad: f64,
+    /// Latest vs previous point, `None` with < 2 points or an undefined
+    /// ratio (previous value 0 with nonzero latest).
+    pub latest_rel_delta: Option<f64>,
+    /// Direction-aware verdict of the latest movement.
+    pub latest_verdict: Verdict,
+    pub anomalies: Vec<Anomaly>,
+    pub step: Option<StepChange>,
+    /// Min-max normalised unicode sparkline of the series.
+    pub sparkline: String,
+}
+
+/// The full trend report over a history.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrendReport {
+    pub generations: u64,
+    pub metrics: Vec<MetricTrend>,
+}
+
+impl TrendReport {
+    /// Series whose latest movement regressed, or whose strongest step
+    /// change moved against the metric's direction.
+    pub fn regressions(&self) -> Vec<&MetricTrend> {
+        self.metrics
+            .iter()
+            .filter(|m| {
+                m.latest_verdict == Verdict::Regressed
+                    || m.step.as_ref().is_some_and(|s| !s.improvement)
+            })
+            .collect()
+    }
+
+    /// True when no series regressed ([`TrendReport::regressions`]).
+    pub fn healthy(&self) -> bool {
+        self.regressions().is_empty()
+    }
+}
+
+fn median_of(sorted: &[f64]) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+/// Median of an unsorted slice.
+pub fn median(values: &[f64]) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    median_of(&sorted)
+}
+
+/// Median absolute deviation about the median.
+pub fn mad(values: &[f64]) -> f64 {
+    let med = median(values);
+    let deviations: Vec<f64> = values.iter().map(|v| (v - med).abs()).collect();
+    median(&deviations)
+}
+
+/// Consistency constant making 1.4826 × MAD estimate σ for normal data.
+const MAD_SIGMA: f64 = 1.4826;
+
+/// Robust σ of a window: scaled MAD, floored so zero-spread windows
+/// don't produce infinite z-scores.
+fn robust_sigma(window: &[f64], cfg: &TrendConfig) -> f64 {
+    let med = median(window);
+    let sigma = MAD_SIGMA * mad(window);
+    let floor = (med.abs() * cfg.noise_floor_rel).max(f64::EPSILON);
+    sigma.max(floor)
+}
+
+/// Rolling median/MAD anomaly scan: each point (from `min_points` on) is
+/// scored against the window of up to `cfg.window` points before it.
+fn find_anomalies(points: &[TrendPoint], direction: Direction, cfg: &TrendConfig) -> Vec<Anomaly> {
+    let mut anomalies = Vec::new();
+    for i in cfg.min_points.max(1)..points.len() {
+        let start = i.saturating_sub(cfg.window);
+        let window: Vec<f64> = points[start..i].iter().map(|p| p.value).collect();
+        let med = median(&window);
+        let sigma = robust_sigma(&window, cfg);
+        let z = (points[i].value - med).abs() / sigma;
+        if z > cfg.anomaly_z {
+            anomalies.push(Anomaly {
+                index: i,
+                generation: points[i].generation,
+                value: points[i].value,
+                robust_z: z,
+                improvement: direction.is_improvement(med, points[i].value),
+            });
+        }
+    }
+    anomalies
+}
+
+/// Step-change scan: try every split with ≥2 points per side and keep
+/// the one maximising |relative median difference|, if it clears
+/// `cfg.step_rel`.
+fn find_step(points: &[TrendPoint], direction: Direction, cfg: &TrendConfig) -> Option<StepChange> {
+    if points.len() < 4 {
+        return None;
+    }
+    let values: Vec<f64> = points.iter().map(|p| p.value).collect();
+    let mut best: Option<StepChange> = None;
+    for split in 2..=(values.len() - 2) {
+        let before = median(&values[..split]);
+        let after = median(&values[split..]);
+        if before == 0.0 {
+            continue;
+        }
+        let rel = (after - before) / before.abs();
+        if rel.abs() < cfg.step_rel {
+            continue;
+        }
+        if best.as_ref().is_none_or(|b| rel.abs() > b.rel_change.abs()) {
+            best = Some(StepChange {
+                index: split,
+                generation: points[split].generation,
+                before_median: before,
+                after_median: after,
+                rel_change: rel,
+                improvement: direction.is_improvement(before, after),
+            });
+        }
+    }
+    best
+}
+
+const SPARK_LEVELS: &[char] = &['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Min-max normalised unicode sparkline; a flat series renders as a run
+/// of mid-level blocks.
+pub fn sparkline(values: &[f64]) -> String {
+    if values.is_empty() {
+        return String::new();
+    }
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = max - min;
+    values
+        .iter()
+        .map(|v| {
+            if span <= 0.0 {
+                SPARK_LEVELS[3]
+            } else {
+                let t = ((v - min) / span * (SPARK_LEVELS.len() - 1) as f64).round() as usize;
+                SPARK_LEVELS[t.min(SPARK_LEVELS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+/// Analyse every series of a history.
+pub fn analyze(history: &History, cfg: &TrendConfig) -> TrendReport {
+    let generations = history
+        .records
+        .iter()
+        .map(|r| r.generation + 1)
+        .max()
+        .unwrap_or(0);
+    let mut metrics = Vec::new();
+    for (key, recs) in history.series() {
+        metrics.push(analyze_series(&key, &recs, cfg));
+    }
+    TrendReport {
+        generations,
+        metrics,
+    }
+}
+
+fn analyze_series(key: &str, recs: &[&HistoryRecord], cfg: &TrendConfig) -> MetricTrend {
+    let direction = recs
+        .first()
+        .map(|r| r.direction)
+        .unwrap_or(Direction::HigherIsBetter);
+    let points: Vec<TrendPoint> = recs
+        .iter()
+        .map(|r| TrendPoint {
+            generation: r.generation,
+            label: r.label.clone(),
+            value: r.value,
+        })
+        .collect();
+    let values: Vec<f64> = points.iter().map(|p| p.value).collect();
+    let first = values.first().copied().unwrap_or(0.0);
+    let latest = values.last().copied().unwrap_or(0.0);
+    let (latest_rel_delta, latest_verdict) = if values.len() < 2 {
+        (None, Verdict::New)
+    } else {
+        let prev = values[values.len() - 2];
+        if prev == 0.0 {
+            if latest == 0.0 {
+                (Some(0.0), Verdict::Stable)
+            } else if direction.is_improvement(prev, latest) {
+                (None, Verdict::Improved)
+            } else {
+                (None, Verdict::Regressed)
+            }
+        } else {
+            let rel = (latest - prev) / prev.abs();
+            let verdict = if rel.abs() <= cfg.tolerance {
+                Verdict::Stable
+            } else if direction.is_improvement(prev, latest) {
+                Verdict::Improved
+            } else {
+                Verdict::Regressed
+            };
+            (Some(rel), verdict)
+        }
+    };
+    MetricTrend {
+        key: key.to_string(),
+        direction,
+        median: median(&values),
+        mad: mad(&values),
+        anomalies: find_anomalies(&points, direction, cfg),
+        step: find_step(&points, direction, cfg),
+        sparkline: sparkline(&values),
+        points,
+        first,
+        latest,
+        latest_rel_delta,
+        latest_verdict,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::continuous::History;
+
+    fn history_of(key: &str, values: &[f64]) -> History {
+        let mut history = History::default();
+        for (g, &v) in values.iter().enumerate() {
+            history.records.push(
+                HistoryRecord::new(g as u64, format!("rev{g}"), "test", "default", "-", key, v)
+                    .unwrap(),
+            );
+        }
+        history
+    }
+
+    #[test]
+    fn median_and_mad() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+        assert_eq!(mad(&[1.0, 1.0, 2.0, 2.0, 4.0]), 1.0);
+        assert_eq!(mad(&[5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn sparkline_shapes() {
+        assert_eq!(sparkline(&[1.0, 1.0, 1.0]), "▄▄▄");
+        let line = sparkline(&[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(line.chars().count(), 4);
+        assert!(line.starts_with('▁') && line.ends_with('█'));
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn flat_series_is_healthy() {
+        let history = history_of("x/tokens_per_s", &[100.0, 100.0, 100.0, 100.0, 100.0]);
+        let report = analyze(&history, &TrendConfig::default());
+        assert_eq!(report.generations, 5);
+        let m = &report.metrics[0];
+        assert!(m.anomalies.is_empty());
+        assert!(m.step.is_none());
+        assert_eq!(m.latest_verdict, Verdict::Stable);
+        assert!(report.healthy());
+    }
+
+    #[test]
+    fn spike_in_latency_is_a_bad_anomaly() {
+        // MAD of the window is 0 (deterministic sim); the noise floor
+        // keeps σ finite and the spike still scores as an anomaly.
+        let history = history_of(
+            "serve/p99_ttft_s",
+            &[0.10, 0.10, 0.10, 0.10, 0.10, 0.25, 0.10],
+        );
+        let report = analyze(&history, &TrendConfig::default());
+        let m = &report.metrics[0];
+        assert_eq!(m.anomalies.len(), 1, "{:?}", m.anomalies);
+        assert_eq!(m.anomalies[0].index, 5);
+        assert!(!m.anomalies[0].improvement, "latency spike is not good");
+    }
+
+    #[test]
+    fn throughput_spike_upward_is_a_good_anomaly() {
+        let history = history_of(
+            "x/tokens_per_s",
+            &[100.0, 100.0, 100.0, 100.0, 100.0, 180.0],
+        );
+        let report = analyze(&history, &TrendConfig::default());
+        let m = &report.metrics[0];
+        assert_eq!(m.anomalies.len(), 1);
+        assert!(m.anomalies[0].improvement);
+    }
+
+    #[test]
+    fn sustained_throughput_drop_is_a_regressive_step() {
+        let history = history_of(
+            "x/tokens_per_s",
+            &[100.0, 101.0, 99.0, 70.0, 71.0, 69.0, 70.0],
+        );
+        let report = analyze(&history, &TrendConfig::default());
+        let m = &report.metrics[0];
+        let step = m.step.as_ref().expect("step detected");
+        // The maximizing split lands on the change boundary (±1 point:
+        // odd/even medians make adjacent splits near-equivalent).
+        assert!(
+            (2..=3).contains(&step.index),
+            "split at {} not at the level change",
+            step.index
+        );
+        assert!(step.rel_change < -0.10);
+        assert!(!step.improvement);
+        assert!(!report.healthy());
+    }
+
+    #[test]
+    fn sustained_latency_drop_is_an_improving_step() {
+        let history = history_of("serve/p99_ttft_s", &[0.20, 0.21, 0.20, 0.12, 0.12, 0.12]);
+        let report = analyze(&history, &TrendConfig::default());
+        let m = &report.metrics[0];
+        let step = m.step.as_ref().expect("step detected");
+        assert!(step.improvement, "{step:?}");
+        assert!(report.healthy());
+    }
+
+    #[test]
+    fn latest_verdict_is_direction_aware() {
+        let history = history_of("serve/p99_ttft_s", &[0.10, 0.10, 0.16]);
+        let report = analyze(&history, &TrendConfig::default());
+        assert_eq!(report.metrics[0].latest_verdict, Verdict::Regressed);
+        assert!(!report.healthy());
+
+        let history = history_of("x/tokens_per_s", &[100.0, 100.0, 160.0]);
+        let report = analyze(&history, &TrendConfig::default());
+        assert_eq!(report.metrics[0].latest_verdict, Verdict::Improved);
+    }
+
+    #[test]
+    fn short_series_do_not_panic_or_flag() {
+        let history = history_of("x/tokens_per_s", &[100.0]);
+        let report = analyze(&history, &TrendConfig::default());
+        let m = &report.metrics[0];
+        assert_eq!(m.latest_verdict, Verdict::New);
+        assert_eq!(m.latest_rel_delta, None);
+        assert!(m.anomalies.is_empty() && m.step.is_none());
+        let empty = analyze(&History::default(), &TrendConfig::default());
+        assert_eq!(empty.generations, 0);
+        assert!(empty.metrics.is_empty());
+    }
+}

@@ -326,3 +326,151 @@ fn no_args_prints_usage() {
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
 }
+
+// ---- scenario / trend subcommands ----
+
+/// A serve-only scenario small enough for a debug-build CLI test.
+const CLI_SCENARIO: &str = r#"
+schema = 1
+name = "cli-mini"
+seed = 3
+
+[[sweep]]
+workload = "serve"
+systems = ["A100"]
+precisions = ["int8"]
+rates = [24.0]
+caps = [8]
+requests = 24
+"#;
+
+fn cli_temp(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("caraml-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn scenario_runs_a_toml_file_and_renders_metrics() {
+    let file = cli_temp("mini.toml");
+    std::fs::write(&file, CLI_SCENARIO).unwrap();
+    let out = caraml().args(["scenario"]).arg(&file).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cli-mini"));
+    assert!(stdout.contains("p99_ttft_s"));
+    assert!(stdout.contains("checksum"));
+    std::fs::remove_file(&file).unwrap();
+}
+
+#[test]
+fn scenario_rejects_a_bad_file_with_a_parse_error() {
+    let file = cli_temp("bad.toml");
+    std::fs::write(
+        &file,
+        "schema = 1\nname = \"x\"\n[[sweep]]\nworkload = \"warp\"\n",
+    )
+    .unwrap();
+    let out = caraml().args(["scenario"]).arg(&file).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown workload"), "stderr: {stderr}");
+    std::fs::remove_file(&file).unwrap();
+}
+
+#[test]
+fn scenario_history_feeds_trend_and_the_gate_catches_a_regression() {
+    use caraml::continuous::{History, HistoryRecord};
+
+    let file = cli_temp("gate.toml");
+    let jsonl = cli_temp("gate.jsonl");
+    std::fs::write(&file, CLI_SCENARIO).unwrap();
+    let _ = std::fs::remove_file(&jsonl);
+
+    // Two identical generations via the CLI.
+    for label in ["gen-a", "gen-b"] {
+        let out = caraml()
+            .args(["scenario"])
+            .arg(&file)
+            .arg("--history")
+            .arg(&jsonl)
+            .args(["--label", label])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(String::from_utf8_lossy(&out.stdout).contains("appended"));
+    }
+
+    let out = caraml()
+        .args(["trend", "--history"])
+        .arg(&jsonl)
+        .arg("--gate")
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("2 generations"), "stdout: {stdout}");
+    assert!(stdout.contains("gate: PASS"), "stdout: {stdout}");
+
+    // Replay generation 1 as generation 2 with p99 TTFT worsened by
+    // +50%: the direction-aware gate must now fail the trend command.
+    let history = History::load(&jsonl).unwrap();
+    let worsened: Vec<HistoryRecord> = history
+        .records
+        .iter()
+        .filter(|r| r.generation == 1)
+        .map(|r| {
+            let value = if r.key.ends_with("p99_ttft_s") {
+                r.value * 1.5
+            } else {
+                r.value
+            };
+            HistoryRecord::new(2, "gen-c", &r.scenario, &r.arm, &r.precision, &r.key, value)
+                .unwrap()
+        })
+        .collect();
+    History::append_to(&jsonl, &worsened).unwrap();
+
+    let out = caraml()
+        .args(["trend", "--history"])
+        .arg(&jsonl)
+        .arg("--gate")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("gate: FAIL"), "stdout: {stdout}");
+    assert!(stdout.contains("Regressed"), "stdout: {stdout}");
+
+    std::fs::remove_file(&file).unwrap();
+    std::fs::remove_file(&jsonl).unwrap();
+}
+
+#[test]
+fn trend_on_a_missing_history_renders_an_empty_report() {
+    let jsonl = cli_temp("absent.jsonl");
+    let _ = std::fs::remove_file(&jsonl);
+    let out = caraml()
+        .args(["trend", "--history"])
+        .arg(&jsonl)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("history is empty"));
+}

@@ -11,6 +11,7 @@ verify:
     cargo test -q
     cargo bench --workspace --no-run
     just check-devices
+    just check-scenario
     just test-fleet
     CARAML_SIMD=off cargo test -q -p caraml-tensor
     CARAML_SIMD=off cargo test -q -p caraml-models
@@ -21,6 +22,19 @@ verify:
 # docs/DEVICES.md` after editing a device file).
 check-devices:
     cargo run -q -p caraml --bin caraml -- devices --check docs/DEVICES.md
+
+# Parse, run, and checksum-verify the committed example scenario against
+# its native-constructed twin — proves `caraml scenario <file>` stays
+# bit-identical to hand-built sweeps (the scenario DSL's core contract).
+check-scenario:
+    cargo run -q --release -p caraml --bin caraml -- scenario examples/scenario.toml --check
+
+# Trend analysis over the committed results.jsonl history store: rolling
+# median/MAD anomalies, step changes, and sparklines per metric series.
+# `just trend --gate` also fails on a direction-aware regression between
+# the two latest generations.
+trend *flags="":
+    cargo run -q --release -p caraml --bin caraml -- trend --history results.jsonl {{flags}}
 
 # Tier-1 check used by CI: release build + quiet tests.
 ci:

@@ -1,7 +1,8 @@
 //! Vendored offline shim for the `proptest` API surface this workspace
 //! uses: the [`proptest!`] macro, numeric range strategies, string
 //! "regex" strategies of the `[class]{m,n}` shape, `prop::collection::{vec,
-//! btree_map}`, tuple strategies, `Just`, `prop_map`, `prop_flat_map`,
+//! btree_map}`, `prop::sample::select`, `prop::num::f64::NORMAL`, tuple
+//! strategies, `Just`, [`prop_oneof!`], `prop_map`, `prop_flat_map`,
 //! `prop_assert!`/`prop_assert_eq!` and `ProptestConfig::with_cases`.
 //!
 //! Cases are generated from a deterministic per-test RNG (seeded from the
@@ -268,6 +269,98 @@ impl_tuple_strategy! {
     (S0 0, S1 1, S2 2, S3 3)
     (S0 0, S1 1, S2 2, S3 3, S4 4)
     (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5)
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5, S6 6)
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5, S6 6, S7 7)
+}
+
+// ---- Unions (`prop_oneof!`) ----
+
+/// A type-erased strategy, the building block of [`Union`].
+pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Erase a strategy's type so alternatives can share a `Vec`.
+pub fn boxed<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+    BoxedStrategy(Box::new(move |rng| s.generate(rng)))
+}
+
+/// Uniformly picks one of its alternatives per generated value
+/// (`prop_oneof!`; the real crate's weighted form is not supported).
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs an alternative");
+        Union(options)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.0.len());
+        self.0[i].generate(rng)
+    }
+}
+
+/// `prop_oneof![s1, s2, ...]`: a [`Union`] over same-valued strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![$($crate::boxed($strategy)),+])
+    };
+}
+
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Uniform choice from a static slice (`prop::sample::select`).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Select<T: 'static>(&'static [T]);
+
+    pub fn select<T: Clone + 'static>(items: &'static [T]) -> Select<T> {
+        assert!(!items.is_empty(), "select needs a non-empty slice");
+        Select(items)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0[rng.below(self.0.len())].clone()
+        }
+    }
+}
+
+pub mod num {
+    pub mod f64 {
+        use crate::{Strategy, TestRng};
+
+        /// Any normal (finite, non-subnormal, non-zero) `f64`, drawn
+        /// uniformly over the bit patterns (`prop::num::f64::NORMAL`) —
+        /// so magnitudes span the full exponent range, both signs.
+        #[derive(Clone, Copy, Debug)]
+        pub struct Normal;
+
+        pub const NORMAL: Normal = Normal;
+
+        impl Strategy for Normal {
+            type Value = f64;
+            fn generate(&self, rng: &mut TestRng) -> f64 {
+                loop {
+                    let v = f64::from_bits(rng.next_u64());
+                    if v.is_normal() {
+                        return v;
+                    }
+                }
+            }
+        }
+    }
 }
 
 pub mod collection {
@@ -351,12 +444,14 @@ pub mod collection {
 /// The `prop::` paths used by `use proptest::prelude::*` consumers.
 pub mod prop {
     pub use crate::collection;
+    pub use crate::num;
+    pub use crate::sample;
 }
 
 pub mod prelude {
     pub use crate::collection;
     pub use crate::prop;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
     pub use crate::{Just, ProptestConfig, Strategy, TestRng};
 }
 
@@ -490,6 +585,18 @@ mod tests {
         fn maps_compose(y in (1u32..5).prop_map(|x| x * 10)
                             .prop_flat_map(|hi| 0u32..hi)) {
             prop_assert!(y < 40);
+        }
+
+        #[test]
+        fn oneof_and_select(x in prop_oneof![Just(1u32), Just(7), 100u32..200],
+                            s in prop::sample::select(&["a", "b", "c"])) {
+            prop_assert!(x == 1 || x == 7 || (100..200).contains(&x));
+            prop_assert!(["a", "b", "c"].contains(&s));
+        }
+
+        #[test]
+        fn normal_floats_are_normal(v in prop::num::f64::NORMAL) {
+            prop_assert!(v.is_normal());
         }
     }
 
